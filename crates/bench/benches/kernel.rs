@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the simulation kernel hot paths: the event queue
+//! and serial-resource scheduling dominate full-system run time, so their
+//! throughput bounds how many simulated requests per wall-second the
+//! harness can evaluate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simkit::{Engine, EventQueue, SimDuration, SimTime};
+use sonuma::SerialResource;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("push_pop_{n}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n as usize);
+                // Adversarial-ish interleaved times via multiplicative hash.
+                for i in 0..n {
+                    let t = i.wrapping_mul(0x9E37_79B9) % 1_000_000;
+                    q.push(SimTime::from_ns(t), i);
+                }
+                let mut sum = 0u64;
+                while let Some(s) = q.pop() {
+                    sum = sum.wrapping_add(s.event);
+                }
+                black_box(sum)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_churn(c: &mut Criterion) {
+    c.bench_function("engine_schedule_in_chain_100k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u32> = Engine::new();
+            e.schedule_in(SimDuration::from_ns(1), 0);
+            let mut n = 0u32;
+            while let Some(s) = e.pop() {
+                n += 1;
+                if s.event < 100_000 {
+                    e.schedule_in(SimDuration::from_ns(1), s.event + 1);
+                }
+            }
+            black_box(n)
+        });
+    });
+}
+
+fn bench_serial_resource(c: &mut Criterion) {
+    c.bench_function("serial_resource_schedule_1m", |b| {
+        b.iter(|| {
+            let mut r = SerialResource::new();
+            let mut end = SimTime::ZERO;
+            for i in 0..1_000_000u64 {
+                let occ = r.schedule(SimTime::from_ns(i), SimDuration::from_ns(2));
+                end = occ.end;
+            }
+            black_box(end)
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_engine_churn, bench_serial_resource);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of service-time sampling and latency recording —
+//! called once per simulated request, millions of times per figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dist::{workload_models, ServiceDist, SyntheticKind};
+use metrics::LatencyHistogram;
+use simkit::rng::stream_rng;
+use simkit::SimDuration;
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sample_100k");
+    g.throughput(Throughput::Elements(100_000));
+    let dists: Vec<(&str, ServiceDist)> = vec![
+        ("fixed", SyntheticKind::Fixed.processing_time()),
+        ("uniform", SyntheticKind::Uniform.processing_time()),
+        ("exp", SyntheticKind::Exponential.processing_time()),
+        ("gev", SyntheticKind::Gev.processing_time()),
+        ("herd", workload_models::herd()),
+        ("masstree", workload_models::masstree()),
+    ];
+    for (name, d) in dists {
+        g.bench_function(name, |b| {
+            let mut rng = stream_rng(1, 0);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..100_000 {
+                    acc += d.sample_ns(&mut rng);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record_1m", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for i in 0..1_000_000u64 {
+                h.record(SimDuration::from_ns(100 + (i * 7919) % 100_000));
+            }
+            black_box(h.percentile(0.99))
+        });
+    });
+}
+
+criterion_group!(benches, bench_distributions, bench_histogram);
+criterion_main!(benches);

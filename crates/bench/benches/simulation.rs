@@ -1,0 +1,60 @@
+//! End-to-end simulation throughput: simulated RPCs per wall-second for
+//! each dispatch policy, plus the pure queueing model for reference.
+//! These numbers size how long each paper figure takes to regenerate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dist::ServiceDist;
+use queueing::{QueueingModel, QxU, RunParams};
+use rpcvalet::{Policy, ServerSim, SystemConfig};
+
+const REQUESTS: u64 = 20_000;
+
+fn full_system(policy: Policy, seed: u64) -> rpcvalet::RunResult {
+    let cfg = SystemConfig::builder()
+        .policy(policy)
+        .service(ServiceDist::exponential_mean_ns(600.0))
+        .rate_rps(12.0e6)
+        .requests(REQUESTS)
+        .warmup(REQUESTS / 10)
+        .seed(seed)
+        .build();
+    ServerSim::new(cfg).run()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_sim_20k_rpcs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(REQUESTS));
+    for (name, policy) in [
+        ("1x16", Policy::hw_single_queue()),
+        ("4x4", Policy::hw_partitioned()),
+        ("16x1", Policy::hw_static()),
+        ("sw-1x16", Policy::sw_single_queue()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, p| {
+            b.iter(|| black_box(full_system(p.clone(), 42)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_queueing_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queueing_model_20k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.bench_function("mm16_load_0.8", |b| {
+        let model = QueueingModel::new(QxU::SINGLE_16, ServiceDist::exponential_mean_ns(1.0));
+        b.iter(|| {
+            black_box(model.run(&RunParams {
+                load: 0.8,
+                requests: REQUESTS,
+                warmup: REQUESTS / 10,
+                seed: 7,
+            }))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_queueing_model);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! ASCII rendering of latency-vs-throughput curves.
+//!
+//! The paper's figures are hockey-stick curves; a terminal scatter makes
+//! the shape (and the policy ordering) visible straight from
+//! `cargo run -p bench --bin figN` without any plotting toolchain.
+
+use metrics::LatencyCurve;
+
+/// Renders several curves into one `width × height` character panel.
+/// X = throughput (rps), Y = p99 latency (ns), linear axes clipped at
+/// `y_max_ns`. Each curve is drawn with its own glyph, assigned in order
+/// from `GLYPHS`.
+///
+/// # Panics
+/// Panics if `width`/`height` are too small to draw into, or `y_max_ns`
+/// is not positive.
+pub fn render_panel(curves: &[&LatencyCurve], width: usize, height: usize, y_max_ns: f64) -> String {
+    assert!(width >= 16 && height >= 4, "panel too small: {width}x{height}");
+    assert!(y_max_ns > 0.0, "y_max must be positive");
+    const GLYPHS: [char; 6] = ['o', '+', 'x', '*', '#', '@'];
+
+    let x_max = curves
+        .iter()
+        .flat_map(|c| c.points.iter())
+        .map(|p| p.throughput_rps)
+        .fold(0.0, f64::max)
+        .max(1.0);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (ci, curve) in curves.iter().enumerate() {
+        let glyph = GLYPHS[ci % GLYPHS.len()];
+        for p in &curve.points {
+            let x = ((p.throughput_rps / x_max) * (width - 1) as f64).round() as usize;
+            let y_frac = (p.p99_latency_ns / y_max_ns).min(1.0);
+            let y = ((1.0 - y_frac) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  p99 (up to {:.1} us) vs throughput (up to {:.1} Mrps)\n",
+        y_max_ns / 1e3,
+        x_max / 1e6
+    ));
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for (ci, curve) in curves.iter().enumerate() {
+        out.push_str(&format!(
+            "   {} = {}\n",
+            GLYPHS[ci % GLYPHS.len()],
+            curve.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::CurvePoint;
+
+    fn curve(label: &str, pts: &[(f64, f64)]) -> LatencyCurve {
+        let mut c = LatencyCurve::new(label);
+        for (i, &(rps, p99)) in pts.iter().enumerate() {
+            c.push(CurvePoint {
+                offered_load: i as f64,
+                throughput_rps: rps,
+                mean_latency_ns: p99 / 5.0,
+                p99_latency_ns: p99,
+                completed: 1,
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn renders_legend_and_axes() {
+        let a = curve("1x16", &[(1e6, 500.0), (2e6, 800.0)]);
+        let b = curve("16x1", &[(1e6, 900.0), (1.8e6, 5_000.0)]);
+        let panel = render_panel(&[&a, &b], 40, 10, 6_000.0);
+        assert!(panel.contains("o = 1x16"));
+        assert!(panel.contains("+ = 16x1"));
+        assert!(panel.contains("Mrps"));
+        assert_eq!(panel.lines().filter(|l| l.starts_with("  |")).count(), 10);
+    }
+
+    #[test]
+    fn clips_beyond_y_max() {
+        let a = curve("x", &[(1e6, 1e9)]); // absurd latency
+        let panel = render_panel(&[&a], 20, 5, 1_000.0);
+        // The point lands on the top row, not out of bounds.
+        let top_row = panel.lines().nth(1).unwrap();
+        assert!(top_row.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "panel too small")]
+    fn rejects_tiny_panel() {
+        render_panel(&[], 4, 2, 1.0);
+    }
+}

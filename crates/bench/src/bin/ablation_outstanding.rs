@@ -1,0 +1,72 @@
+//! Ablation — outstanding requests per core: 1 vs 2 (§4.3 / §6.1).
+//!
+//! The paper: "Allowing only one outstanding request per core …
+//! corresponds to true single-queue system behavior, but leaves a small
+//! execution bubble at the core. The bubble can be eliminated by setting
+//! the number of outstanding requests per core to two. … Reducing this to
+//! one marginally degrades HERD's throughput, because of its short sub-µs
+//! service times, but has no measurable performance difference in the
+//! rest of our experiments."
+//!
+//! Usage: `cargo run -p bench --release --bin ablation_outstanding [--quick]`
+
+use bench::{ratio, write_json, Mode};
+use metrics::{throughput_under_slo, SloSpec};
+use rpcvalet::{sweep_rates, Policy, RateSweepSpec};
+use serde::Serialize;
+use workloads::{scenario_config, Workload};
+
+#[derive(Serialize)]
+struct AblationRow {
+    workload: String,
+    threshold1_slo_mrps: f64,
+    threshold2_slo_mrps: f64,
+    gain_from_threshold2: f64,
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    println!("=== Ablation: outstanding requests per core (1 vs 2) ===\n");
+
+    let requests = mode.requests(250_000);
+    let mut rows = Vec::new();
+    for (workload, rates) in [
+        (Workload::Herd, (1..=10).map(|i| i as f64 * 2.9e6).collect::<Vec<_>>()),
+        (
+            Workload::Synthetic(dist::SyntheticKind::Fixed),
+            (1..=10).map(|i| i as f64 * 1.95e6).collect(),
+        ),
+    ] {
+        let spec = RateSweepSpec {
+            rates_rps: rates,
+            requests,
+            warmup: requests / 10,
+            seed: 95,
+        };
+        let mut slo_tput = Vec::new();
+        for threshold in [1u32, 2] {
+            let policy = Policy::HwSingleQueue {
+                outstanding_per_core: threshold,
+            };
+            let base = scenario_config(workload, policy, spec.rates_rps[0], spec.seed);
+            let (curve, results) = sweep_rates(&base, &spec);
+            let slo = SloSpec::ten_times_mean(results[0].mean_service_ns);
+            slo_tput.push(throughput_under_slo(&curve, slo));
+        }
+        println!(
+            "  {:<8} threshold=1: {:.2} Mrps, threshold=2: {:.2} Mrps ({} from threshold 2)",
+            workload.label(),
+            slo_tput[0] / 1e6,
+            slo_tput[1] / 1e6,
+            ratio(slo_tput[1], slo_tput[0])
+        );
+        rows.push(AblationRow {
+            workload: workload.label(),
+            threshold1_slo_mrps: slo_tput[0] / 1e6,
+            threshold2_slo_mrps: slo_tput[1] / 1e6,
+            gain_from_threshold2: slo_tput[1] / slo_tput[0].max(1.0),
+        });
+    }
+    println!("\n  (paper: threshold 2 helps HERD marginally; elsewhere no measurable difference)");
+    write_json("ablation_outstanding", &rows);
+}

@@ -1,0 +1,87 @@
+//! Fig. 2 — tail latency vs load for theoretical queueing systems.
+//!
+//! * **2a**: five Q×U configurations (1×16 … 16×1) under exponential
+//!   service.
+//! * **2b**: the 1×16 system under fixed/uniform/exponential/GEV service.
+//! * **2c**: the 16×1 system under the same four distributions.
+//!
+//! Y values are in multiples of the mean service time S̄ (the service
+//! distributions are normalized to mean 1), exactly as the paper plots.
+//!
+//! Usage: `cargo run -p bench --release --bin fig2 [--part a|b|c] [--quick]`
+
+use bench::{part_arg, print_curve, write_json, Mode};
+use dist::SyntheticKind;
+use metrics::LatencyCurve;
+use queueing::{sweep, QxU, SweepSpec};
+
+fn spec(mode: Mode) -> SweepSpec {
+    let mut s = SweepSpec::fig2_default(2019);
+    s.requests = mode.requests(400_000);
+    s.warmup = s.requests / 10;
+    s
+}
+
+fn part_a(mode: Mode) -> Vec<LatencyCurve> {
+    let service = SyntheticKind::Exponential.normalized();
+    QxU::FIG2A_CONFIGS
+        .iter()
+        .map(|&config| sweep(config, &service, &spec(mode)))
+        .collect()
+}
+
+fn part_bc(mode: Mode, config: QxU) -> Vec<LatencyCurve> {
+    SyntheticKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut curve = sweep(config, &kind.normalized(), &spec(mode));
+            curve.label = format!("{}-{}", kind.label(), config.label());
+            curve
+        })
+        .collect()
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let part = part_arg();
+    let run_part = |p: &str| part.as_deref().map(|sel| sel == p).unwrap_or(true);
+
+    println!("=== Fig. 2: queueing-model tail latency (99th pct, multiples of S̄) ===");
+
+    if run_part("a") {
+        println!("\n--- Fig. 2a: Q x U configurations, exponential service ---");
+        let curves = part_a(mode);
+        for c in &curves {
+            print_curve(c, "load", "xS", 1.0);
+        }
+        // The paper's §2.2 claim: peak load under a 10×S̄ SLO is 25–73 %
+        // lower for 16×1 than 1×16 across distributions; for exponential
+        // the gap is in between.
+        let slo = metrics::SloSpec::absolute_ns(10.0);
+        let best = metrics::throughput_under_slo(&curves[0], slo);
+        let worst = metrics::throughput_under_slo(&curves[4], slo);
+        println!(
+            "\n  1x16 vs 16x1 load capacity under 10xS SLO: {} (paper: 25-73% lower for 16x1)",
+            bench::ratio(best, worst)
+        );
+        write_json("fig2a", &curves);
+    }
+
+    if run_part("b") {
+        println!("\n--- Fig. 2b: model 1x16, four service distributions ---");
+        let curves = part_bc(mode, QxU::SINGLE_16);
+        for c in &curves {
+            print_curve(c, "load", "xS", 1.0);
+        }
+        write_json("fig2b", &curves);
+    }
+
+    if run_part("c") {
+        println!("\n--- Fig. 2c: model 16x1, four service distributions ---");
+        let curves = part_bc(mode, QxU::PARTITIONED_16);
+        for c in &curves {
+            print_curve(c, "load", "xS", 1.0);
+        }
+        write_json("fig2c", &curves);
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 7 — load balancing with three hardware queuing implementations.
+//!
+//! * **7a**: HERD — 16×1 / 4×4 / 1×16, SLO = 10× S̄ (S̄ ≈ 550 ns);
+//! * **7b**: Masstree — SLO = 12.5 µs on `get`s; scans are not
+//!   latency-critical (plus the relaxed 75 µs comparison);
+//! * **7c**: synthetic fixed and GEV distributions.
+//!
+//! Usage: `cargo run -p bench --release --bin fig7 [--part a|b|c] [--quick]`
+
+use bench::{part_arg, print_curve, ratio, write_json, Mode};
+use dist::SyntheticKind;
+use metrics::{throughput_under_slo, SloSpec};
+use rpcvalet::{Policy, RateSweepSpec};
+use workloads::{compare_policies, PolicyComparison, Workload};
+
+fn hw_policies() -> Vec<Policy> {
+    vec![
+        Policy::hw_static(),
+        Policy::hw_partitioned(),
+        Policy::hw_single_queue(),
+    ]
+}
+
+fn spec(mode: Mode, rates: Vec<f64>, seed: u64) -> RateSweepSpec {
+    let requests = mode.requests(250_000);
+    RateSweepSpec {
+        rates_rps: rates,
+        requests,
+        warmup: requests / 10,
+        seed,
+    }
+}
+
+fn report(workload: Workload, comparisons: &[PolicyComparison], y_scale: f64, y_unit: &str) {
+    for c in comparisons {
+        print_curve(&c.curve, "rate (rps)", y_unit, y_scale);
+        println!(
+            "    S = {:.0} ns, throughput under SLO = {:.2} Mrps",
+            c.mean_service_ns,
+            c.throughput_under_slo_rps / 1e6
+        );
+    }
+    let by_label = |l: &str| {
+        comparisons
+            .iter()
+            .find(|c| c.label == l)
+            .map(|c| c.throughput_under_slo_rps)
+            .unwrap_or(0.0)
+    };
+    let (t16, t44, t1) = (by_label("16x1"), by_label("4x4"), by_label("1x16"));
+    println!(
+        "  [{}] 1x16 vs 4x4: {}, 1x16 vs 16x1: {}",
+        workload.label(),
+        ratio(t1, t44),
+        ratio(t1, t16)
+    );
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let part = part_arg();
+    let run_part = |p: &str| part.as_deref().map(|sel| sel == p).unwrap_or(true);
+
+    println!("=== Fig. 7: hardware queuing implementations ===");
+
+    if run_part("a") {
+        println!("\n--- Fig. 7a: HERD (SLO = 10x S, S ~ 550 ns) ---");
+        // HERD capacity is ~16 cores / 550 ns ≈ 29 Mrps; sweep to just
+        // past saturation like the paper's 0–30 Mrps axis.
+        let rates: Vec<f64> = (1..=10).map(|i| i as f64 * 2.9e6).collect();
+        let comparisons = compare_policies(Workload::Herd, &hw_policies(), &spec(mode, rates, 71));
+        report(Workload::Herd, &comparisons, 1e3, "us");
+        println!("  (paper: 1x16 delivers 29 MRPS, 1.16x over 4x4 and 1.18x over 16x1)");
+        write_json("fig7a", &comparisons);
+    }
+
+    if run_part("b") {
+        println!("\n--- Fig. 7b: Masstree (SLO = 12.5 us on gets) ---");
+        // Masstree capacity ≈ 16 / 2.36 µs ≈ 6.8 Mrps; paper sweeps 0–8,
+        // with extra low-rate points to resolve where 16×1 first violates.
+        let rates: Vec<f64> = (1..=13).map(|i| i as f64 * 0.5e6).collect();
+        let comparisons =
+            compare_policies(Workload::Masstree, &hw_policies(), &spec(mode, rates, 72));
+        report(Workload::Masstree, &comparisons, 1e3, "us");
+        // The relaxed 75 µs SLO comparison the paper also reports.
+        let relaxed = SloSpec::absolute_us(75.0);
+        let t: Vec<(String, f64)> = comparisons
+            .iter()
+            .map(|c| (c.label.clone(), throughput_under_slo(&c.curve, relaxed)))
+            .collect();
+        let find = |l: &str| t.iter().find(|x| x.0 == l).map(|x| x.1).unwrap_or(0.0);
+        println!(
+            "  relaxed 75 us SLO: 1x16 vs 16x1 {}, 1x16 vs 4x4 {}",
+            ratio(find("1x16"), find("16x1")),
+            ratio(find("1x16"), find("4x4")),
+        );
+        println!("  (paper: 1x16 4.1 MRPS at SLO, 37% over 4x4; 16x1 misses SLO at 2 MRPS;");
+        println!("   relaxed 75 us: 54% over 16x1, 20% over 4x4)");
+        write_json("fig7b", &comparisons);
+    }
+
+    if run_part("c") {
+        println!("\n--- Fig. 7c: synthetic fixed and GEV (SLO = 10x S, S ~ 820 ns) ---");
+        // Capacity ≈ 16 / 820 ns ≈ 19.5 Mrps.
+        let rates: Vec<f64> = (1..=10).map(|i| i as f64 * 1.95e6).collect();
+        let mut all = Vec::new();
+        for kind in [SyntheticKind::Fixed, SyntheticKind::Gev] {
+            let workload = Workload::Synthetic(kind);
+            let mut comparisons =
+                compare_policies(workload, &hw_policies(), &spec(mode, rates.clone(), 73));
+            println!("  [{} distribution]", kind.label());
+            report(workload, &comparisons, 1e3, "us");
+            for c in &mut comparisons {
+                c.label = format!("{}_{}", c.label, kind.label());
+                c.curve.label = c.label.clone();
+            }
+            all.extend(comparisons);
+        }
+        println!("  (paper: fixed: 1x16 1.13x over 4x4, 1.2x over 16x1;");
+        println!("   GEV: 1.17x and 1.4x; plus up to 4x lower tail before saturation)");
+        write_json("fig7c", &all);
+    }
+}

@@ -1,0 +1,169 @@
+//! # bench — the figure/table regeneration harness
+//!
+//! One binary per paper figure (run with `cargo run -p bench --release
+//! --bin figN`), plus Criterion micro-benchmarks (`cargo bench`). Every
+//! binary prints the figure's data series to stdout in a fixed-width
+//! table and writes machine-readable JSON next to it under
+//! `target/figures/`.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig2`  | queueing-model tail latency vs load (Fig. 2a–c) |
+//! | `fig6`  | processing-time distribution PDFs (Fig. 6a–c) |
+//! | `fig7`  | hardware queuing implementations (Fig. 7a–c) |
+//! | `fig8`  | hardware vs software 1×16 (Fig. 8) |
+//! | `fig9`  | RPCValet vs theoretical model (Fig. 9a–d) |
+//! | `table1` | simulation parameters (Table 1) |
+//! | `ablation_outstanding` | §4.3/§6.1 outstanding-per-core 1 vs 2 |
+//! | `ablation_dispatcher` | §4.3 single-dispatcher headroom (16 & 64 cores) |
+//! | `ablation_preemption` | §7 RPCValet + Shinjuku-style preemption |
+//! | `ablation_emulated` | §3.3 emulated messaging's per-flow affinity |
+//! | `ablation_sensitivity` | slots / MTU / lock cost / threshold sweeps |
+//! | `latency_breakdown` | trace-based latency anatomy per policy |
+//!
+//! Pass `--quick` to any figure binary for a fast low-resolution run.
+
+pub mod ascii;
+
+use std::fs;
+use std::path::PathBuf;
+
+use metrics::LatencyCurve;
+use serde::Serialize;
+
+/// Run mode for figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Paper-resolution sweep (default).
+    Full,
+    /// Coarse grid with fewer requests, for smoke runs and CI.
+    Quick,
+}
+
+impl Mode {
+    /// Parses the process arguments: `--quick` selects [`Mode::Quick`].
+    pub fn from_args() -> Mode {
+        if std::env::args().any(|a| a == "--quick") {
+            Mode::Quick
+        } else {
+            Mode::Full
+        }
+    }
+
+    /// Scales a request count down in quick mode.
+    pub fn requests(self, full: u64) -> u64 {
+        match self {
+            Mode::Full => full,
+            Mode::Quick => (full / 8).max(5_000),
+        }
+    }
+}
+
+/// Returns the value of `--part <x>` if present (e.g. `fig2 --part a`).
+pub fn part_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--part")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Prints one latency curve as a fixed-width table.
+///
+/// `y_unit` labels the latency column (e.g. `"us"` or `"xS"` for
+/// multiples of the mean service time); `y_scale` divides the stored
+/// nanosecond values into that unit.
+pub fn print_curve(curve: &LatencyCurve, x_label: &str, y_unit: &str, y_scale: f64) {
+    println!("  series: {}", curve.label);
+    // Offered load is either a capacity fraction (<= ~1) or an absolute
+    // rate in rps; print the latter in Mrps for readability.
+    let offered_in_mrps = curve
+        .points
+        .iter()
+        .any(|p| p.offered_load > 1e4);
+    let x_header = if offered_in_mrps {
+        "offered (Mrps)".to_owned()
+    } else {
+        x_label.to_owned()
+    };
+    println!(
+        "    {:>14} {:>14} {:>12} {:>12}",
+        x_header,
+        "tput (Mrps)",
+        format!("p99 ({y_unit})"),
+        format!("mean ({y_unit})")
+    );
+    for p in &curve.points {
+        let x = if offered_in_mrps {
+            p.offered_load / 1e6
+        } else {
+            p.offered_load
+        };
+        println!(
+            "    {:>14.3} {:>14.3} {:>12.3} {:>12.3}",
+            x,
+            p.throughput_rps / 1e6,
+            p.p99_latency_ns / y_scale,
+            p.mean_latency_ns / y_scale
+        );
+    }
+}
+
+/// Directory where figure JSON artifacts are written.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Serializes `value` to `target/figures/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = figures_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("figure data serializes");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  [wrote {}]", path.display());
+}
+
+/// Formats a ratio as the paper does ("1.18x higher").
+pub fn ratio(better: f64, worse: f64) -> String {
+    if worse <= 0.0 {
+        "n/a (baseline saturated)".to_owned()
+    } else {
+        format!("{:.2}x", better / worse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::CurvePoint;
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(2.0, 1.0), "2.00x");
+        assert_eq!(ratio(1.0, 0.0), "n/a (baseline saturated)");
+    }
+
+    #[test]
+    fn mode_scaling() {
+        assert_eq!(Mode::Full.requests(100_000), 100_000);
+        assert_eq!(Mode::Quick.requests(100_000), 12_500);
+        assert_eq!(Mode::Quick.requests(1_000), 5_000);
+    }
+
+    #[test]
+    fn print_curve_smoke() {
+        let mut c = LatencyCurve::new("test");
+        c.push(CurvePoint {
+            offered_load: 0.5,
+            throughput_rps: 1e6,
+            mean_latency_ns: 700.0,
+            p99_latency_ns: 2_000.0,
+            completed: 100,
+        });
+        print_curve(&c, "load", "us", 1e3);
+    }
+}

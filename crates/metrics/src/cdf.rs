@@ -1,0 +1,131 @@
+//! Empirical CDF extraction for latency sample sets.
+//!
+//! Used by the harness to dump full latency distributions (not just p99)
+//! so figures can be re-plotted at any percentile after the fact.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of an empirical CDF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// Value (ns).
+    pub value_ns: f64,
+    /// Cumulative probability at this value.
+    pub cumulative: f64,
+}
+
+/// An empirical CDF reduced to a fixed set of probe quantiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Points in increasing-value order.
+    pub points: Vec<CdfPoint>,
+}
+
+/// The standard probe quantiles the harness records: enough resolution
+/// through the tail to re-read p50/p90/p95/p99/p99.9 later.
+pub const STANDARD_QUANTILES: [f64; 11] = [
+    0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.995, 0.999, 1.0,
+];
+
+impl Cdf {
+    /// Builds a CDF from raw nanosecond samples at the given quantiles.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty, contains NaN, or `quantiles` is not
+    /// strictly increasing within `(0, 1]`.
+    pub fn from_samples(samples: &[f64], quantiles: &[f64]) -> Cdf {
+        assert!(!samples.is_empty(), "CDF of empty sample set");
+        assert!(
+            quantiles.windows(2).all(|w| w[0] < w[1])
+                && quantiles.iter().all(|&q| q > 0.0 && q <= 1.0),
+            "quantiles must be strictly increasing in (0, 1]"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let n = sorted.len();
+        let points = quantiles
+            .iter()
+            .map(|&q| {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                CdfPoint {
+                    value_ns: sorted[rank],
+                    cumulative: q,
+                }
+            })
+            .collect();
+        Cdf { points }
+    }
+
+    /// Builds a CDF at the [`STANDARD_QUANTILES`].
+    pub fn standard(samples: &[f64]) -> Cdf {
+        Self::from_samples(samples, &STANDARD_QUANTILES)
+    }
+
+    /// Looks up the recorded value at quantile `q`, if probed.
+    pub fn at(&self, q: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.cumulative - q).abs() < 1e-12)
+            .map(|p| p.value_ns)
+    }
+
+    /// The tail ratio p99/p50 — a shape summary the paper's figures make
+    /// visually (how much worse the tail is than the median).
+    ///
+    /// Returns `None` unless both quantiles were probed and p50 > 0.
+    pub fn tail_ratio(&self) -> Option<f64> {
+        let p50 = self.at(0.50)?;
+        let p99 = self.at(0.99)?;
+        if p50 > 0.0 {
+            Some(p99 / p50)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_cdf_values() {
+        let samples: Vec<f64> = (1..=1000).map(|v| v as f64).collect();
+        let cdf = Cdf::standard(&samples);
+        assert_eq!(cdf.at(0.50), Some(500.0));
+        assert_eq!(cdf.at(0.99), Some(990.0));
+        assert_eq!(cdf.at(1.0), Some(1000.0));
+        assert!((cdf.tail_ratio().unwrap() - 1.98).abs() < 0.001);
+    }
+
+    #[test]
+    fn monotone_points() {
+        let samples = vec![5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0];
+        let cdf = Cdf::standard(&samples);
+        for w in cdf.points.windows(2) {
+            assert!(w[0].value_ns <= w[1].value_ns);
+            assert!(w[0].cumulative < w[1].cumulative);
+        }
+    }
+
+    #[test]
+    fn custom_quantiles() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let cdf = Cdf::from_samples(&samples, &[0.5, 0.9]);
+        assert_eq!(cdf.points.len(), 2);
+        assert_eq!(cdf.at(0.9), Some(90.0));
+        assert_eq!(cdf.at(0.99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_bad_quantiles() {
+        Cdf::from_samples(&[1.0], &[0.9, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn rejects_empty() {
+        Cdf::standard(&[]);
+    }
+}

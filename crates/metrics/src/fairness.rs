@@ -1,0 +1,97 @@
+//! Load-imbalance metrics across cores.
+//!
+//! The whole point of RPCValet is evening out per-core load; these
+//! metrics quantify how uneven an assignment actually was. Jain's
+//! fairness index is 1.0 for a perfectly even split and `1/n` when one
+//! core of `n` receives everything.
+
+/// Jain's fairness index over per-entity totals:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]`.
+///
+/// Returns 1.0 for an empty or all-zero input (nothing is unfair about
+/// no work).
+///
+/// # Example
+/// ```
+/// use metrics::fairness::jain_index;
+/// assert_eq!(jain_index(&[10.0, 10.0, 10.0, 10.0]), 1.0);
+/// assert_eq!(jain_index(&[40.0, 0.0, 0.0, 0.0]), 0.25);
+/// ```
+pub fn jain_index(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = x.iter().sum();
+    let sum_sq: f64 = x.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sum_sq)
+}
+
+/// Max-over-mean imbalance factor: 1.0 when perfectly even, `n` when one
+/// of `n` entities takes everything. Returns 1.0 for empty/all-zero
+/// input.
+pub fn max_over_mean(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = x.iter().sum();
+    if sum == 0.0 {
+        return 1.0;
+    }
+    let mean = sum / n as f64;
+    x.iter().cloned().fold(0.0, f64::max) / mean
+}
+
+/// Coefficient of variation across entities (σ/µ); 0 when perfectly
+/// even. Returns 0.0 for empty/all-zero input.
+pub fn load_cv(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[5.0]), 1.0);
+        let skewed = jain_index(&[100.0, 1.0, 1.0, 1.0]);
+        assert!(skewed < 0.3 && skewed > 0.25);
+    }
+
+    #[test]
+    fn jain_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_over_mean_basics() {
+        assert_eq!(max_over_mean(&[2.0, 2.0]), 1.0);
+        assert_eq!(max_over_mean(&[4.0, 0.0, 0.0, 0.0]), 4.0);
+        assert_eq!(max_over_mean(&[]), 1.0);
+    }
+
+    #[test]
+    fn cv_basics() {
+        assert_eq!(load_cv(&[3.0, 3.0, 3.0]), 0.0);
+        assert!(load_cv(&[0.0, 10.0]) > 0.9);
+        assert_eq!(load_cv(&[]), 0.0);
+    }
+}

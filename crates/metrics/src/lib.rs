@@ -1,0 +1,47 @@
+//! # metrics — latency recording and tail-latency analysis
+//!
+//! Everything the RPCValet evaluation needs to turn raw per-request
+//! latencies into the paper's figures:
+//!
+//! * [`LatencyHistogram`] — a log-bucketed histogram (HdrHistogram-style)
+//!   with bounded relative error, for very long runs;
+//! * [`Summary`] — streaming mean/variance/min/max (Welford);
+//! * [`percentile`] — exact percentiles over sample vectors;
+//! * [`slo`] — throughput-under-SLO extraction from latency/load curves,
+//!   the paper's headline metric (§5: "throughput under a 99th-percentile
+//!   SLO of 10× the mean service time");
+//! * [`series`] — (load, throughput, tail latency) curve containers that
+//!   the bench harness serializes.
+//!
+//! ## Example
+//!
+//! ```
+//! use metrics::LatencyHistogram;
+//! use simkit::SimDuration;
+//!
+//! let mut h = LatencyHistogram::new();
+//! for ns in [100, 200, 300, 400, 1000] {
+//!     h.record(SimDuration::from_ns(ns));
+//! }
+//! assert_eq!(h.count(), 5);
+//! let p99 = h.percentile(0.99);
+//! assert!(p99.as_ns() >= 400);
+//! ```
+
+pub mod cdf;
+pub mod fairness;
+pub mod histogram;
+pub mod percentile;
+pub mod series;
+pub mod slo;
+pub mod summary;
+pub mod timeseries;
+
+pub use cdf::{Cdf, CdfPoint};
+pub use fairness::jain_index;
+pub use histogram::LatencyHistogram;
+pub use percentile::{percentile, percentile_ns};
+pub use series::{CurvePoint, LatencyCurve};
+pub use slo::{throughput_under_slo, SloSpec};
+pub use summary::Summary;
+pub use timeseries::TimeSeries;

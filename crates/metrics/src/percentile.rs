@@ -1,0 +1,126 @@
+//! Exact percentile computation over sample vectors.
+//!
+//! For the queueing-model runs (hundreds of thousands of samples) exact
+//! percentiles are cheap and remove bucketing error from the comparisons
+//! against theory in Fig. 9.
+
+use simkit::SimDuration;
+
+/// The `q`-quantile of `samples` using the nearest-rank method on a copy
+/// of the data.
+///
+/// Nearest-rank matches the paper's "99th percentile latency": the
+/// smallest recorded value ≥ 99 % of all values.
+///
+/// # Panics
+/// Panics if `samples` is empty or `q` is outside `[0, 1]`.
+///
+/// # Example
+/// ```
+/// use metrics::percentile;
+/// use simkit::SimDuration;
+/// let xs: Vec<SimDuration> = (1..=100).map(SimDuration::from_ns).collect();
+/// assert_eq!(percentile(&xs, 0.99).as_ns(), 99);
+/// assert_eq!(percentile(&xs, 1.0).as_ns(), 100);
+/// ```
+pub fn percentile(samples: &[SimDuration], q: f64) -> SimDuration {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    let mut sorted: Vec<SimDuration> = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[rank(sorted.len(), q)]
+}
+
+/// Exact `q`-quantile of f64 nanosecond samples (nearest-rank).
+///
+/// # Panics
+/// Panics if `samples` is empty, contains NaN, or `q` is out of range.
+pub fn percentile_ns(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    sorted[rank(sorted.len(), q)]
+}
+
+/// Nearest-rank index for a sorted array of length `n` at quantile `q`.
+fn rank(n: usize, q: f64) -> usize {
+    if q <= 0.0 {
+        return 0;
+    }
+    let r = (q * n as f64).ceil() as usize;
+    r.clamp(1, n) - 1
+}
+
+/// In-place variant of [`percentile`] that avoids the copy; sorts `samples`.
+pub fn percentile_mut(samples: &mut [SimDuration], q: f64) -> SimDuration {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    samples.sort_unstable();
+    samples[rank(samples.len(), q)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns_vec(vals: &[u64]) -> Vec<SimDuration> {
+        vals.iter().copied().map(SimDuration::from_ns).collect()
+    }
+
+    #[test]
+    fn nearest_rank_basics() {
+        let xs = ns_vec(&[10, 20, 30, 40, 50]);
+        assert_eq!(percentile(&xs, 0.0).as_ns(), 10);
+        assert_eq!(percentile(&xs, 0.2).as_ns(), 10);
+        assert_eq!(percentile(&xs, 0.21).as_ns(), 20);
+        assert_eq!(percentile(&xs, 0.5).as_ns(), 30);
+        assert_eq!(percentile(&xs, 1.0).as_ns(), 50);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let xs = ns_vec(&[50, 10, 40, 30, 20]);
+        assert_eq!(percentile(&xs, 0.5).as_ns(), 30);
+    }
+
+    #[test]
+    fn p99_of_hundred() {
+        let xs: Vec<SimDuration> = (1..=100).map(SimDuration::from_ns).collect();
+        assert_eq!(percentile(&xs, 0.99).as_ns(), 99);
+    }
+
+    #[test]
+    fn f64_variant_matches() {
+        let xs: Vec<f64> = (1..=1000).map(|v| v as f64).collect();
+        assert_eq!(percentile_ns(&xs, 0.999), 999.0);
+        assert_eq!(percentile_ns(&xs, 0.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_mut_sorts() {
+        let mut xs = ns_vec(&[3, 1, 2]);
+        assert_eq!(percentile_mut(&mut xs, 1.0).as_ns(), 3);
+        assert_eq!(xs, ns_vec(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn single_sample() {
+        let xs = ns_vec(&[7]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&xs, q).as_ns(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_quantile_panics() {
+        percentile(&[SimDuration::ZERO], 1.5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Throughput-under-SLO extraction.
+//!
+//! The paper's headline metric (§5): "We assume a 99th percentile Service
+//! Level Objective (SLO) of ≤ 10× the mean service time S̄ … and evaluate
+//! all configurations in terms of throughput under SLO." Given a measured
+//! latency/throughput curve, [`throughput_under_slo`] finds the highest
+//! throughput whose p99 still meets the SLO, interpolating between
+//! adjacent measured points exactly as one reads the figures.
+
+use crate::series::LatencyCurve;
+
+/// A 99th-percentile latency objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Maximum admissible p99 latency, in nanoseconds.
+    pub p99_limit_ns: f64,
+}
+
+impl SloSpec {
+    /// The paper's default: 10× the mean service time.
+    ///
+    /// # Example
+    /// ```
+    /// use metrics::SloSpec;
+    /// let slo = SloSpec::ten_times_mean(550.0); // HERD's S̄ ≈ 550 ns
+    /// assert_eq!(slo.p99_limit_ns, 5_500.0);
+    /// ```
+    pub fn ten_times_mean(mean_service_ns: f64) -> Self {
+        SloSpec {
+            p99_limit_ns: 10.0 * mean_service_ns,
+        }
+    }
+
+    /// An explicit latency bound in nanoseconds.
+    pub fn absolute_ns(p99_limit_ns: f64) -> Self {
+        SloSpec { p99_limit_ns }
+    }
+
+    /// An explicit latency bound in microseconds.
+    pub fn absolute_us(p99_limit_us: f64) -> Self {
+        SloSpec {
+            p99_limit_ns: p99_limit_us * 1e3,
+        }
+    }
+}
+
+/// The highest throughput (requests/second) on `curve` whose interpolated
+/// p99 latency meets `slo`. Returns 0.0 if even the lightest measured load
+/// violates the SLO (the paper's "cannot meet the SLO even for the lowest
+/// arrival rate" case, Fig. 7b's 16×1).
+///
+/// The curve is scanned in measurement order. When the SLO threshold is
+/// crossed between two adjacent points, the crossing throughput is found
+/// by linear interpolation of p99 against throughput.
+pub fn throughput_under_slo(curve: &LatencyCurve, slo: SloSpec) -> f64 {
+    let pts = &curve.points;
+    if pts.is_empty() {
+        return 0.0;
+    }
+    let mut best = 0.0f64;
+    let mut prev_ok: Option<(f64, f64)> = None; // (throughput, p99)
+    for p in pts {
+        let (x, y) = (p.throughput_rps, p.p99_latency_ns);
+        if y <= slo.p99_limit_ns {
+            best = best.max(x);
+            prev_ok = Some((x, y));
+        } else if let Some((x0, y0)) = prev_ok {
+            // Interpolate the crossing between the last passing point and
+            // this failing one.
+            if y > y0 && x > x0 {
+                let t = (slo.p99_limit_ns - y0) / (y - y0);
+                best = best.max(x0 + t * (x - x0));
+            }
+            prev_ok = None;
+        } else {
+            prev_ok = None;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::CurvePoint;
+
+    fn curve(points: &[(f64, f64)]) -> LatencyCurve {
+        let mut c = LatencyCurve::new("test");
+        for (i, &(rps, p99)) in points.iter().enumerate() {
+            c.push(CurvePoint {
+                offered_load: i as f64,
+                throughput_rps: rps,
+                mean_latency_ns: p99 / 10.0,
+                p99_latency_ns: p99,
+                completed: 1000,
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn all_points_pass() {
+        let c = curve(&[(1e6, 500.0), (2e6, 600.0), (3e6, 900.0)]);
+        let t = throughput_under_slo(&c, SloSpec::absolute_ns(1_000.0));
+        assert_eq!(t, 3e6);
+    }
+
+    #[test]
+    fn interpolates_crossing() {
+        let c = curve(&[(1e6, 500.0), (2e6, 1_500.0)]);
+        // SLO of 1000 ns crosses halfway between the points.
+        let t = throughput_under_slo(&c, SloSpec::absolute_ns(1_000.0));
+        assert!((t - 1.5e6).abs() < 1.0, "got {t}");
+    }
+
+    #[test]
+    fn zero_when_first_point_violates() {
+        let c = curve(&[(2e6, 50_000.0), (4e6, 80_000.0)]);
+        let t = throughput_under_slo(&c, SloSpec::absolute_us(12.5));
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn non_monotone_latency_dip_uses_best() {
+        // Latency may dip at mid load (the paper notes a measurement
+        // artifact at low load); take the furthest passing point.
+        let c = curve(&[(1e6, 900.0), (2e6, 700.0), (3e6, 2_000.0)]);
+        let t = throughput_under_slo(&c, SloSpec::absolute_ns(1_000.0));
+        assert!(t > 2e6, "got {t}");
+    }
+
+    #[test]
+    fn ten_times_mean_constructor() {
+        let s = SloSpec::ten_times_mean(1_250.0);
+        assert_eq!(s.p99_limit_ns, 12_500.0);
+    }
+
+    #[test]
+    fn empty_curve_is_zero() {
+        let c = LatencyCurve::new("empty");
+        assert_eq!(throughput_under_slo(&c, SloSpec::absolute_ns(1.0)), 0.0);
+    }
+
+    #[test]
+    fn recovery_after_violation_counts() {
+        // Pathological shape: pass, fail, pass. The last passing point
+        // still counts (reading the figure, the curve meets SLO there).
+        let c = curve(&[(1e6, 500.0), (2e6, 5_000.0), (2.5e6, 800.0)]);
+        let t = throughput_under_slo(&c, SloSpec::absolute_ns(1_000.0));
+        assert_eq!(t, 2.5e6);
+    }
+}

@@ -1,0 +1,252 @@
+//! Streaming summary statistics (Welford's online algorithm).
+
+use std::fmt;
+
+use simkit::SimDuration;
+
+/// Online mean / variance / min / max over a stream of durations.
+///
+/// Numerically stable for arbitrarily long runs.
+///
+/// # Example
+/// ```
+/// use metrics::Summary;
+/// use simkit::SimDuration;
+///
+/// let mut s = Summary::new();
+/// for v in [100u64, 200, 300] {
+///     s.record(SimDuration::from_ns(v));
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean_ns() - 200.0).abs() < 1e-9);
+/// // population std-dev of {100, 200, 300} = sqrt(20000/3) ≈ 81.6
+/// assert!((s.std_dev_ns() - 81.65).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean_ns: f64,
+    m2: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean_ns: 0.0,
+            m2: 0.0,
+            min_ns: f64::INFINITY,
+            max_ns: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_ns(d.as_ns_f64());
+    }
+
+    /// Records one value in nanoseconds.
+    pub fn record_ns(&mut self, ns: f64) {
+        self.count += 1;
+        let delta = ns - self.mean_ns;
+        self.mean_ns += delta / self.count as f64;
+        self.m2 += delta * (ns - self.mean_ns);
+        if ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (ns); 0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean_ns
+        }
+    }
+
+    /// Mean as a duration.
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_ns_f64(self.mean_ns())
+    }
+
+    /// Population variance (ns²); 0 when fewer than two samples.
+    pub fn variance_ns2(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation (ns).
+    pub fn std_dev_ns(&self) -> f64 {
+        self.variance_ns2().sqrt()
+    }
+
+    /// Squared coefficient of variation: variance / mean².
+    pub fn scv(&self) -> f64 {
+        let m = self.mean_ns();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance_ns2() / (m * m)
+        }
+    }
+
+    /// Minimum (ns); 0 when empty.
+    pub fn min_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Maximum (ns); 0 when empty.
+    pub fn max_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_ns
+        }
+    }
+
+    /// Merges another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean_ns - self.mean_ns;
+        let total = n1 + n2;
+        self.mean_ns += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}ns sd={:.1}ns min={:.1}ns max={:.1}ns",
+            self.count,
+            self.mean_ns(),
+            self.std_dev_ns(),
+            self.min_ns(),
+            self.max_ns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.variance_ns2(), 0.0);
+        assert_eq!(s.min_ns(), 0.0);
+        assert_eq!(s.max_ns(), 0.0);
+    }
+
+    #[test]
+    fn mean_variance_known_values() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record_ns(v);
+        }
+        assert!((s.mean_ns() - 5.0).abs() < 1e-12);
+        assert!((s.variance_ns2() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_track() {
+        let mut s = Summary::new();
+        s.record(SimDuration::from_ns(500));
+        s.record(SimDuration::from_ns(100));
+        s.record(SimDuration::from_ns(900));
+        assert_eq!(s.min_ns(), 100.0);
+        assert_eq!(s.max_ns(), 900.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let vals: Vec<f64> = (1..=100).map(|v| v as f64 * 1.5).collect();
+        let mut all = Summary::new();
+        for &v in &vals {
+            all.record_ns(v);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &v in &vals[..37] {
+            a.record_ns(v);
+        }
+        for &v in &vals[37..] {
+            b.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean_ns() - all.mean_ns()).abs() < 1e-9);
+        assert!((a.variance_ns2() - all.variance_ns2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Summary::new();
+        a.record_ns(5.0);
+        let b = Summary::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Summary::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean_ns(), 5.0);
+    }
+
+    #[test]
+    fn scv_of_constant_is_zero() {
+        let mut s = Summary::new();
+        for _ in 0..10 {
+            s.record_ns(42.0);
+        }
+        assert!(s.scv().abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let mut s = Summary::new();
+        s.record_ns(10.0);
+        let text = format!("{s}");
+        assert!(text.contains("n=1") && text.contains("mean="));
+    }
+}

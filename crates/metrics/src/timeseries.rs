@@ -1,0 +1,195 @@
+//! Windowed time series of throughput and latency within one run.
+//!
+//! Used to sanity-check warm-up adequacy and detect non-stationarity
+//! (e.g. a queue still growing at the end of a "steady-state" window —
+//! the signature of an overloaded operating point).
+
+use simkit::{SimDuration, SimTime};
+
+/// One aggregation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Window start time.
+    pub start: SimTime,
+    /// Completions inside the window.
+    pub completions: u64,
+    /// Mean latency of those completions (ns).
+    pub mean_latency_ns: f64,
+    /// Maximum latency observed in the window (ns).
+    pub max_latency_ns: f64,
+}
+
+impl Window {
+    /// Throughput over the window given its length.
+    pub fn throughput_rps(&self, window_len: SimDuration) -> f64 {
+        if window_len.is_zero() {
+            0.0
+        } else {
+            self.completions as f64 / window_len.as_ns_f64() * 1e9
+        }
+    }
+}
+
+/// Fixed-width windowed recorder of (completion time, latency) events.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window_len: SimDuration,
+    windows: Vec<WindowAcc>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowAcc {
+    completions: u64,
+    latency_sum_ns: f64,
+    latency_max_ns: f64,
+}
+
+impl TimeSeries {
+    /// Creates a recorder with the given window length.
+    ///
+    /// # Panics
+    /// Panics if `window_len` is zero.
+    pub fn new(window_len: SimDuration) -> Self {
+        assert!(!window_len.is_zero(), "window length must be positive");
+        TimeSeries {
+            window_len,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Records one completion at `time` with the given latency.
+    pub fn record(&mut self, time: SimTime, latency_ns: f64) {
+        let idx = (time.as_ps() / self.window_len.as_ps()) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, WindowAcc::default());
+        }
+        let w = &mut self.windows[idx];
+        w.completions += 1;
+        w.latency_sum_ns += latency_ns;
+        if latency_ns > w.latency_max_ns {
+            w.latency_max_ns = latency_ns;
+        }
+    }
+
+    /// The configured window length.
+    pub fn window_len(&self) -> SimDuration {
+        self.window_len
+    }
+
+    /// Materializes the windows in time order.
+    pub fn windows(&self) -> Vec<Window> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Window {
+                start: SimTime::from_ps(i as u64 * self.window_len.as_ps()),
+                completions: w.completions,
+                mean_latency_ns: if w.completions > 0 {
+                    w.latency_sum_ns / w.completions as f64
+                } else {
+                    0.0
+                },
+                max_latency_ns: w.latency_max_ns,
+            })
+            .collect()
+    }
+
+    /// Stationarity check: the ratio of the mean latency in the last
+    /// quarter of windows to that in the second quarter (the first
+    /// quarter is treated as warm-up). Values near 1 indicate steady
+    /// state; a ratio ≫ 1 means latency was still climbing (overload).
+    /// Returns `None` with fewer than 8 non-empty windows.
+    pub fn drift_ratio(&self) -> Option<f64> {
+        let windows = self.windows();
+        let non_empty: Vec<&Window> = windows.iter().filter(|w| w.completions > 0).collect();
+        if non_empty.len() < 8 {
+            return None;
+        }
+        let n = non_empty.len();
+        let quarter = n / 4;
+        let early: f64 = non_empty[quarter..2 * quarter]
+            .iter()
+            .map(|w| w.mean_latency_ns)
+            .sum::<f64>()
+            / quarter as f64;
+        let late: f64 = non_empty[n - quarter..]
+            .iter()
+            .map(|w| w.mean_latency_ns)
+            .sum::<f64>()
+            / quarter as f64;
+        if early <= 0.0 {
+            None
+        } else {
+            Some(late / early)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_us(v)
+    }
+
+    #[test]
+    fn windows_aggregate_correctly() {
+        let mut ts = TimeSeries::new(us(1));
+        ts.record(SimTime::from_ns(100), 500.0);
+        ts.record(SimTime::from_ns(900), 700.0);
+        ts.record(SimTime::from_ns(1_500), 900.0);
+        let ws = ts.windows();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].completions, 2);
+        assert_eq!(ws[0].mean_latency_ns, 600.0);
+        assert_eq!(ws[0].max_latency_ns, 700.0);
+        assert_eq!(ws[1].completions, 1);
+        // Throughput: 2 completions in 1 µs = 2 Mrps.
+        assert!((ws[0].throughput_rps(us(1)) - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn sparse_windows_are_zeroed() {
+        let mut ts = TimeSeries::new(us(1));
+        ts.record(SimTime::from_ns(100), 1.0);
+        ts.record(SimTime::from_ns(5_500), 1.0);
+        let ws = ts.windows();
+        assert_eq!(ws.len(), 6);
+        assert_eq!(ws[2].completions, 0);
+        assert_eq!(ws[2].mean_latency_ns, 0.0);
+    }
+
+    #[test]
+    fn stationary_series_has_unit_drift() {
+        let mut ts = TimeSeries::new(us(1));
+        for i in 0..32u64 {
+            ts.record(SimTime::from_ns(i * 1_000 + 500), 1_000.0);
+        }
+        let drift = ts.drift_ratio().unwrap();
+        assert!((drift - 1.0).abs() < 1e-9, "drift {drift}");
+    }
+
+    #[test]
+    fn climbing_series_has_high_drift() {
+        let mut ts = TimeSeries::new(us(1));
+        for i in 0..32u64 {
+            ts.record(SimTime::from_ns(i * 1_000 + 500), 100.0 * (i + 1) as f64);
+        }
+        let drift = ts.drift_ratio().unwrap();
+        assert!(drift > 2.0, "drift {drift} should flag the climb");
+    }
+
+    #[test]
+    fn too_few_windows_no_verdict() {
+        let mut ts = TimeSeries::new(us(1));
+        ts.record(SimTime::from_ns(100), 1.0);
+        assert_eq!(ts.drift_ratio(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_panics() {
+        TimeSeries::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,34 @@
+//! # noc — 2D-mesh on-chip interconnect model
+//!
+//! The modeled chip (paper Table 1) uses a 2D mesh with 16-byte links and
+//! 3 cycles per hop at 2 GHz. This crate provides the topology math and
+//! latency calculator used by the soNUMA NI models:
+//!
+//! * [`Mesh`] — a `cols × rows` tile grid with XY (dimension-ordered)
+//!   routing;
+//! * [`TileId`] — a tile coordinate newtype;
+//! * transfer-latency helpers combining per-hop latency and link
+//!   serialization.
+//!
+//! The model is contention-free: the paper's message rates (tens of MRPS
+//! against a mesh moving a cache block per link per ~4 cycles) leave the
+//! mesh far from saturation, and the paper itself treats NoC indirection
+//! as "a few ns" of constant cost (§4.3).
+//!
+//! ## Example
+//!
+//! ```
+//! use noc::{Mesh, TileId};
+//!
+//! let mesh = Mesh::new_4x4();
+//! let hops = mesh.hops(TileId::new(0), TileId::new(15));
+//! assert_eq!(hops, 6); // 3 in X + 3 in Y
+//! let lat = mesh.transfer_latency(TileId::new(0), TileId::new(15), 64);
+//! assert_eq!(lat.as_ns_f64(), 6.0 * 1.5 + 3.0 * 0.5); // hops + extra flits
+//! ```
+
+pub mod contended;
+pub mod mesh;
+
+pub use contended::ContendedMesh;
+pub use mesh::{Mesh, TileId};

@@ -1,0 +1,217 @@
+//! Mesh topology and XY-routing latency.
+
+use simkit::SimDuration;
+
+/// Default per-hop router+link traversal latency (Table 1: 3 cycles/hop
+/// at 2 GHz).
+pub const DEFAULT_HOP_CYCLES: u64 = 3;
+/// Default link width in bytes (Table 1: 16-byte links); one flit per
+/// cycle crosses a link.
+pub const DEFAULT_LINK_BYTES: u64 = 16;
+
+/// A flat tile index into a mesh (row-major order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId(pub usize);
+
+impl TileId {
+    /// Wraps a flat index.
+    pub const fn new(idx: usize) -> Self {
+        TileId(idx)
+    }
+
+    /// The flat index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tile{}", self.0)
+    }
+}
+
+/// A `cols × rows` 2D mesh with dimension-ordered (XY) routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    cols: usize,
+    rows: usize,
+    hop_cycles: u64,
+    link_bytes: u64,
+}
+
+impl Mesh {
+    /// Creates a mesh with the paper's default hop latency and link width.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Mesh {
+            cols,
+            rows,
+            hop_cycles: DEFAULT_HOP_CYCLES,
+            link_bytes: DEFAULT_LINK_BYTES,
+        }
+    }
+
+    /// The 4×4 mesh of the paper's 16-core chip.
+    pub fn new_4x4() -> Self {
+        Mesh::new(4, 4)
+    }
+
+    /// Overrides the per-hop latency in cycles.
+    ///
+    /// # Panics
+    /// Panics if `cycles` is zero.
+    pub fn with_hop_cycles(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "hop latency must be positive");
+        self.hop_cycles = cycles;
+        self
+    }
+
+    /// Overrides the link width in bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is zero.
+    pub fn with_link_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "link width must be positive");
+        self.link_bytes = bytes;
+        self
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// `(x, y)` coordinates of a tile.
+    ///
+    /// # Panics
+    /// Panics if the tile is out of range.
+    pub fn coords(&self, t: TileId) -> (usize, usize) {
+        assert!(t.0 < self.tiles(), "tile {t} out of range for {self:?}");
+        (t.0 % self.cols, t.0 / self.cols)
+    }
+
+    /// The tile at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of range.
+    pub fn tile_at(&self, x: usize, y: usize) -> TileId {
+        assert!(x < self.cols && y < self.rows, "({x},{y}) out of range");
+        TileId(y * self.cols + x)
+    }
+
+    /// Manhattan hop count under XY routing.
+    pub fn hops(&self, from: TileId, to: TileId) -> u64 {
+        let (x0, y0) = self.coords(from);
+        let (x1, y1) = self.coords(to);
+        (x0.abs_diff(x1) + y0.abs_diff(y1)) as u64
+    }
+
+    /// Latency for the head flit to travel `from → to`.
+    pub fn head_latency(&self, from: TileId, to: TileId) -> SimDuration {
+        SimDuration::from_cycles(self.hops(from, to) * self.hop_cycles)
+    }
+
+    /// End-to-end latency of a `payload_bytes` transfer: head-flit routing
+    /// plus pipeline serialization of the remaining flits (one flit per
+    /// cycle on the final link).
+    pub fn transfer_latency(&self, from: TileId, to: TileId, payload_bytes: u64) -> SimDuration {
+        let flits = payload_bytes.div_ceil(self.link_bytes).max(1);
+        self.head_latency(from, to) + SimDuration::from_cycles(flits - 1)
+    }
+
+    /// The average hop count from a tile to all tiles in the mesh
+    /// (including itself), useful for calibrating "a few ns" constants.
+    pub fn mean_hops_from(&self, from: TileId) -> f64 {
+        let total: u64 = (0..self.tiles()).map(|i| self.hops(from, TileId(i))).sum();
+        total as f64 / self.tiles() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::new_4x4();
+        for i in 0..16 {
+            let (x, y) = m.coords(TileId(i));
+            assert_eq!(m.tile_at(x, y), TileId(i));
+        }
+    }
+
+    #[test]
+    fn hop_counts() {
+        let m = Mesh::new_4x4();
+        assert_eq!(m.hops(TileId(0), TileId(0)), 0);
+        assert_eq!(m.hops(TileId(0), TileId(3)), 3);
+        assert_eq!(m.hops(TileId(0), TileId(12)), 3);
+        assert_eq!(m.hops(TileId(0), TileId(15)), 6);
+        assert_eq!(m.hops(TileId(5), TileId(10)), 2);
+        // symmetric
+        assert_eq!(m.hops(TileId(15), TileId(0)), 6);
+    }
+
+    #[test]
+    fn head_latency_uses_hop_cycles() {
+        let m = Mesh::new_4x4();
+        // 6 hops * 3 cycles = 18 cycles = 9 ns.
+        assert_eq!(m.head_latency(TileId(0), TileId(15)).as_ns_f64(), 9.0);
+        let fast = Mesh::new(4, 4).with_hop_cycles(1);
+        assert_eq!(fast.head_latency(TileId(0), TileId(15)).as_ns_f64(), 3.0);
+    }
+
+    #[test]
+    fn transfer_latency_adds_serialization() {
+        let m = Mesh::new_4x4();
+        // 64B = 4 flits of 16B: 3 extra flit cycles behind the head.
+        let one_hop = m.transfer_latency(TileId(0), TileId(1), 64);
+        assert_eq!(one_hop.as_cycles(), 3 + 3);
+        // A single-flit control message has no serialization.
+        let ctl = m.transfer_latency(TileId(0), TileId(1), 8);
+        assert_eq!(ctl.as_cycles(), 3);
+    }
+
+    #[test]
+    fn zero_hop_transfer_only_serializes() {
+        let m = Mesh::new_4x4();
+        let same = m.transfer_latency(TileId(3), TileId(3), 64);
+        assert_eq!(same.as_cycles(), 3);
+    }
+
+    #[test]
+    fn mean_hops_center_vs_corner() {
+        let m = Mesh::new_4x4();
+        let corner = m.mean_hops_from(TileId(0));
+        let center = m.mean_hops_from(m.tile_at(1, 1));
+        assert!(center < corner, "center {center} should beat corner {corner}");
+        assert!((corner - 3.0).abs() < 1e-12, "corner mean hops {corner}");
+    }
+
+    #[test]
+    fn non_square_mesh() {
+        let m = Mesh::new(8, 2);
+        assert_eq!(m.tiles(), 16);
+        assert_eq!(m.hops(TileId(0), TileId(15)), 7 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tile_panics() {
+        Mesh::new_4x4().coords(TileId(16));
+    }
+}

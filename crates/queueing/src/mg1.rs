@@ -1,0 +1,153 @@
+//! Closed-form M/G/1 results (Pollaczek–Khinchine), validating the
+//! simulator for *general* service distributions.
+//!
+//! Each of the 16 partitions of the paper's 16×1 model is an independent
+//! M/G/1 queue at the same per-server load, so the P–K mean-value
+//! formula gives an exact target for the simulated mean sojourn under
+//! any service distribution with known SCV — including the uniform and
+//! GEV cases that M/M/k theory cannot check.
+
+/// An M/G/1 queue specification: per-server load and the service-time
+/// squared coefficient of variation (variance / mean²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MG1 {
+    /// Server utilization ρ ∈ (0, 1).
+    pub load: f64,
+    /// Squared coefficient of variation of service time (0 = fixed,
+    /// 1 = exponential, 1/3 = uniform on [0, 2m]).
+    pub scv: f64,
+}
+
+impl MG1 {
+    /// Creates the spec.
+    ///
+    /// # Panics
+    /// Panics unless `0 < load < 1` and `scv >= 0`.
+    pub fn new(load: f64, scv: f64) -> Self {
+        assert!(load > 0.0 && load < 1.0, "load must be in (0,1), got {load}");
+        assert!(scv >= 0.0 && scv.is_finite(), "SCV must be non-negative");
+        MG1 { load, scv }
+    }
+
+    /// Pollaczek–Khinchine mean waiting time, in units of the mean
+    /// service time: `W/S̄ = ρ(1 + C²) / (2(1 − ρ))`.
+    pub fn mean_wait_over_service(&self) -> f64 {
+        self.load * (1.0 + self.scv) / (2.0 * (1.0 - self.load))
+    }
+
+    /// Mean sojourn (wait + service) in units of mean service time.
+    pub fn mean_sojourn_over_service(&self) -> f64 {
+        1.0 + self.mean_wait_over_service()
+    }
+
+    /// Mean queue length by Little's law (requests, including in
+    /// service): `L = ρ · (sojourn/S̄)`.
+    pub fn mean_in_system(&self) -> f64 {
+        self.load * self.mean_sojourn_over_service()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{QueueingModel, QxU, RunParams};
+    use dist::ServiceDist;
+
+    #[test]
+    fn pk_reduces_to_mm1_for_exponential() {
+        // M/M/1: W/S = ρ/(1-ρ); P-K with C²=1 must agree.
+        for &rho in &[0.3, 0.6, 0.9] {
+            let pk = MG1::new(rho, 1.0).mean_wait_over_service();
+            assert!((pk - rho / (1.0 - rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_service_halves_the_wait() {
+        // M/D/1 waits exactly half of M/M/1 (C² = 0).
+        let exp = MG1::new(0.7, 1.0).mean_wait_over_service();
+        let det = MG1::new(0.7, 0.0).mean_wait_over_service();
+        assert!((det - exp / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulator_matches_pk_for_fixed_service() {
+        let model = QueueingModel::new(QxU::PARTITIONED_16, ServiceDist::fixed_ns(1.0));
+        let r = model.run(&RunParams {
+            load: 0.7,
+            requests: 400_000,
+            warmup: 50_000,
+            seed: 31,
+        });
+        let expected = MG1::new(0.7, 0.0).mean_sojourn_over_service();
+        let got = r.sojourn.mean_ns();
+        assert!(
+            (got - expected).abs() / expected < 0.03,
+            "M/D/1 sojourn: simulated {got}, P-K {expected}"
+        );
+    }
+
+    #[test]
+    fn simulator_matches_pk_for_uniform_service() {
+        let svc = ServiceDist::uniform_ns(0.0, 2.0); // mean 1, SCV 1/3
+        let model = QueueingModel::new(QxU::PARTITIONED_16, svc.clone());
+        let r = model.run(&RunParams {
+            load: 0.6,
+            requests: 400_000,
+            warmup: 50_000,
+            seed: 32,
+        });
+        let expected = MG1::new(0.6, svc.scv().unwrap()).mean_sojourn_over_service();
+        let got = r.sojourn.mean_ns();
+        assert!(
+            (got - expected).abs() / expected < 0.03,
+            "M/G/1 uniform sojourn: simulated {got}, P-K {expected}"
+        );
+    }
+
+    #[test]
+    fn simulator_matches_pk_for_lognormal_service() {
+        let svc = ServiceDist::lognormal_mean_ns(1.0, 0.5);
+        let scv = svc.scv().unwrap();
+        let model = QueueingModel::new(QxU::PARTITIONED_16, svc);
+        let r = model.run(&RunParams {
+            load: 0.5,
+            requests: 400_000,
+            warmup: 50_000,
+            seed: 33,
+        });
+        let expected = MG1::new(0.5, scv).mean_sojourn_over_service();
+        let got = r.sojourn.mean_ns();
+        assert!(
+            (got - expected).abs() / expected < 0.04,
+            "M/G/1 lognormal sojourn: simulated {got}, P-K {expected}"
+        );
+    }
+
+    #[test]
+    fn littles_law_in_simulation() {
+        // L = λW across the whole 16×1 system.
+        let svc = ServiceDist::exponential_mean_ns(1.0);
+        let model = QueueingModel::new(QxU::PARTITIONED_16, svc);
+        let rho = 0.65;
+        let r = model.run(&RunParams {
+            load: rho,
+            requests: 300_000,
+            warmup: 40_000,
+            seed: 34,
+        });
+        // Per-server: arrivals λ = ρ (service mean 1), sojourn measured.
+        let l_predicted = MG1::new(rho, 1.0).mean_in_system();
+        let l_from_sim = rho * r.sojourn.mean_ns();
+        assert!(
+            (l_from_sim - l_predicted).abs() / l_predicted < 0.05,
+            "Little's law: sim {l_from_sim}, theory {l_predicted}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in (0,1)")]
+    fn rejects_saturated() {
+        MG1::new(1.0, 0.5);
+    }
+}

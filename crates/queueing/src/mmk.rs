@@ -1,0 +1,191 @@
+//! Closed-form M/M/k results (Erlang C), used to validate the simulator.
+//!
+//! For a single-queue system with `k` exponential servers and Poisson
+//! arrivals, the waiting-time distribution is known exactly:
+//!
+//! * probability of queueing (Erlang C): `P_wait = C(k, a)` with offered
+//!   traffic `a = λ/µ`;
+//! * conditional wait is exponential with rate `kµ − λ`, so
+//!   `P(W > t) = C · exp(−(kµ − λ) t)`;
+//! * the sojourn quantiles follow by adding the service time.
+//!
+//! The `queueing::model` simulator must agree with these formulas for
+//! exponential service — that agreement is asserted in this module's tests
+//! and is the foundation for trusting the Fig. 2 / Fig. 9 model curves.
+
+/// An M/M/k queueing system specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMk {
+    /// Number of servers.
+    pub servers: usize,
+    /// Offered load per server, `ρ = λ / (k µ)`, must be in `(0, 1)`.
+    pub load: f64,
+}
+
+impl MMk {
+    /// Creates the spec.
+    ///
+    /// # Panics
+    /// Panics unless `servers > 0` and `0 < load < 1`.
+    pub fn new(servers: usize, load: f64) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(
+            load > 0.0 && load < 1.0,
+            "M/M/k closed forms require 0 < load < 1, got {load}"
+        );
+        MMk { servers, load }
+    }
+
+    /// Erlang C: the probability an arriving request has to wait.
+    pub fn erlang_c(&self) -> f64 {
+        let k = self.servers as f64;
+        let a = self.load * k; // offered traffic in Erlangs
+        // Compute iteratively to avoid overflow: B(0) = 1;
+        // B(n) = a·B(n-1) / (n + a·B(n-1)) gives Erlang B, then convert.
+        let mut b = 1.0f64;
+        for n in 1..=self.servers {
+            b = a * b / (n as f64 + a * b);
+        }
+        // Erlang C from Erlang B:
+        b / (1.0 - self.load * (1.0 - b))
+    }
+
+    /// Mean waiting time in units of the mean service time `1/µ`.
+    pub fn mean_wait_over_service(&self) -> f64 {
+        let k = self.servers as f64;
+        self.erlang_c() / (k * (1.0 - self.load))
+    }
+
+    /// Mean sojourn (wait + service) in units of mean service time.
+    pub fn mean_sojourn_over_service(&self) -> f64 {
+        1.0 + self.mean_wait_over_service()
+    }
+
+    /// The `q`-quantile of the *waiting* time, in units of mean service
+    /// time. Zero when the no-wait probability already exceeds `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn wait_quantile_over_service(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        let c = self.erlang_c();
+        if 1.0 - q >= c {
+            return 0.0;
+        }
+        let k = self.servers as f64;
+        // P(W > t) = C e^{-(kµ - λ)t}; with service mean 1, kµ - λ = k(1-ρ).
+        (c / (1.0 - q)).ln() / (k * (1.0 - self.load))
+    }
+}
+
+/// The M/M/1 mean sojourn in units of service time: `1/(1-ρ)`.
+///
+/// Each of the 16 partitions in the paper's 16×1 model is an independent
+/// M/M/1 queue at the same per-server load.
+pub fn mm1_mean_sojourn_over_service(load: f64) -> f64 {
+    assert!(load > 0.0 && load < 1.0, "load must be in (0,1)");
+    1.0 / (1.0 - load)
+}
+
+/// The `q`-quantile of M/M/1 sojourn time in units of mean service time:
+/// `-ln(1-q)/(1-ρ)` (sojourn is exponential with rate µ−λ).
+pub fn mm1_sojourn_quantile_over_service(load: f64, q: f64) -> f64 {
+    assert!(load > 0.0 && load < 1.0, "load must be in (0,1)");
+    assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+    -(1.0 - q).ln() / (1.0 - load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{QueueingModel, QxU, RunParams};
+    use dist::ServiceDist;
+
+    #[test]
+    fn erlang_c_single_server_equals_load() {
+        // For k=1, Erlang C reduces to ρ.
+        for &rho in &[0.1, 0.5, 0.9] {
+            let c = MMk::new(1, rho).erlang_c();
+            assert!((c - rho).abs() < 1e-12, "C(1,{rho}) = {c}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // Reference value from the direct formula
+        // C = (a^k/k!)/(1-ρ) / (Σ_{n<k} a^n/n! + (a^k/k!)/(1-ρ)),
+        // with k=16, ρ=0.8 (a=12.8): C ≈ 0.304884.
+        let c = MMk::new(16, 0.8).erlang_c();
+        assert!((c - 0.304_884).abs() < 1e-5, "C(16, 0.8) = {c}");
+    }
+
+    #[test]
+    fn mm1_formulas() {
+        assert!((mm1_mean_sojourn_over_service(0.5) - 2.0).abs() < 1e-12);
+        // p99 of M/M/1 at ρ=0.5: -ln(0.01)/0.5 ≈ 9.21
+        let p99 = mm1_sojourn_quantile_over_service(0.5, 0.99);
+        assert!((p99 - 9.2103).abs() < 0.001);
+    }
+
+    #[test]
+    fn simulator_matches_erlang_c_mean_wait() {
+        // The core validation: simulated 1×16 with exponential service
+        // agrees with the closed form within a small tolerance.
+        for &rho in &[0.5, 0.8] {
+            let spec = MMk::new(16, rho);
+            let expected_wait = spec.mean_wait_over_service();
+            let model =
+                QueueingModel::new(QxU::SINGLE_16, ServiceDist::exponential_mean_ns(1.0));
+            let r = model.run(&RunParams {
+                load: rho,
+                requests: 400_000,
+                warmup: 50_000,
+                seed: 99,
+            });
+            let got = r.mean_wait_ns; // mean service is 1 ns, so units match
+            assert!(
+                (got - expected_wait).abs() < 0.05 * (expected_wait + 0.05),
+                "rho={rho}: simulated wait {got}, Erlang C {expected_wait}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_matches_mm1_partitioned() {
+        // 16×1 with exponential service: each partition is M/M/1.
+        let model =
+            QueueingModel::new(QxU::PARTITIONED_16, ServiceDist::exponential_mean_ns(1.0));
+        let r = model.run(&RunParams {
+            load: 0.6,
+            requests: 400_000,
+            warmup: 50_000,
+            seed: 7,
+        });
+        let expected = mm1_mean_sojourn_over_service(0.6);
+        let got = r.sojourn.mean_ns();
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "simulated sojourn {got}, M/M/1 {expected}"
+        );
+    }
+
+    #[test]
+    fn wait_quantile_zero_below_no_wait_mass() {
+        let spec = MMk::new(16, 0.3); // Erlang C is tiny at low load
+        assert_eq!(spec.wait_quantile_over_service(0.5), 0.0);
+    }
+
+    #[test]
+    fn wait_quantile_positive_in_tail() {
+        let spec = MMk::new(16, 0.9);
+        let p999 = spec.wait_quantile_over_service(0.999);
+        let p99 = spec.wait_quantile_over_service(0.99);
+        assert!(p999 > p99 && p99 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < load < 1")]
+    fn rejects_saturated_load() {
+        MMk::new(4, 1.0);
+    }
+}

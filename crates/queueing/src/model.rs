@@ -1,0 +1,474 @@
+//! The Q×U discrete-event queueing simulation of §2.2.
+//!
+//! Arrivals form a Poisson process of rate `λ = load · servers / S̄`.
+//! Each arrival is assigned uniformly at random to one of `Q` FIFOs
+//! (`uni[0, Q-1]` in the paper's Fig. 1); each FIFO feeds `U` serving
+//! units. Sojourn time (wait + service) is recorded per completion.
+
+use std::collections::VecDeque;
+
+use dist::ServiceDist;
+use metrics::{percentile_ns, Summary};
+use rand::Rng;
+use simkit::rng::stream_rng;
+use simkit::{Engine, SimDuration, SimTime};
+
+/// A queueing configuration: `queues × servers_per_queue`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QxU {
+    /// Number of input FIFOs.
+    pub queues: usize,
+    /// Serving units attached to each FIFO.
+    pub servers_per_queue: usize,
+}
+
+impl QxU {
+    /// The ideal single-queue 16-server system (paper's best case).
+    pub const SINGLE_16: QxU = QxU {
+        queues: 1,
+        servers_per_queue: 16,
+    };
+    /// 2 queues × 8 servers.
+    pub const Q2X8: QxU = QxU {
+        queues: 2,
+        servers_per_queue: 8,
+    };
+    /// 4 queues × 4 servers (the intermediate design point of §4.3/§6.1).
+    pub const Q4X4: QxU = QxU {
+        queues: 4,
+        servers_per_queue: 4,
+    };
+    /// 8 queues × 2 servers.
+    pub const Q8X2: QxU = QxU {
+        queues: 8,
+        servers_per_queue: 2,
+    };
+    /// The fully partitioned 16×1 system (paper's worst case; RSS-like).
+    pub const PARTITIONED_16: QxU = QxU {
+        queues: 16,
+        servers_per_queue: 1,
+    };
+
+    /// The five configurations plotted in Fig. 2a.
+    pub const FIG2A_CONFIGS: [QxU; 5] = [
+        QxU::SINGLE_16,
+        QxU::Q2X8,
+        QxU::Q4X4,
+        QxU::Q8X2,
+        QxU::PARTITIONED_16,
+    ];
+
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(queues: usize, servers_per_queue: usize) -> Self {
+        assert!(
+            queues > 0 && servers_per_queue > 0,
+            "QxU dimensions must be positive"
+        );
+        QxU {
+            queues,
+            servers_per_queue,
+        }
+    }
+
+    /// Total serving units `Q × U`.
+    pub fn total_servers(&self) -> usize {
+        self.queues * self.servers_per_queue
+    }
+
+    /// The paper's "QxU" label, e.g. `"1x16"`.
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.queues, self.servers_per_queue)
+    }
+}
+
+impl std::fmt::Display for QxU {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.queues, self.servers_per_queue)
+    }
+}
+
+/// A queueing model: a configuration plus a service-time distribution.
+#[derive(Debug, Clone)]
+pub struct QueueingModel {
+    config: QxU,
+    service: ServiceDist,
+}
+
+/// Parameters for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunParams {
+    /// Offered load as a fraction of total capacity, `λ·S̄ / servers`.
+    /// Values ≥ 1 are allowed (the system saturates).
+    pub load: f64,
+    /// Number of arrivals to generate.
+    pub requests: u64,
+    /// Completions to discard from the front of the run (warm-up).
+    pub warmup: u64,
+    /// RNG master seed; identical seeds give identical results.
+    pub seed: u64,
+}
+
+/// Measured outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Configuration simulated.
+    pub config: QxU,
+    /// Offered load requested.
+    pub offered_load: f64,
+    /// Mean of the service distribution (ns).
+    pub mean_service_ns: f64,
+    /// Sojourn-time statistics (wait + service) over measured completions.
+    pub sojourn: Summary,
+    /// Exact 99th-percentile sojourn time (ns).
+    pub p99_sojourn_ns: f64,
+    /// Exact median sojourn time (ns).
+    pub p50_sojourn_ns: f64,
+    /// Mean waiting time (ns) — sojourn minus service, averaged.
+    pub mean_wait_ns: f64,
+    /// Achieved throughput over the measurement window (requests/sec).
+    pub throughput_rps: f64,
+    /// Completions measured (after warm-up).
+    pub measured: u64,
+}
+
+impl RunResult {
+    /// p99 sojourn in multiples of the mean service time — the unit of
+    /// Fig. 2's and Fig. 9's Y axes.
+    pub fn p99_over_mean_service(&self) -> f64 {
+        self.p99_sojourn_ns / self.mean_service_ns
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A new request arrives (its target queue is drawn on processing).
+    Arrival,
+    /// A server in `queue` finishes its current request.
+    Completion { queue: usize },
+}
+
+#[derive(Debug)]
+struct Fifo {
+    waiting: VecDeque<(SimTime, SimDuration)>, // (arrival time, service time)
+    busy: usize,
+}
+
+impl QueueingModel {
+    /// Creates a model from a configuration and service distribution.
+    ///
+    /// # Panics
+    /// Panics if the service distribution's mean is not finite/positive.
+    pub fn new(config: QxU, service: ServiceDist) -> Self {
+        let m = service.mean_ns();
+        assert!(
+            m.is_finite() && m > 0.0,
+            "service distribution mean must be positive and finite, got {m}"
+        );
+        QueueingModel { config, service }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> QxU {
+        self.config
+    }
+
+    /// The service-time distribution.
+    pub fn service(&self) -> &ServiceDist {
+        &self.service
+    }
+
+    /// Runs the simulation and gathers sojourn-time statistics.
+    ///
+    /// # Panics
+    /// Panics if `params.requests == 0` or `warmup >= requests`.
+    pub fn run(&self, params: &RunParams) -> RunResult {
+        assert!(params.requests > 0, "need at least one request");
+        assert!(
+            params.warmup < params.requests,
+            "warmup ({}) must be below requests ({})",
+            params.warmup,
+            params.requests
+        );
+        assert!(
+            params.load > 0.0 && params.load.is_finite(),
+            "load must be positive, got {}",
+            params.load
+        );
+
+        let servers = self.config.total_servers() as f64;
+        let mean_service_ns = self.service.mean_ns();
+        let lambda_per_ns = params.load * servers / mean_service_ns;
+        let mean_interarrival_ns = 1.0 / lambda_per_ns;
+
+        let mut arrival_rng = stream_rng(params.seed, 0);
+        let mut route_rng = stream_rng(params.seed, 1);
+        let mut service_rng = stream_rng(params.seed, 2);
+
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut fifos: Vec<Fifo> = (0..self.config.queues)
+            .map(|_| Fifo {
+                waiting: VecDeque::new(),
+                busy: 0,
+            })
+            .collect();
+
+        let mut arrivals_left = params.requests;
+        let mut completions = 0u64;
+        let mut sojourn = Summary::new();
+        let mut wait_sum = 0.0f64;
+        let mut sojourn_samples: Vec<f64> = Vec::with_capacity(
+            (params.requests - params.warmup) as usize,
+        );
+        let mut window_start = SimTime::ZERO;
+        let mut window_end = SimTime::ZERO;
+
+        // Kick off the first arrival.
+        let first = exp_interarrival(&mut arrival_rng, mean_interarrival_ns);
+        engine.schedule_in(first, Ev::Arrival);
+        arrivals_left -= 1;
+
+        // Per-queue in-service bookkeeping: completions must know which
+        // request finished; FIFOs are per-queue so completion order within
+        // a queue's servers can interleave. We track in-service requests
+        // per queue as a multiset of (start, arrival, service) and rely on
+        // the fact that the engine delivers Completion events carrying the
+        // queue id in timestamp order; we pair each completion with the
+        // in-service entry having the matching end time.
+        let mut in_service: Vec<VecDeque<(SimTime, SimTime, f64)>> =
+            (0..self.config.queues).map(|_| VecDeque::new()).collect();
+        // (end_time, arrival_time, wait_ns), sorted by end time;
+        // completions pop the entry with the earliest end time.
+
+        while let Some(scheduled) = engine.pop() {
+            match scheduled.event {
+                Ev::Arrival => {
+                    let now = engine.now();
+                    let queue = route_rng.gen_range(0..self.config.queues);
+                    let svc = self.service.sample(&mut service_rng);
+                    let fifo = &mut fifos[queue];
+                    if fifo.busy < self.config.servers_per_queue {
+                        fifo.busy += 1;
+                        let end = now + svc;
+                        insert_by_end(&mut in_service[queue], (end, now, 0.0));
+                        engine.schedule_at(end, Ev::Completion { queue });
+                    } else {
+                        fifo.waiting.push_back((now, svc));
+                    }
+                    if arrivals_left > 0 {
+                        arrivals_left -= 1;
+                        let gap = exp_interarrival(&mut arrival_rng, mean_interarrival_ns);
+                        engine.schedule_in(gap, Ev::Arrival);
+                    }
+                }
+                Ev::Completion { queue } => {
+                    let now = engine.now();
+                    let (_end, arrived, waited_ns) = in_service[queue]
+                        .pop_front()
+                        .expect("completion without in-service request");
+                    completions += 1;
+                    if completions == params.warmup {
+                        window_start = now;
+                    }
+                    if completions > params.warmup {
+                        let s = now.duration_since(arrived);
+                        sojourn.record(s);
+                        sojourn_samples.push(s.as_ns_f64());
+                        wait_sum += waited_ns;
+                        window_end = now;
+                    }
+                    let fifo = &mut fifos[queue];
+                    if let Some((arr, svc)) = fifo.waiting.pop_front() {
+                        let end = now + svc;
+                        let waited = now.duration_since(arr).as_ns_f64();
+                        insert_by_end(&mut in_service[queue], (end, arr, waited));
+                        engine.schedule_at(end, Ev::Completion { queue });
+                    } else {
+                        fifo.busy -= 1;
+                    }
+                }
+            }
+        }
+
+        let measured = sojourn.count();
+        let span_ns = window_end.saturating_duration_since(window_start).as_ns_f64();
+        let throughput_rps = if span_ns > 0.0 {
+            measured as f64 / span_ns * 1e9
+        } else {
+            0.0
+        };
+        let (p99, p50) = if sojourn_samples.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                percentile_ns(&sojourn_samples, 0.99),
+                percentile_ns(&sojourn_samples, 0.50),
+            )
+        };
+        RunResult {
+            config: self.config,
+            offered_load: params.load,
+            mean_service_ns,
+            sojourn,
+            p99_sojourn_ns: p99,
+            p50_sojourn_ns: p50,
+            mean_wait_ns: if measured > 0 {
+                wait_sum / measured as f64
+            } else {
+                0.0
+            },
+            throughput_rps,
+            measured,
+        }
+    }
+}
+
+/// Inserts `(end, arrival, wait)` keeping the deque sorted by ascending end time.
+fn insert_by_end(dq: &mut VecDeque<(SimTime, SimTime, f64)>, item: (SimTime, SimTime, f64)) {
+    let pos = dq.partition_point(|&(end, _, _)| end <= item.0);
+    dq.insert(pos, item);
+}
+
+fn exp_interarrival(rng: &mut impl Rng, mean_ns: f64) -> SimDuration {
+    let u: f64 = rng.gen();
+    SimDuration::from_ns_f64(-mean_ns * (1.0 - u).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(config: QxU, service: ServiceDist, load: f64, seed: u64) -> RunResult {
+        QueueingModel::new(config, service).run(&RunParams {
+            load,
+            requests: 120_000,
+            warmup: 20_000,
+            seed,
+        })
+    }
+
+    #[test]
+    fn low_load_sojourn_approaches_service_time() {
+        let r = run(QxU::SINGLE_16, ServiceDist::fixed_ns(100.0), 0.05, 1);
+        // Almost no queueing: mean sojourn ≈ service time.
+        assert!(
+            (r.sojourn.mean_ns() - 100.0).abs() < 2.0,
+            "mean sojourn {}",
+            r.sojourn.mean_ns()
+        );
+        assert!(r.mean_wait_ns < 1.0);
+    }
+
+    #[test]
+    fn single_queue_beats_partitioned_at_high_load() {
+        let svc = ServiceDist::exponential_mean_ns(1.0);
+        let single = run(QxU::SINGLE_16, svc.clone(), 0.7, 2);
+        let part = run(QxU::PARTITIONED_16, svc, 0.7, 2);
+        assert!(
+            single.p99_sojourn_ns < part.p99_sojourn_ns,
+            "1x16 p99 {} should beat 16x1 p99 {}",
+            single.p99_sojourn_ns,
+            part.p99_sojourn_ns
+        );
+        // The paper's Fig. 2a shows a large gap; expect at least 2x.
+        assert!(part.p99_sojourn_ns / single.p99_sojourn_ns > 2.0);
+    }
+
+    #[test]
+    fn intermediate_configs_are_ordered() {
+        // Performance is proportional to U (paper §2.2).
+        let svc = ServiceDist::exponential_mean_ns(1.0);
+        let p99: Vec<f64> = QxU::FIG2A_CONFIGS
+            .iter()
+            .map(|&c| run(c, svc.clone(), 0.75, 3).p99_sojourn_ns)
+            .collect();
+        for w in p99.windows(2) {
+            assert!(
+                w[0] <= w[1] * 1.05, // allow 5% simulation noise
+                "p99 ordering violated: {p99:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_ordering_matches_fig2b() {
+        // TL_fixed < TL_uni < TL_exp at equal load on 1x16.
+        let loads = 0.8;
+        let fixed = run(QxU::SINGLE_16, ServiceDist::fixed_ns(1.0), loads, 4);
+        let uni = run(QxU::SINGLE_16, ServiceDist::uniform_ns(0.0, 2.0), loads, 4);
+        let exp = run(QxU::SINGLE_16, ServiceDist::exponential_mean_ns(1.0), loads, 4);
+        assert!(
+            fixed.p99_over_mean_service() < uni.p99_over_mean_service()
+                && uni.p99_over_mean_service() < exp.p99_over_mean_service(),
+            "tail ordering: fixed {} uni {} exp {}",
+            fixed.p99_over_mean_service(),
+            uni.p99_over_mean_service(),
+            exp.p99_over_mean_service()
+        );
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load() {
+        let r = run(QxU::SINGLE_16, ServiceDist::exponential_mean_ns(100.0), 0.5, 5);
+        // λ = 0.5 * 16 / 100ns = 0.08/ns = 80 Mrps.
+        let expected = 0.5 * 16.0 / 100e-9;
+        assert!(
+            (r.throughput_rps - expected).abs() / expected < 0.05,
+            "throughput {} vs expected {expected}",
+            r.throughput_rps
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let svc = ServiceDist::exponential_mean_ns(1.0);
+        let a = run(QxU::Q4X4, svc.clone(), 0.6, 42);
+        let b = run(QxU::Q4X4, svc, 0.6, 42);
+        assert_eq!(a.p99_sojourn_ns, b.p99_sojourn_ns);
+        assert_eq!(a.sojourn.mean_ns(), b.sojourn.mean_ns());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let svc = ServiceDist::exponential_mean_ns(1.0);
+        let a = run(QxU::Q4X4, svc.clone(), 0.6, 1);
+        let b = run(QxU::Q4X4, svc, 0.6, 2);
+        assert_ne!(a.p99_sojourn_ns, b.p99_sojourn_ns);
+    }
+
+    #[test]
+    fn saturated_system_tail_blows_up() {
+        let r = run(QxU::SINGLE_16, ServiceDist::exponential_mean_ns(1.0), 1.1, 6);
+        assert!(
+            r.p99_over_mean_service() > 20.0,
+            "overloaded p99/S̄ {} should explode",
+            r.p99_over_mean_service()
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(QxU::SINGLE_16.label(), "1x16");
+        assert_eq!(QxU::PARTITIONED_16.to_string(), "16x1");
+        assert_eq!(QxU::new(2, 8).total_servers(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        QxU::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_validation() {
+        QueueingModel::new(QxU::SINGLE_16, ServiceDist::fixed_ns(1.0)).run(&RunParams {
+            load: 0.5,
+            requests: 10,
+            warmup: 10,
+            seed: 0,
+        });
+    }
+}

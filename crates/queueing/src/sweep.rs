@@ -1,0 +1,146 @@
+//! Load sweeps over queueing models, producing the curves of Fig. 2 and
+//! the "Model" lines of Fig. 9.
+
+use dist::ServiceDist;
+use metrics::{CurvePoint, LatencyCurve};
+
+use crate::model::{QueueingModel, QxU, RunParams};
+
+/// Specification of a latency-versus-load sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Loads to evaluate (fractions of capacity, increasing).
+    pub loads: Vec<f64>,
+    /// Arrivals per run.
+    pub requests: u64,
+    /// Warm-up completions to discard per run.
+    pub warmup: u64,
+    /// Master seed (each load gets a derived sub-seed).
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The paper's Fig. 2 grid: loads from 5 % to 95 % in 5 % steps.
+    pub fn fig2_default(seed: u64) -> Self {
+        SweepSpec {
+            loads: (1..=19).map(|i| i as f64 * 0.05).collect(),
+            requests: 200_000,
+            warmup: 20_000,
+            seed,
+        }
+    }
+
+    /// A faster grid for tests and smoke runs.
+    pub fn quick(seed: u64) -> Self {
+        SweepSpec {
+            loads: vec![0.1, 0.3, 0.5, 0.7, 0.8, 0.9],
+            requests: 60_000,
+            warmup: 10_000,
+            seed,
+        }
+    }
+}
+
+/// Sweeps `config` × `service` over the given loads.
+///
+/// The returned curve's points carry p99 sojourn in **nanoseconds**; when
+/// the service distribution is normalized to a 1 ns mean (as in Fig. 2),
+/// the values read directly as multiples of S̄.
+///
+/// # Panics
+/// Panics if `spec.loads` is empty or not strictly increasing.
+pub fn sweep(config: QxU, service: &ServiceDist, spec: &SweepSpec) -> LatencyCurve {
+    assert!(!spec.loads.is_empty(), "sweep needs at least one load");
+    assert!(
+        spec.loads.windows(2).all(|w| w[0] < w[1]),
+        "loads must be strictly increasing"
+    );
+    let model = QueueingModel::new(config, service.clone());
+    let mut curve = LatencyCurve::new(config.label());
+    for (i, &load) in spec.loads.iter().enumerate() {
+        let result = model.run(&RunParams {
+            load,
+            requests: spec.requests,
+            warmup: spec.warmup,
+            seed: simkit::rng::split_seed(spec.seed, i as u64),
+        });
+        curve.push(CurvePoint {
+            offered_load: load,
+            throughput_rps: result.throughput_rps,
+            mean_latency_ns: result.sojourn.mean_ns(),
+            p99_latency_ns: result.p99_sojourn_ns,
+            completed: result.measured,
+        });
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_point_per_load() {
+        let spec = SweepSpec::quick(1);
+        let c = sweep(
+            QxU::SINGLE_16,
+            &ServiceDist::exponential_mean_ns(1.0),
+            &spec,
+        );
+        assert_eq!(c.len(), spec.loads.len());
+        assert_eq!(c.label, "1x16");
+    }
+
+    #[test]
+    fn p99_increases_with_load() {
+        let spec = SweepSpec::quick(2);
+        let c = sweep(
+            QxU::PARTITIONED_16,
+            &ServiceDist::exponential_mean_ns(1.0),
+            &spec,
+        );
+        let first = c.points.first().unwrap().p99_latency_ns;
+        let last = c.points.last().unwrap().p99_latency_ns;
+        assert!(
+            last > 2.0 * first,
+            "p99 should grow substantially with load: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn single_queue_dominates_partitioned_everywhere() {
+        let spec = SweepSpec::quick(3);
+        let svc = ServiceDist::exponential_mean_ns(1.0);
+        let single = sweep(QxU::SINGLE_16, &svc, &spec);
+        let part = sweep(QxU::PARTITIONED_16, &svc, &spec);
+        for (s, p) in single.points.iter().zip(&part.points) {
+            assert!(
+                s.p99_latency_ns <= p.p99_latency_ns * 1.05,
+                "at load {}: 1x16 {} vs 16x1 {}",
+                s.offered_load,
+                s.p99_latency_ns,
+                p.p99_latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_grid_shape() {
+        let spec = SweepSpec::fig2_default(0);
+        assert_eq!(spec.loads.len(), 19);
+        assert!((spec.loads[0] - 0.05).abs() < 1e-12);
+        assert!((spec.loads[18] - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unordered_loads() {
+        let spec = SweepSpec {
+            loads: vec![0.5, 0.3],
+            requests: 10,
+            warmup: 1,
+            seed: 0,
+        };
+        sweep(QxU::SINGLE_16, &ServiceDist::fixed_ns(1.0), &spec);
+    }
+}

@@ -1,0 +1,325 @@
+//! The NI dispatcher and the load-distribution policies of §6.
+//!
+//! * **Hardware single queue (1×16)** — RPCValet proper: one NI backend
+//!   (the *NI dispatcher*) receives message-completion packets from all
+//!   backends, queues them in a shared CQ, and dispatches to any core
+//!   whose outstanding count is below the threshold (default 2, §4.3).
+//! * **Hardware partitioned (4×4)** — each NI backend dispatches only to
+//!   the cores of its mesh row; limited balancing flexibility.
+//! * **Hardware static (16×1)** — RSS-like: the arrival's source hash
+//!   pins it to a core at arrival time; no load information is used.
+//! * **Software single queue** — the NIs enqueue into one shared
+//!   in-memory queue; cores *pull* under an MCS lock ([`crate::mcs`]).
+
+use std::collections::VecDeque;
+
+use crate::mcs::McsParams;
+
+/// A load-distribution policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// RPCValet's NI-driven single-queue dispatch (1×16).
+    HwSingleQueue {
+        /// Maximum `send`s assigned to a core at once (§4.3; paper uses 2,
+        /// and evaluates 1 as an ablation).
+        outstanding_per_core: u32,
+    },
+    /// Per-backend dispatchers, each owning an equal share of cores
+    /// (4×4 when the chip has 4 backends).
+    HwPartitioned {
+        /// Maximum outstanding `send`s per core.
+        outstanding_per_core: u32,
+    },
+    /// Static hash-based distribution to private per-core queues (16×1).
+    HwStatic,
+    /// Software single queue guarded by an MCS lock (§6.2 baseline).
+    SwSingleQueue {
+        /// Lock timing model.
+        lock: McsParams,
+    },
+}
+
+impl Policy {
+    /// RPCValet's default configuration: single queue, threshold 2.
+    pub fn hw_single_queue() -> Self {
+        Policy::HwSingleQueue {
+            outstanding_per_core: 2,
+        }
+    }
+
+    /// The 4×4 intermediate design point, threshold 2.
+    pub fn hw_partitioned() -> Self {
+        Policy::HwPartitioned {
+            outstanding_per_core: 2,
+        }
+    }
+
+    /// The 16×1 RSS-like baseline.
+    pub fn hw_static() -> Self {
+        Policy::HwStatic
+    }
+
+    /// The software 1×16 baseline with default MCS timing.
+    pub fn sw_single_queue() -> Self {
+        Policy::SwSingleQueue {
+            lock: McsParams::default(),
+        }
+    }
+
+    /// The figure-legend label for this policy on a 16-core chip.
+    pub fn label(&self, cores: usize, backends: usize) -> String {
+        match self {
+            Policy::HwSingleQueue { .. } => format!("1x{cores}"),
+            Policy::HwPartitioned { .. } => {
+                format!("{}x{}", backends, cores / backends.max(1))
+            }
+            Policy::HwStatic => format!("{cores}x1"),
+            Policy::SwSingleQueue { .. } => format!("sw-1x{cores}"),
+        }
+    }
+}
+
+/// The Dispatch pipeline stage's state for one dispatcher unit (§4.4):
+/// a shared CQ of completed messages plus per-core outstanding counts
+/// for the cores this dispatcher owns.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    /// Cores this dispatcher may dispatch to (global core ids).
+    cores: Vec<usize>,
+    /// Outstanding `send`s per owned core (indexed like `cores`).
+    outstanding: Vec<u32>,
+    /// Maximum outstanding per core before it stops being "available".
+    threshold: u32,
+    /// The shared CQ: completed messages awaiting dispatch, FIFO.
+    shared_cq: VecDeque<u64>,
+    /// Round-robin pointer for tie-breaking among equally loaded cores.
+    rr_next: usize,
+    /// Peak shared-CQ depth observed.
+    high_water: usize,
+    dispatched: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher owning `cores` with the given outstanding
+    /// threshold.
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty or `threshold` is zero.
+    pub fn new(cores: Vec<usize>, threshold: u32) -> Self {
+        assert!(!cores.is_empty(), "dispatcher needs at least one core");
+        assert!(threshold > 0, "threshold must be positive");
+        let n = cores.len();
+        Dispatcher {
+            cores,
+            outstanding: vec![0; n],
+            threshold,
+            shared_cq: VecDeque::new(),
+            rr_next: 0,
+            high_water: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// Enqueues a completed message (by id) into the shared CQ.
+    pub fn enqueue(&mut self, msg: u64) {
+        self.shared_cq.push_back(msg);
+        self.high_water = self.high_water.max(self.shared_cq.len());
+    }
+
+    /// Greedy dispatch (§4.3): if the shared CQ is non-empty and a core is
+    /// available, dequeues the head and assigns it to the **least-loaded**
+    /// available core (lowest outstanding count; ties broken round-robin).
+    /// Returns `(msg, core)` or `None` if nothing can be dispatched.
+    ///
+    /// Preferring the least-loaded core is what protects latency-critical
+    /// requests from queueing behind long-running ones (the Masstree scan
+    /// scenario of §6.1): a second request is pushed onto a busy core only
+    /// when *no* idle core exists. The round-robin tie-break keeps
+    /// completions evenly spread across cores, as rotating selection logic
+    /// in hardware would.
+    pub fn try_dispatch(&mut self) -> Option<(u64, usize)> {
+        if self.shared_cq.is_empty() {
+            return None;
+        }
+        let n = self.cores.len();
+        let slot = (0..n)
+            .map(|off| (self.rr_next + off) % n)
+            .filter(|&i| self.outstanding[i] < self.threshold)
+            .min_by_key(|&i| {
+                // Rotation distance orders equally loaded candidates.
+                (self.outstanding[i], (i + n - self.rr_next) % n)
+            })?;
+        let msg = self.shared_cq.pop_front().expect("checked non-empty");
+        self.outstanding[slot] += 1;
+        self.dispatched += 1;
+        self.rr_next = (slot + 1) % n;
+        Some((msg, self.cores[slot]))
+    }
+
+    /// Handles a `replenish` from `core`: one fewer outstanding request.
+    ///
+    /// # Panics
+    /// Panics if `core` is not owned by this dispatcher or its count is
+    /// already zero.
+    pub fn on_replenish(&mut self, core: usize) {
+        let slot = self.slot_of(core);
+        assert!(
+            self.outstanding[slot] > 0,
+            "replenish from core {core} with zero outstanding"
+        );
+        self.outstanding[slot] -= 1;
+    }
+
+    /// Outstanding count for a core.
+    ///
+    /// # Panics
+    /// Panics if `core` is not owned by this dispatcher.
+    pub fn outstanding(&self, core: usize) -> u32 {
+        self.outstanding[self.slot_of(core)]
+    }
+
+    /// True if this dispatcher owns `core`.
+    pub fn owns(&self, core: usize) -> bool {
+        self.cores.contains(&core)
+    }
+
+    /// Pending (undispatched) messages in the shared CQ.
+    pub fn pending(&self) -> usize {
+        self.shared_cq.len()
+    }
+
+    /// Peak shared-CQ depth observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total messages dispatched.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    fn slot_of(&self, core: usize) -> usize {
+        self.cores
+            .iter()
+            .position(|&c| c == core)
+            .unwrap_or_else(|| panic!("core {core} not owned by this dispatcher"))
+    }
+}
+
+/// The RSS-like static hash of 16×1: maps a source node to a core using a
+/// multiplicative hash of the header fields, decorrelated from the
+/// source→backend interleaving.
+pub fn rss_core_for_source(source: usize, cores: usize) -> usize {
+    assert!(cores > 0, "need at least one core");
+    let h = (source as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 33) % cores as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_prefers_idle_cores() {
+        let mut d = Dispatcher::new(vec![0, 1, 2, 3], 2);
+        d.enqueue(100);
+        d.enqueue(101);
+        d.enqueue(102);
+        assert_eq!(d.try_dispatch(), Some((100, 0)));
+        assert_eq!(d.try_dispatch(), Some((101, 1)));
+        assert_eq!(d.try_dispatch(), Some((102, 2)));
+        assert_eq!(d.try_dispatch(), None, "shared CQ drained");
+    }
+
+    #[test]
+    fn second_requests_only_when_no_idle_core() {
+        let mut d = Dispatcher::new(vec![0, 1], 2);
+        for m in 0..4 {
+            d.enqueue(m);
+        }
+        assert_eq!(d.try_dispatch(), Some((0, 0)));
+        assert_eq!(d.try_dispatch(), Some((1, 1)));
+        // Both cores busy with 1 each: now double up.
+        assert_eq!(d.try_dispatch(), Some((2, 0)));
+        assert_eq!(d.try_dispatch(), Some((3, 1)));
+        assert_eq!(d.try_dispatch(), None, "threshold 2 reached everywhere");
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn threshold_blocks_until_replenish() {
+        let mut d = Dispatcher::new(vec![7], 1);
+        d.enqueue(1);
+        d.enqueue(2);
+        assert_eq!(d.try_dispatch(), Some((1, 7)));
+        assert_eq!(d.try_dispatch(), None);
+        d.on_replenish(7);
+        assert_eq!(d.try_dispatch(), Some((2, 7)));
+        assert_eq!(d.outstanding(7), 1);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut d = Dispatcher::new(vec![0], 1);
+        for m in 10..15 {
+            d.enqueue(m);
+        }
+        let mut order = Vec::new();
+        while let Some((m, _)) = d.try_dispatch() {
+            order.push(m);
+            d.on_replenish(0);
+        }
+        assert_eq!(order, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut d = Dispatcher::new(vec![0], 1);
+        d.enqueue(1);
+        d.enqueue(2);
+        d.enqueue(3);
+        assert_eq!(d.high_water(), 3);
+        d.try_dispatch();
+        assert_eq!(d.high_water(), 3);
+    }
+
+    #[test]
+    fn rss_hash_covers_cores_roughly_uniformly() {
+        let mut counts = [0u32; 16];
+        for src in 1..200 {
+            counts[rss_core_for_source(src, 16)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(min > 0, "every core receives some source: {counts:?}");
+        assert!(max <= 3 * min.max(1), "reasonable spread: {counts:?}");
+    }
+
+    #[test]
+    fn rss_hash_is_stable() {
+        assert_eq!(
+            rss_core_for_source(42, 16),
+            rss_core_for_source(42, 16)
+        );
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(Policy::hw_single_queue().label(16, 4), "1x16");
+        assert_eq!(Policy::hw_partitioned().label(16, 4), "4x4");
+        assert_eq!(Policy::hw_static().label(16, 4), "16x1");
+        assert_eq!(Policy::sw_single_queue().label(16, 4), "sw-1x16");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero outstanding")]
+    fn spurious_replenish_panics() {
+        Dispatcher::new(vec![0], 2).on_replenish(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn foreign_core_panics() {
+        Dispatcher::new(vec![0, 1], 2).outstanding(9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Rendezvous transfers for messages above `max_msg_size` (§4.2).
+//!
+//! "A fixed max_msg_size does not preclude the exchange of larger
+//! messages altogether. A rendezvous mechanism can be used, where the
+//! sending node's initial message specifies the location and size of the
+//! data, and the receiving node uses a one-sided read operation to
+//! directly pull the message's payload from the sending node's memory."
+//!
+//! This module models that path and exposes the inline-vs-rendezvous
+//! decision so buffer provisioning can be reasoned about quantitatively.
+
+use simkit::SimDuration;
+use sonuma::onesided::remote_read_latency;
+use sonuma::{packets_for, ChipParams};
+
+/// A rendezvous descriptor: the initial small `send` carries only the
+/// payload's remote location and size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RendezvousDescriptor {
+    /// Total payload size at the sender (bytes).
+    pub payload_bytes: u64,
+}
+
+/// Size in bytes of the initial rendezvous control message (location +
+/// size + domain metadata — fits one cache block).
+pub const RENDEZVOUS_CONTROL_BYTES: u64 = 64;
+
+/// How a message of a given size travels through the messaging domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMethod {
+    /// Inline: the payload rides the `send` itself (fits in a receive
+    /// slot).
+    Inline,
+    /// Rendezvous: control `send` first, payload pulled by a one-sided
+    /// read.
+    Rendezvous,
+}
+
+/// Chooses the transfer method for a `bytes`-sized message in a domain
+/// with the given `max_msg_bytes`.
+pub fn transfer_method(bytes: u64, max_msg_bytes: u64) -> TransferMethod {
+    if bytes <= max_msg_bytes {
+        TransferMethod::Inline
+    } else {
+        TransferMethod::Rendezvous
+    }
+}
+
+/// Wire + NI latency of delivering a `bytes` payload **inline**: link
+/// serialization of all packets plus per-packet NI ingest (pipelined).
+pub fn inline_delivery_latency(chip: &ChipParams, bytes: u64) -> SimDuration {
+    let packets = packets_for(bytes, chip.mtu_bytes);
+    chip.wire_latency
+        + chip.edge_packet_gap() * (packets - 1)
+        + chip.backend_rx_per_packet
+        + chip.reassembly_update
+}
+
+/// Latency of a **rendezvous** delivery: the control `send` arrives and
+/// is dispatched to a core, which then pulls the payload with a
+/// one-sided read before processing can begin.
+pub fn rendezvous_delivery_latency(chip: &ChipParams, bytes: u64) -> SimDuration {
+    inline_delivery_latency(chip, RENDEZVOUS_CONTROL_BYTES)
+        + chip.cq_notify // dispatch of the control message to a core
+        + chip.wqe_post // core posts the one-sided read
+        + remote_read_latency(chip, bytes)
+}
+
+/// The extra latency rendezvous pays over inline delivery for a payload
+/// of `bytes` — the cost of keeping receive slots small.
+pub fn rendezvous_overhead(chip: &ChipParams, bytes: u64) -> SimDuration {
+    rendezvous_delivery_latency(chip, bytes)
+        .saturating_sub(inline_delivery_latency(chip, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_selection_respects_domain_limit() {
+        assert_eq!(transfer_method(512, 512), TransferMethod::Inline);
+        assert_eq!(transfer_method(513, 512), TransferMethod::Rendezvous);
+        assert_eq!(transfer_method(64, 512), TransferMethod::Inline);
+    }
+
+    #[test]
+    fn rendezvous_costs_roughly_one_extra_round_trip() {
+        let chip = ChipParams::table1();
+        let overhead = rendezvous_overhead(&chip, 4096);
+        // Control send + read request + memory ≈ 2 wire crossings + DRAM.
+        let floor = chip.wire_latency * 2;
+        assert!(
+            overhead >= floor,
+            "overhead {overhead} below the two-crossing floor {floor}"
+        );
+        assert!(
+            overhead.as_us_f64() < 1.0,
+            "rendezvous overhead should stay sub-µs: {overhead}"
+        );
+    }
+
+    #[test]
+    fn inline_scales_with_payload_serialization() {
+        let chip = ChipParams::table1();
+        let d = inline_delivery_latency(&chip, 64 * 9) - inline_delivery_latency(&chip, 64);
+        assert_eq!(d.as_ns(), 16, "8 extra packets x 2 ns");
+    }
+
+    #[test]
+    fn large_transfers_dominated_by_link_rate_either_way() {
+        // For MB-scale payloads, inline and rendezvous converge: the link
+        // serialization dwarfs the control round trip.
+        let chip = ChipParams::table1();
+        let bytes = 1 << 20;
+        let inline = inline_delivery_latency(&chip, bytes).as_ns_f64();
+        let rdv = rendezvous_delivery_latency(&chip, bytes).as_ns_f64();
+        assert!((rdv - inline) / inline < 0.02, "inline {inline}, rdv {rdv}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Offered-load sweeps over the full-system simulation, producing the
+//! latency-versus-throughput curves of Figs. 7 and 8.
+
+use metrics::{CurvePoint, LatencyCurve};
+use simkit::rng::split_seed;
+
+use crate::system::{RunResult, ServerSim, SystemConfig};
+
+/// Specification of a rate sweep.
+#[derive(Debug, Clone)]
+pub struct RateSweepSpec {
+    /// Offered loads in requests/second, strictly increasing.
+    pub rates_rps: Vec<f64>,
+    /// Arrivals per operating point.
+    pub requests: u64,
+    /// Warm-up completions to discard per point.
+    pub warmup: u64,
+    /// Master seed; each point derives a sub-seed.
+    pub seed: u64,
+}
+
+impl RateSweepSpec {
+    /// An evenly spaced grid of `points` rates from `lo` to `hi` rps.
+    ///
+    /// # Panics
+    /// Panics if `points < 2` or `lo >= hi` or `lo <= 0`.
+    pub fn linear(lo: f64, hi: f64, points: usize, requests: u64, warmup: u64, seed: u64) -> Self {
+        assert!(points >= 2, "need at least two points");
+        assert!(lo > 0.0 && lo < hi, "invalid rate range [{lo}, {hi}]");
+        let step = (hi - lo) / (points - 1) as f64;
+        RateSweepSpec {
+            rates_rps: (0..points).map(|i| lo + step * i as f64).collect(),
+            requests,
+            warmup,
+            seed,
+        }
+    }
+}
+
+/// Runs `base` at every rate in `spec`, returning one curve labelled by
+/// the policy plus the per-point raw results.
+///
+/// Points are independent simulations (each derives its own seed), so
+/// they run on one OS thread per point, capped at the available
+/// parallelism. Results are identical to a sequential sweep — each
+/// point's RNG stream depends only on `(spec.seed, index)`.
+///
+/// # Panics
+/// Panics if `spec.rates_rps` is empty or not strictly increasing.
+pub fn sweep_rates(base: &SystemConfig, spec: &RateSweepSpec) -> (LatencyCurve, Vec<RunResult>) {
+    assert!(!spec.rates_rps.is_empty(), "sweep needs at least one rate");
+    assert!(
+        spec.rates_rps.windows(2).all(|w| w[0] < w[1]),
+        "rates must be strictly increasing"
+    );
+    let label = base.policy.label(base.chip.cores, base.chip.backends);
+    let results = run_points(base, spec);
+    let mut curve = LatencyCurve::new(label);
+    for (&rate, r) in spec.rates_rps.iter().zip(&results) {
+        curve.push(CurvePoint {
+            offered_load: rate,
+            throughput_rps: r.throughput_rps,
+            mean_latency_ns: r.mean_latency_ns,
+            p99_latency_ns: r.p99_latency_ns,
+            completed: r.measured,
+        });
+    }
+    (curve, results)
+}
+
+/// Executes every operating point of the sweep, in parallel when more
+/// than one hardware thread is available.
+fn run_points(base: &SystemConfig, spec: &RateSweepSpec) -> Vec<RunResult> {
+    let configs: Vec<SystemConfig> = spec
+        .rates_rps
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let mut cfg = base.clone();
+            cfg.rate_rps = rate;
+            cfg.requests = spec.requests;
+            cfg.warmup = spec.warmup;
+            cfg.seed = split_seed(spec.seed, i as u64);
+            cfg
+        })
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(configs.len())
+        .max(1);
+    if threads == 1 {
+        return configs
+            .into_iter()
+            .map(|cfg| ServerSim::new(cfg).run())
+            .collect();
+    }
+    // Work-stealing over the point index; each worker returns its own
+    // (index, result) pairs, merged afterwards. Results are a pure
+    // function of each point's config, so scheduling cannot change them.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let indexed: Vec<(usize, RunResult)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= configs.len() {
+                            break;
+                        }
+                        local.push((i, ServerSim::new(configs[i].clone()).run()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<RunResult>> = (0..configs.len()).map(|_| None).collect();
+    for (i, r) in indexed {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every point executed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::Policy;
+    use dist::ServiceDist;
+    use metrics::{throughput_under_slo, SloSpec};
+
+    fn base(policy: Policy) -> SystemConfig {
+        SystemConfig::builder()
+            .policy(policy)
+            .service(ServiceDist::exponential_mean_ns(600.0))
+            .build()
+    }
+
+    fn quick_spec(seed: u64) -> RateSweepSpec {
+        RateSweepSpec {
+            rates_rps: vec![2.0e6, 6.0e6, 10.0e6, 14.0e6, 17.0e6],
+            requests: 40_000,
+            warmup: 5_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let (curve, results) = sweep_rates(&base(Policy::hw_single_queue()), &quick_spec(1));
+        assert_eq!(curve.len(), 5);
+        assert_eq!(results.len(), 5);
+        assert_eq!(curve.label, "1x16");
+    }
+
+    #[test]
+    fn latency_grows_with_rate() {
+        let (curve, _) = sweep_rates(&base(Policy::hw_static()), &quick_spec(2));
+        let first = curve.points.first().unwrap().p99_latency_ns;
+        let last = curve.points.last().unwrap().p99_latency_ns;
+        assert!(last > first, "p99 must grow with load: {first} -> {last}");
+    }
+
+    #[test]
+    fn throughput_under_slo_orders_policies() {
+        // The paper's headline comparison at a coarse grid: the SLO
+        // throughput of 1x16 must beat 16x1.
+        let spec = quick_spec(3);
+        let (single, res) = sweep_rates(&base(Policy::hw_single_queue()), &spec);
+        let (stat, _) = sweep_rates(&base(Policy::hw_static()), &spec);
+        let slo = SloSpec::ten_times_mean(res[0].mean_service_ns);
+        let t_single = throughput_under_slo(&single, slo);
+        let t_static = throughput_under_slo(&stat, slo);
+        assert!(
+            t_single > t_static,
+            "1x16 SLO throughput {t_single} must beat 16x1 {t_static}"
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        let spec = quick_spec(9);
+        let (a, ra) = sweep_rates(&base(Policy::hw_partitioned()), &spec);
+        let (b, rb) = sweep_rates(&base(Policy::hw_partitioned()), &spec);
+        assert_eq!(a, b, "curves must match run to run");
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.p99_latency_ns, y.p99_latency_ns);
+            assert_eq!(x.measured, y.measured);
+        }
+    }
+
+    #[test]
+    fn linear_grid() {
+        let s = RateSweepSpec::linear(1e6, 5e6, 5, 100, 10, 0);
+        assert_eq!(s.rates_rps.len(), 5);
+        assert!((s.rates_rps[1] - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unordered_rates() {
+        let spec = RateSweepSpec {
+            rates_rps: vec![2e6, 1e6],
+            requests: 10,
+            warmup: 1,
+            seed: 0,
+        };
+        sweep_rates(&base(Policy::hw_single_queue()), &spec);
+    }
+}

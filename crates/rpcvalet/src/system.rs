@@ -1,0 +1,1257 @@
+//! End-to-end server simulation (§5's methodology).
+//!
+//! One [`ServerSim`] run models the paper's experiment: a 16-core soNUMA
+//! chip with a Manycore NI receives `send` RPCs from a 200-node cluster
+//! (Poisson arrivals, random sources), each RPC occupying a core for an
+//! emulated processing time plus the microbenchmark's fixed overhead
+//! (reply `send` of 512 B + `replenish`). Request latency is measured
+//! exactly as the paper does: *"from the reception of a send message
+//! until the thread that services the request posts a replenish
+//! operation."*
+//!
+//! The same event loop hosts all four load-balancing implementations
+//! (§6): RPCValet's 1×16, the partitioned 4×4, the RSS-like 16×1, and
+//! the software MCS-lock 1×16 — only the dispatch path differs.
+
+use std::collections::VecDeque;
+
+use dist::ServiceDist;
+use metrics::{percentile_ns, Summary};
+use rand::Rng;
+use simkit::rng::stream_rng;
+use simkit::{Engine, SimDuration, SimTime};
+use sonuma::{packets_for, ChipParams, NiBackend, TrafficGenerator};
+
+use crate::dispatch::{rss_core_for_source, Dispatcher, Policy};
+use crate::domain::MessagingDomain;
+use crate::mcs::McsLock;
+use crate::reassembly::ReassemblyTable;
+use crate::trace::{PendingTrace, RequestTrace, TraceLog};
+
+/// Parameters for Shinjuku-style preemptive scheduling (§7 sketches the
+/// combination: "A system combining Shinjuku and RPCValet would
+/// rigorously handle RPCs of a broad runtime range").
+///
+/// A request whose remaining processing time exceeds `quantum` runs for
+/// one quantum, pays `overhead` (context save + requeue), and re-enters
+/// the dispatch path at the back of the queue. Requests shorter than the
+/// quantum are never preempted, so sub-µs workloads are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptionParams {
+    /// Maximum uninterrupted processing slice (Shinjuku uses 5–15 µs).
+    pub quantum: SimDuration,
+    /// Per-preemption cost charged to the core (interrupt + state save +
+    /// requeue; sub-µs in Shinjuku).
+    pub overhead: SimDuration,
+}
+
+impl PreemptionParams {
+    /// Shinjuku's lower-bound configuration: 5 µs quantum, 500 ns
+    /// preemption cost.
+    pub fn shinjuku_5us() -> Self {
+        PreemptionParams {
+            quantum: SimDuration::from_us(5),
+            overhead: SimDuration::from_ns(500),
+        }
+    }
+}
+
+/// Configuration of one full-system simulation.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The simulated chip.
+    pub chip: ChipParams,
+    /// Load-balancing implementation under test.
+    pub policy: Policy,
+    /// Emulated RPC processing-time distribution (the `D` part of §6.3).
+    pub service: ServiceDist,
+    /// Cluster size including the server (§5: 200).
+    pub cluster_nodes: usize,
+    /// Messaging-domain send slots per node pair `S` (§4.2: "a few tens").
+    pub send_slots_per_node: usize,
+    /// Incoming request payload size in bytes.
+    pub request_bytes: u64,
+    /// RPC reply payload size (§5: 512 B).
+    pub reply_bytes: u64,
+    /// Offered aggregate load in requests per second.
+    pub rate_rps: f64,
+    /// Total arrivals to simulate.
+    pub requests: u64,
+    /// Completions discarded as warm-up.
+    pub warmup: u64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Optional Shinjuku-style preemption (RPCValet extension, §7).
+    pub preemption: Option<PreemptionParams>,
+    /// Per-request timeline traces to keep (0 disables tracing). Traces
+    /// are recorded for the first N *measured* (post-warm-up) requests.
+    pub trace_capacity: usize,
+    /// Window length for the completion time series (`None` disables).
+    /// Used to check stationarity of an operating point.
+    pub timeseries_window: Option<SimDuration>,
+    /// Latency-class split: requests whose drawn processing time is below
+    /// this threshold (ns) form the *latency-critical* class, reported
+    /// separately. The paper's Masstree experiment (Fig. 7b) sets its SLO
+    /// on `get`s only, treating 60–120 µs `scan`s as non-critical.
+    pub critical_threshold_ns: Option<f64>,
+    /// For [`Policy::HwStatic`]: pin each *source* to a core (true RSS
+    /// flow affinity) instead of assigning each *message* uniformly at
+    /// random (the paper's 16×1 queueing abstraction). Default `false`.
+    pub rss_per_flow: bool,
+}
+
+impl SystemConfig {
+    /// Starts building a configuration from the paper's defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::new()
+    }
+}
+
+/// Builder for [`SystemConfig`] with the paper's §5 defaults.
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    config: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Creates a builder seeded with the paper's defaults: Table 1 chip,
+    /// RPCValet 1×16 policy, fixed 600 ns service, 200-node cluster,
+    /// 32 slots, 64 B requests, 512 B replies, 4 Mrps, 100 k requests.
+    pub fn new() -> Self {
+        SystemConfigBuilder {
+            config: SystemConfig {
+                chip: ChipParams::table1(),
+                policy: Policy::hw_single_queue(),
+                service: ServiceDist::fixed_ns(600.0),
+                cluster_nodes: sonuma::params::CLUSTER_NODES,
+                send_slots_per_node: 32,
+                request_bytes: 64,
+                reply_bytes: 512,
+                rate_rps: 4.0e6,
+                requests: 100_000,
+                warmup: 10_000,
+                seed: 0,
+                preemption: None,
+                trace_capacity: 0,
+                timeseries_window: None,
+                critical_threshold_ns: None,
+                rss_per_flow: false,
+            },
+        }
+    }
+
+    /// Sets the chip parameters.
+    pub fn chip(mut self, chip: ChipParams) -> Self {
+        self.config.chip = chip;
+        self
+    }
+
+    /// Sets the load-balancing policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the processing-time distribution.
+    pub fn service(mut self, service: ServiceDist) -> Self {
+        self.config.service = service;
+        self
+    }
+
+    /// Sets the offered load in requests per second.
+    pub fn rate_rps(mut self, rate: f64) -> Self {
+        self.config.rate_rps = rate;
+        self
+    }
+
+    /// Sets the number of arrivals to simulate.
+    pub fn requests(mut self, requests: u64) -> Self {
+        self.config.requests = requests;
+        self
+    }
+
+    /// Sets the warm-up completion count to discard.
+    pub fn warmup(mut self, warmup: u64) -> Self {
+        self.config.warmup = warmup;
+        self
+    }
+
+    /// Sets the RNG master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the cluster size (nodes, including the server).
+    pub fn cluster_nodes(mut self, nodes: usize) -> Self {
+        self.config.cluster_nodes = nodes;
+        self
+    }
+
+    /// Sets the per-node-pair send-slot count `S`.
+    pub fn send_slots_per_node(mut self, slots: usize) -> Self {
+        self.config.send_slots_per_node = slots;
+        self
+    }
+
+    /// Sets the request payload size in bytes.
+    pub fn request_bytes(mut self, bytes: u64) -> Self {
+        self.config.request_bytes = bytes;
+        self
+    }
+
+    /// Sets the reply payload size in bytes.
+    pub fn reply_bytes(mut self, bytes: u64) -> Self {
+        self.config.reply_bytes = bytes;
+        self
+    }
+
+    /// Enables Shinjuku-style preemption.
+    pub fn preemption(mut self, params: PreemptionParams) -> Self {
+        self.config.preemption = Some(params);
+        self
+    }
+
+    /// Keeps per-request timeline traces for the first `capacity`
+    /// measured requests (see [`crate::trace`]).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.config.trace_capacity = capacity;
+        self
+    }
+
+    /// Records a windowed completion time series with the given window.
+    pub fn timeseries_window(mut self, window: SimDuration) -> Self {
+        self.config.timeseries_window = Some(window);
+        self
+    }
+
+    /// Sets the latency-critical class threshold (ns); see
+    /// [`SystemConfig::critical_threshold_ns`].
+    pub fn critical_threshold_ns(mut self, threshold: f64) -> Self {
+        self.config.critical_threshold_ns = Some(threshold);
+        self
+    }
+
+    /// Pins sources to cores for [`Policy::HwStatic`] (flow affinity).
+    pub fn rss_per_flow(mut self, per_flow: bool) -> Self {
+        self.config.rss_per_flow = per_flow;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    /// Panics on invalid combinations (zero requests, warmup ≥ requests,
+    /// non-positive rate, tiny cluster).
+    pub fn build(self) -> SystemConfig {
+        let c = &self.config;
+        assert!(c.requests > 0, "need at least one request");
+        assert!(
+            c.warmup < c.requests,
+            "warmup ({}) must be below requests ({})",
+            c.warmup,
+            c.requests
+        );
+        assert!(
+            c.rate_rps.is_finite() && c.rate_rps > 0.0,
+            "rate must be positive"
+        );
+        assert!(c.cluster_nodes >= 2, "cluster needs a remote node");
+        assert!(c.send_slots_per_node > 0, "need at least one send slot");
+        self.config
+    }
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Measured outcome of one full-system run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Figure-legend label of the simulated policy.
+    pub label: String,
+    /// Offered load (requests/second).
+    pub offered_rps: f64,
+    /// Achieved throughput over the measurement window (requests/second).
+    pub throughput_rps: f64,
+    /// Mean request latency (ns), reception → replenish post.
+    pub mean_latency_ns: f64,
+    /// Exact 99th-percentile latency (ns).
+    pub p99_latency_ns: f64,
+    /// Exact median latency (ns).
+    pub p50_latency_ns: f64,
+    /// Latency summary statistics.
+    pub latency: Summary,
+    /// Mean measured service time S̄ (ns): total core occupancy per RPC,
+    /// the quantity the paper's SLO (10×S̄) is defined against.
+    pub mean_service_ns: f64,
+    /// Completions measured (after warm-up).
+    pub measured: u64,
+    /// Exact p99 latency (ns) of the latency-critical class; equals
+    /// [`RunResult::p99_latency_ns`] when no threshold is configured.
+    pub p99_critical_ns: f64,
+    /// Latency-critical completions measured.
+    pub measured_critical: u64,
+    /// Peak depth of the dispatcher shared CQ(s) (hardware policies).
+    pub dispatcher_high_water: usize,
+    /// Fraction of MCS acquisitions that were contended (software policy).
+    pub lock_contention: f64,
+    /// Arrivals that found their source's send slots exhausted and were
+    /// deferred by flow control.
+    pub flow_control_deferrals: u64,
+    /// Preemption events (0 unless [`SystemConfig::preemption`] is set
+    /// and some request exceeded the quantum).
+    pub preemptions: u64,
+    /// Completions per core over the whole run — the raw balance data.
+    pub core_completions: Vec<u64>,
+    /// Jain fairness index over per-core completions (1.0 = perfectly
+    /// balanced; 1/16 = one core took everything).
+    pub load_balance_jain: f64,
+    /// Per-request timelines, when tracing was enabled.
+    pub traces: TraceLog,
+    /// Windowed completion series, when enabled; its
+    /// [`drift_ratio`](metrics::TimeSeries::drift_ratio) ≫ 1 flags an
+    /// operating point that never reached steady state (overload).
+    pub timeseries: Option<metrics::TimeSeries>,
+}
+
+impl RunResult {
+    /// Throughput in millions of requests per second.
+    pub fn throughput_mrps(&self) -> f64 {
+        self.throughput_rps / 1e6
+    }
+
+    /// p99 latency in microseconds.
+    pub fn p99_latency_us(&self) -> f64 {
+        self.p99_latency_ns / 1e3
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The traffic generator emits the next arrival.
+    Arrival,
+    /// A message's final packet has been written and counted (§4.2).
+    MsgComplete { msg: usize },
+    /// A message-completion packet reaches dispatcher `d` (§4.3).
+    AtDispatcher { msg: usize, d: usize },
+    /// A CQE lands in `core`'s private CQ.
+    CqeDelivered { msg: usize, core: usize },
+    /// `core` finished an RPC end-to-end (service + posts).
+    ServiceDone { core: usize, msg: usize },
+    /// A replenish notification reaches dispatcher `d`.
+    ReplenishAtDispatcher { core: usize, d: usize },
+    /// A send slot frees at the remote source (flow control).
+    SlotFreed { src: usize, slot: usize },
+    /// A core's preemption timer fires: the request is requeued.
+    Preempted { core: usize, msg: usize },
+    /// Software baseline: `core` requests the MCS lock to dequeue.
+    SwTryDequeue { core: usize },
+    /// Software baseline: `core` holds the lock and pops the queue head.
+    SwGranted { core: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MsgState {
+    src: usize,
+    slot: usize,
+    service: SimDuration,
+    /// Processing time still owed (differs from `service` only when the
+    /// request has been preempted).
+    remaining: SimDuration,
+    first_pkt: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreState {
+    Idle,
+    /// Software baseline: waiting for a lock grant.
+    Acquiring,
+    Busy,
+}
+
+/// The full-system simulator. Construct with [`ServerSim::new`], run with
+/// [`ServerSim::run`].
+#[derive(Debug)]
+pub struct ServerSim {
+    config: SystemConfig,
+}
+
+impl ServerSim {
+    /// Creates a simulator for `config`.
+    pub fn new(config: SystemConfig) -> Self {
+        ServerSim { config }
+    }
+
+    /// Runs the simulation to completion and returns the measurements.
+    pub fn run(&self) -> RunResult {
+        Runner::new(&self.config).run()
+    }
+}
+
+/// Internal mutable simulation state.
+struct Runner<'a> {
+    cfg: &'a SystemConfig,
+    engine: Engine<Ev>,
+    traffic: TrafficGenerator,
+    service_rng: rand::rngs::SmallRng,
+    static_rng: rand::rngs::SmallRng,
+    domain: MessagingDomain,
+    reassembly: ReassemblyTable,
+    backends: Vec<NiBackend>,
+    /// Dispatch-decision pipelines, one per dispatcher unit.
+    dispatch_units: Vec<sonuma::SerialResource>,
+    dispatchers: Vec<Dispatcher>,
+    /// Core private CQs (hardware paths).
+    core_cq: Vec<VecDeque<usize>>,
+    core_state: Vec<CoreState>,
+    msgs: Vec<MsgState>,
+    /// Arrivals deferred by exhausted send slots, per source.
+    pending_by_src: Vec<VecDeque<usize>>,
+    generated: u64,
+    completions: u64,
+    /// Software baseline state.
+    sw_queue: VecDeque<usize>,
+    lock: McsLock,
+    // measurement
+    latency_samples: Vec<f64>,
+    critical_samples: Vec<f64>,
+    latency: Summary,
+    service_occupancy: Summary,
+    window_start: SimTime,
+    window_end: SimTime,
+    deferrals: u64,
+    preemptions: u64,
+    core_completions: Vec<u64>,
+    pending_traces: Vec<PendingTrace>,
+    traces: TraceLog,
+    timeseries: Option<metrics::TimeSeries>,
+}
+
+impl<'a> Runner<'a> {
+    fn new(cfg: &'a SystemConfig) -> Self {
+        let chip = &cfg.chip;
+        let dispatchers = match &cfg.policy {
+            Policy::HwSingleQueue {
+                outstanding_per_core,
+            } => vec![Dispatcher::new(
+                (0..chip.cores).collect(),
+                *outstanding_per_core,
+            )],
+            Policy::HwPartitioned {
+                outstanding_per_core,
+            } => {
+                let per = chip.cores / chip.backends;
+                (0..chip.backends)
+                    .map(|d| {
+                        Dispatcher::new(
+                            (d * per..(d + 1) * per).collect(),
+                            *outstanding_per_core,
+                        )
+                    })
+                    .collect()
+            }
+            Policy::HwStatic | Policy::SwSingleQueue { .. } => Vec::new(),
+        };
+        let n_units = dispatchers.len();
+        Runner {
+            cfg,
+            engine: Engine::new(),
+            traffic: TrafficGenerator::new(cfg.cluster_nodes, cfg.rate_rps, cfg.seed),
+            service_rng: stream_rng(cfg.seed, 1),
+            static_rng: stream_rng(cfg.seed, 2),
+            domain: MessagingDomain::new(
+                cfg.cluster_nodes,
+                cfg.send_slots_per_node,
+                cfg.request_bytes.max(cfg.reply_bytes),
+            ),
+            reassembly: ReassemblyTable::new(),
+            backends: (0..chip.backends)
+                .map(|b| NiBackend::new(chip.backend_tile(b)))
+                .collect(),
+            dispatch_units: vec![sonuma::SerialResource::new(); n_units],
+            dispatchers,
+            core_cq: vec![VecDeque::new(); chip.cores],
+            core_state: vec![CoreState::Idle; chip.cores],
+            msgs: Vec::with_capacity(cfg.requests as usize),
+            pending_by_src: vec![VecDeque::new(); cfg.cluster_nodes],
+            generated: 0,
+            completions: 0,
+            sw_queue: VecDeque::new(),
+            lock: McsLock::new(),
+            latency_samples: Vec::with_capacity((cfg.requests - cfg.warmup) as usize),
+            critical_samples: Vec::new(),
+            latency: Summary::new(),
+            service_occupancy: Summary::new(),
+            window_start: SimTime::ZERO,
+            window_end: SimTime::ZERO,
+            deferrals: 0,
+            preemptions: 0,
+            core_completions: vec![0; chip.cores],
+            pending_traces: Vec::new(),
+            traces: TraceLog::with_capacity(cfg.trace_capacity),
+            timeseries: cfg.timeseries_window.map(metrics::TimeSeries::new),
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        self.schedule_next_arrival();
+        while let Some(scheduled) = self.engine.pop() {
+            let now = scheduled.time;
+            match scheduled.event {
+                Ev::Arrival => self.on_arrival(now),
+                Ev::MsgComplete { msg } => self.on_msg_complete(now, msg),
+                Ev::AtDispatcher { msg, d } => {
+                    self.dispatchers[d].enqueue(msg as u64);
+                    self.drain_dispatcher(now, d);
+                }
+                Ev::CqeDelivered { msg, core } => self.on_cqe(now, msg, core),
+                Ev::ServiceDone { core, msg } => self.on_service_done(now, core, msg),
+                Ev::ReplenishAtDispatcher { core, d } => {
+                    self.dispatchers[d].on_replenish(core);
+                    self.drain_dispatcher(now, d);
+                }
+                Ev::SlotFreed { src, slot } => self.on_slot_freed(now, src, slot),
+                Ev::Preempted { core, msg } => self.on_preempted(now, core, msg),
+                Ev::SwTryDequeue { core } => self.on_sw_try_dequeue(now, core),
+                Ev::SwGranted { core } => self.on_sw_granted(now, core),
+            }
+        }
+        self.finish()
+    }
+
+    fn schedule_next_arrival(&mut self) {
+        if self.generated >= self.cfg.requests {
+            return;
+        }
+        let arrival = self.traffic.next_arrival();
+        self.generated += 1;
+        // Stash the source in a fresh message record; service time is
+        // drawn now for determinism across policies.
+        let service = self.cfg.service.sample(&mut self.service_rng);
+        self.msgs.push(MsgState {
+            src: arrival.source.index(),
+            slot: usize::MAX,
+            service,
+            remaining: service,
+            first_pkt: SimTime::MAX,
+        });
+        if self.traces.is_enabled() {
+            self.pending_traces.push(PendingTrace::default());
+        }
+        self.engine.schedule_at(arrival.time, Ev::Arrival);
+    }
+
+    fn on_arrival(&mut self, now: SimTime) {
+        // Generation is lazy one-ahead, so the firing arrival always
+        // corresponds to the most recently created message record.
+        let msg = self.msgs.len() - 1;
+        let src = self.msgs[msg].src;
+        if let Some(slot) = self.domain.try_acquire(src) {
+            self.inject_message(now, msg, slot);
+        } else {
+            self.deferrals += 1;
+            self.pending_by_src[src].push_back(msg);
+        }
+        self.schedule_next_arrival();
+    }
+
+    /// Injects a message's packets into the arrival backend's receive
+    /// pipeline and schedules its reassembly completion.
+    fn inject_message(&mut self, now: SimTime, msg: usize, slot: usize) {
+        let chip = &self.cfg.chip;
+        let src = self.msgs[msg].src;
+        let b = chip.backend_for_source(src);
+        let packets = packets_for(self.cfg.request_bytes, chip.mtu_bytes);
+        let gap = chip.edge_packet_gap();
+        self.msgs[msg].slot = slot;
+        self.msgs[msg].first_pkt = now;
+        if self.traces.is_enabled() {
+            self.pending_traces[msg].first_pkt = Some(now);
+        }
+        let mut complete = now;
+        for i in 0..packets {
+            let ready = now + gap * i;
+            let occ = self.backends[b]
+                .rx
+                .schedule(ready, chip.backend_rx_per_packet);
+            let done = self.reassembly.on_packet((src, slot), packets);
+            debug_assert_eq!(done, i == packets - 1);
+            complete = occ.end;
+        }
+        let reassembled = complete + chip.reassembly_update;
+        if self.traces.is_enabled() {
+            self.pending_traces[msg].reassembled = Some(reassembled);
+        }
+        self.engine.schedule_at(reassembled, Ev::MsgComplete { msg });
+    }
+
+    fn on_msg_complete(&mut self, now: SimTime, msg: usize) {
+        let chip = &self.cfg.chip;
+        let src = self.msgs[msg].src;
+        let b = chip.backend_for_source(src);
+        match &self.cfg.policy {
+            Policy::HwSingleQueue { .. } => {
+                // Forward the completion packet to the NI dispatcher
+                // (backend 0) over the mesh (§4.3).
+                let delay = chip.backend_to_backend(b, 0);
+                self.engine.schedule_at(now + delay, Ev::AtDispatcher { msg, d: 0 });
+            }
+            Policy::HwPartitioned { .. } => {
+                // The arrival backend is its own dispatcher.
+                self.engine.schedule_at(now, Ev::AtDispatcher { msg, d: b });
+            }
+            Policy::HwStatic => {
+                let core = if self.cfg.rss_per_flow {
+                    rss_core_for_source(src, chip.cores)
+                } else {
+                    self.static_rng.gen_range(0..chip.cores)
+                };
+                let delay = chip.backend_to_core(b, core) + chip.cq_notify;
+                self.engine
+                    .schedule_at(now + delay, Ev::CqeDelivered { msg, core });
+            }
+            Policy::SwSingleQueue { .. } => {
+                // The NI appends to the shared in-memory queue (an LLC
+                // write) and a spinning idle core notices after the
+                // coherence transfer.
+                if self.traces.is_enabled() {
+                    self.pending_traces[msg].dispatched = Some(now);
+                }
+                self.sw_queue.push_back(msg);
+                if let Some(core) = self.first_core_in(CoreState::Idle) {
+                    self.core_state[core] = CoreState::Acquiring;
+                    self.engine
+                        .schedule_at(now + chip.cq_notify, Ev::SwTryDequeue { core });
+                }
+            }
+        }
+    }
+
+    fn drain_dispatcher(&mut self, now: SimTime, d: usize) {
+        let chip = &self.cfg.chip;
+        while let Some((msg, core)) = self.dispatchers[d].try_dispatch() {
+            let occ = self.dispatch_units[d].schedule(now, chip.dispatch_decision);
+            // The dispatcher lives at backend `d` for partitioned mode and
+            // backend 0 for single-queue mode; `d` indexes correctly in
+            // both cases because single-queue mode has exactly one unit.
+            let backend = if self.dispatchers.len() == 1 { 0 } else { d };
+            let delay = chip.backend_to_core(backend, core) + chip.cq_notify;
+            self.engine
+                .schedule_at(occ.end + delay, Ev::CqeDelivered { msg: msg as usize, core });
+        }
+    }
+
+    fn on_cqe(&mut self, now: SimTime, msg: usize, core: usize) {
+        if self.traces.is_enabled() && self.pending_traces[msg].dispatched.is_none() {
+            self.pending_traces[msg].dispatched = Some(now);
+        }
+        self.core_cq[core].push_back(msg);
+        if self.core_state[core] == CoreState::Idle {
+            self.start_processing(now, core);
+        }
+    }
+
+    /// Pops the next CQE and occupies the core for the next slice of the
+    /// RPC (the whole RPC unless preemption cuts it short).
+    fn start_processing(&mut self, now: SimTime, core: usize) {
+        let Some(msg) = self.core_cq[core].pop_front() else {
+            self.core_state[core] = CoreState::Idle;
+            return;
+        };
+        self.run_slice(now, core, msg);
+    }
+
+    /// Occupies `core` with `msg`, honoring the preemption quantum.
+    fn run_slice(&mut self, now: SimTime, core: usize, msg: usize) {
+        self.core_state[core] = CoreState::Busy;
+        let chip = &self.cfg.chip;
+        let remaining = self.msgs[msg].remaining;
+        match self.cfg.preemption {
+            Some(p) if remaining > p.quantum => {
+                self.msgs[msg].remaining = remaining - p.quantum;
+                self.preemptions += 1;
+                if self.traces.is_enabled() {
+                    self.pending_traces[msg].preemptions += 1;
+                }
+                self.service_occupancy.record(p.quantum + p.overhead);
+                self.engine.schedule_at(
+                    now + p.quantum + p.overhead,
+                    Ev::Preempted { core, msg },
+                );
+            }
+            _ => {
+                if self.traces.is_enabled() {
+                    self.pending_traces[msg].started = Some(now);
+                }
+                let occupancy = chip.fixed_service_overhead() + remaining;
+                self.service_occupancy.record(occupancy);
+                self.engine
+                    .schedule_at(now + occupancy, Ev::ServiceDone { core, msg });
+            }
+        }
+    }
+
+    /// A preempted request re-enters the dispatch path at the back of the
+    /// queue; the core moves on to its next assignment.
+    fn on_preempted(&mut self, now: SimTime, core: usize, msg: usize) {
+        let chip = &self.cfg.chip;
+        match &self.cfg.policy {
+            Policy::HwSingleQueue { .. } | Policy::HwPartitioned { .. } => {
+                let d = self
+                    .dispatcher_of(core)
+                    .expect("dispatched policies own every core");
+                let backend = if self.dispatchers.len() == 1 { 0 } else { d };
+                let delay = chip.core_to_backend(core, backend);
+                // The requeue notification releases the core's outstanding
+                // slot and re-enqueues the message at the CQ tail.
+                self.engine
+                    .schedule_at(now + delay, Ev::ReplenishAtDispatcher { core, d });
+                self.engine
+                    .schedule_at(now + delay, Ev::AtDispatcher { msg, d });
+            }
+            Policy::HwStatic => {
+                // No rebalancing available: round-robin on the same core.
+                self.core_cq[core].push_back(msg);
+            }
+            Policy::SwSingleQueue { .. } => {
+                self.sw_queue.push_back(msg);
+            }
+        }
+        match &self.cfg.policy {
+            Policy::SwSingleQueue { .. } => {
+                self.core_state[core] = CoreState::Acquiring;
+                self.engine.schedule_at(now, Ev::SwTryDequeue { core });
+            }
+            _ => self.start_processing(now, core),
+        }
+    }
+
+    fn on_service_done(&mut self, now: SimTime, core: usize, msg: usize) {
+        let chip = &self.cfg.chip;
+        let state = self.msgs[msg];
+        let b = chip.backend_for_source(state.src);
+
+        // Reply transmission occupies the backend's TX pipeline (bandwidth
+        // accounting only; the reply leaves the measured path here).
+        let reply_packets = packets_for(self.cfg.reply_bytes, chip.mtu_bytes);
+        let tx_ready = now + chip.core_to_backend(core, b);
+        self.backends[b]
+            .tx
+            .schedule(tx_ready, chip.backend_tx_per_packet * reply_packets);
+
+        // Latency: reception of the send → replenish posted (now).
+        self.completions += 1;
+        self.core_completions[core] += 1;
+        if self.completions == self.cfg.warmup {
+            self.window_start = now;
+        }
+        if self.completions > self.cfg.warmup && self.traces.is_enabled() {
+            let p = self.pending_traces[msg];
+            self.traces.push(RequestTrace {
+                msg: msg as u64,
+                src: state.src as u16,
+                core: core as u16,
+                first_pkt: p.first_pkt.expect("traced request was injected"),
+                reassembled: p.reassembled.expect("traced request reassembled"),
+                dispatched: p.dispatched.expect("traced request dispatched"),
+                started: p.started.expect("traced request started"),
+                completed: now,
+                preemptions: p.preemptions,
+            });
+        }
+        if self.completions > self.cfg.warmup {
+            let lat = now.duration_since(state.first_pkt);
+            self.latency.record(lat);
+            if let Some(ts) = &mut self.timeseries {
+                ts.record(now, lat.as_ns_f64());
+            }
+            self.latency_samples.push(lat.as_ns_f64());
+            if let Some(threshold) = self.cfg.critical_threshold_ns {
+                if state.service.as_ns_f64() < threshold {
+                    self.critical_samples.push(lat.as_ns_f64());
+                }
+            }
+            self.window_end = now;
+        }
+
+        // Replenish propagates to the source (frees its send slot) …
+        let slot_free = now + chip.core_to_backend(core, b) + chip.wire_latency;
+        self.engine.schedule_at(
+            slot_free,
+            Ev::SlotFreed {
+                src: state.src,
+                slot: state.slot,
+            },
+        );
+
+        // … and, for dispatched policies, to the owning NI dispatcher.
+        if let Some(d) = self.dispatcher_of(core) {
+            let backend = if self.dispatchers.len() == 1 { 0 } else { d };
+            let delay = chip.core_to_backend(core, backend);
+            self.engine
+                .schedule_at(now + delay, Ev::ReplenishAtDispatcher { core, d });
+        }
+
+        // The core moves on: hardware paths pull from the private CQ;
+        // the software path re-contends for the lock.
+        match &self.cfg.policy {
+            Policy::SwSingleQueue { .. } => {
+                if self.sw_queue.is_empty() {
+                    self.core_state[core] = CoreState::Idle;
+                } else {
+                    self.core_state[core] = CoreState::Acquiring;
+                    self.engine.schedule_at(now, Ev::SwTryDequeue { core });
+                }
+            }
+            _ => self.start_processing(now, core),
+        }
+    }
+
+    fn on_slot_freed(&mut self, now: SimTime, src: usize, slot: usize) {
+        self.domain.release(src, slot);
+        if let Some(msg) = self.pending_by_src[src].pop_front() {
+            let slot = self
+                .domain
+                .try_acquire(src)
+                .expect("slot was just released");
+            self.inject_message(now, msg, slot);
+        }
+    }
+
+    fn on_sw_try_dequeue(&mut self, now: SimTime, core: usize) {
+        let Policy::SwSingleQueue { lock } = &self.cfg.policy else {
+            unreachable!("SwTryDequeue outside software policy");
+        };
+        let grant = self.lock.acquire(now, lock);
+        self.engine.schedule_at(grant.released, Ev::SwGranted { core });
+    }
+
+    fn on_sw_granted(&mut self, now: SimTime, core: usize) {
+        // The core exits the critical section holding the head message,
+        // or empty-handed if another core drained the queue first.
+        match self.sw_queue.pop_front() {
+            Some(msg) => {
+                self.run_slice(now, core, msg);
+                // Keep the pipeline full: if messages remain and another
+                // core is idle, it will have observed the non-empty queue.
+                if !self.sw_queue.is_empty() {
+                    if let Some(next) = self.first_core_in(CoreState::Idle) {
+                        self.core_state[next] = CoreState::Acquiring;
+                        self.engine.schedule_at(
+                            now + self.cfg.chip.cq_notify,
+                            Ev::SwTryDequeue { core: next },
+                        );
+                    }
+                }
+            }
+            None => {
+                self.core_state[core] = CoreState::Idle;
+            }
+        }
+    }
+
+    fn first_core_in(&self, state: CoreState) -> Option<usize> {
+        self.core_state.iter().position(|&s| s == state)
+    }
+
+    fn dispatcher_of(&self, core: usize) -> Option<usize> {
+        self.dispatchers.iter().position(|d| d.owns(core))
+    }
+
+    fn finish(self) -> RunResult {
+        let measured = self.latency.count();
+        let span_ns = self
+            .window_end
+            .saturating_duration_since(self.window_start)
+            .as_ns_f64();
+        let throughput_rps = if span_ns > 0.0 {
+            measured as f64 / span_ns * 1e9
+        } else {
+            0.0
+        };
+        let (p99, p50) = if self.latency_samples.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                percentile_ns(&self.latency_samples, 0.99),
+                percentile_ns(&self.latency_samples, 0.50),
+            )
+        };
+        let (p99_critical, measured_critical) = match self.cfg.critical_threshold_ns {
+            None => (p99, measured),
+            Some(_) if self.critical_samples.is_empty() => (0.0, 0),
+            Some(_) => (
+                percentile_ns(&self.critical_samples, 0.99),
+                self.critical_samples.len() as u64,
+            ),
+        };
+        RunResult {
+            label: self
+                .cfg
+                .policy
+                .label(self.cfg.chip.cores, self.cfg.chip.backends),
+            offered_rps: self.cfg.rate_rps,
+            throughput_rps,
+            mean_latency_ns: self.latency.mean_ns(),
+            p99_latency_ns: p99,
+            p50_latency_ns: p50,
+            latency: self.latency,
+            mean_service_ns: self.service_occupancy.mean_ns(),
+            measured,
+            p99_critical_ns: p99_critical,
+            measured_critical,
+            dispatcher_high_water: self
+                .dispatchers
+                .iter()
+                .map(|d| d.high_water())
+                .max()
+                .unwrap_or(0),
+            lock_contention: self.lock.contention_ratio(),
+            flow_control_deferrals: self.deferrals,
+            preemptions: self.preemptions,
+            traces: self.traces,
+            timeseries: self.timeseries,
+            load_balance_jain: metrics::fairness::jain_index(
+                &self
+                    .core_completions
+                    .iter()
+                    .map(|&c| c as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            core_completions: self.core_completions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(policy: Policy, rate: f64, seed: u64) -> SystemConfig {
+        SystemConfig::builder()
+            .policy(policy)
+            .service(ServiceDist::exponential_mean_ns(600.0))
+            .rate_rps(rate)
+            .requests(60_000)
+            .warmup(10_000)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn low_load_latency_near_service_floor() {
+        let r = ServerSim::new(base(Policy::hw_single_queue(), 1.0e6, 1)).run();
+        // At ~5 % utilization the mean latency is service + small NI cost.
+        assert!(
+            r.mean_latency_ns < r.mean_service_ns + 100.0,
+            "mean latency {} vs service {}",
+            r.mean_latency_ns,
+            r.mean_service_ns
+        );
+        assert!(r.measured > 0);
+    }
+
+    #[test]
+    fn measured_service_time_matches_calibration() {
+        let r = ServerSim::new(base(Policy::hw_single_queue(), 1.0e6, 2)).run();
+        // S̄ = 220 ns overhead + 600 ns mean processing ≈ 820 ns.
+        assert!(
+            (r.mean_service_ns - 820.0).abs() < 15.0,
+            "S̄ = {}",
+            r.mean_service_ns
+        );
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let r = ServerSim::new(base(Policy::hw_single_queue(), 8.0e6, 3)).run();
+        assert!(
+            (r.throughput_rps - 8.0e6).abs() / 8.0e6 < 0.05,
+            "throughput {} at 8 Mrps offered",
+            r.throughput_rps
+        );
+    }
+
+    #[test]
+    fn single_queue_beats_static_at_high_load() {
+        let rate = 14.0e6; // ~72 % of the ~19.5 Mrps capacity
+        let single = ServerSim::new(base(Policy::hw_single_queue(), rate, 4)).run();
+        let stat = ServerSim::new(base(Policy::hw_static(), rate, 4)).run();
+        assert!(
+            single.p99_latency_ns < stat.p99_latency_ns,
+            "1x16 p99 {} must beat 16x1 p99 {}",
+            single.p99_latency_ns,
+            stat.p99_latency_ns
+        );
+    }
+
+    #[test]
+    fn partitioned_sits_between_extremes() {
+        let rate = 14.0e6;
+        let single = ServerSim::new(base(Policy::hw_single_queue(), rate, 5)).run();
+        let part = ServerSim::new(base(Policy::hw_partitioned(), rate, 5)).run();
+        let stat = ServerSim::new(base(Policy::hw_static(), rate, 5)).run();
+        assert!(
+            single.p99_latency_ns <= part.p99_latency_ns * 1.10,
+            "1x16 {} ≤ 4x4 {}",
+            single.p99_latency_ns,
+            part.p99_latency_ns
+        );
+        assert!(
+            part.p99_latency_ns <= stat.p99_latency_ns * 1.10,
+            "4x4 {} ≤ 16x1 {}",
+            part.p99_latency_ns,
+            stat.p99_latency_ns
+        );
+    }
+
+    #[test]
+    fn software_lock_caps_throughput() {
+        // Offer 10 Mrps: above the ~7.4 Mrps lock ceiling. The software
+        // system must saturate below the offered rate while the hardware
+        // system keeps up.
+        let sw = ServerSim::new(base(Policy::sw_single_queue(), 10.0e6, 6)).run();
+        let hw = ServerSim::new(base(Policy::hw_single_queue(), 10.0e6, 6)).run();
+        assert!(
+            sw.throughput_rps < 8.0e6,
+            "software throughput {} should cap near the lock ceiling",
+            sw.throughput_rps
+        );
+        assert!(
+            (hw.throughput_rps - 10.0e6).abs() / 10.0e6 < 0.05,
+            "hardware keeps up: {}",
+            hw.throughput_rps
+        );
+        assert!(sw.lock_contention > 0.5, "lock is contended at overload");
+    }
+
+    #[test]
+    fn software_competitive_at_low_load() {
+        let sw = ServerSim::new(base(Policy::sw_single_queue(), 1.0e6, 7)).run();
+        let hw = ServerSim::new(base(Policy::hw_single_queue(), 1.0e6, 7)).run();
+        // §6.2: "The software implementation is competitive with the
+        // hardware implementation at low load".
+        assert!(
+            sw.p99_latency_ns < hw.p99_latency_ns * 1.25,
+            "sw p99 {} vs hw p99 {}",
+            sw.p99_latency_ns,
+            hw.p99_latency_ns
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ServerSim::new(base(Policy::hw_single_queue(), 6.0e6, 42)).run();
+        let b = ServerSim::new(base(Policy::hw_single_queue(), 6.0e6, 42)).run();
+        assert_eq!(a.p99_latency_ns, b.p99_latency_ns);
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert_eq!(a.measured, b.measured);
+    }
+
+    #[test]
+    fn multi_packet_requests_reassemble() {
+        let cfg = SystemConfig::builder()
+            .policy(Policy::hw_single_queue())
+            .service(ServiceDist::fixed_ns(600.0))
+            .request_bytes(512) // 8 packets per request
+            .rate_rps(2.0e6)
+            .requests(20_000)
+            .warmup(2_000)
+            .seed(8)
+            .build();
+        let r = ServerSim::new(cfg).run();
+        assert_eq!(r.measured, 18_000);
+        assert!(r.p99_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn flow_control_defers_on_tiny_slot_budget() {
+        let cfg = SystemConfig::builder()
+            .policy(Policy::hw_single_queue())
+            .service(ServiceDist::fixed_ns(600.0))
+            .cluster_nodes(3) // two sources only
+            .send_slots_per_node(1)
+            .rate_rps(10.0e6)
+            .requests(5_000)
+            .warmup(500)
+            .seed(9)
+            .build();
+        let r = ServerSim::new(cfg).run();
+        assert!(
+            r.flow_control_deferrals > 0,
+            "1 slot × 2 sources at 10 Mrps must defer"
+        );
+        assert_eq!(r.measured, 4_500, "deferred arrivals still complete");
+    }
+
+    #[test]
+    fn timeseries_flags_overload_and_clears_steady_state() {
+        let steady = {
+            let mut cfg = base(Policy::hw_single_queue(), 8.0e6, 41);
+            cfg.timeseries_window = Some(simkit::SimDuration::from_us(200));
+            ServerSim::new(cfg).run()
+        };
+        let drift = steady.timeseries.as_ref().unwrap().drift_ratio().unwrap();
+        assert!(
+            (0.7..1.4).contains(&drift),
+            "40% load should be stationary, drift {drift}"
+        );
+
+        // At overload the backlog grows for as long as send slots remain;
+        // provisioning ample slots keeps the ramp visible across the run.
+        let overloaded = {
+            let mut cfg = base(Policy::hw_single_queue(), 30.0e6, 41); // > capacity
+            cfg.warmup = 100;
+            cfg.send_slots_per_node = 4096; // flow control effectively off
+            cfg.timeseries_window = Some(simkit::SimDuration::from_us(100));
+            ServerSim::new(cfg).run()
+        };
+        let drift = overloaded
+            .timeseries
+            .as_ref()
+            .unwrap()
+            .drift_ratio()
+            .unwrap();
+        assert!(drift > 1.5, "overload should drift upward, drift {drift}");
+        // And throughput confirms saturation below the offered rate.
+        assert!(overloaded.throughput_rps < 25.0e6);
+    }
+
+    #[test]
+    fn traces_decompose_latency_exactly() {
+        let mut cfg = base(Policy::hw_single_queue(), 8.0e6, 40);
+        cfg.trace_capacity = 500;
+        let r = ServerSim::new(cfg).run();
+        assert_eq!(r.traces.records().len(), 500);
+        for t in r.traces.records() {
+            // Components sum to the total.
+            let total = t.reassembly_ns() + t.dispatch_ns() + t.core_queue_ns() + t.processing_ns();
+            assert!((total - t.total_ns()).abs() < 1e-6);
+            // Monotone timeline.
+            assert!(t.first_pkt <= t.reassembled);
+            assert!(t.reassembled <= t.dispatched);
+            assert!(t.started <= t.completed);
+        }
+        let (re, di, _cq, pr) = r.traces.component_means_ns();
+        assert!(re < 20.0, "reassembly of a 1-packet request is a few ns: {re}");
+        assert!(di < 100.0, "dispatch path is tens of ns at 40% load: {di}");
+        assert!(pr > 700.0, "processing dominates: {pr}");
+    }
+
+    #[test]
+    fn dynamic_dispatch_balances_cores() {
+        let r = ServerSim::new(base(Policy::hw_single_queue(), 10.0e6, 30)).run();
+        assert!(
+            r.load_balance_jain > 0.99,
+            "1x16 should balance near-perfectly, Jain {}",
+            r.load_balance_jain
+        );
+        assert_eq!(r.core_completions.len(), 16);
+        assert_eq!(r.core_completions.iter().sum::<u64>(), 60_000);
+    }
+
+    #[test]
+    fn per_flow_static_is_less_balanced_than_per_message() {
+        let mut flow_cfg = base(Policy::hw_static(), 10.0e6, 31);
+        flow_cfg.rss_per_flow = true;
+        let per_flow = ServerSim::new(flow_cfg).run();
+        let per_msg = ServerSim::new(base(Policy::hw_static(), 10.0e6, 31)).run();
+        assert!(
+            per_flow.load_balance_jain < per_msg.load_balance_jain,
+            "per-flow Jain {} should trail per-message Jain {}",
+            per_flow.load_balance_jain,
+            per_msg.load_balance_jain
+        );
+    }
+
+    #[test]
+    fn preemption_never_triggers_for_short_rpcs() {
+        // Fixed 600 ns service: strictly below the quantum, so preemption
+        // must be a no-op (exponential service *would* occasionally
+        // exceed 5 us and legitimately preempt).
+        let mk = |preempt: bool| {
+            let mut cfg = base(Policy::hw_single_queue(), 6.0e6, 20);
+            cfg.service = ServiceDist::fixed_ns(600.0);
+            if preempt {
+                cfg.preemption = Some(PreemptionParams::shinjuku_5us());
+            }
+            ServerSim::new(cfg).run()
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert_eq!(with.preemptions, 0, "600 ns RPCs never hit a 5 us quantum");
+        assert_eq!(with.p99_latency_ns, without.p99_latency_ns);
+    }
+
+    #[test]
+    fn preemption_caps_long_request_monopoly() {
+        // A bimodal workload: mostly 1 us requests plus rare 100 us hogs.
+        let service = ServiceDist::mixture(vec![
+            (0.99, ServiceDist::fixed_ns(1_000.0)),
+            (0.01, ServiceDist::fixed_ns(100_000.0)),
+        ]);
+        let mk = |preempt: bool, policy: Policy| {
+            let mut b = SystemConfig::builder()
+                .policy(policy)
+                .service(service.clone())
+                .critical_threshold_ns(50_000.0)
+                .rate_rps(4.0e6)
+                .requests(80_000)
+                .warmup(8_000)
+                .seed(21);
+            if preempt {
+                b = b.preemption(PreemptionParams::shinjuku_5us());
+            }
+            ServerSim::new(b.build()).run()
+        };
+        // The static 16x1 system suffers most from hogs; preemption must
+        // slash the critical-class tail there.
+        let plain = mk(false, Policy::hw_static());
+        let preempted = mk(true, Policy::hw_static());
+        assert!(preempted.preemptions > 0, "hogs must be preempted");
+        assert!(
+            preempted.p99_critical_ns < plain.p99_critical_ns / 2.0,
+            "preemption should slash the 16x1 critical tail: {} -> {}",
+            plain.p99_critical_ns,
+            preempted.p99_critical_ns
+        );
+        // And requests still all complete.
+        assert_eq!(preempted.measured, 72_000);
+    }
+
+    #[test]
+    fn preemption_composes_with_rpcvalet_dispatch() {
+        let service = ServiceDist::mixture(vec![
+            (0.99, ServiceDist::fixed_ns(1_000.0)),
+            (0.01, ServiceDist::fixed_ns(100_000.0)),
+        ]);
+        let mut cfg = SystemConfig::builder()
+            .policy(Policy::hw_single_queue())
+            .service(service)
+            .critical_threshold_ns(50_000.0)
+            .rate_rps(4.0e6)
+            .requests(60_000)
+            .warmup(6_000)
+            .seed(22)
+            .preemption(PreemptionParams::shinjuku_5us())
+            .build();
+        cfg.requests = 60_000;
+        let r = ServerSim::new(cfg).run();
+        assert!(r.preemptions > 0);
+        assert_eq!(r.measured, 54_000, "preempted requests complete exactly once");
+    }
+
+    #[test]
+    fn dispatcher_high_water_grows_at_saturation() {
+        let r = ServerSim::new(base(Policy::hw_single_queue(), 25.0e6, 10)).run();
+        assert!(
+            r.dispatcher_high_water > 10,
+            "overload must queue in the shared CQ, high water {}",
+            r.dispatcher_high_water
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-request timeline tracing.
+//!
+//! When enabled ([`crate::SystemConfig::trace_capacity`] > 0), the
+//! simulator records a [`RequestTrace`] for the first `capacity`
+//! measured requests: every hop of the §4.2/§4.3 pipeline with its
+//! timestamp. Traces answer "where did the time go" questions that
+//! aggregate percentiles cannot — e.g. how much of a slow request's
+//! latency was reassembly vs shared-CQ queueing vs core queueing.
+
+use simkit::SimTime;
+
+/// Timeline of one request through the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestTrace {
+    /// Message index (arrival order).
+    pub msg: u64,
+    /// Source node id.
+    pub src: u16,
+    /// Core that completed the request.
+    pub core: u16,
+    /// First packet reception at the NI backend.
+    pub first_pkt: SimTime,
+    /// All packets written + counter matched (§4.2).
+    pub reassembled: SimTime,
+    /// CQE written into the completing core's private CQ.
+    pub dispatched: SimTime,
+    /// Core began processing (final slice, if preempted).
+    pub started: SimTime,
+    /// Replenish posted — the latency endpoint.
+    pub completed: SimTime,
+    /// Times this request was preempted.
+    pub preemptions: u16,
+}
+
+impl RequestTrace {
+    /// Network + reassembly time (first packet → message complete).
+    pub fn reassembly_ns(&self) -> f64 {
+        self.reassembled.duration_since(self.first_pkt).as_ns_f64()
+    }
+
+    /// Dispatch-path time (message complete → CQE at the core),
+    /// including any shared-CQ queueing.
+    pub fn dispatch_ns(&self) -> f64 {
+        self.dispatched.duration_since(self.reassembled).as_ns_f64()
+    }
+
+    /// Core-side queueing (CQE delivered → processing started). Nonzero
+    /// when the request waited behind another in the private CQ, or was
+    /// preempted and rejoined later.
+    pub fn core_queue_ns(&self) -> f64 {
+        self.started
+            .saturating_duration_since(self.dispatched)
+            .as_ns_f64()
+    }
+
+    /// Processing time (start of final slice → replenish post).
+    pub fn processing_ns(&self) -> f64 {
+        self.completed.duration_since(self.started).as_ns_f64()
+    }
+
+    /// Total measured latency.
+    pub fn total_ns(&self) -> f64 {
+        self.completed.duration_since(self.first_pkt).as_ns_f64()
+    }
+}
+
+/// Builder state for one in-flight request's trace.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PendingTrace {
+    pub first_pkt: Option<SimTime>,
+    pub reassembled: Option<SimTime>,
+    pub dispatched: Option<SimTime>,
+    pub started: Option<SimTime>,
+    pub preemptions: u16,
+}
+
+/// A bounded collection of completed request traces.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    records: Vec<RequestTrace>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A log that keeps at most `capacity` traces (0 disables tracing).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            records: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether tracing is enabled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a completed trace, dropping it if the log is full.
+    pub fn push(&mut self, trace: RequestTrace) {
+        if self.records.len() < self.capacity {
+            self.records.push(trace);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded traces, in completion order.
+    pub fn records(&self) -> &[RequestTrace] {
+        &self.records
+    }
+
+    /// Traces that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Mean of each latency component over the recorded traces, as
+    /// `(reassembly, dispatch, core queue, processing)` in ns. Returns
+    /// zeros when empty.
+    pub fn component_means_ns(&self) -> (f64, f64, f64, f64) {
+        if self.records.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let n = self.records.len() as f64;
+        let sum = self.records.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, t| {
+            (
+                acc.0 + t.reassembly_ns(),
+                acc.1 + t.dispatch_ns(),
+                acc.2 + t.core_queue_ns(),
+                acc.3 + t.processing_ns(),
+            )
+        });
+        (sum.0 / n, sum.1 / n, sum.2 / n, sum.3 / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    fn trace(msg: u64) -> RequestTrace {
+        RequestTrace {
+            msg,
+            src: 3,
+            core: 7,
+            first_pkt: t(100),
+            reassembled: t(110),
+            dispatched: t(120),
+            started: t(150),
+            completed: t(1_000),
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn component_arithmetic() {
+        let tr = trace(0);
+        assert_eq!(tr.reassembly_ns(), 10.0);
+        assert_eq!(tr.dispatch_ns(), 10.0);
+        assert_eq!(tr.core_queue_ns(), 30.0);
+        assert_eq!(tr.processing_ns(), 850.0);
+        assert_eq!(tr.total_ns(), 900.0);
+    }
+
+    #[test]
+    fn capacity_bounds_log() {
+        let mut log = TraceLog::with_capacity(2);
+        assert!(log.is_enabled());
+        for i in 0..5 {
+            log.push(trace(i));
+        }
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn disabled_log() {
+        let log = TraceLog::with_capacity(0);
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn component_means() {
+        let mut log = TraceLog::with_capacity(10);
+        log.push(trace(0));
+        log.push(trace(1));
+        let (re, di, cq, pr) = log.component_means_ns();
+        assert_eq!((re, di, cq, pr), (10.0, 10.0, 30.0, 850.0));
+    }
+
+    #[test]
+    fn empty_means_are_zero() {
+        let log = TraceLog::with_capacity(10);
+        assert_eq!(log.component_means_ns(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

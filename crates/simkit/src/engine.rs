@@ -1,0 +1,173 @@
+//! The simulation engine: a clock plus an event queue.
+//!
+//! [`Engine`] advances simulated time monotonically as events are popped.
+//! Models drive the loop themselves, which keeps the kernel free of any
+//! callback or trait-object machinery:
+//!
+//! ```
+//! use simkit::{Engine, SimDuration};
+//!
+//! enum Ev { Tick(u32) }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_in(SimDuration::from_ns(1), Ev::Tick(0));
+//! let mut ticks = 0;
+//! while let Some(scheduled) = engine.pop() {
+//!     let Ev::Tick(n) = scheduled.event;
+//!     ticks += 1;
+//!     if n < 9 {
+//!         engine.schedule_in(SimDuration::from_ns(1), Ev::Tick(n + 1));
+//!     }
+//! }
+//! assert_eq!(ticks, 10);
+//! assert_eq!(engine.now().as_ns(), 10);
+//! ```
+
+use crate::event::{EventQueue, Scheduled};
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation clock and event queue.
+///
+/// Time only moves when events are popped, and never backwards; scheduling
+/// an event in the past is a logic error and panics in debug builds.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events popped so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `time` is before the current instant.
+    #[inline]
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: now={:?} target={:?}",
+            self.now,
+            time
+        );
+        self.queue.push(time, event);
+    }
+
+    /// Pops the earliest event and advances the clock to its firing time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let scheduled = self.queue.pop()?;
+        debug_assert!(scheduled.time >= self.now, "event queue went backwards");
+        self.now = scheduled.time;
+        self.processed += 1;
+        Some(scheduled)
+    }
+
+    /// The firing time of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e = Engine::new();
+        e.schedule_in(SimDuration::from_ns(10), "b");
+        e.schedule_in(SimDuration::from_ns(5), "a");
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.pop().unwrap().event, "a");
+        assert_eq!(e.now().as_ns(), 5);
+        assert_eq!(e.pop().unwrap().event, "b");
+        assert_eq!(e.now().as_ns(), 10);
+        assert!(e.pop().is_none());
+        assert_eq!(e.events_processed(), 2);
+    }
+
+    #[test]
+    fn schedule_relative_to_advanced_clock() {
+        let mut e = Engine::new();
+        e.schedule_in(SimDuration::from_ns(5), 1u8);
+        e.pop();
+        e.schedule_in(SimDuration::from_ns(5), 2u8);
+        let s = e.pop().unwrap();
+        assert_eq!(s.time.as_ns(), 10);
+    }
+
+    #[test]
+    fn schedule_at_absolute() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_ns(42), ());
+        assert_eq!(e.peek_time(), Some(SimTime::from_ns(42)));
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn schedule_into_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_in(SimDuration::from_ns(10), ());
+        e.pop();
+        e.schedule_at(SimTime::from_ns(1), ());
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut e = Engine::new();
+        let t = SimTime::from_ns(3);
+        e.schedule_at(t, 1u8);
+        e.schedule_at(t, 2u8);
+        e.schedule_at(t, 3u8);
+        let order: Vec<u8> = std::iter::from_fn(|| e.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+}

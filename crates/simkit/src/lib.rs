@@ -1,0 +1,43 @@
+//! # simkit — deterministic discrete-event simulation kernel
+//!
+//! This crate provides the simulation substrate that every model in the
+//! RPCValet reproduction is built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-picosecond simulated time, so
+//!   event ordering is exact and reproducible (no floating-point drift).
+//! * [`EventQueue`] — a priority queue of timestamped events with a
+//!   deterministic FIFO tie-break for simultaneous events.
+//! * [`Engine`] — a thin driver that owns the clock and the event queue.
+//! * [`rng`] — seed-splitting utilities so that every simulated component
+//!   gets an independent, reproducible random stream.
+//!
+//! The paper evaluates RPCValet with Flexus cycle-accurate simulation; this
+//! kernel instead supports nanosecond-granularity event-driven models whose
+//! latency constants are calibrated from the paper's Table 1. See DESIGN.md
+//! for the substitution argument.
+//!
+//! ## Example
+//!
+//! ```
+//! use simkit::{Engine, SimDuration};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_in(SimDuration::from_ns(5), Ev::Pong);
+//! engine.schedule_in(SimDuration::from_ns(1), Ev::Ping);
+//!
+//! let first = engine.pop().unwrap();
+//! assert_eq!(first.event, Ev::Ping);
+//! assert_eq!(engine.now().as_ns(), 1);
+//! ```
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use engine::Engine;
+pub use event::{EventQueue, Scheduled};
+pub use time::{SimDuration, SimTime, DEFAULT_CLOCK_GHZ};

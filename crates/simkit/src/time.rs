@@ -1,0 +1,383 @@
+//! Simulated time as integer picoseconds.
+//!
+//! All models in this workspace express latencies either in nanoseconds or
+//! in CPU cycles at the paper's 2 GHz clock (Table 1). Picosecond integer
+//! resolution represents both exactly (1 cycle @ 2 GHz = 500 ps) while
+//! keeping event ordering total and reproducible.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// The chip clock frequency assumed by the paper's Table 1, in GHz.
+pub const DEFAULT_CLOCK_GHZ: f64 = 2.0;
+
+const PS_PER_NS: u64 = 1_000;
+const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per cycle at the default 2 GHz clock.
+const PS_PER_CYCLE: u64 = 500;
+
+/// An absolute point in simulated time (picoseconds since simulation start).
+///
+/// `SimTime` is ordered, copyable, and cheap; arithmetic with
+/// [`SimDuration`] is exact integer arithmetic.
+///
+/// # Example
+/// ```
+/// use simkit::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_ns(10);
+/// assert_eq!(t.as_ns(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (picoseconds).
+///
+/// # Example
+/// ```
+/// use simkit::SimDuration;
+/// let d = SimDuration::from_cycles(6); // LLC hit latency in Table 1
+/// assert_eq!(d.as_ns_f64(), 3.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs an instant from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Constructs an instant `ns` nanoseconds after the origin.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * PS_PER_NS)
+    }
+
+    /// Raw picoseconds since the origin.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds since the origin (truncating).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// Nanoseconds since the origin as a float.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Microseconds since the origin as a float.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier <= self,
+            "duration_since: earlier ({earlier:?}) is after self ({self:?})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating version of [`SimTime::duration_since`]: returns zero when
+    /// `earlier` is later than `self`.
+    #[inline]
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs a duration from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Constructs a duration from whole nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * PS_PER_NS)
+    }
+
+    /// Constructs a duration from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * PS_PER_US)
+    }
+
+    /// Constructs a duration from CPU cycles at the default 2 GHz clock.
+    #[inline]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        SimDuration(cycles * PS_PER_CYCLE)
+    }
+
+    /// Constructs a duration from fractional nanoseconds, rounding to the
+    /// nearest picosecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        if ns <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// Raw picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// Nanoseconds as a float.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Microseconds as a float.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Whole cycles at the default 2 GHz clock (truncating).
+    #[inline]
+    pub const fn as_cycles(self) -> u64 {
+        self.0 / PS_PER_CYCLE
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by a float factor, rounding to the nearest
+    /// picosecond. Negative factors clamp to zero.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({} ns)", self.as_ns_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({} ns)", self.as_ns_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_conversion_is_exact_at_2ghz() {
+        assert_eq!(SimDuration::from_cycles(1).as_ps(), 500);
+        assert_eq!(SimDuration::from_cycles(2).as_ns(), 1);
+        assert_eq!(SimDuration::from_cycles(600).as_ns(), 300);
+    }
+
+    #[test]
+    fn ns_and_us_roundtrip() {
+        let d = SimDuration::from_us(3);
+        assert_eq!(d.as_ns(), 3_000);
+        assert_eq!(d.as_us_f64(), 3.0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_ns(100);
+        let t2 = t1 + SimDuration::from_ns(50);
+        assert_eq!(t2 - t0, SimDuration::from_ns(150));
+        assert_eq!(t2.duration_since(t1).as_ns(), 50);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let early = SimTime::from_ns(10);
+        let late = SimTime::from_ns(20);
+        assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_duration_since(early).as_ns(), 10);
+    }
+
+    #[test]
+    fn from_ns_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_ns_f64(1.4994).as_ps(), 1_499);
+        assert_eq!(SimDuration::from_ns_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_ns_f64(0.0005).as_ps(), 1);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_ns(100);
+        assert_eq!(d.mul_f64(0.5).as_ns(), 50);
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ns).sum();
+        assert_eq!(total.as_ns(), 10);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", SimTime::from_ns(5)).is_empty());
+        assert!(!format!("{:?}", SimDuration::from_ns(5)).is_empty());
+    }
+
+    #[test]
+    fn ordering_matches_picoseconds() {
+        assert!(SimTime::from_ps(1) < SimTime::from_ps(2));
+        assert!(SimDuration::from_ns(1) < SimDuration::from_us(1));
+        assert_eq!(SimTime::from_ns(3).max(SimTime::from_ns(7)).as_ns(), 7);
+    }
+}

@@ -1,0 +1,123 @@
+//! Node and message identities, and cache-block packetization.
+//!
+//! soNUMA's protocol is stateless request–response: a multi-block message
+//! travels as independent packets each carrying one cache-block (64 B)
+//! payload (§4.2). The destination NI counts packet arrivals per receive
+//! slot to detect message completion.
+
+/// Identifies a node in the messaging domain (0 = the simulated server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The numeric id.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A unique message identifier within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u64);
+
+impl std::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "msg{}", self.0)
+    }
+}
+
+/// Number of link-layer packets a `bytes`-sized message unrolls into at
+/// the given MTU. Zero-byte messages still need one (header-only) packet.
+///
+/// # Panics
+/// Panics if `mtu` is zero.
+///
+/// # Example
+/// ```
+/// use sonuma::packets_for;
+/// assert_eq!(packets_for(512, 64), 8); // the microbenchmark's RPC reply
+/// assert_eq!(packets_for(1, 64), 1);
+/// assert_eq!(packets_for(0, 64), 1);
+/// ```
+pub fn packets_for(bytes: u64, mtu: u64) -> u64 {
+    assert!(mtu > 0, "MTU must be positive");
+    bytes.div_ceil(mtu).max(1)
+}
+
+/// A `send` operation descriptor as posted in a WQ (§4.2): messaging
+/// domain, target node, receive-slot address, local payload pointer and
+/// size. The simulation carries only the fields that affect timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendDescriptor {
+    /// Destination node.
+    pub target: NodeId,
+    /// Receive-buffer slot index at the destination.
+    pub slot: usize,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// A `replenish` operation descriptor (§4.2): frees a send-buffer slot at
+/// the message's source node after processing completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplenishDescriptor {
+    /// The node whose send slot is being freed.
+    pub target: NodeId,
+    /// The send-buffer slot index to invalidate.
+    pub slot: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_counts() {
+        assert_eq!(packets_for(64, 64), 1);
+        assert_eq!(packets_for(65, 64), 2);
+        assert_eq!(packets_for(512, 64), 8);
+        assert_eq!(packets_for(500, 64), 8);
+        assert_eq!(packets_for(0, 64), 1);
+    }
+
+    #[test]
+    fn packet_counts_other_mtus() {
+        // InfiniBand-style 4 KB MTU (§4.2 discussion).
+        assert_eq!(packets_for(512, 4096), 1);
+        assert_eq!(packets_for(8192, 4096), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU must be positive")]
+    fn zero_mtu_panics() {
+        packets_for(1, 0);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(MsgId(9).to_string(), "msg9");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn descriptors_are_value_types() {
+        let s = SendDescriptor {
+            target: NodeId(1),
+            slot: 4,
+            bytes: 512,
+        };
+        let r = ReplenishDescriptor {
+            target: NodeId(1),
+            slot: 4,
+        };
+        assert_eq!(s.target, r.target);
+        assert_eq!(s.slot, r.slot);
+    }
+}

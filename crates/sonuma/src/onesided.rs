@@ -1,0 +1,79 @@
+//! One-sided remote memory operations (soNUMA's native primitives).
+//!
+//! soNUMA's baseline protocol offers RDMA-style one-sided reads and
+//! writes of remote memory with no remote-CPU involvement (§3.3). The
+//! stateless request–response protocol unrolls a large transfer into
+//! independent cache-block requests that are pipelined on the wire, so
+//! end-to-end latency is one round trip plus link serialization of the
+//! payload.
+//!
+//! The rendezvous mechanism for large messages (§4.2) is built on
+//! [`remote_read_latency`]: the receiver pulls the payload directly from
+//! the sender's memory.
+
+use simkit::SimDuration;
+
+use crate::message::packets_for;
+use crate::params::ChipParams;
+
+/// End-to-end latency of a one-sided **read** of `bytes` from a remote
+/// node's memory: request wire crossing, remote memory access, then the
+/// pipelined reply stream back (one MTU per link-serialization slot).
+///
+/// Remote memory access is charged once (50 ns DRAM, Table 1): the
+/// unrolled cache-block reads pipeline behind one another.
+pub fn remote_read_latency(chip: &ChipParams, bytes: u64) -> SimDuration {
+    let packets = packets_for(bytes, chip.mtu_bytes);
+    let memory = SimDuration::from_ns(50);
+    chip.wire_latency // request out
+        + memory // remote DRAM access (pipelined for subsequent blocks)
+        + chip.wire_latency // first reply block back
+        + chip.edge_packet_gap() * (packets - 1) // stream serialization
+        + chip.backend_rx_per_packet // local NI ingests the final block
+}
+
+/// End-to-end latency of a one-sided **write** of `bytes` to a remote
+/// node's memory (fire-and-forget until the last block lands).
+pub fn remote_write_latency(chip: &ChipParams, bytes: u64) -> SimDuration {
+    let packets = packets_for(bytes, chip.mtu_bytes);
+    chip.wire_latency
+        + chip.edge_packet_gap() * (packets - 1)
+        + chip.backend_rx_per_packet
+        + SimDuration::from_ns(50) // remote memory commit of the last block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_read_is_one_rtt_plus_memory() {
+        let chip = ChipParams::table1();
+        let lat = remote_read_latency(&chip, 64);
+        // 100 + 50 + 100 + 0 + 2 = 252 ns.
+        assert!((lat.as_ns_f64() - 252.0).abs() < 1e-9, "{lat}");
+    }
+
+    #[test]
+    fn read_latency_grows_linearly_with_payload() {
+        let chip = ChipParams::table1();
+        let small = remote_read_latency(&chip, 64);
+        let large = remote_read_latency(&chip, 64 * 101);
+        let delta = large - small;
+        // 100 extra packets at 2 ns serialization each.
+        assert_eq!(delta.as_ns(), 200);
+    }
+
+    #[test]
+    fn write_cheaper_than_read_for_small_payloads() {
+        let chip = ChipParams::table1();
+        assert!(remote_write_latency(&chip, 64) < remote_read_latency(&chip, 64));
+    }
+
+    #[test]
+    fn sub_microsecond_for_typical_objects() {
+        // soNUMA's design point: sub-µs remote access for KB-scale data.
+        let chip = ChipParams::table1();
+        assert!(remote_read_latency(&chip, 1024).as_us_f64() < 1.0);
+    }
+}

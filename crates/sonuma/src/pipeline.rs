@@ -1,0 +1,242 @@
+//! The NI's processing pipelines and RPCValet's five-stage extension
+//! (§4.4).
+//!
+//! soNUMA's NI features three pipelines: **Request Generation** (local
+//! WQEs → network packets), **Request Completion** (responses → CQEs),
+//! and **Remote Request Processing** (incoming packets → memory). The
+//! paper's hardware claim is that native messaging and load balancing
+//! add only *five* pipeline stages and ~20 B of SRAM per context — this
+//! module makes that budget explicit and testable, and its composed
+//! latencies are the source of the event-model constants in
+//! [`crate::params`].
+
+use simkit::SimDuration;
+
+/// One pipeline stage: a name and its traversal latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// What the stage does (stable identifier).
+    pub name: &'static str,
+    /// Stage traversal latency.
+    pub latency: SimDuration,
+    /// Whether the stage is part of RPCValet's extension (vs baseline
+    /// soNUMA).
+    pub rpcvalet_extension: bool,
+}
+
+impl Stage {
+    const fn base(name: &'static str, cycles: u64) -> Stage {
+        Stage {
+            name,
+            latency: SimDuration::from_cycles(cycles),
+            rpcvalet_extension: false,
+        }
+    }
+
+    const fn ext(name: &'static str, cycles: u64) -> Stage {
+        Stage {
+            name,
+            latency: SimDuration::from_cycles(cycles),
+            rpcvalet_extension: true,
+        }
+    }
+}
+
+/// Which NI pipeline a stage list models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineKind {
+    /// Local WQE parsing and packet generation (per NI frontend+backend).
+    RequestGeneration,
+    /// Response handling and CQE write-back (per NI frontend).
+    RequestCompletion,
+    /// Incoming remote requests → memory (replicated per NI backend).
+    RemoteRequestProcessing,
+}
+
+/// An ordered list of stages with composed latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    kind: PipelineKind,
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Baseline soNUMA pipeline of the given kind (one-sided ops only).
+    pub fn baseline(kind: PipelineKind) -> Pipeline {
+        let stages = match kind {
+            PipelineKind::RequestGeneration => vec![
+                Stage::base("wq_poll", 1),
+                Stage::base("wqe_decode", 1),
+                Stage::base("vaddr_translate", 2),
+                Stage::base("packetize", 1),
+            ],
+            PipelineKind::RequestCompletion => vec![
+                Stage::base("response_match", 1),
+                Stage::base("payload_write", 2),
+                Stage::base("cqe_write", 2),
+            ],
+            PipelineKind::RemoteRequestProcessing => vec![
+                Stage::base("packet_decode", 1),
+                Stage::base("vaddr_translate", 2),
+                Stage::base("memory_issue", 2),
+                Stage::base("response_generate", 1),
+            ],
+        };
+        Pipeline { kind, stages }
+    }
+
+    /// The same pipeline with RPCValet's extensions (§4.4): one new
+    /// Request Generation stage (send/replenish differentiation over the
+    /// messaging-domain metadata) and four new Remote Request Processing
+    /// stages (counter fetch-and-increment, completion check, shared-CQ
+    /// enqueue, and Dispatch). Request Completion is unchanged.
+    pub fn with_rpcvalet_extensions(kind: PipelineKind) -> Pipeline {
+        let mut p = Self::baseline(kind);
+        match kind {
+            PipelineKind::RequestGeneration => {
+                // "A new stage in Request Generation differentiates
+                // between send and replenish operations, and operates on
+                // the messaging domain metadata."
+                p.stages
+                    .insert(2, Stage::ext("msg_op_differentiate", 1));
+            }
+            PipelineKind::RequestCompletion => {}
+            PipelineKind::RemoteRequestProcessing => {
+                // "...performs a fetch-and-increment to the counter field"
+                p.stages.push(Stage::ext("counter_fetch_inc", 6)); // LLC round trip
+                // "...checks if the counter's new value matches the
+                // message's length"
+                p.stages.push(Stage::ext("completion_check", 1));
+                // "...enqueues a pointer to the receive buffer slot in the
+                // shared CQ"
+                p.stages.push(Stage::ext("shared_cq_enqueue", 1));
+                // "The final stage ... Dispatch, keeps track of the number
+                // of outstanding requests assigned to each core"
+                p.stages.push(Stage::ext("dispatch", 2));
+            }
+        }
+        p
+    }
+
+    /// The pipeline's kind.
+    pub fn kind(&self) -> PipelineKind {
+        self.kind
+    }
+
+    /// The stages in order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Total traversal latency (sum of stages; the pipeline is fully
+    /// pipelined, so this is per-item *latency*, not occupancy).
+    pub fn latency(&self) -> SimDuration {
+        self.stages.iter().map(|s| s.latency).sum()
+    }
+
+    /// The stages added by RPCValet.
+    pub fn extension_stages(&self) -> impl Iterator<Item = &Stage> {
+        self.stages.iter().filter(|s| s.rpcvalet_extension)
+    }
+
+    /// Looks up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&Stage> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+/// Dedicated SRAM state RPCValet adds per registered soNUMA context
+/// (§4.4): base virtual addresses for the send/receive buffers (2×8 B),
+/// `max_msg_size` (2 B), node count `N` (2 B), and slots-per-node `S`
+/// (2 B) — padded to 20 B as the paper reports.
+pub const CONTEXT_SRAM_BYTES: u64 = 20;
+
+/// Total extension stages across all three pipelines — the paper's
+/// "we add five new stages to the NI pipelines in total".
+pub fn total_extension_stages() -> usize {
+    [
+        PipelineKind::RequestGeneration,
+        PipelineKind::RequestCompletion,
+        PipelineKind::RemoteRequestProcessing,
+    ]
+    .iter()
+    .map(|&k| Pipeline::with_rpcvalet_extensions(k).extension_stages().count())
+    .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ChipParams;
+
+    #[test]
+    fn exactly_five_extension_stages() {
+        assert_eq!(total_extension_stages(), 5, "§4.4: five new stages total");
+    }
+
+    #[test]
+    fn request_completion_is_untouched() {
+        let base = Pipeline::baseline(PipelineKind::RequestCompletion);
+        let ext = Pipeline::with_rpcvalet_extensions(PipelineKind::RequestCompletion);
+        assert_eq!(base, ext);
+    }
+
+    #[test]
+    fn extension_latencies_match_event_model_constants() {
+        // The event model's reassembly_update is the counter F&I stage;
+        // dispatch_decision is the Dispatch stage.
+        let chip = ChipParams::table1();
+        let rrp = Pipeline::with_rpcvalet_extensions(PipelineKind::RemoteRequestProcessing);
+        assert_eq!(
+            rrp.stage("counter_fetch_inc").unwrap().latency,
+            chip.reassembly_update
+        );
+        assert_eq!(rrp.stage("dispatch").unwrap().latency, chip.dispatch_decision);
+    }
+
+    #[test]
+    fn extended_pipelines_stay_shallow() {
+        // The paper's feasibility argument: the extended pipelines remain
+        // a handful of stages with ns-scale latency, compatible with
+        // on-chip integration.
+        for kind in [
+            PipelineKind::RequestGeneration,
+            PipelineKind::RequestCompletion,
+            PipelineKind::RemoteRequestProcessing,
+        ] {
+            let p = Pipeline::with_rpcvalet_extensions(kind);
+            assert!(p.stages().len() <= 8, "{kind:?} has {} stages", p.stages().len());
+            assert!(
+                p.latency().as_ns_f64() <= 10.0,
+                "{kind:?} latency {}",
+                p.latency()
+            );
+        }
+    }
+
+    #[test]
+    fn extension_adds_latency_only_where_described() {
+        let base = Pipeline::baseline(PipelineKind::RemoteRequestProcessing);
+        let ext = Pipeline::with_rpcvalet_extensions(PipelineKind::RemoteRequestProcessing);
+        assert!(ext.latency() > base.latency());
+        assert_eq!(ext.stages().len(), base.stages().len() + 4);
+        let rg_ext = Pipeline::with_rpcvalet_extensions(PipelineKind::RequestGeneration);
+        assert_eq!(
+            rg_ext.stages().len(),
+            Pipeline::baseline(PipelineKind::RequestGeneration).stages().len() + 1
+        );
+    }
+
+    #[test]
+    fn context_state_matches_paper() {
+        assert_eq!(CONTEXT_SRAM_BYTES, 20, "§4.4: 20 B of stored state per context");
+    }
+
+    #[test]
+    fn stage_lookup() {
+        let p = Pipeline::with_rpcvalet_extensions(PipelineKind::RequestGeneration);
+        assert!(p.stage("msg_op_differentiate").is_some());
+        assert!(p.stage("nonexistent").is_none());
+        assert_eq!(p.kind(), PipelineKind::RequestGeneration);
+    }
+}

@@ -1,0 +1,201 @@
+//! Queue pairs: the Virtual Interface Architecture CPU↔NI interface.
+//!
+//! Each core owns a QP consisting of a Work Queue (core → NI commands)
+//! and a Completion Queue (NI → core notifications) — §3.1. In the event
+//! model these are unbounded-by-default FIFOs with occupancy tracking;
+//! the latency of QP interactions is carried by
+//! [`ChipParams`](crate::params::ChipParams) constants.
+
+use std::collections::VecDeque;
+
+/// A FIFO with optional capacity bound and high-water-mark tracking.
+///
+/// # Example
+/// ```
+/// use sonuma::Fifo;
+/// let mut f: Fifo<u32> = Fifo::unbounded();
+/// f.push(1).unwrap();
+/// f.push(2).unwrap();
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.high_water(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: Option<usize>,
+    high_water: usize,
+    total_pushed: u64,
+}
+
+/// Error returned when pushing to a full bounded FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError;
+
+impl std::fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("queue is full")
+    }
+}
+
+impl std::error::Error for FifoFullError {}
+
+impl<T> Fifo<T> {
+    /// An unbounded FIFO.
+    pub fn unbounded() -> Self {
+        Fifo {
+            items: VecDeque::new(),
+            capacity: None,
+            high_water: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// A FIFO that rejects pushes beyond `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            high_water: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Appends an item.
+    ///
+    /// # Errors
+    /// Returns [`FifoFullError`] if the FIFO is bounded and full.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFullError> {
+        if let Some(cap) = self.capacity {
+            if self.items.len() >= cap {
+                return Err(FifoFullError);
+            }
+        }
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        if self.items.len() > self.high_water {
+            self.high_water = self.items.len();
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the head item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// A reference to the head item.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total number of items ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+impl<T> Default for Fifo<T> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// A queue pair: one Work Queue (core → NI) and one Completion Queue
+/// (NI → core), as registered by each thread with the NI (§3.3: "a single
+/// virtual interface … to each participating thread").
+#[derive(Debug, Clone, Default)]
+pub struct QueuePair<W, C> {
+    /// Work queue: commands the core posts for the NI.
+    pub wq: Fifo<W>,
+    /// Completion queue: notifications the NI posts for the core.
+    pub cq: Fifo<C>,
+}
+
+impl<W, C> QueuePair<W, C> {
+    /// Creates an unbounded QP.
+    pub fn new() -> Self {
+        QueuePair {
+            wq: Fifo::unbounded(),
+            cq: Fifo::unbounded(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut f = Fifo::unbounded();
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_rejects_overflow() {
+        let mut f = Fifo::bounded(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.push(3), Err(FifoFullError));
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn high_water_and_totals() {
+        let mut f = Fifo::unbounded();
+        f.push('a').unwrap();
+        f.push('b').unwrap();
+        f.pop();
+        f.push('c').unwrap();
+        assert_eq!(f.high_water(), 2);
+        assert_eq!(f.total_pushed(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = Fifo::unbounded();
+        f.push(7).unwrap();
+        assert_eq!(f.peek(), Some(&7));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn queue_pair_independent_queues() {
+        let mut qp: QueuePair<&str, u32> = QueuePair::new();
+        qp.wq.push("send").unwrap();
+        qp.cq.push(99).unwrap();
+        assert_eq!(qp.wq.pop(), Some("send"));
+        assert_eq!(qp.cq.pop(), Some(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Fifo::<u8>::bounded(0);
+    }
+}

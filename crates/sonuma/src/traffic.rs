@@ -1,0 +1,162 @@
+//! The cluster traffic generator (§5).
+//!
+//! "The modeled chip is part of a 200-node cluster, with remote nodes
+//! emulated by a traffic generator which creates synthetic send requests
+//! following Poisson arrival rates, from randomly selected nodes of the
+//! cluster."
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simkit::rng::stream_rng;
+use simkit::{SimDuration, SimTime};
+
+use crate::message::NodeId;
+
+/// An arrival produced by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the request's first packet reaches the server's edge.
+    pub time: SimTime,
+    /// Which remote node sent it.
+    pub source: NodeId,
+}
+
+/// Open-loop Poisson traffic from a set of remote nodes.
+///
+/// The aggregate arrival process is Poisson with the configured rate;
+/// each arrival's source is drawn uniformly from the remote nodes
+/// (`uni[1, nodes-1]`; node 0 is the server itself).
+///
+/// # Example
+/// ```
+/// use sonuma::TrafficGenerator;
+///
+/// let mut gen = TrafficGenerator::new(200, 10_000_000.0, 7); // 10 Mrps
+/// let a = gen.next_arrival();
+/// let b = gen.next_arrival();
+/// assert!(b.time > a.time);
+/// assert!(a.source.index() >= 1 && a.source.index() < 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    nodes: usize,
+    mean_interarrival_ns: f64,
+    rng: SmallRng,
+    next_time: SimTime,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator for a cluster of `nodes` nodes (node 0 is the
+    /// server) with aggregate `rate_rps` requests per second.
+    ///
+    /// # Panics
+    /// Panics if `nodes < 2` or `rate_rps` is not strictly positive.
+    pub fn new(nodes: usize, rate_rps: f64, seed: u64) -> Self {
+        assert!(nodes >= 2, "need at least one remote node");
+        assert!(
+            rate_rps.is_finite() && rate_rps > 0.0,
+            "rate must be positive, got {rate_rps}"
+        );
+        TrafficGenerator {
+            nodes,
+            mean_interarrival_ns: 1e9 / rate_rps,
+            rng: stream_rng(seed, 0xA11),
+            next_time: SimTime::ZERO,
+        }
+    }
+
+    /// Draws the next arrival (times are strictly increasing).
+    pub fn next_arrival(&mut self) -> Arrival {
+        let u: f64 = self.rng.gen();
+        let gap = SimDuration::from_ns_f64(-self.mean_interarrival_ns * (1.0 - u).ln())
+            .max(SimDuration::from_ps(1));
+        self.next_time = self.next_time + gap;
+        let source = NodeId(self.rng.gen_range(1..self.nodes) as u16);
+        Arrival {
+            time: self.next_time,
+            source,
+        }
+    }
+
+    /// The configured aggregate rate in requests per second.
+    pub fn rate_rps(&self) -> f64 {
+        1e9 / self.mean_interarrival_ns
+    }
+
+    /// Number of cluster nodes (including the server).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_times_strictly_increase() {
+        let mut g = TrafficGenerator::new(200, 5_000_000.0, 1);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let a = g.next_arrival();
+            assert!(a.time > last);
+            last = a.time;
+        }
+    }
+
+    #[test]
+    fn mean_rate_converges() {
+        let rate = 20_000_000.0; // 20 Mrps
+        let mut g = TrafficGenerator::new(200, rate, 2);
+        let n = 200_000;
+        let mut final_time = SimTime::ZERO;
+        for _ in 0..n {
+            final_time = g.next_arrival().time;
+        }
+        let measured = n as f64 / (final_time.as_ns_f64() / 1e9);
+        assert!(
+            (measured - rate).abs() / rate < 0.02,
+            "measured rate {measured}"
+        );
+    }
+
+    #[test]
+    fn sources_cover_cluster_uniformly() {
+        let mut g = TrafficGenerator::new(50, 1_000_000.0, 3);
+        let mut counts = vec![0u32; 50];
+        let n = 49_000;
+        for _ in 0..n {
+            counts[g.next_arrival().source.index()] += 1;
+        }
+        assert_eq!(counts[0], 0, "the server never sends to itself");
+        let expected = n as f64 / 49.0;
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.2,
+                "node {i}: {c} arrivals vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TrafficGenerator::new(200, 1e6, 42);
+        let mut b = TrafficGenerator::new(200, 1e6, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+
+    #[test]
+    fn rate_accessor() {
+        let g = TrafficGenerator::new(10, 123_456.0, 0);
+        assert!((g.rate_rps() - 123_456.0).abs() < 1e-6);
+        assert_eq!(g.nodes(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one remote node")]
+    fn rejects_tiny_cluster() {
+        TrafficGenerator::new(1, 1e6, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Multi-policy comparison sweeps — the engine behind Figs. 7 and 8.
+
+use metrics::{throughput_under_slo, LatencyCurve, SloSpec};
+use rpcvalet::{sweep_rates, Policy, RateSweepSpec};
+use serde::Serialize;
+
+use crate::scenario::scenario_config;
+use crate::workload::Workload;
+
+/// The outcome of sweeping one policy over a rate grid for a workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyComparison {
+    /// Policy label ("1x16", "4x4", "16x1", "sw-1x16").
+    pub label: String,
+    /// The measured latency/throughput curve. For Masstree the p99 values
+    /// are those of the latency-critical (`get`) class.
+    pub curve: LatencyCurve,
+    /// Mean measured service time S̄ (ns) at the lightest load.
+    pub mean_service_ns: f64,
+    /// Throughput under the workload's SLO (requests/second).
+    pub throughput_under_slo_rps: f64,
+}
+
+/// Sweeps every policy in `policies` over `spec`'s rates for `workload`,
+/// computing each policy's throughput under the workload's SLO.
+///
+/// For Masstree, the SLO (12.5 µs) is evaluated against the `get`-class
+/// p99, matching §6.1 ("we do not consider the scan operations latency
+/// critical").
+pub fn compare_policies(
+    workload: Workload,
+    policies: &[Policy],
+    spec: &RateSweepSpec,
+) -> Vec<PolicyComparison> {
+    policies
+        .iter()
+        .map(|policy| {
+            let base = scenario_config(workload, policy.clone(), spec.rates_rps[0], spec.seed);
+            let (mut curve, results) = sweep_rates(&base, spec);
+            // Substitute the critical-class p99 where the workload defines
+            // one (Masstree): SLO attainment is judged on gets only.
+            if workload.critical_threshold_ns().is_some() {
+                for (point, r) in curve.points.iter_mut().zip(&results) {
+                    point.p99_latency_ns = r.p99_critical_ns;
+                }
+            }
+            let mean_service_ns = results
+                .first()
+                .map(|r| r.mean_service_ns)
+                .unwrap_or_default();
+            let slo: SloSpec = workload.slo(mean_service_ns);
+            let tput = throughput_under_slo(&curve, slo);
+            PolicyComparison {
+                label: curve.label.clone(),
+                curve,
+                mean_service_ns,
+                throughput_under_slo_rps: tput,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dist::SyntheticKind;
+
+    fn quick_spec(seed: u64) -> RateSweepSpec {
+        RateSweepSpec {
+            rates_rps: vec![2.0e6, 8.0e6, 13.0e6, 16.0e6],
+            requests: 30_000,
+            warmup: 4_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn fixed_synthetic_policy_ordering() {
+        // Fig. 7c's headline: 1x16 ≥ 4x4 ≥ 16x1 in throughput under SLO.
+        let comparisons = compare_policies(
+            Workload::Synthetic(SyntheticKind::Fixed),
+            &[
+                Policy::hw_single_queue(),
+                Policy::hw_partitioned(),
+                Policy::hw_static(),
+            ],
+            &quick_spec(1),
+        );
+        let t: Vec<f64> = comparisons
+            .iter()
+            .map(|c| c.throughput_under_slo_rps)
+            .collect();
+        assert!(
+            t[0] >= t[1] * 0.98 && t[1] >= t[2] * 0.98,
+            "SLO throughput ordering violated: {t:?}"
+        );
+        assert!(t[0] > t[2], "1x16 must strictly beat 16x1: {t:?}");
+    }
+
+    #[test]
+    fn masstree_uses_get_class_p99() {
+        let comparisons = compare_policies(
+            Workload::Masstree,
+            &[Policy::hw_single_queue()],
+            &RateSweepSpec {
+                rates_rps: vec![1.0e6, 2.0e6],
+                requests: 20_000,
+                warmup: 2_000,
+                seed: 2,
+            },
+        );
+        let c = &comparisons[0];
+        // Get-class p99 at low load must be far below the 60 µs+ scan
+        // latency that the all-requests p99 would be near.
+        let p99_low = c.curve.points[0].p99_latency_ns;
+        assert!(
+            p99_low < 60_000.0,
+            "get-class p99 {p99_low} must exclude scans"
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let comparisons = compare_policies(
+            Workload::Synthetic(SyntheticKind::Fixed),
+            &[Policy::hw_single_queue(), Policy::hw_static()],
+            &RateSweepSpec {
+                rates_rps: vec![2.0e6, 4.0e6],
+                requests: 10_000,
+                warmup: 1_000,
+                seed: 3,
+            },
+        );
+        assert_eq!(comparisons[0].label, "1x16");
+        assert_eq!(comparisons[1].label, "16x1");
+    }
+}

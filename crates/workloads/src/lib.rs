@@ -1,0 +1,31 @@
+//! # workloads — the paper's evaluation workloads and sweep drivers
+//!
+//! Packages the three workload families of §5 as ready-to-run scenarios:
+//!
+//! * **Synthetic** — fixed / uniform / exponential / GEV processing
+//!   times (300 ns base + 300 ns mean extra; Figs. 7c, 8, 9);
+//! * **HERD** — the key-value store profile, mean 330 ns (Fig. 7a);
+//! * **Masstree** — 99 % `get`s (mean 1.25 µs) + 1 % 60–120 µs `scan`s,
+//!   with the SLO applied to `get`s only (Fig. 7b).
+//!
+//! [`Workload`] carries the distribution, the latency-critical threshold,
+//! and the paper's SLO rule; [`scenario`] builds `SystemConfig`s;
+//! [`comparison`] runs the multi-policy sweeps behind each figure.
+//!
+//! ## Example
+//!
+//! ```
+//! use workloads::Workload;
+//!
+//! let w = Workload::Herd;
+//! assert!((w.service_dist().mean_ns() - 330.0).abs() < 1.0);
+//! assert_eq!(w.label(), "herd");
+//! ```
+
+pub mod comparison;
+pub mod scenario;
+pub mod workload;
+
+pub use comparison::{compare_policies, PolicyComparison};
+pub use scenario::scenario_config;
+pub use workload::Workload;

@@ -1,0 +1,85 @@
+//! Builds full-system configurations for (workload, policy) pairs.
+
+use rpcvalet::{Policy, SystemConfig};
+
+use crate::workload::Workload;
+
+/// Builds the §5 microbenchmark configuration for `workload` under
+/// `policy` at the given offered load.
+///
+/// All other parameters follow the paper: 200-node cluster, 64 B
+/// requests, 512 B replies, Table 1 chip. Masstree automatically gets its
+/// latency-critical threshold so `get` tail latency is reported
+/// separately from scans.
+///
+/// # Example
+/// ```
+/// use rpcvalet::Policy;
+/// use workloads::{scenario_config, Workload};
+///
+/// let cfg = scenario_config(Workload::Herd, Policy::hw_single_queue(), 5.0e6, 42);
+/// assert_eq!(cfg.rate_rps, 5.0e6);
+/// ```
+pub fn scenario_config(
+    workload: Workload,
+    policy: Policy,
+    rate_rps: f64,
+    seed: u64,
+) -> SystemConfig {
+    let mut builder = SystemConfig::builder()
+        .policy(policy)
+        .service(workload.service_dist())
+        .rate_rps(rate_rps)
+        .seed(seed);
+    if let Some(threshold) = workload.critical_threshold_ns() {
+        builder = builder.critical_threshold_ns(threshold);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dist::SyntheticKind;
+    use rpcvalet::ServerSim;
+
+    #[test]
+    fn herd_config_shape() {
+        let cfg = scenario_config(Workload::Herd, Policy::hw_single_queue(), 2.0e6, 1);
+        assert_eq!(cfg.cluster_nodes, 200);
+        assert_eq!(cfg.reply_bytes, 512);
+        assert!(cfg.critical_threshold_ns.is_none());
+        assert!((cfg.service.mean_ns() - 330.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn masstree_sets_critical_threshold() {
+        let cfg = scenario_config(Workload::Masstree, Policy::hw_static(), 1.0e6, 2);
+        assert_eq!(cfg.critical_threshold_ns, Some(60_000.0));
+    }
+
+    #[test]
+    fn herd_measured_service_matches_paper() {
+        // §6.1: HERD's S̄ ≈ 550 ns on the implementation.
+        let mut cfg = scenario_config(Workload::Herd, Policy::hw_single_queue(), 2.0e6, 3);
+        cfg.requests = 30_000;
+        cfg.warmup = 3_000;
+        let r = ServerSim::new(cfg).run();
+        assert!(
+            (r.mean_service_ns - 550.0).abs() < 20.0,
+            "HERD S̄ = {} ns, paper reports ~550 ns",
+            r.mean_service_ns
+        );
+    }
+
+    #[test]
+    fn synthetic_service_span() {
+        let cfg = scenario_config(
+            Workload::Synthetic(SyntheticKind::Fixed),
+            Policy::hw_partitioned(),
+            1.0e6,
+            4,
+        );
+        assert!((cfg.service.mean_ns() - 600.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The three workload families of §5.
+
+use std::fmt;
+use std::str::FromStr;
+
+use dist::workload_models::{self, MASSTREE_SCAN_MIN_NS};
+use dist::{ServiceDist, SyntheticKind};
+use metrics::SloSpec;
+
+/// A workload evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Synthetic processing times (Fig. 6a): 300 ns base + 300 ns mean
+    /// extra following the given distribution family.
+    Synthetic(SyntheticKind),
+    /// The HERD key-value store profile (Fig. 6b), mean 330 ns.
+    Herd,
+    /// The Masstree profile (Fig. 6c): 99 % gets + 1 % scans.
+    Masstree,
+    /// A Silo/TPC-C-like profile (§2.1): mean 33 µs, wide lognormal.
+    Silo,
+}
+
+impl Workload {
+    /// Every workload of the evaluation, in figure order, plus the Silo
+    /// extension.
+    pub const ALL: [Workload; 7] = [
+        Workload::Synthetic(SyntheticKind::Fixed),
+        Workload::Synthetic(SyntheticKind::Uniform),
+        Workload::Synthetic(SyntheticKind::Exponential),
+        Workload::Synthetic(SyntheticKind::Gev),
+        Workload::Herd,
+        Workload::Masstree,
+        Workload::Silo,
+    ];
+
+    /// The RPC processing-time distribution (`D` of §6.3).
+    pub fn service_dist(self) -> ServiceDist {
+        match self {
+            Workload::Synthetic(kind) => kind.processing_time(),
+            Workload::Herd => workload_models::herd(),
+            Workload::Masstree => workload_models::masstree(),
+            Workload::Silo => workload_models::silo(),
+        }
+    }
+
+    /// The latency-critical classification threshold, if the workload has
+    /// one (only Masstree: scans are not latency-critical).
+    pub fn critical_threshold_ns(self) -> Option<f64> {
+        match self {
+            Workload::Masstree => Some(MASSTREE_SCAN_MIN_NS),
+            _ => None,
+        }
+    }
+
+    /// The paper's SLO for this workload given the measured mean service
+    /// time S̄ (ns): 10× S̄ in general, but an absolute 12.5 µs for
+    /// Masstree (10× the *get* service time, §6.1).
+    pub fn slo(self, mean_service_ns: f64) -> SloSpec {
+        match self {
+            Workload::Masstree => SloSpec::absolute_us(12.5),
+            _ => SloSpec::ten_times_mean(mean_service_ns),
+        }
+    }
+
+    /// A sensible offered-load grid for this workload, spanning up to
+    /// roughly its 16-core capacity (requests/second).
+    pub fn default_rate_grid(self) -> Vec<f64> {
+        let capacity_rps = match self {
+            Workload::Synthetic(_) => 19.5e6, // S̄ ≈ 820 ns
+            Workload::Herd => 29.0e6,         // S̄ ≈ 550 ns
+            Workload::Masstree => 6.8e6,      // S̄ ≈ 2.36 µs
+            Workload::Silo => 0.48e6,         // S̄ ≈ 33.2 µs
+        };
+        (1..=10).map(|i| i as f64 * capacity_rps / 10.0).collect()
+    }
+
+    /// Short lowercase label used in legends and file names.
+    pub fn label(self) -> String {
+        match self {
+            Workload::Synthetic(kind) => kind.label().to_owned(),
+            Workload::Herd => "herd".to_owned(),
+            Workload::Masstree => "masstree".to_owned(),
+            Workload::Silo => "silo".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error from parsing a [`Workload`] label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError(String);
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown workload `{}` (expected fixed|uni|exp|gev|herd|masstree|silo)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+impl FromStr for Workload {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "herd" => Ok(Workload::Herd),
+            "masstree" => Ok(Workload::Masstree),
+            "silo" => Ok(Workload::Silo),
+            other => other
+                .parse::<SyntheticKind>()
+                .map(Workload::Synthetic)
+                .map_err(|_| ParseWorkloadError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_match_paper() {
+        for w in Workload::ALL {
+            let mean = w.service_dist().mean_ns();
+            let expected = match w {
+                Workload::Synthetic(_) => 600.0,
+                Workload::Herd => 330.0,
+                Workload::Masstree => 0.99 * 1_250.0 + 0.01 * 90_000.0,
+                Workload::Silo => 33_000.0,
+            };
+            assert!(
+                (mean - expected).abs() < 2.0,
+                "{w}: mean {mean} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_masstree_has_critical_class() {
+        for w in Workload::ALL {
+            match w {
+                Workload::Masstree => assert_eq!(w.critical_threshold_ns(), Some(60_000.0)),
+                _ => assert_eq!(w.critical_threshold_ns(), None),
+            }
+        }
+    }
+
+    #[test]
+    fn slo_rules() {
+        assert_eq!(Workload::Herd.slo(550.0).p99_limit_ns, 5_500.0);
+        assert_eq!(Workload::Masstree.slo(2_300.0).p99_limit_ns, 12_500.0);
+        assert_eq!(
+            Workload::Synthetic(SyntheticKind::Gev).slo(820.0).p99_limit_ns,
+            8_200.0
+        );
+        assert_eq!(Workload::Silo.slo(33_200.0).p99_limit_ns, 332_000.0);
+    }
+
+    #[test]
+    fn rate_grids_are_increasing_and_plausible() {
+        for w in Workload::ALL {
+            let grid = w.default_rate_grid();
+            assert_eq!(grid.len(), 10);
+            assert!(grid.windows(2).all(|p| p[0] < p[1]), "{w}");
+            assert!(grid[0] > 0.0);
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for w in Workload::ALL {
+            let parsed: Workload = w.label().parse().unwrap();
+            assert_eq!(parsed, w);
+        }
+        assert!("bogus".parse::<Workload>().is_err());
+    }
+}

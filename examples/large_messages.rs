@@ -1,0 +1,54 @@
+//! Large messages over a small-MTU fabric: inline vs rendezvous.
+//!
+//! soNUMA's messaging domain sizes its receive slots to `max_msg_size`
+//! (512 B here). Anything larger uses the §4.2 rendezvous path: a
+//! one-cache-block control `send` announces the payload's location, and
+//! the receiver pulls it with a one-sided read. This example sweeps
+//! payload sizes across the boundary and prints both the latency and the
+//! buffer-memory consequences of each choice.
+//!
+//! Run with: `cargo run --release --example large_messages`
+
+use rpcvalet_repro::rpcvalet::domain::MessagingDomain;
+use rpcvalet_repro::rpcvalet::rendezvous::{
+    inline_delivery_latency, rendezvous_delivery_latency, transfer_method, TransferMethod,
+};
+use rpcvalet_repro::sonuma::ChipParams;
+
+fn main() {
+    let chip = ChipParams::table1();
+    let max_msg = 512u64;
+
+    println!("messaging domain: 200 nodes x 32 slots, max_msg_size = {max_msg} B");
+    let domain = MessagingDomain::new(200, 32, max_msg);
+    println!(
+        "  receive/send buffer footprint: {:.1} MB (paper: 'a few tens of MBs')\n",
+        domain.memory_footprint_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    println!(
+        "{:>10} {:>12} {:>14} {:>16}",
+        "payload", "method", "inline (ns)", "rendezvous (ns)"
+    );
+    for bytes in [64u64, 256, 512, 1_024, 4_096, 65_536, 1 << 20] {
+        let method = transfer_method(bytes, max_msg);
+        println!(
+            "{:>9}B {:>12} {:>14.0} {:>16.0}",
+            bytes,
+            match method {
+                TransferMethod::Inline => "inline",
+                TransferMethod::Rendezvous => "rendezvous",
+            },
+            inline_delivery_latency(&chip, bytes).as_ns_f64(),
+            rendezvous_delivery_latency(&chip, bytes).as_ns_f64(),
+        );
+    }
+
+    println!("\nwhat if we provisioned slots for 64 KB messages instead?");
+    let big = MessagingDomain::new(200, 32, 65_536);
+    println!(
+        "  footprint balloons to {:.1} MB — rendezvous keeps slots small",
+        big.memory_footprint_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!("  while costing only a sub-µs control round trip per large message.");
+}

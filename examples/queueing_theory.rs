@@ -1,0 +1,45 @@
+//! Queueing theory in five lines of Rust: why single-queue wins.
+//!
+//! Reproduces §2.2's analysis on the spot: five Q×U organizations of a
+//! 16-server system under exponential service, plus the closed-form
+//! Erlang C cross-check for the 1×16 point. The takeaway the whole paper
+//! builds on: systems should implement a queuing configuration as close
+//! as possible to a single queue.
+//!
+//! Run with: `cargo run --release --example queueing_theory`
+
+use rpcvalet_repro::dist::ServiceDist;
+use rpcvalet_repro::queueing::mmk::MMk;
+use rpcvalet_repro::queueing::{QueueingModel, QxU, RunParams};
+
+fn main() {
+    let load = 0.8;
+    let service = ServiceDist::exponential_mean_ns(1.0); // normalized S̄ = 1
+
+    println!("16 serving units at {:.0}% load, exponential service:\n", load * 100.0);
+    println!("{:<8} {:>16} {:>16}", "model", "mean sojourn (xS)", "p99 sojourn (xS)");
+
+    for config in QxU::FIG2A_CONFIGS {
+        let result = QueueingModel::new(config, service.clone()).run(&RunParams {
+            load,
+            requests: 400_000,
+            warmup: 40_000,
+            seed: 3,
+        });
+        println!(
+            "{:<8} {:>16.2} {:>16.2}",
+            config.label(),
+            result.sojourn.mean_ns(),
+            result.p99_sojourn_ns
+        );
+    }
+
+    // Closed-form cross-check for the single-queue system (M/M/16).
+    let theory = MMk::new(16, load);
+    println!(
+        "\nErlang C check (M/M/16 at rho={load}): mean sojourn = {:.2} xS (simulated above)",
+        theory.mean_sojourn_over_service()
+    );
+    println!("Wait probability (Erlang C) = {:.3}", theory.erlang_c());
+    println!("\n(the paper's conclusion: get as close to 1x16 as the hardware allows)");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: simulate one operating point of an RPCValet server.
+//!
+//! Runs the 16-core soNUMA chip with NI-driven single-queue dispatch
+//! (the paper's 1×16 configuration) under an exponential µs-scale RPC
+//! workload, and prints the measurements a paper figure would consume.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rpcvalet_repro::dist::ServiceDist;
+use rpcvalet_repro::rpcvalet::{Policy, ServerSim, SystemConfig};
+
+fn main() {
+    // An exponential service-time distribution with a 600 ns mean — the
+    // paper's synthetic "exp" workload.
+    let service = ServiceDist::exponential_mean_ns(600.0);
+
+    // The paper's defaults: Table 1 chip, 200-node cluster, 64 B
+    // requests, 512 B replies. We offer 10 Mrps (~half of capacity).
+    let config = SystemConfig::builder()
+        .policy(Policy::hw_single_queue())
+        .service(service)
+        .rate_rps(10.0e6)
+        .requests(200_000)
+        .warmup(20_000)
+        .seed(1)
+        .build();
+
+    let result = ServerSim::new(config).run();
+
+    println!("RPCValet (1x16) at 10 Mrps offered:");
+    println!("  throughput      : {:.2} Mrps", result.throughput_mrps());
+    println!("  mean service S  : {:.0} ns", result.mean_service_ns);
+    println!("  mean latency    : {:.0} ns", result.mean_latency_ns);
+    println!("  p50 latency     : {:.0} ns", result.p50_latency_ns);
+    println!("  p99 latency     : {:.2} us", result.p99_latency_us());
+    println!(
+        "  SLO (10x S)     : {:.2} us -> {}",
+        result.mean_service_ns * 10.0 / 1e3,
+        if result.p99_latency_ns <= 10.0 * result.mean_service_ns {
+            "MET"
+        } else {
+            "VIOLATED"
+        }
+    );
+    println!(
+        "  shared-CQ peak  : {} entries",
+        result.dispatcher_high_water
+    );
+}

@@ -1,0 +1,217 @@
+//! `rpcvalet-sim` — command-line driver for the full-system simulation.
+//!
+//! Run arbitrary (workload, policy, rate) points or sweeps without
+//! writing code:
+//!
+//! ```text
+//! rpcvalet_sim --workload herd --policy 1x16 --rate 20e6
+//! rpcvalet_sim --workload masstree --policy 16x1 --sweep --requests 100000
+//! rpcvalet_sim --workload gev --policy sw --rate 5e6 --seed 3 --preempt 5us
+//! ```
+//!
+//! Flags:
+//! * `--workload fixed|uni|exp|gev|herd|masstree|silo` (default `exp`)
+//! * `--policy 1x16|4x4|16x1|sw` (default `1x16`)
+//! * `--rate <rps>` single operating point (accepts `20e6` notation)
+//! * `--sweep` sweep the workload's default rate grid instead
+//! * `--requests <n>`, `--warmup <n>`, `--seed <n>`
+//! * `--threshold <n>` outstanding-per-core for dispatched policies
+//! * `--preempt <quantum-us>us` enable Shinjuku-style preemption
+//! * `--cores64` use the 64-core chip
+
+use std::process::ExitCode;
+
+use rpcvalet_repro::metrics::throughput_under_slo;
+use rpcvalet_repro::rpcvalet::{
+    sweep_rates, Policy, PreemptionParams, RateSweepSpec, ServerSim, SystemConfig,
+};
+use rpcvalet_repro::simkit::SimDuration;
+use rpcvalet_repro::sonuma::ChipParams;
+use rpcvalet_repro::workloads::{scenario_config, Workload};
+
+#[derive(Debug)]
+struct Args {
+    workload: Workload,
+    policy: Policy,
+    rate: f64,
+    sweep: bool,
+    requests: u64,
+    warmup: Option<u64>,
+    seed: u64,
+    preempt_us: Option<f64>,
+    cores64: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: Workload::Synthetic(dist::SyntheticKind::Exponential),
+        policy: Policy::hw_single_queue(),
+        rate: 10.0e6,
+        sweep: false,
+        requests: 100_000,
+        warmup: None,
+        seed: 0,
+        preempt_us: None,
+        cores64: false,
+    };
+    let mut threshold: Option<u32> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => {
+                args.workload = value("--workload")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--policy" => {
+                args.policy = match value("--policy")?.as_str() {
+                    "1x16" | "single" => Policy::hw_single_queue(),
+                    "4x4" | "partitioned" => Policy::hw_partitioned(),
+                    "16x1" | "static" => Policy::hw_static(),
+                    "sw" | "software" => Policy::sw_single_queue(),
+                    other => return Err(format!("unknown policy `{other}`")),
+                };
+            }
+            "--rate" => {
+                args.rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("bad rate: {e}"))?;
+            }
+            "--sweep" => args.sweep = true,
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad requests: {e}"))?;
+            }
+            "--warmup" => {
+                args.warmup = Some(
+                    value("--warmup")?
+                        .parse()
+                        .map_err(|e| format!("bad warmup: {e}"))?,
+                );
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--threshold" => {
+                threshold = Some(
+                    value("--threshold")?
+                        .parse()
+                        .map_err(|e| format!("bad threshold: {e}"))?,
+                );
+            }
+            "--preempt" => {
+                let v = value("--preempt")?;
+                let v = v.strip_suffix("us").unwrap_or(&v);
+                args.preempt_us = Some(v.parse().map_err(|e| format!("bad quantum: {e}"))?);
+            }
+            "--cores64" => args.cores64 = true,
+            "--help" | "-h" => {
+                return Err("usage: rpcvalet_sim --workload <w> --policy <p> [--rate <rps> | --sweep] \
+                            [--requests n] [--warmup n] [--seed n] [--threshold n] [--preempt <q>us] [--cores64]"
+                    .to_owned());
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if let Some(t) = threshold {
+        args.policy = match args.policy {
+            Policy::HwSingleQueue { .. } => Policy::HwSingleQueue {
+                outstanding_per_core: t,
+            },
+            Policy::HwPartitioned { .. } => Policy::HwPartitioned {
+                outstanding_per_core: t,
+            },
+            p => p,
+        };
+    }
+    Ok(args)
+}
+
+fn configure(args: &Args, rate: f64) -> SystemConfig {
+    let mut cfg = scenario_config(args.workload, args.policy.clone(), rate, args.seed);
+    cfg.requests = args.requests;
+    cfg.warmup = args.warmup.unwrap_or(args.requests / 10);
+    if let Some(q) = args.preempt_us {
+        cfg.preemption = Some(PreemptionParams {
+            quantum: SimDuration::from_ns_f64(q * 1_000.0),
+            overhead: SimDuration::from_ns(500),
+        });
+    }
+    if args.cores64 {
+        cfg.chip = ChipParams::manycore64();
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.sweep {
+        let rates = args.workload.default_rate_grid();
+        let base = configure(&args, rates[0]);
+        let label = base.policy.label(base.chip.cores, base.chip.backends);
+        println!(
+            "sweep: workload={} policy={label} requests={} seed={}",
+            args.workload, args.requests, args.seed
+        );
+        let spec = RateSweepSpec {
+            rates_rps: rates,
+            requests: args.requests,
+            warmup: args.warmup.unwrap_or(args.requests / 10),
+            seed: args.seed,
+        };
+        let (curve, results) = sweep_rates(&base, &spec);
+        println!(
+            "{:>12} {:>12} {:>12} {:>12} {:>8}",
+            "rate (Mrps)", "tput (Mrps)", "p99 (us)", "mean (us)", "jain"
+        );
+        for (p, r) in curve.points.iter().zip(&results) {
+            println!(
+                "{:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>8.3}",
+                p.offered_load / 1e6,
+                p.throughput_rps / 1e6,
+                p.p99_latency_ns / 1e3,
+                p.mean_latency_ns / 1e3,
+                r.load_balance_jain
+            );
+        }
+        let slo = args.workload.slo(results[0].mean_service_ns);
+        println!(
+            "throughput under SLO ({:.1} us): {:.2} Mrps",
+            slo.p99_limit_ns / 1e3,
+            throughput_under_slo(&curve, slo) / 1e6
+        );
+    } else {
+        let cfg = configure(&args, args.rate);
+        let r = ServerSim::new(cfg).run();
+        println!("workload={} policy={} rate={:.2} Mrps", args.workload, r.label, args.rate / 1e6);
+        println!("  throughput      : {:.3} Mrps", r.throughput_mrps());
+        println!("  mean service S  : {:.0} ns", r.mean_service_ns);
+        println!("  latency mean/p50: {:.0} / {:.0} ns", r.mean_latency_ns, r.p50_latency_ns);
+        println!("  latency p99     : {:.2} us", r.p99_latency_us());
+        if r.measured_critical != r.measured {
+            println!("  critical p99    : {:.2} us ({} requests)", r.p99_critical_ns / 1e3, r.measured_critical);
+        }
+        println!("  balance (Jain)  : {:.4}", r.load_balance_jain);
+        if r.preemptions > 0 {
+            println!("  preemptions     : {}", r.preemptions);
+        }
+        if r.lock_contention > 0.0 {
+            println!("  lock contention : {:.1}%", r.lock_contention * 100.0);
+        }
+    }
+    ExitCode::SUCCESS
+}

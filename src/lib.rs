@@ -1,0 +1,51 @@
+//! # rpcvalet-repro — facade crate for the RPCValet reproduction
+//!
+//! A full, from-scratch Rust reproduction of *RPCValet: NI-Driven
+//! Tail-Aware Balancing of µs-Scale RPCs* (Daglis, Sutherland, Falsafi —
+//! ASPLOS 2019).
+//!
+//! This facade re-exports every workspace crate under one roof so
+//! examples, integration tests, and downstream users can depend on a
+//! single package:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`simkit`] | `simkit` | deterministic discrete-event kernel |
+//! | [`dist`] | `dist` | service-time distributions (Fig. 6) |
+//! | [`metrics`] | `metrics` | histograms, percentiles, SLO extraction |
+//! | [`queueing`] | `queueing` | theoretical Q×U models (Figs. 2, 9) |
+//! | [`noc`] | `noc` | 2D-mesh on-chip interconnect |
+//! | [`sonuma`] | `sonuma` | Scale-Out NUMA substrate |
+//! | [`rpcvalet`] | `rpcvalet` | messaging + NI dispatch + full-system sim |
+//! | [`workloads`] | `workloads` | HERD/Masstree/synthetic scenarios |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rpcvalet_repro::rpcvalet::{Policy, ServerSim, SystemConfig};
+//! use rpcvalet_repro::dist::ServiceDist;
+//!
+//! let config = SystemConfig::builder()
+//!     .policy(Policy::hw_single_queue())
+//!     .service(ServiceDist::exponential_mean_ns(600.0))
+//!     .rate_rps(8.0e6)
+//!     .requests(30_000)
+//!     .warmup(3_000)
+//!     .seed(7)
+//!     .build();
+//! let result = ServerSim::new(config).run();
+//! println!(
+//!     "throughput {:.1} Mrps, p99 {:.2} µs",
+//!     result.throughput_mrps(),
+//!     result.p99_latency_us()
+//! );
+//! ```
+
+pub use dist;
+pub use metrics;
+pub use noc;
+pub use queueing;
+pub use rpcvalet;
+pub use simkit;
+pub use sonuma;
+pub use workloads;
