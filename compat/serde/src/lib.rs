@@ -1,0 +1,421 @@
+//! Offline-compatible subset of the `serde` API.
+//!
+//! The workspace builds without network access, so this path crate
+//! replaces serde with a deliberately small design: instead of serde's
+//! visitor-based zero-copy data model, [`Serialize`] renders a value into
+//! an owned JSON [`Value`] tree and [`Deserialize`] reads one back. The
+//! sibling `serde_json` crate handles text encoding of that tree. The
+//! `serde_derive` proc-macro crate provides `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for plain structs with named fields — the
+//! only shape this workspace derives.
+//!
+//! Integers are kept exact (`u64`/`i64` variants, not lossy `f64`), which
+//! the experiment harness relies on to round-trip 64-bit seeds through
+//! report JSON byte-identically.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number that keeps integers exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    /// The value as a `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) if v >= 0 => Some(v as u64),
+            Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Number::I64(v) => Some(v),
+            Number::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+}
+
+/// An owned JSON document tree — the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved (deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Field lookup that reports a structured error for derive-generated
+    /// deserializers.
+    pub fn get_or_err(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::new(format!("missing field `{key}`")))
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the JSON [`Value`] data model.
+pub trait Serialize {
+    /// Converts the value to a JSON tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses the value from a JSON tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| Error::new(concat!("invalid ", stringify!($t)))),
+                    _ => Err(Error::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| Error::new(concat!("invalid ", stringify!($t)))),
+                    _ => Err(Error::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F64(*self))
+        } else {
+            // JSON has no NaN/Inf; match serde_json's lossy `null`.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::new("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        (*self as f64).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            {
+                                let _ = $idx; // positional marker
+                                $name::deserialize(
+                                    it.next().ok_or_else(|| Error::new("tuple too short"))?,
+                                )?
+                            },
+                        )+))
+                    }
+                    _ => Err(Error::new("expected array for tuple")),
+                }
+            }
+        }
+    )+};
+}
+ser_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-5i64).serialize()).unwrap(), -5);
+        assert_eq!(f64::deserialize(&3.5f64.serialize()).unwrap(), 3.5);
+        assert_eq!(
+            String::deserialize(&"1x16".to_owned().serialize()).unwrap(),
+            "1x16"
+        );
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+    }
+
+    #[test]
+    fn vectors_and_tuples_roundtrip() {
+        let v = vec![(1usize, 2.5f64, 3u64), (4, 5.0, 6)];
+        let back: Vec<(usize, f64, u64)> = Deserialize::deserialize(&v.serialize()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.serialize(), Value::Null);
+        assert!(f64::deserialize(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn indexing_and_compare() {
+        let v = Value::Object(vec![
+            ("label".into(), Value::String("1x16".into())),
+            (
+                "points".into(),
+                Value::Array(vec![Value::Number(Number::U64(9))]),
+            ),
+        ]);
+        assert!(v["label"] == "1x16");
+        assert_eq!(v["points"][0], Value::Number(Number::U64(9)));
+        assert!(v["missing"].is_null());
+        assert!(v.get("points").is_some());
+    }
+}

@@ -1,0 +1,181 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the local serde
+//! subset.
+//!
+//! Supports the only shape this workspace derives: non-generic structs
+//! with named fields (tuple structs, enums, and `#[serde(...)]`
+//! attributes are intentionally rejected with a compile error so a future
+//! use of an unsupported shape fails loudly instead of mis-serializing).
+//! Implemented directly on `proc_macro::TokenStream` — no syn/quote,
+//! which are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream, trait_name: &str) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (including doc comments) and visibility.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                let Some(TokenTree::Group(g)) = iter.next() else {
+                    return Err("malformed attribute".into());
+                };
+                let text = g.stream().to_string();
+                if text.starts_with("serde") {
+                    return Err(format!(
+                        "#[serde(...)] attributes are not supported by the offline {trait_name} derive"
+                    ));
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Possible `pub(crate)` path restriction.
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    iter.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => break n.to_string(),
+                    _ => return Err("expected struct name".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err(format!(
+                    "the offline {trait_name} derive supports structs with named fields only, not enums"
+                ));
+            }
+            Some(_) => {}
+            None => return Err("expected a struct definition".into()),
+        }
+    };
+    // Generics are unsupported; the next token must be the brace group.
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(StructShape {
+            name,
+            fields: parse_fields(g.stream())?,
+        }),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "the offline {trait_name} derive does not support generic structs"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Err(format!(
+            "the offline {trait_name} derive does not support tuple structs"
+        )),
+        _ => Err("expected a braced field list".into()),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [ ... ] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        iter.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                // Expect `:` then the type; consume until a comma outside
+                // any `<...>` nesting (parenthesised/bracketed types are
+                // opaque groups, so their commas are invisible here).
+                let mut angle_depth = 0i32;
+                for tt in iter.by_ref() {
+                    if let TokenTree::Punct(p) = &tt {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+            None => break,
+        }
+    }
+    Ok(fields)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input, "Serialize") {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn serialize(&self) -> ::serde::Value {{\n\
+         \t\tlet mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {pushes}\
+         \t\t::serde::Value::Object(fields)\n\
+         \t}}\n\
+         }}\n",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct with named fields.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input, "Deserialize") {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let field_inits: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "\t\t\t{f}: ::serde::Deserialize::deserialize(value.get_or_err({f:?})?)?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         \t\t::std::result::Result::Ok({name} {{\n\
+         {field_inits}\
+         \t\t}})\n\
+         \t}}\n\
+         }}\n",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

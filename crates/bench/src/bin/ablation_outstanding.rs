@@ -8,13 +8,14 @@
 //! service times, but has no measurable performance difference in the
 //! rest of our experiments."
 //!
+//! Runs as the predefined `ablation_outstanding` harness matrix (HERD +
+//! synthetic-fixed × threshold 1/2) on the worker pool.
+//!
 //! Usage: `cargo run -p bench --release --bin ablation_outstanding [--quick]`
 
 use bench::{ratio, write_json, Mode};
-use metrics::{throughput_under_slo, SloSpec};
-use rpcvalet::{sweep_rates, Policy, RateSweepSpec};
+use harness::{default_threads, run_matrix, ScenarioMatrix};
 use serde::Serialize;
-use workloads::{scenario_config, Workload};
 
 #[derive(Serialize)]
 struct AblationRow {
@@ -28,45 +29,42 @@ fn main() {
     let mode = Mode::from_args();
     println!("=== Ablation: outstanding requests per core (1 vs 2) ===\n");
 
-    let requests = mode.requests(250_000);
+    let mut matrix =
+        ScenarioMatrix::named("ablation_outstanding").expect("predefined ablation matrix");
+    if mode == Mode::Quick {
+        matrix = matrix.quick();
+    }
+    let (report, timing) = run_matrix(&matrix, default_threads());
+
+    let all_summaries = report.summaries();
     let mut rows = Vec::new();
-    for (workload, rates) in [
-        (Workload::Herd, (1..=10).map(|i| i as f64 * 2.9e6).collect::<Vec<_>>()),
-        (
-            Workload::Synthetic(dist::SyntheticKind::Fixed),
-            (1..=10).map(|i| i as f64 * 1.95e6).collect(),
-        ),
-    ] {
-        let spec = RateSweepSpec {
-            rates_rps: rates,
-            requests,
-            warmup: requests / 10,
-            seed: 95,
-        };
-        let mut slo_tput = Vec::new();
-        for threshold in [1u32, 2] {
-            let policy = Policy::HwSingleQueue {
-                outstanding_per_core: threshold,
-            };
-            let base = scenario_config(workload, policy, spec.rates_rps[0], spec.seed);
-            let (curve, results) = sweep_rates(&base, &spec);
-            let slo = SloSpec::ten_times_mean(results[0].mean_service_ns);
-            slo_tput.push(throughput_under_slo(&curve, slo));
-        }
+    for &workload in &matrix.workloads {
+        // Policy order in the matrix is threshold 1 then threshold 2; the
+        // summaries preserve it (keys "hw-single-t1" / "hw-single-t2").
+        let summaries: Vec<_> = all_summaries
+            .iter()
+            .filter(|s| s.workload == workload.label())
+            .collect();
+        assert_eq!(summaries.len(), 2, "one summary per threshold");
+        let (t1, t2) = (
+            summaries[0].throughput_under_slo_rps,
+            summaries[1].throughput_under_slo_rps,
+        );
         println!(
             "  {:<8} threshold=1: {:.2} Mrps, threshold=2: {:.2} Mrps ({} from threshold 2)",
             workload.label(),
-            slo_tput[0] / 1e6,
-            slo_tput[1] / 1e6,
-            ratio(slo_tput[1], slo_tput[0])
+            t1 / 1e6,
+            t2 / 1e6,
+            ratio(t2, t1)
         );
         rows.push(AblationRow {
             workload: workload.label(),
-            threshold1_slo_mrps: slo_tput[0] / 1e6,
-            threshold2_slo_mrps: slo_tput[1] / 1e6,
-            gain_from_threshold2: slo_tput[1] / slo_tput[0].max(1.0),
+            threshold1_slo_mrps: t1 / 1e6,
+            threshold2_slo_mrps: t2 / 1e6,
+            gain_from_threshold2: t2 / t1.max(1.0),
         });
     }
     println!("\n  (paper: threshold 2 helps HERD marginally; elsewhere no measurable difference)");
+    println!("  {}", timing.summary_line());
     write_json("ablation_outstanding", &rows);
 }

@@ -5,14 +5,17 @@
 //! baseline pulls from a shared queue under an MCS lock, which is
 //! competitive at low load but saturates at the lock-handoff ceiling.
 //!
+//! The whole figure is one harness [`ScenarioMatrix`] (the predefined
+//! `fig8` matrix: four synthetic families × hw/sw) run on the worker
+//! pool; the per-point seeds match the old sequential sweep exactly.
+//!
 //! Usage: `cargo run -p bench --release --bin fig8 [--quick]`
 
 use bench::{print_curve, ratio, write_json, Mode};
 use dist::SyntheticKind;
-use metrics::{throughput_under_slo, SloSpec};
-use rpcvalet::{Policy, RateSweepSpec};
+use harness::{default_threads, run_matrix, ScenarioMatrix};
 use serde::Serialize;
-use workloads::{compare_policies, Workload};
+use workloads::Workload;
 
 #[derive(Serialize)]
 struct Fig8Row {
@@ -26,32 +29,31 @@ fn main() {
     let mode = Mode::from_args();
     println!("=== Fig. 8: 1x16 hardware vs software (four synthetic distributions) ===");
 
-    // Sweep past both saturation points: SW caps near the ~7.4 Mrps lock
-    // ceiling, HW near 19.5 Mrps.
-    let rates: Vec<f64> = (1..=14).map(|i| i as f64 * 1.4e6).collect();
-    let requests = mode.requests(250_000);
-    let spec = RateSweepSpec {
-        rates_rps: rates,
-        requests,
-        warmup: requests / 10,
-        seed: 88,
-    };
-    let policies = [Policy::hw_single_queue(), Policy::sw_single_queue()];
+    let mut matrix = ScenarioMatrix::named("fig8").expect("fig8 matrix is predefined");
+    if mode == Mode::Quick {
+        matrix = matrix.quick();
+    }
+    let (report, timing) = run_matrix(&matrix, default_threads());
+    println!("  {}", timing.summary_line());
 
+    let all_summaries = report.summaries();
     let mut rows = Vec::new();
     let mut curves = Vec::new();
     for kind in SyntheticKind::ALL {
         let workload = Workload::Synthetic(kind);
-        let comparisons = compare_policies(workload, &policies, &spec);
+        let summaries: Vec<_> = all_summaries
+            .iter()
+            .filter(|s| s.workload == workload.label())
+            .cloned()
+            .collect();
         println!("\n--- {} distribution ---", kind.label());
         let mut slo_tputs = Vec::new();
-        for mut c in comparisons {
-            c.label = format!("{}_{}", kind.label(), if c.label.starts_with("sw") { "sw" } else { "hw" });
-            c.curve.label = c.label.clone();
-            print_curve(&c.curve, "rate (rps)", "us", 1e3);
-            let slo = SloSpec::ten_times_mean(c.mean_service_ns);
-            slo_tputs.push(throughput_under_slo(&c.curve, slo));
-            curves.push(c);
+        for mut s in summaries {
+            let suffix = if s.policy.starts_with("sw") { "sw" } else { "hw" };
+            s.curve.label = format!("{}_{}", kind.label(), suffix);
+            print_curve(&s.curve, "rate (rps)", "us", 1e3);
+            slo_tputs.push(s.throughput_under_slo_rps);
+            curves.push(s);
         }
         let (hw, sw) = (slo_tputs[0], slo_tputs[1]);
         println!(

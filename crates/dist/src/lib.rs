@@ -1,0 +1,40 @@
+//! # dist — service-time distributions (Fig. 6)
+//!
+//! The RPC processing-time models every layer of the reproduction draws
+//! from:
+//!
+//! * [`ServiceDist`] — a small distribution algebra (fixed / uniform /
+//!   exponential / log-normal / GEV, plus mixtures and constant shifts)
+//!   with seeded sampling through `simkit::rng` streams and the
+//!   mean/SCV accessors the queueing models need;
+//! * [`SyntheticKind`] — the four synthetic profiles of §5 (300 ns base +
+//!   300 ns mean extra; Fig. 6a);
+//! * [`workload_models`] — HERD, Masstree, and Silo profiles
+//!   (Fig. 6b–c);
+//! * [`gev`] — the generalized extreme value distribution behind the
+//!   heavy-tailed profile;
+//! * [`pdf`] — Monte-Carlo density estimation for the Fig. 6 plots.
+//!
+//! ## Example
+//!
+//! ```
+//! use dist::{ServiceDist, SyntheticKind};
+//! use simkit::rng::stream_rng;
+//!
+//! let d = SyntheticKind::Gev.processing_time();
+//! assert!((d.mean_ns() - 600.0).abs() < 1.0);
+//! assert!(d.scv().is_none(), "GEV shape 0.65 has infinite variance");
+//!
+//! let mut rng = stream_rng(42, 0);
+//! let sample = d.sample_ns(&mut rng);
+//! assert!(sample >= 0.0 && sample.is_finite());
+//! ```
+
+pub mod gev;
+pub mod pdf;
+pub mod service;
+pub mod synthetic;
+pub mod workload_models;
+
+pub use service::ServiceDist;
+pub use synthetic::{ParseSyntheticKindError, SyntheticKind};

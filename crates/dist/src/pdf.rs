@@ -1,0 +1,145 @@
+//! Monte-Carlo PDF estimation over a fixed linear binning — how the
+//! `fig6` binary renders each distribution's density curve.
+
+use rand::Rng;
+
+use crate::ServiceDist;
+
+/// One PDF bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdfBin {
+    /// Bin-center value (ns).
+    pub center_ns: f64,
+    /// Fraction of all samples falling in the bin.
+    pub probability: f64,
+}
+
+/// A sampled probability density over `[0, max_ns)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatedPdf {
+    bins: Vec<PdfBin>,
+    mean_ns: f64,
+    clipped: u64,
+    samples: u64,
+}
+
+impl EstimatedPdf {
+    /// The bins, in increasing-value order.
+    pub fn bins(&self) -> &[PdfBin] {
+        &self.bins
+    }
+
+    /// The empirical mean over *all* samples (clipped ones included — the
+    /// figure annotates the true mean even when the tail leaves the axis).
+    pub fn mean_ns(&self) -> f64 {
+        self.mean_ns
+    }
+
+    /// Samples that fell at or beyond `max_ns` (Fig. 6c's "1 % scans fall
+    /// beyond the axis").
+    pub fn clipped(&self) -> u64 {
+        self.clipped
+    }
+
+    /// Total samples drawn.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Estimates the PDF of `dist` from `samples` draws, binned at
+/// `bin_width_ns` over `[0, max_ns)`.
+///
+/// # Panics
+/// Panics unless `samples > 0`, `bin_width_ns > 0`, and
+/// `max_ns > bin_width_ns`.
+pub fn estimate_pdf<R: Rng>(
+    dist: &ServiceDist,
+    samples: usize,
+    bin_width_ns: f64,
+    max_ns: f64,
+    rng: &mut R,
+) -> EstimatedPdf {
+    assert!(samples > 0, "need at least one sample");
+    assert!(
+        bin_width_ns > 0.0 && max_ns > bin_width_ns,
+        "invalid binning: width {bin_width_ns}, max {max_ns}"
+    );
+    let n_bins = (max_ns / bin_width_ns).ceil() as usize;
+    let mut counts = vec![0u64; n_bins];
+    let mut clipped = 0u64;
+    let mut sum = 0.0f64;
+    for _ in 0..samples {
+        let v = dist.sample_ns(rng);
+        sum += v;
+        let idx = (v / bin_width_ns) as usize;
+        if idx < n_bins {
+            counts[idx] += 1;
+        } else {
+            clipped += 1;
+        }
+    }
+    let bins = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| PdfBin {
+            center_ns: (i as f64 + 0.5) * bin_width_ns,
+            probability: c as f64 / samples as f64,
+        })
+        .collect();
+    EstimatedPdf {
+        bins,
+        mean_ns: sum / samples as f64,
+        clipped,
+        samples: samples as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::stream_rng;
+
+    #[test]
+    fn fixed_distribution_is_a_spike() {
+        let mut rng = stream_rng(1, 0);
+        let pdf = estimate_pdf(&ServiceDist::fixed_ns(600.0), 10_000, 10.0, 1_000.0, &mut rng);
+        let spike: Vec<&PdfBin> = pdf.bins().iter().filter(|b| b.probability > 0.0).collect();
+        assert_eq!(spike.len(), 1);
+        assert!((spike[0].center_ns - 605.0).abs() < 1e-9);
+        assert_eq!(spike[0].probability, 1.0);
+        assert_eq!(pdf.clipped(), 0);
+        assert!((pdf.mean_ns() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_with_clipping() {
+        let mut rng = stream_rng(2, 0);
+        let d = crate::workload_models::masstree();
+        let pdf = estimate_pdf(&d, 100_000, 50.0, 4_000.0, &mut rng);
+        let in_axis: f64 = pdf.bins().iter().map(|b| b.probability).sum();
+        let total = in_axis + pdf.clipped() as f64 / pdf.samples() as f64;
+        assert!((total - 1.0).abs() < 1e-9);
+        // ~1 % scans fall beyond the 4 µs axis.
+        let clipped_frac = pdf.clipped() as f64 / pdf.samples() as f64;
+        assert!(
+            (clipped_frac - 0.01).abs() < 0.005,
+            "clipped {clipped_frac}"
+        );
+    }
+
+    #[test]
+    fn uniform_density_is_flat() {
+        let mut rng = stream_rng(3, 0);
+        let pdf = estimate_pdf(
+            &ServiceDist::uniform_ns(0.0, 1_000.0),
+            200_000,
+            100.0,
+            1_000.0,
+            &mut rng,
+        );
+        for b in pdf.bins() {
+            assert!((b.probability - 0.1).abs() < 0.01, "bin {b:?}");
+        }
+    }
+}

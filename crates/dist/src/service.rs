@@ -1,0 +1,457 @@
+//! [`ServiceDist`] — the RPC processing-time distribution algebra.
+
+use rand::Rng;
+use simkit::{SimDuration, DEFAULT_CLOCK_GHZ};
+
+use crate::gev::Gev;
+
+/// An RPC service-time distribution over nanoseconds.
+///
+/// Closed under the two combinators the paper's methodology needs:
+/// probability [`mixture`](ServiceDist::mixture)s (Masstree's 99 % gets +
+/// 1 % scans) and constant [`shifted`](ServiceDist::shifted) offsets (the
+/// §6.3 hybrid construction: fixed `S̄ − D` plus distributed `D`).
+///
+/// # Example
+/// ```
+/// use dist::ServiceDist;
+/// use simkit::rng::stream_rng;
+///
+/// let d = ServiceDist::exponential_mean_ns(600.0);
+/// assert!((d.mean_ns() - 600.0).abs() < 1e-9);
+/// assert!((d.scv().unwrap() - 1.0).abs() < 1e-9);
+/// let mut rng = stream_rng(7, 0);
+/// assert!(d.sample_ns(&mut rng) >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub enum ServiceDist {
+    /// Deterministic service time.
+    Fixed {
+        /// The constant value (ns).
+        ns: f64,
+    },
+    /// Uniform on `[lo_ns, hi_ns)`.
+    Uniform {
+        /// Inclusive lower bound (ns).
+        lo_ns: f64,
+        /// Exclusive upper bound (ns).
+        hi_ns: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean (ns).
+        mean_ns: f64,
+    },
+    /// Log-normal in ns; `mu`/`sigma` parameterize the underlying normal.
+    LogNormal {
+        /// Mean of the underlying normal (of ln ns).
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Generalized extreme value (parameters in ns).
+    Gev(Gev),
+    /// Probability mixture of component distributions.
+    Mixture {
+        /// `(weight, component)` pairs; weights need not be normalized.
+        components: Vec<(f64, ServiceDist)>,
+    },
+    /// A constant offset added to an inner distribution.
+    Shifted {
+        /// The constant part (ns, ≥ 0).
+        offset_ns: f64,
+        /// The distributed part.
+        inner: Box<ServiceDist>,
+    },
+}
+
+impl ServiceDist {
+    /// A deterministic service time.
+    ///
+    /// # Panics
+    /// Panics if `ns` is negative or non-finite.
+    pub fn fixed_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "fixed time must be ≥ 0, got {ns}");
+        ServiceDist::Fixed { ns }
+    }
+
+    /// Uniform on `[lo_ns, hi_ns)` — mean `(lo+hi)/2`, SCV
+    /// `(hi−lo)²/(3(hi+lo)²)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ lo < hi`.
+    pub fn uniform_ns(lo_ns: f64, hi_ns: f64) -> Self {
+        assert!(
+            lo_ns.is_finite() && hi_ns.is_finite() && lo_ns >= 0.0 && lo_ns < hi_ns,
+            "uniform needs 0 ≤ lo < hi, got [{lo_ns}, {hi_ns})"
+        );
+        ServiceDist::Uniform { lo_ns, hi_ns }
+    }
+
+    /// Exponential with the given mean.
+    ///
+    /// # Panics
+    /// Panics unless `mean_ns > 0`.
+    pub fn exponential_mean_ns(mean_ns: f64) -> Self {
+        assert!(
+            mean_ns.is_finite() && mean_ns > 0.0,
+            "exponential mean must be positive, got {mean_ns}"
+        );
+        ServiceDist::Exponential { mean_ns }
+    }
+
+    /// Log-normal with the given mean (ns) and underlying-normal standard
+    /// deviation `sigma` — SCV `exp(σ²) − 1`.
+    ///
+    /// # Panics
+    /// Panics unless `mean_ns > 0` and `sigma ≥ 0`.
+    pub fn lognormal_mean_ns(mean_ns: f64, sigma: f64) -> Self {
+        assert!(
+            mean_ns.is_finite() && mean_ns > 0.0,
+            "lognormal mean must be positive, got {mean_ns}"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "lognormal sigma must be ≥ 0, got {sigma}"
+        );
+        // E[exp(N(µ, σ²))] = exp(µ + σ²/2) = mean ⇒ µ = ln(mean) − σ²/2.
+        ServiceDist::LogNormal {
+            mu: mean_ns.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+
+    /// A GEV distribution with parameters in CPU cycles at the paper's
+    /// 2 GHz clock (Table 1), converted to ns.
+    ///
+    /// `gev_cycles(363.0, 100.0, 0.65)` is the heavy-tailed synthetic
+    /// profile of §5 (mean ≈ 600 cycles = 300 ns).
+    pub fn gev_cycles(loc_cycles: f64, scale_cycles: f64, shape: f64) -> Self {
+        let ns_per_cycle = 1.0 / DEFAULT_CLOCK_GHZ;
+        ServiceDist::Gev(Gev::new(
+            loc_cycles * ns_per_cycle,
+            scale_cycles * ns_per_cycle,
+            shape,
+        ))
+    }
+
+    /// A GEV distribution with parameters already in nanoseconds.
+    pub fn gev_ns(loc_ns: f64, scale_ns: f64, shape: f64) -> Self {
+        ServiceDist::Gev(Gev::new(loc_ns, scale_ns, shape))
+    }
+
+    /// A probability mixture.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty or any weight is non-positive.
+    pub fn mixture(components: Vec<(f64, ServiceDist)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            components.iter().all(|(w, _)| w.is_finite() && *w > 0.0),
+            "mixture weights must be positive"
+        );
+        ServiceDist::Mixture { components }
+    }
+
+    /// Adds a fixed `offset_ns` to every sample of `inner` (the §6.3
+    /// hybrid construction).
+    ///
+    /// # Panics
+    /// Panics if `offset_ns` is negative or non-finite.
+    pub fn shifted(offset_ns: f64, inner: ServiceDist) -> Self {
+        assert!(
+            offset_ns.is_finite() && offset_ns >= 0.0,
+            "shift offset must be ≥ 0, got {offset_ns}"
+        );
+        ServiceDist::Shifted {
+            offset_ns,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// The distribution mean in nanoseconds (`+∞` for a GEV with shape
+    /// ≥ 1).
+    pub fn mean_ns(&self) -> f64 {
+        match self {
+            ServiceDist::Fixed { ns } => *ns,
+            ServiceDist::Uniform { lo_ns, hi_ns } => (lo_ns + hi_ns) / 2.0,
+            ServiceDist::Exponential { mean_ns } => *mean_ns,
+            ServiceDist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            ServiceDist::Gev(g) => g.mean(),
+            ServiceDist::Mixture { components } => {
+                let total: f64 = components.iter().map(|(w, _)| w).sum();
+                components
+                    .iter()
+                    .map(|(w, d)| w * d.mean_ns())
+                    .sum::<f64>()
+                    / total
+            }
+            ServiceDist::Shifted { offset_ns, inner } => offset_ns + inner.mean_ns(),
+        }
+    }
+
+    /// The variance in ns², `None` when infinite (heavy-tailed GEV).
+    pub fn variance_ns2(&self) -> Option<f64> {
+        match self {
+            ServiceDist::Fixed { .. } => Some(0.0),
+            ServiceDist::Uniform { lo_ns, hi_ns } => {
+                let span = hi_ns - lo_ns;
+                Some(span * span / 12.0)
+            }
+            ServiceDist::Exponential { mean_ns } => Some(mean_ns * mean_ns),
+            ServiceDist::LogNormal { mu, sigma } => {
+                let s2 = sigma * sigma;
+                Some((s2.exp() - 1.0) * (2.0 * mu + s2).exp())
+            }
+            ServiceDist::Gev(g) => g.variance(),
+            ServiceDist::Mixture { components } => {
+                // Law of total variance: E[var] + var[mean].
+                let total: f64 = components.iter().map(|(w, _)| w).sum();
+                let mean = self.mean_ns();
+                let mut second_moment = 0.0;
+                for (w, d) in components {
+                    let m = d.mean_ns();
+                    second_moment += w / total * (d.variance_ns2()? + m * m);
+                }
+                Some(second_moment - mean * mean)
+            }
+            ServiceDist::Shifted { inner, .. } => inner.variance_ns2(),
+        }
+    }
+
+    /// The squared coefficient of variation (variance / mean²), `None`
+    /// when the variance is infinite.
+    pub fn scv(&self) -> Option<f64> {
+        let mean = self.mean_ns();
+        if mean <= 0.0 {
+            return Some(0.0);
+        }
+        Some(self.variance_ns2()? / (mean * mean))
+    }
+
+    /// Draws one sample in nanoseconds (always ≥ 0 and finite).
+    pub fn sample_ns<R: Rng>(&self, rng: &mut R) -> f64 {
+        let v = match self {
+            ServiceDist::Fixed { ns } => *ns,
+            ServiceDist::Uniform { lo_ns, hi_ns } => {
+                let u: f64 = rng.gen();
+                lo_ns + u * (hi_ns - lo_ns)
+            }
+            ServiceDist::Exponential { mean_ns } => {
+                let u: f64 = rng.gen();
+                -mean_ns * (1.0 - u).ln()
+            }
+            ServiceDist::LogNormal { mu, sigma } => {
+                // Box–Muller; two draws per sample keep the sampler
+                // stateless, which the harness's determinism relies on.
+                let u1: f64 = rng.gen();
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * (1.0 - u1).ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * z).exp()
+            }
+            ServiceDist::Gev(g) => g.quantile(rng.gen()),
+            ServiceDist::Mixture { components } => {
+                let total: f64 = components.iter().map(|(w, _)| w).sum();
+                let mut target: f64 = rng.gen::<f64>() * total;
+                let mut chosen = &components[components.len() - 1].1;
+                for (w, d) in components {
+                    if target < *w {
+                        chosen = d;
+                        break;
+                    }
+                    target -= w;
+                }
+                chosen.sample_ns(rng)
+            }
+            ServiceDist::Shifted { offset_ns, inner } => offset_ns + inner.sample_ns(rng),
+        };
+        if v.is_finite() {
+            v.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Draws one sample as a [`SimDuration`].
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        SimDuration::from_ns_f64(self.sample_ns(rng))
+    }
+
+    /// A copy of the distribution linearly rescaled so its mean equals
+    /// `target_mean_ns` (shape/SCV are preserved).
+    ///
+    /// # Panics
+    /// Panics unless `target_mean_ns > 0` and the current mean is finite
+    /// and positive.
+    pub fn rescaled_to_mean(&self, target_mean_ns: f64) -> ServiceDist {
+        assert!(
+            target_mean_ns.is_finite() && target_mean_ns > 0.0,
+            "target mean must be positive, got {target_mean_ns}"
+        );
+        let mean = self.mean_ns();
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "cannot rescale a distribution with mean {mean}"
+        );
+        self.scaled(target_mean_ns / mean)
+    }
+
+    /// Multiplies the whole distribution by a positive factor.
+    fn scaled(&self, factor: f64) -> ServiceDist {
+        match self {
+            ServiceDist::Fixed { ns } => ServiceDist::Fixed { ns: ns * factor },
+            ServiceDist::Uniform { lo_ns, hi_ns } => ServiceDist::Uniform {
+                lo_ns: lo_ns * factor,
+                hi_ns: hi_ns * factor,
+            },
+            ServiceDist::Exponential { mean_ns } => ServiceDist::Exponential {
+                mean_ns: mean_ns * factor,
+            },
+            ServiceDist::LogNormal { mu, sigma } => ServiceDist::LogNormal {
+                mu: mu + factor.ln(),
+                sigma: *sigma,
+            },
+            ServiceDist::Gev(g) => ServiceDist::Gev(g.scaled(factor)),
+            ServiceDist::Mixture { components } => ServiceDist::Mixture {
+                components: components
+                    .iter()
+                    .map(|(w, d)| (*w, d.scaled(factor)))
+                    .collect(),
+            },
+            ServiceDist::Shifted { offset_ns, inner } => ServiceDist::Shifted {
+                offset_ns: offset_ns * factor,
+                inner: Box::new(inner.scaled(factor)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::stream_rng;
+
+    fn mc_mean(d: &ServiceDist, n: usize, seed: u64) -> f64 {
+        let mut rng = stream_rng(seed, 0);
+        (0..n).map(|_| d.sample_ns(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn analytic_means_match_sampling() {
+        let cases = [
+            ServiceDist::fixed_ns(600.0),
+            ServiceDist::uniform_ns(0.0, 2.0),
+            ServiceDist::exponential_mean_ns(300.0),
+            ServiceDist::lognormal_mean_ns(1_250.0, 0.3),
+            ServiceDist::shifted(300.0, ServiceDist::exponential_mean_ns(300.0)),
+            ServiceDist::mixture(vec![
+                (0.99, ServiceDist::fixed_ns(1_000.0)),
+                (0.01, ServiceDist::fixed_ns(100_000.0)),
+            ]),
+        ];
+        for (i, d) in cases.iter().enumerate() {
+            let analytic = d.mean_ns();
+            let mc = mc_mean(d, 300_000, i as u64);
+            assert!(
+                (mc - analytic).abs() / analytic < 0.02,
+                "case {i}: MC {mc} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn scv_known_values() {
+        assert_eq!(ServiceDist::fixed_ns(5.0).scv().unwrap(), 0.0);
+        let uni = ServiceDist::uniform_ns(0.0, 2.0).scv().unwrap();
+        assert!((uni - 1.0 / 3.0).abs() < 1e-12, "uniform SCV {uni}");
+        let exp = ServiceDist::exponential_mean_ns(7.0).scv().unwrap();
+        assert!((exp - 1.0).abs() < 1e-12);
+        let ln = ServiceDist::lognormal_mean_ns(1.0, 0.5).scv().unwrap();
+        assert!((ln - (0.25f64.exp() - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_gev_has_no_scv() {
+        assert!(ServiceDist::gev_cycles(363.0, 100.0, 0.65).scv().is_none());
+        assert!(ServiceDist::mixture(vec![
+            (0.5, ServiceDist::fixed_ns(1.0)),
+            (0.5, ServiceDist::gev_cycles(363.0, 100.0, 0.65)),
+        ])
+        .scv()
+        .is_none());
+    }
+
+    #[test]
+    fn gev_cycles_mean_is_paper_calibration() {
+        // loc 363, scale 100, shape 0.65 cycles ⇒ mean ≈ 600 cycles
+        // ≈ 300 ns at 2 GHz — the synthetic `D` component.
+        let d = ServiceDist::gev_cycles(363.0, 100.0, 0.65);
+        assert!((d.mean_ns() - 300.0).abs() < 1.0, "mean {}", d.mean_ns());
+    }
+
+    #[test]
+    fn mixture_variance_total_law() {
+        let d = ServiceDist::mixture(vec![
+            (0.5, ServiceDist::fixed_ns(0.0)),
+            (0.5, ServiceDist::fixed_ns(2.0)),
+        ]);
+        assert!((d.mean_ns() - 1.0).abs() < 1e-12);
+        assert!((d.variance_ns2().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_preserves_variance_lowers_scv() {
+        let inner = ServiceDist::exponential_mean_ns(1.0);
+        let shifted = ServiceDist::shifted(1.0, inner.clone());
+        assert_eq!(
+            shifted.variance_ns2().unwrap(),
+            inner.variance_ns2().unwrap()
+        );
+        assert!(shifted.scv().unwrap() < inner.scv().unwrap());
+    }
+
+    #[test]
+    fn rescale_preserves_scv() {
+        for d in [
+            ServiceDist::uniform_ns(10.0, 20.0),
+            ServiceDist::exponential_mean_ns(123.0),
+            ServiceDist::lognormal_mean_ns(33_000.0, 1.0),
+            ServiceDist::shifted(300.0, ServiceDist::exponential_mean_ns(300.0)),
+        ] {
+            let r = d.rescaled_to_mean(42.0);
+            assert!((r.mean_ns() - 42.0).abs() < 1e-9);
+            assert!((r.scv().unwrap() - d.scv().unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = ServiceDist::lognormal_mean_ns(330.0, 0.3);
+        let a: Vec<f64> = {
+            let mut rng = stream_rng(9, 0);
+            (0..64).map(|_| d.sample_ns(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = stream_rng(9, 0);
+            (0..64).map(|_| d.sample_ns(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_stays_in_support() {
+        let d = ServiceDist::uniform_ns(2.0, 9.0);
+        let mut rng = stream_rng(3, 0);
+        for _ in 0..1_000 {
+            let v = d.sample_ns(&mut rng);
+            assert!((2.0..9.0).contains(&v), "sample {v} outside [2, 9)");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_exponential_mean() {
+        ServiceDist::exponential_mean_ns(0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The four synthetic processing-time profiles of §5 / Fig. 6a.
+//!
+//! Each profile is 300 ns of fixed work plus 300 ns (mean) of extra work
+//! following the named distribution family, for a 600 ns total mean:
+//! `TL_fixed < TL_uni < TL_exp < TL_gev` is the paper's §2.2 tail
+//! ordering.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ServiceDist;
+
+/// Fixed base work per synthetic request (ns).
+pub const SYNTHETIC_BASE_NS: f64 = 300.0;
+/// Mean of the distributed extra work (ns).
+pub const SYNTHETIC_EXTRA_MEAN_NS: f64 = 300.0;
+
+/// One of the paper's synthetic distribution families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticKind {
+    /// Deterministic 600 ns.
+    Fixed,
+    /// 300 ns + uniform `[0, 600)` ns.
+    Uniform,
+    /// 300 ns + exponential (mean 300 ns).
+    Exponential,
+    /// 300 ns + heavy-tailed GEV (mean 300 ns, shape 0.65).
+    Gev,
+}
+
+impl SyntheticKind {
+    /// All four families, in the paper's tail order.
+    pub const ALL: [SyntheticKind; 4] = [
+        SyntheticKind::Fixed,
+        SyntheticKind::Uniform,
+        SyntheticKind::Exponential,
+        SyntheticKind::Gev,
+    ];
+
+    /// The full processing-time distribution `D` (mean 600 ns, including
+    /// the fixed 300 ns base).
+    pub fn processing_time(self) -> ServiceDist {
+        let extra = match self {
+            SyntheticKind::Fixed => {
+                return ServiceDist::fixed_ns(SYNTHETIC_BASE_NS + SYNTHETIC_EXTRA_MEAN_NS)
+            }
+            SyntheticKind::Uniform => {
+                ServiceDist::uniform_ns(0.0, 2.0 * SYNTHETIC_EXTRA_MEAN_NS)
+            }
+            SyntheticKind::Exponential => {
+                ServiceDist::exponential_mean_ns(SYNTHETIC_EXTRA_MEAN_NS)
+            }
+            SyntheticKind::Gev => ServiceDist::gev_cycles(363.0, 100.0, 0.65)
+                .rescaled_to_mean(SYNTHETIC_EXTRA_MEAN_NS),
+        };
+        ServiceDist::shifted(SYNTHETIC_BASE_NS, extra)
+    }
+
+    /// The processing time rescaled to a 1 ns mean, as Fig. 2's queueing
+    /// models use (Y axes in multiples of S̄).
+    pub fn normalized(self) -> ServiceDist {
+        self.processing_time().rescaled_to_mean(1.0)
+    }
+
+    /// Short lowercase label used in legends and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyntheticKind::Fixed => "fixed",
+            SyntheticKind::Uniform => "uni",
+            SyntheticKind::Exponential => "exp",
+            SyntheticKind::Gev => "gev",
+        }
+    }
+}
+
+impl fmt::Display for SyntheticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error from parsing a [`SyntheticKind`] label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSyntheticKindError(String);
+
+impl fmt::Display for ParseSyntheticKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown synthetic kind `{}` (expected fixed|uni|exp|gev)", self.0)
+    }
+}
+
+impl std::error::Error for ParseSyntheticKindError {}
+
+impl FromStr for SyntheticKind {
+    type Err = ParseSyntheticKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fixed" => Ok(SyntheticKind::Fixed),
+            "uni" | "uniform" => Ok(SyntheticKind::Uniform),
+            "exp" | "exponential" => Ok(SyntheticKind::Exponential),
+            "gev" => Ok(SyntheticKind::Gev),
+            other => Err(ParseSyntheticKindError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_means_are_600ns() {
+        for kind in SyntheticKind::ALL {
+            let mean = kind.processing_time().mean_ns();
+            assert!((mean - 600.0).abs() < 1e-6, "{kind}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn normalized_means_are_unit() {
+        for kind in SyntheticKind::ALL {
+            let mean = kind.normalized().mean_ns();
+            assert!((mean - 1.0).abs() < 1e-9, "{kind}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn scv_ordering_matches_tail_ordering() {
+        // fixed < uni < exp, and gev's variance is infinite.
+        let scv = |k: SyntheticKind| k.processing_time().scv();
+        let fixed = scv(SyntheticKind::Fixed).unwrap();
+        let uni = scv(SyntheticKind::Uniform).unwrap();
+        let exp = scv(SyntheticKind::Exponential).unwrap();
+        assert!(fixed < uni && uni < exp, "{fixed} {uni} {exp}");
+        assert!(scv(SyntheticKind::Gev).is_none());
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for kind in SyntheticKind::ALL {
+            assert_eq!(kind.label().parse::<SyntheticKind>().unwrap(), kind);
+        }
+        assert!("bogus".parse::<SyntheticKind>().is_err());
+    }
+
+    #[test]
+    fn enum_order_is_figure_order() {
+        // fig6 uses `kind as u64` for per-kind seeds; pin the order.
+        assert_eq!(SyntheticKind::Fixed as u64, 0);
+        assert_eq!(SyntheticKind::Gev as u64, 3);
+    }
+}

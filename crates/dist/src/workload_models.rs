@@ -1,0 +1,91 @@
+//! Measured-application service-time models (§5 / Fig. 6b–c).
+
+use crate::ServiceDist;
+
+/// Shortest Masstree `scan` processing time (ns); doubles as the
+/// latency-critical classification threshold (§6.1: requests below it are
+/// `get`s, whose tail the SLO is defined on).
+pub const MASSTREE_SCAN_MIN_NS: f64 = 60_000.0;
+/// Longest Masstree `scan` processing time (ns).
+pub const MASSTREE_SCAN_MAX_NS: f64 = 120_000.0;
+/// Mean Masstree `get` processing time (ns): 1.25 µs.
+pub const MASSTREE_GET_MEAN_NS: f64 = 1_250.0;
+/// Fraction of Masstree requests that are scans.
+pub const MASSTREE_SCAN_FRACTION: f64 = 0.01;
+/// Mean HERD request processing time (ns).
+pub const HERD_MEAN_NS: f64 = 330.0;
+/// Mean Silo/TPC-C-like transaction time (ns): 33 µs.
+pub const SILO_MEAN_NS: f64 = 33_000.0;
+
+/// The HERD key-value store profile (Fig. 6b): a tight unimodal
+/// distribution with a 330 ns mean — short GET/PUT handlers over MICA-style
+/// index lookups.
+pub fn herd() -> ServiceDist {
+    ServiceDist::lognormal_mean_ns(HERD_MEAN_NS, 0.3)
+}
+
+/// The Masstree profile (Fig. 6c): 99 % `get`s averaging 1.25 µs plus 1 %
+/// 60–120 µs range `scan`s. The scans sit entirely at or above
+/// [`MASSTREE_SCAN_MIN_NS`], so thresholding drawn service times at that
+/// constant recovers the request class exactly.
+pub fn masstree() -> ServiceDist {
+    ServiceDist::mixture(vec![
+        (
+            1.0 - MASSTREE_SCAN_FRACTION,
+            ServiceDist::lognormal_mean_ns(MASSTREE_GET_MEAN_NS, 0.3),
+        ),
+        (
+            MASSTREE_SCAN_FRACTION,
+            ServiceDist::uniform_ns(MASSTREE_SCAN_MIN_NS, MASSTREE_SCAN_MAX_NS),
+        ),
+    ])
+}
+
+/// A Silo/TPC-C-like OLTP profile (§2.1's "hundreds of µs" end): wide
+/// lognormal with a 33 µs mean.
+pub fn silo() -> ServiceDist {
+    ServiceDist::lognormal_mean_ns(SILO_MEAN_NS, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::stream_rng;
+
+    #[test]
+    fn means_match_paper() {
+        assert!((herd().mean_ns() - 330.0).abs() < 1e-6);
+        let masstree_mean = 0.99 * 1_250.0 + 0.01 * 90_000.0;
+        assert!((masstree().mean_ns() - masstree_mean).abs() < 1e-6);
+        assert!((silo().mean_ns() - 33_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masstree_classes_separate_cleanly_at_threshold() {
+        let d = masstree();
+        let mut rng = stream_rng(11, 0);
+        let mut scans = 0u32;
+        let n = 200_000;
+        for _ in 0..n {
+            let v = d.sample_ns(&mut rng);
+            if v >= MASSTREE_SCAN_MIN_NS {
+                scans += 1;
+                assert!(v <= MASSTREE_SCAN_MAX_NS, "scan {v} above range");
+            } else {
+                assert!(v < 20_000.0, "get {v} implausibly long");
+            }
+        }
+        let frac = scans as f64 / n as f64;
+        assert!(
+            (frac - MASSTREE_SCAN_FRACTION).abs() < 0.002,
+            "scan fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn silo_is_wide() {
+        // SCV e^1 − 1 ≈ 1.72: far wider than HERD's ≈ 0.09.
+        assert!(silo().scv().unwrap() > 1.5);
+        assert!(herd().scv().unwrap() < 0.15);
+    }
+}

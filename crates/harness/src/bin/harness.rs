@@ -1,0 +1,205 @@
+//! `harness` — CLI runner for experiment matrices.
+//!
+//! ```text
+//! harness run --matrix fig6 --threads 8 --out results.json
+//! harness run --matrix fig7a --quick --seed 123 --out fig7a.json
+//! harness list
+//! ```
+//!
+//! `run` expands the named matrix, executes it on the worker pool, prints
+//! the per-policy summaries, and writes two artifacts:
+//!
+//! * `<out>` — the deterministic [`SweepReport`] JSON, byte-identical for
+//!   any `--threads` value;
+//! * `<out>.timing.json` — the wall-clock sidecar ([`SweepTiming`]).
+//!
+//! Flags: `--matrix <name>` (required), `--threads <n>` (default: all
+//! cores), `--out <path>` (default: `<matrix>.json`), `--quick` (8× fewer
+//! requests), `--seed <n>` (override the matrix master seed),
+//! `--requests <n>` (override per-job arrivals).
+
+use std::process::ExitCode;
+
+use harness::{default_threads, run_matrix, ScenarioMatrix, SweepReport};
+
+#[derive(Debug)]
+struct RunArgs {
+    matrix: String,
+    threads: usize,
+    out: Option<String>,
+    quick: bool,
+    seed: Option<u64>,
+    requests: Option<u64>,
+}
+
+fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
+    let mut args = RunArgs {
+        matrix: String::new(),
+        threads: default_threads(),
+        out: None,
+        quick: false,
+        seed: None,
+        requests: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--matrix" => args.matrix = value("--matrix")?,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--quick" => args.quick = true,
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?,
+                );
+            }
+            "--requests" => {
+                let requests: u64 = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad requests: {e}"))?;
+                if requests == 0 {
+                    return Err("--requests must be at least 1".to_owned());
+                }
+                args.requests = Some(requests);
+            }
+            other => return Err(format!("unknown flag `{other}` for run")),
+        }
+    }
+    if args.matrix.is_empty() {
+        return Err("run needs --matrix <name> (see `harness list`)".to_owned());
+    }
+    Ok(args)
+}
+
+fn cmd_list() {
+    println!("available matrices:");
+    for name in ScenarioMatrix::known_names() {
+        let m = ScenarioMatrix::named(name).expect("known name resolves");
+        println!(
+            "  {:<22} {:>4} jobs x {} requests (seed {})",
+            name,
+            m.jobs().len(),
+            m.requests,
+            m.master_seed
+        );
+    }
+}
+
+fn print_summaries(report: &SweepReport) {
+    for summary in report.summaries() {
+        println!(
+            "\n  [{} / {}] S = {:.0} ns, throughput under SLO = {:.2} Mrps",
+            summary.workload,
+            summary.policy,
+            summary.mean_service_ns,
+            summary.throughput_under_slo_rps / 1e6
+        );
+        println!(
+            "    {:>14} {:>14} {:>12} {:>12}",
+            "offered (Mrps)", "tput (Mrps)", "p99 (us)", "mean (us)"
+        );
+        for p in &summary.curve.points {
+            println!(
+                "    {:>14.3} {:>14.3} {:>12.3} {:>12.3}",
+                p.offered_load / 1e6,
+                p.throughput_rps / 1e6,
+                p.p99_latency_ns / 1e3,
+                p.mean_latency_ns / 1e3
+            );
+        }
+    }
+}
+
+fn cmd_run(it: std::env::Args) -> Result<(), String> {
+    let args = parse_run_args(it)?;
+    let mut matrix = ScenarioMatrix::named(&args.matrix).ok_or_else(|| {
+        format!(
+            "unknown matrix `{}` (known: {})",
+            args.matrix,
+            ScenarioMatrix::known_names().join(", ")
+        )
+    })?;
+    if args.quick {
+        matrix = matrix.quick();
+    }
+    if let Some(seed) = args.seed {
+        matrix.master_seed = seed;
+    }
+    if let Some(requests) = args.requests {
+        matrix.requests = requests;
+        matrix.warmup = requests / 10;
+    }
+    let jobs = matrix.jobs().len();
+    let threads = harness::effective_threads(args.threads, jobs);
+    println!(
+        "matrix {}: {} jobs x {} requests on {} threads (seed {})",
+        matrix.name, jobs, matrix.requests, threads, matrix.master_seed
+    );
+
+    let (report, timing) = run_matrix(&matrix, threads);
+    print_summaries(&report);
+    println!("\n  {}", timing.summary_line());
+
+    let out = args.out.unwrap_or_else(|| format!("{}.json", matrix.name));
+    std::fs::write(&out, report.to_json_pretty()).map_err(|e| format!("write {out}: {e}"))?;
+    println!("\n[wrote {out}]");
+    let timing_path = format!("{out}.timing.json");
+    let timing_json =
+        serde_json::to_string_pretty(&timing).map_err(|e| format!("timing serializes: {e}"))?;
+    std::fs::write(&timing_path, timing_json)
+        .map_err(|e| format!("write {timing_path}: {e}"))?;
+    println!("[wrote {timing_path}]");
+    Ok(())
+}
+
+/// Restores default SIGPIPE behaviour so `harness ... | head` exits
+/// quietly instead of panicking on a closed stdout (Rust ignores SIGPIPE
+/// by default).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    let mut it = std::env::args();
+    let _argv0 = it.next();
+    let outcome = match it.next().as_deref() {
+        Some("run") => cmd_run(it),
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "usage: harness run --matrix <name> [--threads n] [--out file.json] \
+                 [--quick] [--seed n] [--requests n]\n       harness list"
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # harness — parallel experiment orchestration
+//!
+//! The single entry point every figure binary goes through: expand a
+//! [`ScenarioMatrix`] (workload × policy × load point × replication) into
+//! jobs, fan the jobs out over a pull-based dispatcher + worker pool
+//! (each worker requests its next job when free, chroma-execution-engine
+//! style), and collect a versioned, deterministic JSON [`SweepReport`].
+//!
+//! The contract that makes parallelism safe to depend on: **a sweep's
+//! report is byte-identical for any worker-thread count.** Job seeds
+//! derive only from the matrix (`split_seed(master, load-point index)`,
+//! the same convention the old sequential binaries used), results are
+//! keyed by job index, and wall-clock data is segregated into a separate
+//! [`SweepTiming`] sidecar.
+//!
+//! ## Example
+//!
+//! ```
+//! use harness::{RateGrid, ScenarioMatrix};
+//! use rpcvalet::Policy;
+//! use workloads::Workload;
+//!
+//! let matrix = ScenarioMatrix::new("demo", 42)
+//!     .workloads(vec![Workload::Herd])
+//!     .policies(vec![Policy::hw_single_queue()])
+//!     .rates(RateGrid::Shared(vec![2.0e6, 10.0e6]))
+//!     .requests(10_000, 1_000);
+//! let (report, timing) = harness::run_matrix(&matrix, 2);
+//! assert_eq!(report.jobs.len(), 2);
+//! assert!(timing.total_wall_ms > 0.0);
+//! let summary = &report.summaries()[0];
+//! assert_eq!(summary.policy, "1x16");
+//! assert!(summary.throughput_under_slo_rps > 0.0);
+//! ```
+
+pub mod pool;
+pub mod report;
+pub mod spec;
+
+pub use pool::{default_threads, run_jobs, JobDispatcher, JobOutcome};
+pub use simkit::pool::effective_threads;
+pub use report::{
+    timing_from_outcomes, JobRecord, PolicySummary, SweepReport, SweepTiming, REPORT_VERSION,
+};
+pub use spec::{ExperimentSpec, RateGrid, ScenarioMatrix};
+
+/// Runs a whole matrix on `threads` workers, returning the deterministic
+/// report plus the wall-clock sidecar (which records the *effective*
+/// worker count — `threads` clamped to the job count).
+pub fn run_matrix(matrix: &ScenarioMatrix, threads: usize) -> (SweepReport, SweepTiming) {
+    let start = std::time::Instant::now();
+    let jobs = matrix.jobs();
+    let effective = simkit::pool::effective_threads(threads, jobs.len());
+    let outcomes = pool::run_jobs(jobs, threads);
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = SweepReport::from_outcomes(matrix, &outcomes);
+    let timing = report::timing_from_outcomes(matrix, &outcomes, effective, total_wall_ms);
+    (report, timing)
+}

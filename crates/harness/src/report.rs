@@ -1,0 +1,337 @@
+//! The artifact layer: versioned JSON sweep reports.
+//!
+//! A [`SweepReport`] is the deterministic record of one matrix run —
+//! byte-identical for any worker-thread count, because job seeds and job
+//! order are pure functions of the matrix. Wall-clock data lives in the
+//! separate [`SweepTiming`] artifact so timing noise never perturbs the
+//! comparable file (and `BENCH_*.json` trajectories can diff reports
+//! across commits).
+
+use metrics::{throughput_under_slo, CurvePoint, LatencyCurve};
+use serde::{Deserialize, Serialize};
+use workloads::Workload;
+
+use crate::pool::JobOutcome;
+use crate::spec::ScenarioMatrix;
+
+/// Format version stamped into every report.
+pub const REPORT_VERSION: u32 = 1;
+
+/// One job's deterministic record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Position in the matrix's job list.
+    pub index: u64,
+    /// Workload label (parseable by `Workload::from_str`).
+    pub workload: String,
+    /// Policy figure label (e.g. `"1x16"`, `"sw-1x16"`).
+    pub policy: String,
+    /// Unique policy grouping key (distinguishes same-label variants,
+    /// e.g. `"hw-single-t1"` vs `"hw-single-t2"`).
+    pub policy_key: String,
+    /// Offered load (requests/second).
+    pub rate_rps: f64,
+    /// Arrivals simulated.
+    pub requests: u64,
+    /// Warm-up completions discarded.
+    pub warmup: u64,
+    /// The job's derived RNG seed.
+    pub seed: u64,
+    /// Achieved throughput (requests/second).
+    pub throughput_rps: f64,
+    /// Mean latency (ns).
+    pub mean_latency_ns: f64,
+    /// Median latency (ns).
+    pub p50_latency_ns: f64,
+    /// 99th-percentile latency (ns).
+    pub p99_latency_ns: f64,
+    /// 99th-percentile latency of the latency-critical class (ns); equals
+    /// `p99_latency_ns` when the workload defines no class split.
+    pub p99_critical_ns: f64,
+    /// Completions measured after warm-up.
+    pub measured: u64,
+    /// Mean measured service time S̄ (ns).
+    pub mean_service_ns: f64,
+    /// Jain fairness index over per-core completions.
+    pub load_balance_jain: f64,
+    /// Arrivals deferred by send-slot flow control.
+    pub flow_control_deferrals: u64,
+}
+
+/// The deterministic result artifact of one matrix run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Format version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// Matrix name.
+    pub matrix: String,
+    /// Master seed the job seeds derive from.
+    pub master_seed: u64,
+    /// Per-job records, in matrix job order.
+    pub jobs: Vec<JobRecord>,
+}
+
+/// Wall-clock sidecar for a sweep (never part of the comparable report).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepTiming {
+    /// Matrix name.
+    pub matrix: String,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Total wall-clock milliseconds for the whole sweep.
+    pub total_wall_ms: f64,
+    /// Per-job wall-clock milliseconds, in job order.
+    pub job_wall_ms: Vec<f64>,
+    /// Sum of per-job wall time; `/ total_wall_ms` estimates achieved
+    /// parallel speedup.
+    pub cpu_ms: f64,
+}
+
+impl SweepTiming {
+    /// Achieved speedup: total worker-busy time over elapsed time.
+    pub fn speedup(&self) -> f64 {
+        if self.total_wall_ms > 0.0 {
+            self.cpu_ms / self.total_wall_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// The one-line run summary the figure binaries and the CLI print.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "[{} jobs in {:.1} s on {} threads, {:.2}x speedup]",
+            self.job_wall_ms.len(),
+            self.total_wall_ms / 1e3,
+            self.threads,
+            self.speedup()
+        )
+    }
+}
+
+/// Per-(workload, policy) aggregation of a report: the latency curve and
+/// the paper's headline throughput-under-SLO metric.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicySummary {
+    /// Workload label.
+    pub workload: String,
+    /// Policy figure label.
+    pub policy: String,
+    /// Unique policy grouping key.
+    pub policy_key: String,
+    /// The latency/throughput curve in increasing-rate order. For
+    /// workloads with a latency-critical class (Masstree) the p99 values
+    /// are the critical class's, matching §6.1's SLO accounting.
+    pub curve: LatencyCurve,
+    /// Mean measured S̄ (ns) at the lightest load point.
+    pub mean_service_ns: f64,
+    /// Throughput under the workload's SLO (requests/second).
+    pub throughput_under_slo_rps: f64,
+}
+
+impl SweepReport {
+    /// Assembles the deterministic report from pool outcomes.
+    pub fn from_outcomes(matrix: &ScenarioMatrix, outcomes: &[JobOutcome]) -> SweepReport {
+        let jobs = outcomes
+            .iter()
+            .map(|o| JobRecord {
+                index: o.index as u64,
+                workload: o.spec.workload.label(),
+                policy: o.result.label.clone(),
+                policy_key: o.spec.policy_key(),
+                rate_rps: o.spec.rate_rps,
+                requests: o.spec.requests,
+                warmup: o.spec.warmup,
+                seed: o.spec.seed,
+                throughput_rps: o.result.throughput_rps,
+                mean_latency_ns: o.result.mean_latency_ns,
+                p50_latency_ns: o.result.p50_latency_ns,
+                p99_latency_ns: o.result.p99_latency_ns,
+                p99_critical_ns: o.result.p99_critical_ns,
+                measured: o.result.measured,
+                mean_service_ns: o.result.mean_service_ns,
+                load_balance_jain: o.result.load_balance_jain,
+                flow_control_deferrals: o.result.flow_control_deferrals,
+            })
+            .collect();
+        SweepReport {
+            version: REPORT_VERSION,
+            matrix: matrix.name.clone(),
+            master_seed: matrix.master_seed,
+            jobs,
+        }
+    }
+
+    /// Serializes the report as pretty JSON — the byte-comparable form.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(text: &str) -> Result<SweepReport, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Aggregates per-(workload, policy) summaries, preserving first-seen
+    /// order. Replicated points contribute one curve point each.
+    pub fn summaries(&self) -> Vec<PolicySummary> {
+        let mut order: Vec<(String, String)> = Vec::new();
+        for job in &self.jobs {
+            let key = (job.workload.clone(), job.policy_key.clone());
+            if !order.contains(&key) {
+                order.push(key);
+            }
+        }
+        order
+            .into_iter()
+            .map(|(workload, policy_key)| {
+                let group: Vec<&JobRecord> = self
+                    .jobs
+                    .iter()
+                    .filter(|j| j.workload == workload && j.policy_key == policy_key)
+                    .collect();
+                let policy = group
+                    .first()
+                    .map(|j| j.policy.clone())
+                    .unwrap_or_else(|| policy_key.clone());
+                let parsed: Option<Workload> = workload.parse().ok();
+                let critical = parsed.and_then(|w| w.critical_threshold_ns()).is_some();
+                let mut curve = LatencyCurve::new(policy.clone());
+                for job in &group {
+                    curve.push(CurvePoint {
+                        offered_load: job.rate_rps,
+                        throughput_rps: job.throughput_rps,
+                        mean_latency_ns: job.mean_latency_ns,
+                        p99_latency_ns: if critical {
+                            job.p99_critical_ns
+                        } else {
+                            job.p99_latency_ns
+                        },
+                        completed: job.measured,
+                    });
+                }
+                let mean_service_ns = group
+                    .first()
+                    .map(|j| j.mean_service_ns)
+                    .unwrap_or_default();
+                let throughput_under_slo_rps = parsed
+                    .map(|w| throughput_under_slo(&curve, w.slo(mean_service_ns)))
+                    .unwrap_or_default();
+                PolicySummary {
+                    workload,
+                    policy,
+                    policy_key,
+                    curve,
+                    mean_service_ns,
+                    throughput_under_slo_rps,
+                }
+            })
+            .collect()
+    }
+
+    /// The summaries for one workload, in policy order of first
+    /// appearance.
+    pub fn summaries_for(&self, workload: Workload) -> Vec<PolicySummary> {
+        let label = workload.label();
+        self.summaries()
+            .into_iter()
+            .filter(|s| s.workload == label)
+            .collect()
+    }
+}
+
+/// Builds the timing sidecar from pool outcomes.
+pub fn timing_from_outcomes(
+    matrix: &ScenarioMatrix,
+    outcomes: &[JobOutcome],
+    threads: usize,
+    total_wall_ms: f64,
+) -> SweepTiming {
+    let job_wall_ms: Vec<f64> = outcomes.iter().map(|o| o.wall_ms).collect();
+    let cpu_ms = job_wall_ms.iter().sum();
+    SweepTiming {
+        matrix: matrix.name.clone(),
+        threads: threads as u64,
+        total_wall_ms,
+        job_wall_ms,
+        cpu_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run_jobs;
+    use crate::spec::RateGrid;
+    use dist::SyntheticKind;
+    use rpcvalet::Policy;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new("report-test", 3)
+            .workloads(vec![Workload::Synthetic(SyntheticKind::Fixed)])
+            .policies(vec![Policy::hw_single_queue(), Policy::hw_static()])
+            .rates(RateGrid::Shared(vec![2.0e6, 8.0e6]))
+            .requests(3_000, 300)
+    }
+
+    fn tiny_report() -> SweepReport {
+        let m = tiny_matrix();
+        let outcomes = run_jobs(m.jobs(), 2);
+        SweepReport::from_outcomes(&m, &outcomes)
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = tiny_report();
+        let json = report.to_json_pretty();
+        let back = SweepReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.version, REPORT_VERSION);
+        assert_eq!(back.jobs.len(), 4);
+    }
+
+    #[test]
+    fn summaries_group_and_order() {
+        let report = tiny_report();
+        let summaries = report.summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].policy, "1x16");
+        assert_eq!(summaries[1].policy, "16x1");
+        for s in &summaries {
+            assert_eq!(s.curve.len(), 2);
+            assert!(s.mean_service_ns > 700.0, "S̄ {}", s.mean_service_ns);
+            assert!(s.throughput_under_slo_rps > 0.0);
+        }
+    }
+
+    #[test]
+    fn timing_sidecar_sums() {
+        let m = tiny_matrix();
+        let outcomes = run_jobs(m.jobs(), 2);
+        let timing = timing_from_outcomes(&m, &outcomes, 2, 100.0);
+        assert_eq!(timing.job_wall_ms.len(), 4);
+        assert!(timing.cpu_ms >= 0.0);
+        assert_eq!(timing.threads, 2);
+        assert!(timing.speedup() >= 0.0);
+    }
+
+    #[test]
+    fn masstree_summary_uses_critical_p99() {
+        let m = ScenarioMatrix::new("masstree-crit", 4)
+            .workloads(vec![Workload::Masstree])
+            .policies(vec![Policy::hw_single_queue()])
+            .rates(RateGrid::Shared(vec![1.0e6]))
+            .requests(20_000, 2_000);
+        let outcomes = run_jobs(m.jobs(), 2);
+        let report = SweepReport::from_outcomes(&m, &outcomes);
+        let s = &report.summaries()[0];
+        // Get-class p99 at light load is far below the 60 µs+ scans that
+        // dominate the all-requests p99.
+        assert!(
+            s.curve.points[0].p99_latency_ns < 60_000.0,
+            "critical p99 {}",
+            s.curve.points[0].p99_latency_ns
+        );
+        assert!(report.jobs[0].p99_latency_ns > s.curve.points[0].p99_latency_ns);
+    }
+}

@@ -1,0 +1,438 @@
+//! The job model: one experiment point, and the matrix builder that
+//! expands (workload × policy × load point × replication) into a job
+//! list.
+
+use dist::SyntheticKind;
+use rpcvalet::{Policy, RunResult, ServerSim, SystemConfig};
+use simkit::rng::split_seed;
+use workloads::{scenario_config, Workload};
+
+/// Tag mixed into the master seed for replications beyond the first, so
+/// replication 0 reproduces the legacy single-run seeds bit-for-bit.
+const REPLICATION_SEED_TAG: u64 = 0x5EED_0000_0000;
+
+/// One fully specified simulation to run: the unit of work the harness
+/// dispatcher hands to worker threads.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// The workload family.
+    pub workload: Workload,
+    /// The load-balancing policy under test.
+    pub policy: Policy,
+    /// Offered load (requests/second).
+    pub rate_rps: f64,
+    /// Arrivals to simulate.
+    pub requests: u64,
+    /// Warm-up completions to discard.
+    pub warmup: u64,
+    /// The job's fully derived RNG seed. Depends only on the matrix's
+    /// master seed, the load-point index, and the replication index —
+    /// never on worker scheduling — so parallel runs are bit-identical to
+    /// sequential ones.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// Builds the paper-§5 [`SystemConfig`] for this job.
+    pub fn to_config(&self) -> SystemConfig {
+        let mut cfg = scenario_config(self.workload, self.policy.clone(), self.rate_rps, self.seed);
+        cfg.requests = self.requests;
+        cfg.warmup = self.warmup;
+        cfg
+    }
+
+    /// Runs the simulation to completion on the calling thread.
+    pub fn run(&self) -> RunResult {
+        ServerSim::new(self.to_config()).run()
+    }
+
+    /// A grouping key that, unlike the figure label, distinguishes policy
+    /// variants sharing a label (e.g. 1×16 at outstanding threshold 1 vs
+    /// 2 in the §4.3 ablation, or software baselines with different MCS
+    /// lock timings).
+    pub fn policy_key(&self) -> String {
+        policy_key(&self.policy)
+    }
+}
+
+/// The unique grouping key for a policy (see
+/// [`ExperimentSpec::policy_key`]).
+pub fn policy_key(policy: &Policy) -> String {
+    match policy {
+        Policy::HwSingleQueue {
+            outstanding_per_core,
+        } => format!("hw-single-t{outstanding_per_core}"),
+        Policy::HwPartitioned {
+            outstanding_per_core,
+        } => format!("hw-partitioned-t{outstanding_per_core}"),
+        Policy::HwStatic => "hw-static".to_owned(),
+        Policy::SwSingleQueue { lock } => format!(
+            "sw-single-a{}-h{}-c{}",
+            lock.acquire_uncontended.as_ps(),
+            lock.handoff.as_ps(),
+            lock.critical_section.as_ps()
+        ),
+    }
+}
+
+/// How a matrix picks its offered-load grid.
+#[derive(Debug, Clone)]
+pub enum RateGrid {
+    /// One explicit grid shared by every workload.
+    Shared(Vec<f64>),
+    /// Each workload sweeps its own
+    /// [`Workload::default_rate_grid`] (10 points to ~capacity).
+    WorkloadDefault,
+}
+
+/// A cartesian experiment matrix: workloads × policies × load points ×
+/// replications, expanded in a deterministic order.
+///
+/// # Example
+/// ```
+/// use harness::{RateGrid, ScenarioMatrix};
+/// use rpcvalet::Policy;
+/// use workloads::Workload;
+///
+/// let matrix = ScenarioMatrix::new("demo", 71)
+///     .workloads(vec![Workload::Herd])
+///     .policies(vec![Policy::hw_static(), Policy::hw_single_queue()])
+///     .rates(RateGrid::Shared(vec![2.0e6, 8.0e6]))
+///     .requests(20_000, 2_000);
+/// let jobs = matrix.jobs();
+/// assert_eq!(jobs.len(), 4);
+/// // The same load-point index gets the same seed across policies
+/// // (paired common random numbers, as the figure binaries always did).
+/// assert_eq!(jobs[0].seed, jobs[2].seed);
+/// assert_ne!(jobs[0].seed, jobs[1].seed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Name recorded in reports (e.g. `"fig7"`).
+    pub name: String,
+    /// Workload families to sweep.
+    pub workloads: Vec<Workload>,
+    /// Policies to compare.
+    pub policies: Vec<Policy>,
+    /// The load grid.
+    pub rates: RateGrid,
+    /// Arrivals per job.
+    pub requests: u64,
+    /// Warm-up completions per job.
+    pub warmup: u64,
+    /// Master seed; per-job seeds derive from it.
+    pub master_seed: u64,
+    /// Independent repetitions per operating point (≥ 1).
+    pub replications: usize,
+}
+
+impl ScenarioMatrix {
+    /// Starts a matrix with defaults: no workloads/policies yet, the
+    /// workload-default rate grid, 100 k requests with 10 % warm-up, one
+    /// replication.
+    pub fn new(name: impl Into<String>, master_seed: u64) -> Self {
+        ScenarioMatrix {
+            name: name.into(),
+            workloads: Vec::new(),
+            policies: Vec::new(),
+            rates: RateGrid::WorkloadDefault,
+            requests: 100_000,
+            warmup: 10_000,
+            master_seed,
+            replications: 1,
+        }
+    }
+
+    /// Sets the workloads.
+    pub fn workloads(mut self, workloads: Vec<Workload>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Sets the policies.
+    pub fn policies(mut self, policies: Vec<Policy>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Sets the rate grid.
+    pub fn rates(mut self, rates: RateGrid) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sets per-job request and warm-up counts.
+    pub fn requests(mut self, requests: u64, warmup: u64) -> Self {
+        self.requests = requests;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the replication count.
+    pub fn replications(mut self, replications: usize) -> Self {
+        self.replications = replications.max(1);
+        self
+    }
+
+    /// Scales request/warm-up counts down for smoke runs (the figure
+    /// binaries' `--quick` flag).
+    pub fn quick(mut self) -> Self {
+        self.requests = (self.requests / 8).max(5_000);
+        self.warmup = self.requests / 10;
+        self
+    }
+
+    /// The per-workload rate grid.
+    pub fn grid_for(&self, workload: Workload) -> Vec<f64> {
+        match &self.rates {
+            RateGrid::Shared(rates) => rates.clone(),
+            RateGrid::WorkloadDefault => workload.default_rate_grid(),
+        }
+    }
+
+    /// Expands the cartesian product into the deterministic job list.
+    ///
+    /// Expansion order is workload-major, then policy, then load point,
+    /// then replication. Seeds depend only on `(master_seed, load-point
+    /// index, replication)`: every policy and workload sees the same seed
+    /// at the same load-point index — the paired-seed convention the
+    /// sequential figure binaries used (`split_seed(seed, i)` per sweep
+    /// point), so replication 0 reproduces their runs exactly.
+    ///
+    /// # Panics
+    /// Panics if the matrix has no workloads, no policies, an empty
+    /// shared grid, or `warmup ≥ requests`.
+    pub fn jobs(&self) -> Vec<ExperimentSpec> {
+        assert!(!self.workloads.is_empty(), "matrix needs at least one workload");
+        assert!(!self.policies.is_empty(), "matrix needs at least one policy");
+        assert!(
+            self.warmup < self.requests,
+            "warmup ({}) must be below requests ({})",
+            self.warmup,
+            self.requests
+        );
+        if let RateGrid::Shared(rates) = &self.rates {
+            assert!(!rates.is_empty(), "shared rate grid must not be empty");
+        }
+        let mut jobs = Vec::new();
+        for &workload in &self.workloads {
+            let grid = self.grid_for(workload);
+            for policy in &self.policies {
+                for (point_idx, &rate_rps) in grid.iter().enumerate() {
+                    for rep in 0..self.replications {
+                        jobs.push(ExperimentSpec {
+                            workload,
+                            policy: policy.clone(),
+                            rate_rps,
+                            requests: self.requests,
+                            warmup: self.warmup,
+                            seed: self.job_seed(point_idx, rep),
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// The seed for (load-point index, replication).
+    pub fn job_seed(&self, point_idx: usize, replication: usize) -> u64 {
+        let base = if replication == 0 {
+            self.master_seed
+        } else {
+            split_seed(self.master_seed, REPLICATION_SEED_TAG + replication as u64)
+        };
+        split_seed(base, point_idx as u64)
+    }
+
+    /// Looks up a predefined matrix by name at full paper resolution.
+    ///
+    /// The definitions are shared with the figure binaries (`fig7`,
+    /// `fig8`, `ablation_outstanding` resolve their matrices here), so
+    /// CLI runs reproduce the binaries' numbers exactly — same seeds,
+    /// grids, and request counts.
+    ///
+    /// | name | contents |
+    /// |---|---|
+    /// | `fig6` | the Fig. 6 workload families (4 synthetics, HERD, Masstree) under RPCValet's 1×16, each over its default load grid |
+    /// | `fig7a` | HERD × the three hardware policies (Fig. 7a) |
+    /// | `fig7b` | Masstree × the three hardware policies, with extra low-rate points to resolve the 16×1 SLO violation (Fig. 7b) |
+    /// | `fig7c` | synthetic fixed + GEV × the three hardware policies (Fig. 7c) |
+    /// | `fig8` | the four synthetic families × hardware vs software 1×16 (Fig. 8) |
+    /// | `ablation_outstanding` | HERD + synthetic-fixed × outstanding-per-core 1 vs 2 (§4.3/§6.1) |
+    pub fn named(name: &str) -> Option<ScenarioMatrix> {
+        let hw_policies = || {
+            vec![
+                Policy::hw_static(),
+                Policy::hw_partitioned(),
+                Policy::hw_single_queue(),
+            ]
+        };
+        let matrix = match name {
+            "fig6" => ScenarioMatrix::new("fig6", 66)
+                .workloads(vec![
+                    Workload::Synthetic(SyntheticKind::Fixed),
+                    Workload::Synthetic(SyntheticKind::Uniform),
+                    Workload::Synthetic(SyntheticKind::Exponential),
+                    Workload::Synthetic(SyntheticKind::Gev),
+                    Workload::Herd,
+                    Workload::Masstree,
+                ])
+                .policies(vec![Policy::hw_single_queue()])
+                .requests(100_000, 10_000),
+            "fig7a" => ScenarioMatrix::new("fig7a", 71)
+                .workloads(vec![Workload::Herd])
+                .policies(hw_policies())
+                .requests(250_000, 25_000),
+            "fig7b" => ScenarioMatrix::new("fig7b", 72)
+                .workloads(vec![Workload::Masstree])
+                .policies(hw_policies())
+                .rates(RateGrid::Shared(
+                    (1..=13).map(|i| i as f64 * 0.5e6).collect(),
+                ))
+                .requests(250_000, 25_000),
+            "fig7c" => ScenarioMatrix::new("fig7c", 73)
+                .workloads(vec![
+                    Workload::Synthetic(SyntheticKind::Fixed),
+                    Workload::Synthetic(SyntheticKind::Gev),
+                ])
+                .policies(hw_policies())
+                .requests(250_000, 25_000),
+            "fig8" => ScenarioMatrix::new("fig8", 88)
+                .workloads(
+                    SyntheticKind::ALL
+                        .iter()
+                        .map(|&k| Workload::Synthetic(k))
+                        .collect(),
+                )
+                .policies(vec![Policy::hw_single_queue(), Policy::sw_single_queue()])
+                .rates(RateGrid::Shared(
+                    (1..=14).map(|i| i as f64 * 1.4e6).collect(),
+                ))
+                .requests(250_000, 25_000),
+            "ablation_outstanding" => ScenarioMatrix::new("ablation_outstanding", 95)
+                .workloads(vec![
+                    Workload::Herd,
+                    Workload::Synthetic(SyntheticKind::Fixed),
+                ])
+                .policies(vec![
+                    Policy::HwSingleQueue {
+                        outstanding_per_core: 1,
+                    },
+                    Policy::HwSingleQueue {
+                        outstanding_per_core: 2,
+                    },
+                ])
+                .requests(250_000, 25_000),
+            _ => return None,
+        };
+        Some(matrix)
+    }
+
+    /// Names accepted by [`ScenarioMatrix::named`].
+    pub fn known_names() -> &'static [&'static str] {
+        &[
+            "fig6",
+            "fig7a",
+            "fig7b",
+            "fig7c",
+            "fig8",
+            "ablation_outstanding",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScenarioMatrix {
+        ScenarioMatrix::new("t", 7)
+            .workloads(vec![
+                Workload::Synthetic(SyntheticKind::Fixed),
+                Workload::Herd,
+            ])
+            .policies(vec![Policy::hw_single_queue(), Policy::hw_static()])
+            .rates(RateGrid::Shared(vec![1.0e6, 2.0e6, 3.0e6]))
+            .requests(1_000, 100)
+    }
+
+    #[test]
+    fn cartesian_expansion_shape() {
+        let jobs = tiny().jobs();
+        assert_eq!(jobs.len(), 2 * 2 * 3);
+        // Workload-major, policy, then rate.
+        assert_eq!(jobs[0].workload, Workload::Synthetic(SyntheticKind::Fixed));
+        assert_eq!(jobs[0].rate_rps, 1.0e6);
+        assert_eq!(jobs[2].rate_rps, 3.0e6);
+        assert_eq!(jobs[11].workload, Workload::Herd);
+    }
+
+    #[test]
+    fn seeds_follow_legacy_sweep_convention() {
+        let m = tiny();
+        for (i, job) in m.jobs().iter().enumerate() {
+            let point_idx = i % 3;
+            assert_eq!(job.seed, split_seed(7, point_idx as u64));
+        }
+    }
+
+    #[test]
+    fn replications_get_fresh_seeds() {
+        let m = tiny().replications(2);
+        let jobs = m.jobs();
+        assert_eq!(jobs.len(), 24);
+        assert_eq!(jobs[0].seed, split_seed(7, 0), "rep 0 keeps legacy seeds");
+        assert_ne!(jobs[1].seed, jobs[0].seed, "rep 1 differs");
+        assert_eq!(jobs[1].seed, m.job_seed(0, 1));
+    }
+
+    #[test]
+    fn named_matrices_expand() {
+        for name in ScenarioMatrix::known_names() {
+            let m = ScenarioMatrix::named(name).unwrap();
+            assert_eq!(&m.name, name);
+            assert!(!m.jobs().is_empty(), "{name} expands to jobs");
+        }
+        assert!(ScenarioMatrix::named("fig99").is_none());
+    }
+
+    #[test]
+    fn quick_scales_requests_down() {
+        let m = ScenarioMatrix::named("fig7a").unwrap().quick();
+        assert_eq!(m.requests, 31_250);
+        assert_eq!(m.warmup, 3_125);
+    }
+
+    #[test]
+    fn sw_policy_keys_distinguish_lock_timings() {
+        use rpcvalet::McsParams;
+        use simkit::SimDuration;
+        let default_key = policy_key(&Policy::sw_single_queue());
+        let tuned = Policy::SwSingleQueue {
+            lock: McsParams {
+                acquire_uncontended: SimDuration::from_ns(15),
+                handoff: SimDuration::from_ns(250),
+                critical_section: SimDuration::from_ns(45),
+            },
+        };
+        assert_ne!(policy_key(&tuned), default_key);
+        assert_eq!(default_key, policy_key(&Policy::sw_single_queue()));
+    }
+
+    #[test]
+    fn workload_default_grid_matches_workload() {
+        let m = ScenarioMatrix::new("t", 0)
+            .workloads(vec![Workload::Herd])
+            .policies(vec![Policy::hw_single_queue()]);
+        assert_eq!(m.grid_for(Workload::Herd), Workload::Herd.default_rate_grid());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_matrix_panics() {
+        ScenarioMatrix::new("t", 0)
+            .policies(vec![Policy::hw_static()])
+            .jobs();
+    }
+}

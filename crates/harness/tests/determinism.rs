@@ -1,0 +1,128 @@
+//! The harness's central guarantees, checked end to end:
+//!
+//! 1. a matrix's report JSON is **byte-identical** for any worker-thread
+//!    count;
+//! 2. per-job seed derivation matches the convention the old sequential
+//!    figure binaries used (`split_seed(master, point index)` fed through
+//!    `scenario_config` + `ServerSim`), so harness runs reproduce their
+//!    numbers bit for bit.
+
+use harness::{run_matrix, RateGrid, ScenarioMatrix};
+use rpcvalet::{sweep_rates, Policy, RateSweepSpec, ServerSim};
+use simkit::rng::split_seed;
+use workloads::{scenario_config, Workload};
+
+fn small_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new("determinism", 20_260_729)
+        .workloads(vec![
+            Workload::Synthetic(dist::SyntheticKind::Exponential),
+            Workload::Herd,
+        ])
+        .policies(vec![Policy::hw_single_queue(), Policy::hw_static()])
+        .rates(RateGrid::Shared(vec![3.0e6, 9.0e6, 15.0e6]))
+        .requests(6_000, 600)
+}
+
+#[test]
+fn two_and_eight_threads_produce_identical_json() {
+    let (report_2, _) = run_matrix(&small_matrix(), 2);
+    let (report_8, _) = run_matrix(&small_matrix(), 8);
+    let json_2 = report_2.to_json_pretty();
+    let json_8 = report_8.to_json_pretty();
+    assert_eq!(
+        json_2, json_8,
+        "report JSON must be byte-identical across thread counts"
+    );
+    // And equal to the no-pool inline path.
+    let (report_1, _) = run_matrix(&small_matrix(), 1);
+    assert_eq!(report_1.to_json_pretty(), json_2);
+}
+
+#[test]
+fn wall_clock_lives_only_in_the_timing_sidecar() {
+    let (report, timing) = run_matrix(&small_matrix(), 4);
+    let json = report.to_json_pretty();
+    assert!(!json.contains("wall"), "no wall-clock fields in the report");
+    assert_eq!(timing.job_wall_ms.len(), report.jobs.len());
+    assert!(timing.total_wall_ms > 0.0);
+}
+
+#[test]
+fn job_seeds_match_the_legacy_sequential_convention() {
+    let matrix = small_matrix();
+    for (i, job) in matrix.jobs().iter().enumerate() {
+        let point_idx = (i % 3) as u64;
+        assert_eq!(
+            job.seed,
+            split_seed(matrix.master_seed, point_idx),
+            "job {i}: seed must be split_seed(master, point index)"
+        );
+    }
+}
+
+#[test]
+fn harness_reproduces_a_direct_sequential_run() {
+    let matrix = small_matrix();
+    let (report, _) = run_matrix(&matrix, 4);
+    // Re-run one mid-matrix job exactly as the old binaries did:
+    // scenario_config + explicit seed, no harness involved.
+    let job = &report.jobs[4]; // exp workload, 16x1, second rate
+    assert_eq!(job.policy, "16x1");
+    let mut cfg = scenario_config(
+        Workload::Synthetic(dist::SyntheticKind::Exponential),
+        Policy::hw_static(),
+        job.rate_rps,
+        job.seed,
+    );
+    cfg.requests = job.requests;
+    cfg.warmup = job.warmup;
+    let direct = ServerSim::new(cfg).run();
+    assert_eq!(direct.p99_latency_ns, job.p99_latency_ns);
+    assert_eq!(direct.throughput_rps, job.throughput_rps);
+    assert_eq!(direct.measured, job.measured);
+    assert_eq!(direct.load_balance_jain, job.load_balance_jain);
+}
+
+#[test]
+fn harness_matches_legacy_sweep_rates_bit_for_bit() {
+    // One (workload, policy) sweep: the harness must reproduce
+    // rpcvalet::sweep_rates (the engine behind the old fig7/fig8 loops)
+    // exactly, because both derive point seeds the same way.
+    let rates = vec![4.0e6, 10.0e6, 16.0e6];
+    let seed = 42;
+    let requests = 8_000;
+
+    let matrix = ScenarioMatrix::new("legacy-compare", seed)
+        .workloads(vec![Workload::Herd])
+        .policies(vec![Policy::hw_partitioned()])
+        .rates(RateGrid::Shared(rates.clone()))
+        .requests(requests, requests / 10);
+    let (report, _) = run_matrix(&matrix, 3);
+
+    let base = scenario_config(Workload::Herd, Policy::hw_partitioned(), rates[0], seed);
+    let (curve, results) = sweep_rates(
+        &base,
+        &RateSweepSpec {
+            rates_rps: rates,
+            requests,
+            warmup: requests / 10,
+            seed,
+        },
+    );
+
+    assert_eq!(report.jobs.len(), results.len());
+    for ((job, point), result) in report.jobs.iter().zip(&curve.points).zip(&results) {
+        assert_eq!(job.p99_latency_ns, point.p99_latency_ns);
+        assert_eq!(job.throughput_rps, point.throughput_rps);
+        assert_eq!(job.mean_latency_ns, result.mean_latency_ns);
+        assert_eq!(job.measured, result.measured);
+    }
+}
+
+#[test]
+fn report_json_roundtrip_preserves_everything() {
+    let (report, _) = run_matrix(&small_matrix(), 2);
+    let back = harness::SweepReport::from_json(&report.to_json_pretty()).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(back.to_json_pretty(), report.to_json_pretty());
+}

@@ -94,7 +94,7 @@ impl ContendedMesh {
                 head = free;
                 contended = true;
             }
-            head = head + hop;
+            head += hop;
             // The link stays busy until the body has streamed through.
             self.link_free.insert(link, head + body);
         }
@@ -190,7 +190,7 @@ mod tests {
             let from = TileId::new(((i % 4) * 4) as usize); // backend column
             let to = TileId::new(0); // dispatcher
             m.transfer(from, to, 16, now);
-            now = now + gap;
+            now += gap;
         }
         assert!(
             m.contention_ratio() < 0.01,

@@ -69,7 +69,9 @@ pub fn sweep_rates(base: &SystemConfig, spec: &RateSweepSpec) -> (LatencyCurve, 
 }
 
 /// Executes every operating point of the sweep, in parallel when more
-/// than one hardware thread is available.
+/// than one hardware thread is available. Results are a pure function of
+/// each point's config, so scheduling cannot change them (the shared
+/// [`simkit::pool`] engine merges them back in point order).
 fn run_points(base: &SystemConfig, spec: &RateSweepSpec) -> Vec<RunResult> {
     let configs: Vec<SystemConfig> = spec
         .rates_rps
@@ -84,50 +86,8 @@ fn run_points(base: &SystemConfig, spec: &RateSweepSpec) -> Vec<RunResult> {
             cfg
         })
         .collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(configs.len())
-        .max(1);
-    if threads == 1 {
-        return configs
-            .into_iter()
-            .map(|cfg| ServerSim::new(cfg).run())
-            .collect();
-    }
-    // Work-stealing over the point index; each worker returns its own
-    // (index, result) pairs, merged afterwards. Results are a pure
-    // function of each point's config, so scheduling cannot change them.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let indexed: Vec<(usize, RunResult)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= configs.len() {
-                            break;
-                        }
-                        local.push((i, ServerSim::new(configs[i].clone()).run()));
-                    }
-                    local
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<RunResult>> = (0..configs.len()).map(|_| None).collect();
-    for (i, r) in indexed {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every point executed"))
-        .collect()
+    let threads = simkit::pool::default_threads();
+    simkit::pool::run_indexed(configs, threads, |_, cfg| ServerSim::new(cfg).run())
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! * [`Engine`] — a thin driver that owns the clock and the event queue.
 //! * [`rng`] — seed-splitting utilities so that every simulated component
 //!   gets an independent, reproducible random stream.
+//! * [`pool`] — a pull-based worker pool for fanning independent,
+//!   deterministic simulation jobs across OS threads.
 //!
 //! The paper evaluates RPCValet with Flexus cycle-accurate simulation; this
 //! kernel instead supports nanosecond-granularity event-driven models whose
@@ -35,6 +37,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod time;
 

@@ -70,7 +70,7 @@ impl TrafficGenerator {
         let u: f64 = self.rng.gen();
         let gap = SimDuration::from_ns_f64(-self.mean_interarrival_ns * (1.0 - u).ln())
             .max(SimDuration::from_ps(1));
-        self.next_time = self.next_time + gap;
+        self.next_time += gap;
         let source = NodeId(self.rng.gen_range(1..self.nodes) as u16);
         Arrival {
             time: self.next_time,
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn sources_cover_cluster_uniformly() {
         let mut g = TrafficGenerator::new(50, 1_000_000.0, 3);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         let n = 49_000;
         for _ in 0..n {
             counts[g.next_arrival().source.index()] += 1;

@@ -18,6 +18,7 @@
 //! | [`sonuma`] | `sonuma` | Scale-Out NUMA substrate |
 //! | [`rpcvalet`] | `rpcvalet` | messaging + NI dispatch + full-system sim |
 //! | [`workloads`] | `workloads` | HERD/Masstree/synthetic scenarios |
+//! | [`harness`] | `harness` | parallel experiment orchestration (dispatcher + worker pool, JSON reports) |
 //!
 //! ## Quickstart
 //!
@@ -40,8 +41,32 @@
 //!     result.p99_latency_us()
 //! );
 //! ```
+//!
+//! ## Whole sweeps
+//!
+//! Multi-point experiments go through the [`harness`]: a
+//! `ScenarioMatrix` expands (workload × policy × load point) into jobs, a
+//! pull-based worker pool runs them across cores, and the resulting
+//! `SweepReport` JSON is byte-identical for any thread count (also
+//! available from the command line: `harness run --matrix fig7a
+//! --threads 8 --out fig7a.json`; `harness list` names the matrices).
+//!
+//! ```
+//! use rpcvalet_repro::harness::{RateGrid, ScenarioMatrix};
+//! use rpcvalet_repro::rpcvalet::Policy;
+//! use rpcvalet_repro::workloads::Workload;
+//!
+//! let matrix = ScenarioMatrix::new("doc", 7)
+//!     .workloads(vec![Workload::Herd])
+//!     .policies(vec![Policy::hw_single_queue()])
+//!     .rates(RateGrid::Shared(vec![4.0e6]))
+//!     .requests(10_000, 1_000);
+//! let (report, _timing) = rpcvalet_repro::harness::run_matrix(&matrix, 2);
+//! assert!(report.summaries()[0].throughput_under_slo_rps > 0.0);
+//! ```
 
 pub use dist;
+pub use harness;
 pub use metrics;
 pub use noc;
 pub use queueing;

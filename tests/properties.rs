@@ -106,7 +106,7 @@ proptest! {
             disp.enqueue(m);
         }
         let mut received = Vec::new();
-        let mut outstanding = vec![0u32; 4];
+        let mut outstanding = [0u32; 4];
         let mut i = 0usize;
         loop {
             match disp.try_dispatch() {
