@@ -38,7 +38,7 @@ fn main() {
 
     let all_summaries = report.summaries();
     let mut rows = Vec::new();
-    for &workload in &matrix.workloads {
+    for workload in &matrix.workloads {
         // Policy order in the matrix is threshold 1 then threshold 2; the
         // summaries preserve it (keys "hw-single-t1" / "hw-single-t2").
         let summaries: Vec<_> = all_summaries

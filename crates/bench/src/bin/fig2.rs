@@ -8,34 +8,40 @@
 //! Y values are in multiples of the mean service time S̄ (the service
 //! distributions are normalized to mean 1), exactly as the paper plots.
 //!
+//! All sweeps run as the predefined `fig2a`/`fig2b`/`fig2c` harness
+//! matrices ([`JobKind::Queueing`]) on the worker pool; the per-point
+//! seeds match the old hand-rolled `queueing::sweep` loops exactly
+//! (`split_seed(2019, i)`), so the emitted JSON is bit-identical to the
+//! pre-harness binary's.
+//!
 //! Usage: `cargo run -p bench --release --bin fig2 [--part a|b|c] [--quick]`
 
 use bench::{part_arg, print_curve, write_json, Mode};
-use dist::SyntheticKind;
+use harness::{default_threads, run_matrix, JobKind, ScenarioMatrix};
 use metrics::LatencyCurve;
-use queueing::{sweep, QxU, SweepSpec};
 
-fn spec(mode: Mode) -> SweepSpec {
-    let mut s = SweepSpec::fig2_default(2019);
-    s.requests = mode.requests(400_000);
-    s.warmup = s.requests / 10;
-    s
-}
-
-fn part_a(mode: Mode) -> Vec<LatencyCurve> {
-    let service = SyntheticKind::Exponential.normalized();
-    QxU::FIG2A_CONFIGS
-        .iter()
-        .map(|&config| sweep(config, &service, &spec(mode)))
-        .collect()
-}
-
-fn part_bc(mode: Mode, config: QxU) -> Vec<LatencyCurve> {
-    SyntheticKind::ALL
-        .iter()
-        .map(|&kind| {
-            let mut curve = sweep(config, &kind.normalized(), &spec(mode));
-            curve.label = format!("{}-{}", kind.label(), config.label());
+/// Runs one fig2 matrix and reconstructs the figure's latency curves
+/// (the legacy artifact shape) from the report summaries.
+fn run_part(mode: Mode, name: &str, relabel_by_workload: bool) -> Vec<LatencyCurve> {
+    let mut matrix = ScenarioMatrix::named(name).expect("fig2 matrices are predefined");
+    if mode == Mode::Quick {
+        matrix = matrix.quick();
+    }
+    assert!(matrix.jobs().iter().all(|j| j.kind() == JobKind::Queueing));
+    let (report, timing) = run_matrix(&matrix, default_threads());
+    println!("  {}", timing.summary_line());
+    report
+        .summaries()
+        .into_iter()
+        .map(|s| {
+            let mut curve = s.curve;
+            // Part a keeps the config label ("1x16"); parts b/c prepend
+            // the distribution, as the legacy binary labelled them.
+            curve.label = if relabel_by_workload {
+                format!("{}-{}", s.workload, s.policy)
+            } else {
+                s.policy.clone()
+            };
             curve
         })
         .collect()
@@ -44,13 +50,13 @@ fn part_bc(mode: Mode, config: QxU) -> Vec<LatencyCurve> {
 fn main() {
     let mode = Mode::from_args();
     let part = part_arg();
-    let run_part = |p: &str| part.as_deref().map(|sel| sel == p).unwrap_or(true);
+    let run_part_selected = |p: &str| part.as_deref().map(|sel| sel == p).unwrap_or(true);
 
     println!("=== Fig. 2: queueing-model tail latency (99th pct, multiples of S̄) ===");
 
-    if run_part("a") {
+    if run_part_selected("a") {
         println!("\n--- Fig. 2a: Q x U configurations, exponential service ---");
-        let curves = part_a(mode);
+        let curves = run_part(mode, "fig2a", false);
         for c in &curves {
             print_curve(c, "load", "xS", 1.0);
         }
@@ -67,18 +73,18 @@ fn main() {
         write_json("fig2a", &curves);
     }
 
-    if run_part("b") {
+    if run_part_selected("b") {
         println!("\n--- Fig. 2b: model 1x16, four service distributions ---");
-        let curves = part_bc(mode, QxU::SINGLE_16);
+        let curves = run_part(mode, "fig2b", true);
         for c in &curves {
             print_curve(c, "load", "xS", 1.0);
         }
         write_json("fig2b", &curves);
     }
 
-    if run_part("c") {
+    if run_part_selected("c") {
         println!("\n--- Fig. 2c: model 16x1, four service distributions ---");
-        let curves = part_bc(mode, QxU::PARTITIONED_16);
+        let curves = run_part(mode, "fig2c", true);
         for c in &curves {
             print_curve(c, "load", "xS", 1.0);
         }

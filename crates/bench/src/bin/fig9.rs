@@ -8,15 +8,26 @@
 //! The paper's claim: RPCValet performs within 3 % of the model at best
 //! and within 15 % in the worst case (GEV).
 //!
+//! Per distribution, the sweep is two harness matrices on the worker
+//! pool — a [`JobKind::Queueing`] matrix for the model line (master seed
+//! 91) and a [`JobKind::ServerSim`] matrix for the implementation
+//! (master seed 92) — with per-point seeds `split_seed(master, i)`, the
+//! exact seeds the old hand-rolled loops drew, so `fig9.json` is
+//! bit-identical to the pre-harness binary's.
+//!
 //! Usage: `cargo run -p bench --release --bin fig9 [--quick]`
 
 use bench::{write_json, Mode};
 use dist::SyntheticKind;
-use metrics::{CurvePoint, LatencyCurve};
-use queueing::hybrid::fig9_model;
-use queueing::RunParams;
+use harness::{
+    default_threads, run_matrix, JobKind, RateGrid, ScenarioMatrix, SweepReport,
+};
+use metrics::LatencyCurve;
+use queueing::hybrid::hybrid_service;
+use queueing::QxU;
 use rpcvalet::{Policy, ServerSim, SystemConfig};
 use serde::Serialize;
+use workloads::Workload;
 
 #[derive(Serialize)]
 struct Fig9Panel {
@@ -45,6 +56,20 @@ fn measure_s_bar(kind: SyntheticKind, requests: u64) -> f64 {
     ServerSim::new(cfg).run().mean_service_ns
 }
 
+/// Rebuilds the figure's latency curve from a single-(workload, policy)
+/// report, with the X axis forced to the normalized load fractions.
+fn curve_from_report(report: &SweepReport, label: String, loads: &[f64]) -> LatencyCurve {
+    let summaries = report.summaries();
+    assert_eq!(summaries.len(), 1, "one (workload, policy) per fig9 matrix");
+    let mut curve = summaries.into_iter().next().expect("summary").curve;
+    assert_eq!(curve.points.len(), loads.len());
+    for (point, &load) in curve.points.iter_mut().zip(loads) {
+        point.offered_load = load;
+    }
+    curve.label = label;
+    curve
+}
+
 fn main() {
     let mode = Mode::from_args();
     println!("=== Fig. 9: RPCValet vs theoretical 1x16 model ===");
@@ -56,6 +81,7 @@ fn main() {
     loads.extend([0.96, 0.97, 0.98, 0.99, 1.0]);
     let requests = mode.requests(200_000);
     let cores = 16.0;
+    let threads = default_threads();
 
     let mut panels = Vec::new();
     for kind in SyntheticKind::ALL {
@@ -63,45 +89,35 @@ fn main() {
         let fixed_part = (s_bar - 600.0).max(0.0);
 
         // Theoretical model per §6.3: (S̄ − D) fixed + the D portion
-        // (mean 600 ns, including its own base) distributed.
-        let model = fig9_model(s_bar, kind);
+        // (mean 600 ns, including its own base) distributed. One
+        // queueing-kind matrix, master seed 91 (the legacy model seeds).
+        let model_matrix = ScenarioMatrix::new(format!("fig9-model-{}", kind.label()), 91)
+            .service_workloads(vec![(
+                format!("hybrid-{}", kind.label()),
+                hybrid_service(s_bar, kind),
+            )])
+            .model_policies(vec![QxU::SINGLE_16])
+            .rates(RateGrid::Shared(loads.clone()))
+            .requests(requests, requests / 10);
+        assert!(model_matrix.jobs().iter().all(|j| j.kind() == JobKind::Queueing));
+        let (model_report, _) = run_matrix(&model_matrix, threads);
+        let model_curve = curve_from_report(
+            &model_report,
+            format!("model-{}", kind.label()),
+            &loads,
+        );
 
-        let mut model_curve = LatencyCurve::new(format!("model-{}", kind.label()));
-        let mut sim_curve = LatencyCurve::new(format!("sim-{}", kind.label()));
-        for (i, &load) in loads.iter().enumerate() {
-            // Model point.
-            let m = model.run(&RunParams {
-                load,
-                requests,
-                warmup: requests / 10,
-                seed: simkit::rng::split_seed(91, i as u64),
-            });
-            model_curve.push(CurvePoint {
-                offered_load: load,
-                throughput_rps: m.throughput_rps,
-                mean_latency_ns: m.sojourn.mean_ns(),
-                p99_latency_ns: m.p99_sojourn_ns,
-                completed: m.measured,
-            });
-            // Simulation point at the matching absolute rate.
-            let rate = load * cores / (s_bar * 1e-9);
-            let cfg = SystemConfig::builder()
-                .policy(Policy::hw_single_queue())
-                .service(kind.processing_time())
-                .rate_rps(rate)
-                .requests(requests)
-                .warmup(requests / 10)
-                .seed(simkit::rng::split_seed(92, i as u64))
-                .build();
-            let r = ServerSim::new(cfg).run();
-            sim_curve.push(CurvePoint {
-                offered_load: load,
-                throughput_rps: r.throughput_rps,
-                mean_latency_ns: r.mean_latency_ns,
-                p99_latency_ns: r.p99_latency_ns,
-                completed: r.measured,
-            });
-        }
+        // The implementation at the matching absolute rates: one
+        // sim-kind matrix, master seed 92 (the legacy sim seeds).
+        let rates: Vec<f64> = loads.iter().map(|l| l * cores / (s_bar * 1e-9)).collect();
+        let sim_matrix = ScenarioMatrix::new(format!("fig9-sim-{}", kind.label()), 92)
+            .workloads(vec![Workload::Synthetic(kind)])
+            .policies(vec![Policy::hw_single_queue()])
+            .rates(RateGrid::Shared(rates))
+            .requests(requests, requests / 10);
+        let (sim_report, _) = run_matrix(&sim_matrix, threads);
+        let sim_curve =
+            curve_from_report(&sim_report, format!("sim-{}", kind.label()), &loads);
 
         // Headline gap: throughput under the 10×S̄ SLO, model vs sim —
         // the comparison behind the paper's "within 3–15 %" claim. The

@@ -20,6 +20,7 @@
 //! | `ablation_emulated` | §3.3 emulated messaging's per-flow affinity |
 //! | `ablation_sensitivity` | slots / MTU / lock cost / threshold sweeps |
 //! | `latency_breakdown` | trace-based latency anatomy per policy |
+//! | `live_vs_sim` | measured loopback serving vs queueing models (sim-to-system check) |
 //!
 //! Pass `--quick` to any figure binary for a fast low-resolution run.
 

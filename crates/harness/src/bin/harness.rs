@@ -3,6 +3,8 @@
 //! ```text
 //! harness run --matrix fig6 --threads 8 --out results.json
 //! harness run --matrix fig7a --quick --seed 123 --out fig7a.json
+//! harness run --matrix fig8 --baseline old/fig8.json --tolerance 5
+//! harness run --matrix fig2a --replications 5 --out fig2a.json
 //! harness list
 //! ```
 //!
@@ -13,14 +15,27 @@
 //!   any `--threads` value;
 //! * `<out>.timing.json` — the wall-clock sidecar ([`SweepTiming`]).
 //!
+//! When `<out>` already exists with compatible metadata, the run
+//! **resumes**: jobs recorded there are reused and only the missing ones
+//! execute. With `--baseline old.json`, the fresh report is diffed
+//! against the stored one and load points whose p99 (or whose group's
+//! throughput-under-SLO) regressed beyond `--tolerance` percent are
+//! flagged; any regression makes the exit code non-zero.
+//!
 //! Flags: `--matrix <name>` (required), `--threads <n>` (default: all
 //! cores), `--out <path>` (default: `<matrix>.json`), `--quick` (8× fewer
 //! requests), `--seed <n>` (override the matrix master seed),
-//! `--requests <n>` (override per-job arrivals).
+//! `--requests <n>` (override per-job arrivals), `--replications <n>`
+//! (independent repetitions per point; summaries then carry mean ± 95 %
+//! CI), `--baseline <path>`, `--tolerance <pct>` (default 5),
+//! `--fresh` (ignore an existing `<out>` instead of resuming).
 
 use std::process::ExitCode;
 
-use harness::{default_threads, run_matrix, ScenarioMatrix, SweepReport};
+use harness::{
+    default_threads, diff_reports, run_matrix, run_matrix_resumed, ScenarioMatrix, SweepReport,
+    SweepTiming,
+};
 
 #[derive(Debug)]
 struct RunArgs {
@@ -30,6 +45,10 @@ struct RunArgs {
     quick: bool,
     seed: Option<u64>,
     requests: Option<u64>,
+    replications: Option<usize>,
+    baseline: Option<String>,
+    tolerance_pct: f64,
+    fresh: bool,
 }
 
 fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
@@ -40,6 +59,10 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
         quick: false,
         seed: None,
         requests: None,
+        replications: None,
+        baseline: None,
+        tolerance_pct: 5.0,
+        fresh: false,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -52,6 +75,7 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--quick" => args.quick = true,
+            "--fresh" => args.fresh = true,
             "--seed" => {
                 args.seed = Some(
                     value("--seed")?
@@ -67,6 +91,24 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
                     return Err("--requests must be at least 1".to_owned());
                 }
                 args.requests = Some(requests);
+            }
+            "--replications" => {
+                let replications: usize = value("--replications")?
+                    .parse()
+                    .map_err(|e| format!("bad replications: {e}"))?;
+                if replications == 0 {
+                    return Err("--replications must be at least 1".to_owned());
+                }
+                args.replications = Some(replications);
+            }
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--tolerance" => {
+                args.tolerance_pct = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+                if args.tolerance_pct < 0.0 {
+                    return Err("--tolerance must be non-negative".to_owned());
+                }
             }
             other => return Err(format!("unknown flag `{other}` for run")),
         }
@@ -100,23 +142,48 @@ fn print_summaries(report: &SweepReport) {
             summary.mean_service_ns,
             summary.throughput_under_slo_rps / 1e6
         );
-        println!(
-            "    {:>14} {:>14} {:>12} {:>12}",
-            "offered (Mrps)", "tput (Mrps)", "p99 (us)", "mean (us)"
-        );
-        for p in &summary.curve.points {
+        let with_ci = !summary.ci95.is_empty();
+        if with_ci {
             println!(
-                "    {:>14.3} {:>14.3} {:>12.3} {:>12.3}",
-                p.offered_load / 1e6,
-                p.throughput_rps / 1e6,
-                p.p99_latency_ns / 1e3,
-                p.mean_latency_ns / 1e3
+                "    {:>14} {:>14} {:>12} {:>14} {:>12}",
+                "offered (Mrps)", "tput (Mrps)", "p99 (us)", "p99 ci95 (us)", "mean (us)"
             );
+        } else {
+            println!(
+                "    {:>14} {:>14} {:>12} {:>12}",
+                "offered (Mrps)", "tput (Mrps)", "p99 (us)", "mean (us)"
+            );
+        }
+        for (i, p) in summary.curve.points.iter().enumerate() {
+            if with_ci {
+                println!(
+                    "    {:>14.3} {:>14.3} {:>12.3} {:>14} {:>12.3}",
+                    p.offered_load / 1e6,
+                    p.throughput_rps / 1e6,
+                    p.p99_latency_ns / 1e3,
+                    format!("+-{:.3}", summary.ci95[i].p99_ci95_ns / 1e3),
+                    p.mean_latency_ns / 1e3
+                );
+            } else {
+                println!(
+                    "    {:>14.3} {:>14.3} {:>12.3} {:>12.3}",
+                    p.offered_load / 1e6,
+                    p.throughput_rps / 1e6,
+                    p.p99_latency_ns / 1e3,
+                    p.mean_latency_ns / 1e3
+                );
+            }
         }
     }
 }
 
-fn cmd_run(it: std::env::Args) -> Result<(), String> {
+fn read_report(path: &str, what: &str) -> Result<SweepReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {what} {path}: {e}"))?;
+    SweepReport::from_json(&text).map_err(|e| format!("parse {what} {path}: {e}"))
+}
+
+fn cmd_run(it: std::env::Args) -> Result<bool, String> {
     let args = parse_run_args(it)?;
     let mut matrix = ScenarioMatrix::named(&args.matrix).ok_or_else(|| {
         format!(
@@ -135,18 +202,48 @@ fn cmd_run(it: std::env::Args) -> Result<(), String> {
         matrix.requests = requests;
         matrix.warmup = requests / 10;
     }
+    if let Some(replications) = args.replications {
+        matrix = matrix.replications(replications);
+    }
     let jobs = matrix.jobs().len();
-    let threads = harness::effective_threads(args.threads, jobs);
+    // Live matrices serialize onto one worker (concurrent loopback
+    // servers would contend for the machine); run_matrix re-derives the
+    // same clamp internally.
+    let threads =
+        harness::effective_threads(harness::threads_for_jobs(&matrix.jobs(), args.threads), jobs);
     println!(
         "matrix {}: {} jobs x {} requests on {} threads (seed {})",
         matrix.name, jobs, matrix.requests, threads, matrix.master_seed
     );
 
-    let (report, timing) = run_matrix(&matrix, threads);
+    // Load the baseline before the (potentially long) sweep so a bad
+    // path or stale-format file fails in milliseconds, not afterwards.
+    let baseline = args
+        .baseline
+        .as_ref()
+        .map(|path| read_report(path, "baseline").map(|report| (path.clone(), report)))
+        .transpose()?;
+
+    let out = args.out.unwrap_or_else(|| format!("{}.json", matrix.name));
+    let existing = if !args.fresh && std::path::Path::new(&out).exists() {
+        Some(read_report(&out, "existing report").map_err(|e| {
+            format!("{e} (older report formats cannot seed a resume; use --fresh to discard)")
+        })?)
+    } else {
+        None
+    };
+    let (report, timing): (SweepReport, SweepTiming) = match existing {
+        Some(existing) => {
+            let (report, timing, reused) = run_matrix_resumed(&matrix, args.threads, &existing)
+                .map_err(|e| format!("cannot resume from {out}: {e} (use --fresh to discard)"))?;
+            println!("[resumed: {reused}/{jobs} jobs reused from {out}]");
+            (report, timing)
+        }
+        None => run_matrix(&matrix, args.threads),
+    };
     print_summaries(&report);
     println!("\n  {}", timing.summary_line());
 
-    let out = args.out.unwrap_or_else(|| format!("{}.json", matrix.name));
     std::fs::write(&out, report.to_json_pretty()).map_err(|e| format!("write {out}: {e}"))?;
     println!("\n[wrote {out}]");
     let timing_path = format!("{out}.timing.json");
@@ -155,7 +252,24 @@ fn cmd_run(it: std::env::Args) -> Result<(), String> {
     std::fs::write(&timing_path, timing_json)
         .map_err(|e| format!("write {timing_path}: {e}"))?;
     println!("[wrote {timing_path}]");
-    Ok(())
+
+    let mut clean = true;
+    if let Some((baseline_path, baseline)) = &baseline {
+        let diff = diff_reports(baseline, &report, args.tolerance_pct);
+        println!(
+            "\nbaseline {}: {} groups, {} load points compared at {:.1}% tolerance",
+            baseline_path, diff.groups_compared, diff.points_compared, args.tolerance_pct
+        );
+        if diff.clean() {
+            println!("  no regressions");
+        } else {
+            clean = false;
+            for regression in &diff.regressions {
+                println!("  REGRESSION {}", regression.describe());
+            }
+        }
+    }
+    Ok(clean)
 }
 
 /// Restores default SIGPIPE behaviour so `harness ... | head` exits
@@ -184,19 +298,21 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(it),
         Some("list") => {
             cmd_list();
-            Ok(())
+            Ok(true)
         }
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: harness run --matrix <name> [--threads n] [--out file.json] \
-                 [--quick] [--seed n] [--requests n]\n       harness list"
+                 [--quick] [--seed n] [--requests n] [--replications n] \
+                 [--baseline old.json] [--tolerance pct] [--fresh]\n       harness list"
             );
-            Ok(())
+            Ok(true)
         }
         Some(other) => Err(format!("unknown command `{other}` (try --help)")),
     };
     match outcome {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE, // baseline regressions
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE

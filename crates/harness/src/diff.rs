@@ -1,0 +1,235 @@
+//! Baseline comparison: flag operating points that regressed.
+//!
+//! `harness run --baseline old.json` re-runs a matrix and compares the
+//! fresh report against a stored one. Two checks, both tolerance-gated:
+//!
+//! * per (workload, policy): throughput under the workload's SLO — the
+//!   paper's headline metric — must not drop;
+//! * per matched load point: p99 latency must not rise.
+//!
+//! Regressions are reported with their magnitude; the CLI exits non-zero
+//! when any are found, which makes the diff usable as a CI gate.
+
+use crate::report::SweepReport;
+
+/// One flagged regression.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Workload label.
+    pub workload: String,
+    /// Policy figure label.
+    pub policy: String,
+    /// What regressed (`"throughput-under-slo"` or `"p99"`).
+    pub metric: String,
+    /// The load point, for per-point metrics.
+    pub offered_load: Option<f64>,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed change in percent (positive = worse for latency, negative
+    /// = worse for throughput).
+    pub change_pct: f64,
+}
+
+impl Regression {
+    /// One human-readable line.
+    pub fn describe(&self) -> String {
+        match self.offered_load {
+            Some(load) => format!(
+                "[{} / {}] p99 at load {:.3}: {:.1} -> {:.1} ns ({:+.1}%)",
+                self.workload, self.policy, load, self.baseline, self.current, self.change_pct
+            ),
+            None => format!(
+                "[{} / {}] throughput under SLO: {:.3} -> {:.3} Mrps ({:+.1}%)",
+                self.workload,
+                self.policy,
+                self.baseline / 1e6,
+                self.current / 1e6,
+                self.change_pct
+            ),
+        }
+    }
+}
+
+/// The outcome of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BaselineDiff {
+    /// (workload, policy) groups present in both reports.
+    pub groups_compared: usize,
+    /// Load points compared across those groups.
+    pub points_compared: usize,
+    /// Everything that exceeded the tolerance, worst first.
+    pub regressions: Vec<Regression>,
+}
+
+impl BaselineDiff {
+    /// True when nothing regressed beyond tolerance.
+    pub fn clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `current` against `baseline`, flagging SLO-throughput drops
+/// and per-point p99 rises beyond `tolerance_pct` percent.
+///
+/// Groups are matched by (workload, policy_key); load points by exact
+/// offered load. Points or groups present on only one side are skipped
+/// (a grid change is not a regression).
+pub fn diff_reports(
+    baseline: &SweepReport,
+    current: &SweepReport,
+    tolerance_pct: f64,
+) -> BaselineDiff {
+    let tol = tolerance_pct / 100.0;
+    let base_summaries = baseline.summaries();
+    let cur_summaries = current.summaries();
+    let mut regressions = Vec::new();
+    let mut groups_compared = 0;
+    let mut points_compared = 0;
+
+    for cur in &cur_summaries {
+        let Some(base) = base_summaries
+            .iter()
+            .find(|b| b.workload == cur.workload && b.policy_key == cur.policy_key)
+        else {
+            continue;
+        };
+        groups_compared += 1;
+
+        // Headline metric: throughput under SLO (only meaningful when
+        // the workload defines an SLO — both sides are 0.0 otherwise).
+        if base.throughput_under_slo_rps > 0.0
+            && cur.throughput_under_slo_rps < base.throughput_under_slo_rps * (1.0 - tol)
+        {
+            regressions.push(Regression {
+                workload: cur.workload.clone(),
+                policy: cur.policy.clone(),
+                metric: "throughput-under-slo".to_owned(),
+                offered_load: None,
+                baseline: base.throughput_under_slo_rps,
+                current: cur.throughput_under_slo_rps,
+                change_pct: (cur.throughput_under_slo_rps / base.throughput_under_slo_rps
+                    - 1.0)
+                    * 100.0,
+            });
+        }
+
+        for cur_point in &cur.curve.points {
+            let Some(base_point) = base
+                .curve
+                .points
+                .iter()
+                .find(|p| p.offered_load == cur_point.offered_load)
+            else {
+                continue;
+            };
+            points_compared += 1;
+            if base_point.p99_latency_ns > 0.0
+                && cur_point.p99_latency_ns > base_point.p99_latency_ns * (1.0 + tol)
+            {
+                regressions.push(Regression {
+                    workload: cur.workload.clone(),
+                    policy: cur.policy.clone(),
+                    metric: "p99".to_owned(),
+                    offered_load: Some(cur_point.offered_load),
+                    baseline: base_point.p99_latency_ns,
+                    current: cur_point.p99_latency_ns,
+                    change_pct: (cur_point.p99_latency_ns / base_point.p99_latency_ns - 1.0)
+                        * 100.0,
+                });
+            }
+        }
+    }
+
+    regressions.sort_by(|a, b| {
+        b.change_pct
+            .abs()
+            .partial_cmp(&a.change_pct.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    BaselineDiff {
+        groups_compared,
+        points_compared,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run_jobs;
+    use crate::spec::{RateGrid, ScenarioMatrix};
+    use dist::SyntheticKind;
+    use rpcvalet::Policy;
+    use workloads::Workload;
+
+    fn report() -> SweepReport {
+        let m = ScenarioMatrix::new("diff-test", 9)
+            .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
+            .policies(vec![Policy::hw_single_queue()])
+            .rates(RateGrid::Shared(vec![4.0e6, 12.0e6]))
+            .requests(4_000, 400);
+        let outcomes = run_jobs(m.jobs(), 2);
+        SweepReport::from_outcomes(&m, &outcomes)
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let r = report();
+        let diff = diff_reports(&r, &r, 5.0);
+        assert!(diff.clean());
+        assert_eq!(diff.groups_compared, 1);
+        assert_eq!(diff.points_compared, 2);
+    }
+
+    #[test]
+    fn p99_rise_beyond_tolerance_is_flagged() {
+        let base = report();
+        let mut worse = base.clone();
+        worse.jobs[1].p99_latency_ns *= 1.5;
+        let diff = diff_reports(&base, &worse, 5.0);
+        assert_eq!(diff.regressions.len(), 1);
+        let r = &diff.regressions[0];
+        assert_eq!(r.metric, "p99");
+        assert_eq!(r.offered_load, Some(12.0e6));
+        assert!((r.change_pct - 50.0).abs() < 1.0, "{}", r.change_pct);
+        assert!(r.describe().contains("p99"));
+    }
+
+    #[test]
+    fn p99_rise_within_tolerance_is_not_flagged() {
+        let base = report();
+        let mut slightly_worse = base.clone();
+        slightly_worse.jobs[1].p99_latency_ns *= 1.03;
+        assert!(diff_reports(&base, &slightly_worse, 5.0).clean());
+    }
+
+    #[test]
+    fn slo_throughput_drop_is_flagged() {
+        let base = report();
+        let mut worse = base.clone();
+        // Push every point's p99 through the SLO ceiling: the group's
+        // throughput-under-SLO collapses.
+        for job in &mut worse.jobs {
+            job.p99_latency_ns *= 100.0;
+            job.p99_critical_ns *= 100.0;
+        }
+        let diff = diff_reports(&base, &worse, 5.0);
+        assert!(diff
+            .regressions
+            .iter()
+            .any(|r| r.metric == "throughput-under-slo"));
+    }
+
+    #[test]
+    fn disjoint_grids_are_skipped_not_flagged() {
+        let base = report();
+        let mut shifted = base.clone();
+        for job in &mut shifted.jobs {
+            job.rate_rps += 1.0; // no point matches any more
+        }
+        let diff = diff_reports(&base, &shifted, 5.0);
+        assert_eq!(diff.points_compared, 0);
+    }
+}

@@ -6,12 +6,19 @@
 //! (each worker requests its next job when free, chroma-execution-engine
 //! style), and collect a versioned, deterministic JSON [`SweepReport`].
 //!
+//! A job's [`JobKind`] selects its execution path — [`JobKind::ServerSim`]
+//! (the full-system simulator, Figs. 7–8), [`JobKind::Queueing`] (the
+//! theoretical Q×U models, Figs. 2 and 9), or [`JobKind::Live`] (real
+//! loopback RPC serving via the `live` crate) — all through the same
+//! matrix expansion, pool, and report machinery.
+//!
 //! The contract that makes parallelism safe to depend on: **a sweep's
 //! report is byte-identical for any worker-thread count.** Job seeds
 //! derive only from the matrix (`split_seed(master, load-point index)`,
 //! the same convention the old sequential binaries used), results are
 //! keyed by job index, and wall-clock data is segregated into a separate
-//! [`SweepTiming`] sidecar.
+//! [`SweepTiming`] sidecar. (Live jobs are exempt: they measure real
+//! wall-clock behaviour, which is the point of running them.)
 //!
 //! ## Example
 //!
@@ -33,23 +40,44 @@
 //! assert!(summary.throughput_under_slo_rps > 0.0);
 //! ```
 
+pub mod diff;
 pub mod pool;
 pub mod report;
+pub mod resume;
 pub mod spec;
 
+pub use diff::{diff_reports, BaselineDiff, Regression};
 pub use pool::{default_threads, run_jobs, JobDispatcher, JobOutcome};
+pub use resume::{run_matrix_resumed, ResumeError};
 pub use simkit::pool::effective_threads;
 pub use report::{
-    timing_from_outcomes, JobRecord, PolicySummary, SweepReport, SweepTiming, REPORT_VERSION,
+    timing_from_outcomes, JobRecord, PointCi, PolicySummary, SweepReport, SweepTiming,
+    REPORT_VERSION,
 };
-pub use spec::{ExperimentSpec, RateGrid, ScenarioMatrix};
+pub use spec::{
+    policy_spec_key, ExperimentSpec, JobKind, LiveParams, Measurement, PolicySpec, RateGrid,
+    ScenarioMatrix, WorkloadSpec,
+};
+
+/// Clamps a worker-thread count to 1 when any job is live: concurrent
+/// loopback servers would contend for the same machine and corrupt each
+/// other's wall-clock measurements.
+pub fn threads_for_jobs(jobs: &[ExperimentSpec], threads: usize) -> usize {
+    if jobs.iter().any(|j| j.kind() == JobKind::Live) {
+        1
+    } else {
+        threads
+    }
+}
 
 /// Runs a whole matrix on `threads` workers, returning the deterministic
 /// report plus the wall-clock sidecar (which records the *effective*
-/// worker count — `threads` clamped to the job count).
+/// worker count — `threads` clamped to the job count, and to 1 for
+/// matrices with live jobs, which must own the machine).
 pub fn run_matrix(matrix: &ScenarioMatrix, threads: usize) -> (SweepReport, SweepTiming) {
     let start = std::time::Instant::now();
     let jobs = matrix.jobs();
+    let threads = threads_for_jobs(&jobs, threads);
     let effective = simkit::pool::effective_threads(threads, jobs.len());
     let outcomes = pool::run_jobs(jobs, threads);
     let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;

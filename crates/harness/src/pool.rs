@@ -17,10 +17,9 @@
 
 use std::time::Instant;
 
-use rpcvalet::RunResult;
 use simkit::pool::{run_indexed, TaskQueue};
 
-use crate::spec::ExperimentSpec;
+use crate::spec::{ExperimentSpec, Measurement};
 
 /// The central job queue workers pull [`ExperimentSpec`]s from.
 pub type JobDispatcher = TaskQueue<ExperimentSpec>;
@@ -32,8 +31,9 @@ pub struct JobOutcome {
     pub index: usize,
     /// The job that ran.
     pub spec: ExperimentSpec,
-    /// The simulation's measurements.
-    pub result: RunResult,
+    /// The run's measurements (whichever [`crate::JobKind`] produced
+    /// them).
+    pub result: Measurement,
     /// Wall-clock milliseconds this job took on its worker.
     pub wall_ms: f64,
 }
@@ -99,7 +99,7 @@ mod tests {
             assert_eq!(s.result.p99_latency_ns, p.result.p99_latency_ns);
             assert_eq!(s.result.throughput_rps, p.result.throughput_rps);
             assert_eq!(s.result.measured, p.result.measured);
-            assert_eq!(s.result.core_completions, p.result.core_completions);
+            assert_eq!(s.result.load_balance_jain, p.result.load_balance_jain);
         }
     }
 

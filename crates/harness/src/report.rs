@@ -2,10 +2,16 @@
 //!
 //! A [`SweepReport`] is the deterministic record of one matrix run —
 //! byte-identical for any worker-thread count, because job seeds and job
-//! order are pure functions of the matrix. Wall-clock data lives in the
-//! separate [`SweepTiming`] artifact so timing noise never perturbs the
-//! comparable file (and `BENCH_*.json` trajectories can diff reports
-//! across commits).
+//! order are pure functions of the matrix. (Live-kind jobs are the one
+//! exception: they record wall-clock measurements by design.) Wall-clock
+//! data lives in the separate [`SweepTiming`] artifact so timing noise
+//! never perturbs the comparable file (and `BENCH_*.json` trajectories
+//! can diff reports across commits).
+//!
+//! When a matrix runs `replications > 1`, aggregation collapses the
+//! replicated rows into one mean value per load point with a Student-t
+//! 95 % confidence half-width per metric ([`PolicySummary::ci95`]) —
+//! the raw per-replication rows stay in [`SweepReport::jobs`].
 
 use metrics::{throughput_under_slo, CurvePoint, LatencyCurve};
 use serde::{Deserialize, Serialize};
@@ -15,28 +21,35 @@ use crate::pool::JobOutcome;
 use crate::spec::ScenarioMatrix;
 
 /// Format version stamped into every report.
-pub const REPORT_VERSION: u32 = 1;
+///
+/// Version history: 1 = PR 1 (ServerSim-only jobs); 2 = job-kind
+/// generalization (adds [`JobRecord::replication`]).
+pub const REPORT_VERSION: u32 = 2;
 
 /// One job's deterministic record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobRecord {
     /// Position in the matrix's job list.
     pub index: u64,
-    /// Workload label (parseable by `Workload::from_str`).
+    /// Workload label (parseable by `Workload::from_str` for named
+    /// workloads; a free-form distribution label otherwise).
     pub workload: String,
     /// Policy figure label (e.g. `"1x16"`, `"sw-1x16"`).
     pub policy: String,
     /// Unique policy grouping key (distinguishes same-label variants,
-    /// e.g. `"hw-single-t1"` vs `"hw-single-t2"`).
+    /// e.g. `"hw-single-t1"` vs `"hw-single-t2"` vs `"model-1x16"`).
     pub policy_key: String,
-    /// Offered load (requests/second).
+    /// Offered load: requests/second for sim jobs, a capacity fraction
+    /// for queueing and live jobs.
     pub rate_rps: f64,
-    /// Arrivals simulated.
+    /// Arrivals simulated/sent.
     pub requests: u64,
     /// Warm-up completions discarded.
     pub warmup: u64,
     /// The job's derived RNG seed.
     pub seed: u64,
+    /// Replication index (0 = the legacy-seeded run).
+    pub replication: u64,
     /// Achieved throughput (requests/second).
     pub throughput_rps: f64,
     /// Mean latency (ns).
@@ -109,6 +122,22 @@ impl SweepTiming {
     }
 }
 
+/// Student-t 95 % confidence half-widths for one aggregated load point
+/// (all zero when the point has a single replication).
+#[derive(Debug, Clone, Serialize)]
+pub struct PointCi {
+    /// The load point's offered load.
+    pub offered_load: f64,
+    /// Replications aggregated into this point.
+    pub replications: u64,
+    /// ± half-width on achieved throughput (rps).
+    pub throughput_ci95_rps: f64,
+    /// ± half-width on mean latency (ns).
+    pub mean_latency_ci95_ns: f64,
+    /// ± half-width on p99 latency (ns).
+    pub p99_ci95_ns: f64,
+}
+
 /// Per-(workload, policy) aggregation of a report: the latency curve and
 /// the paper's headline throughput-under-SLO metric.
 #[derive(Debug, Clone, Serialize)]
@@ -119,14 +148,81 @@ pub struct PolicySummary {
     pub policy: String,
     /// Unique policy grouping key.
     pub policy_key: String,
-    /// The latency/throughput curve in increasing-rate order. For
+    /// The latency/throughput curve in increasing-rate order, one point
+    /// per load point (replications collapsed into their mean). For
     /// workloads with a latency-critical class (Masstree) the p99 values
     /// are the critical class's, matching §6.1's SLO accounting.
     pub curve: LatencyCurve,
+    /// 95 % confidence half-widths per curve point; empty when the sweep
+    /// ran a single replication (then the means are exact records).
+    pub ci95: Vec<PointCi>,
     /// Mean measured S̄ (ns) at the lightest load point.
     pub mean_service_ns: f64,
     /// Throughput under the workload's SLO (requests/second).
     pub throughput_under_slo_rps: f64,
+}
+
+/// Two-sided 97.5 % Student-t quantile for `df` degrees of freedom
+/// (the 95 % CI multiplier), clamped to the normal 1.96 beyond df 30.
+fn t_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        _ => 1.96,
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Student-t 95 % confidence half-width of the mean of `values`
+/// (0.0 for fewer than two samples).
+fn ci95_half_width(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
+    t_975((n - 1) as u64) * (var / n as f64).sqrt()
+}
+
+impl JobRecord {
+    /// The one Measurement→record mapping, shared by fresh runs and
+    /// resumed runs. `index` is the job's position in the matrix being
+    /// assembled (not necessarily `outcome.index`, which is the position
+    /// in whatever sub-list the pool ran).
+    pub fn from_outcome(index: u64, o: &JobOutcome) -> JobRecord {
+        JobRecord {
+            index,
+            workload: o.spec.workload.label(),
+            policy: o.result.label.clone(),
+            policy_key: o.spec.policy_key(),
+            rate_rps: o.spec.rate_rps,
+            requests: o.spec.requests,
+            warmup: o.spec.warmup,
+            seed: o.spec.seed,
+            replication: o.spec.replication as u64,
+            throughput_rps: o.result.throughput_rps,
+            mean_latency_ns: o.result.mean_latency_ns,
+            p50_latency_ns: o.result.p50_latency_ns,
+            p99_latency_ns: o.result.p99_latency_ns,
+            p99_critical_ns: o.result.p99_critical_ns,
+            measured: o.result.measured,
+            mean_service_ns: o.result.mean_service_ns,
+            load_balance_jain: o.result.load_balance_jain,
+            flow_control_deferrals: o.result.flow_control_deferrals,
+        }
+    }
 }
 
 impl SweepReport {
@@ -134,25 +230,7 @@ impl SweepReport {
     pub fn from_outcomes(matrix: &ScenarioMatrix, outcomes: &[JobOutcome]) -> SweepReport {
         let jobs = outcomes
             .iter()
-            .map(|o| JobRecord {
-                index: o.index as u64,
-                workload: o.spec.workload.label(),
-                policy: o.result.label.clone(),
-                policy_key: o.spec.policy_key(),
-                rate_rps: o.spec.rate_rps,
-                requests: o.spec.requests,
-                warmup: o.spec.warmup,
-                seed: o.spec.seed,
-                throughput_rps: o.result.throughput_rps,
-                mean_latency_ns: o.result.mean_latency_ns,
-                p50_latency_ns: o.result.p50_latency_ns,
-                p99_latency_ns: o.result.p99_latency_ns,
-                p99_critical_ns: o.result.p99_critical_ns,
-                measured: o.result.measured,
-                mean_service_ns: o.result.mean_service_ns,
-                load_balance_jain: o.result.load_balance_jain,
-                flow_control_deferrals: o.result.flow_control_deferrals,
-            })
+            .map(|o| JobRecord::from_outcome(o.index as u64, o))
             .collect();
         SweepReport {
             version: REPORT_VERSION,
@@ -173,7 +251,8 @@ impl SweepReport {
     }
 
     /// Aggregates per-(workload, policy) summaries, preserving first-seen
-    /// order. Replicated points contribute one curve point each.
+    /// order. Replicated points are collapsed to their mean, with 95 %
+    /// confidence half-widths in [`PolicySummary::ci95`].
     pub fn summaries(&self) -> Vec<PolicySummary> {
         let mut order: Vec<(String, String)> = Vec::new();
         for job in &self.jobs {
@@ -196,20 +275,71 @@ impl SweepReport {
                     .unwrap_or_else(|| policy_key.clone());
                 let parsed: Option<Workload> = workload.parse().ok();
                 let critical = parsed.and_then(|w| w.critical_threshold_ns()).is_some();
-                let mut curve = LatencyCurve::new(policy.clone());
+
+                // Partition the group into load points: replication 0
+                // starts a point, higher indices extend it (expansion
+                // order keeps a point's replications adjacent).
+                let mut points: Vec<Vec<&JobRecord>> = Vec::new();
                 for job in &group {
-                    curve.push(CurvePoint {
-                        offered_load: job.rate_rps,
-                        throughput_rps: job.throughput_rps,
-                        mean_latency_ns: job.mean_latency_ns,
-                        p99_latency_ns: if critical {
-                            job.p99_critical_ns
-                        } else {
-                            job.p99_latency_ns
-                        },
-                        completed: job.measured,
-                    });
+                    if job.replication == 0 || points.is_empty() {
+                        points.push(vec![job]);
+                    } else {
+                        points.last_mut().expect("non-empty").push(job);
+                    }
                 }
+
+                let replicated = points.iter().any(|reps| reps.len() > 1);
+                let mut curve = LatencyCurve::new(policy.clone());
+                let mut ci95 = Vec::new();
+                for reps in &points {
+                    let first = reps[0];
+                    let p99_of = |j: &JobRecord| {
+                        if critical {
+                            j.p99_critical_ns
+                        } else {
+                            j.p99_latency_ns
+                        }
+                    };
+                    if reps.len() == 1 {
+                        curve.push(CurvePoint {
+                            offered_load: first.rate_rps,
+                            throughput_rps: first.throughput_rps,
+                            mean_latency_ns: first.mean_latency_ns,
+                            p99_latency_ns: p99_of(first),
+                            completed: first.measured,
+                        });
+                        if replicated {
+                            ci95.push(PointCi {
+                                offered_load: first.rate_rps,
+                                replications: 1,
+                                throughput_ci95_rps: 0.0,
+                                mean_latency_ci95_ns: 0.0,
+                                p99_ci95_ns: 0.0,
+                            });
+                        }
+                    } else {
+                        let tputs: Vec<f64> = reps.iter().map(|j| j.throughput_rps).collect();
+                        let means: Vec<f64> = reps.iter().map(|j| j.mean_latency_ns).collect();
+                        let p99s: Vec<f64> = reps.iter().map(|j| p99_of(j)).collect();
+                        let completed: u64 = reps.iter().map(|j| j.measured).sum::<u64>()
+                            / reps.len() as u64;
+                        curve.push(CurvePoint {
+                            offered_load: first.rate_rps,
+                            throughput_rps: mean(&tputs),
+                            mean_latency_ns: mean(&means),
+                            p99_latency_ns: mean(&p99s),
+                            completed,
+                        });
+                        ci95.push(PointCi {
+                            offered_load: first.rate_rps,
+                            replications: reps.len() as u64,
+                            throughput_ci95_rps: ci95_half_width(&tputs),
+                            mean_latency_ci95_ns: ci95_half_width(&means),
+                            p99_ci95_ns: ci95_half_width(&p99s),
+                        });
+                    }
+                }
+
                 let mean_service_ns = group
                     .first()
                     .map(|j| j.mean_service_ns)
@@ -222,6 +352,7 @@ impl SweepReport {
                     policy,
                     policy_key,
                     curve,
+                    ci95,
                     mean_service_ns,
                     throughput_under_slo_rps,
                 }
@@ -263,7 +394,8 @@ mod tests {
     use super::*;
     use crate::pool::run_jobs;
     use crate::spec::RateGrid;
-    use dist::SyntheticKind;
+    use dist::{ServiceDist, SyntheticKind};
+    use queueing::QxU;
     use rpcvalet::Policy;
 
     fn tiny_matrix() -> ScenarioMatrix {
@@ -299,6 +431,7 @@ mod tests {
         assert_eq!(summaries[1].policy, "16x1");
         for s in &summaries {
             assert_eq!(s.curve.len(), 2);
+            assert!(s.ci95.is_empty(), "single replication has no CI rows");
             assert!(s.mean_service_ns > 700.0, "S̄ {}", s.mean_service_ns);
             assert!(s.throughput_under_slo_rps > 0.0);
         }
@@ -333,5 +466,57 @@ mod tests {
             s.curve.points[0].p99_latency_ns
         );
         assert!(report.jobs[0].p99_latency_ns > s.curve.points[0].p99_latency_ns);
+    }
+
+    #[test]
+    fn replications_collapse_to_mean_with_ci() {
+        // A queueing matrix keeps this test fast; aggregation is
+        // kind-agnostic.
+        let m = ScenarioMatrix::new("rep-test", 5)
+            .service_workloads(vec![(
+                "exp".to_owned(),
+                ServiceDist::exponential_mean_ns(1.0),
+            )])
+            .model_policies(vec![QxU::SINGLE_16])
+            .rates(RateGrid::Shared(vec![0.5, 0.8]))
+            .requests(8_000, 800)
+            .replications(4);
+        let outcomes = run_jobs(m.jobs(), 4);
+        let report = SweepReport::from_outcomes(&m, &outcomes);
+        assert_eq!(report.jobs.len(), 8, "raw rows keep every replication");
+
+        let s = &report.summaries()[0];
+        assert_eq!(s.curve.len(), 2, "one curve point per load point");
+        assert_eq!(s.ci95.len(), 2, "one CI row per load point");
+        for (point, ci) in s.curve.points.iter().zip(&s.ci95) {
+            assert_eq!(ci.replications, 4);
+            assert!(
+                ci.p99_ci95_ns > 0.0,
+                "independent replications must spread: {ci:?}"
+            );
+            assert!(ci.p99_ci95_ns < point.p99_latency_ns, "CI below the mean");
+        }
+        // The collapsed mean sits inside the replication range.
+        let p99s: Vec<f64> = report
+            .jobs
+            .iter()
+            .filter(|j| j.rate_rps == 0.8)
+            .map(|j| j.p99_latency_ns)
+            .collect();
+        let lo = p99s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = p99s.iter().cloned().fold(0.0f64, f64::max);
+        let mean_p99 = s.curve.points[1].p99_latency_ns;
+        assert!(lo <= mean_p99 && mean_p99 <= hi, "{lo} <= {mean_p99} <= {hi}");
+    }
+
+    #[test]
+    fn t_quantiles_are_sane() {
+        assert!(t_975(1) > 12.0);
+        assert!((t_975(10) - 2.228).abs() < 1e-9);
+        assert!((t_975(100) - 1.96).abs() < 1e-9);
+        assert_eq!(ci95_half_width(&[1.0]), 0.0);
+        let hw = ci95_half_width(&[1.0, 2.0, 3.0]);
+        // sd = 1, n = 3 -> 4.303 / sqrt(3).
+        assert!((hw - 4.303 / 3f64.sqrt()).abs() < 1e-9);
     }
 }

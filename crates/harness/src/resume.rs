@@ -1,0 +1,303 @@
+//! Resumable sweeps: skip jobs already recorded in an existing report.
+//!
+//! `harness run --out f.json` consults `f.json` before running: jobs
+//! whose identity (workload, policy key, rate, seed, request counts,
+//! replication) already appears in the file are reused verbatim, and
+//! only the missing ones execute. An interrupted or partially extended
+//! sweep (more load points, more replications, an extra policy) finishes
+//! by running its complement instead of starting over.
+//!
+//! Reuse-by-identity is sound only for deterministic job kinds; live
+//! jobs (wall-clock measurements) always re-run.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::pool::{run_jobs, JobOutcome};
+use crate::report::{JobRecord, SweepReport, SweepTiming, REPORT_VERSION};
+use crate::spec::{ExperimentSpec, ScenarioMatrix};
+
+/// The identity of a job within a matrix: everything that determines its
+/// deterministic result (notably *not* its index, so reordering or
+/// extending a matrix still reuses what it can).
+fn job_key(
+    workload: &str,
+    policy_key: &str,
+    rate_rps: f64,
+    seed: u64,
+    requests: u64,
+    warmup: u64,
+    replication: u64,
+) -> (String, String, u64, u64, u64, u64, u64) {
+    (
+        workload.to_owned(),
+        policy_key.to_owned(),
+        rate_rps.to_bits(),
+        seed,
+        requests,
+        warmup,
+        replication,
+    )
+}
+
+fn spec_key(spec: &ExperimentSpec) -> (String, String, u64, u64, u64, u64, u64) {
+    job_key(
+        &spec.workload.label(),
+        &spec.policy_key(),
+        spec.rate_rps,
+        spec.seed,
+        spec.requests,
+        spec.warmup,
+        spec.replication as u64,
+    )
+}
+
+fn record_key(record: &JobRecord) -> (String, String, u64, u64, u64, u64, u64) {
+    job_key(
+        &record.workload,
+        &record.policy_key,
+        record.rate_rps,
+        record.seed,
+        record.requests,
+        record.warmup,
+        record.replication,
+    )
+}
+
+/// Why an existing report cannot seed a resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The file's matrix name differs from the one being run.
+    MatrixMismatch {
+        /// Name in the existing report.
+        found: String,
+        /// Name of the matrix being run.
+        expected: String,
+    },
+    /// The file's master seed differs (its records answer different
+    /// questions).
+    SeedMismatch {
+        /// Seed in the existing report.
+        found: u64,
+        /// Seed of the matrix being run.
+        expected: u64,
+    },
+    /// The file's format version differs.
+    VersionMismatch {
+        /// Version in the existing report.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::MatrixMismatch { found, expected } => write!(
+                f,
+                "existing report is for matrix `{found}`, not `{expected}`"
+            ),
+            ResumeError::SeedMismatch { found, expected } => write!(
+                f,
+                "existing report used master seed {found}, not {expected}"
+            ),
+            ResumeError::VersionMismatch { found } => write!(
+                f,
+                "existing report is format v{found}, this binary writes v{REPORT_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// Runs `matrix`, reusing every job already recorded in `existing`.
+///
+/// Returns the complete report (reused + fresh records, in matrix job
+/// order), the timing sidecar (reused jobs contribute zero wall time),
+/// and how many jobs were reused.
+pub fn run_matrix_resumed(
+    matrix: &ScenarioMatrix,
+    threads: usize,
+    existing: &SweepReport,
+) -> Result<(SweepReport, SweepTiming, usize), ResumeError> {
+    if existing.version != REPORT_VERSION {
+        return Err(ResumeError::VersionMismatch {
+            found: existing.version,
+        });
+    }
+    if existing.matrix != matrix.name {
+        return Err(ResumeError::MatrixMismatch {
+            found: existing.matrix.clone(),
+            expected: matrix.name.clone(),
+        });
+    }
+    if existing.master_seed != matrix.master_seed {
+        return Err(ResumeError::SeedMismatch {
+            found: existing.master_seed,
+            expected: matrix.master_seed,
+        });
+    }
+
+    let start = Instant::now();
+    let jobs = matrix.jobs();
+    let total = jobs.len();
+    let by_key: HashMap<_, &JobRecord> = existing
+        .jobs
+        .iter()
+        .map(|record| (record_key(record), record))
+        .collect();
+
+    let mut reused: Vec<Option<JobRecord>> = vec![None; total];
+    let mut missing: Vec<(usize, ExperimentSpec)> = Vec::new();
+    for (idx, spec) in jobs.into_iter().enumerate() {
+        // Live jobs are never reused: their records are wall-clock
+        // measurements of a past machine state, not deterministic
+        // functions of the spec — resuming them would present stale
+        // numbers as fresh ones.
+        let reusable = spec.kind() != crate::spec::JobKind::Live;
+        match by_key.get(&spec_key(&spec)).filter(|_| reusable) {
+            Some(record) => {
+                let mut record = (*record).clone();
+                record.index = idx as u64;
+                reused[idx] = Some(record);
+            }
+            None => missing.push((idx, spec)),
+        }
+    }
+    let reused_count = total - missing.len();
+
+    // Run only the complement; map pool outcomes back to matrix order.
+    let (indices, specs): (Vec<usize>, Vec<ExperimentSpec>) = missing.into_iter().unzip();
+    let threads = crate::threads_for_jobs(&specs, threads);
+    let effective = simkit::pool::effective_threads(threads, specs.len());
+    let outcomes: Vec<JobOutcome> = run_jobs(specs, threads);
+
+    let mut job_wall_ms = vec![0.0f64; total];
+    for outcome in &outcomes {
+        let matrix_idx = indices[outcome.index];
+        job_wall_ms[matrix_idx] = outcome.wall_ms;
+        reused[matrix_idx] = Some(JobRecord::from_outcome(matrix_idx as u64, outcome));
+    }
+
+    let records: Vec<JobRecord> = reused
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} neither reused nor run")))
+        .collect();
+    let cpu_ms: f64 = job_wall_ms.iter().sum();
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok((
+        SweepReport {
+            version: REPORT_VERSION,
+            matrix: matrix.name.clone(),
+            master_seed: matrix.master_seed,
+            jobs: records,
+        },
+        SweepTiming {
+            matrix: matrix.name.clone(),
+            threads: effective as u64,
+            total_wall_ms,
+            job_wall_ms,
+            cpu_ms,
+        },
+        reused_count,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_matrix;
+    use crate::spec::RateGrid;
+    use dist::SyntheticKind;
+    use rpcvalet::Policy;
+    use workloads::Workload;
+
+    fn matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new("resume-test", 13)
+            .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
+            .policies(vec![Policy::hw_single_queue(), Policy::hw_static()])
+            .rates(RateGrid::Shared(vec![4.0e6, 10.0e6, 16.0e6]))
+            .requests(3_000, 300)
+    }
+
+    #[test]
+    fn full_report_is_fully_reused() {
+        let (full, _) = run_matrix(&matrix(), 2);
+        let (resumed, timing, reused) = run_matrix_resumed(&matrix(), 2, &full).unwrap();
+        assert_eq!(reused, 6);
+        assert_eq!(resumed, full, "nothing re-ran, nothing changed");
+        assert!(timing.job_wall_ms.iter().all(|&ms| ms == 0.0));
+    }
+
+    #[test]
+    fn partial_report_runs_only_the_complement() {
+        let (full, _) = run_matrix(&matrix(), 2);
+        let mut partial = full.clone();
+        partial.jobs.remove(4);
+        partial.jobs.remove(1);
+        let (resumed, timing, reused) = run_matrix_resumed(&matrix(), 2, &partial).unwrap();
+        assert_eq!(reused, 4);
+        assert_eq!(
+            resumed, full,
+            "deterministic jobs re-run to the same record"
+        );
+        let ran: Vec<usize> = timing
+            .job_wall_ms
+            .iter()
+            .enumerate()
+            .filter(|(_, &ms)| ms > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(ran, vec![1, 4]);
+    }
+
+    #[test]
+    fn growing_the_matrix_reuses_the_old_points() {
+        let (small_report, _) = run_matrix(&matrix(), 2);
+        let grown = matrix().rates(RateGrid::Shared(vec![4.0e6, 10.0e6, 16.0e6, 19.0e6]));
+        let (resumed, _, reused) = run_matrix_resumed(&grown, 2, &small_report).unwrap();
+        assert_eq!(reused, 6, "all original points reused");
+        assert_eq!(resumed.jobs.len(), 8);
+        let (from_scratch, _) = run_matrix(&grown, 2);
+        assert_eq!(resumed, from_scratch);
+    }
+
+    #[test]
+    fn live_jobs_are_never_reused() {
+        let m = ScenarioMatrix::new("resume-live", 3)
+            .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
+            .live_policies(
+                vec![live::LivePolicy::SingleQueue],
+                crate::spec::LiveParams::default(),
+            )
+            .rates(RateGrid::Shared(vec![0.5]))
+            .requests(300, 30);
+        let (full, _) = run_matrix(&m, 2);
+        let (resumed, timing, reused) = run_matrix_resumed(&m, 2, &full).unwrap();
+        assert_eq!(reused, 0, "wall-clock measurements must not be reused");
+        assert!(timing.job_wall_ms[0] > 0.0, "the live job really re-ran");
+        assert_eq!(resumed.jobs.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_reports_are_rejected() {
+        let (full, _) = run_matrix(&matrix(), 2);
+        let other = ScenarioMatrix { master_seed: 14, ..matrix() };
+        assert_eq!(
+            run_matrix_resumed(&other, 2, &full).unwrap_err(),
+            ResumeError::SeedMismatch { found: 13, expected: 14 }
+        );
+        let renamed = ScenarioMatrix { name: "other".to_owned(), ..matrix() };
+        assert!(matches!(
+            run_matrix_resumed(&renamed, 2, &full).unwrap_err(),
+            ResumeError::MatrixMismatch { .. }
+        ));
+        let mut old_version = full;
+        old_version.version = 1;
+        assert_eq!(
+            run_matrix_resumed(&matrix(), 2, &old_version).unwrap_err(),
+            ResumeError::VersionMismatch { found: 1 }
+        );
+    }
+}

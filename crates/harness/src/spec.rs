@@ -1,9 +1,23 @@
 //! The job model: one experiment point, and the matrix builder that
 //! expands (workload × policy × load point × replication) into a job
 //! list.
+//!
+//! A job's execution path is its [`JobKind`]:
+//!
+//! * [`JobKind::ServerSim`] — the full-system `rpcvalet::ServerSim`
+//!   (Figs. 7–8); rates are absolute requests/second.
+//! * [`JobKind::Queueing`] — a `queueing::QueueingModel` Q×U run
+//!   (Figs. 2, 9 model lines); rates are load *fractions* of capacity.
+//! * [`JobKind::Live`] — a real loopback TCP run (`live::run_loopback`):
+//!   actual threads on actual queues; rates are load fractions. Live
+//!   jobs measure wall-clock behaviour and are therefore **exempt from
+//!   the harness's byte-identical determinism contract** — everything
+//!   else keeps it.
 
-use dist::SyntheticKind;
-use rpcvalet::{Policy, RunResult, ServerSim, SystemConfig};
+use dist::{ServiceDist, SyntheticKind};
+use live::{BurnMode, LivePolicy, LoopbackSpec};
+use queueing::{QueueingModel, QxU, RunParams};
+use rpcvalet::{Policy, ServerSim};
 use simkit::rng::split_seed;
 use workloads::{scenario_config, Workload};
 
@@ -11,17 +25,181 @@ use workloads::{scenario_config, Workload};
 /// replication 0 reproduces the legacy single-run seeds bit-for-bit.
 const REPLICATION_SEED_TAG: u64 = 0x5EED_0000_0000;
 
-/// One fully specified simulation to run: the unit of work the harness
+/// The execution path of a job (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// Full-system simulation (`rpcvalet::ServerSim`).
+    ServerSim,
+    /// Theoretical Q×U queueing model (`queueing::QueueingModel`).
+    Queueing,
+    /// Live loopback serving (`live::run_loopback`).
+    Live,
+}
+
+impl JobKind {
+    /// Short lowercase label (`"sim"`, `"queueing"`, `"live"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobKind::ServerSim => "sim",
+            JobKind::Queueing => "queueing",
+            JobKind::Live => "live",
+        }
+    }
+}
+
+/// The workload axis of a matrix: either one of the paper's named
+/// workload families, or a raw service distribution (what the queueing
+/// figures sweep).
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// A §5 workload family (service profile + SLO + default load grid).
+    Named(Workload),
+    /// A bare service distribution under an explicit label — no SLO or
+    /// default grid attached (used by Fig. 2's normalized sweeps and
+    /// Fig. 9's hybrid model distributions).
+    Service {
+        /// Label recorded in reports.
+        label: String,
+        /// The service-time distribution (ns).
+        dist: ServiceDist,
+    },
+}
+
+impl WorkloadSpec {
+    /// The label recorded in reports.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Named(w) => w.label(),
+            WorkloadSpec::Service { label, .. } => label.clone(),
+        }
+    }
+
+    /// The service-time distribution.
+    pub fn service_dist(&self) -> ServiceDist {
+        match self {
+            WorkloadSpec::Named(w) => w.service_dist(),
+            WorkloadSpec::Service { dist, .. } => dist.clone(),
+        }
+    }
+
+    /// The named workload, when this is one.
+    pub fn named(&self) -> Option<Workload> {
+        match self {
+            WorkloadSpec::Named(w) => Some(*w),
+            WorkloadSpec::Service { .. } => None,
+        }
+    }
+}
+
+impl From<Workload> for WorkloadSpec {
+    fn from(w: Workload) -> Self {
+        WorkloadSpec::Named(w)
+    }
+}
+
+/// Parameters of a live job shared across the policy axis.
+#[derive(Debug, Clone)]
+pub struct LiveParams {
+    /// Server worker threads.
+    pub workers: usize,
+    /// How workers burn service time.
+    pub burn: BurnMode,
+    /// Load-generator connections.
+    pub connections: usize,
+    /// Service-time multiplier (ns-scale profiles × this; see
+    /// `live::LoadgenConfig::scale`).
+    pub scale: f64,
+}
+
+impl Default for LiveParams {
+    fn default() -> Self {
+        LiveParams {
+            workers: 2,
+            burn: BurnMode::Sleep,
+            connections: 8,
+            // 600 ns synthetic profiles -> 300 µs sleeps.
+            scale: 500.0,
+        }
+    }
+}
+
+/// The policy axis of a matrix; the variant selects the [`JobKind`].
+#[derive(Debug, Clone)]
+pub enum PolicySpec {
+    /// A `rpcvalet` dispatch policy, run through [`ServerSim`].
+    Sim(Policy),
+    /// A theoretical Q×U configuration, run through [`QueueingModel`].
+    Model(QxU),
+    /// A live dispatch discipline, run over loopback TCP.
+    Live(LivePolicy, LiveParams),
+}
+
+impl PolicySpec {
+    /// The job kind this policy executes as.
+    pub fn kind(&self) -> JobKind {
+        match self {
+            PolicySpec::Sim(_) => JobKind::ServerSim,
+            PolicySpec::Model(_) => JobKind::Queueing,
+            PolicySpec::Live(..) => JobKind::Live,
+        }
+    }
+}
+
+impl From<Policy> for PolicySpec {
+    fn from(p: Policy) -> Self {
+        PolicySpec::Sim(p)
+    }
+}
+
+impl From<QxU> for PolicySpec {
+    fn from(c: QxU) -> Self {
+        PolicySpec::Model(c)
+    }
+}
+
+/// The unified result of one job, whichever path ran it.
+///
+/// For queueing jobs, `load_balance_jain` is 1.0 (the model splits
+/// arrivals uniformly by construction) and `flow_control_deferrals` is 0
+/// (models have no send slots).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Figure-legend label of the policy (e.g. `"1x16"`, `"replenish"`).
+    pub label: String,
+    /// Achieved throughput over the measurement window (requests/s).
+    pub throughput_rps: f64,
+    /// Mean latency (ns).
+    pub mean_latency_ns: f64,
+    /// Median latency (ns).
+    pub p50_latency_ns: f64,
+    /// 99th-percentile latency (ns).
+    pub p99_latency_ns: f64,
+    /// p99 of the latency-critical class (equals `p99_latency_ns` when
+    /// the workload defines no class split).
+    pub p99_critical_ns: f64,
+    /// Completions measured after warm-up.
+    pub measured: u64,
+    /// Mean measured service time S̄ (ns).
+    pub mean_service_ns: f64,
+    /// Jain fairness index over per-core/worker completions.
+    pub load_balance_jain: f64,
+    /// Arrivals deferred by send-slot flow control.
+    pub flow_control_deferrals: u64,
+}
+
+/// One fully specified experiment to run: the unit of work the harness
 /// dispatcher hands to worker threads.
 #[derive(Debug, Clone)]
 pub struct ExperimentSpec {
-    /// The workload family.
-    pub workload: Workload,
-    /// The load-balancing policy under test.
-    pub policy: Policy,
-    /// Offered load (requests/second).
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// The policy under test (also selects the [`JobKind`]).
+    pub policy: PolicySpec,
+    /// Offered load: requests/second for [`JobKind::ServerSim`], a
+    /// fraction of capacity for [`JobKind::Queueing`] and
+    /// [`JobKind::Live`].
     pub rate_rps: f64,
-    /// Arrivals to simulate.
+    /// Arrivals to simulate/send.
     pub requests: u64,
     /// Warm-up completions to discard.
     pub warmup: u64,
@@ -30,32 +208,111 @@ pub struct ExperimentSpec {
     /// never on worker scheduling — so parallel runs are bit-identical to
     /// sequential ones.
     pub seed: u64,
+    /// Replication index (0 = the legacy-seeded run).
+    pub replication: usize,
 }
 
 impl ExperimentSpec {
-    /// Builds the paper-§5 [`SystemConfig`] for this job.
-    pub fn to_config(&self) -> SystemConfig {
-        let mut cfg = scenario_config(self.workload, self.policy.clone(), self.rate_rps, self.seed);
-        cfg.requests = self.requests;
-        cfg.warmup = self.warmup;
-        cfg
+    /// The execution path this job takes.
+    pub fn kind(&self) -> JobKind {
+        self.policy.kind()
     }
 
-    /// Runs the simulation to completion on the calling thread.
-    pub fn run(&self) -> RunResult {
-        ServerSim::new(self.to_config()).run()
+    /// Runs the job to completion on the calling thread.
+    ///
+    /// # Panics
+    /// Panics on invalid combinations (a [`PolicySpec::Sim`] policy with
+    /// a bare-service workload) and on live I/O failures — both mean the
+    /// matrix itself is broken, not the job.
+    pub fn run(&self) -> Measurement {
+        match &self.policy {
+            PolicySpec::Sim(policy) => {
+                let workload = self.workload.named().unwrap_or_else(|| {
+                    panic!(
+                        "ServerSim jobs need a named workload, got `{}`",
+                        self.workload.label()
+                    )
+                });
+                let mut cfg =
+                    scenario_config(workload, policy.clone(), self.rate_rps, self.seed);
+                cfg.requests = self.requests;
+                cfg.warmup = self.warmup;
+                let r = ServerSim::new(cfg).run();
+                Measurement {
+                    label: r.label,
+                    throughput_rps: r.throughput_rps,
+                    mean_latency_ns: r.mean_latency_ns,
+                    p50_latency_ns: r.p50_latency_ns,
+                    p99_latency_ns: r.p99_latency_ns,
+                    p99_critical_ns: r.p99_critical_ns,
+                    measured: r.measured,
+                    mean_service_ns: r.mean_service_ns,
+                    load_balance_jain: r.load_balance_jain,
+                    flow_control_deferrals: r.flow_control_deferrals,
+                }
+            }
+            PolicySpec::Model(config) => {
+                let model = QueueingModel::new(*config, self.workload.service_dist());
+                let r = model.run(&RunParams {
+                    load: self.rate_rps,
+                    requests: self.requests,
+                    warmup: self.warmup,
+                    seed: self.seed,
+                });
+                Measurement {
+                    label: config.label(),
+                    throughput_rps: r.throughput_rps,
+                    mean_latency_ns: r.sojourn.mean_ns(),
+                    p50_latency_ns: r.p50_sojourn_ns,
+                    p99_latency_ns: r.p99_sojourn_ns,
+                    p99_critical_ns: r.p99_sojourn_ns,
+                    measured: r.measured,
+                    mean_service_ns: r.mean_service_ns,
+                    load_balance_jain: 1.0,
+                    flow_control_deferrals: 0,
+                }
+            }
+            PolicySpec::Live(policy, params) => {
+                let spec = LoopbackSpec {
+                    policy: *policy,
+                    workers: params.workers,
+                    burn: params.burn,
+                    connections: params.connections,
+                    requests: self.requests,
+                    warmup: self.warmup,
+                    load: self.rate_rps,
+                    service: self.workload.service_dist(),
+                    scale: params.scale,
+                    seed: self.seed,
+                };
+                let r = live::run_loopback(&spec)
+                    .unwrap_or_else(|e| panic!("live loopback job failed: {e}"));
+                Measurement {
+                    label: policy.label(params.workers),
+                    throughput_rps: r.throughput_rps,
+                    mean_latency_ns: r.mean_latency_ns,
+                    p50_latency_ns: r.p50_latency_ns,
+                    p99_latency_ns: r.p99_latency_ns,
+                    p99_critical_ns: r.p99_latency_ns,
+                    measured: r.measured,
+                    mean_service_ns: r.mean_service_ns,
+                    load_balance_jain: r.load_balance_jain,
+                    flow_control_deferrals: 0,
+                }
+            }
+        }
     }
 
     /// A grouping key that, unlike the figure label, distinguishes policy
     /// variants sharing a label (e.g. 1×16 at outstanding threshold 1 vs
-    /// 2 in the §4.3 ablation, or software baselines with different MCS
-    /// lock timings).
+    /// 2 in the §4.3 ablation, the model 1×16 vs the simulated 1×16, or
+    /// software baselines with different MCS lock timings).
     pub fn policy_key(&self) -> String {
-        policy_key(&self.policy)
+        policy_spec_key(&self.policy)
     }
 }
 
-/// The unique grouping key for a policy (see
+/// The unique grouping key for a simulated policy (see
 /// [`ExperimentSpec::policy_key`]).
 pub fn policy_key(policy: &Policy) -> String {
     match policy {
@@ -72,6 +329,15 @@ pub fn policy_key(policy: &Policy) -> String {
             lock.handoff.as_ps(),
             lock.critical_section.as_ps()
         ),
+    }
+}
+
+/// The unique grouping key for any policy spec.
+pub fn policy_spec_key(policy: &PolicySpec) -> String {
+    match policy {
+        PolicySpec::Sim(p) => policy_key(p),
+        PolicySpec::Model(c) => format!("model-{}", c.label()),
+        PolicySpec::Live(p, _) => p.key(),
     }
 }
 
@@ -110,10 +376,10 @@ pub enum RateGrid {
 pub struct ScenarioMatrix {
     /// Name recorded in reports (e.g. `"fig7"`).
     pub name: String,
-    /// Workload families to sweep.
-    pub workloads: Vec<Workload>,
+    /// Workloads to sweep.
+    pub workloads: Vec<WorkloadSpec>,
     /// Policies to compare.
-    pub policies: Vec<Policy>,
+    pub policies: Vec<PolicySpec>,
     /// The load grid.
     pub rates: RateGrid,
     /// Arrivals per job.
@@ -143,14 +409,47 @@ impl ScenarioMatrix {
         }
     }
 
-    /// Sets the workloads.
+    /// Sets the workloads from named workload families.
     pub fn workloads(mut self, workloads: Vec<Workload>) -> Self {
-        self.workloads = workloads;
+        self.workloads = workloads.into_iter().map(WorkloadSpec::Named).collect();
         self
     }
 
-    /// Sets the policies.
+    /// Sets the workloads from raw `(label, service distribution)` pairs
+    /// (the queueing figures' axis).
+    pub fn service_workloads(mut self, services: Vec<(String, ServiceDist)>) -> Self {
+        self.workloads = services
+            .into_iter()
+            .map(|(label, dist)| WorkloadSpec::Service { label, dist })
+            .collect();
+        self
+    }
+
+    /// Sets the policies from simulated dispatch policies.
     pub fn policies(mut self, policies: Vec<Policy>) -> Self {
+        self.policies = policies.into_iter().map(PolicySpec::Sim).collect();
+        self
+    }
+
+    /// Sets the policies from theoretical Q×U configurations
+    /// ([`JobKind::Queueing`]).
+    pub fn model_policies(mut self, configs: Vec<QxU>) -> Self {
+        self.policies = configs.into_iter().map(PolicySpec::Model).collect();
+        self
+    }
+
+    /// Sets the policies from live dispatch disciplines sharing one
+    /// [`LiveParams`] shape ([`JobKind::Live`]).
+    pub fn live_policies(mut self, policies: Vec<LivePolicy>, params: LiveParams) -> Self {
+        self.policies = policies
+            .into_iter()
+            .map(|p| PolicySpec::Live(p, params.clone()))
+            .collect();
+        self
+    }
+
+    /// Sets fully explicit policy specs (mixing kinds is allowed).
+    pub fn policy_specs(mut self, policies: Vec<PolicySpec>) -> Self {
         self.policies = policies;
         self
     }
@@ -182,11 +481,24 @@ impl ScenarioMatrix {
         self
     }
 
-    /// The per-workload rate grid.
-    pub fn grid_for(&self, workload: Workload) -> Vec<f64> {
+    /// The rate grid for one workload.
+    ///
+    /// # Panics
+    /// Panics when the matrix uses [`RateGrid::WorkloadDefault`] and the
+    /// workload is a bare service distribution (no capacity is defined
+    /// for it — give the matrix an explicit shared grid).
+    pub fn grid_for(&self, workload: &WorkloadSpec) -> Vec<f64> {
         match &self.rates {
             RateGrid::Shared(rates) => rates.clone(),
-            RateGrid::WorkloadDefault => workload.default_rate_grid(),
+            RateGrid::WorkloadDefault => workload
+                .named()
+                .unwrap_or_else(|| {
+                    panic!(
+                        "workload `{}` has no default rate grid; use RateGrid::Shared",
+                        workload.label()
+                    )
+                })
+                .default_rate_grid(),
         }
     }
 
@@ -215,18 +527,19 @@ impl ScenarioMatrix {
             assert!(!rates.is_empty(), "shared rate grid must not be empty");
         }
         let mut jobs = Vec::new();
-        for &workload in &self.workloads {
+        for workload in &self.workloads {
             let grid = self.grid_for(workload);
             for policy in &self.policies {
                 for (point_idx, &rate_rps) in grid.iter().enumerate() {
                     for rep in 0..self.replications {
                         jobs.push(ExperimentSpec {
-                            workload,
+                            workload: workload.clone(),
                             policy: policy.clone(),
                             rate_rps,
                             requests: self.requests,
                             warmup: self.warmup,
                             seed: self.job_seed(point_idx, rep),
+                            replication: rep,
                         });
                     }
                 }
@@ -247,19 +560,23 @@ impl ScenarioMatrix {
 
     /// Looks up a predefined matrix by name at full paper resolution.
     ///
-    /// The definitions are shared with the figure binaries (`fig7`,
-    /// `fig8`, `ablation_outstanding` resolve their matrices here), so
-    /// CLI runs reproduce the binaries' numbers exactly — same seeds,
-    /// grids, and request counts.
+    /// The definitions are shared with the figure binaries (`fig2`,
+    /// `fig7`, `fig8`, `ablation_outstanding` resolve their matrices
+    /// here), so CLI runs reproduce the binaries' numbers exactly — same
+    /// seeds, grids, and request counts.
     ///
-    /// | name | contents |
-    /// |---|---|
-    /// | `fig6` | the Fig. 6 workload families (4 synthetics, HERD, Masstree) under RPCValet's 1×16, each over its default load grid |
-    /// | `fig7a` | HERD × the three hardware policies (Fig. 7a) |
-    /// | `fig7b` | Masstree × the three hardware policies, with extra low-rate points to resolve the 16×1 SLO violation (Fig. 7b) |
-    /// | `fig7c` | synthetic fixed + GEV × the three hardware policies (Fig. 7c) |
-    /// | `fig8` | the four synthetic families × hardware vs software 1×16 (Fig. 8) |
-    /// | `ablation_outstanding` | HERD + synthetic-fixed × outstanding-per-core 1 vs 2 (§4.3/§6.1) |
+    /// | name | kind | contents |
+    /// |---|---|---|
+    /// | `fig2a` | queueing | five Q×U configurations × normalized exponential service (Fig. 2a) |
+    /// | `fig2b` | queueing | model 1×16 × four normalized service distributions (Fig. 2b) |
+    /// | `fig2c` | queueing | model 16×1 × the same four distributions (Fig. 2c) |
+    /// | `fig6` | sim | the Fig. 6 workload families (4 synthetics, HERD, Masstree) under RPCValet's 1×16, each over its default load grid |
+    /// | `fig7a` | sim | HERD × the three hardware policies (Fig. 7a) |
+    /// | `fig7b` | sim | Masstree × the three hardware policies, with extra low-rate points to resolve the 16×1 SLO violation (Fig. 7b) |
+    /// | `fig7c` | sim | synthetic fixed + GEV × the three hardware policies (Fig. 7c) |
+    /// | `fig8` | sim | the four synthetic families × hardware vs software 1×16 (Fig. 8) |
+    /// | `ablation_outstanding` | sim | HERD + synthetic-fixed × outstanding-per-core 1 vs 2 (§4.3/§6.1) |
+    /// | `live_smoke` | live | exponential service × single-queue/RSS/replenish over loopback TCP, 2 sleep-burn workers |
     pub fn named(name: &str) -> Option<ScenarioMatrix> {
         let hw_policies = || {
             vec![
@@ -268,7 +585,31 @@ impl ScenarioMatrix {
                 Policy::hw_single_queue(),
             ]
         };
+        // Fig. 2's grid: loads from 5 % to 95 % in 5 % steps (the legacy
+        // `SweepSpec::fig2_default`), seed 2019, 400 k arrivals.
+        let fig2_loads = || RateGrid::Shared((1..=19).map(|i| i as f64 * 0.05).collect());
+        let fig2_services = |kinds: &[SyntheticKind]| {
+            kinds
+                .iter()
+                .map(|&k| (k.label().to_owned(), k.normalized()))
+                .collect()
+        };
         let matrix = match name {
+            "fig2a" => ScenarioMatrix::new("fig2a", 2019)
+                .service_workloads(fig2_services(&[SyntheticKind::Exponential]))
+                .model_policies(QxU::FIG2A_CONFIGS.to_vec())
+                .rates(fig2_loads())
+                .requests(400_000, 40_000),
+            "fig2b" => ScenarioMatrix::new("fig2b", 2019)
+                .service_workloads(fig2_services(&SyntheticKind::ALL))
+                .model_policies(vec![QxU::SINGLE_16])
+                .rates(fig2_loads())
+                .requests(400_000, 40_000),
+            "fig2c" => ScenarioMatrix::new("fig2c", 2019)
+                .service_workloads(fig2_services(&SyntheticKind::ALL))
+                .model_policies(vec![QxU::PARTITIONED_16])
+                .rates(fig2_loads())
+                .requests(400_000, 40_000),
             "fig6" => ScenarioMatrix::new("fig6", 66)
                 .workloads(vec![
                     Workload::Synthetic(SyntheticKind::Fixed),
@@ -324,6 +665,18 @@ impl ScenarioMatrix {
                     },
                 ])
                 .requests(250_000, 25_000),
+            "live_smoke" => ScenarioMatrix::new("live_smoke", 7)
+                .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
+                .live_policies(
+                    vec![
+                        LivePolicy::SingleQueue,
+                        LivePolicy::RssStatic,
+                        LivePolicy::Replenish,
+                    ],
+                    LiveParams::default(),
+                )
+                .rates(RateGrid::Shared(vec![0.5, 0.85]))
+                .requests(1_200, 120),
             _ => return None,
         };
         Some(matrix)
@@ -332,12 +685,16 @@ impl ScenarioMatrix {
     /// Names accepted by [`ScenarioMatrix::named`].
     pub fn known_names() -> &'static [&'static str] {
         &[
+            "fig2a",
+            "fig2b",
+            "fig2c",
             "fig6",
             "fig7a",
             "fig7b",
             "fig7c",
             "fig8",
             "ablation_outstanding",
+            "live_smoke",
         ]
     }
 }
@@ -362,10 +719,14 @@ mod tests {
         let jobs = tiny().jobs();
         assert_eq!(jobs.len(), 2 * 2 * 3);
         // Workload-major, policy, then rate.
-        assert_eq!(jobs[0].workload, Workload::Synthetic(SyntheticKind::Fixed));
+        assert_eq!(
+            jobs[0].workload.named(),
+            Some(Workload::Synthetic(SyntheticKind::Fixed))
+        );
         assert_eq!(jobs[0].rate_rps, 1.0e6);
         assert_eq!(jobs[2].rate_rps, 3.0e6);
-        assert_eq!(jobs[11].workload, Workload::Herd);
+        assert_eq!(jobs[11].workload.named(), Some(Workload::Herd));
+        assert!(jobs.iter().all(|j| j.kind() == JobKind::ServerSim));
     }
 
     #[test]
@@ -383,6 +744,8 @@ mod tests {
         let jobs = m.jobs();
         assert_eq!(jobs.len(), 24);
         assert_eq!(jobs[0].seed, split_seed(7, 0), "rep 0 keeps legacy seeds");
+        assert_eq!(jobs[0].replication, 0);
+        assert_eq!(jobs[1].replication, 1);
         assert_ne!(jobs[1].seed, jobs[0].seed, "rep 1 differs");
         assert_eq!(jobs[1].seed, m.job_seed(0, 1));
     }
@@ -425,7 +788,90 @@ mod tests {
         let m = ScenarioMatrix::new("t", 0)
             .workloads(vec![Workload::Herd])
             .policies(vec![Policy::hw_single_queue()]);
-        assert_eq!(m.grid_for(Workload::Herd), Workload::Herd.default_rate_grid());
+        assert_eq!(
+            m.grid_for(&WorkloadSpec::Named(Workload::Herd)),
+            Workload::Herd.default_rate_grid()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no default rate grid")]
+    fn service_workload_needs_shared_grid() {
+        ScenarioMatrix::new("t", 0)
+            .service_workloads(vec![(
+                "exp".to_owned(),
+                ServiceDist::exponential_mean_ns(1.0),
+            )])
+            .model_policies(vec![QxU::SINGLE_16])
+            .jobs();
+    }
+
+    #[test]
+    fn queueing_jobs_run_the_model() {
+        let m = ScenarioMatrix::new("q", 3)
+            .service_workloads(vec![(
+                "exp".to_owned(),
+                ServiceDist::exponential_mean_ns(1.0),
+            )])
+            .model_policies(vec![QxU::SINGLE_16, QxU::PARTITIONED_16])
+            .rates(RateGrid::Shared(vec![0.5, 0.8]))
+            .requests(20_000, 2_000);
+        let jobs = m.jobs();
+        assert_eq!(jobs.len(), 4);
+        assert!(jobs.iter().all(|j| j.kind() == JobKind::Queueing));
+        let single = jobs[1].run(); // 1x16 at 0.8
+        let part = jobs[3].run(); // 16x1 at 0.8
+        assert_eq!(single.label, "1x16");
+        assert_eq!(part.label, "16x1");
+        assert!(
+            single.p99_latency_ns < part.p99_latency_ns,
+            "1x16 {} vs 16x1 {}",
+            single.p99_latency_ns,
+            part.p99_latency_ns
+        );
+        assert_eq!(single.load_balance_jain, 1.0);
+    }
+
+    #[test]
+    fn queueing_job_matches_direct_model_run() {
+        let spec = ExperimentSpec {
+            workload: WorkloadSpec::Service {
+                label: "exp".to_owned(),
+                dist: ServiceDist::exponential_mean_ns(1.0),
+            },
+            policy: PolicySpec::Model(QxU::Q4X4),
+            rate_rps: 0.7,
+            requests: 15_000,
+            warmup: 1_500,
+            seed: 99,
+            replication: 0,
+        };
+        let via_harness = spec.run();
+        let direct = QueueingModel::new(QxU::Q4X4, ServiceDist::exponential_mean_ns(1.0))
+            .run(&RunParams {
+                load: 0.7,
+                requests: 15_000,
+                warmup: 1_500,
+                seed: 99,
+            });
+        assert_eq!(via_harness.p99_latency_ns, direct.p99_sojourn_ns);
+        assert_eq!(via_harness.throughput_rps, direct.throughput_rps);
+        assert_eq!(via_harness.measured, direct.measured);
+    }
+
+    #[test]
+    fn kind_labels_and_keys() {
+        assert_eq!(JobKind::ServerSim.label(), "sim");
+        assert_eq!(JobKind::Queueing.label(), "queueing");
+        assert_eq!(JobKind::Live.label(), "live");
+        assert_eq!(
+            policy_spec_key(&PolicySpec::Model(QxU::SINGLE_16)),
+            "model-1x16"
+        );
+        assert_eq!(
+            policy_spec_key(&PolicySpec::Live(LivePolicy::Replenish, LiveParams::default())),
+            "live-replenish"
+        );
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! `loadgen` — the open-loop Poisson load generator.
+//!
+//! ```text
+//! loadgen --load 0.7 --requests 50000
+//! loadgen --addr 127.0.0.1:7117 --workload herd --scale 1000 --load 0.9
+//! loadgen --rate 5000 --requests 20000 --conns 16
+//! ```
+//!
+//! Offered load is either `--rate <rps>` (absolute) or `--load <frac>`
+//! (fraction of `workers / scaled-mean-service`; pass the server's
+//! `--workers` so capacity matches). Prints a p50/p99/throughput summary
+//! from the latency histogram when the run drains.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dist::ServiceDist;
+use live::loadgen::{run_loadgen, LoadgenConfig};
+use workloads::Workload;
+
+struct Args {
+    addr: String,
+    load: Option<f64>,
+    rate: Option<f64>,
+    requests: u64,
+    warmup: Option<u64>,
+    workload: Workload,
+    scale: f64,
+    conns: usize,
+    workers: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7117".to_owned(),
+        load: None,
+        rate: None,
+        requests: 10_000,
+        warmup: None,
+        workload: Workload::Synthetic(dist::SyntheticKind::Exponential),
+        scale: 1_000.0,
+        conns: 8,
+        workers: 4,
+        seed: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        let parse_f64 = |name: &str, v: String| {
+            v.parse::<f64>().map_err(|e| format!("bad {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--load" => args.load = Some(parse_f64("--load", value("--load")?)?),
+            "--rate" => args.rate = Some(parse_f64("--rate", value("--rate")?)?),
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad requests: {e}"))?;
+            }
+            "--warmup" => {
+                args.warmup = Some(
+                    value("--warmup")?
+                        .parse()
+                        .map_err(|e| format!("bad warmup: {e}"))?,
+                );
+            }
+            "--workload" => {
+                args.workload = value("--workload")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--scale" => args.scale = parse_f64("--scale", value("--scale")?)?,
+            "--conns" => {
+                args.conns = value("--conns")?
+                    .parse()
+                    .map_err(|e| format!("bad connection count: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: loadgen [--addr host:port] (--load frac | --rate rps) \
+                            [--requests n] [--warmup n] [--workload name] [--scale x] \
+                            [--conns n] [--workers n] [--seed n]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.requests == 0 {
+        return Err("--requests must be at least 1".to_owned());
+    }
+    if args.load.is_none() && args.rate.is_none() {
+        args.load = Some(0.7);
+    }
+    Ok(args)
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match resolve(&args.addr) {
+        Ok(addr) => addr,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service: ServiceDist = args.workload.service_dist();
+    let mean_ns = service.mean_ns() * args.scale;
+    let rate_rps = match (args.rate, args.load) {
+        (Some(rate), _) => rate,
+        (None, Some(load)) => load * args.workers as f64 * 1e9 / mean_ns,
+        (None, None) => unreachable!("defaulted above"),
+    };
+    let warmup = args.warmup.unwrap_or(args.requests / 10).min(args.requests - 1);
+    let expected = Duration::from_secs_f64(args.requests as f64 / rate_rps);
+    println!(
+        "loadgen -> {} : {} requests at {:.0} rps ({} workload, mean service {:.3} ms, ~{:.1} s)",
+        addr,
+        args.requests,
+        rate_rps,
+        args.workload,
+        mean_ns / 1e6,
+        expected.as_secs_f64()
+    );
+
+    let cfg = LoadgenConfig {
+        addr,
+        connections: args.conns,
+        requests: args.requests,
+        warmup,
+        rate_rps,
+        service,
+        scale: args.scale,
+        seed: args.seed,
+        workers_hint: args.workers,
+        drain_timeout: expected * 3 + Duration::from_secs(10),
+    };
+    match run_loadgen(&cfg) {
+        Ok(stats) => {
+            println!("{}", stats.summary());
+            if stats.received < stats.sent {
+                eprintln!(
+                    "warning: {} responses never arrived",
+                    stats.sent - stats.received
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadgen failed: {e} (is valetd running at {addr}?)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! `valetd` — the live RPC server.
+//!
+//! ```text
+//! valetd --policy replenish --workers 4
+//! valetd --policy rss --workers 16 --burn spin --port 7117
+//! ```
+//!
+//! Serves the length-prefixed RPC protocol on loopback TCP until killed.
+//! `--burn sleep` (the default) makes workers overlap like real cores
+//! even on a 1-CPU machine; use `--burn spin` on hardware with as many
+//! cores as workers to burn real CPU, as the paper's handlers do.
+
+use std::process::ExitCode;
+
+use live::{BurnMode, LivePolicy, Server, ServerConfig};
+
+struct Args {
+    policy: LivePolicy,
+    workers: usize,
+    burn: BurnMode,
+    port: u16,
+    bind: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        policy: LivePolicy::Replenish,
+        workers: 4,
+        burn: BurnMode::Sleep,
+        port: 7117,
+        bind: "127.0.0.1".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--policy" => args.policy = value("--policy")?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+            }
+            "--burn" => args.burn = value("--burn")?.parse()?,
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("bad port: {e}"))?;
+            }
+            "--bind" => args.bind = value("--bind")?,
+            "--help" | "-h" => {
+                return Err("usage: valetd [--policy single|partitioned[:G]|rss|replenish] \
+                            [--workers n] [--burn sleep|spin] [--port p] [--bind addr]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    // Validate here so a bad combination is a usage error, not a panic
+    // from the dispatcher constructor.
+    if let LivePolicy::Partitioned { groups } = args.policy {
+        if groups == 0 || groups > args.workers || !args.workers.is_multiple_of(groups) {
+            return Err(format!(
+                "--policy partitioned:{groups} needs a group count that divides --workers {}",
+                args.workers
+            ));
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        policy: args.policy,
+        workers: args.workers,
+        burn: args.burn,
+    };
+    let mut server = match Server::start(config, format!("{}:{}", args.bind, args.port)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {}:{}: {e}", args.bind, args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "valetd listening on {} (policy {}, {} workers, {:?} burn)",
+        server.local_addr(),
+        args.policy,
+        args.workers,
+        args.burn
+    );
+    server.wait();
+    ExitCode::SUCCESS
+}

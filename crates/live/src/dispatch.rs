@@ -1,0 +1,598 @@
+//! Software dispatch disciplines behind one [`Dispatcher`] trait.
+//!
+//! These are the paper's queuing configurations (§2.2, Fig. 1) realized
+//! as thread-to-thread handoff policies instead of simulated FIFOs:
+//!
+//! * [`SingleQueue`] — one shared lock-protected queue, every worker
+//!   pulls from it: the software 1×16 baseline, synchronization cost
+//!   included.
+//! * [`Partitioned`] — `G` lock-protected queues, workers split into `G`
+//!   groups; arrivals spread uniformly by a hash of the sequence number
+//!   (the paper's `uni[0, Q−1]` split).
+//! * [`RssStatic`] — one queue per worker, arrivals routed by a hash of
+//!   the *connection*: receive-side scaling's flow affinity, the 16×1
+//!   worst case.
+//! * [`Replenish`] — the RPCValet discipline in software: workers post
+//!   availability slots to a lock-free [`SlotRing`](crate::ring::SlotRing)
+//!   and a dedicated dispatch thread hands each request to the first free
+//!   worker (the NI emulated as a thread).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use simkit::rng::split_seed;
+
+use crate::ring::SlotRing;
+
+/// Salt for the connection-hash route (RSS).
+const RSS_SALT: u64 = 0x5255_5353; // "RSS"
+/// Salt for the uniform per-request spread (partitioned).
+const UNI_SALT: u64 = 0x554E_4931;
+
+/// The dispatch discipline a live server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivePolicy {
+    /// One shared queue for all workers (software 1×N).
+    SingleQueue,
+    /// `groups` queues, each feeding `workers / groups` workers.
+    Partitioned {
+        /// Number of queue groups (must divide the worker count).
+        groups: usize,
+    },
+    /// One queue per worker, routed by connection hash (N×1, RSS-like).
+    RssStatic,
+    /// RPCValet-style: free workers announce themselves on a lock-free
+    /// ring; a dispatch thread matches requests to the first free worker.
+    Replenish,
+}
+
+impl LivePolicy {
+    /// The paper-style `QxU` figure label for this policy at a given
+    /// worker count (e.g. `"1x16"`, `"4x4"`, `"16x1"`, `"replenish"`).
+    pub fn label(&self, workers: usize) -> String {
+        match self {
+            LivePolicy::SingleQueue => format!("1x{workers}"),
+            LivePolicy::Partitioned { groups } => {
+                let g = (*groups).max(1);
+                format!("{g}x{}", workers / g)
+            }
+            LivePolicy::RssStatic => format!("{workers}x1"),
+            LivePolicy::Replenish => "replenish".to_owned(),
+        }
+    }
+
+    /// Unique grouping key (stable across worker counts).
+    pub fn key(&self) -> String {
+        match self {
+            LivePolicy::SingleQueue => "live-single".to_owned(),
+            LivePolicy::Partitioned { groups } => format!("live-part{groups}"),
+            LivePolicy::RssStatic => "live-rss".to_owned(),
+            LivePolicy::Replenish => "live-replenish".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for LivePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LivePolicy::SingleQueue => f.write_str("single"),
+            LivePolicy::Partitioned { groups } => write!(f, "partitioned:{groups}"),
+            LivePolicy::RssStatic => f.write_str("rss"),
+            LivePolicy::Replenish => f.write_str("replenish"),
+        }
+    }
+}
+
+/// Error from parsing a [`LivePolicy`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown policy `{}` (expected single|partitioned[:G]|rss|replenish)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for LivePolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "single" | "single-queue" | "singlequeue" => Ok(LivePolicy::SingleQueue),
+            "rss" | "rss-static" | "static" => Ok(LivePolicy::RssStatic),
+            "replenish" | "rpcvalet" => Ok(LivePolicy::Replenish),
+            other => {
+                if let Some(g) = other
+                    .strip_prefix("partitioned")
+                    .map(|rest| rest.trim_start_matches(':'))
+                {
+                    if g.is_empty() {
+                        return Ok(LivePolicy::Partitioned { groups: 4 });
+                    }
+                    if let Ok(groups) = g.parse::<usize>() {
+                        if groups > 0 {
+                            return Ok(LivePolicy::Partitioned { groups });
+                        }
+                    }
+                }
+                Err(ParsePolicyError(s.to_owned()))
+            }
+        }
+    }
+}
+
+/// Routing inputs a dispatcher may use: which connection the request came
+/// in on, and its arrival sequence number.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteKey {
+    /// Server-assigned connection index.
+    pub conn: u64,
+    /// Server-wide arrival sequence number.
+    pub seq: u64,
+}
+
+/// A dispatch discipline: readers submit work, workers pull it.
+///
+/// `recv` blocks until an item is available for `worker` or the
+/// dispatcher shuts down (then it returns `None` forever).
+pub trait Dispatcher<T: Send>: Send + Sync {
+    /// Enqueues one item with its routing key.
+    fn submit(&self, route: RouteKey, item: T);
+    /// Blocks for the next item for `worker`; `None` after shutdown.
+    fn recv(&self, worker: usize) -> Option<T>;
+    /// Wakes all blocked workers and makes subsequent `recv`s return
+    /// `None`. Idempotent.
+    fn shutdown(&self);
+}
+
+/// Builds the dispatcher for a policy.
+///
+/// # Panics
+/// Panics if `workers == 0`, or for [`LivePolicy::Partitioned`] when
+/// `groups` is 0, exceeds the worker count, or does not divide it.
+pub fn make_dispatcher<T: Send + 'static>(
+    policy: LivePolicy,
+    workers: usize,
+) -> Arc<dyn Dispatcher<T>> {
+    assert!(workers > 0, "need at least one worker");
+    match policy {
+        LivePolicy::SingleQueue => Arc::new(SingleQueue::new()),
+        LivePolicy::Partitioned { groups } => Arc::new(Partitioned::new(groups, workers)),
+        LivePolicy::RssStatic => Arc::new(RssStatic::new(workers)),
+        LivePolicy::Replenish => Arc::new(Replenish::new(workers)),
+    }
+}
+
+/// A closable blocking FIFO: `Mutex<VecDeque>` + condvar.
+struct Channel<T> {
+    inner: Mutex<ChannelInner<T>>,
+    cv: Condvar,
+}
+
+struct ChannelInner<T> {
+    queue: VecDeque<T>,
+    open: bool,
+}
+
+impl<T> Channel<T> {
+    fn new() -> Self {
+        Channel {
+            inner: Mutex::new(ChannelInner {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("channel lock");
+        inner.queue.push_back(item);
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next item; `None` once closed *and* drained.
+    fn pop_blocking(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("channel lock");
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                return Some(item);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("channel wait");
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().expect("channel lock");
+        inner.open = false;
+        drop(inner);
+        self.cv.notify_all();
+    }
+}
+
+/// One shared queue, every worker pulls from it (software 1×N).
+pub struct SingleQueue<T> {
+    channel: Channel<T>,
+}
+
+impl<T: Send> SingleQueue<T> {
+    /// Creates the shared queue.
+    pub fn new() -> Self {
+        SingleQueue {
+            channel: Channel::new(),
+        }
+    }
+}
+
+impl<T: Send> Default for SingleQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> Dispatcher<T> for SingleQueue<T> {
+    fn submit(&self, _route: RouteKey, item: T) {
+        self.channel.push(item);
+    }
+
+    fn recv(&self, _worker: usize) -> Option<T> {
+        self.channel.pop_blocking()
+    }
+
+    fn shutdown(&self) {
+        self.channel.close();
+    }
+}
+
+/// `G` queues feeding `workers / G` workers each; arrivals spread
+/// uniformly by sequence-number hash.
+pub struct Partitioned<T> {
+    groups: Vec<Channel<T>>,
+    workers: usize,
+}
+
+impl<T: Send> Partitioned<T> {
+    /// Creates `groups` queues for `workers` workers.
+    ///
+    /// # Panics
+    /// Panics unless `0 < groups ≤ workers` and `groups` divides
+    /// `workers`.
+    pub fn new(groups: usize, workers: usize) -> Self {
+        assert!(
+            groups > 0 && groups <= workers && workers.is_multiple_of(groups),
+            "groups ({groups}) must divide workers ({workers})"
+        );
+        Partitioned {
+            groups: (0..groups).map(|_| Channel::new()).collect(),
+            workers,
+        }
+    }
+
+    fn group_of_worker(&self, worker: usize) -> usize {
+        worker * self.groups.len() / self.workers
+    }
+}
+
+impl<T: Send> Dispatcher<T> for Partitioned<T> {
+    fn submit(&self, route: RouteKey, item: T) {
+        let g = (split_seed(route.seq, UNI_SALT) % self.groups.len() as u64) as usize;
+        self.groups[g].push(item);
+    }
+
+    fn recv(&self, worker: usize) -> Option<T> {
+        self.groups[self.group_of_worker(worker)].pop_blocking()
+    }
+
+    fn shutdown(&self) {
+        for g in &self.groups {
+            g.close();
+        }
+    }
+}
+
+/// One queue per worker, routed by connection hash (RSS flow affinity).
+pub struct RssStatic<T> {
+    queues: Vec<Channel<T>>,
+}
+
+impl<T: Send> RssStatic<T> {
+    /// Creates one queue per worker.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        RssStatic {
+            queues: (0..workers).map(|_| Channel::new()).collect(),
+        }
+    }
+
+    /// The worker a connection's requests are pinned to.
+    pub fn worker_for_conn(&self, conn: u64) -> usize {
+        (split_seed(conn, RSS_SALT) % self.queues.len() as u64) as usize
+    }
+}
+
+impl<T: Send> Dispatcher<T> for RssStatic<T> {
+    fn submit(&self, route: RouteKey, item: T) {
+        self.queues[self.worker_for_conn(route.conn)].push(item);
+    }
+
+    fn recv(&self, worker: usize) -> Option<T> {
+        self.queues[worker].pop_blocking()
+    }
+
+    fn shutdown(&self) {
+        for q in &self.queues {
+            q.close();
+        }
+    }
+}
+
+/// Shared state between the replenish dispatch thread and the workers.
+struct ReplenishShared<T> {
+    /// Incoming requests from reader threads.
+    inject: Channel<T>,
+    /// Free-worker announcements (the NI's replenish queue).
+    ring: SlotRing,
+    /// One single-item-ish mailbox per worker.
+    mailboxes: Vec<Channel<T>>,
+    /// Doorbell the workers ring after posting to `ring`, so the
+    /// dispatch thread never polls: the ring stays the lock-free data
+    /// path, the condvar is only the wake-up.
+    doorbell: Mutex<()>,
+    doorbell_cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// The RPCValet discipline in software: a dispatch thread pairs each
+/// request with the first worker that has posted a free slot.
+pub struct Replenish<T: Send + 'static> {
+    shared: Arc<ReplenishShared<T>>,
+    dispatch_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static> Replenish<T> {
+    /// Creates the dispatcher and spawns its dispatch thread.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let shared = Arc::new(ReplenishShared {
+            inject: Channel::new(),
+            ring: SlotRing::with_capacity(workers),
+            mailboxes: (0..workers).map(|_| Channel::new()).collect(),
+            doorbell: Mutex::new(()),
+            doorbell_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("replenish-dispatch".to_owned())
+            .spawn(move || dispatch_loop(&thread_shared))
+            .expect("spawn dispatch thread");
+        Replenish {
+            shared,
+            dispatch_thread: Mutex::new(Some(handle)),
+        }
+    }
+}
+
+fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>) {
+    crate::reduce_timer_slack();
+    while let Some(item) = shared.inject.pop_blocking() {
+        // Wait for the first free worker; the ring is the only wait —
+        // there is no per-request queue choice to make (§4.2). The wait
+        // is doorbell-driven, not polled: a poll loop's sleep quantum
+        // (plus Linux timer slack) would add dead time to every
+        // saturated dispatch, silently inflating effective utilization.
+        loop {
+            if let Some(worker) = shared.ring.pop() {
+                shared.mailboxes[worker].push(item);
+                break;
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = shared.doorbell.lock().expect("doorbell lock");
+            // A worker may have rung between the failed pop and the
+            // lock: re-check before sleeping, or the wake-up is lost.
+            if let Some(worker) = shared.ring.pop() {
+                drop(guard);
+                shared.mailboxes[worker].push(item);
+                break;
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            // The timeout only bounds shutdown latency; normal wake-ups
+            // come from the doorbell.
+            let _ = shared
+                .doorbell_cv
+                .wait_timeout(guard, std::time::Duration::from_millis(5))
+                .expect("doorbell wait");
+        }
+    }
+}
+
+impl<T: Send + 'static> Dispatcher<T> for Replenish<T> {
+    fn submit(&self, _route: RouteKey, item: T) {
+        self.shared.inject.push(item);
+    }
+
+    fn recv(&self, worker: usize) -> Option<T> {
+        // Announce availability, then wait for the dispatch thread's
+        // handoff. The push cannot fail: the ring holds `workers` slots
+        // and each worker has at most one announcement outstanding.
+        assert!(
+            self.shared.ring.push(worker),
+            "replenish ring overflow (worker {worker} announced twice?)"
+        );
+        // Ring the doorbell under the lock so the dispatch thread cannot
+        // miss it between its ring re-check and its wait.
+        drop(self.shared.doorbell.lock().expect("doorbell lock"));
+        self.shared.doorbell_cv.notify_one();
+        self.shared.mailboxes[worker].pop_blocking()
+    }
+
+    fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.inject.close();
+        drop(self.shared.doorbell.lock().expect("doorbell lock"));
+        self.shared.doorbell_cv.notify_all();
+        if let Some(handle) = self
+            .dispatch_thread
+            .lock()
+            .expect("dispatch thread lock")
+            .take()
+        {
+            let _ = handle.join();
+        }
+        for mb in &self.shared.mailboxes {
+            mb.close();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for Replenish<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn route(conn: u64, seq: u64) -> RouteKey {
+        RouteKey { conn, seq }
+    }
+
+    /// Runs `n` items through a dispatcher with `workers` pulling threads
+    /// and returns per-worker receive counts.
+    fn drain<D: Dispatcher<u64> + 'static>(d: Arc<D>, workers: usize, n: u64) -> Vec<u64> {
+        let counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
+        let received = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let d = Arc::clone(&d);
+            let counts = Arc::clone(&counts);
+            let received = Arc::clone(&received);
+            handles.push(std::thread::spawn(move || {
+                while d.recv(w).is_some() {
+                    counts[w].fetch_add(1, Ordering::Relaxed);
+                    received.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for i in 0..n {
+            d.submit(route(i % 7, i), i);
+        }
+        while received.load(Ordering::Relaxed) < n {
+            std::thread::yield_now();
+        }
+        d.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    #[test]
+    fn single_queue_delivers_everything() {
+        let counts = drain(Arc::new(SingleQueue::new()), 3, 300);
+        assert_eq!(counts.iter().sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn partitioned_spreads_across_groups() {
+        let counts = drain(Arc::new(Partitioned::new(2, 4)), 4, 400);
+        assert_eq!(counts.iter().sum::<u64>(), 400);
+        // Both groups must have seen traffic.
+        let g0 = counts[0] + counts[1];
+        let g1 = counts[2] + counts[3];
+        assert!(g0 > 0 && g1 > 0, "group counts {g0}/{g1}");
+    }
+
+    #[test]
+    fn rss_pins_connections_to_workers() {
+        let d = RssStatic::<u64>::new(4);
+        // All items from one connection land on exactly one worker queue.
+        let pinned = d.worker_for_conn(5);
+        for i in 0..10 {
+            d.submit(route(5, i), i);
+        }
+        for i in 0..10 {
+            assert_eq!(d.recv(pinned), Some(i), "pinned worker sees the flow");
+        }
+        // Nothing leaked to the other workers: after shutdown their
+        // queues drain straight to None.
+        d.shutdown();
+        for w in 0..4 {
+            assert_eq!(d.recv(w), None);
+        }
+    }
+
+    #[test]
+    fn replenish_delivers_everything_and_balances() {
+        let counts = drain(Arc::new(Replenish::new(4)), 4, 400);
+        assert_eq!(counts.iter().sum::<u64>(), 400);
+        // Free-worker matching keeps every worker busy: nobody starves.
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "replenish starves a worker: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_unblocks_idle_workers() {
+        let d: Arc<dyn Dispatcher<u64>> = make_dispatcher(LivePolicy::Replenish, 2);
+        let d2 = Arc::clone(&d);
+        let waiter = std::thread::spawn(move || d2.recv(0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        d.shutdown();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn policy_labels_and_parsing() {
+        assert_eq!(LivePolicy::SingleQueue.label(16), "1x16");
+        assert_eq!(LivePolicy::Partitioned { groups: 4 }.label(16), "4x4");
+        assert_eq!(LivePolicy::RssStatic.label(16), "16x1");
+        assert_eq!(LivePolicy::Replenish.label(16), "replenish");
+        assert_eq!("single".parse::<LivePolicy>().unwrap(), LivePolicy::SingleQueue);
+        assert_eq!(
+            "partitioned:8".parse::<LivePolicy>().unwrap(),
+            LivePolicy::Partitioned { groups: 8 }
+        );
+        assert_eq!(
+            "partitioned".parse::<LivePolicy>().unwrap(),
+            LivePolicy::Partitioned { groups: 4 }
+        );
+        assert_eq!("rss".parse::<LivePolicy>().unwrap(), LivePolicy::RssStatic);
+        assert_eq!(
+            "RPCValet".parse::<LivePolicy>().unwrap(),
+            LivePolicy::Replenish
+        );
+        assert!("bogus".parse::<LivePolicy>().is_err());
+        assert!("partitioned:0".parse::<LivePolicy>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn partitioned_rejects_nondivisor_groups() {
+        Partitioned::<u64>::new(3, 4);
+    }
+}

@@ -1,0 +1,155 @@
+//! # live — real loopback RPC serving, closing the sim-to-system loop
+//!
+//! Everything else in this workspace *simulates* RPCValet's dispatch
+//! disciplines (ASPLOS '19 §4–6). This crate *runs* them: a
+//! multi-threaded RPC server ([`Server`], shipped as the `valetd`
+//! binary) and an open-loop Poisson load generator ([`run_loadgen`], the
+//! `loadgen` binary) speak a tiny length-prefixed protocol over loopback
+//! TCP, with the paper's dispatch policies implemented as software
+//! [`Dispatcher`]s:
+//!
+//! | policy | paper analogue |
+//! |---|---|
+//! | [`LivePolicy::SingleQueue`] | software 1×16 (shared lock-protected queue) |
+//! | [`LivePolicy::Partitioned`] | 4×4 hardware partitioned dispatch |
+//! | [`LivePolicy::RssStatic`] | 16×1 receive-side scaling |
+//! | [`LivePolicy::Replenish`] | RPCValet: free workers post slots to a lock-free ring, a dispatch thread matches requests to them |
+//!
+//! The point is the paper's own model-vs-measurement discipline (its
+//! Fig. 2 queueing models vs Fig. 7–9 system results): the simulator
+//! predicts a p99 ordering across dispatch policies, and this crate
+//! measures whether real threads on real queues reproduce it (see the
+//! `live_vs_sim` bench binary).
+//!
+//! ## In-process quickstart
+//!
+//! ```no_run
+//! use dist::ServiceDist;
+//! use live::{run_loopback, BurnMode, LivePolicy, LoopbackSpec};
+//!
+//! let stats = run_loopback(&LoopbackSpec {
+//!     policy: LivePolicy::Replenish,
+//!     workers: 2,
+//!     burn: BurnMode::Sleep,
+//!     connections: 4,
+//!     requests: 2_000,
+//!     warmup: 200,
+//!     load: 0.7,
+//!     service: ServiceDist::exponential_mean_ns(600.0),
+//!     scale: 500.0, // 600 ns profile -> 300 µs sleeps
+//!     seed: 7,
+//! })
+//! .unwrap();
+//! println!("{}", stats.summary());
+//! ```
+
+pub mod dispatch;
+pub mod loadgen;
+pub mod protocol;
+pub mod ring;
+pub mod server;
+
+pub use dispatch::{make_dispatcher, Dispatcher, LivePolicy, RouteKey};
+pub use loadgen::{run_loadgen, LiveRunStats, LoadgenConfig};
+pub use protocol::{read_frame, write_frame, Request, Response};
+pub use ring::SlotRing;
+pub use server::{BurnMode, Server, ServerConfig};
+
+use std::io;
+use std::time::Duration;
+
+use dist::ServiceDist;
+
+/// Shrinks this thread's kernel timer slack to 1 ns (Linux
+/// `PR_SET_TIMERSLACK`), so short `thread::sleep`s overshoot by
+/// scheduling latency only instead of the default ~50 µs slack.
+///
+/// Called by every latency-sensitive thread (workers in sleep-burn mode,
+/// the replenish dispatch thread, the load generator's sender): with the
+/// default slack, each sleep-burned service time silently stretches by
+/// tens of µs, which at µs-scale services shifts the *effective* load of
+/// a run well above its nominal load. No-op off Linux or on failure.
+pub fn reduce_timer_slack() {
+    #[cfg(target_os = "linux")]
+    {
+        const PR_SET_TIMERSLACK: i32 = 29;
+        extern "C" {
+            fn prctl(option: i32, arg2: u64, arg3: u64, arg4: u64, arg5: u64) -> i32;
+        }
+        unsafe {
+            let _ = prctl(PR_SET_TIMERSLACK, 1, 0, 0, 0);
+        }
+    }
+}
+
+/// One self-contained loopback experiment: start a server, drive it,
+/// stop it.
+#[derive(Debug, Clone)]
+pub struct LoopbackSpec {
+    /// Dispatch discipline under test.
+    pub policy: LivePolicy,
+    /// Server worker threads.
+    pub workers: usize,
+    /// How workers spend service time ([`BurnMode::Sleep`] for 1-CPU
+    /// machines and CI, [`BurnMode::Spin`] for real cores).
+    pub burn: BurnMode,
+    /// Client connections.
+    pub connections: usize,
+    /// Requests to send.
+    pub requests: u64,
+    /// Completions excluded from statistics (by request id).
+    pub warmup: u64,
+    /// Offered load as a fraction of capacity
+    /// (`workers / mean-scaled-service`).
+    pub load: f64,
+    /// Service-demand profile (ns, before scaling).
+    pub service: ServiceDist,
+    /// Service-time multiplier (see [`LoadgenConfig::scale`]).
+    pub scale: f64,
+    /// RNG master seed.
+    pub seed: u64,
+}
+
+impl LoopbackSpec {
+    /// The absolute offered rate this spec's load fraction works out to.
+    pub fn rate_rps(&self) -> f64 {
+        self.load * self.workers as f64 * 1e9 / (self.service.mean_ns() * self.scale)
+    }
+
+    /// Expected send duration, used to bound the drain timeout.
+    fn expected_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.requests as f64 / self.rate_rps())
+    }
+}
+
+/// Runs one server + load-generator pair over loopback TCP and returns
+/// the client-side statistics.
+///
+/// The server binds an ephemeral port on 127.0.0.1, the load generator
+/// drives it to completion, and the server is stopped before returning —
+/// nothing leaks between runs.
+pub fn run_loopback(spec: &LoopbackSpec) -> io::Result<LiveRunStats> {
+    let server = Server::start(
+        ServerConfig {
+            policy: spec.policy,
+            workers: spec.workers,
+            burn: spec.burn,
+        },
+        "127.0.0.1:0",
+    )?;
+    let cfg = LoadgenConfig {
+        addr: server.local_addr(),
+        connections: spec.connections,
+        requests: spec.requests,
+        warmup: spec.warmup,
+        rate_rps: spec.rate_rps(),
+        service: spec.service.clone(),
+        scale: spec.scale,
+        seed: spec.seed,
+        workers_hint: spec.workers,
+        drain_timeout: spec.expected_duration() * 3 + Duration::from_secs(10),
+    };
+    let stats = run_loadgen(&cfg);
+    server.stop();
+    stats
+}

@@ -1,0 +1,237 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload. Requests carry the client's scheduled send time and the
+//! service demand the worker should burn, so the server needs no shared
+//! state with the load generator and responses are self-describing:
+//! latency is `now − sent_at_ns` against the client's own clock, and the
+//! responding worker id feeds the load-balance statistics.
+
+use std::io::{self, Read, Write};
+
+/// Frame discriminant for requests.
+pub const KIND_REQUEST: u8 = 0;
+/// Frame discriminant for responses.
+pub const KIND_RESPONSE: u8 = 1;
+
+/// Upper bound on accepted payload sizes; anything larger indicates a
+/// corrupt length prefix (e.g. a peer speaking a different protocol).
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024;
+
+/// A request frame: what the load generator sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Client-assigned id, unique per run (send order).
+    pub req_id: u64,
+    /// Scheduled send time, in ns since the client's epoch. Echoed back
+    /// verbatim; the client computes open-loop latency from it.
+    pub sent_at_ns: u64,
+    /// CPU time the serving worker must burn, in ns.
+    pub service_ns: u64,
+}
+
+/// A response frame: what a worker sends back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// The request's id, echoed.
+    pub req_id: u64,
+    /// The request's scheduled send time, echoed.
+    pub sent_at_ns: u64,
+    /// The service demand that was burned, echoed.
+    pub service_ns: u64,
+    /// Which worker served the request (for balance accounting).
+    pub worker: u32,
+}
+
+const REQUEST_LEN: usize = 1 + 8 + 8 + 8;
+const RESPONSE_LEN: usize = 1 + 8 + 8 + 8 + 4;
+
+impl Request {
+    /// Encodes the request as a complete frame (length prefix included).
+    pub fn encode(&self) -> [u8; 4 + REQUEST_LEN] {
+        let mut buf = [0u8; 4 + REQUEST_LEN];
+        buf[..4].copy_from_slice(&(REQUEST_LEN as u32).to_le_bytes());
+        buf[4] = KIND_REQUEST;
+        buf[5..13].copy_from_slice(&self.req_id.to_le_bytes());
+        buf[13..21].copy_from_slice(&self.sent_at_ns.to_le_bytes());
+        buf[21..29].copy_from_slice(&self.service_ns.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a request from a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        if payload.len() != REQUEST_LEN || payload[0] != KIND_REQUEST {
+            return Err(malformed("request", payload));
+        }
+        Ok(Request {
+            req_id: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+            sent_at_ns: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
+            service_ns: u64::from_le_bytes(payload[17..25].try_into().unwrap()),
+        })
+    }
+}
+
+impl Response {
+    /// Encodes the response as a complete frame (length prefix included).
+    pub fn encode(&self) -> [u8; 4 + RESPONSE_LEN] {
+        let mut buf = [0u8; 4 + RESPONSE_LEN];
+        buf[..4].copy_from_slice(&(RESPONSE_LEN as u32).to_le_bytes());
+        buf[4] = KIND_RESPONSE;
+        buf[5..13].copy_from_slice(&self.req_id.to_le_bytes());
+        buf[13..21].copy_from_slice(&self.sent_at_ns.to_le_bytes());
+        buf[21..29].copy_from_slice(&self.service_ns.to_le_bytes());
+        buf[29..33].copy_from_slice(&self.worker.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a response from a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        if payload.len() != RESPONSE_LEN || payload[0] != KIND_RESPONSE {
+            return Err(malformed("response", payload));
+        }
+        Ok(Response {
+            req_id: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+            sent_at_ns: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
+            service_ns: u64::from_le_bytes(payload[17..25].try_into().unwrap()),
+            worker: u32::from_le_bytes(payload[25..29].try_into().unwrap()),
+        })
+    }
+}
+
+fn malformed(what: &str, payload: &[u8]) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed {what} frame ({} bytes)", payload.len()),
+    )
+}
+
+/// Reads one frame payload from `r`. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary; EOF mid-frame is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_buf)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Like `read_exact`, but a clean EOF before the first byte returns
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes a complete pre-encoded frame.
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_a_stream() {
+        let req = Request {
+            req_id: 0xDEAD_BEEF_0123,
+            sent_at_ns: 42_000_000,
+            service_ns: 600,
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resp = Response {
+            req_id: 7,
+            sent_at_ns: 1,
+            service_ns: 2,
+            worker: 3,
+        };
+        let frame = resp.encode();
+        let payload = &frame[4..];
+        assert_eq!(Response::decode(payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let mut wire = Vec::new();
+        for id in 0..5u64 {
+            let req = Request {
+                req_id: id,
+                sent_at_ns: id * 10,
+                service_ns: 100,
+            };
+            write_frame(&mut wire, &req.encode()).unwrap();
+        }
+        let mut cursor = io::Cursor::new(wire);
+        for id in 0..5u64 {
+            let payload = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(Request::decode(&payload).unwrap().req_id, id);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let req = Request {
+            req_id: 1,
+            sent_at_ns: 2,
+            service_ns: 3,
+        };
+        let frame = req.encode();
+        let truncated = &frame[..frame.len() - 3];
+        let mut cursor = io::Cursor::new(truncated.to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut cursor = io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let resp = Response {
+            req_id: 1,
+            sent_at_ns: 2,
+            service_ns: 3,
+            worker: 0,
+        };
+        let frame = resp.encode();
+        assert!(Request::decode(&frame[4..]).is_err());
+    }
+}

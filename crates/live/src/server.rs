@@ -1,0 +1,383 @@
+//! `valetd`'s engine: a multi-threaded loopback RPC server.
+//!
+//! One reader thread per accepted connection parses request frames and
+//! submits them to the configured [`Dispatcher`]; `workers` worker
+//! threads pull requests, burn the demanded service time, and write the
+//! response back on the request's connection. The dispatch discipline is
+//! the only thing that changes between policies — everything else
+//! (sockets, framing, burning) is shared, so measured differences are
+//! the dispatch differences, the same isolation the simulator gets by
+//! construction.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::dispatch::{make_dispatcher, Dispatcher, LivePolicy, RouteKey};
+use crate::protocol::{read_frame, Request, Response};
+
+/// How a worker spends a request's service demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurnMode {
+    /// Spin the CPU for the demanded time. Faithful to the paper's
+    /// CPU-bound RPC handlers; needs as many real cores as workers.
+    Spin,
+    /// Sleep for the demanded time. Workers overlap like real cores even
+    /// on a 1-CPU machine (use with µs–ms scaled service times); the
+    /// right mode for CI and laptops.
+    Sleep,
+}
+
+impl BurnMode {
+    /// Occupies this thread for `ns` nanoseconds.
+    pub fn burn(self, ns: u64) {
+        match self {
+            BurnMode::Spin => {
+                let start = Instant::now();
+                let target = Duration::from_nanos(ns);
+                while start.elapsed() < target {
+                    std::hint::spin_loop();
+                }
+            }
+            BurnMode::Sleep => {
+                if ns > 0 {
+                    std::thread::sleep(Duration::from_nanos(ns));
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for BurnMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "spin" => Ok(BurnMode::Spin),
+            "sleep" => Ok(BurnMode::Sleep),
+            other => Err(format!("unknown burn mode `{other}` (spin|sleep)")),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The dispatch discipline.
+    pub policy: LivePolicy,
+    /// Worker thread count.
+    pub workers: usize,
+    /// How workers burn service time.
+    pub burn: BurnMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            policy: LivePolicy::Replenish,
+            workers: 4,
+            burn: BurnMode::Sleep,
+        }
+    }
+}
+
+/// One unit of server work: the parsed request plus where to reply.
+struct ServerJob {
+    req: Request,
+    reply: Arc<Mutex<TcpStream>>,
+}
+
+/// A running server; dropped or [`Server::stop`]ped, it shuts down
+/// cleanly.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    dispatcher: Arc<dyn Dispatcher<ServerJob>>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<u64>>,
+    /// Socket handles of live connections, keyed by connection id, for
+    /// forced shutdown. Deliberately *clones* of the streams, not the
+    /// `Arc<Mutex<_>>` writers: `TcpStream::shutdown` takes `&self`, so
+    /// the stop path never needs the write mutex — which a worker may be
+    /// holding across a blocked `write_all` to a stalled client.
+    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
+    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    dispatched: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds `bind_addr` (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    pub fn start<A: ToSocketAddrs>(config: ServerConfig, bind_addr: A) -> io::Result<Server> {
+        assert!(config.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let dispatcher: Arc<dyn Dispatcher<ServerJob>> =
+            make_dispatcher(config.policy, config.workers);
+        let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+        let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let dispatched = Arc::new(AtomicU64::new(0));
+
+        let mut worker_threads = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let dispatcher = Arc::clone(&dispatcher);
+            let burn = config.burn;
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("valetd-worker-{w}"))
+                    .spawn(move || worker_loop(w, &*dispatcher, burn))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let dispatcher = Arc::clone(&dispatcher);
+            let conns = Arc::clone(&conns);
+            let reader_threads = Arc::clone(&reader_threads);
+            let dispatched = Arc::clone(&dispatched);
+            std::thread::Builder::new()
+                .name("valetd-accept".to_owned())
+                .spawn(move || {
+                    let mut conn_idx: u64 = 0;
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let conn = conn_idx;
+                        conn_idx += 1;
+                        let (Ok(read_half), Ok(shutdown_handle)) =
+                            (stream.try_clone(), stream.try_clone())
+                        else {
+                            continue;
+                        };
+                        let reply = Arc::new(Mutex::new(stream));
+                        conns
+                            .lock()
+                            .expect("conn registry")
+                            .push((conn, shutdown_handle));
+                        let dispatcher = Arc::clone(&dispatcher);
+                        let dispatched = Arc::clone(&dispatched);
+                        let reader_conns = Arc::clone(&conns);
+                        let handle = std::thread::Builder::new()
+                            .name(format!("valetd-reader-{conn}"))
+                            .spawn(move || {
+                                reader_loop(read_half, conn, &*dispatcher, &reply, &dispatched);
+                                // The connection is gone: deregister it so
+                                // a long-running server doesn't hold an
+                                // entry per closed connection.
+                                reader_conns
+                                    .lock()
+                                    .expect("conn registry")
+                                    .retain(|(id, _)| *id != conn);
+                            })
+                            .expect("spawn reader");
+                        // Reap handles of readers that already exited, or
+                        // connection churn grows this registry forever.
+                        let mut registry = reader_threads.lock().expect("reader registry");
+                        registry.retain(|h| !h.is_finished());
+                        registry.push(handle);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            dispatcher,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            conns,
+            reader_threads,
+            dispatched,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests accepted and handed to the dispatcher so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Blocks the calling thread until the accept loop exits (i.e.
+    /// forever, absent [`Server::stop`] from another thread).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, drains, and joins every thread. Returns per-worker
+    /// completion counts.
+    pub fn stop(mut self) -> Vec<u64> {
+        self.shutdown_internals();
+        let mut completions = Vec::new();
+        for handle in self.worker_threads.drain(..) {
+            completions.push(handle.join().unwrap_or(0));
+        }
+        completions
+    }
+
+    fn shutdown_internals(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Force-close live connections so reader threads see EOF and any
+        // worker blocked in a response write errors out. No write mutex
+        // is taken here — a blocked writer is holding it.
+        for (_, handle) in self.conns.lock().expect("conn registry").drain(..) {
+            let _ = handle.shutdown(Shutdown::Both);
+        }
+        let readers: Vec<JoinHandle<()>> =
+            self.reader_threads.lock().expect("reader registry").drain(..).collect();
+        for handle in readers {
+            let _ = handle.join();
+        }
+        self.dispatcher.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.stop.load(Ordering::Acquire) {
+            self.shutdown_internals();
+        }
+        // Workers exit via dispatcher shutdown; detach any that stop()
+        // didn't join.
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn reader_loop(
+    mut read_half: TcpStream,
+    conn: u64,
+    dispatcher: &dyn Dispatcher<ServerJob>,
+    reply: &Arc<Mutex<TcpStream>>,
+    dispatched: &AtomicU64,
+) {
+    // Runs until EOF or a socket/protocol error drops the connection.
+    while let Ok(Some(payload)) = read_frame(&mut read_half) {
+        let Ok(req) = Request::decode(&payload) else {
+            break; // protocol error: drop the connection
+        };
+        let seq = dispatched.fetch_add(1, Ordering::Relaxed);
+        dispatcher.submit(
+            RouteKey { conn, seq },
+            ServerJob {
+                req,
+                reply: Arc::clone(reply),
+            },
+        );
+    }
+}
+
+fn worker_loop(worker: usize, dispatcher: &dyn Dispatcher<ServerJob>, burn: BurnMode) -> u64 {
+    crate::reduce_timer_slack();
+    let mut completions = 0u64;
+    while let Some(job) = dispatcher.recv(worker) {
+        burn.burn(job.req.service_ns);
+        let resp = Response {
+            req_id: job.req.req_id,
+            sent_at_ns: job.req.sent_at_ns,
+            service_ns: job.req.service_ns,
+            worker: worker as u32,
+        };
+        let frame = resp.encode();
+        // A send error means the client left; keep serving other
+        // connections.
+        if let Ok(mut stream) = job.reply.lock() {
+            let _ = stream.write_all(&frame);
+        }
+        completions += 1;
+    }
+    completions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::write_frame;
+    use std::io::Read;
+
+    fn echo_one(policy: LivePolicy) {
+        let server = Server::start(
+            ServerConfig {
+                policy,
+                workers: 2,
+                burn: BurnMode::Sleep,
+            },
+            "127.0.0.1:0",
+        )
+        .expect("server starts");
+        let mut client = TcpStream::connect(server.local_addr()).expect("connect");
+        client.set_nodelay(true).unwrap();
+        let req = Request {
+            req_id: 11,
+            sent_at_ns: 22,
+            service_ns: 1_000, // 1 µs
+        };
+        write_frame(&mut client, &req.encode()).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("response frame");
+        let resp = Response::decode(&payload).unwrap();
+        assert_eq!(resp.req_id, 11);
+        assert_eq!(resp.sent_at_ns, 22);
+        assert_eq!(resp.service_ns, 1_000);
+        assert!(resp.worker < 2);
+        drop(client);
+        let completions = server.stop();
+        assert_eq!(completions.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn serves_one_request_under_every_policy() {
+        for policy in [
+            LivePolicy::SingleQueue,
+            LivePolicy::Partitioned { groups: 2 },
+            LivePolicy::RssStatic,
+            LivePolicy::Replenish,
+        ] {
+            echo_one(policy);
+        }
+    }
+
+    #[test]
+    fn stop_with_idle_connection_does_not_hang() {
+        let server = Server::start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+        let mut idle = TcpStream::connect(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        server.stop();
+        // The forced shutdown reaches the idle client as EOF.
+        let mut buf = [0u8; 1];
+        let n = idle.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn burn_modes_occupy_roughly_the_demanded_time() {
+        for mode in [BurnMode::Spin, BurnMode::Sleep] {
+            let start = Instant::now();
+            mode.burn(2_000_000); // 2 ms
+            let elapsed = start.elapsed();
+            assert!(elapsed >= Duration::from_millis(2), "{mode:?}: {elapsed:?}");
+        }
+        assert_eq!("spin".parse::<BurnMode>().unwrap(), BurnMode::Spin);
+        assert!("busy".parse::<BurnMode>().is_err());
+    }
+}

@@ -18,7 +18,8 @@
 //! | [`sonuma`] | `sonuma` | Scale-Out NUMA substrate |
 //! | [`rpcvalet`] | `rpcvalet` | messaging + NI dispatch + full-system sim |
 //! | [`workloads`] | `workloads` | HERD/Masstree/synthetic scenarios |
-//! | [`harness`] | `harness` | parallel experiment orchestration (dispatcher + worker pool, JSON reports) |
+//! | [`live`] | `live` | real loopback RPC serving: `valetd` server + open-loop load generator |
+//! | [`harness`] | `harness` | parallel experiment orchestration (dispatcher + worker pool, JSON reports; sim, queueing, and live job kinds) |
 //!
 //! ## Quickstart
 //!
@@ -67,6 +68,7 @@
 
 pub use dist;
 pub use harness;
+pub use live;
 pub use metrics;
 pub use noc;
 pub use queueing;
