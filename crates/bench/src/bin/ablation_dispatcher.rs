@@ -7,13 +7,19 @@
 //! measures the dispatcher's actual utilization and the shared-CQ high
 //! water in simulation at saturation.
 //!
+//! The measured sweeps run as harness [`ScenarioMatrix`]es on the worker
+//! pool — the predefined `ablation_dispatcher` matrix for the 16-core
+//! Table 1 chip, plus an inline 64-core matrix using the matrix-level
+//! [`ScenarioMatrix::chip`] override (§4.3's scale-up argument).
+//!
 //! Usage: `cargo run -p bench --release --bin ablation_dispatcher [--quick]`
 
 use bench::{write_json, Mode};
-use dist::ServiceDist;
-use rpcvalet::{Policy, ServerSim, SystemConfig};
+use harness::{default_threads, run_jobs, JobOutcome, RateGrid, ScenarioMatrix};
+use rpcvalet::Policy;
 use serde::Serialize;
 use simkit::SimDuration;
+use workloads::Workload;
 
 #[derive(Serialize)]
 struct DispatcherRow {
@@ -22,6 +28,17 @@ struct DispatcherRow {
     decision_interval_ns: f64,
     decision_occupancy_ns: f64,
     headroom: f64,
+}
+
+fn print_measured(cores: usize, outcomes: &[JobOutcome]) {
+    for o in outcomes {
+        println!(
+            "  measured {cores} cores at {:.0} Mrps offered: throughput {:.2} Mrps, shared-CQ high water {}",
+            o.spec.rate_rps / 1e6,
+            o.result.throughput_rps / 1e6,
+            o.result.dispatcher_high_water
+        );
+    }
 }
 
 fn main() {
@@ -47,47 +64,29 @@ fn main() {
     }
     println!("  (paper: ~31 ns and ~8 ns for 16/64 cores at 500 ns — both modest)\n");
 
+    let threads = default_threads();
+
     // Measured: drive the 16-core chip at saturation and inspect the
     // dispatcher's shared-CQ depth (it must stay shallow pre-saturation).
-    let requests = mode.requests(150_000);
-    for rate in [10.0e6, 18.0e6] {
-        let cfg = SystemConfig::builder()
-            .policy(Policy::hw_single_queue())
-            .service(ServiceDist::exponential_mean_ns(600.0))
-            .rate_rps(rate)
-            .requests(requests)
-            .warmup(requests / 10)
-            .seed(96)
-            .build();
-        let r = ServerSim::new(cfg).run();
-        println!(
-            "  measured 16 cores at {:.0} Mrps offered: throughput {:.2} Mrps, shared-CQ high water {}",
-            rate / 1e6,
-            r.throughput_mrps(),
-            r.dispatcher_high_water
-        );
+    let mut m16 = ScenarioMatrix::named("ablation_dispatcher").expect("predefined");
+    if mode == Mode::Quick {
+        m16 = m16.quick();
     }
+    print_measured(16, &run_jobs(m16.jobs(), threads));
 
     // Scale-up check: a single dispatcher on the 64-core chip (§4.3's
     // "a new dispatch decision every ~8 ns"). Capacity ≈ 64/820 ns ≈
     // 78 Mrps; drive to ~90 % and confirm the dispatcher keeps up.
-    for rate in [40.0e6, 70.0e6] {
-        let cfg = SystemConfig::builder()
-            .chip(sonuma::ChipParams::manycore64())
-            .policy(Policy::hw_single_queue())
-            .service(ServiceDist::exponential_mean_ns(600.0))
-            .rate_rps(rate)
-            .requests(requests * 2)
-            .warmup(requests / 5)
-            .seed(97)
-            .build();
-        let r = ServerSim::new(cfg).run();
-        println!(
-            "  measured 64 cores at {:.0} Mrps offered: throughput {:.2} Mrps, shared-CQ high water {}",
-            rate / 1e6,
-            r.throughput_mrps(),
-            r.dispatcher_high_water
-        );
+    let mut m64 = ScenarioMatrix::new("ablation_dispatcher64", 97)
+        .workloads(vec![Workload::Synthetic(dist::SyntheticKind::Exponential)])
+        .policies(vec![Policy::hw_single_queue()])
+        .chip(sonuma::ChipParams::manycore64())
+        .rates(RateGrid::Shared(vec![40.0e6, 70.0e6]))
+        .requests(300_000, 30_000);
+    if mode == Mode::Quick {
+        m64 = m64.quick();
     }
+    print_measured(64, &run_jobs(m64.jobs(), threads));
+
     write_json("ablation_dispatcher", &rows);
 }

@@ -8,12 +8,19 @@
 //! shrinks the get-class tail for every dispatch policy — most
 //! dramatically for 16×1, which has no other defense.
 //!
+//! The sweep runs as the predefined `ablation_preemption` harness matrix
+//! on the worker pool: Masstree × {16×1, 4×4, 1×16} × {plain,
+//! Shinjuku-preempted} × {2, 4} Mrps, with preemption carried on the
+//! policy axis ([`harness::PolicySpec::SimPreempt`]).
+//!
 //! Usage: `cargo run -p bench --release --bin ablation_preemption [--quick]`
 
+use std::collections::HashMap;
+
 use bench::{write_json, Mode};
-use rpcvalet::{Policy, PreemptionParams, ServerSim};
+use harness::{default_threads, policy_spec_key, run_jobs, Measurement, PolicySpec, ScenarioMatrix};
+use rpcvalet::PreemptionParams;
 use serde::Serialize;
-use workloads::{scenario_config, Workload};
 
 #[derive(Serialize)]
 struct PreemptionRow {
@@ -27,31 +34,47 @@ struct PreemptionRow {
 
 fn main() {
     let mode = Mode::from_args();
-    let requests = mode.requests(200_000);
     println!("=== Extension: Shinjuku-style preemption on Masstree (get-class p99) ===\n");
     println!(
         "{:<8} {:>10} {:>16} {:>20} {:>12}",
         "policy", "rate", "plain p99 (us)", "preempted p99 (us)", "improvement"
     );
 
+    let mut matrix = ScenarioMatrix::named("ablation_preemption").expect("predefined");
+    if mode == Mode::Quick {
+        matrix = matrix.quick();
+    }
+    let jobs = matrix.jobs();
+    let outcomes = run_jobs(jobs, default_threads());
+
+    // Index by (policy key, rate); the preempted variant's key is the
+    // plain key plus a `-preempt-…` suffix.
+    let by_key: HashMap<(String, u64), &Measurement> = outcomes
+        .iter()
+        .map(|o| {
+            (
+                (policy_spec_key(&o.spec.policy), o.spec.rate_rps.to_bits()),
+                &o.result,
+            )
+        })
+        .collect();
+
     let mut rows = Vec::new();
-    for (policy, rate) in [
-        (Policy::hw_static(), 2.0e6),
-        (Policy::hw_partitioned(), 2.0e6),
-        (Policy::hw_single_queue(), 2.0e6),
-        (Policy::hw_single_queue(), 4.0e6),
-    ] {
-        let mut results = Vec::new();
-        for preempt in [false, true] {
-            let mut cfg = scenario_config(Workload::Masstree, policy.clone(), rate, 77);
-            cfg.requests = requests;
-            cfg.warmup = requests / 10;
-            if preempt {
-                cfg.preemption = Some(PreemptionParams::shinjuku_5us());
-            }
-            results.push(ServerSim::new(cfg).run());
-        }
-        let (plain, pre) = (&results[0], &results[1]);
+    for o in &outcomes {
+        let PolicySpec::Sim(policy) = &o.spec.policy else {
+            continue; // preempted rows are looked up as twins below
+        };
+        let rate = o.spec.rate_rps;
+        let plain = &o.result;
+        // The matrix pairs every plain policy with a shinjuku_5us
+        // preempted variant; reconstruct that variant's exact key.
+        let preempt_key = policy_spec_key(&PolicySpec::SimPreempt(
+            policy.clone(),
+            PreemptionParams::shinjuku_5us(),
+        ));
+        let pre = by_key
+            .get(&(preempt_key, rate.to_bits()))
+            .expect("every plain policy has a preempted twin in the matrix");
         let improvement = plain.p99_critical_ns / pre.p99_critical_ns.max(1.0);
         println!(
             "{:<8} {:>8.1}M {:>16.2} {:>20.2} {:>11.2}x",

@@ -1,0 +1,332 @@
+//! `simbench` — events/sec microbenchmarks for the simulator core.
+//!
+//! Two layers, both run on the reference heap event queue **and** the
+//! allocation-free ladder queue (the backends pop in bit-identical
+//! order, so every comparison is apples-to-apples on identical work):
+//!
+//! 1. **queue churn** — a hold-N push/pop loop straight on `EventQueue`,
+//!    isolating the data structure;
+//! 2. **fig8 high-load operating point** — the full `ServerSim` at the
+//!    fig8 matrix's top rate (19.6 Mrps, synthetic exponential, same
+//!    derived seed), the sweep point that dominates every figure's wall
+//!    clock. The ladder-vs-heap ratio here is the PR's headline number
+//!    and is machine-independent enough to gate CI on.
+//!
+//! ```text
+//! simbench [--quick] [--write BENCH_simcore.json]
+//!          [--baseline BENCH_simcore.json] [--tolerance 30]
+//! ```
+//!
+//! With `--baseline`, the measured ladder-vs-heap speedups are compared
+//! against the stored ones and the exit code is non-zero if any current
+//! speedup falls more than `--tolerance` percent below its baseline —
+//! the CI regression gate for the simulator core. Determinism (identical
+//! results across backends) is always enforced.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dist::ServiceDist;
+use harness::ScenarioMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rpcvalet::{Policy, ServerSim, SystemConfig};
+use serde::{Deserialize, Serialize};
+use simkit::rng::split_seed;
+use simkit::{EventQueue, EventQueueKind, SimDuration, SimTime};
+
+/// One queue-churn measurement at a fixed pending depth.
+#[derive(Debug, Serialize, Deserialize)]
+struct QueueRow {
+    pending: u64,
+    /// Ladder horizon used (density-matched: ~512 buckets of one mean
+    /// event spacing each).
+    horizon_ns: u64,
+    heap_meps: f64,
+    ladder_meps: f64,
+    speedup: f64,
+}
+
+/// One full-system measurement.
+#[derive(Debug, Serialize, Deserialize)]
+struct SimRow {
+    label: String,
+    rate_rps: f64,
+    requests: u64,
+    /// Events popped per run (identical across backends by contract).
+    events: u64,
+    heap_eps: f64,
+    ladder_eps: f64,
+    speedup: f64,
+    p99_latency_ns: f64,
+}
+
+/// Whole-sweep throughput from the harness timing sidecar: the fig8
+/// matrix at smoke resolution, single worker. `total_events` is
+/// deterministic (a pure function of the matrix); `events_per_sec` is
+/// this machine's simulator-core throughput on it — the trajectory
+/// number tracked across commits.
+#[derive(Debug, Serialize, Deserialize)]
+struct SweepRow {
+    matrix: String,
+    requests: u64,
+    threads: u64,
+    total_events: u64,
+    cpu_ms: f64,
+    events_per_sec: f64,
+}
+
+/// The committed `BENCH_simcore.json` artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    version: u32,
+    mode: String,
+    queue: Vec<QueueRow>,
+    sim: Vec<SimRow>,
+    sweep: Vec<SweepRow>,
+}
+
+/// Hold-N churn: keep `pending` events queued, pop one + push one per
+/// step. Times are popped-time plus a bounded pseudo-random delta — the
+/// schedule shape every model in this workspace produces.
+fn queue_churn(kind: EventQueueKind, pending: u64, steps: u64) -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+    let mut rng = SmallRng::seed_from_u64(42);
+    for i in 0..pending {
+        q.push(SimTime::from_ns(rng.gen_range(0..4_000)), i);
+    }
+    let start = Instant::now();
+    for i in 0..steps {
+        let popped = q.pop().expect("queue stays at depth");
+        let delta = SimDuration::from_ns(rng.gen_range(1..4_000));
+        q.push(popped.time + delta, i);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // One pop + one push per step.
+    (2 * steps) as f64 / secs
+}
+
+/// The fig8 matrix's high-load operating point (top of its rate grid),
+/// with the exact seed `ScenarioMatrix::named("fig8")` derives for it.
+fn fig8_high_load_config(policy: Policy, requests: u64, kind: EventQueueKind) -> SystemConfig {
+    SystemConfig::builder()
+        .policy(policy)
+        .service(ServiceDist::exponential_mean_ns(600.0))
+        .rate_rps(14.0 * 1.4e6)
+        .requests(requests)
+        .warmup(requests / 10)
+        .seed(split_seed(88, 13))
+        .event_queue(kind)
+        .build()
+}
+
+/// Best-of-`reps` events/sec for one config (min wall clock).
+fn measure_sim(cfg: &SystemConfig, reps: u32) -> (f64, rpcvalet::RunResult) {
+    let mut best_eps = 0.0f64;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = ServerSim::new(cfg.clone()).run();
+        let secs = start.elapsed().as_secs_f64();
+        best_eps = best_eps.max(r.events_processed as f64 / secs);
+        last = Some(r);
+    }
+    (best_eps, last.expect("at least one rep"))
+}
+
+fn run_benchmarks(quick: bool) -> BenchReport {
+    let ladder = EventQueueKind::default_ladder();
+    let churn_steps = if quick { 400_000 } else { 2_000_000 };
+    let reps = if quick { 2 } else { 3 };
+
+    println!("== queue churn (hold-N, pop+push per step) ==");
+    let mut queue = Vec::new();
+    for pending in [64u64, 1024, 8192] {
+        // The horizon rule: cover the maximum scheduling lookahead (4 µs
+        // of delta here) so pushes land in rings rather than overflow,
+        // and beyond that widen until rings hold ~one event each (ring
+        // occupancy costs amortized O(log k) via sort-on-touch, so deep
+        // queues still win, but ~empty rings win by more).
+        let horizon_ns = 4_000u64.max(4_000 * 512 / pending);
+        let heap = queue_churn(EventQueueKind::Heap, pending, churn_steps);
+        let lad = queue_churn(
+            EventQueueKind::Ladder {
+                horizon: SimDuration::from_ns(horizon_ns),
+            },
+            pending,
+            churn_steps,
+        );
+        println!(
+            "  depth {pending:>5} (horizon {horizon_ns:>5} ns): heap {:>7.1} Mev/s   ladder {:>7.1} Mev/s   ({:.2}x)",
+            heap / 1e6,
+            lad / 1e6,
+            lad / heap
+        );
+        queue.push(QueueRow {
+            pending,
+            horizon_ns,
+            heap_meps: heap / 1e6,
+            ladder_meps: lad / 1e6,
+            speedup: lad / heap,
+        });
+    }
+
+    println!("\n== fig8 high-load operating point (19.6 Mrps, exp service) ==");
+    let requests = if quick { 60_000 } else { 250_000 };
+    let mut sim = Vec::new();
+    for policy in [Policy::hw_single_queue(), Policy::sw_single_queue()] {
+        let heap_cfg = fig8_high_load_config(policy.clone(), requests, EventQueueKind::Heap);
+        let ladder_cfg = fig8_high_load_config(policy, requests, ladder);
+        let (heap_eps, heap_r) = measure_sim(&heap_cfg, reps);
+        let (ladder_eps, ladder_r) = measure_sim(&ladder_cfg, reps);
+        // Hard determinism gate: backends must agree bit for bit.
+        assert_eq!(heap_r.p99_latency_ns, ladder_r.p99_latency_ns, "{}", heap_r.label);
+        assert_eq!(heap_r.throughput_rps, ladder_r.throughput_rps);
+        assert_eq!(heap_r.events_processed, ladder_r.events_processed);
+        println!(
+            "  {:<8} {:>6.2} Mev run: heap {:>6.2} Mev/s   ladder {:>6.2} Mev/s   ({:.2}x)",
+            heap_r.label,
+            heap_r.events_processed as f64 / 1e6,
+            heap_eps / 1e6,
+            ladder_eps / 1e6,
+            ladder_eps / heap_eps
+        );
+        sim.push(SimRow {
+            label: heap_r.label.clone(),
+            rate_rps: heap_cfg.rate_rps,
+            requests,
+            events: heap_r.events_processed,
+            heap_eps,
+            ladder_eps,
+            speedup: ladder_eps / heap_eps,
+            p99_latency_ns: ladder_r.p99_latency_ns,
+        });
+    }
+
+    // Whole fig8 sweep at smoke resolution, one worker: the harness
+    // timing sidecar's events/sec, the number the ROADMAP's BENCH_*
+    // trajectory tracks.
+    println!("\n== fig8 sweep (harness timing sidecar, 1 thread) ==");
+    let sweep_requests = if quick { 6_000 } else { 20_000 };
+    let mut matrix = ScenarioMatrix::named("fig8").expect("fig8 is predefined");
+    matrix.requests = sweep_requests;
+    matrix.warmup = sweep_requests / 10;
+    let (_, timing) = harness::run_matrix(&matrix, 1);
+    println!(
+        "  {} jobs x {} requests: {:.1} Mev total, {:.0} ms, {:.2} Mev/s",
+        timing.job_wall_ms.len(),
+        sweep_requests,
+        timing.total_events() as f64 / 1e6,
+        timing.cpu_ms,
+        timing.events_per_sec / 1e6
+    );
+    let sweep = vec![SweepRow {
+        matrix: "fig8".to_owned(),
+        requests: sweep_requests,
+        threads: timing.threads,
+        total_events: timing.total_events(),
+        cpu_ms: timing.cpu_ms,
+        events_per_sec: timing.events_per_sec,
+    }];
+
+    BenchReport {
+        version: 1,
+        mode: if quick { "quick" } else { "full" }.to_owned(),
+        queue,
+        sim,
+        sweep,
+    }
+}
+
+/// Compares current speedups against a stored baseline; returns the
+/// regressions as human-readable lines. Only the full-system sim rows
+/// gate: they integrate millions of events per measurement and their
+/// ladder-vs-heap ratio is stable across machines, while the raw
+/// queue-churn rows are sub-second microbenchmarks whose quick-mode
+/// ratios swing with cache warmup (they stay in the report as context).
+fn diff_against_baseline(current: &BenchReport, baseline: &BenchReport, tol_pct: f64) -> Vec<String> {
+    let floor = |base: f64| base * (1.0 - tol_pct / 100.0);
+    let mut regressions = Vec::new();
+    for base_row in &baseline.sim {
+        let Some(row) = current.sim.iter().find(|r| r.label == base_row.label) else {
+            regressions.push(format!("sim point `{}` disappeared", base_row.label));
+            continue;
+        };
+        if row.speedup < floor(base_row.speedup) {
+            regressions.push(format!(
+                "sim `{}`: ladder/heap speedup {:.2}x fell below baseline {:.2}x - {tol_pct}%",
+                row.label, row.speedup, base_row.speedup
+            ));
+        }
+    }
+    regressions
+}
+
+/// `--horizons`: sweep the ladder horizon on the fig8 high-load point to
+/// re-derive the `EventQueueKind::default_ladder` choice.
+fn horizon_sweep(quick: bool) {
+    let requests = if quick { 60_000 } else { 250_000 };
+    println!("== ladder horizon sweep, fig8 high-load 1x16 ==");
+    let (heap_eps, _) = measure_sim(
+        &fig8_high_load_config(Policy::hw_single_queue(), requests, EventQueueKind::Heap),
+        3,
+    );
+    println!("  heap reference: {:>6.2} Mev/s", heap_eps / 1e6);
+    for horizon_us in [1u64, 2, 4, 8, 16, 32, 64] {
+        let kind = EventQueueKind::Ladder {
+            horizon: SimDuration::from_us(horizon_us),
+        };
+        let (eps, _) =
+            measure_sim(&fig8_high_load_config(Policy::hw_single_queue(), requests, kind), 3);
+        println!(
+            "  horizon {horizon_us:>3} us: {:>6.2} Mev/s  ({:.2}x vs heap)",
+            eps / 1e6,
+            eps / heap_eps
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--horizons") {
+        horizon_sweep(quick);
+        return ExitCode::SUCCESS;
+    }
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let tolerance: f64 = value_of("--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a percentage"))
+        .unwrap_or(30.0);
+
+    let report = run_benchmarks(quick);
+
+    if let Some(path) = value_of("--write") {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\n[wrote {path}]");
+    }
+
+    if let Some(path) = value_of("--baseline") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let baseline: BenchReport =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+        let regressions = diff_against_baseline(&report, &baseline, tolerance);
+        println!(
+            "\nbaseline {path} ({} mode) at {tolerance}% tolerance:",
+            baseline.mode
+        );
+        if regressions.is_empty() {
+            println!("  no regressions");
+        } else {
+            for r in &regressions {
+                println!("  REGRESSION {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -98,9 +98,42 @@ pub struct SweepTiming {
     /// Sum of per-job wall time; `/ total_wall_ms` estimates achieved
     /// parallel speedup.
     pub cpu_ms: f64,
+    /// Per-job simulator events popped, in job order (0 for live jobs).
+    pub job_events: Vec<u64>,
+    /// Aggregate simulator throughput: total events over total
+    /// worker-busy seconds — the sweep-level number `BENCH_simcore.json`
+    /// tracks across commits.
+    pub events_per_sec: f64,
 }
 
 impl SweepTiming {
+    /// Assembles a sidecar, deriving `cpu_ms` and `events_per_sec` from
+    /// the per-job vectors — the single place those definitions live
+    /// (fresh and resumed sweeps both construct through here).
+    pub fn new(
+        matrix: impl Into<String>,
+        threads: u64,
+        total_wall_ms: f64,
+        job_wall_ms: Vec<f64>,
+        job_events: Vec<u64>,
+    ) -> SweepTiming {
+        let cpu_ms: f64 = job_wall_ms.iter().sum();
+        let total_events: u64 = job_events.iter().sum();
+        SweepTiming {
+            matrix: matrix.into(),
+            threads,
+            total_wall_ms,
+            job_wall_ms,
+            cpu_ms,
+            job_events,
+            events_per_sec: if cpu_ms > 0.0 && total_events > 0 {
+                total_events as f64 / (cpu_ms / 1e3)
+            } else {
+                0.0
+            },
+        }
+    }
+
     /// Achieved speedup: total worker-busy time over elapsed time.
     pub fn speedup(&self) -> f64 {
         if self.total_wall_ms > 0.0 {
@@ -110,10 +143,20 @@ impl SweepTiming {
         }
     }
 
+    /// Total simulator events across the sweep.
+    pub fn total_events(&self) -> u64 {
+        self.job_events.iter().sum()
+    }
+
     /// The one-line run summary the figure binaries and the CLI print.
     pub fn summary_line(&self) -> String {
+        let events = if self.events_per_sec > 0.0 {
+            format!(", {:.1} Mevents/s", self.events_per_sec / 1e6)
+        } else {
+            String::new()
+        };
         format!(
-            "[{} jobs in {:.1} s on {} threads, {:.2}x speedup]",
+            "[{} jobs in {:.1} s on {} threads, {:.2}x speedup{events}]",
             self.job_wall_ms.len(),
             self.total_wall_ms / 1e3,
             self.threads,
@@ -378,15 +421,13 @@ pub fn timing_from_outcomes(
     threads: usize,
     total_wall_ms: f64,
 ) -> SweepTiming {
-    let job_wall_ms: Vec<f64> = outcomes.iter().map(|o| o.wall_ms).collect();
-    let cpu_ms = job_wall_ms.iter().sum();
-    SweepTiming {
-        matrix: matrix.name.clone(),
-        threads: threads as u64,
+    SweepTiming::new(
+        matrix.name.clone(),
+        threads as u64,
         total_wall_ms,
-        job_wall_ms,
-        cpu_ms,
-    }
+        outcomes.iter().map(|o| o.wall_ms).collect(),
+        outcomes.iter().map(|o| o.result.sim_events).collect(),
+    )
 }
 
 #[cfg(test)]

@@ -173,9 +173,11 @@ pub fn run_matrix_resumed(
     let outcomes: Vec<JobOutcome> = run_jobs(specs, threads);
 
     let mut job_wall_ms = vec![0.0f64; total];
+    let mut job_events = vec![0u64; total];
     for outcome in &outcomes {
         let matrix_idx = indices[outcome.index];
         job_wall_ms[matrix_idx] = outcome.wall_ms;
+        job_events[matrix_idx] = outcome.result.sim_events;
         reused[matrix_idx] = Some(JobRecord::from_outcome(matrix_idx as u64, outcome));
     }
 
@@ -184,7 +186,6 @@ pub fn run_matrix_resumed(
         .enumerate()
         .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} neither reused nor run")))
         .collect();
-    let cpu_ms: f64 = job_wall_ms.iter().sum();
     let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
     Ok((
         SweepReport {
@@ -193,13 +194,13 @@ pub fn run_matrix_resumed(
             master_seed: matrix.master_seed,
             jobs: records,
         },
-        SweepTiming {
-            matrix: matrix.name.clone(),
-            threads: effective as u64,
+        SweepTiming::new(
+            matrix.name.clone(),
+            effective as u64,
             total_wall_ms,
             job_wall_ms,
-            cpu_ms,
-        },
+            job_events,
+        ),
         reused_count,
     ))
 }

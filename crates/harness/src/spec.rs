@@ -17,8 +17,9 @@
 use dist::{ServiceDist, SyntheticKind};
 use live::{BurnMode, LivePolicy, LoopbackSpec};
 use queueing::{QueueingModel, QxU, RunParams};
-use rpcvalet::{Policy, ServerSim};
+use rpcvalet::{Policy, PreemptionParams, ServerSim};
 use simkit::rng::split_seed;
+use sonuma::ChipParams;
 use workloads::{scenario_config, Workload};
 
 /// Tag mixed into the master seed for replications beyond the first, so
@@ -128,6 +129,10 @@ impl Default for LiveParams {
 pub enum PolicySpec {
     /// A `rpcvalet` dispatch policy, run through [`ServerSim`].
     Sim(Policy),
+    /// A dispatch policy with Shinjuku-style preemption enabled — the §7
+    /// extension study's axis (`ablation_preemption`). Shares the plain
+    /// variant's figure label; the policy key gains a `-preempt` suffix.
+    SimPreempt(Policy, PreemptionParams),
     /// A theoretical Q×U configuration, run through [`QueueingModel`].
     Model(QxU),
     /// A live dispatch discipline, run over loopback TCP.
@@ -138,7 +143,7 @@ impl PolicySpec {
     /// The job kind this policy executes as.
     pub fn kind(&self) -> JobKind {
         match self {
-            PolicySpec::Sim(_) => JobKind::ServerSim,
+            PolicySpec::Sim(_) | PolicySpec::SimPreempt(..) => JobKind::ServerSim,
             PolicySpec::Model(_) => JobKind::Queueing,
             PolicySpec::Live(..) => JobKind::Live,
         }
@@ -185,6 +190,13 @@ pub struct Measurement {
     pub load_balance_jain: f64,
     /// Arrivals deferred by send-slot flow control.
     pub flow_control_deferrals: u64,
+    /// Simulator events popped (0 for live jobs, which have no event
+    /// loop). Recorded in the timing sidecar, never in the report.
+    pub sim_events: u64,
+    /// Peak shared-CQ depth across dispatchers (sim jobs; 0 otherwise).
+    pub dispatcher_high_water: usize,
+    /// Preemption events (sim jobs with preemption; 0 otherwise).
+    pub preemptions: u64,
 }
 
 /// One fully specified experiment to run: the unit of work the harness
@@ -210,6 +222,9 @@ pub struct ExperimentSpec {
     pub seed: u64,
     /// Replication index (0 = the legacy-seeded run).
     pub replication: usize,
+    /// Chip override for sim jobs (`None` = the Table 1 default chip);
+    /// lets matrices sweep e.g. the 64-core scale-up of §4.3.
+    pub chip: Option<ChipParams>,
 }
 
 impl ExperimentSpec {
@@ -226,7 +241,7 @@ impl ExperimentSpec {
     /// matrix itself is broken, not the job.
     pub fn run(&self) -> Measurement {
         match &self.policy {
-            PolicySpec::Sim(policy) => {
+            PolicySpec::Sim(policy) | PolicySpec::SimPreempt(policy, _) => {
                 let workload = self.workload.named().unwrap_or_else(|| {
                     panic!(
                         "ServerSim jobs need a named workload, got `{}`",
@@ -237,6 +252,12 @@ impl ExperimentSpec {
                     scenario_config(workload, policy.clone(), self.rate_rps, self.seed);
                 cfg.requests = self.requests;
                 cfg.warmup = self.warmup;
+                if let PolicySpec::SimPreempt(_, preemption) = &self.policy {
+                    cfg.preemption = Some(*preemption);
+                }
+                if let Some(chip) = &self.chip {
+                    cfg.chip = chip.clone();
+                }
                 let r = ServerSim::new(cfg).run();
                 Measurement {
                     label: r.label,
@@ -249,6 +270,9 @@ impl ExperimentSpec {
                     mean_service_ns: r.mean_service_ns,
                     load_balance_jain: r.load_balance_jain,
                     flow_control_deferrals: r.flow_control_deferrals,
+                    sim_events: r.events_processed,
+                    dispatcher_high_water: r.dispatcher_high_water,
+                    preemptions: r.preemptions,
                 }
             }
             PolicySpec::Model(config) => {
@@ -270,6 +294,9 @@ impl ExperimentSpec {
                     mean_service_ns: r.mean_service_ns,
                     load_balance_jain: 1.0,
                     flow_control_deferrals: 0,
+                    sim_events: r.events,
+                    dispatcher_high_water: 0,
+                    preemptions: 0,
                 }
             }
             PolicySpec::Live(policy, params) => {
@@ -298,6 +325,9 @@ impl ExperimentSpec {
                     mean_service_ns: r.mean_service_ns,
                     load_balance_jain: r.load_balance_jain,
                     flow_control_deferrals: 0,
+                    sim_events: 0,
+                    dispatcher_high_water: 0,
+                    preemptions: 0,
                 }
             }
         }
@@ -336,6 +366,12 @@ pub fn policy_key(policy: &Policy) -> String {
 pub fn policy_spec_key(policy: &PolicySpec) -> String {
     match policy {
         PolicySpec::Sim(p) => policy_key(p),
+        PolicySpec::SimPreempt(p, params) => format!(
+            "{}-preempt-q{}-o{}",
+            policy_key(p),
+            params.quantum.as_ps(),
+            params.overhead.as_ps()
+        ),
         PolicySpec::Model(c) => format!("model-{}", c.label()),
         PolicySpec::Live(p, _) => p.key(),
     }
@@ -390,6 +426,8 @@ pub struct ScenarioMatrix {
     pub master_seed: u64,
     /// Independent repetitions per operating point (≥ 1).
     pub replications: usize,
+    /// Chip override applied to every sim job (`None` = Table 1 chip).
+    pub chip: Option<ChipParams>,
 }
 
 impl ScenarioMatrix {
@@ -406,7 +444,15 @@ impl ScenarioMatrix {
             warmup: 10_000,
             master_seed,
             replications: 1,
+            chip: None,
         }
+    }
+
+    /// Overrides the chip for every sim job (e.g. the 64-core §4.3
+    /// scale-up).
+    pub fn chip(mut self, chip: ChipParams) -> Self {
+        self.chip = Some(chip);
+        self
     }
 
     /// Sets the workloads from named workload families.
@@ -540,6 +586,7 @@ impl ScenarioMatrix {
                             warmup: self.warmup,
                             seed: self.job_seed(point_idx, rep),
                             replication: rep,
+                            chip: self.chip.clone(),
                         });
                     }
                 }
@@ -576,6 +623,8 @@ impl ScenarioMatrix {
     /// | `fig7c` | sim | synthetic fixed + GEV × the three hardware policies (Fig. 7c) |
     /// | `fig8` | sim | the four synthetic families × hardware vs software 1×16 (Fig. 8) |
     /// | `ablation_outstanding` | sim | HERD + synthetic-fixed × outstanding-per-core 1 vs 2 (§4.3/§6.1) |
+    /// | `ablation_dispatcher` | sim | synthetic exponential × 1×16 at near-/at-saturation rates on the 16-core Table 1 chip (§4.3 dispatcher headroom; the binary adds a 64-core matrix via [`ScenarioMatrix::chip`]) |
+    /// | `ablation_preemption` | sim | Masstree × the three hardware policies, plain vs Shinjuku-preempted (§7), at 2 and 4 Mrps |
     /// | `live_smoke` | live | exponential service × single-queue/RSS/replenish over loopback TCP, 2 sleep-burn workers |
     pub fn named(name: &str) -> Option<ScenarioMatrix> {
         let hw_policies = || {
@@ -665,6 +714,35 @@ impl ScenarioMatrix {
                     },
                 ])
                 .requests(250_000, 25_000),
+            "ablation_dispatcher" => ScenarioMatrix::new("ablation_dispatcher", 96)
+                .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
+                .policies(vec![Policy::hw_single_queue()])
+                .rates(RateGrid::Shared(vec![10.0e6, 18.0e6]))
+                .requests(150_000, 15_000),
+            "ablation_preemption" => {
+                let hw = [
+                    Policy::hw_static(),
+                    Policy::hw_partitioned(),
+                    Policy::hw_single_queue(),
+                ];
+                ScenarioMatrix::new("ablation_preemption", 77)
+                    .workloads(vec![Workload::Masstree])
+                    .policy_specs(
+                        hw.iter()
+                            .flat_map(|p| {
+                                [
+                                    PolicySpec::Sim(p.clone()),
+                                    PolicySpec::SimPreempt(
+                                        p.clone(),
+                                        PreemptionParams::shinjuku_5us(),
+                                    ),
+                                ]
+                            })
+                            .collect(),
+                    )
+                    .rates(RateGrid::Shared(vec![2.0e6, 4.0e6]))
+                    .requests(200_000, 20_000)
+            }
             "live_smoke" => ScenarioMatrix::new("live_smoke", 7)
                 .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
                 .live_policies(
@@ -694,6 +772,8 @@ impl ScenarioMatrix {
             "fig7c",
             "fig8",
             "ablation_outstanding",
+            "ablation_dispatcher",
+            "ablation_preemption",
             "live_smoke",
         ]
     }
@@ -845,6 +925,7 @@ mod tests {
             warmup: 1_500,
             seed: 99,
             replication: 0,
+            chip: None,
         };
         let via_harness = spec.run();
         let direct = QueueingModel::new(QxU::Q4X4, ServiceDist::exponential_mean_ns(1.0))

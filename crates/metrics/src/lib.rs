@@ -40,7 +40,10 @@ pub mod timeseries;
 pub use cdf::{Cdf, CdfPoint};
 pub use fairness::jain_index;
 pub use histogram::LatencyHistogram;
-pub use percentile::{percentile, percentile_ns};
+pub use percentile::{
+    percentile, percentile_mut, percentile_ns, percentile_ns_mut, quantiles_of_sorted,
+    quantiles_unsorted, sort_samples,
+};
 pub use series::{CurvePoint, LatencyCurve};
 pub use slo::{throughput_under_slo, SloSpec};
 pub use summary::Summary;

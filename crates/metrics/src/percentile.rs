@@ -60,6 +60,97 @@ pub fn percentile_mut(samples: &mut [SimDuration], q: f64) -> SimDuration {
     samples[rank(samples.len(), q)]
 }
 
+/// In-place variant of [`percentile_ns`]: sorts `samples` once and
+/// returns the `q`-quantile. Callers needing several quantiles should
+/// sort via this (or [`sort_samples`]) and then use
+/// [`quantiles_of_sorted`] instead of re-sorting per quantile.
+///
+/// # Panics
+/// Panics if `samples` is empty, contains NaN, or `q` is out of range.
+pub fn percentile_ns_mut(samples: &mut [f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    sort_samples(samples);
+    samples[rank(samples.len(), q)]
+}
+
+/// Sorts f64 nanosecond samples into the exact order the percentile
+/// functions use (ascending; NaN is a panic, not a position).
+///
+/// # Panics
+/// Panics if `samples` contains NaN.
+pub fn sort_samples(samples: &mut [f64]) {
+    samples
+        .sort_unstable_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+}
+
+/// Extracts several nearest-rank quantiles from **already sorted**
+/// samples with no further work per quantile — the hot-path alternative
+/// to calling [`percentile_ns`] once per quantile, which clones and
+/// sorts the whole sample set each time. Returns one value per entry of
+/// `qs`, equal to what [`percentile_ns`] would return for that quantile.
+///
+/// # Panics
+/// Panics if `sorted` is empty or any quantile is out of `[0, 1]`; debug
+/// builds also panic if `sorted` is not actually sorted.
+///
+/// # Example
+/// ```
+/// use metrics::{quantiles_of_sorted, sort_samples};
+/// let mut xs: Vec<f64> = (1..=100).rev().map(|v| v as f64).collect();
+/// sort_samples(&mut xs);
+/// assert_eq!(quantiles_of_sorted(&xs, &[0.5, 0.9, 0.99]), vec![50.0, 90.0, 99.0]);
+/// ```
+pub fn quantiles_of_sorted(sorted: &[f64], qs: &[f64]) -> Vec<f64> {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantiles_of_sorted requires sorted samples"
+    );
+    qs.iter()
+        .map(|&q| {
+            assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+            sorted[rank(sorted.len(), q)]
+        })
+        .collect()
+}
+
+/// Extracts several nearest-rank quantiles from **unsorted** samples in
+/// `O(n)` total via repeated `select_nth_unstable` on narrowing
+/// prefixes, reordering `samples` in place. Returns exactly the values
+/// [`percentile_ns`] would (the k-th order statistic is the same number
+/// whether found by a full sort or a selection) — the fastest option for
+/// the simulator hot path, which wants two or three quantiles of
+/// hundreds of thousands of samples.
+///
+/// # Panics
+/// Panics if `samples` is empty, contains NaN, or a quantile is out of
+/// `[0, 1]`.
+pub fn quantiles_unsorted(samples: &mut [f64], qs: &[f64]) -> Vec<f64> {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    // Select from the highest rank down; each selection partitions the
+    // slice so lower ranks live in the prefix, which keeps every later
+    // selection correct on a shorter slice.
+    let mut order: Vec<usize> = (0..qs.len()).collect();
+    for &q in qs {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    }
+    order.sort_by(|&a, &b| qs[b].partial_cmp(&qs[a]).expect("quantiles are not NaN"));
+    let n = samples.len();
+    let mut out = vec![0.0; qs.len()];
+    let mut limit = n;
+    for idx in order {
+        let r = rank(n, qs[idx]);
+        let (_, v, _) = samples[..limit.max(r + 1)]
+            .select_nth_unstable_by(r, |a, b| {
+                a.partial_cmp(b).expect("samples must not contain NaN")
+            });
+        out[idx] = *v;
+        limit = r + 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +193,53 @@ mod tests {
         let mut xs = ns_vec(&[3, 1, 2]);
         assert_eq!(percentile_mut(&mut xs, 1.0).as_ns(), 3);
         assert_eq!(xs, ns_vec(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn multi_quantile_extraction_matches_per_quantile_sorts() {
+        // Adversarial-ish data: duplicates, reversed runs, tiny values.
+        let xs: Vec<f64> = (0..500)
+            .map(|i| ((i * 7919) % 97) as f64 / 3.0)
+            .collect();
+        let qs = [0.0, 0.5, 0.9, 0.99, 1.0];
+        let mut sorted = xs.clone();
+        sort_samples(&mut sorted);
+        let multi = quantiles_of_sorted(&sorted, &qs);
+        for (q, got) in qs.iter().zip(&multi) {
+            assert_eq!(*got, percentile_ns(&xs, *q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn unsorted_selection_matches_full_sorts() {
+        let xs: Vec<f64> = (0..2_000)
+            .map(|i| ((i * 6007) % 251) as f64 / 7.0)
+            .collect();
+        for qs in [
+            vec![0.99, 0.5],
+            vec![0.5, 0.9, 0.99],
+            vec![0.0, 1.0, 0.37],
+            vec![0.75],
+        ] {
+            let mut scratch = xs.clone();
+            let got = quantiles_unsorted(&mut scratch, &qs);
+            for (q, v) in qs.iter().zip(&got) {
+                assert_eq!(*v, percentile_ns(&xs, *q), "quantile {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_ns_mut_sorts_in_place() {
+        let mut xs = vec![3.0, 1.0, 2.0];
+        assert_eq!(percentile_ns_mut(&mut xs, 1.0), 3.0);
+        assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn multi_quantile_empty_panics() {
+        quantiles_of_sorted(&[], &[0.5]);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use dist::ServiceDist;
-use metrics::{percentile_ns, Summary};
+use metrics::{quantiles_unsorted, Summary};
 use rand::Rng;
 use simkit::rng::stream_rng;
 use simkit::{Engine, SimDuration, SimTime};
@@ -132,6 +132,9 @@ pub struct RunResult {
     pub throughput_rps: f64,
     /// Completions measured (after warm-up).
     pub measured: u64,
+    /// Total simulator events popped (arrivals + completions) — feeds
+    /// the harness timing sidecar's events/sec accounting.
+    pub events: u64,
 }
 
 impl RunResult {
@@ -207,7 +210,13 @@ impl QueueingModel {
         let mut route_rng = stream_rng(params.seed, 1);
         let mut service_rng = stream_rng(params.seed, 2);
 
-        let mut engine: Engine<Ev> = Engine::new();
+        // The allocation-free ladder backend, its near window scaled to
+        // the service timescale (these models run anywhere from
+        // normalized 1 ns means to µs-scale distributions). Pop order is
+        // bit-identical to the heap backend, so results are unchanged.
+        let horizon =
+            SimDuration::from_ns_f64(mean_service_ns * 8.0).max(SimDuration::from_ps(512));
+        let mut engine: Engine<Ev> = Engine::with_horizon(horizon);
         let mut fifos: Vec<Fifo> = (0..self.config.queues)
             .map(|_| Fifo {
                 waiting: VecDeque::new(),
@@ -299,15 +308,16 @@ impl QueueingModel {
         } else {
             0.0
         };
+        // O(n) selection, both quantiles, values identical to the old
+        // clone-and-sort-per-quantile extraction.
         let (p99, p50) = if sojourn_samples.is_empty() {
             (0.0, 0.0)
         } else {
-            (
-                percentile_ns(&sojourn_samples, 0.99),
-                percentile_ns(&sojourn_samples, 0.50),
-            )
+            let qs = quantiles_unsorted(&mut sojourn_samples, &[0.99, 0.50]);
+            (qs[0], qs[1])
         };
         RunResult {
+            events: engine.events_processed(),
             config: self.config,
             offered_load: params.load,
             mean_service_ns,

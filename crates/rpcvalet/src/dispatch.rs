@@ -90,6 +90,23 @@ pub struct Dispatcher {
     outstanding: Vec<u32>,
     /// Maximum outstanding per core before it stops being "available".
     threshold: u32,
+    /// Cores currently below the threshold — lets a saturated dispatcher
+    /// (every core full, the common case at high load) answer
+    /// [`Dispatcher::try_dispatch`] without scanning.
+    available: usize,
+    /// Cores per outstanding count (`load_hist[l]` = #cores at load `l`,
+    /// `0 ≤ l ≤ threshold`). The lowest populated entry is the scan's
+    /// target load, so the rotation scan can stop at the first core that
+    /// matches it instead of visiting everyone.
+    load_hist: Vec<u32>,
+    /// When exactly one core is available *and* we know which (set by the
+    /// replenish that took availability from 0 to 1), dispatch skips the
+    /// scan entirely — the saturated steady state is a tight
+    /// replenish→dispatch cycle, one core at a time.
+    sole_available: Option<usize>,
+    /// Global core id → owned slot (`u32::MAX` for cores this dispatcher
+    /// does not own); replaces a per-replenish linear search.
+    slot_by_core: Vec<u32>,
     /// The shared CQ: completed messages awaiting dispatch, FIFO.
     shared_cq: VecDeque<u64>,
     /// Round-robin pointer for tie-breaking among equally loaded cores.
@@ -109,10 +126,20 @@ impl Dispatcher {
         assert!(!cores.is_empty(), "dispatcher needs at least one core");
         assert!(threshold > 0, "threshold must be positive");
         let n = cores.len();
+        let mut load_hist = vec![0; threshold as usize + 1];
+        load_hist[0] = n as u32;
+        let mut slot_by_core = vec![u32::MAX; cores.iter().max().expect("non-empty") + 1];
+        for (slot, &core) in cores.iter().enumerate() {
+            slot_by_core[core] = slot as u32;
+        }
         Dispatcher {
+            slot_by_core,
             cores,
             outstanding: vec![0; n],
             threshold,
+            available: n,
+            load_hist,
+            sole_available: None,
             shared_cq: VecDeque::new(),
             rr_next: 0,
             high_water: 0,
@@ -138,19 +165,51 @@ impl Dispatcher {
     /// completions evenly spread across cores, as rotating selection logic
     /// in hardware would.
     pub fn try_dispatch(&mut self) -> Option<(u64, usize)> {
-        if self.shared_cq.is_empty() {
+        if self.shared_cq.is_empty() || self.available == 0 {
             return None;
         }
+        // The selection key is (outstanding, rotation distance), so the
+        // winner is the *first* core in rotation order from `rr_next`
+        // whose load equals the lowest populated histogram entry below
+        // the threshold — the scan stops right there instead of visiting
+        // every core. With a single known available core there is nothing
+        // to scan at all.
         let n = self.cores.len();
-        let slot = (0..n)
-            .map(|off| (self.rr_next + off) % n)
-            .filter(|&i| self.outstanding[i] < self.threshold)
-            .min_by_key(|&i| {
-                // Rotation distance orders equally loaded candidates.
-                (self.outstanding[i], (i + n - self.rr_next) % n)
-            })?;
+        let slot = match self.sole_available {
+            Some(slot) if self.available == 1 => {
+                debug_assert!(self.outstanding[slot] < self.threshold);
+                slot
+            }
+            _ => {
+                let target = (0..self.threshold)
+                    .find(|&l| self.load_hist[l as usize] > 0)
+                    .expect("available > 0 implies a populated entry");
+                let mut slot = self.rr_next;
+                while self.outstanding[slot] != target {
+                    slot += 1;
+                    if slot == n {
+                        slot = 0;
+                    }
+                }
+                slot
+            }
+        };
+        let target = self.outstanding[slot];
         let msg = self.shared_cq.pop_front().expect("checked non-empty");
         self.outstanding[slot] += 1;
+        self.load_hist[target as usize] -= 1;
+        self.load_hist[target as usize + 1] += 1;
+        if self.outstanding[slot] == self.threshold {
+            self.available -= 1;
+        }
+        // The hint stays valid only when this slot provably remains the
+        // single available core.
+        self.sole_available = if self.available == 1 && self.outstanding[slot] < self.threshold
+        {
+            Some(slot)
+        } else {
+            None
+        };
         self.dispatched += 1;
         self.rr_next = (slot + 1) % n;
         Some((msg, self.cores[slot]))
@@ -167,6 +226,19 @@ impl Dispatcher {
             self.outstanding[slot] > 0,
             "replenish from core {core} with zero outstanding"
         );
+        if self.outstanding[slot] == self.threshold {
+            self.available += 1;
+        }
+        // If exactly one core is available after this replenish, it can
+        // only be this one (any other available core would make two).
+        self.sole_available = if self.available == 1 {
+            Some(slot)
+        } else {
+            None
+        };
+        let load = self.outstanding[slot] as usize;
+        self.load_hist[load] -= 1;
+        self.load_hist[load - 1] += 1;
         self.outstanding[slot] -= 1;
     }
 
@@ -199,10 +271,10 @@ impl Dispatcher {
     }
 
     fn slot_of(&self, core: usize) -> usize {
-        self.cores
-            .iter()
-            .position(|&c| c == core)
-            .unwrap_or_else(|| panic!("core {core} not owned by this dispatcher"))
+        match self.slot_by_core.get(core) {
+            Some(&slot) if slot != u32::MAX => slot as usize,
+            _ => panic!("core {core} not owned by this dispatcher"),
+        }
     }
 }
 

@@ -57,6 +57,7 @@ pub mod dispatch;
 pub mod mcs;
 pub mod reassembly;
 pub mod rendezvous;
+mod slab;
 pub mod sweep;
 pub mod system;
 pub mod trace;

@@ -7,8 +7,29 @@
 //! against the message's total packet count (carried in every packet
 //! header). When they match, the message is complete and is handed to the
 //! dispatch path.
+//!
+//! Two storage modes share the same counter semantics:
+//!
+//! * **sparse** ([`ReassemblyTable::new`]) — a hash map keyed by
+//!   `(source, slot)`, for callers that don't know the domain shape;
+//! * **dense** ([`ReassemblyTable::with_domain`]) — a flat `N × S`
+//!   counter array mirroring the messaging domain's receive-slot layout
+//!   (§4.2 provisions exactly that), giving the simulator's per-packet
+//!   hot path an index instead of a hash.
 
 use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Counters {
+    Sparse(HashMap<(usize, usize), u64>),
+    Dense {
+        /// One counter per receive slot, laid out `src * stride + slot`.
+        table: Vec<u64>,
+        stride: usize,
+        /// Slots currently mid-reassembly.
+        pending: usize,
+    },
+}
 
 /// Tracks packet-arrival counters per (source, slot) key.
 ///
@@ -21,16 +42,47 @@ use std::collections::HashMap;
 /// assert!(!t.on_packet((3, 7), 3)); // 2 of 3
 /// assert!(t.on_packet((3, 7), 3));  // 3 of 3 — complete
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ReassemblyTable {
-    counters: HashMap<(usize, usize), u64>,
+    counters: Counters,
     completed: u64,
 }
 
+impl Default for ReassemblyTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ReassemblyTable {
-    /// Creates an empty table.
+    /// Creates an empty sparse table.
     pub fn new() -> Self {
-        Self::default()
+        ReassemblyTable {
+            counters: Counters::Sparse(HashMap::new()),
+            completed: 0,
+        }
+    }
+
+    /// Creates a dense table for a messaging domain of `sources` nodes
+    /// with `slots_per_source` receive slots each — the §4.2 `N × S`
+    /// provisioning. Counter behaviour is identical to the sparse table;
+    /// lookups become a single array index.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn with_domain(sources: usize, slots_per_source: usize) -> Self {
+        assert!(
+            sources > 0 && slots_per_source > 0,
+            "domain dimensions must be positive"
+        );
+        ReassemblyTable {
+            counters: Counters::Dense {
+                table: vec![0; sources * slots_per_source],
+                stride: slots_per_source,
+                pending: 0,
+            },
+            completed: 0,
+        }
     }
 
     /// Registers one packet arrival for the message occupying
@@ -40,27 +92,84 @@ impl ReassemblyTable {
     ///
     /// # Panics
     /// Panics if `total_packets` is zero or the counter overruns the
-    /// total (a protocol violation: a slot was reused before completion).
+    /// total (a protocol violation: a slot was reused before completion);
+    /// dense tables also panic on out-of-domain keys.
     pub fn on_packet(&mut self, key: (usize, usize), total_packets: u64) -> bool {
+        self.advance(key, 1, total_packets)
+    }
+
+    /// Registers a whole message's packets at once — exactly equivalent
+    /// to `total_packets` consecutive [`ReassemblyTable::on_packet`]
+    /// calls for `key`, with one counter update. The simulator's receive
+    /// path uses this: packets of one message always drain back-to-back
+    /// through the arrival backend's pipeline.
+    ///
+    /// # Panics
+    /// As [`ReassemblyTable::on_packet`].
+    pub fn on_message(&mut self, key: (usize, usize), total_packets: u64) -> bool {
+        self.advance(key, total_packets, total_packets)
+    }
+
+    #[inline]
+    fn advance(&mut self, key: (usize, usize), packets: u64, total_packets: u64) -> bool {
         assert!(total_packets > 0, "a message has at least one packet");
-        let c = self.counters.entry(key).or_insert(0);
-        *c += 1;
-        assert!(
-            *c <= total_packets,
-            "slot {key:?} received {c} packets for a {total_packets}-packet message"
-        );
-        if *c == total_packets {
-            self.counters.remove(&key);
-            self.completed += 1;
-            true
-        } else {
-            false
+        assert!(packets > 0, "registering zero packets is a bug");
+        match &mut self.counters {
+            Counters::Sparse(map) => {
+                let c = map.entry(key).or_insert(0);
+                *c += packets;
+                assert!(
+                    *c <= total_packets,
+                    "slot {key:?} received {c} packets for a {total_packets}-packet message"
+                );
+                if *c == total_packets {
+                    map.remove(&key);
+                    self.completed += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Counters::Dense {
+                table,
+                stride,
+                pending,
+            } => {
+                assert!(key.1 < *stride, "slot {} outside domain stride {stride}", key.1);
+                let c = &mut table[key.0 * *stride + key.1];
+                if *c == 0 && packets == total_packets {
+                    // Whole message against a fresh counter — the
+                    // simulator's steady state: complete without touching
+                    // the pending bookkeeping (net zero either way).
+                    self.completed += 1;
+                    return true;
+                }
+                if *c == 0 {
+                    *pending += 1;
+                }
+                *c += packets;
+                assert!(
+                    *c <= total_packets,
+                    "slot {key:?} received {c} packets for a {total_packets}-packet message"
+                );
+                if *c == total_packets {
+                    *c = 0;
+                    *pending -= 1;
+                    self.completed += 1;
+                    true
+                } else {
+                    false
+                }
+            }
         }
     }
 
     /// Number of messages currently mid-reassembly.
     pub fn pending(&self) -> usize {
-        self.counters.len()
+        match &self.counters {
+            Counters::Sparse(map) => map.len(),
+            Counters::Dense { pending, .. } => *pending,
+        }
     }
 
     /// Total messages fully reassembled so far.
@@ -73,43 +182,65 @@ impl ReassemblyTable {
 mod tests {
     use super::*;
 
+    /// Each behaviour test runs against both storage modes.
+    fn both_modes() -> Vec<ReassemblyTable> {
+        vec![ReassemblyTable::new(), ReassemblyTable::with_domain(16, 8)]
+    }
+
     #[test]
     fn single_packet_completes_immediately() {
-        let mut t = ReassemblyTable::new();
-        assert!(t.on_packet((0, 0), 1));
-        assert_eq!(t.pending(), 0);
-        assert_eq!(t.completed(), 1);
+        for mut t in both_modes() {
+            assert!(t.on_packet((0, 0), 1));
+            assert_eq!(t.pending(), 0);
+            assert_eq!(t.completed(), 1);
+        }
     }
 
     #[test]
     fn interleaved_messages() {
-        let mut t = ReassemblyTable::new();
-        // Two 2-packet messages interleaving on different slots.
-        assert!(!t.on_packet((0, 1), 2));
-        assert!(!t.on_packet((5, 2), 2));
-        assert_eq!(t.pending(), 2);
-        assert!(t.on_packet((5, 2), 2));
-        assert!(t.on_packet((0, 1), 2));
-        assert_eq!(t.pending(), 0);
-        assert_eq!(t.completed(), 2);
+        for mut t in both_modes() {
+            // Two 2-packet messages interleaving on different slots.
+            assert!(!t.on_packet((0, 1), 2));
+            assert!(!t.on_packet((5, 2), 2));
+            assert_eq!(t.pending(), 2);
+            assert!(t.on_packet((5, 2), 2));
+            assert!(t.on_packet((0, 1), 2));
+            assert_eq!(t.pending(), 0);
+            assert_eq!(t.completed(), 2);
+        }
     }
 
     #[test]
     fn slot_reusable_after_completion() {
-        let mut t = ReassemblyTable::new();
-        assert!(t.on_packet((1, 1), 1));
-        assert!(!t.on_packet((1, 1), 8));
-        assert_eq!(t.pending(), 1);
+        for mut t in both_modes() {
+            assert!(t.on_packet((1, 1), 1));
+            assert!(!t.on_packet((1, 1), 8));
+            assert_eq!(t.pending(), 1);
+        }
     }
 
     #[test]
     fn eight_packet_reply_shape() {
         // The microbenchmark's 512 B reply = 8 packets at 64 B MTU.
-        let mut t = ReassemblyTable::new();
-        for i in 1..8 {
-            assert!(!t.on_packet((9, 3), 8), "packet {i} must not complete");
+        for mut t in both_modes() {
+            for i in 1..8 {
+                assert!(!t.on_packet((9, 3), 8), "packet {i} must not complete");
+            }
+            assert!(t.on_packet((9, 3), 8));
         }
-        assert!(t.on_packet((9, 3), 8));
+    }
+
+    #[test]
+    fn whole_message_matches_per_packet_counting() {
+        for mut t in both_modes() {
+            assert!(t.on_message((2, 4), 8));
+            assert_eq!(t.pending(), 0);
+            assert_eq!(t.completed(), 1);
+            // Partial delivery then the rest as one batch.
+            assert!(!t.on_packet((2, 4), 3));
+            assert!(t.advance((2, 4), 2, 3));
+            assert_eq!(t.completed(), 2);
+        }
     }
 
     #[test]
@@ -121,5 +252,11 @@ mod tests {
         t.on_packet((0, 0), 3);
         t.on_packet((0, 0), 3);
         t.on_packet((0, 0), 1); // header claims 1 packet, counter hits 3
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain stride")]
+    fn dense_out_of_domain_panics() {
+        ReassemblyTable::with_domain(4, 4).on_packet((0, 4), 1);
     }
 }

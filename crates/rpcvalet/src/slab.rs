@@ -1,0 +1,220 @@
+//! Slab-allocated per-message state with intrusive lists.
+//!
+//! The full-system simulator used to keep one `VecDeque<usize>` per
+//! source (200 of them) plus one per core for its private CQ — every
+//! deferral, CQE delivery, and software enqueue churned those deques and
+//! their heap storage. This module replaces all of it with a single slab
+//! of [`MsgState`] records threaded by one intrusive `next` link: a
+//! message sits on at most one list at any moment (per-source
+//! flow-control queue → core CQ / software shared queue → free list), so
+//! a single link field covers every queue in the system and the steady
+//! state allocates nothing.
+//!
+//! Recycling is disabled for tracing runs ([`MsgSlab::reset`] with
+//! `recycle = false`): message ids then stay monotone in generation
+//! order, which keeps the trace table indexable by id and the emitted
+//! trace records identical to the pre-slab implementation.
+
+use simkit::{SimDuration, SimTime};
+
+/// Null link value.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Per-message simulation state (one slab slot).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MsgState {
+    /// Source node index.
+    pub src: u32,
+    /// Acquired send slot at the source (`NIL` before injection).
+    pub slot: u32,
+    /// Drawn processing time.
+    pub service: SimDuration,
+    /// Processing time still owed (differs from `service` only when the
+    /// request has been preempted).
+    pub remaining: SimDuration,
+    /// First-packet reception time (`SimTime::MAX` before injection).
+    pub first_pkt: SimTime,
+    /// Intrusive link for whichever list currently holds the message.
+    pub next: u32,
+}
+
+/// A slab of message records with an intrusive free list.
+#[derive(Debug, Default)]
+pub(crate) struct MsgSlab {
+    slots: Vec<MsgState>,
+    free_head: u32,
+    recycle: bool,
+}
+
+impl MsgSlab {
+    /// Empties the slab for a fresh run, retaining the slot storage so a
+    /// sweep's later load points allocate nothing. `recycle = false`
+    /// keeps ids monotone (tracing runs).
+    pub fn reset(&mut self, capacity_hint: usize, recycle: bool) {
+        self.slots.clear();
+        // reserve(n) guarantees capacity ≥ len + n = n after the clear.
+        self.slots.reserve(capacity_hint);
+        self.free_head = NIL;
+        self.recycle = recycle;
+    }
+
+    /// Allocates a slot for `state`, reusing a freed slot when recycling.
+    #[inline]
+    pub fn alloc(&mut self, state: MsgState) -> usize {
+        if self.free_head != NIL {
+            let idx = self.free_head as usize;
+            self.free_head = self.slots[idx].next;
+            self.slots[idx] = state;
+            idx
+        } else {
+            self.slots.push(state);
+            self.slots.len() - 1
+        }
+    }
+
+    /// Returns `idx` to the free list (no-op when recycling is off).
+    #[inline]
+    pub fn free(&mut self, idx: usize) {
+        if self.recycle {
+            self.slots[idx].next = self.free_head;
+            self.free_head = idx as u32;
+        }
+    }
+
+    /// Peak number of slots ever live at once — the slab's footprint.
+    pub fn high_water(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl std::ops::Index<usize> for MsgSlab {
+    type Output = MsgState;
+    #[inline]
+    fn index(&self, idx: usize) -> &MsgState {
+        &self.slots[idx]
+    }
+}
+
+impl std::ops::IndexMut<usize> for MsgSlab {
+    #[inline]
+    fn index_mut(&mut self, idx: usize) -> &mut MsgState {
+        &mut self.slots[idx]
+    }
+}
+
+/// An intrusive FIFO of messages, threaded through [`MsgState::next`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MsgList {
+    head: u32,
+    tail: u32,
+}
+
+impl MsgList {
+    /// The empty list.
+    pub const EMPTY: MsgList = MsgList {
+        head: NIL,
+        tail: NIL,
+    };
+
+    /// True when no message is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == NIL
+    }
+
+    /// Appends `msg` at the tail.
+    #[inline]
+    pub fn push_back(&mut self, slab: &mut MsgSlab, msg: usize) {
+        slab[msg].next = NIL;
+        if self.tail == NIL {
+            self.head = msg as u32;
+        } else {
+            slab[self.tail as usize].next = msg as u32;
+        }
+        self.tail = msg as u32;
+    }
+
+    /// Removes and returns the head message.
+    #[inline]
+    pub fn pop_front(&mut self, slab: &mut MsgSlab) -> Option<usize> {
+        if self.head == NIL {
+            return None;
+        }
+        let msg = self.head as usize;
+        self.head = slab[msg].next;
+        if self.head == NIL {
+            self.tail = NIL;
+        }
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(src: u32) -> MsgState {
+        MsgState {
+            src,
+            slot: NIL,
+            service: SimDuration::ZERO,
+            remaining: SimDuration::ZERO,
+            first_pkt: SimTime::MAX,
+            next: NIL,
+        }
+    }
+
+    #[test]
+    fn alloc_recycles_freed_slots() {
+        let mut slab = MsgSlab::default();
+        slab.reset(4, true);
+        let a = slab.alloc(state(1));
+        let b = slab.alloc(state(2));
+        slab.free(a);
+        let c = slab.alloc(state(3));
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(slab[b].src, 2);
+        assert_eq!(slab[c].src, 3);
+        assert_eq!(slab.high_water(), 2);
+    }
+
+    #[test]
+    fn tracing_mode_keeps_ids_monotone() {
+        let mut slab = MsgSlab::default();
+        slab.reset(4, false);
+        let a = slab.alloc(state(1));
+        slab.free(a);
+        let b = slab.alloc(state(2));
+        assert_eq!((a, b), (0, 1), "no recycling when ids must be stable");
+    }
+
+    #[test]
+    fn reset_retains_storage() {
+        let mut slab = MsgSlab::default();
+        slab.reset(0, true);
+        for i in 0..100 {
+            slab.alloc(state(i));
+        }
+        let cap = slab.slots.capacity();
+        slab.reset(50, true);
+        assert_eq!(slab.high_water(), 0);
+        assert_eq!(slab.slots.capacity(), cap);
+    }
+
+    #[test]
+    fn list_is_fifo_across_interleaved_ops() {
+        let mut slab = MsgSlab::default();
+        slab.reset(8, true);
+        let ids: Vec<usize> = (0..5).map(|i| slab.alloc(state(i))).collect();
+        let mut list = MsgList::EMPTY;
+        assert!(list.is_empty());
+        list.push_back(&mut slab, ids[0]);
+        list.push_back(&mut slab, ids[1]);
+        assert_eq!(list.pop_front(&mut slab), Some(ids[0]));
+        list.push_back(&mut slab, ids[2]);
+        assert_eq!(list.pop_front(&mut slab), Some(ids[1]));
+        assert_eq!(list.pop_front(&mut slab), Some(ids[2]));
+        assert_eq!(list.pop_front(&mut slab), None);
+        assert!(list.is_empty());
+    }
+}

@@ -13,19 +13,20 @@
 //! (§6): RPCValet's 1×16, the partitioned 4×4, the RSS-like 16×1, and
 //! the software MCS-lock 1×16 — only the dispatch path differs.
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
 
 use dist::ServiceDist;
-use metrics::{percentile_ns, Summary};
+use metrics::{quantiles_unsorted, Summary};
 use rand::Rng;
 use simkit::rng::stream_rng;
-use simkit::{Engine, SimDuration, SimTime};
+use simkit::{Engine, EventQueueKind, SimDuration, SimTime};
 use sonuma::{packets_for, ChipParams, NiBackend, TrafficGenerator};
 
 use crate::dispatch::{rss_core_for_source, Dispatcher, Policy};
 use crate::domain::MessagingDomain;
 use crate::mcs::McsLock;
 use crate::reassembly::ReassemblyTable;
+use crate::slab::{MsgList, MsgSlab, MsgState, NIL};
 use crate::trace::{PendingTrace, RequestTrace, TraceLog};
 
 /// Parameters for Shinjuku-style preemptive scheduling (§7 sketches the
@@ -98,6 +99,11 @@ pub struct SystemConfig {
     /// flow affinity) instead of assigning each *message* uniformly at
     /// random (the paper's 16×1 queueing abstraction). Default `false`.
     pub rss_per_flow: bool,
+    /// Event-queue backend. Defaults to the allocation-free ladder
+    /// ([`EventQueueKind::default_ladder`]); both backends pop in
+    /// bit-identical order, so this knob trades speed only — `simbench`
+    /// uses it to compare the backends on identical runs.
+    pub event_queue: EventQueueKind,
 }
 
 impl SystemConfig {
@@ -136,6 +142,7 @@ impl SystemConfigBuilder {
                 timeseries_window: None,
                 critical_threshold_ns: None,
                 rss_per_flow: false,
+                event_queue: EventQueueKind::default_ladder(),
             },
         }
     }
@@ -238,6 +245,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Selects the event-queue backend (see
+    /// [`SystemConfig::event_queue`]).
+    pub fn event_queue(mut self, kind: EventQueueKind) -> Self {
+        self.config.event_queue = kind;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -316,6 +330,14 @@ pub struct RunResult {
     /// [`drift_ratio`](metrics::TimeSeries::drift_ratio) ≫ 1 flags an
     /// operating point that never reached steady state (overload).
     pub timeseries: Option<metrics::TimeSeries>,
+    /// Total simulator events popped over the whole run — the
+    /// denominator of the events/sec throughput `simbench` and the
+    /// harness timing sidecar report.
+    pub events_processed: u64,
+    /// Peak live message records: the slab's footprint. Bounded by the
+    /// in-flight request count (not the total request count) whenever
+    /// tracing is off and slots recycle.
+    pub slab_high_water: usize,
 }
 
 impl RunResult {
@@ -330,39 +352,31 @@ impl RunResult {
     }
 }
 
+/// Event payloads use `u32` ids (message slab slots, cores, dispatchers,
+/// sources all fit easily): a 12-byte `Ev` keeps the event-queue entry
+/// at 32 bytes, which measurably cuts queue memory traffic.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// The traffic generator emits the next arrival.
     Arrival,
     /// A message's final packet has been written and counted (§4.2).
-    MsgComplete { msg: usize },
+    MsgComplete { msg: u32 },
     /// A message-completion packet reaches dispatcher `d` (§4.3).
-    AtDispatcher { msg: usize, d: usize },
+    AtDispatcher { msg: u32, d: u32 },
     /// A CQE lands in `core`'s private CQ.
-    CqeDelivered { msg: usize, core: usize },
+    CqeDelivered { msg: u32, core: u32 },
     /// `core` finished an RPC end-to-end (service + posts).
-    ServiceDone { core: usize, msg: usize },
+    ServiceDone { core: u32, msg: u32 },
     /// A replenish notification reaches dispatcher `d`.
-    ReplenishAtDispatcher { core: usize, d: usize },
+    ReplenishAtDispatcher { core: u32, d: u32 },
     /// A send slot frees at the remote source (flow control).
-    SlotFreed { src: usize, slot: usize },
+    SlotFreed { src: u32, slot: u32 },
     /// A core's preemption timer fires: the request is requeued.
-    Preempted { core: usize, msg: usize },
+    Preempted { core: u32, msg: u32 },
     /// Software baseline: `core` requests the MCS lock to dequeue.
-    SwTryDequeue { core: usize },
+    SwTryDequeue { core: u32 },
     /// Software baseline: `core` holds the lock and pops the queue head.
-    SwGranted { core: usize },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct MsgState {
-    src: usize,
-    slot: usize,
-    service: SimDuration,
-    /// Processing time still owed (differs from `service` only when the
-    /// request has been preempted).
-    remaining: SimDuration,
-    first_pkt: SimTime,
+    SwGranted { core: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -387,14 +401,93 @@ impl ServerSim {
     }
 
     /// Runs the simulation to completion and returns the measurements.
+    ///
+    /// Big per-run buffers (the message slab, latency sample vectors,
+    /// trace staging) come from a thread-local scratch pool, so a worker
+    /// thread sweeping many load points reuses the same allocations and
+    /// the steady-state hot path allocates nothing.
     pub fn run(&self) -> RunResult {
-        Runner::new(&self.config).run()
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            Runner::new(&self.config, &mut scratch).run()
+        })
+    }
+}
+
+/// Reusable per-thread buffers; see [`ServerSim::run`].
+#[derive(Default)]
+struct RunScratch {
+    msgs: MsgSlab,
+    latency_samples: Vec<f64>,
+    critical_samples: Vec<f64>,
+    pending_traces: Vec<PendingTrace>,
+    /// The previous run's engine (keyed by its queue backend), so a
+    /// sweep's later load points reuse the ladder's ring allocations via
+    /// [`Engine::reset`] instead of rebuilding 512 rings per run.
+    engine: Option<(EventQueueKind, Engine<Ev>)>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<RunScratch> = RefCell::new(RunScratch::default());
+}
+
+/// Per-run cache of the chip's pure-function latencies. The mesh math
+/// (tile coords, Manhattan hops, flit serialization) is exact but costs
+/// several divides and asserts per call, and the hot path asks for the
+/// same handful of values millions of times.
+struct LatencyCache {
+    cores: usize,
+    /// `backend_to_core(b, c)` at `[b * cores + c]` (also serves
+    /// `core_to_backend`, which is defined as its transpose).
+    b2c: Vec<SimDuration>,
+    /// `backend_to_backend(b, 0)` — the single-queue forward path.
+    b2b0: Vec<SimDuration>,
+    /// `fixed_service_overhead()`.
+    fixed_overhead: SimDuration,
+    /// `packets_for(request_bytes, mtu)`.
+    request_packets: u64,
+    /// `edge_packet_gap()`.
+    packet_gap: SimDuration,
+    /// Reply TX occupancy: `backend_tx_per_packet × reply packets`.
+    reply_tx: SimDuration,
+}
+
+impl LatencyCache {
+    fn new(cfg: &SystemConfig) -> Self {
+        let chip = &cfg.chip;
+        LatencyCache {
+            cores: chip.cores,
+            b2c: (0..chip.backends)
+                .flat_map(|b| (0..chip.cores).map(move |c| (b, c)))
+                .map(|(b, c)| chip.backend_to_core(b, c))
+                .collect(),
+            b2b0: (0..chip.backends)
+                .map(|b| chip.backend_to_backend(b, 0))
+                .collect(),
+            fixed_overhead: chip.fixed_service_overhead(),
+            request_packets: packets_for(cfg.request_bytes, chip.mtu_bytes),
+            packet_gap: chip.edge_packet_gap(),
+            reply_tx: chip.backend_tx_per_packet * packets_for(cfg.reply_bytes, chip.mtu_bytes),
+        }
+    }
+
+    #[inline]
+    fn backend_to_core(&self, b: usize, c: usize) -> SimDuration {
+        self.b2c[b * self.cores + c]
+    }
+
+    #[inline]
+    fn core_to_backend(&self, c: usize, b: usize) -> SimDuration {
+        self.backend_to_core(b, c)
     }
 }
 
 /// Internal mutable simulation state.
 struct Runner<'a> {
     cfg: &'a SystemConfig,
+    lat: LatencyCache,
+    /// The message slab and sample buffers, reused across runs.
+    scratch: &'a mut RunScratch,
     engine: Engine<Ev>,
     traffic: TrafficGenerator,
     service_rng: rand::rngs::SmallRng,
@@ -405,20 +498,24 @@ struct Runner<'a> {
     /// Dispatch-decision pipelines, one per dispatcher unit.
     dispatch_units: Vec<sonuma::SerialResource>,
     dispatchers: Vec<Dispatcher>,
-    /// Core private CQs (hardware paths).
-    core_cq: Vec<VecDeque<usize>>,
+    /// Owning dispatcher per core (`None` for undispatched policies),
+    /// precomputed from [`Dispatcher::owns`].
+    dispatcher_by_core: Vec<Option<usize>>,
+    /// Core private CQs (hardware paths), as intrusive lists through the
+    /// slab.
+    core_cq: Vec<MsgList>,
     core_state: Vec<CoreState>,
-    msgs: Vec<MsgState>,
+    /// Slab id of the lazily pre-generated arrival (generation is
+    /// one-ahead: the record is allocated when the arrival is scheduled).
+    next_msg: usize,
     /// Arrivals deferred by exhausted send slots, per source.
-    pending_by_src: Vec<VecDeque<usize>>,
+    pending_by_src: Vec<MsgList>,
     generated: u64,
     completions: u64,
     /// Software baseline state.
-    sw_queue: VecDeque<usize>,
+    sw_queue: MsgList,
     lock: McsLock,
     // measurement
-    latency_samples: Vec<f64>,
-    critical_samples: Vec<f64>,
     latency: Summary,
     service_occupancy: Summary,
     window_start: SimTime,
@@ -426,13 +523,12 @@ struct Runner<'a> {
     deferrals: u64,
     preemptions: u64,
     core_completions: Vec<u64>,
-    pending_traces: Vec<PendingTrace>,
     traces: TraceLog,
     timeseries: Option<metrics::TimeSeries>,
 }
 
 impl<'a> Runner<'a> {
-    fn new(cfg: &'a SystemConfig) -> Self {
+    fn new(cfg: &'a SystemConfig, scratch: &'a mut RunScratch) -> Self {
         let chip = &cfg.chip;
         let dispatchers = match &cfg.policy {
             Policy::HwSingleQueue {
@@ -457,9 +553,34 @@ impl<'a> Runner<'a> {
             Policy::HwStatic | Policy::SwSingleQueue { .. } => Vec::new(),
         };
         let n_units = dispatchers.len();
+        let dispatcher_by_core = (0..chip.cores)
+            .map(|core| dispatchers.iter().position(|d| d.owns(core)))
+            .collect();
+        let tracing = cfg.trace_capacity > 0;
+        // Tracing runs keep monotone message ids (no slot recycling) so
+        // emitted traces stay identical to the pre-slab implementation.
+        scratch.msgs.reset(
+            if tracing { cfg.requests as usize } else { 4096 },
+            !tracing,
+        );
+        scratch.latency_samples.clear();
+        scratch
+            .latency_samples
+            .reserve((cfg.requests - cfg.warmup) as usize);
+        scratch.critical_samples.clear();
+        scratch.pending_traces.clear();
+        let engine = match scratch.engine.take() {
+            Some((kind, mut engine)) if kind == cfg.event_queue => {
+                engine.reset();
+                engine
+            }
+            _ => Engine::with_kind(cfg.event_queue),
+        };
         Runner {
+            lat: LatencyCache::new(cfg),
             cfg,
-            engine: Engine::new(),
+            scratch,
+            engine,
             traffic: TrafficGenerator::new(cfg.cluster_nodes, cfg.rate_rps, cfg.seed),
             service_rng: stream_rng(cfg.seed, 1),
             static_rng: stream_rng(cfg.seed, 2),
@@ -468,22 +589,21 @@ impl<'a> Runner<'a> {
                 cfg.send_slots_per_node,
                 cfg.request_bytes.max(cfg.reply_bytes),
             ),
-            reassembly: ReassemblyTable::new(),
+            reassembly: ReassemblyTable::with_domain(cfg.cluster_nodes, cfg.send_slots_per_node),
             backends: (0..chip.backends)
                 .map(|b| NiBackend::new(chip.backend_tile(b)))
                 .collect(),
             dispatch_units: vec![sonuma::SerialResource::new(); n_units],
             dispatchers,
-            core_cq: vec![VecDeque::new(); chip.cores],
+            dispatcher_by_core,
+            core_cq: vec![MsgList::EMPTY; chip.cores],
             core_state: vec![CoreState::Idle; chip.cores],
-            msgs: Vec::with_capacity(cfg.requests as usize),
-            pending_by_src: vec![VecDeque::new(); cfg.cluster_nodes],
+            next_msg: usize::MAX,
+            pending_by_src: vec![MsgList::EMPTY; cfg.cluster_nodes],
             generated: 0,
             completions: 0,
-            sw_queue: VecDeque::new(),
+            sw_queue: MsgList::EMPTY,
             lock: McsLock::new(),
-            latency_samples: Vec::with_capacity((cfg.requests - cfg.warmup) as usize),
-            critical_samples: Vec::new(),
             latency: Summary::new(),
             service_occupancy: Summary::new(),
             window_start: SimTime::ZERO,
@@ -491,7 +611,6 @@ impl<'a> Runner<'a> {
             deferrals: 0,
             preemptions: 0,
             core_completions: vec![0; chip.cores],
-            pending_traces: Vec::new(),
             traces: TraceLog::with_capacity(cfg.trace_capacity),
             timeseries: cfg.timeseries_window.map(metrics::TimeSeries::new),
         }
@@ -503,21 +622,29 @@ impl<'a> Runner<'a> {
             let now = scheduled.time;
             match scheduled.event {
                 Ev::Arrival => self.on_arrival(now),
-                Ev::MsgComplete { msg } => self.on_msg_complete(now, msg),
+                Ev::MsgComplete { msg } => self.on_msg_complete(now, msg as usize),
                 Ev::AtDispatcher { msg, d } => {
-                    self.dispatchers[d].enqueue(msg as u64);
-                    self.drain_dispatcher(now, d);
+                    self.dispatchers[d as usize].enqueue(msg as u64);
+                    self.drain_dispatcher(now, d as usize);
                 }
-                Ev::CqeDelivered { msg, core } => self.on_cqe(now, msg, core),
-                Ev::ServiceDone { core, msg } => self.on_service_done(now, core, msg),
+                Ev::CqeDelivered { msg, core } => {
+                    self.on_cqe(now, msg as usize, core as usize)
+                }
+                Ev::ServiceDone { core, msg } => {
+                    self.on_service_done(now, core as usize, msg as usize)
+                }
                 Ev::ReplenishAtDispatcher { core, d } => {
-                    self.dispatchers[d].on_replenish(core);
-                    self.drain_dispatcher(now, d);
+                    self.dispatchers[d as usize].on_replenish(core as usize);
+                    self.drain_dispatcher(now, d as usize);
                 }
-                Ev::SlotFreed { src, slot } => self.on_slot_freed(now, src, slot),
-                Ev::Preempted { core, msg } => self.on_preempted(now, core, msg),
-                Ev::SwTryDequeue { core } => self.on_sw_try_dequeue(now, core),
-                Ev::SwGranted { core } => self.on_sw_granted(now, core),
+                Ev::SlotFreed { src, slot } => {
+                    self.on_slot_freed(now, src as usize, slot as usize)
+                }
+                Ev::Preempted { core, msg } => {
+                    self.on_preempted(now, core as usize, msg as usize)
+                }
+                Ev::SwTryDequeue { core } => self.on_sw_try_dequeue(now, core as usize),
+                Ev::SwGranted { core } => self.on_sw_granted(now, core as usize),
             }
         }
         self.finish()
@@ -532,29 +659,31 @@ impl<'a> Runner<'a> {
         // Stash the source in a fresh message record; service time is
         // drawn now for determinism across policies.
         let service = self.cfg.service.sample(&mut self.service_rng);
-        self.msgs.push(MsgState {
-            src: arrival.source.index(),
-            slot: usize::MAX,
+        self.next_msg = self.scratch.msgs.alloc(MsgState {
+            src: arrival.source.index() as u32,
+            slot: NIL,
             service,
             remaining: service,
             first_pkt: SimTime::MAX,
+            next: NIL,
         });
         if self.traces.is_enabled() {
-            self.pending_traces.push(PendingTrace::default());
+            // Monotone ids in tracing mode keep this table id-indexed.
+            self.scratch.pending_traces.push(PendingTrace::default());
         }
         self.engine.schedule_at(arrival.time, Ev::Arrival);
     }
 
     fn on_arrival(&mut self, now: SimTime) {
         // Generation is lazy one-ahead, so the firing arrival always
-        // corresponds to the most recently created message record.
-        let msg = self.msgs.len() - 1;
-        let src = self.msgs[msg].src;
+        // corresponds to the most recently allocated message record.
+        let msg = self.next_msg;
+        let src = self.scratch.msgs[msg].src as usize;
         if let Some(slot) = self.domain.try_acquire(src) {
             self.inject_message(now, msg, slot);
         } else {
             self.deferrals += 1;
-            self.pending_by_src[src].push_back(msg);
+            self.pending_by_src[src].push_back(&mut self.scratch.msgs, msg);
         }
         self.schedule_next_arrival();
     }
@@ -563,46 +692,48 @@ impl<'a> Runner<'a> {
     /// pipeline and schedules its reassembly completion.
     fn inject_message(&mut self, now: SimTime, msg: usize, slot: usize) {
         let chip = &self.cfg.chip;
-        let src = self.msgs[msg].src;
+        let src = self.scratch.msgs[msg].src as usize;
         let b = chip.backend_for_source(src);
-        let packets = packets_for(self.cfg.request_bytes, chip.mtu_bytes);
-        let gap = chip.edge_packet_gap();
-        self.msgs[msg].slot = slot;
-        self.msgs[msg].first_pkt = now;
+        let packets = self.lat.request_packets;
+        let gap = self.lat.packet_gap;
+        self.scratch.msgs[msg].slot = slot as u32;
+        self.scratch.msgs[msg].first_pkt = now;
         if self.traces.is_enabled() {
-            self.pending_traces[msg].first_pkt = Some(now);
+            self.scratch.pending_traces[msg].first_pkt = Some(now);
         }
-        let mut complete = now;
-        for i in 0..packets {
-            let ready = now + gap * i;
-            let occ = self.backends[b]
+        // One message's packets drain back-to-back: a fused burst through
+        // the rx pipeline plus a single whole-message counter update are
+        // exactly equivalent to the per-packet loop.
+        let occ =
+            self.backends[b]
                 .rx
-                .schedule(ready, chip.backend_rx_per_packet);
-            let done = self.reassembly.on_packet((src, slot), packets);
-            debug_assert_eq!(done, i == packets - 1);
-            complete = occ.end;
-        }
-        let reassembled = complete + chip.reassembly_update;
+                .schedule_many(now, gap, chip.backend_rx_per_packet, packets);
+        let done = self.reassembly.on_message((src, slot), packets);
+        debug_assert!(done, "a full message always completes reassembly");
+        let reassembled = occ.end + chip.reassembly_update;
         if self.traces.is_enabled() {
-            self.pending_traces[msg].reassembled = Some(reassembled);
+            self.scratch.pending_traces[msg].reassembled = Some(reassembled);
         }
-        self.engine.schedule_at(reassembled, Ev::MsgComplete { msg });
+        self.engine
+            .schedule_at(reassembled, Ev::MsgComplete { msg: msg as u32 });
     }
 
     fn on_msg_complete(&mut self, now: SimTime, msg: usize) {
         let chip = &self.cfg.chip;
-        let src = self.msgs[msg].src;
+        let src = self.scratch.msgs[msg].src as usize;
         let b = chip.backend_for_source(src);
         match &self.cfg.policy {
             Policy::HwSingleQueue { .. } => {
                 // Forward the completion packet to the NI dispatcher
                 // (backend 0) over the mesh (§4.3).
-                let delay = chip.backend_to_backend(b, 0);
-                self.engine.schedule_at(now + delay, Ev::AtDispatcher { msg, d: 0 });
+                let delay = self.lat.b2b0[b];
+                self.engine
+                    .schedule_at(now + delay, Ev::AtDispatcher { msg: msg as u32, d: 0 });
             }
             Policy::HwPartitioned { .. } => {
                 // The arrival backend is its own dispatcher.
-                self.engine.schedule_at(now, Ev::AtDispatcher { msg, d: b });
+                self.engine
+                    .schedule_at(now, Ev::AtDispatcher { msg: msg as u32, d: b as u32 });
             }
             Policy::HwStatic => {
                 let core = if self.cfg.rss_per_flow {
@@ -610,22 +741,29 @@ impl<'a> Runner<'a> {
                 } else {
                     self.static_rng.gen_range(0..chip.cores)
                 };
-                let delay = chip.backend_to_core(b, core) + chip.cq_notify;
-                self.engine
-                    .schedule_at(now + delay, Ev::CqeDelivered { msg, core });
+                let delay = self.lat.backend_to_core(b, core) + chip.cq_notify;
+                self.engine.schedule_at(
+                    now + delay,
+                    Ev::CqeDelivered {
+                        msg: msg as u32,
+                        core: core as u32,
+                    },
+                );
             }
             Policy::SwSingleQueue { .. } => {
                 // The NI appends to the shared in-memory queue (an LLC
                 // write) and a spinning idle core notices after the
                 // coherence transfer.
                 if self.traces.is_enabled() {
-                    self.pending_traces[msg].dispatched = Some(now);
+                    self.scratch.pending_traces[msg].dispatched = Some(now);
                 }
-                self.sw_queue.push_back(msg);
+                self.sw_queue.push_back(&mut self.scratch.msgs, msg);
                 if let Some(core) = self.first_core_in(CoreState::Idle) {
                     self.core_state[core] = CoreState::Acquiring;
-                    self.engine
-                        .schedule_at(now + chip.cq_notify, Ev::SwTryDequeue { core });
+                    self.engine.schedule_at(
+                        now + chip.cq_notify,
+                        Ev::SwTryDequeue { core: core as u32 },
+                    );
                 }
             }
         }
@@ -639,17 +777,22 @@ impl<'a> Runner<'a> {
             // backend 0 for single-queue mode; `d` indexes correctly in
             // both cases because single-queue mode has exactly one unit.
             let backend = if self.dispatchers.len() == 1 { 0 } else { d };
-            let delay = chip.backend_to_core(backend, core) + chip.cq_notify;
-            self.engine
-                .schedule_at(occ.end + delay, Ev::CqeDelivered { msg: msg as usize, core });
+            let delay = self.lat.backend_to_core(backend, core) + chip.cq_notify;
+            self.engine.schedule_at(
+                occ.end + delay,
+                Ev::CqeDelivered {
+                    msg: msg as u32,
+                    core: core as u32,
+                },
+            );
         }
     }
 
     fn on_cqe(&mut self, now: SimTime, msg: usize, core: usize) {
-        if self.traces.is_enabled() && self.pending_traces[msg].dispatched.is_none() {
-            self.pending_traces[msg].dispatched = Some(now);
+        if self.traces.is_enabled() && self.scratch.pending_traces[msg].dispatched.is_none() {
+            self.scratch.pending_traces[msg].dispatched = Some(now);
         }
-        self.core_cq[core].push_back(msg);
+        self.core_cq[core].push_back(&mut self.scratch.msgs, msg);
         if self.core_state[core] == CoreState::Idle {
             self.start_processing(now, core);
         }
@@ -658,7 +801,7 @@ impl<'a> Runner<'a> {
     /// Pops the next CQE and occupies the core for the next slice of the
     /// RPC (the whole RPC unless preemption cuts it short).
     fn start_processing(&mut self, now: SimTime, core: usize) {
-        let Some(msg) = self.core_cq[core].pop_front() else {
+        let Some(msg) = self.core_cq[core].pop_front(&mut self.scratch.msgs) else {
             self.core_state[core] = CoreState::Idle;
             return;
         };
@@ -668,29 +811,36 @@ impl<'a> Runner<'a> {
     /// Occupies `core` with `msg`, honoring the preemption quantum.
     fn run_slice(&mut self, now: SimTime, core: usize, msg: usize) {
         self.core_state[core] = CoreState::Busy;
-        let chip = &self.cfg.chip;
-        let remaining = self.msgs[msg].remaining;
+        let remaining = self.scratch.msgs[msg].remaining;
         match self.cfg.preemption {
             Some(p) if remaining > p.quantum => {
-                self.msgs[msg].remaining = remaining - p.quantum;
+                self.scratch.msgs[msg].remaining = remaining - p.quantum;
                 self.preemptions += 1;
                 if self.traces.is_enabled() {
-                    self.pending_traces[msg].preemptions += 1;
+                    self.scratch.pending_traces[msg].preemptions += 1;
                 }
                 self.service_occupancy.record(p.quantum + p.overhead);
                 self.engine.schedule_at(
                     now + p.quantum + p.overhead,
-                    Ev::Preempted { core, msg },
+                    Ev::Preempted {
+                        core: core as u32,
+                        msg: msg as u32,
+                    },
                 );
             }
             _ => {
                 if self.traces.is_enabled() {
-                    self.pending_traces[msg].started = Some(now);
+                    self.scratch.pending_traces[msg].started = Some(now);
                 }
-                let occupancy = chip.fixed_service_overhead() + remaining;
+                let occupancy = self.lat.fixed_overhead + remaining;
                 self.service_occupancy.record(occupancy);
-                self.engine
-                    .schedule_at(now + occupancy, Ev::ServiceDone { core, msg });
+                self.engine.schedule_at(
+                    now + occupancy,
+                    Ev::ServiceDone {
+                        core: core as u32,
+                        msg: msg as u32,
+                    },
+                );
             }
         }
     }
@@ -698,33 +848,43 @@ impl<'a> Runner<'a> {
     /// A preempted request re-enters the dispatch path at the back of the
     /// queue; the core moves on to its next assignment.
     fn on_preempted(&mut self, now: SimTime, core: usize, msg: usize) {
-        let chip = &self.cfg.chip;
         match &self.cfg.policy {
             Policy::HwSingleQueue { .. } | Policy::HwPartitioned { .. } => {
                 let d = self
                     .dispatcher_of(core)
                     .expect("dispatched policies own every core");
                 let backend = if self.dispatchers.len() == 1 { 0 } else { d };
-                let delay = chip.core_to_backend(core, backend);
+                let delay = self.lat.core_to_backend(core, backend);
                 // The requeue notification releases the core's outstanding
                 // slot and re-enqueues the message at the CQ tail.
-                self.engine
-                    .schedule_at(now + delay, Ev::ReplenishAtDispatcher { core, d });
-                self.engine
-                    .schedule_at(now + delay, Ev::AtDispatcher { msg, d });
+                self.engine.schedule_at(
+                    now + delay,
+                    Ev::ReplenishAtDispatcher {
+                        core: core as u32,
+                        d: d as u32,
+                    },
+                );
+                self.engine.schedule_at(
+                    now + delay,
+                    Ev::AtDispatcher {
+                        msg: msg as u32,
+                        d: d as u32,
+                    },
+                );
             }
             Policy::HwStatic => {
                 // No rebalancing available: round-robin on the same core.
-                self.core_cq[core].push_back(msg);
+                self.core_cq[core].push_back(&mut self.scratch.msgs, msg);
             }
             Policy::SwSingleQueue { .. } => {
-                self.sw_queue.push_back(msg);
+                self.sw_queue.push_back(&mut self.scratch.msgs, msg);
             }
         }
         match &self.cfg.policy {
             Policy::SwSingleQueue { .. } => {
                 self.core_state[core] = CoreState::Acquiring;
-                self.engine.schedule_at(now, Ev::SwTryDequeue { core });
+                self.engine
+                    .schedule_at(now, Ev::SwTryDequeue { core: core as u32 });
             }
             _ => self.start_processing(now, core),
         }
@@ -732,16 +892,14 @@ impl<'a> Runner<'a> {
 
     fn on_service_done(&mut self, now: SimTime, core: usize, msg: usize) {
         let chip = &self.cfg.chip;
-        let state = self.msgs[msg];
-        let b = chip.backend_for_source(state.src);
+        let state = self.scratch.msgs[msg];
+        let src = state.src as usize;
+        let b = chip.backend_for_source(src);
 
         // Reply transmission occupies the backend's TX pipeline (bandwidth
         // accounting only; the reply leaves the measured path here).
-        let reply_packets = packets_for(self.cfg.reply_bytes, chip.mtu_bytes);
-        let tx_ready = now + chip.core_to_backend(core, b);
-        self.backends[b]
-            .tx
-            .schedule(tx_ready, chip.backend_tx_per_packet * reply_packets);
+        let tx_ready = now + self.lat.core_to_backend(core, b);
+        self.backends[b].tx.schedule(tx_ready, self.lat.reply_tx);
 
         // Latency: reception of the send → replenish posted (now).
         self.completions += 1;
@@ -750,7 +908,7 @@ impl<'a> Runner<'a> {
             self.window_start = now;
         }
         if self.completions > self.cfg.warmup && self.traces.is_enabled() {
-            let p = self.pending_traces[msg];
+            let p = self.scratch.pending_traces[msg];
             self.traces.push(RequestTrace {
                 msg: msg as u64,
                 src: state.src as u16,
@@ -769,21 +927,25 @@ impl<'a> Runner<'a> {
             if let Some(ts) = &mut self.timeseries {
                 ts.record(now, lat.as_ns_f64());
             }
-            self.latency_samples.push(lat.as_ns_f64());
+            self.scratch.latency_samples.push(lat.as_ns_f64());
             if let Some(threshold) = self.cfg.critical_threshold_ns {
                 if state.service.as_ns_f64() < threshold {
-                    self.critical_samples.push(lat.as_ns_f64());
+                    self.scratch.critical_samples.push(lat.as_ns_f64());
                 }
             }
             self.window_end = now;
         }
 
+        // The message's lifecycle ends here; its slab slot recycles (the
+        // pending SlotFreed event carries src/slot by value).
+        self.scratch.msgs.free(msg);
+
         // Replenish propagates to the source (frees its send slot) …
-        let slot_free = now + chip.core_to_backend(core, b) + chip.wire_latency;
+        let slot_free = now + self.lat.core_to_backend(core, b) + chip.wire_latency;
         self.engine.schedule_at(
             slot_free,
             Ev::SlotFreed {
-                src: state.src,
+                src: src as u32,
                 slot: state.slot,
             },
         );
@@ -791,9 +953,14 @@ impl<'a> Runner<'a> {
         // … and, for dispatched policies, to the owning NI dispatcher.
         if let Some(d) = self.dispatcher_of(core) {
             let backend = if self.dispatchers.len() == 1 { 0 } else { d };
-            let delay = chip.core_to_backend(core, backend);
-            self.engine
-                .schedule_at(now + delay, Ev::ReplenishAtDispatcher { core, d });
+            let delay = self.lat.core_to_backend(core, backend);
+            self.engine.schedule_at(
+                now + delay,
+                Ev::ReplenishAtDispatcher {
+                    core: core as u32,
+                    d: d as u32,
+                },
+            );
         }
 
         // The core moves on: hardware paths pull from the private CQ;
@@ -804,7 +971,8 @@ impl<'a> Runner<'a> {
                     self.core_state[core] = CoreState::Idle;
                 } else {
                     self.core_state[core] = CoreState::Acquiring;
-                    self.engine.schedule_at(now, Ev::SwTryDequeue { core });
+                    self.engine
+                        .schedule_at(now, Ev::SwTryDequeue { core: core as u32 });
                 }
             }
             _ => self.start_processing(now, core),
@@ -813,7 +981,7 @@ impl<'a> Runner<'a> {
 
     fn on_slot_freed(&mut self, now: SimTime, src: usize, slot: usize) {
         self.domain.release(src, slot);
-        if let Some(msg) = self.pending_by_src[src].pop_front() {
+        if let Some(msg) = self.pending_by_src[src].pop_front(&mut self.scratch.msgs) {
             let slot = self
                 .domain
                 .try_acquire(src)
@@ -827,13 +995,14 @@ impl<'a> Runner<'a> {
             unreachable!("SwTryDequeue outside software policy");
         };
         let grant = self.lock.acquire(now, lock);
-        self.engine.schedule_at(grant.released, Ev::SwGranted { core });
+        self.engine
+            .schedule_at(grant.released, Ev::SwGranted { core: core as u32 });
     }
 
     fn on_sw_granted(&mut self, now: SimTime, core: usize) {
         // The core exits the critical section holding the head message,
         // or empty-handed if another core drained the queue first.
-        match self.sw_queue.pop_front() {
+        match self.sw_queue.pop_front(&mut self.scratch.msgs) {
             Some(msg) => {
                 self.run_slice(now, core, msg);
                 // Keep the pipeline full: if messages remain and another
@@ -843,7 +1012,7 @@ impl<'a> Runner<'a> {
                         self.core_state[next] = CoreState::Acquiring;
                         self.engine.schedule_at(
                             now + self.cfg.chip.cq_notify,
-                            Ev::SwTryDequeue { core: next },
+                            Ev::SwTryDequeue { core: next as u32 },
                         );
                     }
                 }
@@ -858,11 +1027,17 @@ impl<'a> Runner<'a> {
         self.core_state.iter().position(|&s| s == state)
     }
 
+    #[inline]
     fn dispatcher_of(&self, core: usize) -> Option<usize> {
-        self.dispatchers.iter().position(|d| d.owns(core))
+        self.dispatcher_by_core[core]
     }
 
-    fn finish(self) -> RunResult {
+    fn finish(mut self) -> RunResult {
+        // Hand the (now idle) engine back for the next run on this
+        // thread; the placeholder heap engine allocates nothing.
+        let engine = std::mem::replace(&mut self.engine, Engine::new());
+        let events_processed = engine.events_processed();
+        self.scratch.engine = Some((self.cfg.event_queue, engine));
         let measured = self.latency.count();
         let span_ns = self
             .window_end
@@ -873,23 +1048,26 @@ impl<'a> Runner<'a> {
         } else {
             0.0
         };
-        let (p99, p50) = if self.latency_samples.is_empty() {
+        // O(n) selection serves every quantile (the pre-refactor path
+        // cloned and fully sorted the 90 %-of-requests sample vector per
+        // quantile); values are identical to the sort-based extraction.
+        let (p99, p50) = if self.scratch.latency_samples.is_empty() {
             (0.0, 0.0)
         } else {
-            (
-                percentile_ns(&self.latency_samples, 0.99),
-                percentile_ns(&self.latency_samples, 0.50),
-            )
+            let qs = quantiles_unsorted(&mut self.scratch.latency_samples, &[0.99, 0.50]);
+            (qs[0], qs[1])
         };
         let (p99_critical, measured_critical) = match self.cfg.critical_threshold_ns {
             None => (p99, measured),
-            Some(_) if self.critical_samples.is_empty() => (0.0, 0),
+            Some(_) if self.scratch.critical_samples.is_empty() => (0.0, 0),
             Some(_) => (
-                percentile_ns(&self.critical_samples, 0.99),
-                self.critical_samples.len() as u64,
+                quantiles_unsorted(&mut self.scratch.critical_samples, &[0.99])[0],
+                self.scratch.critical_samples.len() as u64,
             ),
         };
         RunResult {
+            events_processed,
+            slab_high_water: self.scratch.msgs.high_water(),
             label: self
                 .cfg
                 .policy
@@ -1050,6 +1228,52 @@ mod tests {
         assert_eq!(a.p99_latency_ns, b.p99_latency_ns);
         assert_eq!(a.throughput_rps, b.throughput_rps);
         assert_eq!(a.measured, b.measured);
+    }
+
+    #[test]
+    fn ladder_and_heap_backends_bit_identical() {
+        // The whole PR's determinism contract in one place: the
+        // allocation-free ladder queue must not change a single output
+        // bit relative to the reference heap, across every policy.
+        for policy in [
+            Policy::hw_single_queue(),
+            Policy::hw_partitioned(),
+            Policy::hw_static(),
+            Policy::sw_single_queue(),
+        ] {
+            let mut heap_cfg = base(policy.clone(), 12.0e6, 77);
+            heap_cfg.event_queue = EventQueueKind::Heap;
+            let ladder_cfg = base(policy, 12.0e6, 77); // default ladder
+            assert_eq!(
+                ladder_cfg.event_queue,
+                EventQueueKind::default_ladder(),
+                "ladder is the default backend"
+            );
+            let h = ServerSim::new(heap_cfg).run();
+            let l = ServerSim::new(ladder_cfg).run();
+            assert_eq!(h.p99_latency_ns, l.p99_latency_ns, "{}", h.label);
+            assert_eq!(h.p50_latency_ns, l.p50_latency_ns);
+            assert_eq!(h.mean_latency_ns, l.mean_latency_ns);
+            assert_eq!(h.throughput_rps, l.throughput_rps);
+            assert_eq!(h.measured, l.measured);
+            assert_eq!(h.core_completions, l.core_completions);
+            assert_eq!(h.flow_control_deferrals, l.flow_control_deferrals);
+            assert_eq!(h.events_processed, l.events_processed);
+        }
+    }
+
+    #[test]
+    fn slab_recycling_bounds_live_state() {
+        // 60 k requests at 40 % load: live messages are the in-flight
+        // handful, so the recycled slab must stay orders of magnitude
+        // below the request count.
+        let r = ServerSim::new(base(Policy::hw_single_queue(), 8.0e6, 11)).run();
+        assert!(
+            r.slab_high_water < 2_000,
+            "slab grew to {} slots for 60k requests",
+            r.slab_high_water
+        );
+        assert!(r.events_processed > 60_000 * 4, "events {}", r.events_processed);
     }
 
     #[test]

@@ -4,11 +4,25 @@
 //! were scheduled (FIFO tie-break via a monotone sequence number). This
 //! makes whole-simulation behaviour a pure function of the inputs and the
 //! RNG seed.
+//!
+//! Two backends implement the same contract:
+//!
+//! * a binary heap ([`EventQueue::new`]) — the reference implementation,
+//!   `O(log n)` per operation;
+//! * a two-level ladder/calendar queue ([`EventQueue::with_horizon`]) —
+//!   near-future events bucketed into reusable rings, far-future events
+//!   in an overflow heap, `O(1)` amortized per operation and
+//!   allocation-free in steady state (see [`crate::wheel`]).
+//!
+//! The pop order of both backends is **bit-identical**: the smallest
+//! `(time, seq)` pair always pops first, so swapping backends can never
+//! change a simulation's output.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
+use crate::wheel::LadderQueue;
 
 /// An event plus the instant it fires at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,11 +33,43 @@ pub struct Scheduled<E> {
     pub event: E,
 }
 
+/// Selects an [`EventQueue`] backend; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventQueueKind {
+    /// The reference `BinaryHeap` backend.
+    Heap,
+    /// The ladder/calendar backend with the given near-future horizon.
+    Ladder {
+        /// Width of the bucketed near-future window. Pick a few multiples
+        /// of the typical event-scheduling lookahead; events beyond it
+        /// spill to the overflow heap (correct but slower).
+        horizon: SimDuration,
+    },
+}
+
+impl EventQueueKind {
+    /// The ladder backend with the default horizon used by the
+    /// full-system simulator (4 µs — a few times the NI + service
+    /// lookahead of a sub-µs RPC workload; `simbench --horizons`
+    /// re-derives this choice empirically).
+    pub fn default_ladder() -> Self {
+        EventQueueKind::Ladder {
+            horizon: SimDuration::from_us(4),
+        }
+    }
+}
+
+impl Default for EventQueueKind {
+    fn default() -> Self {
+        EventQueueKind::default_ladder()
+    }
+}
+
 #[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Entry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 // Order entries so the *smallest* (time, seq) pops first from a max-heap.
@@ -48,6 +94,12 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+#[derive(Debug)]
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Ladder(LadderQueue<E>),
+}
+
 /// A deterministic priority queue of timestamped events.
 ///
 /// # Example
@@ -66,37 +118,67 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     seq: u64,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the reference heap backend.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: Backend::Heap(BinaryHeap::new()),
             seq: 0,
         }
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
+    /// Creates an empty heap-backed queue with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            backend: Backend::Heap(BinaryHeap::with_capacity(capacity)),
             seq: 0,
+        }
+    }
+
+    /// Creates an empty queue on the ladder/calendar backend with the
+    /// given near-future `horizon` (see [`EventQueueKind::Ladder`]).
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero.
+    pub fn with_horizon(horizon: SimDuration) -> Self {
+        EventQueue {
+            backend: Backend::Ladder(LadderQueue::new(horizon)),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue on the given backend.
+    pub fn with_kind(kind: EventQueueKind) -> Self {
+        match kind {
+            EventQueueKind::Heap => Self::new(),
+            EventQueueKind::Ladder { horizon } => Self::with_horizon(horizon),
         }
     }
 
     /// Schedules `event` to fire at `time`.
+    #[inline]
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(entry),
+            Backend::Ladder(ladder) => ladder.push(entry),
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    #[inline]
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop().map(|e| Scheduled {
+        let entry = match &mut self.backend {
+            Backend::Heap(heap) => heap.pop(),
+            Backend::Ladder(ladder) => ladder.pop(),
+        };
+        entry.map(|e| Scheduled {
             time: e.time,
             event: e.event,
         })
@@ -104,22 +186,32 @@ impl<E> EventQueue<E> {
 
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.time),
+            Backend::Ladder(ladder) => ladder.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Ladder(ladder) => ladder.len(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events, retaining allocated capacity so a reused
+    /// queue stays allocation-free.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.clear(),
+            Backend::Ladder(ladder) => ladder.clear(),
+        }
     }
 }
 
@@ -133,58 +225,81 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Every contract test runs against both backends.
+    fn both_backends<E>() -> Vec<EventQueue<E>> {
+        vec![
+            EventQueue::new(),
+            EventQueue::with_horizon(SimDuration::from_ns(4)),
+        ]
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_ns(3), 3u32);
-        q.push(SimTime::from_ns(1), 1);
-        q.push(SimTime::from_ns(2), 2);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for mut q in both_backends() {
+            q.push(SimTime::from_ns(3), 3u32);
+            q.push(SimTime::from_ns(1), 1);
+            q.push(SimTime::from_ns(2), 2);
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        }
     }
 
     #[test]
     fn fifo_tie_break_for_equal_times() {
-        let mut q = EventQueue::new();
-        for i in 0..100u32 {
-            q.push(SimTime::from_ns(7), i);
+        for mut q in both_backends() {
+            for i in 0..100u32 {
+                q.push(SimTime::from_ns(7), i);
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_time_matches_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_ns(9), ());
-        q.push(SimTime::from_ns(4), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_ns(4)));
-        let popped = q.pop().unwrap();
-        assert_eq!(popped.time, SimTime::from_ns(4));
+        for mut q in both_backends() {
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_ns(9), ());
+            q.push(SimTime::from_ns(4), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_ns(4)));
+            let popped = q.pop().unwrap();
+            assert_eq!(popped.time, SimTime::from_ns(4));
+        }
     }
 
     #[test]
     fn len_and_clear() {
-        let mut q = EventQueue::with_capacity(8);
-        assert!(q.is_empty());
-        q.push(SimTime::ZERO, 1);
-        q.push(SimTime::ZERO, 2);
-        assert_eq!(q.len(), 2);
-        q.clear();
-        assert!(q.is_empty());
+        let mut queues = both_backends();
+        queues.push(EventQueue::with_capacity(8));
+        for mut q in queues {
+            assert!(q.is_empty());
+            q.push(SimTime::ZERO, 1);
+            q.push(SimTime::ZERO, 2);
+            assert_eq!(q.len(), 2);
+            q.clear();
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn interleaved_push_pop_preserves_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_ns(10), "a");
-        q.push(SimTime::from_ns(5), "b");
-        assert_eq!(q.pop().unwrap().event, "b");
-        q.push(SimTime::from_ns(7), "c");
-        q.push(SimTime::from_ns(10), "d");
-        assert_eq!(q.pop().unwrap().event, "c");
-        assert_eq!(q.pop().unwrap().event, "a");
-        assert_eq!(q.pop().unwrap().event, "d");
+        for mut q in both_backends() {
+            q.push(SimTime::from_ns(10), "a");
+            q.push(SimTime::from_ns(5), "b");
+            assert_eq!(q.pop().unwrap().event, "b");
+            q.push(SimTime::from_ns(7), "c");
+            q.push(SimTime::from_ns(10), "d");
+            assert_eq!(q.pop().unwrap().event, "c");
+            assert_eq!(q.pop().unwrap().event, "a");
+            assert_eq!(q.pop().unwrap().event, "d");
+        }
+    }
+
+    #[test]
+    fn backend_selection_by_kind() {
+        let heap: EventQueue<()> = EventQueue::with_kind(EventQueueKind::Heap);
+        let ladder: EventQueue<()> = EventQueue::with_kind(EventQueueKind::default_ladder());
+        assert!(matches!(heap.backend, Backend::Heap(_)));
+        assert!(matches!(ladder.backend, Backend::Ladder(_)));
     }
 }

@@ -6,7 +6,9 @@
 //! * [`SimTime`] / [`SimDuration`] — integer-picosecond simulated time, so
 //!   event ordering is exact and reproducible (no floating-point drift).
 //! * [`EventQueue`] — a priority queue of timestamped events with a
-//!   deterministic FIFO tie-break for simultaneous events.
+//!   deterministic FIFO tie-break for simultaneous events; two backends
+//!   (reference binary heap, allocation-free [`wheel`] ladder/calendar
+//!   queue) pop in bit-identical order.
 //! * [`Engine`] — a thin driver that owns the clock and the event queue.
 //! * [`rng`] — seed-splitting utilities so that every simulated component
 //!   gets an independent, reproducible random stream.
@@ -40,7 +42,8 @@ pub mod event;
 pub mod pool;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use engine::Engine;
-pub use event::{EventQueue, Scheduled};
+pub use event::{EventQueue, EventQueueKind, Scheduled};
 pub use time::{SimDuration, SimTime, DEFAULT_CLOCK_GHZ};

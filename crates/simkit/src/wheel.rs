@@ -1,0 +1,322 @@
+//! A deterministic two-level ladder/calendar event queue.
+//!
+//! The hot path of every simulation in this workspace is `EventQueue`
+//! push/pop churn. A binary heap costs `O(log n)` comparisons and entry
+//! moves per operation; this ladder exploits the structure of
+//! discrete-event workloads — events are almost always scheduled a short,
+//! bounded lookahead past the current clock — to make both operations
+//! `O(1)` amortized with **zero allocation in steady state**:
+//!
+//! * **Near level**: a window of [`NUM_BUCKETS`] FIFO rings covering
+//!   `[base, base + horizon)`. A push appends to the ring indexed by the
+//!   event's time (one integer divide); rings are plain `Vec`s whose
+//!   capacity is retained forever, so steady-state pushes never allocate.
+//! * **Far level**: events beyond the window land in an overflow binary
+//!   heap. When the window drains, it re-anchors at the earliest overflow
+//!   event and pulls everything inside the new window back into rings —
+//!   amortized `O(1)` per event because each event overflows at most once
+//!   per window advance.
+//!
+//! **Exact determinism.** Pop returns the minimum `(time, seq)` entry,
+//! bit-identical to the heap backend, under *any* interleaving of pushes
+//! and pops. The argument hinges on three invariants:
+//!
+//! 1. Rings past the cursor hold only events inside their exact time
+//!    slot; the cursor's own ring additionally absorbs "late" pushes
+//!    (time at or below the cursor slot — legal through the raw
+//!    `EventQueue` API), so no pending entry ever sits behind the cursor.
+//! 2. The cursor only advances over empty rings, so the first non-empty
+//!    ring contains the global near-minimum. On first touch that ring is
+//!    sorted once (descending `(time, seq)`) and drained from the back —
+//!    one `O(k log k)` sort serves `k` `O(1)` pops, and the rare push
+//!    landing inside the live ring binary-inserts to keep it exact.
+//! 3. Overflow entries fire strictly after every near entry (they lie at
+//!    or beyond the window end), so the two levels never race.
+//!
+//! Property tests in `tests/ladder_properties.rs` check pop-order
+//! equivalence against the heap backend over arbitrary interleavings,
+//! including same-instant FIFO ties.
+
+use std::collections::BinaryHeap;
+
+use crate::event::Entry;
+use crate::time::{SimDuration, SimTime};
+
+/// Rings per window. 512 keeps the per-queue footprint small (a few KiB)
+/// while making each ring cover `horizon/512` — a handful of events for a
+/// well-chosen horizon.
+pub(crate) const NUM_BUCKETS: usize = 512;
+
+#[derive(Debug)]
+pub(crate) struct LadderQueue<E> {
+    /// The near-future rings; ring `i` covers
+    /// `[base + i·width, base + (i+1)·width)`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Ring-occupancy bitmap (bit `i` ⇔ ring `i` non-empty). The cursor
+    /// advance is a masked `trailing_zeros` over these dense words
+    /// instead of a pointer-chasing walk over 512 scattered ring
+    /// headers — the single hottest load in the whole simulator.
+    occupied: [u64; NUM_BUCKETS / 64],
+    /// Ring width as a power-of-two shift (width = `1 << width_shift`
+    /// ps), so the per-push ring index is a shift, not a divide. The
+    /// requested horizon is rounded up to the next power-of-two multiple
+    /// of [`NUM_BUCKETS`]; any width is order-correct, this one is fast.
+    width_shift: u32,
+    /// Start of the current window (ps).
+    base_ps: u64,
+    /// Cached `base + NUM_BUCKETS << width_shift` (saturating).
+    end_ps: u64,
+    /// First ring that may still hold entries; never decreases within a
+    /// window.
+    cursor: usize,
+    /// Whether the cursor ring has been sorted for draining (descending
+    /// `(time, seq)`, so the exact minimum pops from the back in O(1)).
+    cursor_sorted: bool,
+    /// Entries currently in rings.
+    near_len: usize,
+    /// Far-future entries, beyond `base + NUM_BUCKETS · width`.
+    overflow: BinaryHeap<Entry<E>>,
+}
+
+impl<E> LadderQueue<E> {
+    /// Creates an empty ladder whose near window spans `horizon`.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero.
+    pub(crate) fn new(horizon: SimDuration) -> Self {
+        assert!(!horizon.is_zero(), "ladder horizon must be positive");
+        let width = (horizon.as_ps() / NUM_BUCKETS as u64)
+            .max(1)
+            .next_power_of_two();
+        let mut q = LadderQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; NUM_BUCKETS / 64],
+            width_shift: width.trailing_zeros(),
+            base_ps: 0,
+            end_ps: 0,
+            cursor: 0,
+            cursor_sorted: false,
+            near_len: 0,
+            overflow: BinaryHeap::new(),
+        };
+        q.rebase(0);
+        q
+    }
+
+    /// Moves the window start to `base`, refreshing the cached end.
+    #[inline]
+    fn rebase(&mut self, base: u64) {
+        self.base_ps = base;
+        self.end_ps = base.saturating_add((NUM_BUCKETS as u64) << self.width_shift);
+        self.cursor = 0;
+        self.cursor_sorted = false;
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, entry: Entry<E>) {
+        let t = entry.time.as_ps();
+        if self.near_len == 0 && self.overflow.is_empty() {
+            // Whole queue empty: re-anchor the window on this event so an
+            // idle-then-busy simulation never routes through overflow.
+            self.rebase(t);
+        }
+        if t >= self.end_ps {
+            self.overflow.push(entry);
+        } else {
+            // The shift rounds down; clamping to the cursor keeps late
+            // pushes (time at/below the cursor slot) poppable — the
+            // sorted drain of the cursor ring restores their exact order.
+            // The upper clamp only matters when `end_ps` saturated at
+            // u64::MAX (times within one window of the representable
+            // end): everything past the last ring piles into it, where
+            // the sorted drain again keeps the order exact.
+            let idx = (((t.saturating_sub(self.base_ps)) >> self.width_shift) as usize)
+                .clamp(self.cursor, NUM_BUCKETS - 1);
+            if idx == self.cursor && self.cursor_sorted {
+                // The cursor ring is mid-drain in descending order; a
+                // binary insert keeps it exact. Rare: only events landing
+                // within one ring width of the live edge take this path.
+                let ring = &mut self.buckets[idx];
+                let key = (entry.time, entry.seq);
+                let pos = ring.partition_point(|e| (e.time, e.seq) > key);
+                ring.insert(pos, entry);
+            } else {
+                self.buckets[idx].push(entry);
+            }
+            self.occupied[idx >> 6] |= 1 << (idx & 63);
+            self.near_len += 1;
+        }
+    }
+
+    /// First occupied ring at or after `from`; caller guarantees one
+    /// exists (`near_len > 0` and no pending entry sits behind `from`).
+    #[inline]
+    fn first_occupied(&self, from: usize) -> usize {
+        let mut w = from >> 6;
+        let mut word = self.occupied[w] & (!0u64 << (from & 63));
+        while word == 0 {
+            w += 1;
+            word = self.occupied[w];
+        }
+        (w << 6) + word.trailing_zeros() as usize
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<Entry<E>> {
+        if self.near_len == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.refill();
+        }
+        // Amortized O(1): the cursor never moves backwards in a window.
+        let next = self.first_occupied(self.cursor);
+        if next != self.cursor {
+            self.cursor = next;
+            self.cursor_sorted = false;
+        }
+        let ring = &mut self.buckets[next];
+        if !self.cursor_sorted {
+            // First touch of this ring: one sort serves its whole drain
+            // (descending, so the exact (time, seq) minimum is at the
+            // back and each pop is O(1)).
+            ring.sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+            self.cursor_sorted = true;
+        }
+        self.near_len -= 1;
+        let entry = ring.pop();
+        if ring.is_empty() {
+            self.occupied[next >> 6] &= !(1 << (next & 63));
+        }
+        entry
+    }
+
+    /// Advances the window to the earliest overflow event and pulls every
+    /// overflow entry inside the new window into rings. Only called when
+    /// the rings are empty, so no near entry can be stranded behind the
+    /// new base.
+    fn refill(&mut self) {
+        debug_assert_eq!(self.near_len, 0);
+        let base = self
+            .overflow
+            .peek()
+            .expect("refill requires overflow entries")
+            .time
+            .as_ps();
+        self.rebase(base);
+        while let Some(e) = self.overflow.peek() {
+            if e.time.as_ps() >= self.end_ps {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry exists");
+            let idx = ((e.time.as_ps() - self.base_ps) >> self.width_shift) as usize;
+            self.buckets[idx].push(e);
+            self.occupied[idx >> 6] |= 1 << (idx & 63);
+            self.near_len += 1;
+        }
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        if self.near_len == 0 {
+            return self.overflow.peek().map(|e| e.time);
+        }
+        let c = self.first_occupied(self.cursor);
+        if c == self.cursor && self.cursor_sorted {
+            return self.buckets[c].last().map(|e| e.time);
+        }
+        self.buckets[c].iter().map(|e| e.time).min()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.near_len + self.overflow.len()
+    }
+
+    /// Empties the ladder, retaining every ring's capacity.
+    pub(crate) fn clear(&mut self) {
+        for ring in &mut self.buckets {
+            ring.clear();
+        }
+        self.overflow.clear();
+        self.occupied = [0; NUM_BUCKETS / 64];
+        self.near_len = 0;
+        self.rebase(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(time_ps: u64, seq: u64) -> Entry<u64> {
+        Entry {
+            time: SimTime::from_ps(time_ps),
+            seq,
+            event: seq,
+        }
+    }
+
+    #[test]
+    fn far_events_overflow_and_refill() {
+        let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
+        // width = 1 ps, window anchors at the first push: [5, 517).
+        q.push(entry(5, 0));
+        q.push(entry(10_000, 1)); // beyond the window: overflow
+        q.push(entry(20_000, 2)); // overflow
+        q.push(entry(10_000, 3)); // same instant as seq 1, later push
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.overflow.len(), 3);
+        // Draining the window refills from overflow (re-anchoring at
+        // 10_000) and preserves the same-instant FIFO order.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.seq)).collect();
+        assert_eq!(order, vec![0, 1, 3, 2]);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn late_push_into_drained_window_pops_in_order() {
+        let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
+        q.push(entry(100, 0));
+        q.push(entry(300, 1));
+        assert_eq!(q.pop().unwrap().seq, 0); // cursor advanced to ring 100
+        q.push(entry(50, 2)); // before the cursor slot: clamped, still next
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert_eq!(q.pop().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn equal_times_keep_fifo_across_cursor_positions() {
+        let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
+        q.push(entry(200, 0));
+        q.push(entry(64, 1));
+        assert_eq!(q.pop().unwrap().seq, 1); // cursor at ring 64
+        q.push(entry(200, 2)); // same instant as seq 0, later push
+        q.push(entry(200, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.seq)).collect();
+        assert_eq!(order, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn idle_requeue_re_anchors_without_overflow() {
+        let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_us(1));
+        q.push(entry(1_000, 0));
+        assert_eq!(q.pop().unwrap().seq, 0);
+        // Queue idle; a push far past the original window must re-anchor
+        // instead of spilling to overflow.
+        q.push(entry(50_000_000, 1));
+        assert_eq!(q.overflow.len(), 0);
+        assert_eq!(q.pop().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn clear_retains_ring_capacity() {
+        let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_us(1));
+        for i in 0..64 {
+            q.push(entry(i * 10, i));
+        }
+        let cap_before: usize = q.buckets.iter().map(Vec::capacity).sum();
+        q.clear();
+        assert_eq!(q.len(), 0);
+        let cap_after: usize = q.buckets.iter().map(Vec::capacity).sum();
+        assert_eq!(cap_before, cap_after);
+    }
+}
