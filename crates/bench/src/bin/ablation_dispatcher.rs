@@ -1,92 +1,14 @@
 //! Ablation — single-dispatcher scalability headroom (§4.3).
 //!
-//! The paper argues one centralized dispatch unit suffices: "even an RPC
-//! service time as low as 500 ns corresponds to a new dispatch decision
-//! every ~31/8 ns for a 16/64-core chip" — both far above the ~1 ns
-//! decision occupancy. This binary reproduces that arithmetic and then
-//! measures the dispatcher's actual utilization and the shared-CQ high
-//! water in simulation at saturation.
-//!
-//! The measured sweeps run as harness [`ScenarioMatrix`]es on the worker
-//! pool — the predefined `ablation_dispatcher` matrix for the 16-core
-//! Table 1 chip, plus an inline 64-core matrix using the matrix-level
-//! [`ScenarioMatrix::chip`] override (§4.3's scale-up argument).
+//! Reproduces the paper's dispatch-interval arithmetic and measures the
+//! dispatcher's shared-CQ high water at saturation on the 16-core
+//! Table 1 chip and the 64-core scale-up.
 //!
 //! Usage: `cargo run -p bench --release --bin ablation_dispatcher [--quick]`
-
-use bench::{write_json, Mode};
-use harness::{default_threads, run_jobs, JobOutcome, RateGrid, ScenarioMatrix};
-use rpcvalet::Policy;
-use serde::Serialize;
-use simkit::SimDuration;
-use workloads::Workload;
-
-#[derive(Serialize)]
-struct DispatcherRow {
-    cores: usize,
-    service_ns: f64,
-    decision_interval_ns: f64,
-    decision_occupancy_ns: f64,
-    headroom: f64,
-}
-
-fn print_measured(cores: usize, outcomes: &[JobOutcome]) {
-    for o in outcomes {
-        println!(
-            "  measured {cores} cores at {:.0} Mrps offered: throughput {:.2} Mrps, shared-CQ high water {}",
-            o.spec.rate_rps / 1e6,
-            o.result.throughput_rps / 1e6,
-            o.result.dispatcher_high_water
-        );
-    }
-}
+//!
+//! Thin shim over the `ablation_dispatcher` registry entry (`harness run
+//! --scenario ablation_dispatcher` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    println!("=== Ablation: single NI dispatcher headroom (§4.3) ===\n");
-
-    let decision = SimDuration::from_cycles(2).as_ns_f64();
-    let mut rows = Vec::new();
-    println!("  Analytic headroom (dispatch interval vs ~{decision} ns decision):");
-    for (cores, service_ns) in [(16usize, 500.0), (64, 500.0), (16, 820.0), (64, 820.0)] {
-        let interval = service_ns / cores as f64;
-        let headroom = interval / decision;
-        println!(
-            "    {cores:>3} cores x {service_ns:>4.0} ns RPCs -> a decision every {interval:>5.1} ns ({headroom:>5.1}x headroom)"
-        );
-        rows.push(DispatcherRow {
-            cores,
-            service_ns,
-            decision_interval_ns: interval,
-            decision_occupancy_ns: decision,
-            headroom,
-        });
-    }
-    println!("  (paper: ~31 ns and ~8 ns for 16/64 cores at 500 ns — both modest)\n");
-
-    let threads = default_threads();
-
-    // Measured: drive the 16-core chip at saturation and inspect the
-    // dispatcher's shared-CQ depth (it must stay shallow pre-saturation).
-    let mut m16 = ScenarioMatrix::named("ablation_dispatcher").expect("predefined");
-    if mode == Mode::Quick {
-        m16 = m16.quick();
-    }
-    print_measured(16, &run_jobs(m16.jobs(), threads));
-
-    // Scale-up check: a single dispatcher on the 64-core chip (§4.3's
-    // "a new dispatch decision every ~8 ns"). Capacity ≈ 64/820 ns ≈
-    // 78 Mrps; drive to ~90 % and confirm the dispatcher keeps up.
-    let mut m64 = ScenarioMatrix::new("ablation_dispatcher64", 97)
-        .workloads(vec![Workload::Synthetic(dist::SyntheticKind::Exponential)])
-        .policies(vec![Policy::hw_single_queue()])
-        .chip(sonuma::ChipParams::manycore64())
-        .rates(RateGrid::Shared(vec![40.0e6, 70.0e6]))
-        .requests(300_000, 30_000);
-    if mode == Mode::Quick {
-        m64 = m64.quick();
-    }
-    print_measured(64, &run_jobs(m64.jobs(), threads));
-
-    write_json("ablation_dispatcher", &rows);
+    bench::cli::scenario_main("ablation_dispatcher");
 }

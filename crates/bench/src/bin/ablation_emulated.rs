@@ -1,56 +1,15 @@
-//! Ablation — emulated messaging's flow affinity vs per-message 16×1.
+//! Ablation — emulated messaging's flow affinity vs per-message 16×1 (§3.3).
 //!
-//! §3.3: with messaging *emulated* over one-sided writes, "the sending
-//! thread implicitly determines which thread at the remote end will
-//! process its RPC request, because the memory location the RPC is
-//! written to is tied to a specific thread" — i.e. a *per-flow* static
-//! mapping. The paper's 16×1 queueing abstraction assumes per-*message*
-//! uniform assignment, which is already the best case for a static
-//! system. With only 199 client nodes hashed onto 16 cores, per-flow
-//! affinity adds persistent skew on top of the queueing imbalance, so
-//! emulated messaging is strictly worse than even idealized 16×1.
+//! With messaging *emulated* over one-sided writes, the sending thread's
+//! buffer location pins each flow to one server core — persistent skew
+//! on top of the queueing imbalance, so emulated messaging is strictly
+//! worse than even idealized 16×1.
 //!
 //! Usage: `cargo run -p bench --release --bin ablation_emulated [--quick]`
-
-use bench::{write_json, Mode};
-use metrics::{throughput_under_slo, SloSpec};
-use rpcvalet::{sweep_rates, Policy, RateSweepSpec};
-use serde::Serialize;
-use workloads::{scenario_config, Workload};
-
-#[derive(Serialize)]
-struct EmulatedRow {
-    assignment: String,
-    slo_mrps: f64,
-}
+//!
+//! Thin shim over the `ablation_emulated` registry entry (`harness run
+//! --scenario ablation_emulated` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    let requests = mode.requests(250_000);
-    let spec = RateSweepSpec {
-        rates_rps: (1..=10).map(|i| i as f64 * 1.95e6).collect(),
-        requests,
-        warmup: requests / 10,
-        seed: 78,
-    };
-    let workload = Workload::Synthetic(dist::SyntheticKind::Exponential);
-
-    println!("=== Ablation: per-flow (emulated messaging) vs per-message 16x1 ===\n");
-    let mut rows = Vec::new();
-    for (name, per_flow) in [("per-message (idealized 16x1)", false), ("per-flow (emulated messaging)", true)] {
-        let mut base = scenario_config(workload, Policy::hw_static(), spec.rates_rps[0], spec.seed);
-        base.rss_per_flow = per_flow;
-        let (curve, results) = sweep_rates(&base, &spec);
-        let slo = SloSpec::ten_times_mean(results[0].mean_service_ns);
-        let tput = throughput_under_slo(&curve, slo);
-        println!("  {:<32} SLO throughput = {:.2} Mrps", name, tput / 1e6);
-        rows.push(EmulatedRow {
-            assignment: name.to_owned(),
-            slo_mrps: tput / 1e6,
-        });
-    }
-    println!("\n  (per-flow affinity adds persistent skew: 199 sources never split");
-    println!("   evenly over 16 cores, so emulated messaging trails even the");
-    println!("   idealized per-message 16x1 the queueing model assumes)");
-    write_json("ablation_emulated", &rows);
+    bench::cli::scenario_main("ablation_emulated");
 }

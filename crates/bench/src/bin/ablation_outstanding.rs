@@ -1,70 +1,14 @@
 //! Ablation — outstanding requests per core: 1 vs 2 (§4.3 / §6.1).
 //!
-//! The paper: "Allowing only one outstanding request per core …
-//! corresponds to true single-queue system behavior, but leaves a small
-//! execution bubble at the core. The bubble can be eliminated by setting
-//! the number of outstanding requests per core to two. … Reducing this to
-//! one marginally degrades HERD's throughput, because of its short sub-µs
-//! service times, but has no measurable performance difference in the
-//! rest of our experiments."
-//!
-//! Runs as the predefined `ablation_outstanding` harness matrix (HERD +
-//! synthetic-fixed × threshold 1/2) on the worker pool.
+//! The paper: threshold 1 is true single-queue behaviour but leaves an
+//! execution bubble at the core; threshold 2 closes it, helping HERD's
+//! sub-µs services marginally and everything else not at all.
 //!
 //! Usage: `cargo run -p bench --release --bin ablation_outstanding [--quick]`
-
-use bench::{ratio, write_json, Mode};
-use harness::{default_threads, run_matrix, ScenarioMatrix};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct AblationRow {
-    workload: String,
-    threshold1_slo_mrps: f64,
-    threshold2_slo_mrps: f64,
-    gain_from_threshold2: f64,
-}
+//!
+//! Thin shim over the `ablation_outstanding` registry entry (`harness run
+//! --scenario ablation_outstanding` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    println!("=== Ablation: outstanding requests per core (1 vs 2) ===\n");
-
-    let mut matrix =
-        ScenarioMatrix::named("ablation_outstanding").expect("predefined ablation matrix");
-    if mode == Mode::Quick {
-        matrix = matrix.quick();
-    }
-    let (report, timing) = run_matrix(&matrix, default_threads());
-
-    let all_summaries = report.summaries();
-    let mut rows = Vec::new();
-    for workload in &matrix.workloads {
-        // Policy order in the matrix is threshold 1 then threshold 2; the
-        // summaries preserve it (keys "hw-single-t1" / "hw-single-t2").
-        let summaries: Vec<_> = all_summaries
-            .iter()
-            .filter(|s| s.workload == workload.label())
-            .collect();
-        assert_eq!(summaries.len(), 2, "one summary per threshold");
-        let (t1, t2) = (
-            summaries[0].throughput_under_slo_rps,
-            summaries[1].throughput_under_slo_rps,
-        );
-        println!(
-            "  {:<8} threshold=1: {:.2} Mrps, threshold=2: {:.2} Mrps ({} from threshold 2)",
-            workload.label(),
-            t1 / 1e6,
-            t2 / 1e6,
-            ratio(t2, t1)
-        );
-        rows.push(AblationRow {
-            workload: workload.label(),
-            threshold1_slo_mrps: t1 / 1e6,
-            threshold2_slo_mrps: t2 / 1e6,
-            gain_from_threshold2: t2 / t1.max(1.0),
-        });
-    }
-    println!("\n  (paper: threshold 2 helps HERD marginally; elsewhere no measurable difference)");
-    println!("  {}", timing.summary_line());
-    write_json("ablation_outstanding", &rows);
+    bench::cli::scenario_main("ablation_outstanding");
 }

@@ -1,99 +1,14 @@
 //! Extension study — RPCValet + Shinjuku-style preemption (§7).
 //!
-//! The paper's related-work discussion: "A system combining Shinjuku and
-//! RPCValet would rigorously handle RPCs of a broad runtime range, from
-//! hundreds of ns to hundreds of µs." This binary quantifies that claim
-//! on the Masstree workload (99 % µs-scale gets + 1 % 60–120 µs scans):
-//! preemption bounds how long a scan can monopolize a core, which
-//! shrinks the get-class tail for every dispatch policy — most
-//! dramatically for 16×1, which has no other defense.
-//!
-//! The sweep runs as the predefined `ablation_preemption` harness matrix
-//! on the worker pool: Masstree × {16×1, 4×4, 1×16} × {plain,
-//! Shinjuku-preempted} × {2, 4} Mrps, with preemption carried on the
-//! policy axis ([`harness::PolicySpec::SimPreempt`]).
+//! Quantifies the paper's related-work claim on the Masstree workload:
+//! preemption bounds how long a scan monopolizes a core, shrinking the
+//! get-class tail for every dispatch policy — most dramatically 16×1.
 //!
 //! Usage: `cargo run -p bench --release --bin ablation_preemption [--quick]`
-
-use std::collections::HashMap;
-
-use bench::{write_json, Mode};
-use harness::{default_threads, policy_spec_key, run_jobs, Measurement, PolicySpec, ScenarioMatrix};
-use rpcvalet::PreemptionParams;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct PreemptionRow {
-    policy: String,
-    rate_mrps: f64,
-    get_p99_us_plain: f64,
-    get_p99_us_preempted: f64,
-    preemptions: u64,
-    improvement: f64,
-}
+//!
+//! Thin shim over the `ablation_preemption` registry entry (`harness run
+//! --scenario ablation_preemption` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    println!("=== Extension: Shinjuku-style preemption on Masstree (get-class p99) ===\n");
-    println!(
-        "{:<8} {:>10} {:>16} {:>20} {:>12}",
-        "policy", "rate", "plain p99 (us)", "preempted p99 (us)", "improvement"
-    );
-
-    let mut matrix = ScenarioMatrix::named("ablation_preemption").expect("predefined");
-    if mode == Mode::Quick {
-        matrix = matrix.quick();
-    }
-    let jobs = matrix.jobs();
-    let outcomes = run_jobs(jobs, default_threads());
-
-    // Index by (policy key, rate); the preempted variant's key is the
-    // plain key plus a `-preempt-…` suffix.
-    let by_key: HashMap<(String, u64), &Measurement> = outcomes
-        .iter()
-        .map(|o| {
-            (
-                (policy_spec_key(&o.spec.policy), o.spec.rate_rps.to_bits()),
-                &o.result,
-            )
-        })
-        .collect();
-
-    let mut rows = Vec::new();
-    for o in &outcomes {
-        let PolicySpec::Sim(policy) = &o.spec.policy else {
-            continue; // preempted rows are looked up as twins below
-        };
-        let rate = o.spec.rate_rps;
-        let plain = &o.result;
-        // The matrix pairs every plain policy with a shinjuku_5us
-        // preempted variant; reconstruct that variant's exact key.
-        let preempt_key = policy_spec_key(&PolicySpec::SimPreempt(
-            policy.clone(),
-            PreemptionParams::shinjuku_5us(),
-        ));
-        let pre = by_key
-            .get(&(preempt_key, rate.to_bits()))
-            .expect("every plain policy has a preempted twin in the matrix");
-        let improvement = plain.p99_critical_ns / pre.p99_critical_ns.max(1.0);
-        println!(
-            "{:<8} {:>8.1}M {:>16.2} {:>20.2} {:>11.2}x",
-            plain.label,
-            rate / 1e6,
-            plain.p99_critical_ns / 1e3,
-            pre.p99_critical_ns / 1e3,
-            improvement
-        );
-        rows.push(PreemptionRow {
-            policy: plain.label.clone(),
-            rate_mrps: rate / 1e6,
-            get_p99_us_plain: plain.p99_critical_ns / 1e3,
-            get_p99_us_preempted: pre.p99_critical_ns / 1e3,
-            preemptions: pre.preemptions,
-            improvement,
-        });
-    }
-    println!("\n  (5 us quantum, 500 ns preemption cost; scans requeue at the CQ tail.");
-    println!("   The get SLO is 12.5 us — preemption pulls even 16x1 under it.)");
-    write_json("ablation_preemption", &rows);
+    bench::cli::scenario_main("ablation_preemption");
 }

@@ -1,131 +1,14 @@
 //! Sensitivity studies on the design constants DESIGN.md calls out.
 //!
-//! Four sweeps, each answering a "what if the substrate were different"
-//! question the paper raises:
-//!
-//! 1. **Send slots S** (§4.2: "a few tens" suffice) — throughput and
-//!    flow-control deferrals vs S;
-//! 2. **MTU** (§4.2: small on-chip MTUs vs InfiniBand's 4 KB) — latency
-//!    of multi-packet requests vs MTU;
-//! 3. **MCS lock cost** (§6.2) — the software baseline's saturation
-//!    throughput vs handoff latency;
-//! 4. **Outstanding threshold beyond 2** — diminishing returns and the
-//!    growing multi-queue effect.
+//! Four sim sweeps (send slots S, MTU, MCS lock cost, outstanding
+//! threshold) plus the live knobs (partitioned group counts, replenish
+//! batch sizes) over real loopback TCP.
 //!
 //! Usage: `cargo run -p bench --release --bin ablation_sensitivity [--quick]`
-
-use bench::{write_json, Mode};
-use dist::ServiceDist;
-use rpcvalet::{McsParams, Policy, ServerSim, SystemConfig};
-use serde::Serialize;
-use simkit::SimDuration;
-
-#[derive(Serialize, Default)]
-struct Sensitivity {
-    slots: Vec<(usize, f64, u64)>,          // (S, Mrps, deferrals)
-    mtu: Vec<(u64, f64)>,                   // (MTU bytes, p50 latency ns)
-    mcs_handoff: Vec<(u64, f64)>,           // (handoff ns, saturated Mrps)
-    threshold: Vec<(u32, f64, f64)>,        // (threshold, Mrps, p99 us)
-}
+//!
+//! Thin shim over the `ablation_sensitivity` registry entry (`harness run
+//! --scenario ablation_sensitivity` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    let requests = mode.requests(120_000);
-    let mut out = Sensitivity::default();
-
-    println!("=== Sensitivity studies ===\n");
-
-    // 1. Send slots: at saturation offered load, too few slots throttle
-    //    the generator (flow control) before the cores saturate.
-    println!("--- send slots per node pair (S), offered 18 Mrps ---");
-    for slots in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = SystemConfig::builder()
-            .service(ServiceDist::exponential_mean_ns(600.0))
-            .send_slots_per_node(slots)
-            .cluster_nodes(8) // few sources make slot pressure visible
-            .rate_rps(18.0e6)
-            .requests(requests)
-            .warmup(requests / 10)
-            .seed(101)
-            .build();
-        let r = ServerSim::new(cfg).run();
-        println!(
-            "  S={slots:>3}: throughput {:>6.2} Mrps, deferrals {}",
-            r.throughput_mrps(),
-            r.flow_control_deferrals
-        );
-        out.slots.push((slots, r.throughput_mrps(), r.flow_control_deferrals));
-    }
-
-    // 2. MTU: a 4 KB InfiniBand-style MTU makes every request one packet;
-    //    soNUMA's 64 B cache-block MTU packetizes. Request size 1 KB.
-    println!("\n--- MTU, 1 KB requests at light load ---");
-    for mtu in [64u64, 256, 1024, 4096] {
-        let mut chip = sonuma::ChipParams::table1();
-        chip.mtu_bytes = mtu;
-        let cfg = SystemConfig::builder()
-            .chip(chip)
-            .service(ServiceDist::fixed_ns(600.0))
-            .request_bytes(1024)
-            .rate_rps(1.0e6)
-            .requests(requests / 4)
-            .warmup(requests / 40)
-            .seed(102)
-            .build();
-        let r = ServerSim::new(cfg).run();
-        println!("  MTU={mtu:>5}B: p50 latency {:>7.0} ns", r.p50_latency_ns);
-        out.mtu.push((mtu, r.p50_latency_ns));
-    }
-
-    // 3. MCS handoff cost: the software ceiling moves linearly with it.
-    println!("\n--- MCS handoff latency, software 1x16 at 12 Mrps offered ---");
-    for handoff_ns in [30u64, 60, 90, 150, 250] {
-        let cfg = SystemConfig::builder()
-            .policy(Policy::SwSingleQueue {
-                lock: McsParams {
-                    acquire_uncontended: SimDuration::from_ns(15),
-                    handoff: SimDuration::from_ns(handoff_ns),
-                    critical_section: SimDuration::from_ns(45),
-                },
-            })
-            .service(ServiceDist::exponential_mean_ns(600.0))
-            .rate_rps(12.0e6)
-            .requests(requests)
-            .warmup(requests / 10)
-            .seed(103)
-            .build();
-        let r = ServerSim::new(cfg).run();
-        let ceiling = 1e3 / (handoff_ns as f64 + 45.0);
-        println!(
-            "  handoff={handoff_ns:>4}ns: throughput {:>6.2} Mrps (1/(handoff+cs) = {ceiling:.2})",
-            r.throughput_mrps()
-        );
-        out.mcs_handoff.push((handoff_ns, r.throughput_mrps()));
-    }
-
-    // 4. Outstanding threshold: 1 leaves the bubble, 2 closes it, beyond
-    //    2 only deepens the multi-queue effect.
-    println!("\n--- outstanding-per-core threshold, exp service at 17 Mrps ---");
-    for threshold in [1u32, 2, 4, 8] {
-        let cfg = SystemConfig::builder()
-            .policy(Policy::HwSingleQueue {
-                outstanding_per_core: threshold,
-            })
-            .service(ServiceDist::exponential_mean_ns(600.0))
-            .rate_rps(17.0e6)
-            .requests(requests)
-            .warmup(requests / 10)
-            .seed(104)
-            .build();
-        let r = ServerSim::new(cfg).run();
-        println!(
-            "  threshold={threshold}: throughput {:>6.2} Mrps, p99 {:>6.2} us",
-            r.throughput_mrps(),
-            r.p99_latency_us()
-        );
-        out.threshold
-            .push((threshold, r.throughput_mrps(), r.p99_latency_us()));
-    }
-
-    write_json("ablation_sensitivity", &out);
+    bench::cli::scenario_main("ablation_sensitivity");
 }

@@ -5,89 +5,17 @@
 //! * **2b**: the 1×16 system under fixed/uniform/exponential/GEV service.
 //! * **2c**: the 16×1 system under the same four distributions.
 //!
-//! Y values are in multiples of the mean service time S̄ (the service
-//! distributions are normalized to mean 1), exactly as the paper plots.
-//!
-//! All sweeps run as the predefined `fig2a`/`fig2b`/`fig2c` harness
-//! matrices ([`JobKind::Queueing`]) on the worker pool; the per-point
-//! seeds match the old hand-rolled `queueing::sweep` loops exactly
+//! Y values are in multiples of the mean service time S̄, exactly as the
+//! paper plots. The sweeps are the predefined `fig2a`/`fig2b`/`fig2c`
+//! harness matrices; seeds match the old hand-rolled loops exactly
 //! (`split_seed(2019, i)`), so the emitted JSON is bit-identical to the
 //! pre-harness binary's.
 //!
 //! Usage: `cargo run -p bench --release --bin fig2 [--part a|b|c] [--quick]`
-
-use bench::{part_arg, print_curve, write_json, Mode};
-use harness::{default_threads, run_matrix, JobKind, ScenarioMatrix};
-use metrics::LatencyCurve;
-
-/// Runs one fig2 matrix and reconstructs the figure's latency curves
-/// (the legacy artifact shape) from the report summaries.
-fn run_part(mode: Mode, name: &str, relabel_by_workload: bool) -> Vec<LatencyCurve> {
-    let mut matrix = ScenarioMatrix::named(name).expect("fig2 matrices are predefined");
-    if mode == Mode::Quick {
-        matrix = matrix.quick();
-    }
-    assert!(matrix.jobs().iter().all(|j| j.kind() == JobKind::Queueing));
-    let (report, timing) = run_matrix(&matrix, default_threads());
-    println!("  {}", timing.summary_line());
-    report
-        .summaries()
-        .into_iter()
-        .map(|s| {
-            let mut curve = s.curve;
-            // Part a keeps the config label ("1x16"); parts b/c prepend
-            // the distribution, as the legacy binary labelled them.
-            curve.label = if relabel_by_workload {
-                format!("{}-{}", s.workload, s.policy)
-            } else {
-                s.policy.clone()
-            };
-            curve
-        })
-        .collect()
-}
+//!
+//! Thin shim over the `fig2` registry entry (`harness run
+//! --scenario fig2` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    let part = part_arg();
-    let run_part_selected = |p: &str| part.as_deref().map(|sel| sel == p).unwrap_or(true);
-
-    println!("=== Fig. 2: queueing-model tail latency (99th pct, multiples of S̄) ===");
-
-    if run_part_selected("a") {
-        println!("\n--- Fig. 2a: Q x U configurations, exponential service ---");
-        let curves = run_part(mode, "fig2a", false);
-        for c in &curves {
-            print_curve(c, "load", "xS", 1.0);
-        }
-        // The paper's §2.2 claim: peak load under a 10×S̄ SLO is 25–73 %
-        // lower for 16×1 than 1×16 across distributions; for exponential
-        // the gap is in between.
-        let slo = metrics::SloSpec::absolute_ns(10.0);
-        let best = metrics::throughput_under_slo(&curves[0], slo);
-        let worst = metrics::throughput_under_slo(&curves[4], slo);
-        println!(
-            "\n  1x16 vs 16x1 load capacity under 10xS SLO: {} (paper: 25-73% lower for 16x1)",
-            bench::ratio(best, worst)
-        );
-        write_json("fig2a", &curves);
-    }
-
-    if run_part_selected("b") {
-        println!("\n--- Fig. 2b: model 1x16, four service distributions ---");
-        let curves = run_part(mode, "fig2b", true);
-        for c in &curves {
-            print_curve(c, "load", "xS", 1.0);
-        }
-        write_json("fig2b", &curves);
-    }
-
-    if run_part_selected("c") {
-        println!("\n--- Fig. 2c: model 16x1, four service distributions ---");
-        let curves = run_part(mode, "fig2c", true);
-        for c in &curves {
-            print_curve(c, "load", "xS", 1.0);
-        }
-        write_json("fig2c", &curves);
-    }
+    bench::cli::scenario_main("fig2");
 }

@@ -7,98 +7,10 @@
 //!   the axis), over 0–4000 ns.
 //!
 //! Usage: `cargo run -p bench --release --bin fig6 [--part a|b|c] [--quick]`
-
-use bench::{part_arg, write_json, Mode};
-use dist::pdf::{estimate_pdf, EstimatedPdf};
-use dist::{workload_models, ServiceDist, SyntheticKind};
-use serde::Serialize;
-use simkit::rng::stream_rng;
-
-#[derive(Serialize)]
-struct PdfSeries {
-    label: String,
-    bin_width_ns: f64,
-    centers_ns: Vec<f64>,
-    probability: Vec<f64>,
-    mean_ns: f64,
-    clipped_fraction: f64,
-}
-
-fn series(label: &str, dist: &ServiceDist, n: usize, bin: f64, max: f64, seed: u64) -> PdfSeries {
-    let mut rng = stream_rng(seed, 0);
-    let pdf: EstimatedPdf = estimate_pdf(dist, n, bin, max, &mut rng);
-    PdfSeries {
-        label: label.to_owned(),
-        bin_width_ns: bin,
-        centers_ns: pdf.bins().iter().map(|b| b.center_ns).collect(),
-        probability: pdf.bins().iter().map(|b| b.probability).collect(),
-        mean_ns: pdf.mean_ns(),
-        clipped_fraction: pdf.clipped() as f64 / pdf.samples() as f64,
-    }
-}
-
-fn print_series(s: &PdfSeries) {
-    println!(
-        "  {}: mean {:.0} ns, mode {:.0} ns, {:.2}% beyond axis",
-        s.label,
-        s.mean_ns,
-        s.centers_ns[s
-            .probability
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap_or(0)],
-        s.clipped_fraction * 100.0
-    );
-    // Compact sparkline-style dump: every 4th bin.
-    let peak = s.probability.iter().cloned().fold(0.0, f64::max).max(1e-12);
-    print!("    ");
-    for (i, &p) in s.probability.iter().enumerate() {
-        if i % 4 == 0 {
-            let level = (p / peak * 8.0).round() as usize;
-            print!("{}", [" ", ".", ":", "-", "=", "+", "*", "#", "@"][level.min(8)]);
-        }
-    }
-    println!();
-}
+//!
+//! Thin shim over the `fig6` registry entry (`harness run
+//! --scenario fig6` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    let n = mode.requests(2_000_000) as usize;
-    let part = part_arg();
-    let run_part = |p: &str| part.as_deref().map(|sel| sel == p).unwrap_or(true);
-
-    println!("=== Fig. 6: modeled RPC processing-time distributions ===");
-
-    if run_part("a") {
-        println!("\n--- Fig. 6a: synthetic distributions (0-1000 ns axis) ---");
-        let all: Vec<PdfSeries> = SyntheticKind::ALL
-            .iter()
-            .map(|&k| series(k.label(), &k.processing_time(), n, 10.0, 1_000.0, k as u64))
-            .collect();
-        for s in &all {
-            print_series(s);
-        }
-        println!("  (paper: all four have a 600 ns mean; GEV has the heavy tail)");
-        write_json("fig6a", &all);
-    }
-
-    if run_part("b") {
-        println!("\n--- Fig. 6b: HERD (0-1000 ns axis) ---");
-        let s = series("herd", &workload_models::herd(), n, 10.0, 1_000.0, 42);
-        print_series(&s);
-        println!("  (paper: mean 330 ns)");
-        write_json("fig6b", &s);
-    }
-
-    if run_part("c") {
-        println!("\n--- Fig. 6c: Masstree gets + scans (0-4000 ns axis) ---");
-        let s = series("masstree", &workload_models::masstree(), n, 50.0, 4_000.0, 43);
-        print_series(&s);
-        println!(
-            "  (paper: gets average 1.25 us; 1% scans at 60-120 us fall beyond the axis)"
-        );
-        write_json("fig6c", &s);
-    }
+    bench::cli::scenario_main("fig6");
 }

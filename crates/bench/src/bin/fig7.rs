@@ -1,118 +1,15 @@
 //! Fig. 7 — load balancing with three hardware queuing implementations.
 //!
 //! * **7a**: HERD — 16×1 / 4×4 / 1×16, SLO = 10× S̄ (S̄ ≈ 550 ns);
-//! * **7b**: Masstree — SLO = 12.5 µs on `get`s; scans are not
-//!   latency-critical (plus the relaxed 75 µs comparison);
+//! * **7b**: Masstree — SLO = 12.5 µs on `get`s (plus the relaxed 75 µs
+//!   comparison);
 //! * **7c**: synthetic fixed and GEV distributions.
 //!
-//! All sweeps run through the `harness` orchestration layer: one
-//! [`ScenarioMatrix`] per part, fanned out over the worker pool, with the
-//! same per-load-point seeds the old sequential loops used
-//! (`split_seed(seed, i)`), so results match the pre-harness binary
-//! point for point.
-//!
 //! Usage: `cargo run -p bench --release --bin fig7 [--part a|b|c] [--quick]`
-
-use bench::{part_arg, print_curve, ratio, write_json, Mode};
-use dist::SyntheticKind;
-use harness::{default_threads, run_matrix, PolicySummary, ScenarioMatrix};
-use metrics::{throughput_under_slo, SloSpec};
-use workloads::Workload;
-
-fn run_part(mode: Mode, name: &str) -> Vec<PolicySummary> {
-    let mut matrix = ScenarioMatrix::named(name).expect("fig7 matrices are predefined");
-    if mode == Mode::Quick {
-        matrix = matrix.quick();
-    }
-    let (report, timing) = run_matrix(&matrix, default_threads());
-    println!("  {}", timing.summary_line());
-    report.summaries()
-}
-
-fn report(workload: Workload, summaries: &[PolicySummary], y_scale: f64, y_unit: &str) {
-    for s in summaries {
-        print_curve(&s.curve, "rate (rps)", y_unit, y_scale);
-        println!(
-            "    S = {:.0} ns, throughput under SLO = {:.2} Mrps",
-            s.mean_service_ns,
-            s.throughput_under_slo_rps / 1e6
-        );
-    }
-    let by_label = |l: &str| {
-        summaries
-            .iter()
-            .find(|s| s.policy == l)
-            .map(|s| s.throughput_under_slo_rps)
-            .unwrap_or(0.0)
-    };
-    let (t16, t44, t1) = (by_label("16x1"), by_label("4x4"), by_label("1x16"));
-    println!(
-        "  [{}] 1x16 vs 4x4: {}, 1x16 vs 16x1: {}",
-        workload.label(),
-        ratio(t1, t44),
-        ratio(t1, t16)
-    );
-}
+//!
+//! Thin shim over the `fig7` registry entry (`harness run
+//! --scenario fig7` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    let part = part_arg();
-    let run_part_selected = |p: &str| part.as_deref().map(|sel| sel == p).unwrap_or(true);
-
-    println!("=== Fig. 7: hardware queuing implementations ===");
-
-    if run_part_selected("a") {
-        println!("\n--- Fig. 7a: HERD (SLO = 10x S, S ~ 550 ns) ---");
-        // HERD capacity is ~16 cores / 550 ns ≈ 29 Mrps; the default grid
-        // sweeps to just past saturation like the paper's 0–30 Mrps axis.
-        let summaries = run_part(mode, "fig7a");
-        report(Workload::Herd, &summaries, 1e3, "us");
-        println!("  (paper: 1x16 delivers 29 MRPS, 1.16x over 4x4 and 1.18x over 16x1)");
-        write_json("fig7a", &summaries);
-    }
-
-    if run_part_selected("b") {
-        println!("\n--- Fig. 7b: Masstree (SLO = 12.5 us on gets) ---");
-        // Masstree capacity ≈ 16 / 2.36 µs ≈ 6.8 Mrps; paper sweeps 0–8,
-        // with extra low-rate points to resolve where 16×1 first violates.
-        let summaries = run_part(mode, "fig7b");
-        report(Workload::Masstree, &summaries, 1e3, "us");
-        // The relaxed 75 µs SLO comparison the paper also reports.
-        let relaxed = SloSpec::absolute_us(75.0);
-        let t: Vec<(String, f64)> = summaries
-            .iter()
-            .map(|s| (s.policy.clone(), throughput_under_slo(&s.curve, relaxed)))
-            .collect();
-        let find = |l: &str| t.iter().find(|x| x.0 == l).map(|x| x.1).unwrap_or(0.0);
-        println!(
-            "  relaxed 75 us SLO: 1x16 vs 16x1 {}, 1x16 vs 4x4 {}",
-            ratio(find("1x16"), find("16x1")),
-            ratio(find("1x16"), find("4x4")),
-        );
-        println!("  (paper: 1x16 4.1 MRPS at SLO, 37% over 4x4; 16x1 misses SLO at 2 MRPS;");
-        println!("   relaxed 75 us: 54% over 16x1, 20% over 4x4)");
-        write_json("fig7b", &summaries);
-    }
-
-    if run_part_selected("c") {
-        println!("\n--- Fig. 7c: synthetic fixed and GEV (SLO = 10x S, S ~ 820 ns) ---");
-        // Capacity ≈ 16 / 820 ns ≈ 19.5 Mrps (the default synthetic grid).
-        let mut summaries = run_part(mode, "fig7c");
-        for kind in [SyntheticKind::Fixed, SyntheticKind::Gev] {
-            let workload = Workload::Synthetic(kind);
-            let of_kind: Vec<PolicySummary> = summaries
-                .iter()
-                .filter(|s| s.workload == workload.label())
-                .cloned()
-                .collect();
-            println!("  [{} distribution]", kind.label());
-            report(workload, &of_kind, 1e3, "us");
-        }
-        for s in &mut summaries {
-            s.curve.label = format!("{}_{}", s.policy, s.workload);
-        }
-        println!("  (paper: fixed: 1x16 1.13x over 4x4, 1.2x over 16x1;");
-        println!("   GEV: 1.17x and 1.4x; plus up to 4x lower tail before saturation)");
-        write_json("fig7c", &summaries);
-    }
+    bench::cli::scenario_main("fig7");
 }

@@ -5,74 +5,11 @@
 //! baseline pulls from a shared queue under an MCS lock, which is
 //! competitive at low load but saturates at the lock-handoff ceiling.
 //!
-//! The whole figure is one harness [`ScenarioMatrix`] (the predefined
-//! `fig8` matrix: four synthetic families × hw/sw) run on the worker
-//! pool; the per-point seeds match the old sequential sweep exactly.
-//!
 //! Usage: `cargo run -p bench --release --bin fig8 [--quick]`
-
-use bench::{print_curve, ratio, write_json, Mode};
-use dist::SyntheticKind;
-use harness::{default_threads, run_matrix, ScenarioMatrix};
-use serde::Serialize;
-use workloads::Workload;
-
-#[derive(Serialize)]
-struct Fig8Row {
-    distribution: String,
-    hw_slo_mrps: f64,
-    sw_slo_mrps: f64,
-    hw_over_sw: f64,
-}
+//!
+//! Thin shim over the `fig8` registry entry (`harness run
+//! --scenario fig8` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    println!("=== Fig. 8: 1x16 hardware vs software (four synthetic distributions) ===");
-
-    let mut matrix = ScenarioMatrix::named("fig8").expect("fig8 matrix is predefined");
-    if mode == Mode::Quick {
-        matrix = matrix.quick();
-    }
-    let (report, timing) = run_matrix(&matrix, default_threads());
-    println!("  {}", timing.summary_line());
-
-    let all_summaries = report.summaries();
-    let mut rows = Vec::new();
-    let mut curves = Vec::new();
-    for kind in SyntheticKind::ALL {
-        let workload = Workload::Synthetic(kind);
-        let summaries: Vec<_> = all_summaries
-            .iter()
-            .filter(|s| s.workload == workload.label())
-            .cloned()
-            .collect();
-        println!("\n--- {} distribution ---", kind.label());
-        let mut slo_tputs = Vec::new();
-        for mut s in summaries {
-            let suffix = if s.policy.starts_with("sw") { "sw" } else { "hw" };
-            s.curve.label = format!("{}_{}", kind.label(), suffix);
-            print_curve(&s.curve, "rate (rps)", "us", 1e3);
-            slo_tputs.push(s.throughput_under_slo_rps);
-            curves.push(s);
-        }
-        let (hw, sw) = (slo_tputs[0], slo_tputs[1]);
-        println!(
-            "  [{}] throughput under SLO: hw {:.2} Mrps, sw {:.2} Mrps -> {}",
-            kind.label(),
-            hw / 1e6,
-            sw / 1e6,
-            ratio(hw, sw)
-        );
-        rows.push(Fig8Row {
-            distribution: kind.label().to_owned(),
-            hw_slo_mrps: hw / 1e6,
-            sw_slo_mrps: sw / 1e6,
-            hw_over_sw: if sw > 0.0 { hw / sw } else { f64::NAN },
-        });
-    }
-
-    println!("\n  (paper: hardware delivers 2.3-2.7x higher throughput under SLO,");
-    println!("   and software saturates significantly faster due to lock contention)");
-    write_json("fig8_curves", &curves);
-    write_json("fig8_summary", &rows);
+    bench::cli::scenario_main("fig8");
 }

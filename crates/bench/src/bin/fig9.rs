@@ -3,188 +3,14 @@
 //! §6.3's methodology: measure the implementation's mean service time S̄;
 //! model the theoretical system with a service time of which the `D`
 //! portion follows the synthetic distribution and `S̄ − D` is fixed.
-//! Both axes are normalized: load = λ·S̄/16, latency in multiples of S̄.
-//!
 //! The paper's claim: RPCValet performs within 3 % of the model at best
 //! and within 15 % in the worst case (GEV).
 //!
-//! Per distribution, the sweep is two harness matrices on the worker
-//! pool — a [`JobKind::Queueing`] matrix for the model line (master seed
-//! 91) and a [`JobKind::ServerSim`] matrix for the implementation
-//! (master seed 92) — with per-point seeds `split_seed(master, i)`, the
-//! exact seeds the old hand-rolled loops drew, so `fig9.json` is
-//! bit-identical to the pre-harness binary's.
-//!
 //! Usage: `cargo run -p bench --release --bin fig9 [--quick]`
-
-use bench::{write_json, Mode};
-use dist::SyntheticKind;
-use harness::{
-    default_threads, run_matrix, JobKind, RateGrid, ScenarioMatrix, SweepReport,
-};
-use metrics::LatencyCurve;
-use queueing::hybrid::hybrid_service;
-use queueing::QxU;
-use rpcvalet::{Policy, ServerSim, SystemConfig};
-use serde::Serialize;
-use workloads::Workload;
-
-#[derive(Serialize)]
-struct Fig9Panel {
-    distribution: String,
-    mean_service_ns: f64,
-    model: LatencyCurve,
-    simulation: LatencyCurve,
-    /// Gap between the model's and the implementation's throughput under
-    /// the 10×S̄ SLO, in percent — the paper's "within 3–15 %" measure.
-    slo_gap_pct: f64,
-    /// Max point-wise p99 gap (in S̄ multiples) before saturation —
-    /// supplementary; dominated by the threshold-2 eager dispatch's
-    /// deliberate "small multi-queue effect" (§4.3) at mid load.
-    max_p99_gap_pct: f64,
-}
-
-fn measure_s_bar(kind: SyntheticKind, requests: u64) -> f64 {
-    let cfg = SystemConfig::builder()
-        .policy(Policy::hw_single_queue())
-        .service(kind.processing_time())
-        .rate_rps(2.0e6)
-        .requests(requests.min(30_000))
-        .warmup(2_000)
-        .seed(90)
-        .build();
-    ServerSim::new(cfg).run().mean_service_ns
-}
-
-/// Rebuilds the figure's latency curve from a single-(workload, policy)
-/// report, with the X axis forced to the normalized load fractions.
-fn curve_from_report(report: &SweepReport, label: String, loads: &[f64]) -> LatencyCurve {
-    let summaries = report.summaries();
-    assert_eq!(summaries.len(), 1, "one (workload, policy) per fig9 matrix");
-    let mut curve = summaries.into_iter().next().expect("summary").curve;
-    assert_eq!(curve.points.len(), loads.len());
-    for (point, &load) in curve.points.iter_mut().zip(loads) {
-        point.offered_load = load;
-    }
-    curve.label = label;
-    curve
-}
+//!
+//! Thin shim over the `fig9` registry entry (`harness run
+//! --scenario fig9` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    println!("=== Fig. 9: RPCValet vs theoretical 1x16 model ===");
-
-    // 5 %-steps up to 95 %, then fine steps through the saturation knee
-    // so the SLO crossing is interpolated rather than clipped at the
-    // grid edge.
-    let mut loads: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
-    loads.extend([0.96, 0.97, 0.98, 0.99, 1.0]);
-    let requests = mode.requests(200_000);
-    let cores = 16.0;
-    let threads = default_threads();
-
-    let mut panels = Vec::new();
-    for kind in SyntheticKind::ALL {
-        let s_bar = measure_s_bar(kind, requests);
-        let fixed_part = (s_bar - 600.0).max(0.0);
-
-        // Theoretical model per §6.3: (S̄ − D) fixed + the D portion
-        // (mean 600 ns, including its own base) distributed. One
-        // queueing-kind matrix, master seed 91 (the legacy model seeds).
-        let model_matrix = ScenarioMatrix::new(format!("fig9-model-{}", kind.label()), 91)
-            .service_workloads(vec![(
-                format!("hybrid-{}", kind.label()),
-                hybrid_service(s_bar, kind),
-            )])
-            .model_policies(vec![QxU::SINGLE_16])
-            .rates(RateGrid::Shared(loads.clone()))
-            .requests(requests, requests / 10);
-        assert!(model_matrix.jobs().iter().all(|j| j.kind() == JobKind::Queueing));
-        let (model_report, _) = run_matrix(&model_matrix, threads);
-        let model_curve = curve_from_report(
-            &model_report,
-            format!("model-{}", kind.label()),
-            &loads,
-        );
-
-        // The implementation at the matching absolute rates: one
-        // sim-kind matrix, master seed 92 (the legacy sim seeds).
-        let rates: Vec<f64> = loads.iter().map(|l| l * cores / (s_bar * 1e-9)).collect();
-        let sim_matrix = ScenarioMatrix::new(format!("fig9-sim-{}", kind.label()), 92)
-            .workloads(vec![Workload::Synthetic(kind)])
-            .policies(vec![Policy::hw_single_queue()])
-            .rates(RateGrid::Shared(rates))
-            .requests(requests, requests / 10);
-        let (sim_report, _) = run_matrix(&sim_matrix, threads);
-        let sim_curve =
-            curve_from_report(&sim_report, format!("sim-{}", kind.label()), &loads);
-
-        // Headline gap: throughput under the 10×S̄ SLO, model vs sim —
-        // the comparison behind the paper's "within 3–15 %" claim. The
-        // curves carry offered load on X; interpolate the SLO crossing
-        // on that axis.
-        let slo = metrics::SloSpec::ten_times_mean(s_bar);
-        let slo_load = |curve: &LatencyCurve| {
-            let mut as_tput = curve.clone();
-            for p in &mut as_tput.points {
-                p.throughput_rps = p.offered_load; // SLO search over load axis
-            }
-            metrics::throughput_under_slo(&as_tput, slo)
-        };
-        let (model_slo, sim_slo) = (slo_load(&model_curve), slo_load(&sim_curve));
-        let slo_gap_pct = if model_slo > 0.0 {
-            (model_slo - sim_slo) / model_slo * 100.0
-        } else {
-            0.0
-        };
-
-        // Supplementary: max point-wise p99 gap before saturation.
-        let max_p99_gap_pct = model_curve
-            .points
-            .iter()
-            .zip(&sim_curve.points)
-            .filter(|(m, _)| m.offered_load <= 0.8)
-            .map(|(m, s)| {
-                let mp = m.p99_latency_ns / s_bar;
-                let sp = s.p99_latency_ns / s_bar;
-                ((sp - mp) / mp).abs() * 100.0
-            })
-            .fold(0.0, f64::max);
-
-        println!(
-            "\n--- Fig. 9 ({}): S = {:.0} ns (D = 600 ns distributed, {:.0} ns fixed) ---",
-            kind.label(),
-            s_bar,
-            fixed_part
-        );
-        println!(
-            "    {:>6} {:>14} {:>14}",
-            "load", "model p99 (xS)", "sim p99 (xS)"
-        );
-        for (m, s) in model_curve.points.iter().zip(&sim_curve.points) {
-            println!(
-                "    {:>6.2} {:>14.2} {:>14.2}",
-                m.offered_load,
-                m.p99_latency_ns / s_bar,
-                s.p99_latency_ns / s_bar
-            );
-        }
-        println!(
-            "    sustainable load under 10xS SLO: model {model_slo:.3}, sim {sim_slo:.3} -> gap {slo_gap_pct:.1}% (paper: 3-15%)"
-        );
-        println!(
-            "    max pre-saturation p99 gap: {max_p99_gap_pct:.1}% (threshold-2 multi-queue effect)"
-        );
-
-        panels.push(Fig9Panel {
-            distribution: kind.label().to_owned(),
-            mean_service_ns: s_bar,
-            model: model_curve,
-            simulation: sim_curve,
-            slo_gap_pct,
-            max_p99_gap_pct,
-        });
-    }
-
-    write_json("fig9", &panels);
+    bench::cli::scenario_main("fig9");
 }

@@ -1,73 +1,14 @@
 //! Latency anatomy: where a request's time goes, per policy and load.
 //!
 //! Uses the per-request tracing facility to decompose mean latency into
-//! the §4.2/§4.3 pipeline components — reassembly, dispatch path
-//! (including shared-CQ queueing), core-side queueing, and processing.
-//! This is the quantitative backing for the paper's qualitative claim
-//! that the NI path adds "just a few ns" and queueing is what separates
-//! the policies.
+//! the §4.2/§4.3 pipeline components — reassembly, dispatch path,
+//! core-side queueing, and processing.
 //!
 //! Usage: `cargo run -p bench --release --bin latency_breakdown [--quick]`
-
-use bench::{write_json, Mode};
-use dist::ServiceDist;
-use rpcvalet::{Policy, ServerSim, SystemConfig};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct BreakdownRow {
-    policy: String,
-    load_pct: u32,
-    reassembly_ns: f64,
-    dispatch_ns: f64,
-    core_queue_ns: f64,
-    processing_ns: f64,
-}
+//!
+//! Thin shim over the `latency_breakdown` registry entry (`harness run
+//! --scenario latency_breakdown` is the same run).
 
 fn main() {
-    let mode = Mode::from_args();
-    let requests = mode.requests(100_000);
-    println!("=== Latency breakdown (mean ns per component, exp-600ns workload) ===\n");
-    println!(
-        "{:<8} {:>6} {:>12} {:>10} {:>12} {:>12}",
-        "policy", "load", "reassembly", "dispatch", "core queue", "processing"
-    );
-
-    let mut rows = Vec::new();
-    for (name, policy) in [
-        ("1x16", Policy::hw_single_queue()),
-        ("4x4", Policy::hw_partitioned()),
-        ("16x1", Policy::hw_static()),
-    ] {
-        for load_pct in [20u32, 50, 80] {
-            let rate = load_pct as f64 / 100.0 * 19.5e6;
-            let cfg = SystemConfig::builder()
-                .policy(policy.clone())
-                .service(ServiceDist::exponential_mean_ns(600.0))
-                .rate_rps(rate)
-                .requests(requests)
-                .warmup(requests / 10)
-                .seed(111)
-                .trace_capacity(50_000)
-                .build();
-            let r = ServerSim::new(cfg).run();
-            let (re, di, cq, pr) = r.traces.component_means_ns();
-            println!(
-                "{:<8} {:>5}% {:>12.1} {:>10.1} {:>12.1} {:>12.1}",
-                name, load_pct, re, di, cq, pr
-            );
-            rows.push(BreakdownRow {
-                policy: name.to_owned(),
-                load_pct,
-                reassembly_ns: re,
-                dispatch_ns: di,
-                core_queue_ns: cq,
-                processing_ns: pr,
-            });
-        }
-    }
-    println!("\n  (reassembly and dispatch stay at a few ns for every policy;");
-    println!("   what separates 16x1 is core-side queueing — requests pinned");
-    println!("   to busy cores — exactly the paper's §2.3 imbalance argument)");
-    write_json("latency_breakdown", &rows);
+    bench::cli::scenario_main("latency_breakdown");
 }

@@ -125,6 +125,7 @@ fn main() -> ExitCode {
                 burn: BurnMode::Sleep,
                 connections: WORKERS * 2,
                 scale: SCALE,
+                replenish_batch: 1,
             },
         )
         .rates(RateGrid::Shared(LOADS.to_vec()))

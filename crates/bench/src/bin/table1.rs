@@ -5,41 +5,10 @@
 //! `sonuma::params` for each derivation).
 //!
 //! Usage: `cargo run -p bench --bin table1`
-
-use sonuma::ChipParams;
+//!
+//! Thin shim over the `table1` registry entry (`harness run
+//! --scenario table1` is the same run).
 
 fn main() {
-    let p = ChipParams::table1();
-    println!("=== Table 1: simulation parameters ===\n");
-    println!("  {:<28} {}", "Cores", format_args!("{} (ARM Cortex-A57-like, 2 GHz, OoO in the paper)", p.cores));
-    println!("  {:<28} {}", "Interconnect", format_args!("{}x{} 2D mesh, 16 B links, 3 cycles/hop", p.mesh.cols(), p.mesh.rows()));
-    println!("  {:<28} {}", "NI backends", p.backends);
-    println!("  {:<28} {} B (one cache block)", "MTU", p.mtu_bytes);
-    println!();
-    println!("  Event-model constants derived from Table 1 (see sonuma::params):");
-    println!("  {:<28} {}", "WQE post (core->frontend)", p.wqe_post);
-    println!("  {:<28} {}", "CQE notify (NI->core poll)", p.cq_notify);
-    println!("  {:<28} {}", "Backend RX per packet", p.backend_rx_per_packet);
-    println!("  {:<28} {}", "Backend TX per packet", p.backend_tx_per_packet);
-    println!("  {:<28} {}", "Reassembly counter F&I", p.reassembly_update);
-    println!("  {:<28} {}", "Dispatch decision", p.dispatch_decision);
-    println!("  {:<28} {}", "RX buffer read", p.rx_buffer_read);
-    println!("  {:<28} {}", "Reply build (512 B)", p.reply_build);
-    println!("  {:<28} {}", "Core loop residue", p.core_loop_overhead);
-    println!("  {:<28} {}", "Wire latency (one way)", p.wire_latency);
-    println!();
-    println!(
-        "  {:<28} {} (microbenchmark S-bar minus processing time)",
-        "Fixed service overhead",
-        p.fixed_service_overhead()
-    );
-    println!();
-    println!("  NoC control-packet latencies (backend -> dispatcher at backend 0):");
-    for b in 0..p.backends {
-        println!(
-            "    backend {} -> dispatcher: {}",
-            b,
-            p.backend_to_backend(b, 0)
-        );
-    }
+    bench::cli::scenario_main("table1");
 }

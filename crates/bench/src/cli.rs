@@ -1,0 +1,135 @@
+//! Shared CLI plumbing for the figure binaries.
+//!
+//! Every binary in `src/bin/` used to carry its own copy of the
+//! `--quick` / `--part` parsing and the run-print-write choreography;
+//! this module is the single home for both. The figure binaries are now
+//! thin shims: `fn main() { bench::cli::scenario_main("fig7") }` — the
+//! experiment itself lives in the [`harness::catalog`] registry and can
+//! equally be run as `harness run --scenario fig7`.
+
+use harness::{ScenarioParams, SweepTiming};
+
+/// Run mode for figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Paper-resolution sweep (default).
+    Full,
+    /// Coarse grid with fewer requests, for smoke runs and CI.
+    Quick,
+}
+
+impl Mode {
+    /// Parses the process arguments: `--quick` selects [`Mode::Quick`].
+    pub fn from_args() -> Mode {
+        if std::env::args().any(|a| a == "--quick") {
+            Mode::Quick
+        } else {
+            Mode::Full
+        }
+    }
+
+    /// Scales a request count down in quick mode.
+    pub fn requests(self, full: u64) -> u64 {
+        match self {
+            Mode::Full => full,
+            Mode::Quick => (full / 8).max(5_000),
+        }
+    }
+}
+
+/// The [`ScenarioParams`] encoded by this process's arguments
+/// (`--quick`, `--part <p>`, `--requests <n>`, `--seed <n>`). Exits
+/// with an error on an unknown flag or unparseable value — falling
+/// back to paper resolution on a typo'd `--requests` (or `--requets`)
+/// would silently run a minutes-long sweep.
+pub fn params_from_args() -> ScenarioParams {
+    fn fail(msg: String) -> ! {
+        eprintln!("{msg} (flags: --quick, --part a|b|c, --requests n, --seed n)");
+        std::process::exit(2);
+    }
+    fn parsed(flag: &str, raw: Option<String>) -> u64 {
+        let raw = raw.unwrap_or_else(|| fail(format!("{flag} needs a value")));
+        raw.parse()
+            .unwrap_or_else(|e| fail(format!("bad {flag} value `{raw}`: {e}")))
+    }
+    let mut params = ScenarioParams::full();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => params.quick = true,
+            "--part" => {
+                params.part =
+                    Some(it.next().unwrap_or_else(|| fail("--part needs a value".into())));
+            }
+            "--requests" => params.requests = Some(parsed("--requests", it.next())),
+            "--seed" => params.seed = Some(parsed("--seed", it.next())),
+            other => fail(format!("unknown flag `{other}`")),
+        }
+    }
+    params
+}
+
+/// The whole main of a migrated figure binary: runs the registry entry,
+/// prints its artifacts (plus per-matrix timing lines), and writes the
+/// machine-readable files to `target/figures/` — exactly what the
+/// hand-rolled binary used to do.
+///
+/// # Panics
+/// Panics on an unknown scenario name (a shim bug) or an I/O failure
+/// writing artifacts.
+pub fn scenario_main(name: &str) {
+    reset_sigpipe();
+    let scenario = harness::find_scenario(name)
+        .unwrap_or_else(|| panic!("scenario `{name}` is not in the catalog"));
+    let params = params_from_args();
+    if let Err(msg) = harness::validate_part(scenario, &params) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+    let (run, artifacts) =
+        harness::run_scenario(scenario, &params, harness::default_threads());
+    artifacts.print();
+    for timing in &run.timings {
+        print_timing(timing);
+    }
+    let written = artifacts
+        .write_all(&crate::figures_dir())
+        .expect("write figure artifacts");
+    for path in written {
+        println!("  [wrote {}]", path.display());
+    }
+}
+
+fn print_timing(timing: &SweepTiming) {
+    println!("  [{}] {}", timing.matrix, timing.summary_line());
+}
+
+/// Restores default SIGPIPE behaviour so `fig7 | head` exits quietly
+/// instead of panicking on a closed stdout (Rust ignores SIGPIPE by
+/// default; same guard as the `harness` binary).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_scaling() {
+        assert_eq!(Mode::Full.requests(100_000), 100_000);
+        assert_eq!(Mode::Quick.requests(100_000), 12_500);
+        assert_eq!(Mode::Quick.requests(1_000), 5_000);
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! One binary per paper figure (run with `cargo run -p bench --release
 //! --bin figN`), plus Criterion micro-benchmarks (`cargo bench`). Every
-//! binary prints the figure's data series to stdout in a fixed-width
-//! table and writes machine-readable JSON next to it under
-//! `target/figures/`.
+//! figure binary is a thin shim over the [`harness::catalog`] registry
+//! ([`cli::scenario_main`]): the experiment definition and its derive
+//! step live in the harness, so `cargo run -p bench --bin fig7` and
+//! `harness run --scenario fig7` are the same run. Both print the
+//! figure's data series in a fixed-width table and write
+//! machine-readable JSON under `target/figures/`.
 //!
 //! | binary | reproduces |
 //! |---|---|
@@ -18,104 +21,35 @@
 //! | `ablation_dispatcher` | §4.3 single-dispatcher headroom (16 & 64 cores) |
 //! | `ablation_preemption` | §7 RPCValet + Shinjuku-style preemption |
 //! | `ablation_emulated` | §3.3 emulated messaging's per-flow affinity |
-//! | `ablation_sensitivity` | slots / MTU / lock cost / threshold sweeps |
+//! | `ablation_sensitivity` | slots / MTU / lock cost / threshold sweeps + live knobs |
 //! | `latency_breakdown` | trace-based latency anatomy per policy |
-//! | `live_vs_sim` | measured loopback serving vs queueing models (sim-to-system check) |
+//! | `live_vs_sim` | measured loopback serving vs queueing models (sim-to-system check; not a registry scenario — it asserts, it doesn't plot) |
 //!
-//! Pass `--quick` to any figure binary for a fast low-resolution run.
+//! Pass `--quick` to any figure binary for a fast low-resolution run;
+//! multi-part figures accept `--part a|b|c`.
 
 pub mod ascii;
+pub mod cli;
 
 use std::fs;
 use std::path::PathBuf;
 
-use metrics::LatencyCurve;
 use serde::Serialize;
 
-/// Run mode for figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Mode {
-    /// Paper-resolution sweep (default).
-    Full,
-    /// Coarse grid with fewer requests, for smoke runs and CI.
-    Quick,
+pub use cli::Mode;
+
+/// Prints one latency curve as a fixed-width table (the registry's
+/// rendering — one source of truth for the byte-sensitive column
+/// layout).
+pub fn print_curve(curve: &metrics::LatencyCurve, x_label: &str, y_unit: &str, y_scale: f64) {
+    print!("{}", harness::render_curve(curve, x_label, y_unit, y_scale));
 }
 
-impl Mode {
-    /// Parses the process arguments: `--quick` selects [`Mode::Quick`].
-    pub fn from_args() -> Mode {
-        if std::env::args().any(|a| a == "--quick") {
-            Mode::Quick
-        } else {
-            Mode::Full
-        }
-    }
-
-    /// Scales a request count down in quick mode.
-    pub fn requests(self, full: u64) -> u64 {
-        match self {
-            Mode::Full => full,
-            Mode::Quick => (full / 8).max(5_000),
-        }
-    }
-}
-
-/// Returns the value of `--part <x>` if present (e.g. `fig2 --part a`).
-pub fn part_arg() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--part")
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-/// Prints one latency curve as a fixed-width table.
-///
-/// `y_unit` labels the latency column (e.g. `"us"` or `"xS"` for
-/// multiples of the mean service time); `y_scale` divides the stored
-/// nanosecond values into that unit.
-pub fn print_curve(curve: &LatencyCurve, x_label: &str, y_unit: &str, y_scale: f64) {
-    println!("  series: {}", curve.label);
-    // Offered load is either a capacity fraction (<= ~1) or an absolute
-    // rate in rps; print the latter in Mrps for readability.
-    let offered_in_mrps = curve
-        .points
-        .iter()
-        .any(|p| p.offered_load > 1e4);
-    let x_header = if offered_in_mrps {
-        "offered (Mrps)".to_owned()
-    } else {
-        x_label.to_owned()
-    };
-    println!(
-        "    {:>14} {:>14} {:>12} {:>12}",
-        x_header,
-        "tput (Mrps)",
-        format!("p99 ({y_unit})"),
-        format!("mean ({y_unit})")
-    );
-    for p in &curve.points {
-        let x = if offered_in_mrps {
-            p.offered_load / 1e6
-        } else {
-            p.offered_load
-        };
-        println!(
-            "    {:>14.3} {:>14.3} {:>12.3} {:>12.3}",
-            x,
-            p.throughput_rps / 1e6,
-            p.p99_latency_ns / y_scale,
-            p.mean_latency_ns / y_scale
-        );
-    }
-}
-
-/// Directory where figure JSON artifacts are written.
+/// Directory where figure JSON artifacts are written — the harness's
+/// artifact directory (one source of truth; the shims and
+/// `harness run --scenario` write to the same place).
 pub fn figures_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("target")
-        .join("figures");
+    let dir = harness::figures_dir();
     fs::create_dir_all(&dir).expect("create target/figures");
     dir
 }
@@ -149,15 +83,8 @@ mod tests {
     }
 
     #[test]
-    fn mode_scaling() {
-        assert_eq!(Mode::Full.requests(100_000), 100_000);
-        assert_eq!(Mode::Quick.requests(100_000), 12_500);
-        assert_eq!(Mode::Quick.requests(1_000), 5_000);
-    }
-
-    #[test]
     fn print_curve_smoke() {
-        let mut c = LatencyCurve::new("test");
+        let mut c = metrics::LatencyCurve::new("test");
         c.push(CurvePoint {
             offered_load: 0.5,
             throughput_rps: 1e6,

@@ -1,47 +1,52 @@
-//! `harness` — CLI runner for experiment matrices.
+//! `harness` — the unified CLI for every experiment in the repo.
 //!
 //! ```text
-//! harness run --matrix fig6 --threads 8 --out results.json
-//! harness run --matrix fig7a --quick --seed 123 --out fig7a.json
-//! harness run --matrix fig8 --baseline old/fig8.json --tolerance 5
-//! harness run --matrix fig2a --replications 5 --out fig2a.json
+//! harness run --scenario fig8 --quick
+//! harness run --scenario ablation_sensitivity --threads 4
+//! harness run --scenario fig2 --part a --out-dir /tmp/reports
+//! harness run --scenario fig8 --requests 20000 --baseline BENCH_fig8_quick.json
+//! harness run --matrix fig7a --threads 8 --out results.json   # low-level escape hatch
 //! harness list
+//! harness list --json
 //! ```
 //!
-//! `run` expands the named matrix, executes it on the worker pool, prints
-//! the per-policy summaries, and writes two artifacts:
+//! `run --scenario` executes a registry entry ([`harness::catalog`]):
+//! every matrix runs on the worker pool, per-matrix [`SweepReport`]s and
+//! timing sidecars land in `--out-dir` (default: the working directory,
+//! resumable like `--matrix` runs), and the scenario's typed derive step
+//! renders its artifacts — the figure tables on stdout and the
+//! machine-readable files under `target/figures/` (override with
+//! `--figures-dir`), byte-identical to what the legacy figure binaries
+//! wrote.
 //!
-//! * `<out>` — the deterministic [`SweepReport`] JSON, byte-identical for
-//!   any `--threads` value;
-//! * `<out>.timing.json` — the wall-clock sidecar ([`SweepTiming`]).
+//! `run --matrix` is the low-level path: one predefined matrix, one
+//! report, no derived artifacts (see [`ScenarioMatrix::named`]).
 //!
-//! When `<out>` already exists with compatible metadata, the run
-//! **resumes**: jobs recorded there are reused and only the missing ones
-//! execute. With `--baseline old.json`, the fresh report is diffed
-//! against the stored one and load points whose p99 (or whose group's
-//! throughput-under-SLO) regressed beyond `--tolerance` percent are
-//! flagged; any regression makes the exit code non-zero.
-//!
-//! Flags: `--matrix <name>` (required), `--threads <n>` (default: all
-//! cores), `--out <path>` (default: `<matrix>.json`), `--quick` (8× fewer
-//! requests), `--seed <n>` (override the matrix master seed),
-//! `--requests <n>` (override per-job arrivals), `--replications <n>`
-//! (independent repetitions per point; summaries then carry mean ± 95 %
-//! CI), `--baseline <path>`, `--tolerance <pct>` (default 5),
-//! `--fresh` (ignore an existing `<out>` instead of resuming).
+//! Shared flags: `--threads <n>` (default: all cores), `--quick` (8×
+//! fewer requests), `--seed <n>`, `--requests <n>`, `--replications
+//! <n>`, `--baseline <path>` + `--tolerance <pct>` (default 5; scenario
+//! runs accept it only for single-matrix scenarios), `--fresh` (ignore
+//! existing reports instead of resuming). Scenario-only: `--part a|b|c`,
+//! `--out-dir <dir>`, `--figures-dir <dir>`. Matrix-only: `--out
+//! <path>`.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use harness::{
-    default_threads, diff_reports, run_matrix, run_matrix_resumed, ScenarioMatrix, SweepReport,
-    SweepTiming,
+    default_threads, diff_reports, run_matrix_resumed, Scenario, ScenarioMatrix, ScenarioParams,
+    ScenarioRun, SweepReport, SweepTiming,
 };
 
 #[derive(Debug)]
 struct RunArgs {
-    matrix: String,
+    scenario: Option<String>,
+    matrix: Option<String>,
     threads: usize,
     out: Option<String>,
+    out_dir: Option<String>,
+    figures_dir: Option<String>,
+    part: Option<String>,
     quick: bool,
     seed: Option<u64>,
     requests: Option<u64>,
@@ -53,9 +58,13 @@ struct RunArgs {
 
 fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
     let mut args = RunArgs {
-        matrix: String::new(),
+        scenario: None,
+        matrix: None,
         threads: default_threads(),
         out: None,
+        out_dir: None,
+        figures_dir: None,
+        part: None,
         quick: false,
         seed: None,
         requests: None,
@@ -67,13 +76,17 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
-            "--matrix" => args.matrix = value("--matrix")?,
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--matrix" => args.matrix = Some(value("--matrix")?),
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("bad thread count: {e}"))?;
             }
             "--out" => args.out = Some(value("--out")?),
+            "--out-dir" => args.out_dir = Some(value("--out-dir")?),
+            "--figures-dir" => args.figures_dir = Some(value("--figures-dir")?),
+            "--part" => args.part = Some(value("--part")?),
             "--quick" => args.quick = true,
             "--fresh" => args.fresh = true,
             "--seed" => {
@@ -113,14 +126,72 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
             other => return Err(format!("unknown flag `{other}` for run")),
         }
     }
-    if args.matrix.is_empty() {
-        return Err("run needs --matrix <name> (see `harness list`)".to_owned());
+    match (&args.scenario, &args.matrix) {
+        (None, None) => {
+            return Err(
+                "run needs --scenario <name> (see `harness list`) or --matrix <name>".to_owned(),
+            )
+        }
+        (Some(_), Some(_)) => {
+            return Err("--scenario and --matrix are mutually exclusive".to_owned())
+        }
+        _ => {}
+    }
+    // Reject flags that the selected mode would silently ignore.
+    if args.scenario.is_some() && args.out.is_some() {
+        return Err("--out applies to --matrix runs; scenario reports go to --out-dir".to_owned());
+    }
+    if args.matrix.is_some() {
+        for (set, flag) in [
+            (args.out_dir.is_some(), "--out-dir"),
+            (args.figures_dir.is_some(), "--figures-dir"),
+            (args.part.is_some(), "--part"),
+        ] {
+            if set {
+                return Err(format!("{flag} applies to --scenario runs, not --matrix"));
+            }
+        }
     }
     Ok(args)
 }
 
-fn cmd_list() {
-    println!("available matrices:");
+/// A catalog row for `list --json` (and the README's experiment
+/// catalog, which is generated from it).
+#[derive(serde::Serialize)]
+struct CatalogRow {
+    name: &'static str,
+    kind: &'static str,
+    paper: &'static str,
+    summary: &'static str,
+    quick_runtime: &'static str,
+}
+
+fn cmd_list(json: bool) {
+    if json {
+        let rows: Vec<CatalogRow> = harness::catalog()
+            .iter()
+            .map(|s| CatalogRow {
+                name: s.name,
+                kind: s.kind,
+                paper: s.paper,
+                summary: s.summary,
+                quick_runtime: s.quick_runtime,
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("catalog serializes")
+        );
+        return;
+    }
+    println!("scenarios (run with `harness run --scenario <name>`):");
+    for s in harness::catalog() {
+        println!(
+            "  {:<22} {:<9} {:<10} quick {:<6} {}",
+            s.name, s.kind, s.paper, s.quick_runtime, s.summary
+        );
+    }
+    println!("\nlow-level matrices (run with `harness run --matrix <name>`):");
     for name in ScenarioMatrix::known_names() {
         let m = ScenarioMatrix::named(name).expect("known name resolves");
         println!(
@@ -180,15 +251,162 @@ fn print_summaries(report: &SweepReport) {
 fn read_report(path: &str, what: &str) -> Result<SweepReport, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {what} {path}: {e}"))?;
-    SweepReport::from_json(&text).map_err(|e| format!("parse {what} {path}: {e}"))
+    SweepReport::from_json(&text).map_err(|e| {
+        format!(
+            "parse {what} {path}: {e} (pre-v{} reports cannot be read by this binary; \
+             re-run the matrix to regenerate the file — job seeds are stable, so the \
+             regenerated measurements are bit-identical)",
+            harness::REPORT_VERSION
+        )
+    })
 }
 
-fn cmd_run(it: std::env::Args) -> Result<bool, String> {
-    let args = parse_run_args(it)?;
-    let mut matrix = ScenarioMatrix::named(&args.matrix).ok_or_else(|| {
+/// Runs one matrix with resume-from-`out_path` semantics (shared by the
+/// scenario and matrix paths), writing the report and timing sidecar.
+fn run_one_matrix(
+    matrix: &ScenarioMatrix,
+    threads: usize,
+    out_path: &Path,
+    fresh: bool,
+) -> Result<(SweepReport, SweepTiming), String> {
+    let out = out_path.display().to_string();
+    let existing = if !fresh && out_path.exists() {
+        Some(read_report(&out, "existing report").map_err(|e| {
+            format!("{e} (older report formats cannot seed a resume; use --fresh to discard)")
+        })?)
+    } else {
+        None
+    };
+    let jobs = matrix.jobs().len();
+    let (report, timing) = match existing {
+        Some(existing) => {
+            let (report, timing, reused) = run_matrix_resumed(matrix, threads, &existing)
+                .map_err(|e| format!("cannot resume from {out}: {e} (use --fresh to discard)"))?;
+            println!("[resumed: {reused}/{jobs} jobs reused from {out}]");
+            (report, timing)
+        }
+        None => harness::run_matrix(matrix, threads),
+    };
+    std::fs::write(out_path, report.to_json_pretty()).map_err(|e| format!("write {out}: {e}"))?;
+    let timing_path = format!("{out}.timing.json");
+    let timing_json =
+        serde_json::to_string_pretty(&timing).map_err(|e| format!("timing serializes: {e}"))?;
+    std::fs::write(&timing_path, timing_json)
+        .map_err(|e| format!("write {timing_path}: {e}"))?;
+    Ok((report, timing))
+}
+
+/// Diffs a fresh report against a stored baseline; returns whether the
+/// diff is clean.
+fn check_baseline(
+    baseline_path: &str,
+    baseline: &SweepReport,
+    report: &SweepReport,
+    tolerance_pct: f64,
+) -> bool {
+    let diff = diff_reports(baseline, report, tolerance_pct);
+    println!(
+        "\nbaseline {}: {} groups, {} load points compared at {:.1}% tolerance",
+        baseline_path, diff.groups_compared, diff.points_compared, tolerance_pct
+    );
+    if diff.clean() {
+        println!("  no regressions");
+        true
+    } else {
+        for regression in &diff.regressions {
+            println!("  REGRESSION {}", regression.describe());
+        }
+        false
+    }
+}
+
+fn cmd_run_scenario(scenario: &Scenario, args: &RunArgs) -> Result<bool, String> {
+    let params = ScenarioParams {
+        quick: args.quick,
+        part: args.part.clone(),
+        requests: args.requests,
+        seed: args.seed,
+        replications: args.replications,
+    };
+    harness::validate_part(scenario, &params)?;
+    let matrices = harness::build_matrices(scenario, &params);
+    if matrices.is_empty() && scenario.kind != "derived" {
+        return Err(format!(
+            "scenario `{}` expanded to no matrices — nothing would run",
+            scenario.name
+        ));
+    }
+    println!(
+        "scenario {} ({}): {} matrix(es), kind {}",
+        scenario.name,
+        scenario.paper,
+        matrices.len(),
+        scenario.kind
+    );
+
+    // Load the baseline before the (potentially long) sweep so a bad
+    // path or stale-format file fails in milliseconds, not afterwards.
+    let baseline = match (&args.baseline, matrices.len()) {
+        (Some(_), n) if n != 1 => {
+            return Err(format!(
+                "--baseline needs a single-matrix scenario ({} has {n}); diff per matrix with --matrix",
+                scenario.name
+            ))
+        }
+        (Some(path), _) => Some((path.clone(), read_report(path, "baseline")?)),
+        (None, _) => None,
+    };
+
+    let out_dir = PathBuf::from(args.out_dir.as_deref().unwrap_or("."));
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let mut reports = Vec::with_capacity(matrices.len());
+    let mut timings = Vec::with_capacity(matrices.len());
+    for matrix in &matrices {
+        println!(
+            "  matrix {}: {} jobs x {} requests (seed {})",
+            matrix.name,
+            matrix.jobs().len(),
+            matrix.requests,
+            matrix.master_seed
+        );
+        let out_path = out_dir.join(format!("{}.json", matrix.name));
+        let (report, timing) = run_one_matrix(matrix, args.threads, &out_path, args.fresh)?;
+        println!("  {}", timing.summary_line());
+        reports.push(report);
+        timings.push(timing);
+    }
+
+    let run = ScenarioRun {
+        params,
+        reports,
+        timings,
+    };
+    let artifacts = (scenario.derive)(&run);
+    artifacts.print();
+
+    let figures_dir = args
+        .figures_dir
+        .as_ref()
+        .map(PathBuf::from)
+        .unwrap_or_else(harness::figures_dir);
+    let written = artifacts
+        .write_all(&figures_dir)
+        .map_err(|e| format!("write artifacts to {}: {e}", figures_dir.display()))?;
+    for path in &written {
+        println!("[wrote {}]", path.display());
+    }
+
+    let mut clean = true;
+    if let Some((baseline_path, baseline)) = &baseline {
+        clean = check_baseline(baseline_path, baseline, &run.reports[0], args.tolerance_pct);
+    }
+    Ok(clean)
+}
+
+fn cmd_run_matrix(name: &str, args: &RunArgs) -> Result<bool, String> {
+    let mut matrix = ScenarioMatrix::named(name).ok_or_else(|| {
         format!(
-            "unknown matrix `{}` (known: {})",
-            args.matrix,
+            "unknown matrix `{name}` (known: {})",
             ScenarioMatrix::known_names().join(", ")
         )
     })?;
@@ -216,60 +434,48 @@ fn cmd_run(it: std::env::Args) -> Result<bool, String> {
         matrix.name, jobs, matrix.requests, threads, matrix.master_seed
     );
 
-    // Load the baseline before the (potentially long) sweep so a bad
-    // path or stale-format file fails in milliseconds, not afterwards.
     let baseline = args
         .baseline
         .as_ref()
         .map(|path| read_report(path, "baseline").map(|report| (path.clone(), report)))
         .transpose()?;
 
-    let out = args.out.unwrap_or_else(|| format!("{}.json", matrix.name));
-    let existing = if !args.fresh && std::path::Path::new(&out).exists() {
-        Some(read_report(&out, "existing report").map_err(|e| {
-            format!("{e} (older report formats cannot seed a resume; use --fresh to discard)")
-        })?)
-    } else {
-        None
-    };
-    let (report, timing): (SweepReport, SweepTiming) = match existing {
-        Some(existing) => {
-            let (report, timing, reused) = run_matrix_resumed(&matrix, args.threads, &existing)
-                .map_err(|e| format!("cannot resume from {out}: {e} (use --fresh to discard)"))?;
-            println!("[resumed: {reused}/{jobs} jobs reused from {out}]");
-            (report, timing)
-        }
-        None => run_matrix(&matrix, args.threads),
-    };
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.json", matrix.name));
+    let (report, timing) =
+        run_one_matrix(&matrix, args.threads, Path::new(&out), args.fresh)?;
     print_summaries(&report);
     println!("\n  {}", timing.summary_line());
-
-    std::fs::write(&out, report.to_json_pretty()).map_err(|e| format!("write {out}: {e}"))?;
     println!("\n[wrote {out}]");
-    let timing_path = format!("{out}.timing.json");
-    let timing_json =
-        serde_json::to_string_pretty(&timing).map_err(|e| format!("timing serializes: {e}"))?;
-    std::fs::write(&timing_path, timing_json)
-        .map_err(|e| format!("write {timing_path}: {e}"))?;
-    println!("[wrote {timing_path}]");
+    println!("[wrote {out}.timing.json]");
 
     let mut clean = true;
     if let Some((baseline_path, baseline)) = &baseline {
-        let diff = diff_reports(baseline, &report, args.tolerance_pct);
-        println!(
-            "\nbaseline {}: {} groups, {} load points compared at {:.1}% tolerance",
-            baseline_path, diff.groups_compared, diff.points_compared, args.tolerance_pct
-        );
-        if diff.clean() {
-            println!("  no regressions");
-        } else {
-            clean = false;
-            for regression in &diff.regressions {
-                println!("  REGRESSION {}", regression.describe());
-            }
-        }
+        clean = check_baseline(baseline_path, baseline, &report, args.tolerance_pct);
     }
     Ok(clean)
+}
+
+fn cmd_run(it: std::env::Args) -> Result<bool, String> {
+    let args = parse_run_args(it)?;
+    if let Some(name) = &args.scenario {
+        let scenario = harness::find_scenario(name).ok_or_else(|| {
+            format!(
+                "unknown scenario `{name}` (known: {})",
+                harness::catalog()
+                    .iter()
+                    .map(|s| s.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+        cmd_run_scenario(scenario, &args)
+    } else {
+        let name = args.matrix.clone().expect("checked by parse_run_args");
+        cmd_run_matrix(&name, &args)
+    }
 }
 
 /// Restores default SIGPIPE behaviour so `harness ... | head` exits
@@ -297,14 +503,17 @@ fn main() -> ExitCode {
     let outcome = match it.next().as_deref() {
         Some("run") => cmd_run(it),
         Some("list") => {
-            cmd_list();
+            let json = it.any(|a| a == "--json");
+            cmd_list(json);
             Ok(true)
         }
         Some("--help") | Some("-h") | None => {
             eprintln!(
-                "usage: harness run --matrix <name> [--threads n] [--out file.json] \
-                 [--quick] [--seed n] [--requests n] [--replications n] \
-                 [--baseline old.json] [--tolerance pct] [--fresh]\n       harness list"
+                "usage: harness run --scenario <name> [--quick] [--part a|b|c] [--threads n] \
+                 [--seed n] [--requests n] [--replications n] [--out-dir dir] \
+                 [--figures-dir dir] [--baseline old.json] [--tolerance pct] [--fresh]\n       \
+                 harness run --matrix <name> [--out file.json] [shared flags]\n       \
+                 harness list [--json]"
             );
             Ok(true)
         }

@@ -40,15 +40,22 @@
 //! assert!(summary.throughput_under_slo_rps > 0.0);
 //! ```
 
+pub mod catalog;
 pub mod diff;
 pub mod pool;
 pub mod report;
 pub mod resume;
+pub mod scenario;
 pub mod spec;
 
+pub use catalog::{catalog, find_scenario};
 pub use diff::{diff_reports, BaselineDiff, Regression};
 pub use pool::{default_threads, run_jobs, JobDispatcher, JobOutcome};
 pub use resume::{run_matrix_resumed, ResumeError};
+pub use scenario::{
+    build_matrices, figures_dir, render_curve, run_scenario, validate_part, Artifact,
+    ArtifactBody, Artifacts, Scenario, ScenarioParams, ScenarioRun,
+};
 pub use simkit::pool::effective_threads;
 pub use report::{
     timing_from_outcomes, JobRecord, PointCi, PolicySummary, SweepReport, SweepTiming,
@@ -56,7 +63,7 @@ pub use report::{
 };
 pub use spec::{
     policy_spec_key, ExperimentSpec, JobKind, LiveParams, Measurement, PolicySpec, RateGrid,
-    ScenarioMatrix, WorkloadSpec,
+    ScenarioMatrix, SeedMode, SimTune, WorkloadSpec,
 };
 
 /// Clamps a worker-thread count to 1 when any job is live: concurrent

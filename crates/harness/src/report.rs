@@ -23,8 +23,11 @@ use crate::spec::ScenarioMatrix;
 /// Format version stamped into every report.
 ///
 /// Version history: 1 = PR 1 (ServerSim-only jobs); 2 = job-kind
-/// generalization (adds [`JobRecord::replication`]).
-pub const REPORT_VERSION: u32 = 2;
+/// generalization (adds [`JobRecord::replication`]); 3 = the Scenario
+/// registry (adds [`SweepReport::scenario`] and
+/// [`JobRecord::breakdown_ns`]). Job *measurement values* are
+/// bit-identical across 2 → 3 — only the envelope grew.
+pub const REPORT_VERSION: u32 = 3;
 
 /// One job's deterministic record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,6 +72,16 @@ pub struct JobRecord {
     pub load_balance_jain: f64,
     /// Arrivals deferred by send-slot flow control.
     pub flow_control_deferrals: u64,
+    /// Peak shared-CQ depth across dispatchers (sim jobs; 0 otherwise).
+    pub dispatcher_high_water: u64,
+    /// Preemption events (sim jobs with preemption enabled; 0 otherwise).
+    pub preemptions: u64,
+    /// Mean per-component latency decomposition in pipeline order
+    /// (reassembly, dispatch, core queue, processing; ns). Empty unless
+    /// the job ran with tracing enabled — see
+    /// [`crate::Measurement::breakdown`]. A flat vector (not an
+    /// `Option`) keeps the serialized shape identical for every row.
+    pub breakdown_ns: Vec<f64>,
 }
 
 /// The deterministic result artifact of one matrix run.
@@ -76,6 +89,9 @@ pub struct JobRecord {
 pub struct SweepReport {
     /// Format version ([`REPORT_VERSION`]).
     pub version: u32,
+    /// Owning scenario's registry name (equals `matrix` for standalone
+    /// matrices run outside a scenario).
+    pub scenario: String,
     /// Matrix name.
     pub matrix: String,
     /// Master seed the job seeds derive from.
@@ -264,7 +280,20 @@ impl JobRecord {
             mean_service_ns: o.result.mean_service_ns,
             load_balance_jain: o.result.load_balance_jain,
             flow_control_deferrals: o.result.flow_control_deferrals,
+            dispatcher_high_water: o.result.dispatcher_high_water as u64,
+            preemptions: o.result.preemptions,
+            breakdown_ns: o
+                .result
+                .breakdown
+                .map(|b| b.as_array().to_vec())
+                .unwrap_or_default(),
         }
+    }
+
+    /// The per-component latency decomposition, when the job recorded
+    /// one.
+    pub fn breakdown(&self) -> Option<metrics::LatencyBreakdown> {
+        metrics::LatencyBreakdown::from_slice(&self.breakdown_ns)
     }
 }
 
@@ -277,6 +306,7 @@ impl SweepReport {
             .collect();
         SweepReport {
             version: REPORT_VERSION,
+            scenario: matrix.scenario.clone(),
             matrix: matrix.name.clone(),
             master_seed: matrix.master_seed,
             jobs,

@@ -190,6 +190,7 @@ pub fn run_matrix_resumed(
     Ok((
         SweepReport {
             version: REPORT_VERSION,
+            scenario: matrix.scenario.clone(),
             matrix: matrix.name.clone(),
             master_seed: matrix.master_seed,
             jobs: records,

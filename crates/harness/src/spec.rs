@@ -16,9 +16,11 @@
 
 use dist::{ServiceDist, SyntheticKind};
 use live::{BurnMode, LivePolicy, LoopbackSpec};
+use metrics::LatencyBreakdown;
 use queueing::{QueueingModel, QxU, RunParams};
-use rpcvalet::{Policy, PreemptionParams, ServerSim};
+use rpcvalet::{McsParams, Policy, PreemptionParams, ServerSim, SystemConfig};
 use simkit::rng::split_seed;
+use simkit::SimDuration;
 use sonuma::ChipParams;
 use workloads::{scenario_config, Workload};
 
@@ -110,6 +112,9 @@ pub struct LiveParams {
     /// Service-time multiplier (ns-scale profiles × this; see
     /// `live::LoadgenConfig::scale`).
     pub scale: f64,
+    /// Requests handed per replenish availability slot (≥ 1; only
+    /// [`LivePolicy::Replenish`] batches — a sensitivity knob).
+    pub replenish_batch: usize,
 }
 
 impl Default for LiveParams {
@@ -120,6 +125,60 @@ impl Default for LiveParams {
             connections: 8,
             // 600 ns synthetic profiles -> 300 µs sleeps.
             scale: 500.0,
+            replenish_batch: 1,
+        }
+    }
+}
+
+/// Simulator knobs a policy-axis entry may override — the
+/// `ablation_sensitivity` axes. Each knob is `None` = keep the
+/// scenario/builder default; every set knob is encoded into
+/// [`policy_spec_key`] so variants can never collide in reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimTune {
+    /// Cluster size including the server (§5 default: 200).
+    pub cluster_nodes: Option<usize>,
+    /// Messaging-domain send slots per node pair `S` (§4.2).
+    pub send_slots_per_node: Option<usize>,
+    /// On-chip MTU in bytes (Table 1 default: 64 B).
+    pub mtu_bytes: Option<u64>,
+    /// Request payload size in bytes (§5 default: 64 B).
+    pub request_bytes: Option<u64>,
+}
+
+impl SimTune {
+    /// The key suffix encoding every set knob (empty when nothing is
+    /// overridden), e.g. `"-n8-s4"` or `"-mtu256-req1024"`.
+    pub fn key_suffix(&self) -> String {
+        let mut suffix = String::new();
+        if let Some(nodes) = self.cluster_nodes {
+            suffix.push_str(&format!("-n{nodes}"));
+        }
+        if let Some(slots) = self.send_slots_per_node {
+            suffix.push_str(&format!("-s{slots}"));
+        }
+        if let Some(mtu) = self.mtu_bytes {
+            suffix.push_str(&format!("-mtu{mtu}"));
+        }
+        if let Some(bytes) = self.request_bytes {
+            suffix.push_str(&format!("-req{bytes}"));
+        }
+        suffix
+    }
+
+    /// Applies the set knobs onto a built config.
+    fn apply(&self, cfg: &mut SystemConfig) {
+        if let Some(nodes) = self.cluster_nodes {
+            cfg.cluster_nodes = nodes;
+        }
+        if let Some(slots) = self.send_slots_per_node {
+            cfg.send_slots_per_node = slots;
+        }
+        if let Some(mtu) = self.mtu_bytes {
+            cfg.chip.mtu_bytes = mtu;
+        }
+        if let Some(bytes) = self.request_bytes {
+            cfg.request_bytes = bytes;
         }
     }
 }
@@ -133,6 +192,22 @@ pub enum PolicySpec {
     /// extension study's axis (`ablation_preemption`). Shares the plain
     /// variant's figure label; the policy key gains a `-preempt` suffix.
     SimPreempt(Policy, PreemptionParams),
+    /// A dispatch policy under software-*emulated* messaging (§3.3): each
+    /// remote source is pinned to one core by the memory location its
+    /// RPCs land in, i.e. per-flow instead of per-message assignment
+    /// (`ablation_emulated`'s axis; sets
+    /// [`rpcvalet::SystemConfig::rss_per_flow`]). The policy key gains a
+    /// `-perflow` suffix.
+    SimEmulatedNic(Policy),
+    /// A dispatch policy with simulator knobs overridden — the
+    /// `ablation_sensitivity` axes (send slots, MTU, payload size,
+    /// cluster size). The policy key gains one suffix per set knob.
+    SimTuned {
+        /// The dispatch policy.
+        policy: Policy,
+        /// The overridden knobs.
+        tune: SimTune,
+    },
     /// A theoretical Q×U configuration, run through [`QueueingModel`].
     Model(QxU),
     /// A live dispatch discipline, run over loopback TCP.
@@ -143,7 +218,10 @@ impl PolicySpec {
     /// The job kind this policy executes as.
     pub fn kind(&self) -> JobKind {
         match self {
-            PolicySpec::Sim(_) | PolicySpec::SimPreempt(..) => JobKind::ServerSim,
+            PolicySpec::Sim(_)
+            | PolicySpec::SimPreempt(..)
+            | PolicySpec::SimEmulatedNic(_)
+            | PolicySpec::SimTuned { .. } => JobKind::ServerSim,
             PolicySpec::Model(_) => JobKind::Queueing,
             PolicySpec::Live(..) => JobKind::Live,
         }
@@ -197,6 +275,11 @@ pub struct Measurement {
     pub dispatcher_high_water: usize,
     /// Preemption events (sim jobs with preemption; 0 otherwise).
     pub preemptions: u64,
+    /// Mean per-component latency decomposition (§4.2/§4.3 pipeline).
+    /// `Some` only for sim jobs run with a matrix-level
+    /// [`ScenarioMatrix::trace`] capacity — the `latency_breakdown` /
+    /// `fig6` channel.
+    pub breakdown: Option<LatencyBreakdown>,
 }
 
 /// One fully specified experiment to run: the unit of work the harness
@@ -225,6 +308,10 @@ pub struct ExperimentSpec {
     /// Chip override for sim jobs (`None` = the Table 1 default chip);
     /// lets matrices sweep e.g. the 64-core scale-up of §4.3.
     pub chip: Option<ChipParams>,
+    /// Per-request timeline traces to keep for sim jobs (0 = tracing
+    /// off). When on, [`Measurement::breakdown`] carries the
+    /// per-component latency means.
+    pub trace_capacity: usize,
 }
 
 impl ExperimentSpec {
@@ -233,32 +320,59 @@ impl ExperimentSpec {
         self.policy.kind()
     }
 
+    /// The simulator configuration a ServerSim-kind job runs: the §5
+    /// scenario config for named workloads, or the builder defaults
+    /// around the bare distribution for `Service` workloads (what the
+    /// sensitivity sweeps and `latency_breakdown` use), with the policy
+    /// variant's overrides applied on top.
+    ///
+    /// # Panics
+    /// Panics when `self.policy` is not a ServerSim-kind variant.
+    pub fn sim_config(&self) -> SystemConfig {
+        let policy = match &self.policy {
+            PolicySpec::Sim(p)
+            | PolicySpec::SimPreempt(p, _)
+            | PolicySpec::SimEmulatedNic(p)
+            | PolicySpec::SimTuned { policy: p, .. } => p.clone(),
+            other => panic!("not a ServerSim policy: {other:?}"),
+        };
+        let mut cfg = match self.workload.named() {
+            Some(workload) => scenario_config(workload, policy, self.rate_rps, self.seed),
+            None => SystemConfig::builder()
+                .policy(policy)
+                .service(self.workload.service_dist())
+                .rate_rps(self.rate_rps)
+                .seed(self.seed)
+                .build(),
+        };
+        cfg.requests = self.requests;
+        cfg.warmup = self.warmup;
+        cfg.trace_capacity = self.trace_capacity;
+        if let Some(chip) = &self.chip {
+            cfg.chip = chip.clone();
+        }
+        match &self.policy {
+            PolicySpec::SimPreempt(_, preemption) => cfg.preemption = Some(*preemption),
+            PolicySpec::SimEmulatedNic(_) => cfg.rss_per_flow = true,
+            PolicySpec::SimTuned { tune, .. } => tune.apply(&mut cfg),
+            _ => {}
+        }
+        cfg
+    }
+
     /// Runs the job to completion on the calling thread.
     ///
     /// # Panics
-    /// Panics on invalid combinations (a [`PolicySpec::Sim`] policy with
-    /// a bare-service workload) and on live I/O failures — both mean the
-    /// matrix itself is broken, not the job.
+    /// Panics on invalid combinations and on live I/O failures — both
+    /// mean the matrix itself is broken, not the job.
     pub fn run(&self) -> Measurement {
         match &self.policy {
-            PolicySpec::Sim(policy) | PolicySpec::SimPreempt(policy, _) => {
-                let workload = self.workload.named().unwrap_or_else(|| {
-                    panic!(
-                        "ServerSim jobs need a named workload, got `{}`",
-                        self.workload.label()
-                    )
-                });
-                let mut cfg =
-                    scenario_config(workload, policy.clone(), self.rate_rps, self.seed);
-                cfg.requests = self.requests;
-                cfg.warmup = self.warmup;
-                if let PolicySpec::SimPreempt(_, preemption) = &self.policy {
-                    cfg.preemption = Some(*preemption);
-                }
-                if let Some(chip) = &self.chip {
-                    cfg.chip = chip.clone();
-                }
-                let r = ServerSim::new(cfg).run();
+            PolicySpec::Sim(_)
+            | PolicySpec::SimPreempt(..)
+            | PolicySpec::SimEmulatedNic(_)
+            | PolicySpec::SimTuned { .. } => {
+                let tracing = self.trace_capacity > 0;
+                let r = ServerSim::new(self.sim_config()).run();
                 Measurement {
                     label: r.label,
                     throughput_rps: r.throughput_rps,
@@ -273,6 +387,8 @@ impl ExperimentSpec {
                     sim_events: r.events_processed,
                     dispatcher_high_water: r.dispatcher_high_water,
                     preemptions: r.preemptions,
+                    breakdown: tracing
+                        .then(|| LatencyBreakdown::from_means(r.traces.component_means_ns())),
                 }
             }
             PolicySpec::Model(config) => {
@@ -297,6 +413,7 @@ impl ExperimentSpec {
                     sim_events: r.events,
                     dispatcher_high_water: 0,
                     preemptions: 0,
+                    breakdown: None,
                 }
             }
             PolicySpec::Live(policy, params) => {
@@ -311,11 +428,16 @@ impl ExperimentSpec {
                     service: self.workload.service_dist(),
                     scale: params.scale,
                     seed: self.seed,
+                    replenish_batch: params.replenish_batch,
                 };
                 let r = live::run_loopback(&spec)
                     .unwrap_or_else(|e| panic!("live loopback job failed: {e}"));
+                let mut label = policy.label(params.workers);
+                if matches!(policy, LivePolicy::Replenish) && params.replenish_batch > 1 {
+                    label = format!("{label}-b{}", params.replenish_batch);
+                }
                 Measurement {
-                    label: policy.label(params.workers),
+                    label,
                     throughput_rps: r.throughput_rps,
                     mean_latency_ns: r.mean_latency_ns,
                     p50_latency_ns: r.p50_latency_ns,
@@ -328,6 +450,7 @@ impl ExperimentSpec {
                     sim_events: 0,
                     dispatcher_high_water: 0,
                     preemptions: 0,
+                    breakdown: None,
                 }
             }
         }
@@ -363,6 +486,15 @@ pub fn policy_key(policy: &Policy) -> String {
 }
 
 /// The unique grouping key for any policy spec.
+///
+/// Keys are collision-proof across variants *and* stable: a spec that
+/// existed before the sensitivity-knob variants keeps its exact v2 key
+/// (regenerated reports stay `--baseline`-comparable against each
+/// other group for group), and every new knob appends its own suffix so
+/// no two distinct specs can share a key. (The v3 *envelope* is not
+/// parseable-compatible with v2 files — the offline serde stand-in has
+/// no `#[serde(default)]` — so v2 report files themselves must be
+/// regenerated once; their measurement values come back bit-identical.)
 pub fn policy_spec_key(policy: &PolicySpec) -> String {
     match policy {
         PolicySpec::Sim(p) => policy_key(p),
@@ -372,8 +504,27 @@ pub fn policy_spec_key(policy: &PolicySpec) -> String {
             params.quantum.as_ps(),
             params.overhead.as_ps()
         ),
+        PolicySpec::SimEmulatedNic(p) => format!("{}-perflow", policy_key(p)),
+        PolicySpec::SimTuned { policy, tune } => {
+            let suffix = tune.key_suffix();
+            if suffix.is_empty() {
+                // An all-default tune runs identically to the plain
+                // variant but is still a distinct spec; without a
+                // suffix the two would share a key and their report
+                // groups would merge.
+                format!("{}-tuned", policy_key(policy))
+            } else {
+                format!("{}{suffix}", policy_key(policy))
+            }
+        }
         PolicySpec::Model(c) => format!("model-{}", c.label()),
-        PolicySpec::Live(p, _) => p.key(),
+        PolicySpec::Live(p, params) => {
+            let mut key = p.key();
+            if matches!(p, LivePolicy::Replenish) && params.replenish_batch > 1 {
+                key.push_str(&format!("-b{}", params.replenish_batch));
+            }
+            key
+        }
     }
 }
 
@@ -385,6 +536,21 @@ pub enum RateGrid {
     /// Each workload sweeps its own
     /// [`Workload::default_rate_grid`] (10 points to ~capacity).
     WorkloadDefault,
+}
+
+/// How a matrix derives per-job seeds from its master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedMode {
+    /// `split_seed(master, load-point index)` — the paired-seed
+    /// convention of the legacy sweep loops (every policy sees the same
+    /// seed at the same point index).
+    #[default]
+    PerPoint,
+    /// Every job gets the master seed verbatim — what the hand-rolled
+    /// parameter sweeps (`latency_breakdown`, `ablation_sensitivity`)
+    /// always did: the axis under study is a config knob, not the load,
+    /// so all points share one arrival stream.
+    Fixed,
 }
 
 /// A cartesian experiment matrix: workloads × policies × load points ×
@@ -410,8 +576,11 @@ pub enum RateGrid {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
-    /// Name recorded in reports (e.g. `"fig7"`).
+    /// Name recorded in reports (e.g. `"fig7a"`).
     pub name: String,
+    /// The owning scenario's registry name, recorded in report headers
+    /// (defaults to the matrix name for standalone matrices).
+    pub scenario: String,
     /// Workloads to sweep.
     pub workloads: Vec<WorkloadSpec>,
     /// Policies to compare.
@@ -424,10 +593,15 @@ pub struct ScenarioMatrix {
     pub warmup: u64,
     /// Master seed; per-job seeds derive from it.
     pub master_seed: u64,
+    /// How per-job seeds derive from the master seed.
+    pub seed_mode: SeedMode,
     /// Independent repetitions per operating point (≥ 1).
     pub replications: usize,
     /// Chip override applied to every sim job (`None` = Table 1 chip).
     pub chip: Option<ChipParams>,
+    /// Per-request timeline traces per sim job (0 = off); enables
+    /// [`Measurement::breakdown`].
+    pub trace_capacity: usize,
 }
 
 impl ScenarioMatrix {
@@ -435,16 +609,20 @@ impl ScenarioMatrix {
     /// workload-default rate grid, 100 k requests with 10 % warm-up, one
     /// replication.
     pub fn new(name: impl Into<String>, master_seed: u64) -> Self {
+        let name = name.into();
         ScenarioMatrix {
-            name: name.into(),
+            scenario: name.clone(),
+            name,
             workloads: Vec::new(),
             policies: Vec::new(),
             rates: RateGrid::WorkloadDefault,
             requests: 100_000,
             warmup: 10_000,
             master_seed,
+            seed_mode: SeedMode::PerPoint,
             replications: 1,
             chip: None,
+            trace_capacity: 0,
         }
     }
 
@@ -452,6 +630,26 @@ impl ScenarioMatrix {
     /// scale-up).
     pub fn chip(mut self, chip: ChipParams) -> Self {
         self.chip = Some(chip);
+        self
+    }
+
+    /// Tags the matrix with its owning scenario's registry name.
+    pub fn scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.scenario = scenario.into();
+        self
+    }
+
+    /// Gives every job the master seed verbatim ([`SeedMode::Fixed`]).
+    pub fn fixed_seed(mut self) -> Self {
+        self.seed_mode = SeedMode::Fixed;
+        self
+    }
+
+    /// Keeps per-request timeline traces for the first `capacity`
+    /// measured requests of every sim job (fills
+    /// [`Measurement::breakdown`]).
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -587,6 +785,7 @@ impl ScenarioMatrix {
                             seed: self.job_seed(point_idx, rep),
                             replication: rep,
                             chip: self.chip.clone(),
+                            trace_capacity: self.trace_capacity,
                         });
                     }
                 }
@@ -602,7 +801,10 @@ impl ScenarioMatrix {
         } else {
             split_seed(self.master_seed, REPLICATION_SEED_TAG + replication as u64)
         };
-        split_seed(base, point_idx as u64)
+        match self.seed_mode {
+            SeedMode::PerPoint => split_seed(base, point_idx as u64),
+            SeedMode::Fixed => base,
+        }
     }
 
     /// Looks up a predefined matrix by name at full paper resolution.
@@ -625,6 +827,13 @@ impl ScenarioMatrix {
     /// | `ablation_outstanding` | sim | HERD + synthetic-fixed × outstanding-per-core 1 vs 2 (§4.3/§6.1) |
     /// | `ablation_dispatcher` | sim | synthetic exponential × 1×16 at near-/at-saturation rates on the 16-core Table 1 chip (§4.3 dispatcher headroom; the binary adds a 64-core matrix via [`ScenarioMatrix::chip`]) |
     /// | `ablation_preemption` | sim | Masstree × the three hardware policies, plain vs Shinjuku-preempted (§7), at 2 and 4 Mrps |
+    /// | `ablation_emulated` | sim | §3.3 emulated messaging: per-message 16×1 vs per-flow affinity ([`PolicySpec::SimEmulatedNic`]) over a 10-point rate grid |
+    /// | `latency_breakdown` | sim | exp-600 ns service × the three hardware policies at 20/50/80 % load, traced ([`ScenarioMatrix::trace`]) for the per-component means |
+    /// | `sens_slots` | sim | send slots S ∈ {1…32} on the policy axis ([`PolicySpec::SimTuned`]), 8-node cluster at 18 Mrps |
+    /// | `sens_mtu` | sim | MTU ∈ {64…4096} B × 1 KB requests at light load |
+    /// | `sens_mcs` | sim | software 1×16 × MCS handoff ∈ {30…250} ns at 12 Mrps |
+    /// | `sens_threshold` | sim | outstanding-per-core ∈ {1,2,4,8} at 17 Mrps |
+    /// | `sens_live` | live | partitioned group counts {1,2} + replenish batch {1,4} over loopback TCP (the live sensitivity knobs) |
     /// | `live_smoke` | live | exponential service × single-queue/RSS/replenish over loopback TCP, 2 sleep-burn workers |
     pub fn named(name: &str) -> Option<ScenarioMatrix> {
         let hw_policies = || {
@@ -743,6 +952,135 @@ impl ScenarioMatrix {
                     .rates(RateGrid::Shared(vec![2.0e6, 4.0e6]))
                     .requests(200_000, 20_000)
             }
+            "ablation_emulated" => ScenarioMatrix::new("ablation_emulated", 78)
+                .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
+                .policy_specs(vec![
+                    PolicySpec::Sim(Policy::hw_static()),
+                    PolicySpec::SimEmulatedNic(Policy::hw_static()),
+                ])
+                .rates(RateGrid::Shared(
+                    (1..=10).map(|i| i as f64 * 1.95e6).collect(),
+                ))
+                .requests(250_000, 25_000),
+            "latency_breakdown" => ScenarioMatrix::new("latency_breakdown", 111)
+                .service_workloads(vec![(
+                    "exp600".to_owned(),
+                    ServiceDist::exponential_mean_ns(600.0),
+                )])
+                .policies(vec![
+                    Policy::hw_single_queue(),
+                    Policy::hw_partitioned(),
+                    Policy::hw_static(),
+                ])
+                .rates(RateGrid::Shared(
+                    [20u32, 50, 80]
+                        .iter()
+                        .map(|&pct| pct as f64 / 100.0 * 19.5e6)
+                        .collect(),
+                ))
+                .requests(100_000, 10_000)
+                .fixed_seed()
+                .trace(50_000),
+            "sens_slots" => ScenarioMatrix::new("sens_slots", 101)
+                .service_workloads(vec![(
+                    "exp600".to_owned(),
+                    ServiceDist::exponential_mean_ns(600.0),
+                )])
+                .policy_specs(
+                    [1usize, 2, 4, 8, 16, 32]
+                        .iter()
+                        .map(|&slots| PolicySpec::SimTuned {
+                            policy: Policy::hw_single_queue(),
+                            tune: SimTune {
+                                send_slots_per_node: Some(slots),
+                                cluster_nodes: Some(8),
+                                ..SimTune::default()
+                            },
+                        })
+                        .collect(),
+                )
+                .rates(RateGrid::Shared(vec![18.0e6]))
+                .requests(120_000, 12_000)
+                .fixed_seed(),
+            "sens_mtu" => ScenarioMatrix::new("sens_mtu", 102)
+                .service_workloads(vec![(
+                    "fixed600".to_owned(),
+                    ServiceDist::fixed_ns(600.0),
+                )])
+                .policy_specs(
+                    [64u64, 256, 1024, 4096]
+                        .iter()
+                        .map(|&mtu| PolicySpec::SimTuned {
+                            policy: Policy::hw_single_queue(),
+                            tune: SimTune {
+                                mtu_bytes: Some(mtu),
+                                request_bytes: Some(1024),
+                                ..SimTune::default()
+                            },
+                        })
+                        .collect(),
+                )
+                .rates(RateGrid::Shared(vec![1.0e6]))
+                .requests(30_000, 3_000)
+                .fixed_seed(),
+            "sens_mcs" => ScenarioMatrix::new("sens_mcs", 103)
+                .service_workloads(vec![(
+                    "exp600".to_owned(),
+                    ServiceDist::exponential_mean_ns(600.0),
+                )])
+                .policies(
+                    [30u64, 60, 90, 150, 250]
+                        .iter()
+                        .map(|&handoff_ns| Policy::SwSingleQueue {
+                            lock: McsParams {
+                                acquire_uncontended: SimDuration::from_ns(15),
+                                handoff: SimDuration::from_ns(handoff_ns),
+                                critical_section: SimDuration::from_ns(45),
+                            },
+                        })
+                        .collect(),
+                )
+                .rates(RateGrid::Shared(vec![12.0e6]))
+                .requests(120_000, 12_000)
+                .fixed_seed(),
+            "sens_threshold" => ScenarioMatrix::new("sens_threshold", 104)
+                .service_workloads(vec![(
+                    "exp600".to_owned(),
+                    ServiceDist::exponential_mean_ns(600.0),
+                )])
+                .policies(
+                    [1u32, 2, 4, 8]
+                        .iter()
+                        .map(|&threshold| Policy::HwSingleQueue {
+                            outstanding_per_core: threshold,
+                        })
+                        .collect(),
+                )
+                .rates(RateGrid::Shared(vec![17.0e6]))
+                .requests(120_000, 12_000)
+                .fixed_seed(),
+            "sens_live" => ScenarioMatrix::new("sens_live", 105)
+                .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
+                .policy_specs(vec![
+                    PolicySpec::Live(
+                        LivePolicy::Partitioned { groups: 1 },
+                        LiveParams::default(),
+                    ),
+                    PolicySpec::Live(
+                        LivePolicy::Partitioned { groups: 2 },
+                        LiveParams::default(),
+                    ),
+                    PolicySpec::Live(LivePolicy::Replenish, LiveParams::default()),
+                    PolicySpec::Live(
+                        LivePolicy::Replenish,
+                        LiveParams {
+                            replenish_batch: 4,
+                            ..LiveParams::default()
+                        },
+                    ),
+                ])
+                .rates(RateGrid::Shared(vec![0.85]))
+                .requests(1_000, 100),
             "live_smoke" => ScenarioMatrix::new("live_smoke", 7)
                 .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
                 .live_policies(
@@ -774,6 +1112,13 @@ impl ScenarioMatrix {
             "ablation_outstanding",
             "ablation_dispatcher",
             "ablation_preemption",
+            "ablation_emulated",
+            "latency_breakdown",
+            "sens_slots",
+            "sens_mtu",
+            "sens_mcs",
+            "sens_threshold",
+            "sens_live",
             "live_smoke",
         ]
     }
@@ -926,6 +1271,7 @@ mod tests {
             seed: 99,
             replication: 0,
             chip: None,
+            trace_capacity: 0,
         };
         let via_harness = spec.run();
         let direct = QueueingModel::new(QxU::Q4X4, ServiceDist::exponential_mean_ns(1.0))
@@ -953,6 +1299,123 @@ mod tests {
             policy_spec_key(&PolicySpec::Live(LivePolicy::Replenish, LiveParams::default())),
             "live-replenish"
         );
+    }
+
+    #[test]
+    fn fixed_seed_mode_gives_every_job_the_master_seed() {
+        let m = tiny().fixed_seed();
+        assert!(m.jobs().iter().all(|j| j.seed == 7));
+        // Replications still diverge so they stay independent samples.
+        let m = tiny().fixed_seed().replications(2);
+        let jobs = m.jobs();
+        assert_eq!(jobs[0].seed, 7);
+        assert_ne!(jobs[1].seed, jobs[0].seed);
+    }
+
+    #[test]
+    fn new_policy_variant_keys_are_distinct_and_stable() {
+        let base = Policy::hw_single_queue();
+        let plain = policy_spec_key(&PolicySpec::Sim(base.clone()));
+        assert_eq!(plain, "hw-single-t2", "v2 keys must not drift");
+        assert_eq!(
+            policy_spec_key(&PolicySpec::SimEmulatedNic(Policy::hw_static())),
+            "hw-static-perflow"
+        );
+        let tuned = |tune: SimTune| policy_spec_key(&PolicySpec::SimTuned {
+            policy: base.clone(),
+            tune,
+        });
+        assert_eq!(
+            tuned(SimTune {
+                send_slots_per_node: Some(4),
+                cluster_nodes: Some(8),
+                ..SimTune::default()
+            }),
+            "hw-single-t2-n8-s4"
+        );
+        assert_eq!(
+            tuned(SimTune {
+                mtu_bytes: Some(256),
+                request_bytes: Some(1024),
+                ..SimTune::default()
+            }),
+            "hw-single-t2-mtu256-req1024"
+        );
+        // Live replenish batch: batch 1 keeps the legacy key.
+        let live = |batch| {
+            policy_spec_key(&PolicySpec::Live(
+                LivePolicy::Replenish,
+                LiveParams {
+                    replenish_batch: batch,
+                    ..LiveParams::default()
+                },
+            ))
+        };
+        assert_eq!(live(1), "live-replenish");
+        assert_eq!(live(4), "live-replenish-b4");
+    }
+
+    #[test]
+    fn emulated_nic_jobs_enable_per_flow_affinity() {
+        let m = ScenarioMatrix::named("ablation_emulated").unwrap();
+        let jobs = m.jobs();
+        assert_eq!(jobs.len(), 20);
+        let per_message = &jobs[0];
+        let per_flow = &jobs[10];
+        assert!(!per_message.sim_config().rss_per_flow);
+        assert!(per_flow.sim_config().rss_per_flow);
+        // Paired seeds: same point index, same seed across the two axes.
+        assert_eq!(per_message.seed, per_flow.seed);
+    }
+
+    #[test]
+    fn tuned_jobs_apply_their_knobs() {
+        let m = ScenarioMatrix::named("sens_slots").unwrap();
+        let cfgs: Vec<_> = m.jobs().iter().map(|j| j.sim_config()).collect();
+        assert_eq!(
+            cfgs.iter().map(|c| c.send_slots_per_node).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16, 32]
+        );
+        assert!(cfgs.iter().all(|c| c.cluster_nodes == 8));
+        assert!(cfgs.iter().all(|c| c.seed == 101), "fixed-seed sweep");
+
+        let mtu = ScenarioMatrix::named("sens_mtu").unwrap();
+        let cfgs: Vec<_> = mtu.jobs().iter().map(|j| j.sim_config()).collect();
+        assert_eq!(
+            cfgs.iter().map(|c| c.chip.mtu_bytes).collect::<Vec<_>>(),
+            vec![64, 256, 1024, 4096]
+        );
+        assert!(cfgs.iter().all(|c| c.request_bytes == 1024));
+    }
+
+    #[test]
+    fn traced_matrix_fills_the_breakdown_channel() {
+        let m = ScenarioMatrix::new("breakdown-test", 9)
+            .service_workloads(vec![(
+                "exp600".to_owned(),
+                ServiceDist::exponential_mean_ns(600.0),
+            )])
+            .policies(vec![Policy::hw_single_queue()])
+            .rates(RateGrid::Shared(vec![4.0e6]))
+            .requests(4_000, 400)
+            .trace(2_000);
+        let traced = m.jobs()[0].run();
+        let b = traced.breakdown.expect("traced job has a breakdown");
+        assert!(b.processing_ns > 500.0, "processing dominates: {b:?}");
+        assert!(b.reassembly_ns > 0.0 && b.dispatch_ns > 0.0);
+        // Breakdown is a decomposition of the mean, so its total must
+        // sit near the measured mean latency (trace capacity covers a
+        // prefix, hence "near").
+        assert!(
+            (b.total_ns() - traced.mean_latency_ns).abs() / traced.mean_latency_ns < 0.25,
+            "breakdown total {} vs mean {}",
+            b.total_ns(),
+            traced.mean_latency_ns
+        );
+        // The same job untraced records no breakdown.
+        let mut untraced_spec = m.jobs()[0].clone();
+        untraced_spec.trace_capacity = 0;
+        assert!(untraced_spec.run().breakdown.is_none());
     }
 
     #[test]

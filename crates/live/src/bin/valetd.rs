@@ -83,6 +83,7 @@ fn main() -> ExitCode {
         policy: args.policy,
         workers: args.workers,
         burn: args.burn,
+        replenish_batch: 1,
     };
     let mut server = match Server::start(config, format!("{}:{}", args.bind, args.port)) {
         Ok(server) => server,

@@ -165,12 +165,27 @@ pub fn make_dispatcher<T: Send + 'static>(
     policy: LivePolicy,
     workers: usize,
 ) -> Arc<dyn Dispatcher<T>> {
+    make_dispatcher_batched(policy, workers, 1)
+}
+
+/// [`make_dispatcher`] with an explicit replenish batch size (the
+/// `ablation_sensitivity` knob; only [`LivePolicy::Replenish`] batches —
+/// the other disciplines have no handoff to amortize).
+///
+/// # Panics
+/// As [`make_dispatcher`], plus `batch == 0`.
+pub fn make_dispatcher_batched<T: Send + 'static>(
+    policy: LivePolicy,
+    workers: usize,
+    batch: usize,
+) -> Arc<dyn Dispatcher<T>> {
     assert!(workers > 0, "need at least one worker");
+    assert!(batch > 0, "batch must be at least 1");
     match policy {
         LivePolicy::SingleQueue => Arc::new(SingleQueue::new()),
         LivePolicy::Partitioned { groups } => Arc::new(Partitioned::new(groups, workers)),
         LivePolicy::RssStatic => Arc::new(RssStatic::new(workers)),
-        LivePolicy::Replenish => Arc::new(Replenish::new(workers)),
+        LivePolicy::Replenish => Arc::new(Replenish::with_batch(workers, batch)),
     }
 }
 
@@ -201,6 +216,23 @@ impl<T> Channel<T> {
         inner.queue.push_back(item);
         drop(inner);
         self.cv.notify_one();
+    }
+
+    /// Pushes a batch in one critical section: a consumer can never
+    /// observe a prefix of the batch with the rest still in flight.
+    fn push_all(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("channel lock");
+        inner.queue.extend(items);
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    /// Pops the next item if one is queued, without blocking.
+    fn try_pop(&self) -> Option<T> {
+        self.inner.lock().expect("channel lock").queue.pop_front()
     }
 
     /// Blocks for the next item; `None` once closed *and* drained.
@@ -359,15 +391,34 @@ struct ReplenishShared<T> {
 
 /// The RPCValet discipline in software: a dispatch thread pairs each
 /// request with the first worker that has posted a free slot.
+///
+/// With `batch > 1` each availability slot hands the worker up to
+/// `batch` already-queued requests at once, amortizing the
+/// replenish/doorbell round trip under saturation — the sensitivity knob
+/// `ablation_sensitivity` sweeps. Batching trades the purity of
+/// single-queue dispatch (a batched request is pinned to its worker like
+/// a tiny multi-queue) for handoff cost, exactly the paper's §4.3
+/// outstanding-threshold tradeoff in software form.
 pub struct Replenish<T: Send + 'static> {
     shared: Arc<ReplenishShared<T>>,
     dispatch_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl<T: Send + 'static> Replenish<T> {
-    /// Creates the dispatcher and spawns its dispatch thread.
+    /// Creates the dispatcher (batch 1: one request per availability
+    /// slot) and spawns its dispatch thread.
     pub fn new(workers: usize) -> Self {
+        Self::with_batch(workers, 1)
+    }
+
+    /// Creates a dispatcher that hands up to `batch` queued requests to
+    /// a worker per availability slot.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `batch == 0`.
+    pub fn with_batch(workers: usize, batch: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
+        assert!(batch > 0, "batch must be at least 1");
         let shared = Arc::new(ReplenishShared {
             inject: Channel::new(),
             ring: SlotRing::with_capacity(workers),
@@ -379,7 +430,7 @@ impl<T: Send + 'static> Replenish<T> {
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("replenish-dispatch".to_owned())
-            .spawn(move || dispatch_loop(&thread_shared))
+            .spawn(move || dispatch_loop(&thread_shared, batch))
             .expect("spawn dispatch thread");
         Replenish {
             shared,
@@ -388,7 +439,7 @@ impl<T: Send + 'static> Replenish<T> {
     }
 }
 
-fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>) {
+fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>, batch: usize) {
     crate::reduce_timer_slack();
     while let Some(item) = shared.inject.pop_blocking() {
         // Wait for the first free worker; the ring is the only wait —
@@ -398,7 +449,7 @@ fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>) {
         // saturated dispatch, silently inflating effective utilization.
         loop {
             if let Some(worker) = shared.ring.pop() {
-                shared.mailboxes[worker].push(item);
+                deliver(shared, worker, item, batch);
                 break;
             }
             if shared.stop.load(Ordering::Acquire) {
@@ -409,7 +460,7 @@ fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>) {
             // lock: re-check before sleeping, or the wake-up is lost.
             if let Some(worker) = shared.ring.pop() {
                 drop(guard);
-                shared.mailboxes[worker].push(item);
+                deliver(shared, worker, item, batch);
                 break;
             }
             if shared.stop.load(Ordering::Acquire) {
@@ -425,12 +476,41 @@ fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>) {
     }
 }
 
+/// Hands `item` to `worker`, plus up to `batch - 1` more already-queued
+/// requests (never waiting for arrivals: batching amortizes handoff, it
+/// must not delay dispatch). The whole batch lands in the mailbox in
+/// one critical section — if the worker could observe the first item
+/// alone, it might drain it, find the mailbox empty, and re-announce
+/// while this delivery is still in flight, putting a second slot for
+/// the same worker in the ring.
+fn deliver<T: Send>(shared: &ReplenishShared<T>, worker: usize, item: T, batch: usize) {
+    if batch == 1 {
+        shared.mailboxes[worker].push(item);
+        return;
+    }
+    let mut items = Vec::with_capacity(batch);
+    items.push(item);
+    for _ in 1..batch {
+        match shared.inject.try_pop() {
+            Some(extra) => items.push(extra),
+            None => break,
+        }
+    }
+    shared.mailboxes[worker].push_all(items);
+}
+
 impl<T: Send + 'static> Dispatcher<T> for Replenish<T> {
     fn submit(&self, _route: RouteKey, item: T) {
         self.shared.inject.push(item);
     }
 
     fn recv(&self, worker: usize) -> Option<T> {
+        // Drain any batched leftovers first: a worker with pending
+        // mailbox items is not available, so it must not re-announce
+        // (that would turn one slot into several).
+        if let Some(item) = self.shared.mailboxes[worker].try_pop() {
+            return Some(item);
+        }
         // Announce availability, then wait for the dispatch thread's
         // handoff. The push cannot fail: the ring holds `workers` slots
         // and each worker has at most one announcement outstanding.
@@ -554,6 +634,35 @@ mod tests {
             counts.iter().all(|&c| c > 0),
             "replenish starves a worker: {counts:?}"
         );
+    }
+
+    #[test]
+    fn batched_replenish_delivers_everything() {
+        for batch in [2usize, 4, 8] {
+            let counts = drain(Arc::new(Replenish::with_batch(3, batch)), 3, 300);
+            assert_eq!(counts.iter().sum::<u64>(), 300, "batch {batch}");
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "batch {batch} starves a worker: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_worker_drains_mailbox_before_reannouncing() {
+        // One worker, batch 4: the dispatch thread may stuff several
+        // items into the mailbox per announcement; recv must hand them
+        // all out (in order) without tripping the ring-overflow assert.
+        let d = Arc::new(Replenish::with_batch(1, 4));
+        for i in 0..40u64 {
+            d.submit(route(0, i), i);
+        }
+        let mut got = Vec::new();
+        for _ in 0..40 {
+            got.push(d.recv(0).unwrap());
+        }
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+        d.shutdown();
     }
 
     #[test]

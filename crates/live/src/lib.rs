@@ -38,6 +38,7 @@
 //!     service: ServiceDist::exponential_mean_ns(600.0),
 //!     scale: 500.0, // 600 ns profile -> 300 µs sleeps
 //!     seed: 7,
+//!     replenish_batch: 1,
 //! })
 //! .unwrap();
 //! println!("{}", stats.summary());
@@ -49,7 +50,7 @@ pub mod protocol;
 pub mod ring;
 pub mod server;
 
-pub use dispatch::{make_dispatcher, Dispatcher, LivePolicy, RouteKey};
+pub use dispatch::{make_dispatcher, make_dispatcher_batched, Dispatcher, LivePolicy, RouteKey};
 pub use loadgen::{run_loadgen, LiveRunStats, LoadgenConfig};
 pub use protocol::{read_frame, write_frame, Request, Response};
 pub use ring::SlotRing;
@@ -108,6 +109,10 @@ pub struct LoopbackSpec {
     pub scale: f64,
     /// RNG master seed.
     pub seed: u64,
+    /// Requests handed per replenish slot (≥ 1; only
+    /// [`LivePolicy::Replenish`] batches — the `ablation_sensitivity`
+    /// knob).
+    pub replenish_batch: usize,
 }
 
 impl LoopbackSpec {
@@ -134,6 +139,7 @@ pub fn run_loopback(spec: &LoopbackSpec) -> io::Result<LiveRunStats> {
             policy: spec.policy,
             workers: spec.workers,
             burn: spec.burn,
+            replenish_batch: spec.replenish_batch.max(1),
         },
         "127.0.0.1:0",
     )?;

@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::dispatch::{make_dispatcher, Dispatcher, LivePolicy, RouteKey};
+use crate::dispatch::{make_dispatcher_batched, Dispatcher, LivePolicy, RouteKey};
 use crate::protocol::{read_frame, Request, Response};
 
 /// How a worker spends a request's service demand.
@@ -73,6 +73,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// How workers burn service time.
     pub burn: BurnMode,
+    /// Requests handed to a worker per replenish slot (≥ 1; only
+    /// [`LivePolicy::Replenish`] batches).
+    pub replenish_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +84,7 @@ impl Default for ServerConfig {
             policy: LivePolicy::Replenish,
             workers: 4,
             burn: BurnMode::Sleep,
+            replenish_batch: 1,
         }
     }
 }
@@ -118,7 +122,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let dispatcher: Arc<dyn Dispatcher<ServerJob>> =
-            make_dispatcher(config.policy, config.workers);
+            make_dispatcher_batched(config.policy, config.workers, config.replenish_batch);
         let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let dispatched = Arc::new(AtomicU64::new(0));
@@ -322,6 +326,7 @@ mod tests {
                 policy,
                 workers: 2,
                 burn: BurnMode::Sleep,
+                replenish_batch: 1,
             },
             "127.0.0.1:0",
         )

@@ -25,6 +25,7 @@ fn spec(policy: LivePolicy, load: f64, requests: u64, seed: u64) -> LoopbackSpec
         service: ServiceDist::exponential_mean_ns(600.0),
         scale: 500.0,
         seed,
+        replenish_batch: 1,
     }
 }
 

@@ -1,0 +1,91 @@
+//! Per-component latency decomposition.
+//!
+//! The §4.2/§4.3 pipeline splits a request's latency into four
+//! components: network reassembly, the NI dispatch path (including
+//! shared-CQ queueing), core-side queueing, and processing. A
+//! [`LatencyBreakdown`] carries the per-component means of one operating
+//! point — the quantitative backing for the paper's claim that the NI
+//! path adds "just a few ns" while queueing is what separates the
+//! dispatch policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean per-component latency of one operating point (ns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Network + reassembly (first packet → message complete).
+    pub reassembly_ns: f64,
+    /// Dispatch path (message complete → CQE at the core), including
+    /// shared-CQ queueing.
+    pub dispatch_ns: f64,
+    /// Core-side queueing (CQE delivered → processing started).
+    pub core_queue_ns: f64,
+    /// Processing (start of final slice → replenish post).
+    pub processing_ns: f64,
+}
+
+impl LatencyBreakdown {
+    /// Builds a breakdown from the component means in pipeline order
+    /// (the tuple [`rpcvalet`'s trace log] produces).
+    pub fn from_means((reassembly_ns, dispatch_ns, core_queue_ns, processing_ns): (f64, f64, f64, f64)) -> Self {
+        LatencyBreakdown {
+            reassembly_ns,
+            dispatch_ns,
+            core_queue_ns,
+            processing_ns,
+        }
+    }
+
+    /// Sum of all components: the mean end-to-end latency the breakdown
+    /// accounts for.
+    pub fn total_ns(&self) -> f64 {
+        self.reassembly_ns + self.dispatch_ns + self.core_queue_ns + self.processing_ns
+    }
+
+    /// The components in pipeline order, for flat (e.g. report-row)
+    /// encodings.
+    pub fn as_array(&self) -> [f64; 4] {
+        [
+            self.reassembly_ns,
+            self.dispatch_ns,
+            self.core_queue_ns,
+            self.processing_ns,
+        ]
+    }
+
+    /// Rebuilds a breakdown from a flat encoding; `None` unless the slice
+    /// has exactly the four pipeline components.
+    pub fn from_slice(components: &[f64]) -> Option<Self> {
+        match components {
+            [re, di, cq, pr] => Some(LatencyBreakdown {
+                reassembly_ns: *re,
+                dispatch_ns: *di,
+                core_queue_ns: *cq,
+                processing_ns: *pr,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_flat_encoding() {
+        let b = LatencyBreakdown::from_means((1.0, 2.0, 3.0, 4.0));
+        assert_eq!(b.total_ns(), 10.0);
+        assert_eq!(LatencyBreakdown::from_slice(&b.as_array()), Some(b));
+        assert_eq!(LatencyBreakdown::from_slice(&[]), None);
+        assert_eq!(LatencyBreakdown::from_slice(&[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn serializes() {
+        let b = LatencyBreakdown::from_means((5.0, 6.0, 7.0, 8.0));
+        let json = serde_json::to_string(&b).unwrap();
+        let back: LatencyBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -28,6 +28,7 @@
 //! assert!(p99.as_ns() >= 400);
 //! ```
 
+pub mod breakdown;
 pub mod cdf;
 pub mod fairness;
 pub mod histogram;
@@ -37,6 +38,7 @@ pub mod slo;
 pub mod summary;
 pub mod timeseries;
 
+pub use breakdown::LatencyBreakdown;
 pub use cdf::{Cdf, CdfPoint};
 pub use fairness::jain_index;
 pub use histogram::LatencyHistogram;
