@@ -15,6 +15,7 @@
 //! ```text
 //! simbench [--quick] [--write BENCH_simcore.json]
 //!          [--baseline BENCH_simcore.json] [--tolerance 30]
+//!          [--store BENCH/simcore.json (--record | --check)] [--commit id]
 //! ```
 //!
 //! With `--baseline`, the measured ladder-vs-heap speedups are compared
@@ -22,6 +23,13 @@
 //! speedup falls more than `--tolerance` percent below its baseline —
 //! the CI regression gate for the simulator core. Determinism (identical
 //! results across backends) is always enforced.
+//!
+//! With `--store`, the suite reads/writes the benchmark-trajectory
+//! store (`harness::trajectory`, the per-scenario `BENCH/<name>.json`
+//! format): `--record` appends this run as a new entry, `--check` gates
+//! against the latest recorded entry (speedup ratios at `--tolerance`,
+//! deterministic event counts and p99s exactly). This is the CI path;
+//! `--baseline` remains as the legacy-format reader.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -286,6 +294,63 @@ fn horizon_sweep(quick: bool) {
     }
 }
 
+/// Converts this run's report into a trajectory entry via the shared
+/// simcore reader in `harness::trajectory` — the store and the legacy
+/// migration agree on gates and metric names by construction.
+fn trajectory_entry(report: &BenchReport, commit: &str) -> harness::TrajectoryEntry {
+    let value = serde::Serialize::serialize(report);
+    harness::trajectory::entry_from_simcore_value(&value, commit)
+        .expect("simbench report converts to a trajectory entry")
+}
+
+/// `--store` handling: records the run into, or gates it against, the
+/// benchmark-trajectory store (via the shared `harness::trajectory`
+/// record/check/render flow). Returns whether the run passed.
+/// `--check` always runs in tolerant mode: the speedup ratios it gates
+/// are wall-clock measurements, so a strict (0-slack) check would be
+/// machine noise, not a gate.
+fn store_step(
+    report: &BenchReport,
+    path: &str,
+    record: bool,
+    check: bool,
+    tolerance: f64,
+    commit: &str,
+) -> bool {
+    use harness::TrajectoryStore;
+    let store_path = std::path::Path::new(path);
+    let entry = trajectory_entry(report, commit);
+    if record {
+        let entries = harness::trajectory::record_into_store(store_path, "simcore", entry)
+            .unwrap_or_else(|e| panic!("{e}"));
+        println!("\n[recorded entry {entries} in {path} @ {commit}]");
+        return true;
+    }
+    if check {
+        let store = TrajectoryStore::load(store_path).unwrap_or_else(|e| panic!("{e}"));
+        let Some(baseline) = store.latest() else {
+            eprintln!("{path} has no entries; run with --record first");
+            return false;
+        };
+        if baseline.requests != entry.requests {
+            eprintln!(
+                "store entry was recorded at {} requests, this run measured {} — \
+                 run simbench in the matching mode to check",
+                baseline.requests, entry.requests
+            );
+            return false;
+        }
+        let outcome = harness::check_entry(baseline, &entry, Some(tolerance));
+        println!(
+            "\nstore {path} (entry @ {}) at {tolerance}% tolerance:",
+            baseline.commit
+        );
+        print!("{}", outcome.render());
+        return outcome.clean();
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -301,6 +366,19 @@ fn main() -> ExitCode {
     let tolerance: f64 = value_of("--tolerance")
         .map(|v| v.parse().expect("--tolerance takes a percentage"))
         .unwrap_or(30.0);
+    // Validate the store flag combination before the (multi-second)
+    // suite runs: a forgotten --store must not exit green having gated
+    // nothing, and a bad combo should fail in milliseconds.
+    let record = args.iter().any(|a| a == "--record");
+    let check = args.iter().any(|a| a == "--check");
+    let store = value_of("--store");
+    match &store {
+        Some(_) => assert!(
+            record ^ check,
+            "--store needs exactly one of --record | --check"
+        ),
+        None => assert!(!record && !check, "--record/--check need --store <path>"),
+    }
 
     let report = run_benchmarks(quick);
 
@@ -308,6 +386,13 @@ fn main() -> ExitCode {
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("\n[wrote {path}]");
+    }
+
+    if let Some(path) = &store {
+        let commit = value_of("--commit").unwrap_or_else(harness::trajectory::current_commit);
+        if !store_step(&report, path, record, check, tolerance, &commit) {
+            return ExitCode::FAILURE;
+        }
     }
 
     if let Some(path) = value_of("--baseline") {

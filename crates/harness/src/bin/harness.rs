@@ -6,8 +6,11 @@
 //! harness run --scenario fig2 --part a --out-dir /tmp/reports
 //! harness run --scenario fig8 --requests 20000 --baseline BENCH_fig8_quick.json
 //! harness run --matrix fig7a --threads 8 --out results.json   # low-level escape hatch
+//! harness bench --scenario fig8 --check            # gate vs BENCH/fig8.json
+//! harness bench --scenario fig8 --record           # append a trajectory entry
+//! harness plot --scenario fig8                     # SVG/text charts
 //! harness list
-//! harness list --json
+//! harness list --json | --names | --readme | --check
 //! ```
 //!
 //! `run --scenario` executes a registry entry ([`harness::catalog`]):
@@ -35,7 +38,7 @@ use std::process::ExitCode;
 
 use harness::{
     default_threads, diff_reports, run_matrix_resumed, Scenario, ScenarioMatrix, ScenarioParams,
-    ScenarioRun, SweepReport, SweepTiming,
+    ScenarioRun, SweepReport, SweepTiming, TrajectoryStore,
 };
 
 #[derive(Debug)]
@@ -166,7 +169,54 @@ struct CatalogRow {
     quick_runtime: &'static str,
 }
 
-fn cmd_list(json: bool) {
+/// `harness list` output mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ListMode {
+    /// Human-readable catalog + matrix list.
+    Table,
+    /// Machine-readable catalog rows.
+    Json,
+    /// One scenario name per line (CI loops over this).
+    Names,
+    /// The README "Experiment catalog" markdown table.
+    Readme,
+    /// Registry health check: non-zero exit when a required scenario is
+    /// missing or a name is duplicated.
+    Check,
+}
+
+fn cmd_list(mode: ListMode) -> bool {
+    match mode {
+        ListMode::Names => {
+            for s in harness::catalog() {
+                println!("{}", s.name);
+            }
+            return true;
+        }
+        ListMode::Readme => {
+            print!("{}", harness::readme_catalog_table());
+            return true;
+        }
+        ListMode::Check => {
+            let problems = harness::registry_problems();
+            if problems.is_empty() {
+                let names: Vec<&str> = harness::catalog().iter().map(|s| s.name).collect();
+                println!(
+                    "registry OK: {} scenarios cover all {} required ({})",
+                    names.len(),
+                    harness::REQUIRED_SCENARIOS.len(),
+                    names.join(", ")
+                );
+                return true;
+            }
+            for problem in &problems {
+                eprintln!("registry problem: {problem}");
+            }
+            return false;
+        }
+        ListMode::Table | ListMode::Json => {}
+    }
+    let json = mode == ListMode::Json;
     if json {
         let rows: Vec<CatalogRow> = harness::catalog()
             .iter()
@@ -182,7 +232,7 @@ fn cmd_list(json: bool) {
             "{}",
             serde_json::to_string_pretty(&rows).expect("catalog serializes")
         );
-        return;
+        return true;
     }
     println!("scenarios (run with `harness run --scenario <name>`):");
     for s in harness::catalog() {
@@ -202,6 +252,7 @@ fn cmd_list(json: bool) {
             m.master_seed
         );
     }
+    true
 }
 
 fn print_summaries(report: &SweepReport) {
@@ -478,6 +529,290 @@ fn cmd_run(it: std::env::Args) -> Result<bool, String> {
     }
 }
 
+#[derive(Debug, Default)]
+struct BenchArgs {
+    scenario: Option<String>,
+    record: bool,
+    check: bool,
+    migrate_legacy: Option<String>,
+    store: Option<String>,
+    tolerance_pct: Option<f64>,
+    threads: Option<usize>,
+    commit: Option<String>,
+    quick: bool,
+    requests: Option<u64>,
+}
+
+fn parse_bench_args(mut it: std::env::Args) -> Result<BenchArgs, String> {
+    let mut args = BenchArgs::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--record" => args.record = true,
+            "--check" => args.check = true,
+            "--migrate-legacy" => args.migrate_legacy = Some(value("--migrate-legacy")?),
+            "--store" => args.store = Some(value("--store")?),
+            "--commit" => args.commit = Some(value("--commit")?),
+            "--quick" => args.quick = true,
+            "--tolerance" => {
+                let pct: f64 = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+                if pct < 0.0 {
+                    return Err("--tolerance must be non-negative".to_owned());
+                }
+                args.tolerance_pct = Some(pct);
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
+            "--requests" => {
+                let requests: u64 = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad requests: {e}"))?;
+                if requests == 0 {
+                    return Err("--requests must be at least 1".to_owned());
+                }
+                args.requests = Some(requests);
+            }
+            other => return Err(format!("unknown flag `{other}` for bench")),
+        }
+    }
+    match (
+        &args.migrate_legacy,
+        &args.scenario,
+        args.record,
+        args.check,
+    ) {
+        (Some(_), _, false, false) => {}
+        (Some(_), _, _, _) => return Err("--migrate-legacy takes no --record/--check".to_owned()),
+        (None, None, _, _) => {
+            return Err("bench needs --scenario <name> (or --migrate-legacy <file>)".to_owned())
+        }
+        (None, Some(_), true, false) | (None, Some(_), false, true) => {}
+        (None, Some(_), _, _) => {
+            return Err("bench needs exactly one of --record | --check".to_owned())
+        }
+    }
+    // --check replays the recorded entry's exact parameters; run-shape
+    // flags would be silently ignored, so reject them loudly.
+    if args.check {
+        for (set, flag) in [
+            (args.quick, "--quick"),
+            (args.requests.is_some(), "--requests"),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} applies to --record (a --check replays the recorded entry's \
+                     parameters)"
+                ));
+            }
+        }
+    }
+    // --migrate-legacy sniffs everything from the file; the same
+    // no-silently-ignored-flags policy applies.
+    if args.migrate_legacy.is_some() {
+        for (set, flag) in [
+            (args.scenario.is_some(), "--scenario"),
+            (args.quick, "--quick"),
+            (args.requests.is_some(), "--requests"),
+            (args.threads.is_some(), "--threads"),
+            (args.tolerance_pct.is_some(), "--tolerance"),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} does not apply to --migrate-legacy (the legacy file determines \
+                     the scenario and parameters)"
+                ));
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// `harness bench`: record or gate a scenario's benchmark-trajectory
+/// entry (and migrate legacy `BENCH_*` files into the store format).
+fn cmd_bench(it: std::env::Args) -> Result<bool, String> {
+    let args = parse_bench_args(it)?;
+    let commit = args
+        .commit
+        .clone()
+        .unwrap_or_else(harness::trajectory::current_commit);
+
+    if let Some(legacy_path) = &args.migrate_legacy {
+        let text = std::fs::read_to_string(legacy_path)
+            .map_err(|e| format!("read {legacy_path}: {e}"))?;
+        let (name, entry) = harness::migrate_legacy(&text, &commit)?;
+        let store_path = args
+            .store
+            .as_ref()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| TrajectoryStore::default_path(&name));
+        let entries = harness::trajectory::record_into_store(&store_path, &name, entry)?;
+        println!(
+            "[migrated {legacy_path} -> {} ({entries} entries)]",
+            store_path.display()
+        );
+        return Ok(true);
+    }
+
+    let name = args.scenario.as_deref().expect("checked by parser");
+    let scenario = harness::find_scenario(name)
+        .ok_or_else(|| format!("unknown scenario `{name}` (see `harness list`)"))?;
+    let store_path = args
+        .store
+        .as_ref()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| TrajectoryStore::default_path(name));
+    let threads = args.threads.unwrap_or_else(default_threads);
+
+    if args.check {
+        let store = TrajectoryStore::load(&store_path).map_err(|e| {
+            format!("{e} (no trajectory recorded yet? `harness bench --scenario {name} --record`)")
+        })?;
+        if store.scenario != name {
+            return Err(format!(
+                "{} records scenario `{}`, not `{name}`",
+                store_path.display(),
+                store.scenario
+            ));
+        }
+        let baseline = store
+            .latest()
+            .ok_or_else(|| format!("{} has no entries", store_path.display()))?;
+        let params = harness::params_for_entry(baseline);
+        println!(
+            "bench check {name}: replaying entry from commit {} ({} jobs, requests {})",
+            baseline.commit,
+            baseline.jobs,
+            if baseline.requests > 0 {
+                baseline.requests.to_string()
+            } else {
+                "default".to_owned()
+            }
+        );
+        let (run, _) = harness::run_scenario(scenario, &params, threads);
+        let current =
+            harness::entry_from_run(name, &params, &run.reports, &run.timings, &commit);
+        let outcome = harness::check_entry(baseline, &current, args.tolerance_pct);
+        print!("{}", outcome.render());
+        Ok(outcome.clean())
+    } else {
+        let params = ScenarioParams {
+            quick: args.quick,
+            part: None,
+            requests: args.requests,
+            seed: None,
+            replications: None,
+        };
+        let (run, _) = harness::run_scenario(scenario, &params, threads);
+        let entry = harness::entry_from_run(name, &params, &run.reports, &run.timings, &commit);
+        println!(
+            "bench record {name} @ {commit}: {} jobs, digest {}, {:.2} Mevents/s",
+            entry.jobs,
+            if entry.measurement_digest.is_empty() {
+                "-"
+            } else {
+                &entry.measurement_digest
+            },
+            entry.sidecar.events_per_sec / 1e6
+        );
+        let entries = harness::trajectory::record_into_store(&store_path, name, entry)?;
+        println!("[recorded entry {entries} in {}]", store_path.display());
+        Ok(true)
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlotArgs {
+    scenario: Option<String>,
+    out_dir: Option<String>,
+    figures_dir: Option<String>,
+    store: Option<String>,
+}
+
+fn parse_plot_args(mut it: std::env::Args) -> Result<PlotArgs, String> {
+    let mut args = PlotArgs::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--out-dir" => args.out_dir = Some(value("--out-dir")?),
+            "--figures-dir" => args.figures_dir = Some(value("--figures-dir")?),
+            "--store" => args.store = Some(value("--store")?),
+            other => return Err(format!("unknown flag `{other}` for plot")),
+        }
+    }
+    if args.scenario.is_none() {
+        return Err("plot needs --scenario <name>".to_owned());
+    }
+    Ok(args)
+}
+
+/// `harness plot`: render a scenario's recorded reports (latency vs
+/// load) and its trajectory store (metrics over commits) as byte-stable
+/// SVG/text artifacts.
+fn cmd_plot(it: std::env::Args) -> Result<bool, String> {
+    let args = parse_plot_args(it)?;
+    let name = args.scenario.as_deref().expect("checked by parser");
+    let scenario = harness::find_scenario(name)
+        .ok_or_else(|| format!("unknown scenario `{name}` (see `harness list`)"))?;
+
+    // Reports from a previous `harness run --scenario` in --out-dir.
+    let out_dir = PathBuf::from(args.out_dir.as_deref().unwrap_or("."));
+    let mut reports = Vec::new();
+    for matrix in harness::build_matrices(scenario, &ScenarioParams::full()) {
+        let path = out_dir.join(format!("{}.json", matrix.name));
+        if path.exists() {
+            let path_str = path.display().to_string();
+            reports.push(read_report(&path_str, "recorded report")?);
+        }
+    }
+
+    let store_path = args
+        .store
+        .as_ref()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| TrajectoryStore::default_path(name));
+    let store = if store_path.exists() {
+        Some(TrajectoryStore::load(&store_path)?)
+    } else {
+        None
+    };
+
+    if reports.is_empty() && store.is_none() {
+        return Err(format!(
+            "nothing to plot for `{name}`: no reports under {} (run `harness run --scenario \
+             {name}` first) and no trajectory store at {}",
+            out_dir.display(),
+            store_path.display()
+        ));
+    }
+
+    let mut artifacts = harness::scenario::Artifacts::new(harness::latency_artifacts(&reports));
+    if let Some(store) = &store {
+        artifacts.items.extend(harness::trajectory_artifacts(store));
+    }
+    artifacts.print();
+    let figures_dir = args
+        .figures_dir
+        .as_ref()
+        .map(PathBuf::from)
+        .unwrap_or_else(harness::figures_dir);
+    let written = artifacts
+        .write_all(&figures_dir)
+        .map_err(|e| format!("write artifacts to {}: {e}", figures_dir.display()))?;
+    for path in &written {
+        println!("[wrote {}]", path.display());
+    }
+    Ok(true)
+}
+
 /// Restores default SIGPIPE behaviour so `harness ... | head` exits
 /// quietly instead of panicking on a closed stdout (Rust ignores SIGPIPE
 /// by default).
@@ -502,10 +837,36 @@ fn main() -> ExitCode {
     let _argv0 = it.next();
     let outcome = match it.next().as_deref() {
         Some("run") => cmd_run(it),
+        Some("bench") => cmd_bench(it),
+        Some("plot") => cmd_plot(it),
         Some("list") => {
-            let json = it.any(|a| a == "--json");
-            cmd_list(json);
-            Ok(true)
+            let mut mode = None;
+            let mut parse_error = None;
+            for arg in it {
+                let parsed = match arg.as_str() {
+                    "--json" => ListMode::Json,
+                    "--names" => ListMode::Names,
+                    "--readme" => ListMode::Readme,
+                    "--check" => ListMode::Check,
+                    other => {
+                        parse_error = Some(format!("unknown flag `{other}` for list"));
+                        break;
+                    }
+                };
+                if let Some(previous) = mode.replace(parsed) {
+                    // Picking one silently would swallow the output (or
+                    // the check) the caller asked for.
+                    parse_error = Some(format!(
+                        "list takes one mode flag, got {previous:?} and {parsed:?} \
+                         (--json | --names | --readme | --check)"
+                    ));
+                    break;
+                }
+            }
+            match parse_error {
+                Some(message) => Err(message),
+                None => Ok(cmd_list(mode.unwrap_or(ListMode::Table))),
+            }
         }
         Some("--help") | Some("-h") | None => {
             eprintln!(
@@ -513,7 +874,12 @@ fn main() -> ExitCode {
                  [--seed n] [--requests n] [--replications n] [--out-dir dir] \
                  [--figures-dir dir] [--baseline old.json] [--tolerance pct] [--fresh]\n       \
                  harness run --matrix <name> [--out file.json] [shared flags]\n       \
-                 harness list [--json]"
+                 harness bench --scenario <name> (--record | --check) [--tolerance pct] \
+                 [--store file.json] [--threads n] [--quick] [--requests n] [--commit id]\n       \
+                 harness bench --migrate-legacy BENCH_file.json [--store file.json] [--commit id]\n       \
+                 harness plot --scenario <name> [--out-dir dir] [--figures-dir dir] \
+                 [--store file.json]\n       \
+                 harness list [--json | --names | --readme | --check]"
             );
             Ok(true)
         }

@@ -37,6 +37,59 @@ pub fn find_scenario(name: &str) -> Option<&'static Scenario> {
     CATALOG.iter().find(|s| s.name == name)
 }
 
+/// The paper artifacts the registry must always cover — the coverage
+/// contract `harness list --check` enforces in CI (previously an inline
+/// python script in the workflow). `live_smoke` is deliberately absent:
+/// it is an infrastructure smoke, not a paper artifact.
+pub const REQUIRED_SCENARIOS: &[&str] = &[
+    "fig2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "ablation_outstanding",
+    "ablation_dispatcher",
+    "ablation_preemption",
+    "ablation_emulated",
+    "ablation_sensitivity",
+    "latency_breakdown",
+];
+
+/// The README "Experiment catalog" table, generated from the registry
+/// (`harness list --readme`; CI fails when the README section drifts
+/// from this).
+pub fn readme_catalog_table() -> String {
+    let mut out = String::from(
+        "| scenario | kind | paper | quick runtime | what it reproduces |\n|---|---|---|---|---|\n",
+    );
+    for s in catalog() {
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} | {} | {} |",
+            s.name, s.kind, s.paper, s.quick_runtime, s.summary
+        );
+    }
+    out
+}
+
+/// Validates the registry: every required scenario present, no
+/// duplicate names. Returns the problems (empty = healthy).
+pub fn registry_problems() -> Vec<String> {
+    let mut problems = Vec::new();
+    for required in REQUIRED_SCENARIOS {
+        if find_scenario(required).is_none() {
+            problems.push(format!("required scenario `{required}` is missing"));
+        }
+    }
+    for (i, s) in CATALOG.iter().enumerate() {
+        if CATALOG[..i].iter().any(|other| other.name == s.name) {
+            problems.push(format!("duplicate scenario name `{}`", s.name));
+        }
+    }
+    problems
+}
+
 static CATALOG: [Scenario; 13] = [
     Scenario {
         name: "fig2",
@@ -1319,6 +1372,27 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with("=== Table 1: simulation parameters ==="));
         assert!(a.contains("backend 3 -> dispatcher"));
+    }
+
+    #[test]
+    fn registry_is_healthy() {
+        let problems = registry_problems();
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn readme_catalog_is_in_sync() {
+        // The README embeds the generated catalog table verbatim; CI
+        // regenerates and diffs it, and this test catches the drift
+        // locally first. Regenerate with `harness list --readme`.
+        let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+        let readme = std::fs::read_to_string(readme_path).expect("README.md readable");
+        let table = readme_catalog_table();
+        assert!(
+            readme.contains(&table),
+            "README 'Experiment catalog' table is stale; paste the output of \
+             `harness list --readme` into README.md"
+        );
     }
 
     #[test]

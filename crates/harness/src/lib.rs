@@ -42,14 +42,23 @@
 
 pub mod catalog;
 pub mod diff;
+pub mod plot;
 pub mod pool;
 pub mod report;
 pub mod resume;
 pub mod scenario;
 pub mod spec;
+pub mod trajectory;
 
-pub use catalog::{catalog, find_scenario};
+pub use catalog::{
+    catalog, find_scenario, readme_catalog_table, registry_problems, REQUIRED_SCENARIOS,
+};
 pub use diff::{diff_reports, BaselineDiff, Regression};
+pub use plot::{latency_artifacts, svg_line_chart, text_panel, trajectory_artifacts, Series};
+pub use trajectory::{
+    check_entry, current_commit, digest_reports, entry_from_run, migrate_legacy, params_for_entry,
+    CheckReport, SidecarStats, TrajectoryEntry, TrajectoryMetric, TrajectoryStore, STORE_VERSION,
+};
 pub use pool::{default_threads, run_jobs, JobDispatcher, JobOutcome};
 pub use resume::{run_matrix_resumed, ResumeError};
 pub use scenario::{

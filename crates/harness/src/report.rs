@@ -5,8 +5,9 @@
 //! order are pure functions of the matrix. (Live-kind jobs are the one
 //! exception: they record wall-clock measurements by design.) Wall-clock
 //! data lives in the separate [`SweepTiming`] artifact so timing noise
-//! never perturbs the comparable file (and `BENCH_*.json` trajectories
-//! can diff reports across commits).
+//! never perturbs the comparable file (and the `BENCH/<scenario>.json`
+//! trajectory stores — [`crate::trajectory`] — can digest and gate
+//! reports across commits).
 //!
 //! When a matrix runs `replications > 1`, aggregation collapses the
 //! replicated rows into one mean value per load point with a Student-t

@@ -152,6 +152,9 @@ pub enum ArtifactBody {
     Text(String),
     /// Comma-separated values with a header row.
     Csv(String),
+    /// A standalone SVG document (`harness plot` charts); rendering is
+    /// byte-stable so the file diffs in CI like the JSON artifacts.
+    Svg(String),
 }
 
 impl ArtifactBody {
@@ -161,13 +164,17 @@ impl ArtifactBody {
             ArtifactBody::Json(_) => "json",
             ArtifactBody::Text(_) => "txt",
             ArtifactBody::Csv(_) => "csv",
+            ArtifactBody::Svg(_) => "svg",
         }
     }
 
     /// The exact bytes written to disk / compared in tests.
     pub fn bytes(&self) -> &str {
         match self {
-            ArtifactBody::Json(s) | ArtifactBody::Text(s) | ArtifactBody::Csv(s) => s,
+            ArtifactBody::Json(s)
+            | ArtifactBody::Text(s)
+            | ArtifactBody::Csv(s)
+            | ArtifactBody::Svg(s) => s,
         }
     }
 }

@@ -1,0 +1,164 @@
+//! Golden-file tests for `harness plot`: the SVG/text artifact bodies
+//! are part of the CI-diffable contract, so their exact bytes are
+//! pinned against fixtures in `tests/golden/`.
+//!
+//! Regenerate after an intentional rendering change with:
+//! `BLESS=1 cargo test -p harness --test plot_golden`.
+
+use std::path::PathBuf;
+
+use harness::report::JobRecord;
+use harness::trajectory::{SidecarStats, TrajectoryEntry, TrajectoryMetric};
+use harness::{latency_artifacts, trajectory_artifacts, SweepReport, TrajectoryStore};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read golden {}: {e} (regenerate with BLESS=1 cargo test -p harness --test plot_golden)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{name} drifted from its golden bytes; if the rendering change is intentional, \
+         regenerate with BLESS=1"
+    );
+}
+
+/// A fixed two-policy, three-load-point report. Values are literals —
+/// the test pins the renderer, not the simulator.
+fn fixture_report() -> SweepReport {
+    let mut jobs = Vec::new();
+    let policies = [("1x16", "hw-single-t2"), ("16x1", "hw-static")];
+    let p99 = [
+        [900.0, 1_450.5, 7_717.468],
+        [1_100.0, 2_890.25, 64_250.75],
+    ];
+    for (pi, (policy, key)) in policies.iter().enumerate() {
+        for (li, rate) in [2.0e6, 8.0e6, 14.0e6].iter().enumerate() {
+            jobs.push(JobRecord {
+                index: (pi * 3 + li) as u64,
+                workload: "fixed".to_owned(),
+                policy: (*policy).to_owned(),
+                policy_key: (*key).to_owned(),
+                rate_rps: *rate,
+                requests: 20_000,
+                warmup: 2_000,
+                seed: 1_234 + (pi * 3 + li) as u64,
+                replication: 0,
+                throughput_rps: *rate * 0.99,
+                mean_latency_ns: p99[pi][li] / 3.0,
+                p50_latency_ns: p99[pi][li] / 4.0,
+                p99_latency_ns: p99[pi][li],
+                p99_critical_ns: p99[pi][li],
+                measured: 18_000,
+                mean_service_ns: 820.0,
+                load_balance_jain: 1.0,
+                flow_control_deferrals: 0,
+                dispatcher_high_water: 1,
+                preemptions: 0,
+                breakdown_ns: Vec::new(),
+            });
+        }
+    }
+    SweepReport {
+        version: harness::REPORT_VERSION,
+        scenario: "golden".to_owned(),
+        matrix: "golden".to_owned(),
+        master_seed: 7,
+        jobs,
+    }
+}
+
+fn fixture_store() -> TrajectoryStore {
+    let mut store = TrajectoryStore::new("golden");
+    for (i, (commit, speedup, eps)) in [
+        ("aaaa111", 1.40, 18.0e6),
+        ("bbbb222", 1.52, 20.5e6),
+        ("cccc333", 1.47, 21.2e6),
+    ]
+    .iter()
+    .enumerate()
+    {
+        store
+            .append(TrajectoryEntry {
+                commit: (*commit).to_owned(),
+                scenario: "golden".to_owned(),
+                schema_version: 3,
+                quick: false,
+                requests: 20_000,
+                master_seed: 7,
+                jobs: 6,
+                measurement_digest: format!("{:016x}", 0xabc0 + i as u64),
+                metrics: vec![
+                    TrajectoryMetric {
+                        name: "sim/1x16/speedup".to_owned(),
+                        value: *speedup,
+                        gate: "higher".to_owned(),
+                    },
+                    TrajectoryMetric {
+                        name: "sim/1x16/heap_eps".to_owned(),
+                        value: eps / speedup,
+                        gate: "info".to_owned(),
+                    },
+                ],
+                sidecar: SidecarStats {
+                    threads: 1,
+                    total_wall_ms: 700.0,
+                    cpu_ms: 690.0,
+                    events: 14_801_400,
+                    events_per_sec: *eps,
+                },
+            })
+            .unwrap();
+    }
+    store
+}
+
+#[test]
+fn latency_artifacts_match_golden_bytes() {
+    let artifacts = latency_artifacts(&[fixture_report()]);
+    assert_eq!(artifacts.len(), 2, "one SVG + one text per report");
+    assert_eq!(artifacts[0].file_name(), "golden_latency.svg");
+    assert_eq!(artifacts[1].file_name(), "golden_latency.txt");
+    assert_golden("golden_latency.svg", artifacts[0].body.bytes());
+    assert_golden("golden_latency.txt", artifacts[1].body.bytes());
+}
+
+#[test]
+fn trajectory_artifacts_match_golden_bytes() {
+    let artifacts = trajectory_artifacts(&fixture_store());
+    assert_eq!(artifacts.len(), 2);
+    assert_eq!(artifacts[0].file_name(), "golden_trajectory.svg");
+    assert_eq!(artifacts[1].file_name(), "golden_trajectory.txt");
+    assert_golden("golden_trajectory.svg", artifacts[0].body.bytes());
+    assert_golden("golden_trajectory.txt", artifacts[1].body.bytes());
+}
+
+#[test]
+fn rendering_is_a_pure_function() {
+    // Same input, fresh structs: byte-identical output. (Thread-count
+    // invariance of real runs follows from byte-identical reports; see
+    // determinism tests.)
+    let a = latency_artifacts(&[fixture_report()]);
+    let b = latency_artifacts(&[fixture_report()]);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.body.bytes(), y.body.bytes());
+    }
+    let s = trajectory_artifacts(&fixture_store());
+    let t = trajectory_artifacts(&fixture_store());
+    for (x, y) in s.iter().zip(&t) {
+        assert_eq!(x.body.bytes(), y.body.bytes());
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration tests for the benchmark-trajectory store: record →
+//! append → check against a real (tiny) scenario-style run.
+
+use dist::SyntheticKind;
+use harness::{
+    check_entry, digest_reports, entry_from_run, params_for_entry, RateGrid, ScenarioMatrix,
+    ScenarioParams, SweepReport, TrajectoryStore,
+};
+use rpcvalet::Policy;
+use workloads::Workload;
+
+fn tiny_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new("traj-test", 9)
+        .workloads(vec![Workload::Synthetic(SyntheticKind::Fixed)])
+        .policies(vec![Policy::hw_single_queue(), Policy::hw_static()])
+        .rates(RateGrid::Shared(vec![2.0e6, 8.0e6]))
+        .requests(3_000, 300)
+}
+
+fn run(threads: usize) -> (Vec<SweepReport>, Vec<harness::SweepTiming>) {
+    let (report, timing) = harness::run_matrix(&tiny_matrix(), threads);
+    (vec![report], vec![timing])
+}
+
+#[test]
+fn digest_is_thread_count_invariant_and_value_sensitive() {
+    let (one, _) = run(1);
+    let (two, _) = run(2);
+    assert_eq!(
+        digest_reports(&one),
+        digest_reports(&two),
+        "reports are byte-identical across thread counts, so digests are too"
+    );
+
+    let mut perturbed = one.clone();
+    perturbed[0].jobs[3].p99_latency_ns += 0.5;
+    assert_ne!(digest_reports(&one), digest_reports(&perturbed));
+}
+
+#[test]
+fn record_then_check_roundtrip_through_disk() {
+    let params = ScenarioParams {
+        requests: Some(3_000),
+        ..ScenarioParams::default()
+    };
+    let (reports, timings) = run(2);
+    let entry = entry_from_run("traj-test", &params, &reports, &timings, "deadbee");
+    assert_eq!(entry.jobs, 4);
+    assert_eq!(entry.requests, 3_000);
+    assert!(entry.sidecar.events > 0, "sim jobs record events");
+    assert!(entry.sidecar.events_per_sec > 0.0);
+
+    // The recorded entry implies its own replay parameters.
+    let replay = params_for_entry(&entry);
+    assert_eq!(replay.requests, Some(3_000));
+    assert!(!replay.quick);
+
+    let dir = std::env::temp_dir().join(format!("traj-store-{}", std::process::id()));
+    let path = dir.join("traj-test.json");
+    let mut store = TrajectoryStore::new("traj-test");
+    store.append(entry.clone()).unwrap();
+    store.save(&path).unwrap();
+
+    let loaded = TrajectoryStore::load(&path).unwrap();
+    assert_eq!(loaded, store, "store round-trips through disk");
+
+    // A fresh identical run passes the strict check.
+    let (reports2, timings2) = run(1);
+    let current = entry_from_run("traj-test", &params, &reports2, &timings2, "feedface");
+    let outcome = check_entry(loaded.latest().unwrap(), &current, None);
+    assert!(outcome.clean(), "{:?}", outcome.failures);
+    assert_eq!(outcome.gated, entry.metrics.len());
+
+    // Appending keeps history: the file now holds both entries in order.
+    let mut appended = loaded;
+    appended.append(current).unwrap();
+    appended.save(&path).unwrap();
+    let back = TrajectoryStore::load(&path).unwrap();
+    assert_eq!(back.entries.len(), 2);
+    assert_eq!(back.entries[0].commit, "deadbee");
+    assert_eq!(back.latest().unwrap().commit, "feedface");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_tolerance_gates_regressions() {
+    let params = ScenarioParams {
+        requests: Some(3_000),
+        ..ScenarioParams::default()
+    };
+    let (reports, timings) = run(2);
+    let baseline = entry_from_run("traj-test", &params, &reports, &timings, "deadbee");
+
+    // Simulate a run whose tail regressed 10%: every p99 metric up,
+    // throughput-under-SLO down.
+    let mut regressed = baseline.clone();
+    regressed.measurement_digest = "0000000000000000".to_owned();
+    for m in &mut regressed.metrics {
+        if m.name.ends_with("/p99_top_ns") {
+            m.value *= 1.10;
+        } else if m.name.ends_with("/slo_tput_rps") {
+            m.value *= 0.90;
+        }
+    }
+
+    // Strict mode: digest drift alone fails.
+    let strict = check_entry(&baseline, &regressed, None);
+    assert!(!strict.clean());
+
+    // 5% tolerance: the 10% moves trip both directions.
+    let tight = check_entry(&baseline, &regressed, Some(5.0));
+    assert_eq!(
+        tight.failures.len(),
+        baseline.metrics.len(),
+        "every gated metric regressed past 5%: {:?}",
+        tight.failures
+    );
+
+    // 15% tolerance: the moves fit, digest drift becomes a note.
+    let loose = check_entry(&baseline, &regressed, Some(15.0));
+    assert!(loose.clean(), "{:?}", loose.failures);
+    assert!(loose.notes.iter().any(|n| n.contains("drifted")));
+}

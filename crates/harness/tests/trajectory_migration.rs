@@ -1,0 +1,121 @@
+//! Pins the legacy → trajectory-store migration bit-identical.
+//!
+//! The repo root still carries the legacy baselines
+//! (`BENCH_simcore.json`, `BENCH_fig8_quick.json`) exactly as earlier
+//! PRs committed them; the new per-scenario stores (`BENCH/fig8.json`,
+//! `BENCH/simcore.json`) were produced from them by
+//! `harness bench --migrate-legacy`. These tests re-run the migration
+//! and require the committed stores to match — every carried f64 with
+//! its exact bits — so neither the legacy reader nor the store format
+//! can drift silently.
+
+use std::path::PathBuf;
+
+use harness::{migrate_legacy, TrajectoryStore};
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(rel: &str) -> String {
+    let path = root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The commits the legacy files were recorded at (simcore landed in
+/// PR 3, the fig8 smoke report was regenerated in PR 4) — the same ids
+/// baked into the committed stores.
+const SIMCORE_COMMIT: &str = "642e395";
+const FIG8_COMMIT: &str = "4eabb76";
+
+#[test]
+fn fig8_store_carries_legacy_report_bit_identical() {
+    let (name, entry) = migrate_legacy(&read("BENCH_fig8_quick.json"), FIG8_COMMIT).unwrap();
+    assert_eq!(name, "fig8");
+    let store = TrajectoryStore::from_json(&read("BENCH/fig8.json")).unwrap();
+    assert_eq!(store.scenario, "fig8");
+    assert_eq!(
+        store.entries,
+        vec![entry],
+        "BENCH/fig8.json must be exactly the migrated legacy report"
+    );
+
+    // Spot-pin values whose provenance is the legacy job records, so a
+    // bug that rebuilt both sides identically-wrong would still show.
+    let e = &store.entries[0];
+    assert_eq!(e.schema_version, 3, "legacy report was REPORT_VERSION 3");
+    assert_eq!(e.jobs, 112);
+    assert_eq!(e.requests, 20_000);
+    assert_eq!(e.master_seed, 88);
+    let metric = |name: &str| {
+        e.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    };
+    let hw_slo = metric("fig8/fixed/hw-single-t2/slo_tput_rps");
+    assert_eq!(hw_slo.value.to_bits(), 19448328.623819716f64.to_bits());
+    assert_eq!(hw_slo.gate, "higher");
+    let hw_p99 = metric("fig8/fixed/hw-single-t2/p99_top_ns");
+    assert_eq!(hw_p99.value.to_bits(), 7717.468f64.to_bits());
+    assert_eq!(hw_p99.gate, "lower");
+    assert_eq!(e.metrics.len(), 16, "8 (workload, policy) groups x 2");
+    assert!(!e.measurement_digest.is_empty());
+}
+
+#[test]
+fn simcore_store_carries_legacy_suite_bit_identical() {
+    let (name, entry) = migrate_legacy(&read("BENCH_simcore.json"), SIMCORE_COMMIT).unwrap();
+    assert_eq!(name, "simcore");
+    let store = TrajectoryStore::from_json(&read("BENCH/simcore.json")).unwrap();
+    assert_eq!(store.scenario, "simcore");
+    assert_eq!(
+        store.entries,
+        vec![entry],
+        "BENCH/simcore.json must be exactly the migrated legacy report"
+    );
+
+    let e = &store.entries[0];
+    assert_eq!(e.schema_version, 1, "legacy simbench report version");
+    let metric = |name: &str| {
+        e.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    };
+    // Values straight out of the legacy file, bit for bit.
+    assert_eq!(
+        metric("queue/depth64/ladder_meps").value.to_bits(),
+        67.01059407337533f64.to_bits()
+    );
+    assert_eq!(metric("queue/depth64/ladder_meps").gate, "info");
+    assert_eq!(
+        metric("sim/1x16/speedup").value.to_bits(),
+        1.4267237906354644f64.to_bits()
+    );
+    assert_eq!(metric("sim/1x16/speedup").gate, "higher");
+    assert_eq!(metric("sim/sw-1x16/p99_latency_ns").value, 861709.119);
+    assert_eq!(metric("sim/sw-1x16/p99_latency_ns").gate, "exact");
+    assert_eq!(metric("sweep/fig8/total_events").value, 14_801_400.0);
+    assert_eq!(metric("sweep/fig8/total_events").gate, "exact");
+    assert_eq!(
+        e.sidecar.events_per_sec.to_bits(),
+        21168878.073632374f64.to_bits()
+    );
+    assert_eq!(e.sidecar.events, 14_801_400);
+    assert!(
+        e.measurement_digest.is_empty(),
+        "wall-clock suite has no deterministic digest"
+    );
+}
+
+#[test]
+fn committed_stores_reserialize_to_their_own_bytes() {
+    // Append-only stability: loading and re-saving a committed store is
+    // a no-op, so future appends produce minimal diffs.
+    for rel in ["BENCH/fig8.json", "BENCH/simcore.json"] {
+        let text = read(rel);
+        let store = TrajectoryStore::from_json(&text).unwrap();
+        assert_eq!(store.to_json_pretty(), text, "{rel} round-trips byte-identically");
+    }
+}

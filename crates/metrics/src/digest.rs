@@ -1,0 +1,145 @@
+//! Order-sensitive 64-bit measurement digests.
+//!
+//! The benchmark-trajectory store (`harness::trajectory`) needs a
+//! compact fingerprint of a sweep's measurement values so a CI check can
+//! assert "this commit reproduces the recorded run bit for bit" without
+//! committing whole reports per commit. [`Digest64`] is streaming
+//! FNV-1a over a canonical byte encoding:
+//!
+//! * `u64` as little-endian bytes;
+//! * `f64` as the little-endian bytes of [`f64::to_bits`], with `-0.0`
+//!   canonicalized to `0.0` and every NaN to one quiet NaN pattern, so
+//!   semantically equal measurements digest equally;
+//! * strings as their UTF-8 bytes preceded by their length, so
+//!   `("ab","c")` and `("a","bc")` cannot collide.
+//!
+//! FNV-1a is not cryptographic; it fingerprints honest drift (a changed
+//! measurement, a reordered job list), which is all a perf-trajectory
+//! gate needs.
+
+/// Streaming FNV-1a 64-bit digest with canonical numeric encoding.
+#[derive(Debug, Clone)]
+pub struct Digest64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Digest64 {
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Digest64 {
+        Digest64 { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by bit pattern, canonicalizing `-0.0` and NaN.
+    pub fn write_f64(&mut self, v: f64) {
+        let canonical = if v == 0.0 {
+            0.0f64 // collapses -0.0
+        } else if v.is_nan() {
+            f64::NAN
+        } else {
+            v
+        };
+        self.write_bytes(&canonical.to_bits().to_le_bytes());
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as 16 lowercase hex characters (the stored form).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+impl Default for Digest64 {
+    fn default() -> Self {
+        Digest64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Reference FNV-1a 64 values.
+        assert_eq!(Digest64::new().finish(), FNV_OFFSET);
+        let mut d = Digest64::new();
+        d.write_bytes(b"a");
+        assert_eq!(d.finish(), 0xaf63dc4c8601ec8c);
+        let mut d = Digest64::new();
+        d.write_bytes(b"foobar");
+        assert_eq!(d.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn canonical_floats() {
+        let mut pos = Digest64::new();
+        pos.write_f64(0.0);
+        let mut neg = Digest64::new();
+        neg.write_f64(-0.0);
+        assert_eq!(pos.finish(), neg.finish(), "-0.0 collapses to 0.0");
+
+        let mut a = Digest64::new();
+        a.write_f64(f64::NAN);
+        let mut b = Digest64::new();
+        b.write_f64(f64::from_bits(0x7ff8_0000_0000_0001));
+        assert_eq!(a.finish(), b.finish(), "NaN payloads collapse");
+
+        let mut x = Digest64::new();
+        x.write_f64(1.0);
+        let mut y = Digest64::new();
+        y.write_f64(1.0 + f64::EPSILON);
+        assert_ne!(x.finish(), y.finish(), "one-ulp drift is visible");
+    }
+
+    #[test]
+    fn length_prefix_blocks_concatenation_collisions() {
+        let mut ab_c = Digest64::new();
+        ab_c.write_str("ab");
+        ab_c.write_str("c");
+        let mut a_bc = Digest64::new();
+        a_bc.write_str("a");
+        a_bc.write_str("bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn hex_is_stable_and_sixteen_chars() {
+        let mut d = Digest64::new();
+        d.write_str("fig8");
+        d.write_u64(88);
+        d.write_f64(843.5);
+        let h = d.hex();
+        assert_eq!(h.len(), 16);
+        let mut again = Digest64::new();
+        again.write_str("fig8");
+        again.write_u64(88);
+        again.write_f64(843.5);
+        assert_eq!(h, again.hex());
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod breakdown;
 pub mod cdf;
+pub mod digest;
 pub mod fairness;
 pub mod histogram;
 pub mod percentile;
@@ -40,6 +41,7 @@ pub mod timeseries;
 
 pub use breakdown::LatencyBreakdown;
 pub use cdf::{Cdf, CdfPoint};
+pub use digest::Digest64;
 pub use fairness::jain_index;
 pub use histogram::LatencyHistogram;
 pub use percentile::{
