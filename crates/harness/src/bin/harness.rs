@@ -8,6 +8,10 @@
 //! harness run --matrix fig7a --threads 8 --out results.json   # low-level escape hatch
 //! harness bench --scenario fig8 --check            # gate vs BENCH/fig8.json
 //! harness bench --scenario fig8 --record           # append a trajectory entry
+//! harness trace --capture --matrix live_smoke --out live.trace
+//! harness trace --summarize live.trace             # per-hop latency anatomy
+//! harness trace --diff sim.trace live.trace        # sim vs live divergence
+//! harness trace --replay live.trace --trace-out sim.trace
 //! harness plot --scenario fig8                     # SVG/text charts
 //! harness list
 //! harness list --json | --names | --readme | --check
@@ -57,6 +61,7 @@ struct RunArgs {
     baseline: Option<String>,
     tolerance_pct: f64,
     fresh: bool,
+    trace: Option<usize>,
 }
 
 fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
@@ -75,6 +80,7 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
         baseline: None,
         tolerance_pct: 5.0,
         fresh: false,
+        trace: None,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -118,6 +124,13 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
                 args.replications = Some(replications);
             }
             "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--trace" => {
+                args.trace = Some(
+                    value("--trace")?
+                        .parse()
+                        .map_err(|e| format!("bad trace capacity: {e}"))?,
+                );
+            }
             "--tolerance" => {
                 args.tolerance_pct = value("--tolerance")?
                     .parse()
@@ -143,6 +156,13 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
     // Reject flags that the selected mode would silently ignore.
     if args.scenario.is_some() && args.out.is_some() {
         return Err("--out applies to --matrix runs; scenario reports go to --out-dir".to_owned());
+    }
+    if args.scenario.is_some() && args.trace.is_some() {
+        return Err(
+            "--trace applies to --matrix runs (scenario matrices bake their own trace \
+             capacities, e.g. latency_breakdown)"
+                .to_owned(),
+        );
     }
     if args.matrix.is_some() {
         for (set, flag) in [
@@ -474,6 +494,14 @@ fn cmd_run_matrix(name: &str, args: &RunArgs) -> Result<bool, String> {
     if let Some(replications) = args.replications {
         matrix = matrix.replications(replications);
     }
+    if let Some(capacity) = args.trace {
+        // Per-request timeline traces for the first `capacity` measured
+        // requests of every sim job (fills the report's breakdown
+        // column). Traced sim runs keep monotone message ids — no slab
+        // slot recycling — so peak simulator memory grows with
+        // `--requests`; see `rpcvalet::SystemConfig::trace_capacity`.
+        matrix = matrix.trace(capacity);
+    }
     let jobs = matrix.jobs().len();
     // Live matrices serialize onto one worker (concurrent loopback
     // servers would contend for the machine); run_matrix re-derives the
@@ -729,6 +757,219 @@ fn cmd_bench(it: std::env::Args) -> Result<bool, String> {
 }
 
 #[derive(Debug, Default)]
+struct TraceArgs {
+    capture: bool,
+    matrix: Option<String>,
+    out: Option<String>,
+    report: Option<String>,
+    events: usize,
+    threads: Option<usize>,
+    quick: bool,
+    seed: Option<u64>,
+    requests: Option<u64>,
+    summarize: Option<String>,
+    diff: Option<(String, String)>,
+    replay: Option<String>,
+    policy: String,
+    trace_out: Option<String>,
+}
+
+fn parse_trace_args(mut it: std::env::Args) -> Result<TraceArgs, String> {
+    let mut args = TraceArgs {
+        events: 5_000,
+        policy: "single".to_owned(),
+        ..TraceArgs::default()
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--capture" => args.capture = true,
+            "--matrix" => args.matrix = Some(value("--matrix")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--report" => args.report = Some(value("--report")?),
+            "--events" => {
+                args.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("bad event count: {e}"))?;
+                if args.events == 0 {
+                    return Err("--events must be at least 1".to_owned());
+                }
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
+            "--quick" => args.quick = true,
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?,
+                );
+            }
+            "--requests" => {
+                let requests: u64 = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad requests: {e}"))?;
+                if requests == 0 {
+                    return Err("--requests must be at least 1".to_owned());
+                }
+                args.requests = Some(requests);
+            }
+            "--summarize" => args.summarize = Some(value("--summarize")?),
+            "--diff" => {
+                let a = value("--diff (first store)")?;
+                let b = value("--diff (second store)")?;
+                args.diff = Some((a, b));
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--policy" => args.policy = value("--policy")?,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            other => return Err(format!("unknown flag `{other}` for trace")),
+        }
+    }
+    let modes = [
+        args.capture,
+        args.summarize.is_some(),
+        args.diff.is_some(),
+        args.replay.is_some(),
+    ];
+    if modes.iter().filter(|&&m| m).count() != 1 {
+        return Err(
+            "trace needs exactly one of --capture | --summarize <store> | --diff <a> <b> | \
+             --replay <store>"
+                .to_owned(),
+        );
+    }
+    if args.capture {
+        if args.matrix.is_none() || args.out.is_none() {
+            return Err("--capture needs --matrix <name> and --out <store>".to_owned());
+        }
+    } else {
+        for (set, flag) in [
+            (args.matrix.is_some(), "--matrix"),
+            (args.out.is_some(), "--out"),
+            (args.report.is_some(), "--report"),
+            (args.quick, "--quick"),
+            (args.seed.is_some(), "--seed"),
+            (args.requests.is_some(), "--requests"),
+        ] {
+            if set {
+                return Err(format!("{flag} applies to --capture"));
+            }
+        }
+    }
+    if args.replay.is_none() && args.trace_out.is_some() {
+        return Err("--trace-out applies to --replay".to_owned());
+    }
+    Ok(args)
+}
+
+fn parse_replay_policy(name: &str) -> Result<rpcvalet::Policy, String> {
+    match name {
+        "single" => Ok(rpcvalet::Policy::hw_single_queue()),
+        "partitioned" => Ok(rpcvalet::Policy::hw_partitioned()),
+        "static" => Ok(rpcvalet::Policy::hw_static()),
+        other => Err(format!(
+            "unknown replay policy `{other}` (single | partitioned | static)"
+        )),
+    }
+}
+
+/// `harness trace`: capture a matrix's request-lifecycle trace into a
+/// sealed store, summarize a store's per-hop anatomy, diff two stores
+/// (the sim↔live divergence report), or replay a recorded arrival trace
+/// through the simulator.
+fn cmd_trace(it: std::env::Args) -> Result<bool, String> {
+    let args = parse_trace_args(it)?;
+
+    if let Some(path) = &args.summarize {
+        print!("{}", harness::summarize_store(Path::new(path))?);
+        return Ok(true);
+    }
+
+    if let Some((a, b)) = &args.diff {
+        print!("{}", harness::diff_stores(Path::new(a), Path::new(b))?);
+        return Ok(true);
+    }
+
+    if let Some(path) = &args.replay {
+        let policy = parse_replay_policy(&args.policy)?;
+        let trace_out = args.trace_out.as_ref().map(PathBuf::from);
+        let outcome = harness::replay_store(Path::new(path), policy, trace_out.as_deref())?;
+        let m = &outcome.measurement;
+        println!(
+            "replayed {} recorded request(s) through the simulator ({} incomplete skipped)",
+            outcome.replayed, outcome.incomplete
+        );
+        println!(
+            "  policy {}: implied rate {:.3} Mrps, throughput {:.3} Mrps",
+            m.label,
+            outcome.implied_rate_rps / 1e6,
+            m.throughput_rps / 1e6
+        );
+        println!(
+            "  latency p50 {:.3} us, p99 {:.3} us, mean {:.3} us over {} measured",
+            m.p50_latency_ns / 1e3,
+            m.p99_latency_ns / 1e3,
+            m.mean_latency_ns / 1e3,
+            m.measured
+        );
+        if let (Some(out), Some(digest)) = (&trace_out, &outcome.trace_digest) {
+            println!("[wrote {} (digest {digest})]", out.display());
+        }
+        return Ok(true);
+    }
+
+    // --capture
+    let name = args.matrix.as_deref().expect("checked by parser");
+    let mut matrix = ScenarioMatrix::named(name).ok_or_else(|| {
+        format!(
+            "unknown matrix `{name}` (known: {})",
+            ScenarioMatrix::known_names().join(", ")
+        )
+    })?;
+    if args.quick {
+        matrix = matrix.quick();
+    }
+    if let Some(seed) = args.seed {
+        matrix.master_seed = seed;
+    }
+    if let Some(requests) = args.requests {
+        matrix.requests = requests;
+        matrix.warmup = requests / 10;
+    }
+    let threads = args.threads.unwrap_or_else(default_threads);
+    let out = PathBuf::from(args.out.as_deref().expect("checked by parser"));
+    println!(
+        "trace capture {}: {} jobs x {} requests, first {} request(s) per job",
+        matrix.name,
+        matrix.jobs().len(),
+        matrix.requests,
+        args.events
+    );
+    let captured = harness::capture_matrix(&matrix, threads, args.events, &out)
+        .map_err(|e| format!("capture {}: {e}", out.display()))?;
+    println!("  {}", captured.timing.summary_line());
+    println!(
+        "[wrote {} ({} events, {} dropped, digest {})]",
+        out.display(),
+        captured.events,
+        captured.dropped,
+        captured.digest
+    );
+    if let Some(report_path) = &args.report {
+        std::fs::write(report_path, captured.report.to_json_pretty())
+            .map_err(|e| format!("write {report_path}: {e}"))?;
+        println!("[wrote {report_path}]");
+    }
+    Ok(true)
+}
+
+#[derive(Debug, Default)]
 struct PlotArgs {
     scenario: Option<String>,
     out_dir: Option<String>,
@@ -838,6 +1079,7 @@ fn main() -> ExitCode {
     let outcome = match it.next().as_deref() {
         Some("run") => cmd_run(it),
         Some("bench") => cmd_bench(it),
+        Some("trace") => cmd_trace(it),
         Some("plot") => cmd_plot(it),
         Some("list") => {
             let mut mode = None;
@@ -873,10 +1115,16 @@ fn main() -> ExitCode {
                 "usage: harness run --scenario <name> [--quick] [--part a|b|c] [--threads n] \
                  [--seed n] [--requests n] [--replications n] [--out-dir dir] \
                  [--figures-dir dir] [--baseline old.json] [--tolerance pct] [--fresh]\n       \
-                 harness run --matrix <name> [--out file.json] [shared flags]\n       \
+                 harness run --matrix <name> [--out file.json] [--trace n] [shared flags]\n       \
                  harness bench --scenario <name> (--record | --check) [--tolerance pct] \
                  [--store file.json] [--threads n] [--quick] [--requests n] [--commit id]\n       \
                  harness bench --migrate-legacy BENCH_file.json [--store file.json] [--commit id]\n       \
+                 harness trace --capture --matrix <name> --out store.trace [--events n] \
+                 [--report file.json] [--threads n] [--quick] [--seed n] [--requests n]\n       \
+                 harness trace --summarize store.trace\n       \
+                 harness trace --diff sim.trace live.trace\n       \
+                 harness trace --replay store.trace [--policy single|partitioned|static] \
+                 [--trace-out replay.trace]\n       \
                  harness plot --scenario <name> [--out-dir dir] [--figures-dir dir] \
                  [--store file.json]\n       \
                  harness list [--json | --names | --readme | --check]"

@@ -48,6 +48,7 @@ pub mod report;
 pub mod resume;
 pub mod scenario;
 pub mod spec;
+pub mod tracecmd;
 pub mod trajectory;
 
 pub use catalog::{
@@ -59,8 +60,11 @@ pub use trajectory::{
     check_entry, current_commit, digest_reports, entry_from_run, migrate_legacy, params_for_entry,
     CheckReport, SidecarStats, TrajectoryEntry, TrajectoryMetric, TrajectoryStore, STORE_VERSION,
 };
-pub use pool::{default_threads, run_jobs, JobDispatcher, JobOutcome};
+pub use pool::{default_threads, run_jobs, run_jobs_observed, JobDispatcher, JobOutcome};
 pub use resume::{run_matrix_resumed, ResumeError};
+pub use tracecmd::{
+    capture_matrix, diff_stores, replay_store, schedule_from_events, summarize_store,
+};
 pub use scenario::{
     build_matrices, figures_dir, render_curve, run_scenario, validate_part, Artifact,
     ArtifactBody, Artifacts, Scenario, ScenarioParams, ScenarioRun,
@@ -71,8 +75,8 @@ pub use report::{
     REPORT_VERSION,
 };
 pub use spec::{
-    policy_spec_key, ExperimentSpec, JobKind, LiveParams, Measurement, PolicySpec, RateGrid,
-    ScenarioMatrix, SeedMode, SimTune, WorkloadSpec,
+    policy_spec_key, ExperimentSpec, JobKind, LiveParams, Measurement, ObservedRun, PolicySpec,
+    RateGrid, ScenarioMatrix, SeedMode, SimTune, WorkloadSpec,
 };
 
 /// Clamps a worker-thread count to 1 when any job is live: concurrent
@@ -100,4 +104,25 @@ pub fn run_matrix(matrix: &ScenarioMatrix, threads: usize) -> (SweepReport, Swee
     let report = SweepReport::from_outcomes(matrix, &outcomes);
     let timing = report::timing_from_outcomes(matrix, &outcomes, effective, total_wall_ms);
     (report, timing)
+}
+
+/// [`run_matrix`], with request-lifecycle tracing: every job also
+/// captures its first `capture` requests' hop events (see
+/// [`run_jobs_observed`]). The report is byte-identical to the untraced
+/// [`run_matrix`] report, and for sim/model matrices the event stream is
+/// byte-identical for every `threads` value.
+pub fn run_matrix_traced(
+    matrix: &ScenarioMatrix,
+    threads: usize,
+    capture: usize,
+) -> (SweepReport, SweepTiming, Vec<telemetry::TraceEvent>, u64) {
+    let start = std::time::Instant::now();
+    let jobs = matrix.jobs();
+    let threads = threads_for_jobs(&jobs, threads);
+    let effective = simkit::pool::effective_threads(threads, jobs.len());
+    let (outcomes, events, dropped) = pool::run_jobs_observed(jobs, threads, capture);
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = SweepReport::from_outcomes(matrix, &outcomes);
+    let timing = report::timing_from_outcomes(matrix, &outcomes, effective, total_wall_ms);
+    (report, timing, events, dropped)
 }

@@ -18,6 +18,7 @@
 use std::time::Instant;
 
 use simkit::pool::{run_indexed, TaskQueue};
+use telemetry::TraceEvent;
 
 use crate::spec::{ExperimentSpec, Measurement};
 
@@ -54,6 +55,41 @@ pub fn run_jobs(jobs: Vec<ExperimentSpec>, threads: usize) -> Vec<JobOutcome> {
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
         }
     })
+}
+
+/// [`run_jobs`], with request-lifecycle tracing: every job also captures
+/// its first `capture` requests' hop events, namespaced by
+/// `job-index << 40` so ids never collide across jobs.
+///
+/// Returns `(outcomes, events, dropped)`. Events are concatenated in
+/// **job order** (not completion order), so for sim/model jobs the event
+/// stream — and hence the trace store's digest — is bit-identical for
+/// every `threads` value, exactly like the measurement report.
+pub fn run_jobs_observed(
+    jobs: Vec<ExperimentSpec>,
+    threads: usize,
+    capture: usize,
+) -> (Vec<JobOutcome>, Vec<TraceEvent>, u64) {
+    let observed = run_indexed(jobs, threads, move |index, spec| {
+        let start = Instant::now();
+        let run = spec.run_observed(capture, (index as u64) << 40);
+        let outcome = JobOutcome {
+            index,
+            spec,
+            result: run.measurement,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        };
+        (outcome, run.events, run.dropped)
+    });
+    let mut outcomes = Vec::with_capacity(observed.len());
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for (outcome, job_events, job_dropped) in observed {
+        outcomes.push(outcome);
+        events.extend(job_events);
+        dropped += job_dropped;
+    }
+    (outcomes, events, dropped)
 }
 
 pub use simkit::pool::default_threads;

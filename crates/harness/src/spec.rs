@@ -14,14 +14,17 @@
 //!   the harness's byte-identical determinism contract** — everything
 //!   else keeps it.
 
+use std::sync::Arc;
+
 use dist::{ServiceDist, SyntheticKind};
 use live::{BurnMode, LivePolicy, LoopbackSpec};
 use metrics::LatencyBreakdown;
 use queueing::{QueueingModel, QxU, RunParams};
-use rpcvalet::{McsParams, Policy, PreemptionParams, ServerSim, SystemConfig};
+use rpcvalet::{McsParams, Policy, PreemptionParams, RequestSchedule, ServerSim, SystemConfig};
 use simkit::rng::split_seed;
 use simkit::SimDuration;
 use sonuma::ChipParams;
+use telemetry::TraceEvent;
 use workloads::{scenario_config, Workload};
 
 /// Tag mixed into the master seed for replications beyond the first, so
@@ -66,6 +69,17 @@ pub enum WorkloadSpec {
         /// The service-time distribution (ns).
         dist: ServiceDist,
     },
+    /// A recorded arrival trace replayed verbatim (`harness trace
+    /// --replay`): the schedule pins every arrival instant, source, and
+    /// service demand, so sim jobs touch no generator RNG. Needs an
+    /// explicit [`RateGrid::Shared`] grid — typically the schedule's
+    /// [`RequestSchedule::implied_rate_rps`].
+    Trace {
+        /// Label recorded in reports (e.g. the trace store's label).
+        label: String,
+        /// The recorded arrivals.
+        schedule: Arc<RequestSchedule>,
+    },
 }
 
 impl WorkloadSpec {
@@ -73,15 +87,23 @@ impl WorkloadSpec {
     pub fn label(&self) -> String {
         match self {
             WorkloadSpec::Named(w) => w.label(),
-            WorkloadSpec::Service { label, .. } => label.clone(),
+            WorkloadSpec::Service { label, .. } | WorkloadSpec::Trace { label, .. } => {
+                label.clone()
+            }
         }
     }
 
-    /// The service-time distribution.
+    /// The service-time distribution. For trace replays the per-request
+    /// demands come from the schedule itself; this returns a fixed
+    /// distribution at the schedule's mean so kind-agnostic callers
+    /// (live jobs, capacity math) still get a sensible profile.
     pub fn service_dist(&self) -> ServiceDist {
         match self {
             WorkloadSpec::Named(w) => w.service_dist(),
             WorkloadSpec::Service { dist, .. } => dist.clone(),
+            WorkloadSpec::Trace { schedule, .. } => {
+                ServiceDist::fixed_ns(schedule.mean_service_ns())
+            }
         }
     }
 
@@ -89,7 +111,7 @@ impl WorkloadSpec {
     pub fn named(&self) -> Option<Workload> {
         match self {
             WorkloadSpec::Named(w) => Some(*w),
-            WorkloadSpec::Service { .. } => None,
+            WorkloadSpec::Service { .. } | WorkloadSpec::Trace { .. } => None,
         }
     }
 }
@@ -282,6 +304,23 @@ pub struct Measurement {
     pub breakdown: Option<LatencyBreakdown>,
 }
 
+/// Everything one observed job run produces
+/// ([`ExperimentSpec::run_observed`]): the measurement plus the
+/// request-lifecycle trace events it captured.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The job's measurement — byte-identical to what
+    /// [`ExperimentSpec::run`] returns (live jobs excepted; they measure
+    /// wall clock).
+    pub measurement: Measurement,
+    /// Captured hop events, request ids namespaced by the caller's
+    /// `req_base` (empty when `capture` was 0).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to a full live trace ring (always 0 for sim jobs:
+    /// the simulator's trace log is sized to the capture).
+    pub dropped: u64,
+}
+
 /// One fully specified experiment to run: the unit of work the harness
 /// dispatcher hands to worker threads.
 #[derive(Debug, Clone)]
@@ -336,13 +375,26 @@ impl ExperimentSpec {
             | PolicySpec::SimTuned { policy: p, .. } => p.clone(),
             other => panic!("not a ServerSim policy: {other:?}"),
         };
-        let mut cfg = match self.workload.named() {
-            Some(workload) => scenario_config(workload, policy, self.rate_rps, self.seed),
-            None => SystemConfig::builder()
+        let mut cfg = match &self.workload {
+            WorkloadSpec::Named(workload) => {
+                scenario_config(*workload, policy, self.rate_rps, self.seed)
+            }
+            WorkloadSpec::Service { dist, .. } => SystemConfig::builder()
                 .policy(policy)
-                .service(self.workload.service_dist())
+                .service(dist.clone())
                 .rate_rps(self.rate_rps)
                 .seed(self.seed)
+                .build(),
+            // Replay: the schedule supplies arrivals/sources/services, so
+            // the generator knobs (rate, service dist) are informational.
+            WorkloadSpec::Trace { schedule, .. } => SystemConfig::builder()
+                .policy(policy)
+                .service(self.workload.service_dist())
+                .rate_rps(schedule.implied_rate_rps())
+                .seed(self.seed)
+                .requests(self.requests)
+                .warmup(self.warmup)
+                .schedule(Arc::clone(schedule))
                 .build(),
         };
         cfg.requests = self.requests;
@@ -366,14 +418,39 @@ impl ExperimentSpec {
     /// Panics on invalid combinations and on live I/O failures — both
     /// mean the matrix itself is broken, not the job.
     pub fn run(&self) -> Measurement {
+        self.run_observed(0, 0).measurement
+    }
+
+    /// [`ExperimentSpec::run`], with unified request-lifecycle tracing:
+    /// also returns the first `capture` requests' hop events
+    /// (`req_base | request-id` namespaces them in multi-job stores).
+    ///
+    /// The measurement is **byte-identical** to [`ExperimentSpec::run`]
+    /// for sim and model jobs at any `capture`: sim jobs enlarge the
+    /// trace ring to `max(trace_capacity, capture)` — the simulator's
+    /// event flow never consults the ring — and
+    /// [`Measurement::breakdown`] is still computed over the first
+    /// `trace_capacity` completions only. Live jobs measure wall clock
+    /// and are exempt (tracing on also folds nothing extra in: the
+    /// `STATS` snapshot is always queried).
+    ///
+    /// # Panics
+    /// Same contract as [`ExperimentSpec::run`].
+    pub fn run_observed(&self, capture: usize, req_base: u64) -> ObservedRun {
         match &self.policy {
             PolicySpec::Sim(_)
             | PolicySpec::SimPreempt(..)
             | PolicySpec::SimEmulatedNic(_)
             | PolicySpec::SimTuned { .. } => {
-                let tracing = self.trace_capacity > 0;
-                let r = ServerSim::new(self.sim_config()).run();
-                Measurement {
+                let baked = self.trace_capacity;
+                let mut cfg = self.sim_config();
+                cfg.trace_capacity = baked.max(capture);
+                let r = ServerSim::new(cfg).run();
+                let mut events = Vec::new();
+                for trace in r.traces.records().iter().take(capture) {
+                    trace.append_events(req_base | trace.msg, &mut events);
+                }
+                let measurement = Measurement {
                     label: r.label,
                     throughput_rps: r.throughput_rps,
                     mean_latency_ns: r.mean_latency_ns,
@@ -387,8 +464,14 @@ impl ExperimentSpec {
                     sim_events: r.events_processed,
                     dispatcher_high_water: r.dispatcher_high_water,
                     preemptions: r.preemptions,
-                    breakdown: tracing
-                        .then(|| LatencyBreakdown::from_means(r.traces.component_means_ns())),
+                    breakdown: (baked > 0).then(|| {
+                        LatencyBreakdown::from_means(r.traces.component_means_first_ns(baked))
+                    }),
+                };
+                ObservedRun {
+                    measurement,
+                    events,
+                    dropped: 0,
                 }
             }
             PolicySpec::Model(config) => {
@@ -399,7 +482,9 @@ impl ExperimentSpec {
                     warmup: self.warmup,
                     seed: self.seed,
                 });
-                Measurement {
+                // The Q×U model has no hop pipeline to trace: arrival
+                // *is* dispatch. Observed runs return no events.
+                let measurement = Measurement {
                     label: config.label(),
                     throughput_rps: r.throughput_rps,
                     mean_latency_ns: r.sojourn.mean_ns(),
@@ -414,6 +499,11 @@ impl ExperimentSpec {
                     dispatcher_high_water: 0,
                     preemptions: 0,
                     breakdown: None,
+                };
+                ObservedRun {
+                    measurement,
+                    events: Vec::new(),
+                    dropped: 0,
                 }
             }
             PolicySpec::Live(policy, params) => {
@@ -430,13 +520,15 @@ impl ExperimentSpec {
                     seed: self.seed,
                     replenish_batch: params.replenish_batch,
                 };
-                let r = live::run_loopback(&spec)
+                let outcome = live::run_loopback_observed(&spec, capture as u64)
                     .unwrap_or_else(|e| panic!("live loopback job failed: {e}"));
+                let r = &outcome.stats;
+                let server = &outcome.server;
                 let mut label = policy.label(params.workers);
                 if matches!(policy, LivePolicy::Replenish) && params.replenish_batch > 1 {
                     label = format!("{label}-b{}", params.replenish_batch);
                 }
-                Measurement {
+                let measurement = Measurement {
                     label,
                     throughput_rps: r.throughput_rps,
                     mean_latency_ns: r.mean_latency_ns,
@@ -448,9 +540,25 @@ impl ExperimentSpec {
                     load_balance_jain: r.load_balance_jain,
                     flow_control_deferrals: 0,
                     sim_events: 0,
-                    dispatcher_high_water: 0,
+                    // The live analogue of the sim's peak shared-CQ depth:
+                    // the server's own high-water gauge (queue depth for
+                    // queue policies, posted-slot ring depth for
+                    // replenish), from the `STATS` snapshot.
+                    dispatcher_high_water: server.queue_high_water.max(server.ring_high_water)
+                        as usize,
                     preemptions: 0,
                     breakdown: None,
+                };
+                let mut events = outcome.events;
+                if req_base != 0 {
+                    for event in &mut events {
+                        event.req |= req_base;
+                    }
+                }
+                ObservedRun {
+                    measurement,
+                    events,
+                    dropped: outcome.dropped,
                 }
             }
         }

@@ -9,10 +9,22 @@
 //! `--burn sleep` (the default) makes workers overlap like real cores
 //! even on a 1-CPU machine; use `--burn spin` on hardware with as many
 //! cores as workers to burn real CPU, as the paper's handlers do.
+//!
+//! `--trace FILE` stamps request-lifecycle hops for the first
+//! `--trace-requests N` requests into a versioned trace store at FILE,
+//! sealed with its digest on exit: Ctrl-C / SIGTERM drains the server
+//! and seals before returning. Only a hard kill (SIGKILL, power loss)
+//! leaves an unsealed store, which the loader reports as an interrupted
+//! capture. Telemetry counters are always on; query them with the wire
+//! protocol's `STATS` verb.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
-use live::{BurnMode, LivePolicy, Server, ServerConfig};
+use live::{BurnMode, LivePolicy, Server, ServerConfig, TraceSink};
+use telemetry::{EventRing, RingFlusher, TraceMeta, TraceWriter};
 
 struct Args {
     policy: LivePolicy,
@@ -20,6 +32,8 @@ struct Args {
     burn: BurnMode,
     port: u16,
     bind: String,
+    trace: Option<String>,
+    trace_requests: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         burn: BurnMode::Sleep,
         port: 7117,
         bind: "127.0.0.1".to_owned(),
+        trace: None,
+        trace_requests: 100_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,9 +66,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad port: {e}"))?;
             }
             "--bind" => args.bind = value("--bind")?,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--trace-requests" => {
+                args.trace_requests = value("--trace-requests")?
+                    .parse()
+                    .map_err(|e| format!("bad trace request count: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err("usage: valetd [--policy single|partitioned[:G]|rss|replenish] \
-                            [--workers n] [--burn sleep|spin] [--port p] [--bind addr]"
+                            [--workers n] [--burn sleep|spin] [--port p] [--bind addr] \
+                            [--trace FILE] [--trace-requests n]"
                     .to_owned())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -71,6 +94,34 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Set by the SIGINT/SIGTERM handler; the main thread polls it so
+/// shutdown — draining workers, sealing the trace store — runs in
+/// normal (signal-safe-unconstrained) context.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes Ctrl-C and SIGTERM through [`SHUTDOWN`] instead of killing
+/// the process mid-capture (an atomic store is async-signal-safe).
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = request_shutdown as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -79,13 +130,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Optional tracing: hops go through a bounded ring to a background
+    // flusher appending to the store, so serving never blocks on I/O.
+    let mut capture = None;
+    let trace = match &args.trace {
+        Some(path) => {
+            let label = args.policy.label(args.workers);
+            let writer = match TraceWriter::create(path.as_ref(), &TraceMeta::live(&label, 1)) {
+                Ok(writer) => writer,
+                Err(e) => {
+                    eprintln!("create trace store {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let ring = Arc::new(EventRing::with_capacity(8 * 1024));
+            capture = Some((Arc::clone(&ring), RingFlusher::spawn(Arc::clone(&ring), writer)));
+            Some(TraceSink::new(ring, args.trace_requests))
+        }
+        None => None,
+    };
     let config = ServerConfig {
         policy: args.policy,
         workers: args.workers,
         burn: args.burn,
         replenish_batch: 1,
+        trace,
     };
-    let mut server = match Server::start(config, format!("{}:{}", args.bind, args.port)) {
+    install_shutdown_handler();
+    let server = match Server::start(config, format!("{}:{}", args.bind, args.port)) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("bind {}:{}: {e}", args.bind, args.port);
@@ -99,6 +171,22 @@ fn main() -> ExitCode {
         args.workers,
         args.burn
     );
-    server.wait();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let completions = server.stop();
+    println!(
+        "shutting down: {} request(s) completed across {} worker(s)",
+        completions.iter().sum::<u64>(),
+        completions.len()
+    );
+    if let Some((ring, flusher)) = capture {
+        let mut writer = flusher.finish();
+        writer.note_dropped(ring.dropped());
+        match writer.finish() {
+            Ok(digest) => println!("trace store sealed (digest {digest})"),
+            Err(e) => eprintln!("seal trace store: {e}"),
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -20,7 +20,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -142,6 +142,21 @@ pub struct RouteKey {
     pub seq: u64,
 }
 
+/// Occupancy gauges a dispatcher accumulates while serving, reported
+/// through the wire protocol's `STATS` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchGauges {
+    /// Deepest any of the policy's queues ever got (max over queues —
+    /// the live analogue of the simulator's `dispatcher_high_water`).
+    pub queue_high_water: u64,
+    /// Most free-worker slots ever posted to the replenish ring at once
+    /// (0 for the lock/queue policies, which have no ring).
+    pub ring_high_water: u64,
+    /// Replenish deliveries (each hands a worker one batch; 0 for the
+    /// other policies).
+    pub replenish_batches: u64,
+}
+
 /// A dispatch discipline: readers submit work, workers pull it.
 ///
 /// `recv` blocks until an item is available for `worker` or the
@@ -154,6 +169,10 @@ pub trait Dispatcher<T: Send>: Send + Sync {
     /// Wakes all blocked workers and makes subsequent `recv`s return
     /// `None`. Idempotent.
     fn shutdown(&self);
+    /// Current occupancy gauges (advisory; safe to call while serving).
+    fn gauges(&self) -> DispatchGauges {
+        DispatchGauges::default()
+    }
 }
 
 /// Builds the dispatcher for a policy.
@@ -198,6 +217,9 @@ struct Channel<T> {
 struct ChannelInner<T> {
     queue: VecDeque<T>,
     open: bool,
+    /// Deepest the queue ever got. Updated under the lock the push
+    /// already holds, so the gauge costs nothing extra on the hot path.
+    high_water: u64,
 }
 
 impl<T> Channel<T> {
@@ -206,6 +228,7 @@ impl<T> Channel<T> {
             inner: Mutex::new(ChannelInner {
                 queue: VecDeque::new(),
                 open: true,
+                high_water: 0,
             }),
             cv: Condvar::new(),
         }
@@ -214,6 +237,7 @@ impl<T> Channel<T> {
     fn push(&self, item: T) {
         let mut inner = self.inner.lock().expect("channel lock");
         inner.queue.push_back(item);
+        inner.high_water = inner.high_water.max(inner.queue.len() as u64);
         drop(inner);
         self.cv.notify_one();
     }
@@ -226,8 +250,14 @@ impl<T> Channel<T> {
         }
         let mut inner = self.inner.lock().expect("channel lock");
         inner.queue.extend(items);
+        inner.high_water = inner.high_water.max(inner.queue.len() as u64);
         drop(inner);
         self.cv.notify_one();
+    }
+
+    /// Deepest the queue has ever been.
+    fn high_water(&self) -> u64 {
+        self.inner.lock().expect("channel lock").high_water
     }
 
     /// Pops the next item if one is queued, without blocking.
@@ -289,6 +319,13 @@ impl<T: Send> Dispatcher<T> for SingleQueue<T> {
     fn shutdown(&self) {
         self.channel.close();
     }
+
+    fn gauges(&self) -> DispatchGauges {
+        DispatchGauges {
+            queue_high_water: self.channel.high_water(),
+            ..DispatchGauges::default()
+        }
+    }
 }
 
 /// `G` queues feeding `workers / G` workers each; arrivals spread
@@ -335,6 +372,13 @@ impl<T: Send> Dispatcher<T> for Partitioned<T> {
             g.close();
         }
     }
+
+    fn gauges(&self) -> DispatchGauges {
+        DispatchGauges {
+            queue_high_water: self.groups.iter().map(Channel::high_water).max().unwrap_or(0),
+            ..DispatchGauges::default()
+        }
+    }
 }
 
 /// One queue per worker, routed by connection hash (RSS flow affinity).
@@ -371,6 +415,13 @@ impl<T: Send> Dispatcher<T> for RssStatic<T> {
             q.close();
         }
     }
+
+    fn gauges(&self) -> DispatchGauges {
+        DispatchGauges {
+            queue_high_water: self.queues.iter().map(Channel::high_water).max().unwrap_or(0),
+            ..DispatchGauges::default()
+        }
+    }
 }
 
 /// Shared state between the replenish dispatch thread and the workers.
@@ -387,6 +438,12 @@ struct ReplenishShared<T> {
     doorbell: Mutex<()>,
     doorbell_cv: Condvar,
     stop: AtomicBool,
+    /// Free-worker slots currently posted to `ring` (approximate while
+    /// racing, exact at quiescence) and its high water.
+    ring_occupancy: AtomicU64,
+    ring_high_water: AtomicU64,
+    /// Deliveries made (each hands one batch to one worker).
+    batches: AtomicU64,
 }
 
 /// The RPCValet discipline in software: a dispatch thread pairs each
@@ -426,6 +483,9 @@ impl<T: Send + 'static> Replenish<T> {
             doorbell: Mutex::new(()),
             doorbell_cv: Condvar::new(),
             stop: AtomicBool::new(false),
+            ring_occupancy: AtomicU64::new(0),
+            ring_high_water: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
         });
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -439,6 +499,15 @@ impl<T: Send + 'static> Replenish<T> {
     }
 }
 
+impl<T> ReplenishShared<T> {
+    /// Pops a free-worker slot, keeping the occupancy gauge in step.
+    fn take_slot(&self) -> Option<usize> {
+        let worker = self.ring.pop()?;
+        self.ring_occupancy.fetch_sub(1, Ordering::Relaxed);
+        Some(worker)
+    }
+}
+
 fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>, batch: usize) {
     crate::reduce_timer_slack();
     while let Some(item) = shared.inject.pop_blocking() {
@@ -448,7 +517,7 @@ fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>, batch: usize) {
         // (plus Linux timer slack) would add dead time to every
         // saturated dispatch, silently inflating effective utilization.
         loop {
-            if let Some(worker) = shared.ring.pop() {
+            if let Some(worker) = shared.take_slot() {
                 deliver(shared, worker, item, batch);
                 break;
             }
@@ -458,7 +527,7 @@ fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>, batch: usize) {
             let guard = shared.doorbell.lock().expect("doorbell lock");
             // A worker may have rung between the failed pop and the
             // lock: re-check before sleeping, or the wake-up is lost.
-            if let Some(worker) = shared.ring.pop() {
+            if let Some(worker) = shared.take_slot() {
                 drop(guard);
                 deliver(shared, worker, item, batch);
                 break;
@@ -484,6 +553,7 @@ fn dispatch_loop<T: Send>(shared: &ReplenishShared<T>, batch: usize) {
 /// while this delivery is still in flight, putting a second slot for
 /// the same worker in the ring.
 fn deliver<T: Send>(shared: &ReplenishShared<T>, worker: usize, item: T, batch: usize) {
+    shared.batches.fetch_add(1, Ordering::Relaxed);
     if batch == 1 {
         shared.mailboxes[worker].push(item);
         return;
@@ -518,6 +588,8 @@ impl<T: Send + 'static> Dispatcher<T> for Replenish<T> {
             self.shared.ring.push(worker),
             "replenish ring overflow (worker {worker} announced twice?)"
         );
+        let occupancy = self.shared.ring_occupancy.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared.ring_high_water.fetch_max(occupancy, Ordering::Relaxed);
         // Ring the doorbell under the lock so the dispatch thread cannot
         // miss it between its ring re-check and its wait.
         drop(self.shared.doorbell.lock().expect("doorbell lock"));
@@ -540,6 +612,14 @@ impl<T: Send + 'static> Dispatcher<T> for Replenish<T> {
         }
         for mb in &self.shared.mailboxes {
             mb.close();
+        }
+    }
+
+    fn gauges(&self) -> DispatchGauges {
+        DispatchGauges {
+            queue_high_water: self.shared.inject.high_water(),
+            ring_high_water: self.shared.ring_high_water.load(Ordering::Relaxed),
+            replenish_batches: self.shared.batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -703,5 +783,32 @@ mod tests {
     #[should_panic(expected = "must divide")]
     fn partitioned_rejects_nondivisor_groups() {
         Partitioned::<u64>::new(3, 4);
+    }
+
+    #[test]
+    fn queue_gauge_tracks_high_water() {
+        let d = SingleQueue::new();
+        for i in 0..5u64 {
+            d.submit(route(0, i), i);
+        }
+        d.recv(0);
+        d.submit(route(0, 9), 9);
+        assert_eq!(d.gauges().queue_high_water, 5, "peak, not current depth");
+        assert_eq!(d.gauges().ring_high_water, 0, "no ring on a lock policy");
+        d.shutdown();
+    }
+
+    #[test]
+    fn replenish_gauges_count_ring_and_batches() {
+        let d = Arc::new(Replenish::new(3));
+        let counts = drain(Arc::clone(&d), 3, 300);
+        assert_eq!(counts.iter().sum::<u64>(), 300);
+        let g = d.gauges();
+        assert_eq!(g.replenish_batches, 300, "batch 1: one delivery per item");
+        assert!(
+            (1..=3).contains(&g.ring_high_water),
+            "free-worker high water within worker count: {}",
+            g.ring_high_water
+        );
     }
 }

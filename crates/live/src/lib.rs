@@ -49,17 +49,26 @@ pub mod loadgen;
 pub mod protocol;
 pub mod ring;
 pub mod server;
+pub mod stats;
 
-pub use dispatch::{make_dispatcher, make_dispatcher_batched, Dispatcher, LivePolicy, RouteKey};
+pub use dispatch::{
+    make_dispatcher, make_dispatcher_batched, DispatchGauges, Dispatcher, LivePolicy, RouteKey,
+};
 pub use loadgen::{run_loadgen, LiveRunStats, LoadgenConfig};
-pub use protocol::{read_frame, write_frame, Request, Response};
+pub use protocol::{
+    encode_stats_request, read_frame, write_frame, Request, Response, StatsSnapshot, WorkerStats,
+};
 pub use ring::SlotRing;
 pub use server::{BurnMode, Server, ServerConfig};
+pub use stats::{ServerStats, TraceSink};
 
 use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 use dist::ServiceDist;
+use telemetry::{EventRing, RingFlusher, TraceEvent};
 
 /// Shrinks this thread's kernel timer slack to 1 ns (Linux
 /// `PR_SET_TIMERSLACK`), so short `thread::sleep`s overshoot by
@@ -134,12 +143,46 @@ impl LoopbackSpec {
 /// drives it to completion, and the server is stopped before returning —
 /// nothing leaks between runs.
 pub fn run_loopback(spec: &LoopbackSpec) -> io::Result<LiveRunStats> {
+    run_loopback_observed(spec, 0).map(|outcome| outcome.stats)
+}
+
+/// Everything one observed loopback run produces.
+#[derive(Debug)]
+pub struct LoopbackOutcome {
+    /// Client-side latency statistics (what [`run_loopback`] returns).
+    pub stats: LiveRunStats,
+    /// The server's telemetry snapshot, queried via the `STATS` verb
+    /// over the wire just before shutdown.
+    pub server: StatsSnapshot,
+    /// Request-lifecycle trace events (empty when tracing was off).
+    pub events: Vec<TraceEvent>,
+    /// Trace events lost to a full ring (0 means the capture is whole).
+    pub dropped: u64,
+}
+
+/// [`run_loopback`], with telemetry: always queries the server's
+/// `STATS` snapshot, and — when `trace_requests > 0` — stamps
+/// request-lifecycle hops for the first `trace_requests` requests
+/// through a bounded ring drained by a background flusher (the `valetd`
+/// hot path never blocks on trace I/O; a full ring shows up in
+/// `dropped`, never in latency).
+pub fn run_loopback_observed(
+    spec: &LoopbackSpec,
+    trace_requests: u64,
+) -> io::Result<LoopbackOutcome> {
+    let ring = (trace_requests > 0).then(|| Arc::new(EventRing::with_capacity(8 * 1024)));
+    let flusher = ring
+        .as_ref()
+        .map(|r| RingFlusher::spawn(Arc::clone(r), Vec::new()));
     let server = Server::start(
         ServerConfig {
             policy: spec.policy,
             workers: spec.workers,
             burn: spec.burn,
             replenish_batch: spec.replenish_batch.max(1),
+            trace: ring
+                .as_ref()
+                .map(|r| TraceSink::new(Arc::clone(r), trace_requests)),
         },
         "127.0.0.1:0",
     )?;
@@ -156,6 +199,37 @@ pub fn run_loopback(spec: &LoopbackSpec) -> io::Result<LiveRunStats> {
         drain_timeout: spec.expected_duration() * 3 + Duration::from_secs(10),
     };
     let stats = run_loadgen(&cfg);
+    // Snapshot over the wire while the server still serves — the same
+    // path an external `STATS` client uses — then stop it.
+    let server_snapshot = query_stats(server.local_addr());
     server.stop();
-    stats
+    let stats = stats?;
+    let server_snapshot = server_snapshot?;
+    let (events, dropped) = match (flusher, ring) {
+        // Producers have quiesced (server stopped): the flusher's final
+        // drain returns the complete capture.
+        (Some(flusher), Some(ring)) => (flusher.finish(), ring.dropped()),
+        _ => (Vec::new(), 0),
+    };
+    Ok(LoopbackOutcome {
+        stats,
+        server: server_snapshot,
+        events,
+        dropped,
+    })
+}
+
+/// Queries a running server's telemetry snapshot over a fresh
+/// connection (the `STATS` verb).
+pub fn query_stats(addr: SocketAddr) -> io::Result<StatsSnapshot> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &encode_stats_request())?;
+    let payload = read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed before the stats reply",
+        )
+    })?;
+    StatsSnapshot::decode(&payload)
 }

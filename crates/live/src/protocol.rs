@@ -13,6 +13,10 @@ use std::io::{self, Read, Write};
 pub const KIND_REQUEST: u8 = 0;
 /// Frame discriminant for responses.
 pub const KIND_RESPONSE: u8 = 1;
+/// Frame discriminant for a telemetry-snapshot query (the `STATS` verb).
+pub const KIND_STATS_REQUEST: u8 = 2;
+/// Frame discriminant for a telemetry-snapshot reply.
+pub const KIND_STATS_RESPONSE: u8 = 3;
 
 /// Upper bound on accepted payload sizes; anything larger indicates a
 /// corrupt length prefix (e.g. a peer speaking a different protocol).
@@ -94,6 +98,116 @@ impl Response {
             sent_at_ns: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
             service_ns: u64::from_le_bytes(payload[17..25].try_into().unwrap()),
             worker: u32::from_le_bytes(payload[25..29].try_into().unwrap()),
+        })
+    }
+}
+
+/// Per-worker row of a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Requests this worker completed.
+    pub completions: u64,
+    /// Response bytes this worker wrote.
+    pub bytes_tx: u64,
+}
+
+/// The server's telemetry counters and gauges, as answered to the
+/// `STATS` verb ([`KIND_STATS_REQUEST`]). All counters are since server
+/// start; gauges are high-water marks. The snapshot is advisory — it is
+/// read with relaxed atomics while the server runs, so concurrent
+/// counters may be a few requests apart (a quiesced server's snapshot
+/// is exact).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Request frames accepted (across all connections).
+    pub requests_rx: u64,
+    /// Request bytes read, length prefixes included.
+    pub bytes_rx: u64,
+    /// Dispatch-queue depth high water (max over the policy's queues).
+    pub queue_high_water: u64,
+    /// Replenish-ring occupancy high water (free workers posted at
+    /// once; 0 for non-replenish policies).
+    pub ring_high_water: u64,
+    /// Replenish batches delivered (0 for non-replenish policies).
+    pub replenish_batches: u64,
+    /// Per-worker completions and bytes, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+const STATS_REQUEST_LEN: usize = 1;
+const STATS_HEADER_LEN: usize = 1 + 5 * 8 + 4;
+const STATS_ROW_LEN: usize = 2 * 8;
+
+/// Encodes the `STATS` query as a complete frame.
+pub fn encode_stats_request() -> [u8; 4 + STATS_REQUEST_LEN] {
+    let mut buf = [0u8; 4 + STATS_REQUEST_LEN];
+    buf[..4].copy_from_slice(&(STATS_REQUEST_LEN as u32).to_le_bytes());
+    buf[4] = KIND_STATS_REQUEST;
+    buf
+}
+
+impl StatsSnapshot {
+    /// Responses served, summed over workers.
+    pub fn completions(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.completions).sum()
+    }
+
+    /// Response bytes written, summed over workers.
+    pub fn bytes_tx(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.bytes_tx).sum()
+    }
+
+    /// Encodes the snapshot as a complete frame (length prefix
+    /// included).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len = STATS_HEADER_LEN + self.per_worker.len() * STATS_ROW_LEN;
+        let mut buf = Vec::with_capacity(4 + payload_len);
+        buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        buf.push(KIND_STATS_RESPONSE);
+        for word in [
+            self.requests_rx,
+            self.bytes_rx,
+            self.queue_high_water,
+            self.ring_high_water,
+            self.replenish_batches,
+        ] {
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.per_worker.len() as u32).to_le_bytes());
+        for w in &self.per_worker {
+            buf.extend_from_slice(&w.completions.to_le_bytes());
+            buf.extend_from_slice(&w.bytes_tx.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a snapshot from a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<StatsSnapshot> {
+        if payload.len() < STATS_HEADER_LEN || payload[0] != KIND_STATS_RESPONSE {
+            return Err(malformed("stats response", payload));
+        }
+        let word = |i: usize| u64::from_le_bytes(payload[1 + i * 8..9 + i * 8].try_into().unwrap());
+        let workers =
+            u32::from_le_bytes(payload[STATS_HEADER_LEN - 4..STATS_HEADER_LEN].try_into().unwrap())
+                as usize;
+        if payload.len() != STATS_HEADER_LEN + workers * STATS_ROW_LEN {
+            return Err(malformed("stats response", payload));
+        }
+        let mut per_worker = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let base = STATS_HEADER_LEN + w * STATS_ROW_LEN;
+            per_worker.push(WorkerStats {
+                completions: u64::from_le_bytes(payload[base..base + 8].try_into().unwrap()),
+                bytes_tx: u64::from_le_bytes(payload[base + 8..base + 16].try_into().unwrap()),
+            });
+        }
+        Ok(StatsSnapshot {
+            requests_rx: word(0),
+            bytes_rx: word(1),
+            queue_high_water: word(2),
+            ring_high_water: word(3),
+            replenish_batches: word(4),
+            per_worker,
         })
     }
 }
@@ -221,6 +335,55 @@ mod tests {
         wire.extend_from_slice(&[0u8; 16]);
         let mut cursor = io::Cursor::new(wire);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrips() {
+        let snap = StatsSnapshot {
+            requests_rx: 1_000,
+            bytes_rx: 29_000,
+            queue_high_water: 17,
+            ring_high_water: 4,
+            replenish_batches: 950,
+            per_worker: vec![
+                WorkerStats {
+                    completions: 600,
+                    bytes_tx: 19_800,
+                },
+                WorkerStats {
+                    completions: 400,
+                    bytes_tx: 13_200,
+                },
+            ],
+        };
+        let frame = snap.encode();
+        let mut cursor = io::Cursor::new(frame);
+        let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+        let back = StatsSnapshot::decode(&payload).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.completions(), 1_000);
+        assert_eq!(back.bytes_tx(), 33_000);
+    }
+
+    #[test]
+    fn stats_request_is_a_one_byte_verb() {
+        let frame = encode_stats_request();
+        let mut cursor = io::Cursor::new(frame.to_vec());
+        let payload = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(payload, vec![KIND_STATS_REQUEST]);
+        // A request decoder must not mistake it for a request frame.
+        assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn truncated_stats_payload_rejected() {
+        let snap = StatsSnapshot {
+            per_worker: vec![WorkerStats::default(); 3],
+            ..StatsSnapshot::default()
+        };
+        let frame = snap.encode();
+        // Claim 3 workers but carry 2: length check must fire.
+        assert!(StatsSnapshot::decode(&frame[4..frame.len() - 16]).is_err());
     }
 
     #[test]

@@ -17,8 +17,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use telemetry::Hop;
+
 use crate::dispatch::{make_dispatcher_batched, Dispatcher, LivePolicy, RouteKey};
-use crate::protocol::{read_frame, Request, Response};
+use crate::protocol::{read_frame, Request, Response, StatsSnapshot, KIND_STATS_REQUEST};
+use crate::stats::{ServerStats, TraceSink};
 
 /// How a worker spends a request's service demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +79,13 @@ pub struct ServerConfig {
     /// Requests handed to a worker per replenish slot (≥ 1; only
     /// [`LivePolicy::Replenish`] batches).
     pub replenish_batch: usize,
+    /// Request-lifecycle trace sink; `None` serves untraced. The hops
+    /// stamped are the simulator's: arrival (frame read), reassembled
+    /// (frame decoded), dispatched (handed to the dispatch discipline),
+    /// started (a worker picked it up), completed (response written) —
+    /// so `started − dispatched` is exactly the discipline's queueing,
+    /// the quantity the sim↔live divergence report compares.
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +95,7 @@ impl Default for ServerConfig {
             workers: 4,
             burn: BurnMode::Sleep,
             replenish_batch: 1,
+            trace: None,
         }
     }
 }
@@ -93,6 +104,10 @@ impl Default for ServerConfig {
 struct ServerJob {
     req: Request,
     reply: Arc<Mutex<TcpStream>>,
+    /// Server-wide arrival sequence number (the trace's request id).
+    seq: u64,
+    /// Connection the request arrived on (the trace's source id).
+    conn: u64,
 }
 
 /// A running server; dropped or [`Server::stop`]ped, it shuts down
@@ -111,6 +126,7 @@ pub struct Server {
     conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
     reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     dispatched: Arc<AtomicU64>,
+    stats: Arc<ServerStats>,
 }
 
 impl Server {
@@ -126,15 +142,18 @@ impl Server {
         let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let dispatched = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(ServerStats::new(config.workers));
 
         let mut worker_threads = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let dispatcher = Arc::clone(&dispatcher);
             let burn = config.burn;
+            let stats = Arc::clone(&stats);
+            let trace = config.trace.clone();
             worker_threads.push(
                 std::thread::Builder::new()
                     .name(format!("valetd-worker-{w}"))
-                    .spawn(move || worker_loop(w, &*dispatcher, burn))
+                    .spawn(move || worker_loop(w, &*dispatcher, burn, &stats, trace.as_ref()))
                     .expect("spawn worker"),
             );
         }
@@ -145,6 +164,8 @@ impl Server {
             let conns = Arc::clone(&conns);
             let reader_threads = Arc::clone(&reader_threads);
             let dispatched = Arc::clone(&dispatched);
+            let stats = Arc::clone(&stats);
+            let trace = config.trace.clone();
             std::thread::Builder::new()
                 .name("valetd-accept".to_owned())
                 .spawn(move || {
@@ -170,10 +191,20 @@ impl Server {
                         let dispatcher = Arc::clone(&dispatcher);
                         let dispatched = Arc::clone(&dispatched);
                         let reader_conns = Arc::clone(&conns);
+                        let stats = Arc::clone(&stats);
+                        let trace = trace.clone();
                         let handle = std::thread::Builder::new()
                             .name(format!("valetd-reader-{conn}"))
                             .spawn(move || {
-                                reader_loop(read_half, conn, &*dispatcher, &reply, &dispatched);
+                                reader_loop(
+                                    read_half,
+                                    conn,
+                                    &*dispatcher,
+                                    &reply,
+                                    &dispatched,
+                                    &stats,
+                                    trace.as_ref(),
+                                );
                                 // The connection is gone: deregister it so
                                 // a long-running server doesn't hold an
                                 // entry per closed connection.
@@ -202,6 +233,7 @@ impl Server {
             conns,
             reader_threads,
             dispatched,
+            stats,
         })
     }
 
@@ -213,6 +245,12 @@ impl Server {
     /// Requests accepted and handed to the dispatcher so far.
     pub fn dispatched(&self) -> u64 {
         self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// The telemetry snapshot the `STATS` verb answers, read in-process
+    /// (counters plus the dispatcher's occupancy gauges).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot(self.dispatcher.gauges())
     }
 
     /// Blocks the calling thread until the accept loop exits (i.e.
@@ -275,27 +313,60 @@ fn reader_loop(
     dispatcher: &dyn Dispatcher<ServerJob>,
     reply: &Arc<Mutex<TcpStream>>,
     dispatched: &AtomicU64,
+    stats: &ServerStats,
+    trace: Option<&TraceSink>,
 ) {
     // Runs until EOF or a socket/protocol error drops the connection.
     while let Ok(Some(payload)) = read_frame(&mut read_half) {
+        // The STATS verb is answered inline: it never touches the
+        // dispatcher, the sequence counter, or the request counters, so
+        // querying telemetry perturbs neither dispatch nor statistics.
+        if payload.first() == Some(&KIND_STATS_REQUEST) {
+            let frame = stats.snapshot(dispatcher.gauges()).encode();
+            if let Ok(mut stream) = reply.lock() {
+                let _ = stream.write_all(&frame);
+            }
+            continue;
+        }
+        let seq = dispatched.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = trace {
+            sink.record(seq, Hop::Arrival, conn as u16, 0);
+        }
         let Ok(req) = Request::decode(&payload) else {
             break; // protocol error: drop the connection
         };
-        let seq = dispatched.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = trace {
+            sink.record(seq, Hop::Reassembled, conn as u16, 0);
+        }
+        stats.note_request(4 + payload.len() as u64);
         dispatcher.submit(
             RouteKey { conn, seq },
             ServerJob {
                 req,
                 reply: Arc::clone(reply),
+                seq,
+                conn,
             },
         );
+        if let Some(sink) = trace {
+            sink.record(seq, Hop::Dispatched, conn as u16, 0);
+        }
     }
 }
 
-fn worker_loop(worker: usize, dispatcher: &dyn Dispatcher<ServerJob>, burn: BurnMode) -> u64 {
+fn worker_loop(
+    worker: usize,
+    dispatcher: &dyn Dispatcher<ServerJob>,
+    burn: BurnMode,
+    stats: &ServerStats,
+    trace: Option<&TraceSink>,
+) -> u64 {
     crate::reduce_timer_slack();
     let mut completions = 0u64;
     while let Some(job) = dispatcher.recv(worker) {
+        if let Some(sink) = trace {
+            sink.record(job.seq, Hop::Started, job.conn as u16, worker as u16);
+        }
         burn.burn(job.req.service_ns);
         let resp = Response {
             req_id: job.req.req_id,
@@ -308,6 +379,10 @@ fn worker_loop(worker: usize, dispatcher: &dyn Dispatcher<ServerJob>, burn: Burn
         // connections.
         if let Ok(mut stream) = job.reply.lock() {
             let _ = stream.write_all(&frame);
+        }
+        stats.note_completion(worker, frame.len() as u64);
+        if let Some(sink) = trace {
+            sink.record(job.seq, Hop::Completed, job.conn as u16, worker as u16);
         }
         completions += 1;
     }
@@ -327,6 +402,7 @@ mod tests {
                 workers: 2,
                 burn: BurnMode::Sleep,
                 replenish_batch: 1,
+                trace: None,
             },
             "127.0.0.1:0",
         )
@@ -372,6 +448,93 @@ mod tests {
         let mut buf = [0u8; 1];
         let n = idle.read(&mut buf).unwrap_or(0);
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn stats_verb_answers_over_the_wire() {
+        use crate::protocol::encode_stats_request;
+
+        let server = Server::start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        client.set_nodelay(true).unwrap();
+        // Serve two requests, then query STATS on the same connection.
+        for id in 0..2u64 {
+            let req = Request {
+                req_id: id,
+                sent_at_ns: 0,
+                service_ns: 1_000,
+            };
+            write_frame(&mut client, &req.encode()).unwrap();
+            let payload = read_frame(&mut client).unwrap().expect("response");
+            Response::decode(&payload).unwrap();
+        }
+        write_frame(&mut client, &encode_stats_request()).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("stats frame");
+        let snap = StatsSnapshot::decode(&payload).unwrap();
+        assert_eq!(snap.requests_rx, 2, "STATS itself is not counted");
+        assert_eq!(snap.completions(), 2);
+        assert_eq!(snap.bytes_rx, 2 * 29, "two 29-byte request frames");
+        assert_eq!(snap.per_worker.len(), 4);
+        assert_eq!(snap.replenish_batches, 2);
+        drop(client);
+        let completions = server.stop();
+        assert_eq!(
+            completions.iter().sum::<u64>(),
+            2,
+            "the STATS verb never reaches a worker"
+        );
+    }
+
+    #[test]
+    fn traced_requests_stamp_every_hop_in_order() {
+        use std::sync::Arc;
+        use telemetry::{assemble_timelines, EventRing, RingFlusher};
+
+        use crate::stats::TraceSink;
+
+        let ring = Arc::new(EventRing::with_capacity(64));
+        let flusher = RingFlusher::spawn(Arc::clone(&ring), Vec::new());
+        let server = Server::start(
+            ServerConfig {
+                trace: Some(TraceSink::new(Arc::clone(&ring), 1_000)),
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        client.set_nodelay(true).unwrap();
+        for id in 0..3u64 {
+            let req = Request {
+                req_id: id,
+                sent_at_ns: 0,
+                service_ns: 200_000, // 0.2 ms: a measurable Started→Completed gap
+            };
+            write_frame(&mut client, &req.encode()).unwrap();
+            let payload = read_frame(&mut client).unwrap().expect("response");
+            Response::decode(&payload).unwrap();
+        }
+        drop(client);
+        server.stop();
+        let events = flusher.finish();
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(events.len(), 3 * 5, "five hops per request");
+        let trace = assemble_timelines(&events);
+        assert_eq!(trace.timelines.len(), 3);
+        assert_eq!(trace.incomplete, 0);
+        for t in &trace.timelines {
+            // Monotone pipeline on one clock; processing covers the burn.
+            assert!(t.arrival_ps <= t.reassembled_ps);
+            assert!(t.reassembled_ps <= t.dispatched_ps);
+            assert!(t.started_ps <= t.completed_ps);
+            assert!(
+                t.processing_ns() >= 200_000.0,
+                "burned 0.2 ms, processing {} ns",
+                t.processing_ns()
+            );
+            assert!(t.core < 2, "completing worker recorded");
+        }
     }
 
     #[test]

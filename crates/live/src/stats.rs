@@ -1,0 +1,188 @@
+//! Server-side telemetry: lock-free counters and the trace sink.
+//!
+//! Counters are plain relaxed atomics bumped on the hot path (a handful
+//! of uncontended `fetch_add`s per request — per-worker counters are
+//! owned by their worker thread, so there is no cache-line ping-pong),
+//! snapshotted on demand by the wire protocol's `STATS` verb. The
+//! [`TraceSink`] stamps request-lifecycle hops onto a bounded
+//! [`EventRing`] drained by a background flusher, so tracing never
+//! blocks serving either: a full ring costs dropped events, not
+//! latency.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use telemetry::{EventRing, Hop, TraceEvent};
+
+use crate::dispatch::DispatchGauges;
+use crate::protocol::{StatsSnapshot, WorkerStats};
+
+/// One worker's completion counters, owned by that worker's thread.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    completions: AtomicU64,
+    bytes_tx: AtomicU64,
+}
+
+/// The server's always-on counters (cheap enough to never gate).
+#[derive(Debug)]
+pub struct ServerStats {
+    requests_rx: AtomicU64,
+    bytes_rx: AtomicU64,
+    workers: Vec<WorkerCounters>,
+}
+
+impl ServerStats {
+    /// Counters for a server with `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        ServerStats {
+            requests_rx: AtomicU64::new(0),
+            bytes_rx: AtomicU64::new(0),
+            workers: (0..workers).map(|_| WorkerCounters::default()).collect(),
+        }
+    }
+
+    /// Records one accepted request frame of `frame_bytes` on-wire bytes
+    /// (length prefix included).
+    pub fn note_request(&self, frame_bytes: u64) {
+        self.requests_rx.fetch_add(1, Ordering::Relaxed);
+        self.bytes_rx.fetch_add(frame_bytes, Ordering::Relaxed);
+    }
+
+    /// Records one completion by `worker`, with its response frame size.
+    pub fn note_completion(&self, worker: usize, frame_bytes: u64) {
+        if let Some(w) = self.workers.get(worker) {
+            w.completions.fetch_add(1, Ordering::Relaxed);
+            w.bytes_tx.fetch_add(frame_bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds the counters and the dispatcher's gauges into one wire
+    /// snapshot.
+    pub fn snapshot(&self, gauges: DispatchGauges) -> StatsSnapshot {
+        StatsSnapshot {
+            requests_rx: self.requests_rx.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            queue_high_water: gauges.queue_high_water,
+            ring_high_water: gauges.ring_high_water,
+            replenish_batches: gauges.replenish_batches,
+            per_worker: self
+                .workers
+                .iter()
+                .map(|w| WorkerStats {
+                    completions: w.completions.load(Ordering::Relaxed),
+                    bytes_tx: w.bytes_tx.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Where the server stamps request-lifecycle hops: a shared event ring
+/// plus the monotonic epoch all timestamps are measured from.
+///
+/// Cloned into every reader and worker thread; `record` is one
+/// `Instant::elapsed` and one lock-free ring push. Only the first
+/// `limit` requests are stamped, bounding the capture like the
+/// simulator's `trace_capacity` (later requests cost one branch).
+#[derive(Clone)]
+pub struct TraceSink {
+    ring: Arc<EventRing>,
+    epoch: Instant,
+    limit: u64,
+}
+
+impl TraceSink {
+    /// A sink stamping the first `limit` requests onto `ring`.
+    pub fn new(ring: Arc<EventRing>, limit: u64) -> Self {
+        TraceSink {
+            ring,
+            epoch: Instant::now(),
+            limit,
+        }
+    }
+
+    /// Stamps one hop for request `req` at the current monotonic time.
+    pub fn record(&self, req: u64, hop: Hop, src: u16, core: u16) {
+        if req >= self.limit {
+            return;
+        }
+        let t_ps = (self.epoch.elapsed().as_nanos() as u64).saturating_mul(1_000);
+        self.ring.try_push(TraceEvent {
+            req,
+            hop,
+            t_ps,
+            src,
+            core,
+        });
+    }
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("ring_capacity", &self.ring.capacity())
+            .field("limit", &self.limit)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_fold_into_a_snapshot() {
+        let stats = ServerStats::new(2);
+        stats.note_request(33);
+        stats.note_request(33);
+        stats.note_completion(0, 37);
+        stats.note_completion(1, 37);
+        stats.note_completion(1, 37);
+        stats.note_completion(99, 37); // out-of-range worker id: ignored
+        let snap = stats.snapshot(DispatchGauges {
+            queue_high_water: 5,
+            ring_high_water: 2,
+            replenish_batches: 3,
+        });
+        assert_eq!(snap.requests_rx, 2);
+        assert_eq!(snap.bytes_rx, 66);
+        assert_eq!(snap.queue_high_water, 5);
+        assert_eq!(snap.per_worker.len(), 2);
+        assert_eq!(snap.per_worker[0].completions, 1);
+        assert_eq!(snap.per_worker[1].completions, 2);
+        assert_eq!(snap.completions(), 3);
+        assert_eq!(snap.bytes_tx(), 3 * 37);
+    }
+
+    #[test]
+    fn sink_limit_bounds_the_capture() {
+        let ring = Arc::new(EventRing::with_capacity(16));
+        let sink = TraceSink::new(Arc::clone(&ring), 2);
+        for req in 0..5 {
+            sink.record(req, Hop::Arrival, 0, 0);
+        }
+        let mut captured = 0;
+        while ring.try_pop().is_some() {
+            captured += 1;
+        }
+        assert_eq!(captured, 2, "requests past the limit are not stamped");
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn sink_timestamps_are_monotone() {
+        let ring = Arc::new(EventRing::with_capacity(16));
+        let sink = TraceSink::new(Arc::clone(&ring), u64::MAX);
+        sink.record(0, Hop::Arrival, 1, 0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.record(0, Hop::Completed, 1, 3);
+        let a = ring.try_pop().unwrap();
+        let b = ring.try_pop().unwrap();
+        assert!(b.t_ps >= a.t_ps + 1_000_000, "2 ms apart on the ps clock");
+        assert_eq!(a.src, 1);
+        assert_eq!(b.core, 3);
+    }
+}

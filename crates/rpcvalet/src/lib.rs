@@ -67,4 +67,6 @@ pub use domain::MessagingDomain;
 pub use mcs::McsParams;
 pub use sweep::{sweep_rates, RateSweepSpec};
 pub use trace::{RequestTrace, TraceLog};
-pub use system::{PreemptionParams, RunResult, ServerSim, SystemConfig, SystemConfigBuilder};
+pub use system::{
+    PreemptionParams, RequestSchedule, RunResult, ServerSim, SystemConfig, SystemConfigBuilder,
+};

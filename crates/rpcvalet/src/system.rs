@@ -57,6 +57,72 @@ impl PreemptionParams {
     }
 }
 
+/// A recorded arrival schedule: the replay input for
+/// `harness trace --replay`, where a captured trace (typically a live
+/// run's) is fed back through the simulator instead of drawing Poisson
+/// arrivals and sampled service times. Rows are parallel arrays, one
+/// entry per request, sorted by arrival time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestSchedule {
+    /// Arrival times in picoseconds since run start (non-decreasing).
+    pub arrivals_ps: Vec<u64>,
+    /// Recorded source id per arrival (mapped into the simulated
+    /// cluster's remote-node range `1..cluster_nodes` modulo its size).
+    pub sources: Vec<u16>,
+    /// Recorded service time per arrival (ns).
+    pub service_ns: Vec<f64>,
+}
+
+impl RequestSchedule {
+    /// Builds a schedule from parallel rows.
+    ///
+    /// # Panics
+    /// Panics if the arrays disagree in length or arrivals decrease.
+    pub fn new(arrivals_ps: Vec<u64>, sources: Vec<u16>, service_ns: Vec<f64>) -> Self {
+        assert_eq!(arrivals_ps.len(), sources.len(), "parallel arrays");
+        assert_eq!(arrivals_ps.len(), service_ns.len(), "parallel arrays");
+        assert!(
+            arrivals_ps.windows(2).all(|w| w[0] <= w[1]),
+            "replay arrivals must be sorted"
+        );
+        RequestSchedule {
+            arrivals_ps,
+            sources,
+            service_ns,
+        }
+    }
+
+    /// Number of scheduled requests.
+    pub fn len(&self) -> usize {
+        self.arrivals_ps.len()
+    }
+
+    /// True when the schedule holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals_ps.is_empty()
+    }
+
+    /// Mean recorded service time (ns); 0 when empty.
+    pub fn mean_service_ns(&self) -> f64 {
+        if self.service_ns.is_empty() {
+            0.0
+        } else {
+            self.service_ns.iter().sum::<f64>() / self.service_ns.len() as f64
+        }
+    }
+
+    /// The offered rate the recorded arrivals imply (requests/second);
+    /// 0 when fewer than two arrivals.
+    pub fn implied_rate_rps(&self) -> f64 {
+        match (self.arrivals_ps.first(), self.arrivals_ps.last()) {
+            (Some(&first), Some(&last)) if last > first => {
+                (self.len() as f64 - 1.0) / ((last - first) as f64 * 1e-12)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
 /// Configuration of one full-system simulation.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -86,7 +152,20 @@ pub struct SystemConfig {
     pub preemption: Option<PreemptionParams>,
     /// Per-request timeline traces to keep (0 disables tracing). Traces
     /// are recorded for the first N *measured* (post-warm-up) requests.
+    ///
+    /// Enabling tracing switches the message slab to monotone ids (no
+    /// slot recycling — see `Runner::new`), so a traced run's peak
+    /// memory grows with `requests` instead of staying bounded by the
+    /// in-flight count. It changes no output bits: all measurements are
+    /// identical with tracing on or off.
     pub trace_capacity: usize,
+    /// Replay a recorded arrival schedule instead of generating Poisson
+    /// traffic: arrival times, sources, and service times come from the
+    /// schedule (the first [`SystemConfig::requests`] rows), and
+    /// [`SystemConfig::service`] / [`SystemConfig::rate_rps`] are
+    /// ignored for generation (the rate is still reported as offered
+    /// load).
+    pub schedule: Option<std::sync::Arc<RequestSchedule>>,
     /// Window length for the completion time series (`None` disables).
     /// Used to check stationarity of an operating point.
     pub timeseries_window: Option<SimDuration>,
@@ -139,6 +218,7 @@ impl SystemConfigBuilder {
                 seed: 0,
                 preemption: None,
                 trace_capacity: 0,
+                schedule: None,
                 timeseries_window: None,
                 critical_threshold_ns: None,
                 rss_per_flow: false,
@@ -220,9 +300,17 @@ impl SystemConfigBuilder {
     }
 
     /// Keeps per-request timeline traces for the first `capacity`
-    /// measured requests (see [`crate::trace`]).
+    /// measured requests (see [`crate::trace`]). Note the slab-recycling
+    /// tradeoff documented on [`SystemConfig::trace_capacity`].
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.config.trace_capacity = capacity;
+        self
+    }
+
+    /// Replays a recorded arrival schedule (see
+    /// [`SystemConfig::schedule`]).
+    pub fn schedule(mut self, schedule: std::sync::Arc<RequestSchedule>) -> Self {
+        self.config.schedule = Some(schedule);
         self
     }
 
@@ -272,6 +360,14 @@ impl SystemConfigBuilder {
         );
         assert!(c.cluster_nodes >= 2, "cluster needs a remote node");
         assert!(c.send_slots_per_node > 0, "need at least one send slot");
+        if let Some(schedule) = &c.schedule {
+            assert!(
+                c.requests as usize <= schedule.len(),
+                "replay needs {} scheduled arrivals, schedule holds {}",
+                c.requests,
+                schedule.len()
+            );
+        }
         self.config
     }
 }
@@ -558,7 +654,12 @@ impl<'a> Runner<'a> {
             .collect();
         let tracing = cfg.trace_capacity > 0;
         // Tracing runs keep monotone message ids (no slot recycling) so
-        // emitted traces stay identical to the pre-slab implementation.
+        // emitted traces stay identical to the pre-slab implementation:
+        // `pending_traces` is indexed by message id, and a recycled slot
+        // would splice two requests' hop stamps into one record. The
+        // cost is peak slab memory proportional to `requests` instead of
+        // the in-flight count — the `harness run --trace N` docs point
+        // here. Measured outputs are unaffected either way.
         scratch.msgs.reset(
             if tracing { cfg.requests as usize } else { 4096 },
             !tracing,
@@ -654,13 +755,30 @@ impl<'a> Runner<'a> {
         if self.generated >= self.cfg.requests {
             return;
         }
-        let arrival = self.traffic.next_arrival();
+        // Generated traffic draws (arrival, then service) in this exact
+        // order for determinism across policies; replay reads the
+        // recorded schedule instead and touches no RNG stream.
+        let (time, src, service) = match &self.cfg.schedule {
+            Some(schedule) => {
+                let i = self.generated as usize;
+                // Recorded sources (live connection ids) fold into the
+                // simulated cluster's remote-node range 1..nodes.
+                let remotes = self.cfg.cluster_nodes - 1;
+                (
+                    SimTime::from_ps(schedule.arrivals_ps[i]),
+                    1 + schedule.sources[i] as usize % remotes,
+                    SimDuration::from_ns_f64(schedule.service_ns[i]),
+                )
+            }
+            None => {
+                let arrival = self.traffic.next_arrival();
+                let service = self.cfg.service.sample(&mut self.service_rng);
+                (arrival.time, arrival.source.index(), service)
+            }
+        };
         self.generated += 1;
-        // Stash the source in a fresh message record; service time is
-        // drawn now for determinism across policies.
-        let service = self.cfg.service.sample(&mut self.service_rng);
         self.next_msg = self.scratch.msgs.alloc(MsgState {
-            src: arrival.source.index() as u32,
+            src: src as u32,
             slot: NIL,
             service,
             remaining: service,
@@ -671,7 +789,7 @@ impl<'a> Runner<'a> {
             // Monotone ids in tracing mode keep this table id-indexed.
             self.scratch.pending_traces.push(PendingTrace::default());
         }
-        self.engine.schedule_at(arrival.time, Ev::Arrival);
+        self.engine.schedule_at(time, Ev::Arrival);
     }
 
     fn on_arrival(&mut self, now: SimTime) {
@@ -1477,5 +1595,76 @@ mod tests {
             "overload must queue in the shared CQ, high water {}",
             r.dispatcher_high_water
         );
+    }
+
+    fn synthetic_schedule(n: usize, gap_ns: u64, service_ns: f64) -> RequestSchedule {
+        RequestSchedule::new(
+            (0..n as u64).map(|i| i * gap_ns * 1_000).collect(),
+            (0..n as u16).collect(),
+            vec![service_ns; n],
+        )
+    }
+
+    fn replay_cfg(schedule: std::sync::Arc<RequestSchedule>, requests: u64) -> SystemConfig {
+        SystemConfig::builder()
+            .policy(Policy::hw_single_queue())
+            .service(ServiceDist::exponential_mean_ns(600.0))
+            .rate_rps(1.0) // ignored under replay: arrivals come from the schedule
+            .requests(requests)
+            .warmup(100)
+            .seed(13)
+            .schedule(schedule)
+            .build()
+    }
+
+    #[test]
+    fn replay_respects_recorded_schedule() {
+        // 2 000 arrivals at a fixed 500 ns spacing (2 Mrps), fixed 600 ns
+        // service. Replay must complete them all, at the implied rate,
+        // with the scheduled service time (plus the 220 ns overhead).
+        let schedule = std::sync::Arc::new(synthetic_schedule(2_000, 500, 600.0));
+        assert_eq!(schedule.implied_rate_rps(), 2.0e6);
+        let r = ServerSim::new(replay_cfg(schedule, 2_000)).run();
+        assert_eq!(r.measured, 1_900, "every scheduled request completes");
+        assert!(
+            (r.mean_service_ns - 820.0).abs() < 1.0,
+            "scheduled 600 ns service + 220 ns overhead, got {}",
+            r.mean_service_ns
+        );
+        // Low load, fixed everything: latency is flat at the floor.
+        assert!(
+            (r.p99_latency_ns - r.p50_latency_ns).abs() < 50.0,
+            "deterministic schedule at 10% load has no tail: p50 {} p99 {}",
+            r.p50_latency_ns,
+            r.p99_latency_ns
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_ignores_generator_config() {
+        let schedule = std::sync::Arc::new(synthetic_schedule(1_000, 300, 700.0));
+        let a = ServerSim::new(replay_cfg(schedule.clone(), 1_000)).run();
+        let mut other = replay_cfg(schedule, 1_000);
+        other.rate_rps = 99.0e6; // generator params must be dead code under replay
+        other.seed = 999;
+        let b = ServerSim::new(other).run();
+        assert_eq!(a.p99_latency_ns, b.p99_latency_ns);
+        assert_eq!(a.mean_latency_ns, b.mean_latency_ns);
+        assert_eq!(a.throughput_rps, b.throughput_rps);
+        assert_eq!(a.measured, b.measured);
+    }
+
+    #[test]
+    fn replay_can_take_a_prefix_of_the_schedule() {
+        let schedule = std::sync::Arc::new(synthetic_schedule(5_000, 400, 600.0));
+        let r = ServerSim::new(replay_cfg(schedule, 1_500)).run();
+        assert_eq!(r.measured, 1_400);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay needs")]
+    fn replay_rejects_short_schedule() {
+        let schedule = std::sync::Arc::new(synthetic_schedule(10, 500, 600.0));
+        let _ = replay_cfg(schedule, 500);
     }
 }

@@ -8,6 +8,7 @@
 //! latency was reassembly vs shared-CQ queueing vs core queueing.
 
 use simkit::SimTime;
+use telemetry::{Hop, TraceEvent};
 
 /// Timeline of one request through the server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +62,29 @@ impl RequestTrace {
     /// Total measured latency.
     pub fn total_ns(&self) -> f64 {
         self.completed.duration_since(self.first_pkt).as_ns_f64()
+    }
+
+    /// Emits this timeline as unified [`telemetry`] events, namespaced
+    /// under `req` (callers combining jobs into one store pass
+    /// `job_index << 40 | msg`). Preemptions are emitted as count-only
+    /// events stamped at the final slice's start (the simulator records
+    /// how often a request was preempted, not when).
+    pub fn append_events(&self, req: u64, out: &mut Vec<TraceEvent>) {
+        let ev = |hop, t: SimTime, core| TraceEvent {
+            req,
+            hop,
+            t_ps: t.as_ps(),
+            src: self.src,
+            core,
+        };
+        out.push(ev(Hop::Arrival, self.first_pkt, 0));
+        out.push(ev(Hop::Reassembled, self.reassembled, 0));
+        out.push(ev(Hop::Dispatched, self.dispatched, self.core));
+        for _ in 0..self.preemptions {
+            out.push(ev(Hop::Preempted, self.started, self.core));
+        }
+        out.push(ev(Hop::Started, self.started, self.core));
+        out.push(ev(Hop::Completed, self.completed, self.core));
     }
 }
 
@@ -120,11 +144,22 @@ impl TraceLog {
     /// `(reassembly, dispatch, core queue, processing)` in ns. Returns
     /// zeros when empty.
     pub fn component_means_ns(&self) -> (f64, f64, f64, f64) {
-        if self.records.is_empty() {
+        self.component_means_first_ns(self.records.len())
+    }
+
+    /// Like [`TraceLog::component_means_ns`] but over only the first
+    /// `n` recorded traces. Records land in completion order, so the
+    /// first-`n` prefix of a run is identical whatever the log's total
+    /// capacity — the property that lets `harness trace --capture`
+    /// enlarge a matrix's trace capacity without changing a single byte
+    /// of its report (reports carry the baked-capacity means).
+    pub fn component_means_first_ns(&self, n: usize) -> (f64, f64, f64, f64) {
+        let records = &self.records[..n.min(self.records.len())];
+        if records.is_empty() {
             return (0.0, 0.0, 0.0, 0.0);
         }
-        let n = self.records.len() as f64;
-        let sum = self.records.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, t| {
+        let count = records.len() as f64;
+        let sum = records.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, t| {
             (
                 acc.0 + t.reassembly_ns(),
                 acc.1 + t.dispatch_ns(),
@@ -132,7 +167,16 @@ impl TraceLog {
                 acc.3 + t.processing_ns(),
             )
         });
-        (sum.0 / n, sum.1 / n, sum.2 / n, sum.3 / n)
+        (sum.0 / count, sum.1 / count, sum.2 / count, sum.3 / count)
+    }
+
+    /// Emits every recorded timeline as unified [`telemetry`] events
+    /// (completion order, each request's hops grouped), request ids
+    /// offset by `req_base`.
+    pub fn append_events(&self, req_base: u64, out: &mut Vec<TraceEvent>) {
+        for trace in &self.records {
+            trace.append_events(req_base | trace.msg, out);
+        }
     }
 }
 
@@ -198,5 +242,61 @@ mod tests {
     fn empty_means_are_zero() {
         let log = TraceLog::with_capacity(10);
         assert_eq!(log.component_means_ns(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn first_n_means_are_a_prefix_property() {
+        let mut small = TraceLog::with_capacity(1);
+        let mut large = TraceLog::with_capacity(10);
+        for i in 0..3 {
+            let mut t = trace(i);
+            t.completed = SimTime::from_ns(1_000 + i * 500); // vary the mix
+            small.push(t);
+            large.push(t);
+        }
+        assert_eq!(
+            small.component_means_ns(),
+            large.component_means_first_ns(1),
+            "enlarged capacity must reproduce the baked-capacity means"
+        );
+        assert_eq!(large.component_means_first_ns(99), large.component_means_ns());
+    }
+
+    #[test]
+    fn emits_unified_events() {
+        let mut tr = trace(5);
+        tr.preemptions = 2;
+        let mut events = Vec::new();
+        tr.append_events((3 << 40) | 5, &mut events);
+        assert_eq!(events.len(), 7, "5 hops + 2 preemptions");
+        assert!(events.iter().all(|e| e.req == (3 << 40) | 5));
+        assert_eq!(
+            events.iter().filter(|e| e.hop == Hop::Preempted).count(),
+            2
+        );
+        // The telemetry summary must reconstruct the same components.
+        let assembled = telemetry::assemble_timelines(&events);
+        assert_eq!(assembled.timelines.len(), 1);
+        let tl = &assembled.timelines[0];
+        assert_eq!(tl.reassembly_ns(), tr.reassembly_ns());
+        assert_eq!(tl.dispatch_ns(), tr.dispatch_ns());
+        assert_eq!(tl.core_queue_ns(), tr.core_queue_ns());
+        assert_eq!(tl.processing_ns(), tr.processing_ns());
+        assert_eq!(tl.total_ns(), tr.total_ns());
+        assert_eq!(tl.preemptions, 2);
+        assert_eq!(tl.src, tr.src);
+        assert_eq!(tl.core, tr.core);
+    }
+
+    #[test]
+    fn log_emission_namespaces_by_base() {
+        let mut log = TraceLog::with_capacity(4);
+        log.push(trace(0));
+        log.push(trace(1));
+        let mut events = Vec::new();
+        log.append_events(7 << 40, &mut events);
+        assert_eq!(events.len(), 10);
+        assert_eq!(events[0].req, 7 << 40);
+        assert_eq!(events[5].req, (7 << 40) | 1);
     }
 }

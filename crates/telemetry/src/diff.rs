@@ -1,0 +1,175 @@
+//! The sim↔live divergence report.
+//!
+//! A live run and its simulation live on wildly different absolute
+//! scales (the live loopback scales service times ~500× up to make a
+//! 1-CPU container measurable), so comparing mean nanoseconds per hop is
+//! meaningless. What *is* comparable is where the time goes: each hop's
+//! **share** of the end-to-end mean. [`diff_summaries`] reports both —
+//! absolute stats per side for context, share deltas for the verdict —
+//! and condenses the per-hop share deltas into one number, the total
+//! variation distance between the two share distributions (0 = the two
+//! executors agree exactly on where time is spent; 1 = complete
+//! disagreement).
+
+use std::fmt::Write;
+
+use crate::summary::{TraceSummary, COMPONENTS};
+
+/// One hop's side-by-side comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopDivergence {
+    /// Component name (see [`COMPONENTS`]).
+    pub hop: String,
+    pub a_mean_ns: f64,
+    pub b_mean_ns: f64,
+    pub a_p99_ns: f64,
+    pub b_p99_ns: f64,
+    /// Share of end-to-end mean on each side.
+    pub a_share: f64,
+    pub b_share: f64,
+    /// `|a_share - b_share|`.
+    pub share_delta: f64,
+}
+
+/// The full per-hop divergence report between two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceReport {
+    /// Label of side A (e.g. `"sim"`).
+    pub a_label: String,
+    /// Label of side B (e.g. `"live"`).
+    pub b_label: String,
+    pub a_count: u64,
+    pub b_count: u64,
+    /// Per-hop comparisons, pipeline order.
+    pub hops: Vec<HopDivergence>,
+    /// Total variation distance between the two share distributions,
+    /// in `[0, 1]`.
+    pub total_variation: f64,
+}
+
+/// Compares two trace summaries hop by hop.
+pub fn diff_summaries(
+    a_label: &str,
+    a: &TraceSummary,
+    b_label: &str,
+    b: &TraceSummary,
+) -> DivergenceReport {
+    let (a_shares, b_shares) = (a.shares(), b.shares());
+    let hops: Vec<HopDivergence> = COMPONENTS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| HopDivergence {
+            hop: (*name).to_owned(),
+            a_mean_ns: a.hops[i].mean_ns,
+            b_mean_ns: b.hops[i].mean_ns,
+            a_p99_ns: a.hops[i].p99_ns,
+            b_p99_ns: b.hops[i].p99_ns,
+            a_share: a_shares[i],
+            b_share: b_shares[i],
+            share_delta: (a_shares[i] - b_shares[i]).abs(),
+        })
+        .collect();
+    let total_variation = hops.iter().map(|h| h.share_delta).sum::<f64>() / 2.0;
+    DivergenceReport {
+        a_label: a_label.to_owned(),
+        b_label: b_label.to_owned(),
+        a_count: a.count,
+        b_count: b.count,
+        hops,
+        total_variation,
+    }
+}
+
+impl DivergenceReport {
+    /// Renders the side-by-side table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== Divergence: {} ({} requests) vs {} ({} requests) ===\n",
+            self.a_label, self.a_count, self.b_label, self.b_count
+        );
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>14} {:>14} {:>9} {:>9} {:>8}",
+            "hop",
+            format!("{} mean", self.a_label),
+            format!("{} mean", self.b_label),
+            format!("{} %", self.a_label),
+            format!("{} %", self.b_label),
+            "|Δ%|"
+        );
+        for h in &self.hops {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>11.1} ns {:>11.1} ns {:>8.1}% {:>8.1}% {:>7.1}%",
+                h.hop,
+                h.a_mean_ns,
+                h.b_mean_ns,
+                h.a_share * 100.0,
+                h.b_share * 100.0,
+                h.share_delta * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n  total-variation distance of hop shares: {:.3} (0 = same time anatomy)",
+            self.total_variation
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{assemble_timelines, summarize};
+    use crate::event::{Hop, TraceEvent};
+
+    fn trace_with(durations_ps: [u64; 4], scale: u64, n: u64) -> TraceSummary {
+        let mut events = Vec::new();
+        for req in 0..n {
+            let base = req * 10_000_000;
+            let mut t = base;
+            let stamps: Vec<u64> = std::iter::once(base)
+                .chain(durations_ps.iter().map(|d| {
+                    t += d * scale;
+                    t
+                }))
+                .collect();
+            for (i, hop) in [Hop::Arrival, Hop::Reassembled, Hop::Dispatched, Hop::Started, Hop::Completed]
+                .into_iter()
+                .enumerate()
+            {
+                events.push(TraceEvent {
+                    req,
+                    hop,
+                    t_ps: stamps[i],
+                    src: 0,
+                    core: 1,
+                });
+            }
+        }
+        summarize(&assemble_timelines(&events))
+    }
+
+    #[test]
+    fn identical_anatomy_diverges_zero_even_across_scales() {
+        let a = trace_with([10, 20, 30, 40], 1, 5);
+        let b = trace_with([10, 20, 30, 40], 500, 5); // 500× slower, same shape
+        let report = diff_summaries("sim", &a, "live", &b);
+        assert!(report.total_variation < 1e-12, "{}", report.total_variation);
+        assert!(report.hops.iter().all(|h| h.share_delta < 1e-12));
+    }
+
+    #[test]
+    fn shifted_anatomy_shows_up_in_the_right_hop() {
+        let a = trace_with([10, 10, 10, 70], 1, 5);
+        let b = trace_with([10, 10, 40, 40], 1, 5); // queueing ate processing
+        let report = diff_summaries("sim", &a, "live", &b);
+        assert!(report.total_variation > 0.2);
+        let cq = report.hops.iter().find(|h| h.hop == "core_queue").unwrap();
+        assert!(cq.share_delta > 0.25, "{}", cq.share_delta);
+        assert!(report.render().contains("total-variation"));
+    }
+}

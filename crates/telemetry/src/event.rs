@@ -1,0 +1,212 @@
+//! The unified trace event: one request hop, one timestamp.
+//!
+//! Both executors — the discrete-event simulator (`rpcvalet::system`)
+//! and the real loopback server (`live::server`) — describe a request's
+//! life as the same ordered hop sequence from the paper's §4.2/§4.3
+//! pipeline:
+//!
+//! ```text
+//! arrival → reassembled → dispatched → started → completed
+//!                                    (↖ preempted, 0+ times)
+//! ```
+//!
+//! A [`TraceEvent`] is one `(request, hop, timestamp)` point in that
+//! sequence, small and `Copy` so the live hot path can hand it to a
+//! lock-free ring without allocating. Timestamps are integer
+//! **picoseconds** on whichever monotonic clock the producer uses —
+//! simulated time for the simulator, a process-local monotonic epoch for
+//! the live server. The store manifest records which.
+//!
+//! The canonical encoding ([`TraceEvent::encode`], 24 bytes) is the sole
+//! input to the store digest, so two runs that emit the same events in
+//! the same order digest identically regardless of how the store was
+//! serialized.
+
+/// A request-lifecycle hop, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Hop {
+    /// First packet of the request reached the server (NI backend / TCP
+    /// reader).
+    #[default]
+    Arrival,
+    /// All packets received and the message assembled (reassembly
+    /// counter matched / request frame decoded).
+    Reassembled,
+    /// Dispatch decision made: the request is bound for a core (CQE
+    /// written / job submitted to the dispatcher).
+    Dispatched,
+    /// A core began processing (final slice, if preempted).
+    Started,
+    /// The request was preempted mid-service and requeued.
+    Preempted,
+    /// Service finished and the response left (replenish posted /
+    /// response frame written).
+    Completed,
+}
+
+impl Hop {
+    /// Every hop, in pipeline order.
+    pub const ALL: [Hop; 6] = [
+        Hop::Arrival,
+        Hop::Reassembled,
+        Hop::Dispatched,
+        Hop::Started,
+        Hop::Preempted,
+        Hop::Completed,
+    ];
+
+    /// The canonical wire code (stable across versions of the store).
+    pub const fn code(self) -> u8 {
+        match self {
+            Hop::Arrival => 0,
+            Hop::Reassembled => 1,
+            Hop::Dispatched => 2,
+            Hop::Started => 3,
+            Hop::Preempted => 4,
+            Hop::Completed => 5,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub const fn from_code(code: u8) -> Option<Hop> {
+        Some(match code {
+            0 => Hop::Arrival,
+            1 => Hop::Reassembled,
+            2 => Hop::Dispatched,
+            3 => Hop::Started,
+            4 => Hop::Preempted,
+            5 => Hop::Completed,
+            _ => return None,
+        })
+    }
+
+    /// The JSONL / display name.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Hop::Arrival => "arrival",
+            Hop::Reassembled => "reassembled",
+            Hop::Dispatched => "dispatched",
+            Hop::Started => "started",
+            Hop::Preempted => "preempted",
+            Hop::Completed => "completed",
+        }
+    }
+
+    /// Parses a JSONL / display name.
+    pub fn from_label(label: &str) -> Option<Hop> {
+        Hop::ALL.into_iter().find(|h| h.label() == label)
+    }
+}
+
+/// Size of one canonically encoded event.
+pub const EVENT_BYTES: usize = 24;
+
+/// One hop of one request's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceEvent {
+    /// Request id. Unique within a store; multi-job captures namespace
+    /// the id as `job_index << 40 | per_job_sequence`.
+    pub req: u64,
+    /// Which hop this event marks.
+    pub hop: Hop,
+    /// Timestamp in picoseconds on the producer's monotonic clock.
+    pub t_ps: u64,
+    /// Source id (simulated source node / live connection).
+    pub src: u16,
+    /// Core id (simulated core / live worker); meaningful from
+    /// `Dispatched` onward, zero before.
+    pub core: u16,
+}
+
+impl TraceEvent {
+    /// The canonical fixed-width encoding the store digest covers:
+    /// `req` (8 LE) · `t_ps` (8 LE) · `src` (2 LE) · `core` (2 LE) ·
+    /// hop code (1) · 3 reserved zero bytes.
+    pub fn encode(&self) -> [u8; EVENT_BYTES] {
+        let mut out = [0u8; EVENT_BYTES];
+        out[0..8].copy_from_slice(&self.req.to_le_bytes());
+        out[8..16].copy_from_slice(&self.t_ps.to_le_bytes());
+        out[16..18].copy_from_slice(&self.src.to_le_bytes());
+        out[18..20].copy_from_slice(&self.core.to_le_bytes());
+        out[20] = self.hop.code();
+        out
+    }
+
+    /// Decodes a canonical encoding; `None` on bad length, hop code, or
+    /// nonzero reserved bytes.
+    pub fn decode(bytes: &[u8]) -> Option<TraceEvent> {
+        let bytes: &[u8; EVENT_BYTES] = bytes.try_into().ok()?;
+        if bytes[21..24] != [0, 0, 0] {
+            return None;
+        }
+        Some(TraceEvent {
+            req: u64::from_le_bytes(bytes[0..8].try_into().unwrap()),
+            t_ps: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            src: u16::from_le_bytes(bytes[16..18].try_into().unwrap()),
+            core: u16::from_le_bytes(bytes[18..20].try_into().unwrap()),
+            hop: Hop::from_code(bytes[20])?,
+        })
+    }
+}
+
+/// Digests a sequence of events over their canonical encodings, in
+/// order. This is the fingerprint the store seal records and the
+/// determinism CI job compares across `--threads` values.
+pub fn digest_events<'a, I: IntoIterator<Item = &'a TraceEvent>>(events: I) -> metrics::Digest64 {
+    let mut digest = metrics::Digest64::new();
+    for event in events {
+        digest.write_bytes(&event.encode());
+    }
+    digest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_codes_roundtrip() {
+        for hop in Hop::ALL {
+            assert_eq!(Hop::from_code(hop.code()), Some(hop));
+            assert_eq!(Hop::from_label(hop.label()), Some(hop));
+        }
+        assert_eq!(Hop::from_code(6), None);
+        assert_eq!(Hop::from_label("nope"), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ev = TraceEvent {
+            req: (7u64 << 40) | 123,
+            hop: Hop::Started,
+            t_ps: 987_654_321_000,
+            src: 42,
+            core: 13,
+        };
+        let bytes = ev.encode();
+        assert_eq!(bytes.len(), EVENT_BYTES);
+        assert_eq!(TraceEvent::decode(&bytes), Some(ev));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let ev = TraceEvent::default();
+        let mut bytes = ev.encode();
+        bytes[20] = 200; // invalid hop code
+        assert_eq!(TraceEvent::decode(&bytes), None);
+        let mut bytes = ev.encode();
+        bytes[23] = 1; // reserved byte
+        assert_eq!(TraceEvent::decode(&bytes), None);
+        assert_eq!(TraceEvent::decode(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = TraceEvent { req: 1, ..Default::default() };
+        let b = TraceEvent { req: 2, ..Default::default() };
+        let ab = digest_events([&a, &b]).hex();
+        let ba = digest_events([&b, &a]).hex();
+        assert_ne!(ab, ba);
+        assert_eq!(ab, digest_events([&a, &b]).hex());
+    }
+}

@@ -1,0 +1,273 @@
+//! The allocation-free trace transport: a bounded lock-free event ring
+//! plus a background flusher thread.
+//!
+//! The live server's hot path (TCP readers, worker threads) must never
+//! block on trace I/O — a slow disk must cost *drops*, not latency. So
+//! producers [`try_push`](EventRing::try_push) into a Vyukov-style
+//! bounded MPMC ring (the same discipline as `live::ring::SlotRing`,
+//! widened from `usize` slots to [`TraceEvent`]s), and a single
+//! [`RingFlusher`] thread drains the ring into an [`EventSink`] — an
+//! in-memory `Vec` for harness-driven runs, a streaming
+//! [`TraceWriter`](crate::store::TraceWriter) for `valetd --trace`.
+//! When the ring is full the event is counted as dropped and the
+//! producer returns immediately.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::event::TraceEvent;
+use crate::store::TraceWriter;
+
+struct Slot {
+    /// Vyukov sequence: `== index` ⇒ free for the producer claiming
+    /// `index`; `== index + 1` ⇒ holds a value for the consumer.
+    seq: AtomicUsize,
+    value: UnsafeCell<TraceEvent>,
+}
+
+/// A lock-free bounded MPMC ring of [`TraceEvent`]s.
+pub struct EventRing {
+    buf: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot values are only accessed by the single producer/consumer
+// that won the sequence-number claim for that position; the seq
+// load/store pairs (Acquire/Release) order the data accesses.
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    /// Creates a ring holding at least `capacity` events (rounded up to
+    /// the next power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buf: Vec<Slot> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(TraceEvent::default()),
+            })
+            .collect();
+        EventRing {
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Enqueues an event without ever blocking; a full ring drops the
+    /// event (counted) and returns `false`.
+    pub fn try_push(&self, event: TraceEvent) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: we own this slot until the seq store.
+                        unsafe { *slot.value.get() = event };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // A full lap behind: ring is full. Never block the hot
+                // path — record the loss and move on.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest event, or `None` if the ring is empty.
+    pub fn try_pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: we own this slot until the seq store.
+                        let value = unsafe { *slot.value.get() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Events lost to a full ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Where the flusher delivers drained events.
+pub trait EventSink: Send {
+    /// Accepts one drained event, in ring (arrival) order.
+    fn accept(&mut self, event: TraceEvent);
+}
+
+impl EventSink for Vec<TraceEvent> {
+    fn accept(&mut self, event: TraceEvent) {
+        self.push(event);
+    }
+}
+
+impl EventSink for TraceWriter {
+    fn accept(&mut self, event: TraceEvent) {
+        // A failed disk write must not panic the flusher mid-run; the
+        // seal (count vs lines) exposes the truncation on load.
+        let _ = self.append(&event);
+    }
+}
+
+/// Background thread draining an [`EventRing`] into an [`EventSink`].
+pub struct RingFlusher<S: EventSink + 'static> {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<S>,
+}
+
+impl<S: EventSink + 'static> RingFlusher<S> {
+    /// Spawns the flusher. It polls the ring, sleeping briefly when the
+    /// ring is empty, until [`finish`](RingFlusher::finish).
+    pub fn spawn(ring: Arc<EventRing>, mut sink: S) -> RingFlusher<S> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            loop {
+                let mut drained = false;
+                while let Some(event) = ring.try_pop() {
+                    sink.accept(event);
+                    drained = true;
+                }
+                if stop_flag.load(Ordering::Acquire) {
+                    // Producers are done: one final drain above saw an
+                    // empty ring, so nothing more can appear.
+                    if !drained {
+                        break;
+                    }
+                } else {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            sink
+        });
+        RingFlusher { stop, handle }
+    }
+
+    /// Stops the flusher after a final full drain and returns the sink.
+    /// Call only after every producer has quiesced, so no event races
+    /// the last drain.
+    pub fn finish(self) -> S {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("trace flusher panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Hop;
+
+    fn ev(req: u64) -> TraceEvent {
+        TraceEvent {
+            req,
+            hop: Hop::Completed,
+            t_ps: req * 10,
+            src: 1,
+            core: 2,
+        }
+    }
+
+    #[test]
+    fn fifo_order_single_threaded() {
+        let ring = EventRing::with_capacity(8);
+        for r in 0..5 {
+            assert!(ring.try_push(ev(r)));
+        }
+        for r in 0..5 {
+            assert_eq!(ring.try_pop(), Some(ev(r)));
+        }
+        assert_eq!(ring.try_pop(), None);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_blocking() {
+        let ring = EventRing::with_capacity(4);
+        for r in 0..4 {
+            assert!(ring.try_push(ev(r)));
+        }
+        assert!(!ring.try_push(ev(99)));
+        assert!(!ring.try_push(ev(100)));
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.try_pop(), Some(ev(0)), "existing events intact");
+    }
+
+    #[test]
+    fn flusher_delivers_everything_from_many_producers() {
+        let ring = Arc::new(EventRing::with_capacity(1024));
+        let flusher = RingFlusher::spawn(Arc::clone(&ring), Vec::new());
+        let producers = 4;
+        let per_producer = 500u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_producer {
+                        while !ring.try_push(ev(p * per_producer + i)) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = flusher.finish();
+        assert_eq!(events.len(), (producers * per_producer) as usize);
+        let mut reqs: Vec<u64> = events.iter().map(|e| e.req).collect();
+        reqs.sort_unstable();
+        reqs.dedup();
+        assert_eq!(reqs.len(), events.len(), "no event duplicated or lost");
+    }
+}
