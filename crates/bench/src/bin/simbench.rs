@@ -13,8 +13,8 @@
 //!    and is machine-independent enough to gate CI on.
 //!
 //! ```text
-//! simbench [--quick] [--write BENCH_simcore.json]
-//!          [--baseline BENCH_simcore.json] [--tolerance 30]
+//! simbench [--quick] [--write report.json]
+//!          [--baseline report.json] [--tolerance 30]
 //!          [--store BENCH/simcore.json (--record | --check)] [--commit id]
 //! ```
 //!
@@ -84,7 +84,8 @@ struct SweepRow {
     events_per_sec: f64,
 }
 
-/// The committed `BENCH_simcore.json` artifact.
+/// The flat suite report (`--write`/`--baseline`); the committed
+/// `BENCH/simcore.json` store carries its migrated form.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     version: u32,

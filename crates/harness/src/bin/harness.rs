@@ -4,8 +4,9 @@
 //! harness run --scenario fig8 --quick
 //! harness run --scenario ablation_sensitivity --threads 4
 //! harness run --scenario fig2 --part a --out-dir /tmp/reports
-//! harness run --scenario fig8 --requests 20000 --baseline BENCH_fig8_quick.json
+//! harness run --scenario fig8 --requests 20000 --baseline prev_fig8.json
 //! harness run --matrix fig7a --threads 8 --out results.json   # low-level escape hatch
+//! harness run --matrix fig8 --timeseries fig8.series          # windowed telemetry
 //! harness bench --scenario fig8 --check            # gate vs BENCH/fig8.json
 //! harness bench --scenario fig8 --record           # append a trajectory entry
 //! harness trace --capture --matrix live_smoke --out live.trace
@@ -13,6 +14,9 @@
 //! harness trace --diff sim.trace live.trace        # sim vs live divergence
 //! harness trace --replay live.trace --trace-out sim.trace
 //! harness plot --scenario fig8                     # SVG/text charts
+//! harness plot --series fig8.series                # occupancy heatmap, windowed p99
+//! harness watch --scenario live_smoke --quick      # loopback run + live dashboard
+//! harness watch --addr 127.0.0.1:7117              # watch a running valetd
 //! harness list
 //! harness list --json | --names | --readme | --check
 //! ```
@@ -35,7 +39,9 @@
 //! runs accept it only for single-matrix scenarios), `--fresh` (ignore
 //! existing reports instead of resuming). Scenario-only: `--part a|b|c`,
 //! `--out-dir <dir>`, `--figures-dir <dir>`. Matrix-only: `--out
-//! <path>`.
+//! <path>`, `--trace <n>`, and `--timeseries <path>` (+
+//! `--series-window-us <n>`, default 100) — a windowed-telemetry
+//! capture alongside the byte-identical report.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -62,6 +68,8 @@ struct RunArgs {
     tolerance_pct: f64,
     fresh: bool,
     trace: Option<usize>,
+    timeseries: Option<String>,
+    series_window_us: u64,
 }
 
 fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
@@ -81,6 +89,8 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
         tolerance_pct: 5.0,
         fresh: false,
         trace: None,
+        timeseries: None,
+        series_window_us: 100,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -139,6 +149,15 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
                     return Err("--tolerance must be non-negative".to_owned());
                 }
             }
+            "--timeseries" => args.timeseries = Some(value("--timeseries")?),
+            "--series-window-us" => {
+                args.series_window_us = value("--series-window-us")?
+                    .parse()
+                    .map_err(|e| format!("bad window length: {e}"))?;
+                if args.series_window_us == 0 {
+                    return Err("--series-window-us must be at least 1".to_owned());
+                }
+            }
             other => return Err(format!("unknown flag `{other}` for run")),
         }
     }
@@ -163,6 +182,12 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
              capacities, e.g. latency_breakdown)"
                 .to_owned(),
         );
+    }
+    if args.scenario.is_some() && args.timeseries.is_some() {
+        return Err("--timeseries applies to --matrix runs".to_owned());
+    }
+    if args.timeseries.is_none() && args.series_window_us != 100 {
+        return Err("--series-window-us applies with --timeseries".to_owned());
     }
     if args.matrix.is_some() {
         for (set, flag) in [
@@ -523,8 +548,36 @@ fn cmd_run_matrix(name: &str, args: &RunArgs) -> Result<bool, String> {
         .out
         .clone()
         .unwrap_or_else(|| format!("{}.json", matrix.name));
-    let (report, timing) =
-        run_one_matrix(&matrix, args.threads, Path::new(&out), args.fresh)?;
+    let (report, timing) = if let Some(series_path) = &args.timeseries {
+        // Series capture is always a fresh full run (a resumed job has
+        // no windows to contribute); the report it also writes is
+        // byte-identical to an unwindowed run's.
+        let interval_ps = args.series_window_us * 1_000_000;
+        let (report, timing, series) =
+            harness::run_matrix_series(&matrix, args.threads, interval_ps);
+        std::fs::write(&out, report.to_json_pretty()).map_err(|e| format!("write {out}: {e}"))?;
+        let timing_path = format!("{out}.timing.json");
+        let timing_json = serde_json::to_string_pretty(&timing)
+            .map_err(|e| format!("timing serializes: {e}"))?;
+        std::fs::write(&timing_path, timing_json)
+            .map_err(|e| format!("write {timing_path}: {e}"))?;
+        let live = matrix.jobs().iter().any(|j| j.kind() == harness::JobKind::Live);
+        let meta = if live {
+            telemetry::SeriesMeta::live(&matrix.name, interval_ps, series.len() as u64)
+        } else {
+            telemetry::SeriesMeta::sim(&matrix.name, interval_ps, series.len() as u64)
+        };
+        let digest = telemetry::write_series_store(Path::new(series_path), &meta, &series)
+            .map_err(|e| format!("write {series_path}: {e}"))?;
+        println!(
+            "[wrote {series_path} ({} job series at {} us/window, digest {digest})]",
+            series.len(),
+            args.series_window_us
+        );
+        (report, timing)
+    } else {
+        run_one_matrix(&matrix, args.threads, Path::new(&out), args.fresh)?
+    };
     print_summaries(&report);
     println!("\n  {}", timing.summary_line());
     println!("\n[wrote {out}]");
@@ -961,6 +1014,15 @@ fn cmd_trace(it: std::env::Args) -> Result<bool, String> {
         captured.dropped,
         captured.digest
     );
+    if captured.dropped > 0 {
+        eprintln!(
+            "WARNING: {} trace event(s) were dropped (ring overflow) — the capture's hop \
+             coverage is incomplete, so per-hop summaries and sim<->live diffs over this \
+             store undercount. Re-capture with fewer jobs, fewer --events, or a lighter \
+             load point.",
+            captured.dropped
+        );
+    }
     if let Some(report_path) = &args.report {
         std::fs::write(report_path, captured.report.to_json_pretty())
             .map_err(|e| format!("write {report_path}: {e}"))?;
@@ -975,6 +1037,7 @@ struct PlotArgs {
     out_dir: Option<String>,
     figures_dir: Option<String>,
     store: Option<String>,
+    series: Option<String>,
 }
 
 fn parse_plot_args(mut it: std::env::Args) -> Result<PlotArgs, String> {
@@ -986,13 +1049,53 @@ fn parse_plot_args(mut it: std::env::Args) -> Result<PlotArgs, String> {
             "--out-dir" => args.out_dir = Some(value("--out-dir")?),
             "--figures-dir" => args.figures_dir = Some(value("--figures-dir")?),
             "--store" => args.store = Some(value("--store")?),
+            "--series" => args.series = Some(value("--series")?),
             other => return Err(format!("unknown flag `{other}` for plot")),
         }
     }
-    if args.scenario.is_none() {
-        return Err("plot needs --scenario <name>".to_owned());
+    match (&args.scenario, &args.series) {
+        (None, None) => {
+            return Err("plot needs --scenario <name> or --series <store>".to_owned())
+        }
+        (Some(_), Some(_)) => {
+            return Err("--scenario and --series are mutually exclusive".to_owned())
+        }
+        _ => {}
+    }
+    if args.series.is_some() {
+        for (set, flag) in [
+            (args.out_dir.is_some(), "--out-dir"),
+            (args.store.is_some(), "--store"),
+        ] {
+            if set {
+                return Err(format!("{flag} applies to --scenario plots"));
+            }
+        }
     }
     Ok(args)
+}
+
+/// `harness plot --series`: render a telemetry series store (from
+/// `harness run --timeseries`) as occupancy heatmaps and per-window p99
+/// charts.
+fn cmd_plot_series(path: &str, figures_dir: Option<&str>) -> Result<bool, String> {
+    let store = telemetry::SeriesStore::load(Path::new(path))?;
+    println!(
+        "series store {path}: {} ({}), {} job series at {} ps/window, digest {}",
+        store.meta.label, store.meta.source, store.jobs.len(), store.meta.interval_ps, store.digest
+    );
+    let artifacts = harness::scenario::Artifacts::new(harness::series_artifacts(&store));
+    artifacts.print();
+    let figures_dir = figures_dir
+        .map(PathBuf::from)
+        .unwrap_or_else(harness::figures_dir);
+    let written = artifacts
+        .write_all(&figures_dir)
+        .map_err(|e| format!("write artifacts to {}: {e}", figures_dir.display()))?;
+    for path in &written {
+        println!("[wrote {}]", path.display());
+    }
+    Ok(true)
 }
 
 /// `harness plot`: render a scenario's recorded reports (latency vs
@@ -1000,6 +1103,9 @@ fn parse_plot_args(mut it: std::env::Args) -> Result<PlotArgs, String> {
 /// SVG/text artifacts.
 fn cmd_plot(it: std::env::Args) -> Result<bool, String> {
     let args = parse_plot_args(it)?;
+    if let Some(series_path) = &args.series {
+        return cmd_plot_series(series_path, args.figures_dir.as_deref());
+    }
     let name = args.scenario.as_deref().expect("checked by parser");
     let scenario = harness::find_scenario(name)
         .ok_or_else(|| format!("unknown scenario `{name}` (see `harness list`)"))?;
@@ -1054,6 +1160,158 @@ fn cmd_plot(it: std::env::Args) -> Result<bool, String> {
     Ok(true)
 }
 
+#[derive(Debug)]
+struct WatchArgs {
+    scenario: Option<String>,
+    addr: Option<String>,
+    frames: Option<u64>,
+    refresh_ms: u64,
+    window_ms: u64,
+    clear: bool,
+    quick: bool,
+    requests: Option<u64>,
+}
+
+fn parse_watch_args(mut it: std::env::Args) -> Result<WatchArgs, String> {
+    let mut args = WatchArgs {
+        scenario: None,
+        addr: None,
+        frames: None,
+        refresh_ms: 500,
+        window_ms: 250,
+        clear: false,
+        quick: false,
+        requests: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--frames" => {
+                let frames: u64 = value("--frames")?
+                    .parse()
+                    .map_err(|e| format!("bad frame count: {e}"))?;
+                if frames == 0 {
+                    return Err("--frames must be at least 1".to_owned());
+                }
+                args.frames = Some(frames);
+            }
+            "--refresh-ms" => {
+                args.refresh_ms = value("--refresh-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad refresh interval: {e}"))?;
+                if args.refresh_ms == 0 {
+                    return Err("--refresh-ms must be at least 1".to_owned());
+                }
+            }
+            "--window-ms" => {
+                args.window_ms = value("--window-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad window length: {e}"))?;
+                if args.window_ms == 0 {
+                    return Err("--window-ms must be at least 1".to_owned());
+                }
+            }
+            "--clear" => args.clear = true,
+            "--quick" => args.quick = true,
+            "--requests" => {
+                let requests: u64 = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad requests: {e}"))?;
+                if requests == 0 {
+                    return Err("--requests must be at least 1".to_owned());
+                }
+                args.requests = Some(requests);
+            }
+            other => return Err(format!("unknown flag `{other}` for watch")),
+        }
+    }
+    match (&args.scenario, &args.addr) {
+        (None, None) => {
+            return Err("watch needs --scenario <name> (spawns a loopback run) or \
+                        --addr host:port (polls a running valetd)"
+                .to_owned())
+        }
+        (Some(_), Some(_)) => {
+            return Err("--scenario and --addr are mutually exclusive".to_owned())
+        }
+        _ => {}
+    }
+    if args.addr.is_some() {
+        for (set, flag) in [
+            (args.quick, "--quick"),
+            (args.requests.is_some(), "--requests"),
+            (args.window_ms != 250, "--window-ms"),
+        ] {
+            if set {
+                return Err(format!(
+                    "{flag} applies to --scenario watches (a remote server owns its own \
+                     run shape and window length)"
+                ));
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// `harness watch`: a refreshing dashboard over a live server's
+/// windowed `METRICS` stream — spawned loopback or remote `valetd`.
+fn cmd_watch(it: std::env::Args) -> Result<bool, String> {
+    let args = parse_watch_args(it)?;
+    let cfg = harness::WatchConfig {
+        frames: args.frames,
+        refresh: std::time::Duration::from_millis(args.refresh_ms),
+        clear: args.clear,
+        ..harness::WatchConfig::default()
+    };
+    let mut stdout = std::io::stdout();
+
+    let summary = if let Some(addr) = &args.addr {
+        use std::net::ToSocketAddrs;
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {addr}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("no address for {addr}"))?;
+        harness::watch_addr(resolved, addr, &cfg, &mut stdout)
+            .map_err(|e| format!("watch {addr}: {e}"))?
+    } else {
+        let name = args.scenario.as_deref().expect("checked by parser");
+        let scenario = harness::find_scenario(name)
+            .ok_or_else(|| format!("unknown scenario `{name}` (see `harness list`)"))?;
+        let params = ScenarioParams {
+            quick: args.quick,
+            part: None,
+            requests: args.requests,
+            seed: None,
+            replications: None,
+        };
+        let mut spec = harness::live_spec_for_scenario(scenario, &params)?;
+        if let Some(requests) = args.requests {
+            spec.requests = requests;
+            spec.warmup = requests / 10;
+        }
+        println!(
+            "watch {name}: {} workers, {} requests at load {:.2}, {} ms windows",
+            spec.workers, spec.requests, spec.load, args.window_ms
+        );
+        harness::watch_loopback(
+            &spec,
+            std::time::Duration::from_millis(args.window_ms),
+            &cfg,
+            name,
+            &mut stdout,
+        )
+        .map_err(|e| format!("watch {name}: {e}"))?
+    };
+    println!(
+        "watched {} frame(s): {} window(s), {} arrival(s), {} completion(s)",
+        summary.frames, summary.windows, summary.arrivals, summary.completions
+    );
+    Ok(true)
+}
+
 /// Restores default SIGPIPE behaviour so `harness ... | head` exits
 /// quietly instead of panicking on a closed stdout (Rust ignores SIGPIPE
 /// by default).
@@ -1081,6 +1339,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(it),
         Some("trace") => cmd_trace(it),
         Some("plot") => cmd_plot(it),
+        Some("watch") => cmd_watch(it),
         Some("list") => {
             let mut mode = None;
             let mut parse_error = None;
@@ -1115,7 +1374,8 @@ fn main() -> ExitCode {
                 "usage: harness run --scenario <name> [--quick] [--part a|b|c] [--threads n] \
                  [--seed n] [--requests n] [--replications n] [--out-dir dir] \
                  [--figures-dir dir] [--baseline old.json] [--tolerance pct] [--fresh]\n       \
-                 harness run --matrix <name> [--out file.json] [--trace n] [shared flags]\n       \
+                 harness run --matrix <name> [--out file.json] [--trace n] \
+                 [--timeseries store.series [--series-window-us n]] [shared flags]\n       \
                  harness bench --scenario <name> (--record | --check) [--tolerance pct] \
                  [--store file.json] [--threads n] [--quick] [--requests n] [--commit id]\n       \
                  harness bench --migrate-legacy BENCH_file.json [--store file.json] [--commit id]\n       \
@@ -1127,6 +1387,9 @@ fn main() -> ExitCode {
                  [--trace-out replay.trace]\n       \
                  harness plot --scenario <name> [--out-dir dir] [--figures-dir dir] \
                  [--store file.json]\n       \
+                 harness plot --series store.series [--figures-dir dir]\n       \
+                 harness watch --scenario <name> [--window-ms n] [--quick] [--requests n] | \
+                 --addr host:port  [--frames n] [--refresh-ms n] [--clear]\n       \
                  harness list [--json | --names | --readme | --check]"
             );
             Ok(true)

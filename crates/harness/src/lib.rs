@@ -50,17 +50,26 @@ pub mod scenario;
 pub mod spec;
 pub mod tracecmd;
 pub mod trajectory;
+pub mod watch;
 
 pub use catalog::{
     catalog, find_scenario, readme_catalog_table, registry_problems, REQUIRED_SCENARIOS,
 };
 pub use diff::{diff_reports, BaselineDiff, Regression};
-pub use plot::{latency_artifacts, svg_line_chart, text_panel, trajectory_artifacts, Series};
+pub use plot::{
+    latency_artifacts, series_artifacts, sparkline, svg_line_chart, text_panel,
+    trajectory_artifacts, Series,
+};
+pub use watch::{
+    live_spec_for_scenario, render_frame, watch_addr, watch_loopback, WatchConfig, WatchSummary,
+};
 pub use trajectory::{
     check_entry, current_commit, digest_reports, entry_from_run, migrate_legacy, params_for_entry,
     CheckReport, SidecarStats, TrajectoryEntry, TrajectoryMetric, TrajectoryStore, STORE_VERSION,
 };
-pub use pool::{default_threads, run_jobs, run_jobs_observed, JobDispatcher, JobOutcome};
+pub use pool::{
+    default_threads, run_jobs, run_jobs_observed, run_jobs_series, JobDispatcher, JobOutcome,
+};
 pub use resume::{run_matrix_resumed, ResumeError};
 pub use tracecmd::{
     capture_matrix, diff_stores, replay_store, schedule_from_events, summarize_store,
@@ -125,4 +134,27 @@ pub fn run_matrix_traced(
     let report = SweepReport::from_outcomes(matrix, &outcomes);
     let timing = report::timing_from_outcomes(matrix, &outcomes, effective, total_wall_ms);
     (report, timing, events, dropped)
+}
+
+/// [`run_matrix`], with windowed telemetry: every job also records a
+/// time series at `series_interval_ps` (sim jobs sample simulated time
+/// deterministically; live jobs window both server and client clocks).
+/// The report is byte-identical to the unwindowed [`run_matrix`] report,
+/// and for sim matrices the series collection is byte-identical for
+/// every `threads` value.
+pub fn run_matrix_series(
+    matrix: &ScenarioMatrix,
+    threads: usize,
+    series_interval_ps: u64,
+) -> (SweepReport, SweepTiming, Vec<telemetry::JobSeries>) {
+    let start = std::time::Instant::now();
+    let jobs = matrix.jobs();
+    let threads = threads_for_jobs(&jobs, threads);
+    let effective = simkit::pool::effective_threads(threads, jobs.len());
+    let (outcomes, _events, _dropped, series) =
+        pool::run_jobs_series(jobs, threads, 0, series_interval_ps);
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = SweepReport::from_outcomes(matrix, &outcomes);
+    let timing = report::timing_from_outcomes(matrix, &outcomes, effective, total_wall_ms);
+    (report, timing, series)
 }

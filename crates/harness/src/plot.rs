@@ -9,7 +9,10 @@
 //! * **trajectory-over-commits** ([`trajectory_artifacts`]): the
 //!   [`TrajectoryStore`]'s gated metrics and events/sec across entries,
 //!   normalized to the first recorded value so disparate scales share
-//!   one axis.
+//!   one axis;
+//! * **windowed time series** ([`series_artifacts`]): from a telemetry
+//!   series store (`harness run --timeseries`), a per-core occupancy
+//!   heatmap over time and a per-window p99 chart per job.
 //!
 //! Byte stability is the contract: rendering is a pure function of the
 //! input structs (no timestamps, no float formatting that depends on
@@ -410,6 +413,215 @@ pub fn latency_artifacts(reports: &[SweepReport]) -> Vec<Artifact> {
     artifacts
 }
 
+/// Renders `values` as a one-line Unicode sparkline, each value scaled
+/// against `max` (values at or above `max` render as the tallest bar;
+/// NaN renders as a space). The `harness watch` dashboard's building
+/// block, but deterministic enough to golden-pin.
+pub fn sparkline(values: &[f64], max: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            if v.is_nan() {
+                ' '
+            } else if max <= 0.0 || v <= 0.0 {
+                BARS[0]
+            } else {
+                let frac = (v / max).min(1.0);
+                BARS[((frac * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Shade ramp for the occupancy heatmap: fraction 0..1 to a glyph.
+fn shade(frac: f64) -> char {
+    const RAMP: [char; 5] = ['·', '░', '▒', '▓', '█'];
+    if frac.is_nan() {
+        ' '
+    } else {
+        RAMP[(frac.clamp(0.0, 1.0) * 4.0).round() as usize]
+    }
+}
+
+/// Grayscale-ish blue fill for the SVG heatmap cell at occupancy `frac`.
+fn heat_fill(frac: f64) -> &'static str {
+    const FILLS: [&str; 6] = [
+        "#f7fbff", "#c6dbef", "#6baed6", "#3182bd", "#08519c", "#04234a",
+    ];
+    if frac.is_nan() {
+        return "#eeeeee";
+    }
+    FILLS[(frac.clamp(0.0, 1.0) * 5.0).round() as usize]
+}
+
+/// Windows-per-column stride so at most `max_cols` columns render.
+fn column_stride(windows: usize, max_cols: usize) -> usize {
+    windows.div_ceil(max_cols).max(1)
+}
+
+/// A file-name-safe version of a series label.
+fn sanitize_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('-');
+        }
+    }
+    out
+}
+
+/// The per-core occupancy heatmap for one job series: x = time
+/// (window index, resampled to ≤ 64 columns), y = core, shade =
+/// fraction of that window's samples the core was busy.
+pub fn occupancy_heatmap_text(job: &telemetry::JobSeries, interval_ps: u64) -> String {
+    const MAX_COLS: usize = 64;
+    let cores = job.cores as usize;
+    let stride = column_stride(job.windows.len(), MAX_COLS);
+    let folded = telemetry::resample(&job.windows, stride as u64);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: per-core occupancy (col = {} window(s) of {:.3} ms, {} windows total)",
+        job.label,
+        stride,
+        interval_ps as f64 * 1e-9,
+        job.windows.len()
+    );
+    for core in 0..cores {
+        let _ = write!(out, "  core {core:>3} |");
+        for w in &folded {
+            let frac = if w.samples == 0 {
+                f64::NAN
+            } else {
+                *w.core_busy.get(core).unwrap_or(&0) as f64 / w.samples as f64
+            };
+            out.push(shade(frac));
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "  shade: · 0%  ░ 25%  ▒ 50%  ▓ 75%  █ 100% busy");
+    out
+}
+
+/// The same heatmap as a standalone SVG (fixed-size cells, byte-stable).
+pub fn occupancy_heatmap_svg(job: &telemetry::JobSeries, interval_ps: u64) -> String {
+    const MAX_COLS: usize = 96;
+    const CELL_W: f64 = 8.0;
+    const CELL_H: f64 = 14.0;
+    const LEFT: f64 = 64.0;
+    const TOP: f64 = 36.0;
+    let cores = job.cores as usize;
+    let stride = column_stride(job.windows.len(), MAX_COLS);
+    let folded = telemetry::resample(&job.windows, stride as u64);
+    let width = LEFT + folded.len() as f64 * CELL_W + 16.0;
+    let height = TOP + cores as f64 * CELL_H + 28.0;
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {width:.0} {height:.0}\" \
+         font-family=\"Helvetica, Arial, sans-serif\">"
+    );
+    let _ = writeln!(out, "<rect width=\"{width:.0}\" height=\"{height:.0}\" fill=\"#ffffff\"/>");
+    let _ = writeln!(
+        out,
+        "<text x=\"{LEFT:.0}\" y=\"22\" font-size=\"13\" fill=\"#1a1a1a\">{}: per-core \
+         occupancy over time ({} windows)</text>",
+        escape_xml(&job.label),
+        job.windows.len()
+    );
+    for core in 0..cores {
+        let y = TOP + core as f64 * CELL_H;
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.0}\" y=\"{:.1}\" font-size=\"10\" fill=\"#555555\" \
+             text-anchor=\"end\">core {core}</text>",
+            LEFT - 6.0,
+            y + CELL_H - 4.0
+        );
+        for (col, w) in folded.iter().enumerate() {
+            let frac = if w.samples == 0 {
+                f64::NAN
+            } else {
+                *w.core_busy.get(core).unwrap_or(&0) as f64 / w.samples as f64
+            };
+            let _ = writeln!(
+                out,
+                "<rect x=\"{:.1}\" y=\"{y:.1}\" width=\"{CELL_W:.1}\" height=\"{CELL_H:.1}\" \
+                 fill=\"{}\"/>",
+                LEFT + col as f64 * CELL_W,
+                heat_fill(frac)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "<text x=\"{LEFT:.0}\" y=\"{:.1}\" font-size=\"10\" fill=\"#555555\">time -> \
+         (col = {} window(s) of {:.3} ms)</text>",
+        TOP + cores as f64 * CELL_H + 16.0,
+        stride,
+        interval_ps as f64 * 1e-9
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Chart kinds from a series store: per job, an occupancy heatmap
+/// (SVG + text) and a per-window p99 line chart (SVG + text panel).
+pub fn series_artifacts(store: &telemetry::SeriesStore) -> Vec<Artifact> {
+    let interval_ps = store.meta.interval_ps;
+    let mut artifacts = Vec::new();
+    for (ji, job) in store.jobs.iter().enumerate() {
+        let stem = format!("{}_job{ji}_{}", sanitize_label(&store.meta.label), sanitize_label(&job.label));
+
+        let heat_txt = occupancy_heatmap_text(job, interval_ps);
+        artifacts.push(Artifact {
+            name: format!("{stem}_occupancy"),
+            body: ArtifactBody::Svg(occupancy_heatmap_svg(job, interval_ps)),
+            display: String::new(),
+        });
+        artifacts.push(Artifact {
+            name: format!("{stem}_occupancy"),
+            body: ArtifactBody::Text(heat_txt.clone()),
+            display: heat_txt,
+        });
+
+        let derived = telemetry::derive_series(&job.windows, interval_ps, job.cores);
+        let points: Vec<(f64, f64)> = derived
+            .iter()
+            .filter(|p| !p.p99_ns.is_nan())
+            .map(|p| (p.index as f64, p.p99_ns / 1e3))
+            .collect();
+        if points.is_empty() {
+            continue;
+        }
+        let series = vec![Series {
+            label: job.label.clone(),
+            points,
+        }];
+        let title = format!(
+            "{}: p99 latency per {:.3} ms window",
+            job.label,
+            interval_ps as f64 * 1e-9
+        );
+        let svg = svg_line_chart(&title, "window index", "p99 latency (us)", &series, false);
+        let txt = text_panel(&title, "window index", "p99 latency (us)", &series);
+        artifacts.push(Artifact {
+            name: format!("{stem}_window_p99"),
+            body: ArtifactBody::Svg(svg),
+            display: String::new(),
+        });
+        artifacts.push(Artifact {
+            name: format!("{stem}_window_p99"),
+            body: ArtifactBody::Text(txt.clone()),
+            display: txt,
+        });
+    }
+    artifacts
+}
+
 /// Every `(name, gate)` in the store, in first-seen order across all
 /// entries — the one scan both the chart legend and the text table rows
 /// derive from, so they cannot diverge.
@@ -559,6 +771,29 @@ mod tests {
                 points: vec![(0.0, 3.0), (2.0, 3.5)],
             },
         ]
+    }
+
+    #[test]
+    fn sparkline_maps_fractions_to_bars() {
+        assert_eq!(sparkline(&[0.0, 0.5, 1.0], 1.0), "▁▅█");
+        assert_eq!(sparkline(&[f64::NAN, 2.0], 1.0), " █", "NaN blanks, overflow clamps");
+        assert_eq!(sparkline(&[1.0, 2.0], 0.0), "▁▁", "zero max degrades to the floor bar");
+        assert_eq!(sparkline(&[], 1.0), "");
+    }
+
+    #[test]
+    fn heatmap_stride_folds_long_series_to_the_column_budget() {
+        assert_eq!(column_stride(0, 64), 1);
+        assert_eq!(column_stride(64, 64), 1);
+        assert_eq!(column_stride(65, 64), 2);
+        assert_eq!(column_stride(1000, 64), 16);
+        assert!(1000usize.div_ceil(column_stride(1000, 64)) <= 64);
+    }
+
+    #[test]
+    fn labels_sanitize_to_file_safe_stems() {
+        assert_eq!(sanitize_label("1x16 @ 4Mrps"), "1x16---4mrps");
+        assert_eq!(sanitize_label("hw_single-t2"), "hw_single-t2");
     }
 
     #[test]

@@ -70,26 +70,44 @@ pub fn run_jobs_observed(
     threads: usize,
     capture: usize,
 ) -> (Vec<JobOutcome>, Vec<TraceEvent>, u64) {
+    let (outcomes, events, dropped, _series) = run_jobs_series(jobs, threads, capture, 0);
+    (outcomes, events, dropped)
+}
+
+/// [`run_jobs_observed`], also recording a windowed telemetry series per
+/// job when `series_interval_ps > 0` (see
+/// [`ExperimentSpec::run_observed_series`]). Series come back in **job
+/// order**, one [`telemetry::JobSeries`] per job that produced one —
+/// for sim matrices the collection is bit-identical for every `threads`
+/// value, same contract as the report and the event stream.
+pub fn run_jobs_series(
+    jobs: Vec<ExperimentSpec>,
+    threads: usize,
+    capture: usize,
+    series_interval_ps: u64,
+) -> (Vec<JobOutcome>, Vec<TraceEvent>, u64, Vec<telemetry::JobSeries>) {
     let observed = run_indexed(jobs, threads, move |index, spec| {
         let start = Instant::now();
-        let run = spec.run_observed(capture, (index as u64) << 40);
+        let run = spec.run_observed_series(capture, (index as u64) << 40, series_interval_ps);
         let outcome = JobOutcome {
             index,
             spec,
             result: run.measurement,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
         };
-        (outcome, run.events, run.dropped)
+        (outcome, run.events, run.dropped, run.series)
     });
     let mut outcomes = Vec::with_capacity(observed.len());
     let mut events = Vec::new();
     let mut dropped = 0;
-    for (outcome, job_events, job_dropped) in observed {
+    let mut series = Vec::new();
+    for (outcome, job_events, job_dropped, job_series) in observed {
         outcomes.push(outcome);
         events.extend(job_events);
         dropped += job_dropped;
+        series.extend(job_series);
     }
-    (outcomes, events, dropped)
+    (outcomes, events, dropped, series)
 }
 
 pub use simkit::pool::default_threads;

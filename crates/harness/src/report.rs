@@ -118,7 +118,7 @@ pub struct SweepTiming {
     /// Per-job simulator events popped, in job order (0 for live jobs).
     pub job_events: Vec<u64>,
     /// Aggregate simulator throughput: total events over total
-    /// worker-busy seconds — the sweep-level number `BENCH_simcore.json`
+    /// worker-busy seconds — the sweep-level number `BENCH/simcore.json`
     /// tracks across commits.
     pub events_per_sec: f64,
 }

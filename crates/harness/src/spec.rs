@@ -297,6 +297,11 @@ pub struct Measurement {
     pub dispatcher_high_water: usize,
     /// Preemption events (sim jobs with preemption; 0 otherwise).
     pub preemptions: u64,
+    /// Trace events lost to a full live ring during this job (always 0
+    /// for sim/model jobs — the simulator's trace log is sized to the
+    /// capture). Like `sim_events`, never serialized into the report:
+    /// it is a capture-health indicator, not a measurement.
+    pub trace_dropped: u64,
     /// Mean per-component latency decomposition (§4.2/§4.3 pipeline).
     /// `Some` only for sim jobs run with a matrix-level
     /// [`ScenarioMatrix::trace`] capacity — the `latency_breakdown` /
@@ -319,6 +324,10 @@ pub struct ObservedRun {
     /// Events lost to a full live trace ring (always 0 for sim jobs:
     /// the simulator's trace log is sized to the capture).
     pub dropped: u64,
+    /// Windowed telemetry series (`None` unless the run asked for one
+    /// via [`ExperimentSpec::run_observed_series`]; always `None` for
+    /// model jobs, which have no timeline).
+    pub series: Option<telemetry::JobSeries>,
 }
 
 /// One fully specified experiment to run: the unit of work the harness
@@ -437,6 +446,27 @@ impl ExperimentSpec {
     /// # Panics
     /// Same contract as [`ExperimentSpec::run`].
     pub fn run_observed(&self, capture: usize, req_base: u64) -> ObservedRun {
+        self.run_observed_series(capture, req_base, 0)
+    }
+
+    /// [`ExperimentSpec::run_observed`], optionally also recording a
+    /// windowed telemetry series (`series_interval_ps > 0`; 0 records
+    /// none). Sim jobs sample off simulated time at the top of the event
+    /// loop — the measurement stays byte-identical to the unwindowed
+    /// run for any thread count. Live jobs window both sides: the server
+    /// runs a metrics sampler and the load generator buckets client-side
+    /// latency; the returned series is the client-side one (the paper's
+    /// measurement convention). Model jobs have no timeline and return
+    /// `None`.
+    ///
+    /// # Panics
+    /// Same contract as [`ExperimentSpec::run`].
+    pub fn run_observed_series(
+        &self,
+        capture: usize,
+        req_base: u64,
+        series_interval_ps: u64,
+    ) -> ObservedRun {
         match &self.policy {
             PolicySpec::Sim(_)
             | PolicySpec::SimPreempt(..)
@@ -445,7 +475,11 @@ impl ExperimentSpec {
                 let baked = self.trace_capacity;
                 let mut cfg = self.sim_config();
                 cfg.trace_capacity = baked.max(capture);
-                let r = ServerSim::new(cfg).run();
+                if series_interval_ps > 0 {
+                    cfg.series_interval = Some(SimDuration::from_ps(series_interval_ps));
+                }
+                let mut r = ServerSim::new(cfg).run();
+                let series = r.series.take();
                 let mut events = Vec::new();
                 for trace in r.traces.records().iter().take(capture) {
                     trace.append_events(req_base | trace.msg, &mut events);
@@ -464,6 +498,7 @@ impl ExperimentSpec {
                     sim_events: r.events_processed,
                     dispatcher_high_water: r.dispatcher_high_water,
                     preemptions: r.preemptions,
+                    trace_dropped: 0,
                     breakdown: (baked > 0).then(|| {
                         LatencyBreakdown::from_means(r.traces.component_means_first_ns(baked))
                     }),
@@ -472,6 +507,7 @@ impl ExperimentSpec {
                     measurement,
                     events,
                     dropped: 0,
+                    series,
                 }
             }
             PolicySpec::Model(config) => {
@@ -498,12 +534,14 @@ impl ExperimentSpec {
                     sim_events: r.events,
                     dispatcher_high_water: 0,
                     preemptions: 0,
+                    trace_dropped: 0,
                     breakdown: None,
                 };
                 ObservedRun {
                     measurement,
                     events: Vec::new(),
                     dropped: 0,
+                    series: None,
                 }
             }
             PolicySpec::Live(policy, params) => {
@@ -519,6 +557,9 @@ impl ExperimentSpec {
                     scale: params.scale,
                     seed: self.seed,
                     replenish_batch: params.replenish_batch,
+                    series_interval: (series_interval_ps > 0).then(|| {
+                        std::time::Duration::from_nanos((series_interval_ps / 1_000).max(1))
+                    }),
                 };
                 let outcome = live::run_loopback_observed(&spec, capture as u64)
                     .unwrap_or_else(|e| panic!("live loopback job failed: {e}"));
@@ -547,6 +588,7 @@ impl ExperimentSpec {
                     dispatcher_high_water: server.queue_high_water.max(server.ring_high_water)
                         as usize,
                     preemptions: 0,
+                    trace_dropped: outcome.dropped.max(server.trace_dropped),
                     breakdown: None,
                 };
                 let mut events = outcome.events;
@@ -559,6 +601,7 @@ impl ExperimentSpec {
                     measurement,
                     events,
                     dropped: outcome.dropped,
+                    series: outcome.stats.series,
                 }
             }
         }

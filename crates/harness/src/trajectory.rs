@@ -15,12 +15,13 @@
 //! stores like `simcore` (`higher`-is-better speedup ratios under a
 //! tolerance, `info` rows recorded but never gated).
 //!
-//! The legacy root files this subsystem replaces — `BENCH_fig8_quick.json`
-//! (a full [`SweepReport`]) and `BENCH_simcore.json` (the `simbench`
-//! suite report) — are readable via [`migrate_legacy`]; the committed
-//! `BENCH/fig8.json` / `BENCH/simcore.json` stores were produced by it,
-//! and `crates/harness/tests/trajectory_migration.rs` pins the carried
-//! values bit-identical.
+//! The legacy root files this subsystem replaced — a full
+//! [`SweepReport`] and the `simbench` suite report — are readable via
+//! [`migrate_legacy`]; the committed `BENCH/fig8.json` /
+//! `BENCH/simcore.json` stores were produced by it, and
+//! `crates/harness/tests/trajectory_migration.rs` pins the carried
+//! values bit-identical against the fixtures preserved in
+//! `crates/harness/tests/fixtures/`.
 
 use std::path::{Path, PathBuf};
 
@@ -350,9 +351,11 @@ pub fn params_for_entry(entry: &TrajectoryEntry) -> ScenarioParams {
 }
 
 /// Reads a legacy root-level `BENCH_*_quick.json` report (a plain
-/// [`SweepReport`], e.g. `BENCH_fig8_quick.json`) into a trajectory
-/// entry. The report carries no sidecar, so the wall-time stats are
-/// zero; the per-job request count becomes the entry's replay override.
+/// [`SweepReport`], preserved as
+/// `crates/harness/tests/fixtures/legacy_fig8_quick.json`) into a
+/// trajectory entry. The report carries no sidecar, so the wall-time
+/// stats are zero; the per-job request count becomes the entry's replay
+/// override.
 pub fn entry_from_legacy_report(report: &SweepReport, commit: &str) -> TrajectoryEntry {
     let reports = std::slice::from_ref(report);
     TrajectoryEntry {
@@ -399,7 +402,8 @@ fn rows<'v>(value: &'v Value, what: &str) -> Result<&'v [Value], String> {
     }
 }
 
-/// Reads the `simbench` suite report (legacy root `BENCH_simcore.json`,
+/// Reads the `simbench` suite report (the legacy root format, preserved
+/// as `crates/harness/tests/fixtures/legacy_simcore.json`,
 /// and the live suite output — `simbench --store` serializes through
 /// this same function, so the store and the migration agree by
 /// construction). Queue-churn rows are `info` (sub-second microbenches,
@@ -491,9 +495,8 @@ pub fn entry_from_simcore_value(report: &Value, commit: &str) -> Result<Trajecto
 }
 
 /// Reads either legacy root-level `BENCH_*` format — a [`SweepReport`]
-/// (`BENCH_fig8_quick.json`) or the `simbench` suite report
-/// (`BENCH_simcore.json`) — into `(store name, entry)`. The file kind
-/// is sniffed from its fields.
+/// or the `simbench` suite report — into `(store name, entry)`. The
+/// file kind is sniffed from its fields.
 pub fn migrate_legacy(json: &str, commit: &str) -> Result<(String, TrajectoryEntry), String> {
     let value: Value = serde_json::from_str(json).map_err(|e| format!("parse legacy file: {e}"))?;
     if value.get("jobs").is_some() {
@@ -731,6 +734,7 @@ mod tests {
                         sim_events: 0,
                         dispatcher_high_water: 3,
                         preemptions: 0,
+                        trace_dropped: 0,
                         breakdown: None,
                     },
                     wall_ms: 1.0,

@@ -9,7 +9,9 @@ use std::path::PathBuf;
 
 use harness::report::JobRecord;
 use harness::trajectory::{SidecarStats, TrajectoryEntry, TrajectoryMetric};
-use harness::{latency_artifacts, trajectory_artifacts, SweepReport, TrajectoryStore};
+use harness::{
+    latency_artifacts, series_artifacts, trajectory_artifacts, SweepReport, TrajectoryStore,
+};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -126,6 +128,38 @@ fn fixture_store() -> TrajectoryStore {
     store
 }
 
+/// A fixed two-core, two-group series store built through the recorder
+/// itself — six 1 ms windows of a ramp-up/overload/drain shape. The
+/// test pins the renderer, not the sampler.
+fn fixture_series_store() -> telemetry::SeriesStore {
+    const MS: u64 = 1_000_000_000; // 1 ms in ps
+    let mut rec = telemetry::SeriesRecorder::new(MS, 2, 2);
+    // Window w sees `w` arrivals and completions; latency and queue
+    // depth ramp with w; core 1 only wakes up from window 2 on.
+    for w in 0u64..6 {
+        let t0 = w * MS;
+        for i in 0..w {
+            rec.note_arrival(t0 + i * (MS / 8));
+            rec.note_completion(
+                t0 + i * (MS / 8) + MS / 16,
+                (w + 1) * 150_000_000 + i * 10_000_000, // 0.15..0.9 ms ramp
+                (i % 2) as usize,
+            );
+        }
+        for s in 0..4u64 {
+            let busy = [w > 0, w >= 2 && s % 2 == 0];
+            let queued = w.saturating_sub(2);
+            rec.sample(t0 + s * (MS / 4), &busy, &[queued, 0], queued, queued + 1);
+        }
+    }
+    let jobs = vec![rec.into_job("1x2 @ 0.7")];
+    telemetry::SeriesStore {
+        meta: telemetry::SeriesMeta::sim("golden", MS, jobs.len() as u64),
+        digest: telemetry::digest_series(&jobs).hex(),
+        jobs,
+    }
+}
+
 #[test]
 fn latency_artifacts_match_golden_bytes() {
     let artifacts = latency_artifacts(&[fixture_report()]);
@@ -147,6 +181,20 @@ fn trajectory_artifacts_match_golden_bytes() {
 }
 
 #[test]
+fn series_artifacts_match_golden_bytes() {
+    let store = fixture_series_store();
+    let artifacts = series_artifacts(&store);
+    assert_eq!(artifacts.len(), 4, "occupancy + window-p99, SVG + text each");
+    assert_eq!(artifacts[0].file_name(), "golden_job0_1x2---0-7_occupancy.svg");
+    assert_eq!(artifacts[1].file_name(), "golden_job0_1x2---0-7_occupancy.txt");
+    assert_eq!(artifacts[2].file_name(), "golden_job0_1x2---0-7_window_p99.svg");
+    assert_eq!(artifacts[3].file_name(), "golden_job0_1x2---0-7_window_p99.txt");
+    for a in &artifacts {
+        assert_golden(&a.file_name(), a.body.bytes());
+    }
+}
+
+#[test]
 fn rendering_is_a_pure_function() {
     // Same input, fresh structs: byte-identical output. (Thread-count
     // invariance of real runs follows from byte-identical reports; see
@@ -159,6 +207,11 @@ fn rendering_is_a_pure_function() {
     let s = trajectory_artifacts(&fixture_store());
     let t = trajectory_artifacts(&fixture_store());
     for (x, y) in s.iter().zip(&t) {
+        assert_eq!(x.body.bytes(), y.body.bytes());
+    }
+    let u = series_artifacts(&fixture_series_store());
+    let v = series_artifacts(&fixture_series_store());
+    for (x, y) in u.iter().zip(&v) {
         assert_eq!(x.body.bytes(), y.body.bytes());
     }
 }

@@ -1,8 +1,8 @@
 //! Pins the legacy → trajectory-store migration bit-identical.
 //!
-//! The repo root still carries the legacy baselines
-//! (`BENCH_simcore.json`, `BENCH_fig8_quick.json`) exactly as earlier
-//! PRs committed them; the new per-scenario stores (`BENCH/fig8.json`,
+//! `tests/fixtures/` carries the pre-PR-5 root baselines
+//! (`legacy_simcore.json`, `legacy_fig8_quick.json`) exactly as earlier
+//! PRs committed them; the canonical per-scenario stores (`BENCH/fig8.json`,
 //! `BENCH/simcore.json`) were produced from them by
 //! `harness bench --migrate-legacy`. These tests re-run the migration
 //! and require the committed stores to match — every carried f64 with
@@ -13,13 +13,13 @@ use std::path::PathBuf;
 
 use harness::{migrate_legacy, TrajectoryStore};
 
-fn root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+fn read(rel: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-fn read(rel: &str) -> String {
-    let path = root().join(rel);
-    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+fn fixture(name: &str) -> String {
+    read(&format!("crates/harness/tests/fixtures/{name}"))
 }
 
 /// The commits the legacy files were recorded at (simcore landed in
@@ -30,7 +30,7 @@ const FIG8_COMMIT: &str = "4eabb76";
 
 #[test]
 fn fig8_store_carries_legacy_report_bit_identical() {
-    let (name, entry) = migrate_legacy(&read("BENCH_fig8_quick.json"), FIG8_COMMIT).unwrap();
+    let (name, entry) = migrate_legacy(&fixture("legacy_fig8_quick.json"), FIG8_COMMIT).unwrap();
     assert_eq!(name, "fig8");
     let store = TrajectoryStore::from_json(&read("BENCH/fig8.json")).unwrap();
     assert_eq!(store.scenario, "fig8");
@@ -65,7 +65,7 @@ fn fig8_store_carries_legacy_report_bit_identical() {
 
 #[test]
 fn simcore_store_carries_legacy_suite_bit_identical() {
-    let (name, entry) = migrate_legacy(&read("BENCH_simcore.json"), SIMCORE_COMMIT).unwrap();
+    let (name, entry) = migrate_legacy(&fixture("legacy_simcore.json"), SIMCORE_COMMIT).unwrap();
     assert_eq!(name, "simcore");
     let store = TrajectoryStore::from_json(&read("BENCH/simcore.json")).unwrap();
     assert_eq!(store.scenario, "simcore");

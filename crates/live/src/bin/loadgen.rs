@@ -30,6 +30,7 @@ struct Args {
     conns: usize,
     workers: usize,
     seed: u64,
+    window_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         conns: 8,
         workers: 4,
         seed: 1,
+        window_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,10 +90,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
+            "--window-ms" => {
+                let ms: u64 = value("--window-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad window length: {e}"))?;
+                if ms == 0 {
+                    return Err("--window-ms must be at least 1".to_owned());
+                }
+                args.window_ms = Some(ms);
+            }
             "--help" | "-h" => {
                 return Err("usage: loadgen [--addr host:port] (--load frac | --rate rps) \
                             [--requests n] [--warmup n] [--workload name] [--scale x] \
-                            [--conns n] [--workers n] [--seed n]"
+                            [--conns n] [--workers n] [--seed n] [--window-ms n]"
                     .to_owned())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -158,10 +169,28 @@ fn main() -> ExitCode {
         seed: args.seed,
         workers_hint: args.workers,
         drain_timeout: expected * 3 + Duration::from_secs(10),
+        series_interval: args.window_ms.map(Duration::from_millis),
     };
     match run_loadgen(&cfg) {
         Ok(stats) => {
             println!("{}", stats.summary());
+            if let Some(series) = &stats.series {
+                let derived = telemetry::derive_series(
+                    &series.windows,
+                    args.window_ms.unwrap_or(1) * 1_000_000_000,
+                    series.cores,
+                );
+                println!("window  throughput_rps  p50_ms  p99_ms");
+                for p in &derived {
+                    println!(
+                        "{:>6}  {:>14.1}  {:>6.3}  {:>6.3}",
+                        p.index,
+                        p.throughput_rps,
+                        p.p50_ns / 1e6,
+                        p.p99_ns / 1e6,
+                    );
+                }
+            }
             if stats.received < stats.sent {
                 eprintln!(
                     "warning: {} responses never arrived",

@@ -17,13 +17,18 @@
 //! leaves an unsealed store, which the loader reports as an interrupted
 //! capture. Telemetry counters are always on; query them with the wire
 //! protocol's `STATS` verb.
+//!
+//! `--metrics-addr ADDR` serves a Prometheus-style text exposition at
+//! `http://ADDR/metrics` and turns on the windowed sampler (window
+//! length `--metrics-window-ms`, default 250), which also answers the
+//! wire protocol's delta-encoded `METRICS` verb.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use live::{BurnMode, LivePolicy, Server, ServerConfig, TraceSink};
+use live::{BurnMode, LivePolicy, MetricsExporter, Server, ServerConfig, TraceSink};
 use telemetry::{EventRing, RingFlusher, TraceMeta, TraceWriter};
 
 struct Args {
@@ -34,6 +39,8 @@ struct Args {
     bind: String,
     trace: Option<String>,
     trace_requests: u64,
+    metrics_addr: Option<String>,
+    metrics_window_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         bind: "127.0.0.1".to_owned(),
         trace: None,
         trace_requests: 100_000,
+        metrics_addr: None,
+        metrics_window_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,10 +81,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad trace request count: {e}"))?;
             }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--metrics-window-ms" => {
+                let ms: u64 = value("--metrics-window-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad metrics window length: {e}"))?;
+                if ms == 0 {
+                    return Err("--metrics-window-ms must be at least 1".to_owned());
+                }
+                args.metrics_window_ms = Some(ms);
+            }
             "--help" | "-h" => {
                 return Err("usage: valetd [--policy single|partitioned[:G]|rss|replenish] \
                             [--workers n] [--burn sleep|spin] [--port p] [--bind addr] \
-                            [--trace FILE] [--trace-requests n]"
+                            [--trace FILE] [--trace-requests n] \
+                            [--metrics-addr addr:port] [--metrics-window-ms n]"
                     .to_owned())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -149,12 +169,18 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    // The windowed sampler runs whenever either metrics flag is given:
+    // the exposition needs it, and a window length alone still feeds the
+    // wire protocol's METRICS verb.
+    let metrics_interval = (args.metrics_addr.is_some() || args.metrics_window_ms.is_some())
+        .then(|| Duration::from_millis(args.metrics_window_ms.unwrap_or(250)));
     let config = ServerConfig {
         policy: args.policy,
         workers: args.workers,
         burn: args.burn,
         replenish_batch: 1,
         trace,
+        metrics_interval,
     };
     install_shutdown_handler();
     let server = match Server::start(config, format!("{}:{}", args.bind, args.port)) {
@@ -163,6 +189,20 @@ fn main() -> ExitCode {
             eprintln!("bind {}:{}: {e}", args.bind, args.port);
             return ExitCode::FAILURE;
         }
+    };
+    let exporter = match &args.metrics_addr {
+        Some(addr) => match MetricsExporter::start(addr.as_str(), server.prometheus_renderer()) {
+            Ok(exporter) => {
+                println!("metrics exposition at http://{}/metrics", exporter.local_addr());
+                Some(exporter)
+            }
+            Err(e) => {
+                eprintln!("bind metrics exporter {addr}: {e}");
+                server.stop();
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
     println!(
         "valetd listening on {} (policy {}, {} workers, {:?} burn)",
@@ -173,6 +213,9 @@ fn main() -> ExitCode {
     );
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));
+    }
+    if let Some(exporter) = exporter {
+        exporter.stop();
     }
     let completions = server.stop();
     println!(

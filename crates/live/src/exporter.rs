@@ -1,0 +1,176 @@
+//! A minimal Prometheus scrape endpoint for `valetd --metrics-addr`.
+//!
+//! One thread accepts plain-HTTP connections, answers every `GET` with
+//! the current text exposition, and closes. Deliberately not a real
+//! HTTP server: no keep-alive, no routing beyond 404 for non-`/metrics`
+//! paths, bounded request reads — enough for `curl` and a Prometheus
+//! scraper, nothing more, and zero dependencies. The serving hot path
+//! is untouched: rendering reads the same relaxed counters the `STATS`
+//! verb does.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest request head the exporter reads before answering; anything
+/// still unterminated is answered anyway (scrapers send tiny requests).
+const MAX_REQUEST_BYTES: usize = 4 * 1024;
+
+/// A running scrape endpoint; [`MetricsExporter::stop`] (or drop) shuts
+/// it down.
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Binds `bind_addr` and serves `render()`'s output on every scrape.
+    pub fn start<A, F>(bind_addr: A, render: F) -> io::Result<MetricsExporter>
+    where
+        A: ToSocketAddrs,
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("valetd-metrics-http".to_owned())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        let _ = serve_one(stream, &render);
+                    }
+                })
+                .expect("spawn metrics http thread")
+        };
+        Ok(MetricsExporter {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address scrapers should hit (`http://<addr>/metrics`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the serving thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Answers one connection: reads the request head (bounded, with a read
+/// timeout so a stalled client can't wedge the exporter), writes one
+/// response, closes.
+fn serve_one<F: Fn() -> String>(mut stream: TcpStream, render: &F) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                break
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let request_line = head.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let path = std::str::from_utf8(request_line)
+        .ok()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, body) = if path == "/" || path.starts_with("/metrics") {
+        ("200 OK", render())
+    } else {
+        ("404 Not Found", String::from("only /metrics is served\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_the_rendered_exposition() {
+        let exporter = MetricsExporter::start("127.0.0.1:0", || {
+            String::from("valetd_requests_total 7\n")
+        })
+        .unwrap();
+        let response = scrape(exporter.local_addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.ends_with("valetd_requests_total 7\n"));
+        exporter.stop();
+    }
+
+    #[test]
+    fn unknown_paths_get_a_404_and_stop_is_clean() {
+        let exporter = MetricsExporter::start("127.0.0.1:0", String::new).unwrap();
+        let response = scrape(exporter.local_addr(), "/nope");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        let addr = exporter.local_addr();
+        exporter.stop();
+        // A post-stop connect may succeed (OS backlog) but never serves.
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = write!(stream, "GET /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = stream.read_to_string(&mut out);
+            assert!(!out.contains("200 OK"));
+        }
+    }
+}

@@ -39,12 +39,14 @@
 //!     scale: 500.0, // 600 ns profile -> 300 µs sleeps
 //!     seed: 7,
 //!     replenish_batch: 1,
+//!     series_interval: None,
 //! })
 //! .unwrap();
 //! println!("{}", stats.summary());
 //! ```
 
 pub mod dispatch;
+pub mod exporter;
 pub mod loadgen;
 pub mod protocol;
 pub mod ring;
@@ -54,13 +56,15 @@ pub mod stats;
 pub use dispatch::{
     make_dispatcher, make_dispatcher_batched, DispatchGauges, Dispatcher, LivePolicy, RouteKey,
 };
+pub use exporter::MetricsExporter;
 pub use loadgen::{run_loadgen, LiveRunStats, LoadgenConfig};
 pub use protocol::{
-    encode_stats_request, read_frame, write_frame, Request, Response, StatsSnapshot, WorkerStats,
+    encode_metrics_request, encode_stats_request, read_frame, write_frame, MetricsReply,
+    MetricsWindow, Request, Response, StatsSnapshot, WorkerStats,
 };
 pub use ring::SlotRing;
 pub use server::{BurnMode, Server, ServerConfig};
-pub use stats::{ServerStats, TraceSink};
+pub use stats::{render_prometheus, MetricsHub, ServerStats, TraceSink, SAMPLES_PER_WINDOW};
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -122,6 +126,12 @@ pub struct LoopbackSpec {
     /// [`LivePolicy::Replenish`] batches — the `ablation_sensitivity`
     /// knob).
     pub replenish_batch: usize,
+    /// `Some(interval)` turns on windowed telemetry on both sides: the
+    /// server runs a metrics sampler at this window length (served by
+    /// the `METRICS` verb) and the load generator records a client-side
+    /// windowed latency series. `None` runs unwindowed, exactly as
+    /// before.
+    pub series_interval: Option<Duration>,
 }
 
 impl LoopbackSpec {
@@ -158,6 +168,10 @@ pub struct LoopbackOutcome {
     pub events: Vec<TraceEvent>,
     /// Trace events lost to a full ring (0 means the capture is whole).
     pub dropped: u64,
+    /// The server's sealed metrics windows, fetched via the `METRICS`
+    /// verb just before shutdown (empty reply when
+    /// [`LoopbackSpec::series_interval`] was `None`).
+    pub server_series: MetricsReply,
 }
 
 /// [`run_loopback`], with telemetry: always queries the server's
@@ -183,6 +197,7 @@ pub fn run_loopback_observed(
             trace: ring
                 .as_ref()
                 .map(|r| TraceSink::new(Arc::clone(r), trace_requests)),
+            metrics_interval: spec.series_interval,
         },
         "127.0.0.1:0",
     )?;
@@ -197,14 +212,17 @@ pub fn run_loopback_observed(
         seed: spec.seed,
         workers_hint: spec.workers,
         drain_timeout: spec.expected_duration() * 3 + Duration::from_secs(10),
+        series_interval: spec.series_interval,
     };
     let stats = run_loadgen(&cfg);
     // Snapshot over the wire while the server still serves — the same
-    // path an external `STATS` client uses — then stop it.
+    // path an external `STATS`/`METRICS` client uses — then stop it.
     let server_snapshot = query_stats(server.local_addr());
+    let server_series = query_metrics(server.local_addr(), 0);
     server.stop();
     let stats = stats?;
     let server_snapshot = server_snapshot?;
+    let server_series = server_series?;
     let (events, dropped) = match (flusher, ring) {
         // Producers have quiesced (server stopped): the flusher's final
         // drain returns the complete capture.
@@ -216,6 +234,7 @@ pub fn run_loopback_observed(
         server: server_snapshot,
         events,
         dropped,
+        server_series,
     })
 }
 
@@ -232,4 +251,19 @@ pub fn query_stats(addr: SocketAddr) -> io::Result<StatsSnapshot> {
         )
     })?;
     StatsSnapshot::decode(&payload)
+}
+
+/// Queries a running server's sealed metrics windows with
+/// `index >= since` over a fresh connection (the `METRICS` verb).
+pub fn query_metrics(addr: SocketAddr, since: u64) -> io::Result<MetricsReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &encode_metrics_request(since))?;
+    let payload = read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed before the metrics reply",
+        )
+    })?;
+    MetricsReply::decode(&payload)
 }

@@ -19,6 +19,7 @@ use metrics::{jain_index, LatencyHistogram};
 use rand::Rng;
 use simkit::rng::stream_rng;
 use simkit::SimDuration;
+use telemetry::{merge_series, JobSeries, SeriesRecorder, SeriesWindow};
 
 use crate::protocol::{read_frame, Request, Response};
 
@@ -53,6 +54,12 @@ pub struct LoadgenConfig {
     pub workers_hint: usize,
     /// Give up waiting for stragglers after this long past the last send.
     pub drain_timeout: Duration,
+    /// `Some(interval)` records a client-side windowed latency series:
+    /// per-interval completion counts, latency histograms, and
+    /// per-worker load share, bucketed on the client's own clock from
+    /// each request's *scheduled* send time (same open-loop convention
+    /// as the scalar statistics). `None` skips the recording.
+    pub series_interval: Option<Duration>,
 }
 
 /// Measured outcome of one load-generator run.
@@ -82,6 +89,11 @@ pub struct LiveRunStats {
     pub worker_completions: Vec<u64>,
     /// Jain fairness index over [`LiveRunStats::worker_completions`].
     pub load_balance_jain: f64,
+    /// Client-side windowed latency series (present when
+    /// [`LoadgenConfig::series_interval`] was set): arrivals at
+    /// scheduled send times, completions with end-to-end latency at
+    /// receive times, per-worker completion share as dispatch groups.
+    pub series: Option<JobSeries>,
 }
 
 impl LiveRunStats {
@@ -113,6 +125,9 @@ struct ReaderStats {
     worker_counts: Vec<u64>,
     first_measured_ns: Option<u64>,
     last_measured_ns: Option<u64>,
+    /// Windowed series, when enabled — per reader so the hot path stays
+    /// contention-free, index-aligned merged after the run.
+    series: Option<SeriesRecorder>,
 }
 
 /// Runs the load generator to completion against a live server.
@@ -152,6 +167,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LiveRunStats> {
         let received_total = Arc::clone(&received_total);
         let warmup = cfg.warmup;
         let workers_hint = cfg.workers_hint;
+        let series_interval = cfg.series_interval;
         readers.push(
             std::thread::Builder::new()
                 .name("loadgen-reader".to_owned())
@@ -162,6 +178,11 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LiveRunStats> {
                         worker_counts: vec![0; workers_hint],
                         first_measured_ns: None,
                         last_measured_ns: None,
+                        series: series_interval.map(|interval| {
+                            let interval_ps =
+                                (interval.as_nanos() as u64).max(1).saturating_mul(1_000);
+                            SeriesRecorder::new(interval_ps, workers_hint.max(1), workers_hint.max(1))
+                        }),
                     };
                     while let Ok(Some(payload)) = read_frame(&mut read_half) {
                         let Ok(resp) = Response::decode(&payload) else {
@@ -173,6 +194,14 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LiveRunStats> {
                         if resp.req_id >= warmup {
                             let latency = now_ns.saturating_sub(resp.sent_at_ns);
                             stats.hist.record(SimDuration::from_ns(latency));
+                            if let Some(rec) = stats.series.as_mut() {
+                                rec.note_arrival(resp.sent_at_ns.saturating_mul(1_000));
+                                rec.note_completion(
+                                    now_ns.saturating_mul(1_000),
+                                    latency.saturating_mul(1_000),
+                                    resp.worker as usize,
+                                );
+                            }
                             // The worker id comes off the wire: cap it so
                             // a corrupt frame can't demand a giant
                             // allocation (latency still counts).
@@ -239,9 +268,13 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LiveRunStats> {
     let mut received = 0u64;
     let mut first_ns: Option<u64> = None;
     let mut last_ns: Option<u64> = None;
+    let mut merged_windows: Vec<SeriesWindow> = Vec::new();
     for reader in readers {
         let stats = reader.join().expect("reader thread");
         hist.merge(&stats.hist);
+        if let Some(rec) = stats.series {
+            merged_windows = merge_series(&merged_windows, rec.windows());
+        }
         received += stats.received;
         if stats.worker_counts.len() > worker_counts.len() {
             worker_counts.resize(stats.worker_counts.len(), 0);
@@ -296,6 +329,12 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LiveRunStats> {
         },
         load_balance_jain: jain_index(&counts_f64),
         worker_completions: worker_counts,
+        series: cfg.series_interval.map(|_| JobSeries {
+            label: String::from("loadgen"),
+            cores: cfg.workers_hint.max(1) as u64,
+            groups: cfg.workers_hint.max(1) as u64,
+            windows: merged_windows,
+        }),
     })
 }
 

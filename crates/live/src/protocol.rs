@@ -17,6 +17,10 @@ pub const KIND_RESPONSE: u8 = 1;
 pub const KIND_STATS_REQUEST: u8 = 2;
 /// Frame discriminant for a telemetry-snapshot reply.
 pub const KIND_STATS_RESPONSE: u8 = 3;
+/// Frame discriminant for a windowed-metrics query (the `METRICS` verb).
+pub const KIND_METRICS_REQUEST: u8 = 4;
+/// Frame discriminant for a windowed-metrics reply.
+pub const KIND_METRICS_RESPONSE: u8 = 5;
 
 /// Upper bound on accepted payload sizes; anything larger indicates a
 /// corrupt length prefix (e.g. a peer speaking a different protocol).
@@ -130,12 +134,17 @@ pub struct StatsSnapshot {
     pub ring_high_water: u64,
     /// Replenish batches delivered (0 for non-replenish policies).
     pub replenish_batches: u64,
+    /// Trace events lost to a full ring since server start (0 when
+    /// tracing is off or the capture is whole). A non-zero value means
+    /// the lifecycle capture is incomplete and per-hop statistics are
+    /// biased toward the surviving events.
+    pub trace_dropped: u64,
     /// Per-worker completions and bytes, indexed by worker id.
     pub per_worker: Vec<WorkerStats>,
 }
 
 const STATS_REQUEST_LEN: usize = 1;
-const STATS_HEADER_LEN: usize = 1 + 5 * 8 + 4;
+const STATS_HEADER_LEN: usize = 1 + 6 * 8 + 4;
 const STATS_ROW_LEN: usize = 2 * 8;
 
 /// Encodes the `STATS` query as a complete frame.
@@ -170,6 +179,7 @@ impl StatsSnapshot {
             self.queue_high_water,
             self.ring_high_water,
             self.replenish_batches,
+            self.trace_dropped,
         ] {
             buf.extend_from_slice(&word.to_le_bytes());
         }
@@ -207,7 +217,140 @@ impl StatsSnapshot {
             queue_high_water: word(2),
             ring_high_water: word(3),
             replenish_batches: word(4),
+            trace_dropped: word(5),
             per_worker,
+        })
+    }
+}
+
+/// One sealed metrics window, as carried by the `METRICS` verb.
+///
+/// All fields are deltas or sums *within* the window, never cumulative:
+/// a client can drop, resume, or reconnect and still assemble a correct
+/// timeline from whatever windows it receives. `busy_sum`, `queued_sum`
+/// and `inflight_sum` are sums over the window's `samples` in-window
+/// samples (divide by `samples` for the mean gauge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsWindow {
+    /// Window index: `floor(elapsed / interval)` on the server's clock.
+    pub index: u64,
+    /// Request frames accepted during the window.
+    pub arrivals: u64,
+    /// Responses completed during the window.
+    pub completions: u64,
+    /// Occupancy samples taken in the window.
+    pub samples: u64,
+    /// Σ busy workers over the samples.
+    pub busy_sum: u64,
+    /// Σ queued (accepted, not yet started) requests over the samples.
+    pub queued_sum: u64,
+    /// Max queued requests seen at any sample.
+    pub queued_max: u64,
+    /// Σ in-flight (accepted, not yet completed) requests over the
+    /// samples.
+    pub inflight_sum: u64,
+}
+
+/// The `METRICS` verb's reply: every sealed window the client has not
+/// seen yet (delta encoding — the request carries the first index the
+/// client wants, the reply carries `next_index` to pass next time).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReply {
+    /// Window length in picoseconds (0 when the server runs no sampler).
+    pub interval_ps: u64,
+    /// Server worker count (the denominator for occupancy).
+    pub workers: u32,
+    /// First index the client has *not* received: pass as the next
+    /// request's `since`. Equals the currently-open window's index.
+    pub next_index: u64,
+    /// Sealed windows with `index >= since`, oldest first.
+    pub windows: Vec<MetricsWindow>,
+}
+
+const METRICS_REQUEST_LEN: usize = 1 + 8;
+const METRICS_HEADER_LEN: usize = 1 + 8 + 8 + 4 + 4;
+const METRICS_ROW_LEN: usize = 8 * 8;
+
+/// Encodes a `METRICS` query for windows with `index >= since` as a
+/// complete frame.
+pub fn encode_metrics_request(since: u64) -> [u8; 4 + METRICS_REQUEST_LEN] {
+    let mut buf = [0u8; 4 + METRICS_REQUEST_LEN];
+    buf[..4].copy_from_slice(&(METRICS_REQUEST_LEN as u32).to_le_bytes());
+    buf[4] = KIND_METRICS_REQUEST;
+    buf[5..13].copy_from_slice(&since.to_le_bytes());
+    buf
+}
+
+/// Decodes the `since` watermark from a `METRICS` request payload.
+pub fn decode_metrics_request(payload: &[u8]) -> io::Result<u64> {
+    if payload.len() != METRICS_REQUEST_LEN || payload[0] != KIND_METRICS_REQUEST {
+        return Err(malformed("metrics request", payload));
+    }
+    Ok(u64::from_le_bytes(payload[1..9].try_into().unwrap()))
+}
+
+impl MetricsReply {
+    /// Encodes the reply as a complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len = METRICS_HEADER_LEN + self.windows.len() * METRICS_ROW_LEN;
+        let mut buf = Vec::with_capacity(4 + payload_len);
+        buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        buf.push(KIND_METRICS_RESPONSE);
+        buf.extend_from_slice(&self.interval_ps.to_le_bytes());
+        buf.extend_from_slice(&self.next_index.to_le_bytes());
+        buf.extend_from_slice(&self.workers.to_le_bytes());
+        buf.extend_from_slice(&(self.windows.len() as u32).to_le_bytes());
+        for w in &self.windows {
+            for word in [
+                w.index,
+                w.arrivals,
+                w.completions,
+                w.samples,
+                w.busy_sum,
+                w.queued_sum,
+                w.queued_max,
+                w.inflight_sum,
+            ] {
+                buf.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decodes a reply from a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<MetricsReply> {
+        if payload.len() < METRICS_HEADER_LEN || payload[0] != KIND_METRICS_RESPONSE {
+            return Err(malformed("metrics response", payload));
+        }
+        let interval_ps = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+        let next_index = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+        let workers = u32::from_le_bytes(payload[17..21].try_into().unwrap());
+        let count = u32::from_le_bytes(payload[21..25].try_into().unwrap()) as usize;
+        if payload.len() != METRICS_HEADER_LEN + count * METRICS_ROW_LEN {
+            return Err(malformed("metrics response", payload));
+        }
+        let mut windows = Vec::with_capacity(count);
+        for i in 0..count {
+            let base = METRICS_HEADER_LEN + i * METRICS_ROW_LEN;
+            let word = |j: usize| {
+                u64::from_le_bytes(payload[base + j * 8..base + (j + 1) * 8].try_into().unwrap())
+            };
+            windows.push(MetricsWindow {
+                index: word(0),
+                arrivals: word(1),
+                completions: word(2),
+                samples: word(3),
+                busy_sum: word(4),
+                queued_sum: word(5),
+                queued_max: word(6),
+                inflight_sum: word(7),
+            });
+        }
+        Ok(MetricsReply {
+            interval_ps,
+            workers,
+            next_index,
+            windows,
         })
     }
 }
@@ -345,6 +488,7 @@ mod tests {
             queue_high_water: 17,
             ring_high_water: 4,
             replenish_batches: 950,
+            trace_dropped: 12,
             per_worker: vec![
                 WorkerStats {
                     completions: 600,
@@ -363,6 +507,67 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.completions(), 1_000);
         assert_eq!(back.bytes_tx(), 33_000);
+        assert_eq!(back.trace_dropped, 12);
+    }
+
+    #[test]
+    fn metrics_reply_roundtrips() {
+        let reply = MetricsReply {
+            interval_ps: 250_000_000_000, // 250 ms windows
+            workers: 4,
+            next_index: 9,
+            windows: vec![
+                MetricsWindow {
+                    index: 7,
+                    arrivals: 120,
+                    completions: 118,
+                    samples: 8,
+                    busy_sum: 21,
+                    queued_sum: 5,
+                    queued_max: 3,
+                    inflight_sum: 26,
+                },
+                MetricsWindow {
+                    index: 8,
+                    arrivals: 130,
+                    completions: 131,
+                    samples: 8,
+                    busy_sum: 24,
+                    queued_sum: 2,
+                    queued_max: 1,
+                    inflight_sum: 26,
+                },
+            ],
+        };
+        let frame = reply.encode();
+        let mut cursor = io::Cursor::new(frame);
+        let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(MetricsReply::decode(&payload).unwrap(), reply);
+    }
+
+    #[test]
+    fn metrics_request_carries_its_watermark() {
+        let frame = encode_metrics_request(42);
+        let mut cursor = io::Cursor::new(frame.to_vec());
+        let payload = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(payload[0], KIND_METRICS_REQUEST);
+        assert_eq!(decode_metrics_request(&payload).unwrap(), 42);
+        // Neither a request nor a stats decoder may accept it.
+        assert!(Request::decode(&payload).is_err());
+        assert!(StatsSnapshot::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn truncated_metrics_payload_rejected() {
+        let reply = MetricsReply {
+            interval_ps: 1,
+            workers: 2,
+            next_index: 3,
+            windows: vec![MetricsWindow::default(); 2],
+        };
+        let frame = reply.encode();
+        // Claim 2 windows but carry 1: the length check must fire.
+        assert!(MetricsReply::decode(&frame[4..frame.len() - 64]).is_err());
     }
 
     #[test]

@@ -20,8 +20,11 @@ use std::time::{Duration, Instant};
 use telemetry::Hop;
 
 use crate::dispatch::{make_dispatcher_batched, Dispatcher, LivePolicy, RouteKey};
-use crate::protocol::{read_frame, Request, Response, StatsSnapshot, KIND_STATS_REQUEST};
-use crate::stats::{ServerStats, TraceSink};
+use crate::protocol::{
+    decode_metrics_request, read_frame, MetricsReply, Request, Response, StatsSnapshot,
+    KIND_METRICS_REQUEST, KIND_STATS_REQUEST,
+};
+use crate::stats::{render_prometheus, MetricsHub, ServerStats, TraceSink, SAMPLES_PER_WINDOW};
 
 /// How a worker spends a request's service demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +89,11 @@ pub struct ServerConfig {
     /// so `started − dispatched` is exactly the discipline's queueing,
     /// the quantity the sim↔live divergence report compares.
     pub trace: Option<TraceSink>,
+    /// Metrics window length; `Some` starts a sampler thread sealing one
+    /// window per interval (sampled [`SAMPLES_PER_WINDOW`] times each),
+    /// served by the `METRICS` wire verb and the Prometheus exposition.
+    /// `None` runs no sampler; `METRICS` then answers with zero windows.
+    pub metrics_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +104,7 @@ impl Default for ServerConfig {
             burn: BurnMode::Sleep,
             replenish_batch: 1,
             trace: None,
+            metrics_interval: None,
         }
     }
 }
@@ -127,6 +136,9 @@ pub struct Server {
     reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     dispatched: Arc<AtomicU64>,
     stats: Arc<ServerStats>,
+    trace: Option<TraceSink>,
+    metrics: Option<Arc<MetricsHub>>,
+    sampler_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -143,6 +155,36 @@ impl Server {
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let dispatched = Arc::new(AtomicU64::new(0));
         let stats = Arc::new(ServerStats::new(config.workers));
+        let metrics = config.metrics_interval.map(|interval| {
+            let interval_ps = (interval.as_nanos() as u64).max(1).saturating_mul(1_000);
+            Arc::new(MetricsHub::new(interval_ps, config.workers))
+        });
+
+        // The sampler thread: wakes SAMPLES_PER_WINDOW times per window,
+        // reads the relaxed counters, and seals windows in the hub. It
+        // never touches the dispatch path.
+        let sampler_thread = metrics.as_ref().map(|hub| {
+            let hub = Arc::clone(hub);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let period = config
+                .metrics_interval
+                .expect("sampler without interval")
+                .checked_div(SAMPLES_PER_WINDOW)
+                .unwrap_or(Duration::from_millis(1))
+                .max(Duration::from_micros(100));
+            std::thread::Builder::new()
+                .name("valetd-sampler".to_owned())
+                .spawn(move || {
+                    let epoch = Instant::now();
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(period);
+                        let t_ps = (epoch.elapsed().as_nanos() as u64).saturating_mul(1_000);
+                        hub.tick(t_ps, &stats);
+                    }
+                })
+                .expect("spawn sampler")
+        });
 
         let mut worker_threads = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
@@ -166,6 +208,7 @@ impl Server {
             let dispatched = Arc::clone(&dispatched);
             let stats = Arc::clone(&stats);
             let trace = config.trace.clone();
+            let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name("valetd-accept".to_owned())
                 .spawn(move || {
@@ -193,6 +236,7 @@ impl Server {
                         let reader_conns = Arc::clone(&conns);
                         let stats = Arc::clone(&stats);
                         let trace = trace.clone();
+                        let metrics = metrics.clone();
                         let handle = std::thread::Builder::new()
                             .name(format!("valetd-reader-{conn}"))
                             .spawn(move || {
@@ -204,6 +248,7 @@ impl Server {
                                     &dispatched,
                                     &stats,
                                     trace.as_ref(),
+                                    metrics.as_deref(),
                                 );
                                 // The connection is gone: deregister it so
                                 // a long-running server doesn't hold an
@@ -234,6 +279,9 @@ impl Server {
             reader_threads,
             dispatched,
             stats,
+            trace: config.trace,
+            metrics,
+            sampler_thread,
         })
     }
 
@@ -248,9 +296,42 @@ impl Server {
     }
 
     /// The telemetry snapshot the `STATS` verb answers, read in-process
-    /// (counters plus the dispatcher's occupancy gauges).
+    /// (counters plus the dispatcher's occupancy gauges and the trace
+    /// ring's drop count).
     pub fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats.snapshot(self.dispatcher.gauges())
+        self.stats.snapshot(
+            self.dispatcher.gauges(),
+            self.trace.as_ref().map_or(0, TraceSink::dropped),
+        )
+    }
+
+    /// The windowed-metrics hub, when the server runs a sampler
+    /// ([`ServerConfig::metrics_interval`]).
+    pub fn metrics_hub(&self) -> Option<Arc<MetricsHub>> {
+        self.metrics.clone()
+    }
+
+    /// Renders the Prometheus text exposition for the server's current
+    /// state (what `valetd --metrics-addr` serves).
+    pub fn prometheus_text(&self) -> String {
+        render_prometheus(&self.stats_snapshot(), self.metrics.as_deref())
+    }
+
+    /// A `'static` clone of [`Server::prometheus_text`] for handing to a
+    /// [`crate::MetricsExporter`] thread, which outlives any borrow of
+    /// this handle.
+    pub fn prometheus_renderer(&self) -> impl Fn() -> String + Send + Sync + 'static {
+        let stats = Arc::clone(&self.stats);
+        let dispatcher = Arc::clone(&self.dispatcher);
+        let trace = self.trace.clone();
+        let metrics = self.metrics.clone();
+        move || {
+            let snapshot = stats.snapshot(
+                dispatcher.gauges(),
+                trace.as_ref().map_or(0, TraceSink::dropped),
+            );
+            render_prometheus(&snapshot, metrics.as_deref())
+        }
     }
 
     /// Blocks the calling thread until the accept loop exits (i.e.
@@ -290,6 +371,9 @@ impl Server {
         for handle in readers {
             let _ = handle.join();
         }
+        if let Some(handle) = self.sampler_thread.take() {
+            let _ = handle.join();
+        }
         self.dispatcher.shutdown();
     }
 }
@@ -307,6 +391,7 @@ impl Drop for Server {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reader_loop(
     mut read_half: TcpStream,
     conn: u64,
@@ -315,6 +400,7 @@ fn reader_loop(
     dispatched: &AtomicU64,
     stats: &ServerStats,
     trace: Option<&TraceSink>,
+    metrics: Option<&MetricsHub>,
 ) {
     // Runs until EOF or a socket/protocol error drops the connection.
     while let Ok(Some(payload)) = read_frame(&mut read_half) {
@@ -322,9 +408,30 @@ fn reader_loop(
         // dispatcher, the sequence counter, or the request counters, so
         // querying telemetry perturbs neither dispatch nor statistics.
         if payload.first() == Some(&KIND_STATS_REQUEST) {
-            let frame = stats.snapshot(dispatcher.gauges()).encode();
+            let dropped = trace.map_or(0, TraceSink::dropped);
+            let frame = stats.snapshot(dispatcher.gauges(), dropped).encode();
             if let Ok(mut stream) = reply.lock() {
                 let _ = stream.write_all(&frame);
+            }
+            continue;
+        }
+        // The METRICS verb is likewise answered inline. Without a
+        // sampler, the reply is well-formed but empty (zero interval,
+        // zero windows) so clients need no out-of-band configuration.
+        if payload.first() == Some(&KIND_METRICS_REQUEST) {
+            let Ok(since) = decode_metrics_request(&payload) else {
+                break; // protocol error: drop the connection
+            };
+            let reply_frame = match metrics {
+                Some(hub) => hub.reply_since(since),
+                None => MetricsReply {
+                    workers: stats.worker_count() as u32,
+                    ..MetricsReply::default()
+                },
+            }
+            .encode();
+            if let Ok(mut stream) = reply.lock() {
+                let _ = stream.write_all(&reply_frame);
             }
             continue;
         }
@@ -364,6 +471,7 @@ fn worker_loop(
     crate::reduce_timer_slack();
     let mut completions = 0u64;
     while let Some(job) = dispatcher.recv(worker) {
+        stats.note_busy(worker, true);
         if let Some(sink) = trace {
             sink.record(job.seq, Hop::Started, job.conn as u16, worker as u16);
         }
@@ -375,12 +483,16 @@ fn worker_loop(
             worker: worker as u32,
         };
         let frame = resp.encode();
+        // Publish counters *before* the reply write: a client that has
+        // its response in hand may immediately ask STATS/METRICS on the
+        // same connection and must see its own completion counted.
+        stats.note_completion(worker, frame.len() as u64);
+        stats.note_busy(worker, false);
         // A send error means the client left; keep serving other
         // connections.
         if let Ok(mut stream) = job.reply.lock() {
             let _ = stream.write_all(&frame);
         }
-        stats.note_completion(worker, frame.len() as u64);
         if let Some(sink) = trace {
             sink.record(job.seq, Hop::Completed, job.conn as u16, worker as u16);
         }
@@ -403,6 +515,7 @@ mod tests {
                 burn: BurnMode::Sleep,
                 replenish_batch: 1,
                 trace: None,
+                metrics_interval: None,
             },
             "127.0.0.1:0",
         )
@@ -483,6 +596,72 @@ mod tests {
             2,
             "the STATS verb never reaches a worker"
         );
+    }
+
+    #[test]
+    fn metrics_verb_serves_windows_over_the_wire() {
+        use crate::protocol::{encode_metrics_request, MetricsReply};
+
+        let server = Server::start(
+            ServerConfig {
+                metrics_interval: Some(Duration::from_millis(40)),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        client.set_nodelay(true).unwrap();
+        for id in 0..4u64 {
+            let req = Request {
+                req_id: id,
+                sent_at_ns: 0,
+                service_ns: 1_000,
+            };
+            write_frame(&mut client, &req.encode()).unwrap();
+            let payload = read_frame(&mut client).unwrap().expect("response");
+            Response::decode(&payload).unwrap();
+        }
+        // Let at least one window seal, then fetch everything.
+        std::thread::sleep(Duration::from_millis(120));
+        write_frame(&mut client, &encode_metrics_request(0)).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("metrics frame");
+        let reply = MetricsReply::decode(&payload).unwrap();
+        assert_eq!(reply.interval_ps, 40_000_000_000, "40 ms in ps");
+        assert_eq!(reply.workers, 4);
+        assert!(!reply.windows.is_empty(), "a window sealed while waiting");
+        let arrivals: u64 = reply.windows.iter().map(|w| w.arrivals).sum();
+        let completions: u64 = reply.windows.iter().map(|w| w.completions).sum();
+        assert_eq!(arrivals, 4, "every request landed in a sealed window");
+        assert_eq!(completions, 4);
+        assert!(reply.windows.iter().any(|w| w.samples > 0));
+        // Delta encoding: re-query from the watermark → nothing new.
+        write_frame(&mut client, &encode_metrics_request(reply.next_index)).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("metrics frame");
+        let delta = MetricsReply::decode(&payload).unwrap();
+        assert!(delta.windows.is_empty(), "client is caught up");
+        // The exposition renders the same state.
+        let text = server.prometheus_text();
+        assert!(text.contains("valetd_requests_total 4"), "{text}");
+        assert!(text.contains("valetd_window_interval_seconds 0.04"));
+        drop(client);
+        server.stop();
+    }
+
+    #[test]
+    fn metrics_verb_without_sampler_answers_empty() {
+        use crate::protocol::{encode_metrics_request, MetricsReply};
+
+        let server = Server::start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut client, &encode_metrics_request(0)).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("metrics frame");
+        let reply = MetricsReply::decode(&payload).unwrap();
+        assert_eq!(reply.interval_ps, 0, "no sampler: zero interval");
+        assert_eq!(reply.workers, 4);
+        assert!(reply.windows.is_empty());
+        drop(client);
+        server.stop();
     }
 
     #[test]

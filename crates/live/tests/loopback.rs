@@ -7,8 +7,17 @@
 //! so the single-queue vs RSS gap — ~2× in p99 for 2 workers at 85 %
 //! load under exponential service — dwarfs scheduler noise.
 
+use std::sync::Mutex;
+
 use dist::ServiceDist;
 use live::{run_loopback, BurnMode, LivePolicy, LoopbackSpec};
+
+/// Wall-clock runs must own the machine (the same reason the harness
+/// clamps live matrices to one worker thread): on a 1-CPU container,
+/// concurrently running loopback servers steal each other's sleeps and
+/// inflate p99 several-fold. Each test holds this for its whole body so
+/// the harness's default parallelism can't interleave them.
+static MACHINE: Mutex<()> = Mutex::new(());
 
 fn spec(policy: LivePolicy, load: f64, requests: u64, seed: u64) -> LoopbackSpec {
     LoopbackSpec {
@@ -26,11 +35,13 @@ fn spec(policy: LivePolicy, load: f64, requests: u64, seed: u64) -> LoopbackSpec
         scale: 500.0,
         seed,
         replenish_batch: 1,
+        series_interval: None,
     }
 }
 
 #[test]
 fn single_queue_beats_rss_at_high_load() {
+    let _machine = MACHINE.lock().unwrap_or_else(|e| e.into_inner());
     let load = 0.85;
     let requests = 2_500;
     let single = run_loopback(&spec(LivePolicy::SingleQueue, load, requests, 42)).unwrap();
@@ -61,32 +72,48 @@ fn single_queue_beats_rss_at_high_load() {
 
 #[test]
 fn replenish_drains_and_matches_single_queue_tail() {
+    let _machine = MACHINE.lock().unwrap_or_else(|e| e.into_inner());
     let load = 0.7;
     let requests = 1_500;
-    let replenish = run_loopback(&spec(LivePolicy::Replenish, load, requests, 7)).unwrap();
-    let single = run_loopback(&spec(LivePolicy::SingleQueue, load, requests, 7)).unwrap();
+    // Comparing two separate wall-clock runs' p99s on a shared 1-CPU
+    // box is noisy — one scheduling hiccup can double a tail. Allow one
+    // retry of the pair; a real regime difference fails both attempts.
+    for attempt in 0..2 {
+        let replenish = run_loopback(&spec(LivePolicy::Replenish, load, requests, 7)).unwrap();
+        let single = run_loopback(&spec(LivePolicy::SingleQueue, load, requests, 7)).unwrap();
 
-    assert_eq!(replenish.received, replenish.sent, "replenish run drained");
-    // Replenish implements the same single-queue discipline (first free
-    // worker wins), so its tail should be in the same regime — allow a
-    // generous 1.5× for the extra thread handoff.
-    assert!(
-        replenish.p99_latency_ns <= single.p99_latency_ns * 1.5
-            || replenish.p99_latency_ns <= 5.0 * replenish.mean_service_ns,
-        "replenish p99 {:.0} µs vs single-queue p99 {:.0} µs",
-        replenish.p99_latency_ns / 1e3,
-        single.p99_latency_ns / 1e3
-    );
-    // Free-worker matching keeps both workers busy.
-    assert!(
-        replenish.worker_completions.iter().all(|&c| c > 0),
-        "replenish starved a worker: {:?}",
-        replenish.worker_completions
-    );
+        assert_eq!(replenish.received, replenish.sent, "replenish run drained");
+        // Free-worker matching keeps both workers busy.
+        assert!(
+            replenish.worker_completions.iter().all(|&c| c > 0),
+            "replenish starved a worker: {:?}",
+            replenish.worker_completions
+        );
+        // Replenish implements the same single-queue discipline (first
+        // free worker wins), so its tail should be in the same regime —
+        // allow a generous 1.5× for the extra thread handoff.
+        let same_regime = replenish.p99_latency_ns <= single.p99_latency_ns * 1.5
+            || replenish.p99_latency_ns <= 5.0 * replenish.mean_service_ns;
+        if same_regime {
+            return;
+        }
+        assert!(
+            attempt == 0,
+            "replenish p99 {:.0} µs vs single-queue p99 {:.0} µs, twice",
+            replenish.p99_latency_ns / 1e3,
+            single.p99_latency_ns / 1e3
+        );
+        eprintln!(
+            "tail mismatch (replenish p99 {:.0} µs vs single {:.0} µs); retrying the pair",
+            replenish.p99_latency_ns / 1e3,
+            single.p99_latency_ns / 1e3
+        );
+    }
 }
 
 #[test]
 fn partitioned_sits_between_single_and_rss_in_drain_and_balance() {
+    let _machine = MACHINE.lock().unwrap_or_else(|e| e.into_inner());
     let load = 0.6;
     let requests = 1_200;
     let part = run_loopback(&spec(

@@ -208,6 +208,86 @@ impl LatencyHistogram {
         self.min_ps = u64::MAX;
         self.sum_ps = 0;
     }
+
+    /// Sub-bucket precision bits this histogram was built with.
+    pub fn precision_bits(&self) -> u32 {
+        self.precision_bits
+    }
+
+    /// Exports the full state as a flat, serialization-friendly
+    /// snapshot. [`LatencyHistogram::from_snapshot`] reconstructs a
+    /// histogram whose every query (count, mean, min, max, percentile,
+    /// merge) answers identically — the round trip is lossless.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (seg, subs) in self.counts.iter().enumerate() {
+            for (sub, &c) in subs.iter().enumerate() {
+                if c > 0 {
+                    buckets.push((seg as u32, sub as u32, c));
+                }
+            }
+        }
+        HistogramSnapshot {
+            precision_bits: self.precision_bits,
+            min_ps: if self.total == 0 { 0 } else { self.min_ps },
+            max_ps: self.max_ps,
+            sum_ps_hi: (self.sum_ps >> 64) as u64,
+            sum_ps_lo: self.sum_ps as u64,
+            buckets,
+        }
+    }
+
+    /// Rebuilds a histogram from a [`HistogramSnapshot`], validating
+    /// bucket coordinates so a corrupted store fails loudly instead of
+    /// panicking on a later query.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Result<Self, String> {
+        if !(1..=16).contains(&snap.precision_bits) {
+            return Err(format!(
+                "histogram snapshot precision {} out of range 1..=16",
+                snap.precision_bits
+            ));
+        }
+        let mut h = LatencyHistogram::with_precision(snap.precision_bits);
+        let mut total = 0u64;
+        for &(seg, sub, c) in &snap.buckets {
+            let seg = seg as usize;
+            if seg >= 64 || sub as usize >= h.sub_buckets(seg) {
+                return Err(format!("histogram snapshot bucket ({seg}, {sub}) out of range"));
+            }
+            if seg >= h.counts.len() {
+                for s in h.counts.len()..=seg {
+                    let width = h.sub_buckets(s);
+                    h.counts.push(vec![0; width]);
+                }
+            }
+            h.counts[seg][sub as usize] += c;
+            total += c;
+        }
+        h.total = total;
+        h.sum_ps = ((snap.sum_ps_hi as u128) << 64) | snap.sum_ps_lo as u128;
+        h.max_ps = snap.max_ps;
+        h.min_ps = if total == 0 { u64::MAX } else { snap.min_ps };
+        Ok(h)
+    }
+}
+
+/// Flat dump of a [`LatencyHistogram`]: only non-empty buckets, the
+/// exact sum split into two 64-bit words (so stores never round it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sub-bucket precision bits of the source histogram.
+    pub precision_bits: u32,
+    /// Smallest recorded value (0 when empty).
+    pub min_ps: u64,
+    /// Largest recorded value.
+    pub max_ps: u64,
+    /// High 64 bits of the exact picosecond sum.
+    pub sum_ps_hi: u64,
+    /// Low 64 bits of the exact picosecond sum.
+    pub sum_ps_lo: u64,
+    /// `(segment, sub_bucket, count)` for each non-empty bucket, in
+    /// ascending bucket order.
+    pub buckets: Vec<(u32, u32, u64)>,
 }
 
 impl Default for LatencyHistogram {
@@ -334,5 +414,143 @@ mod tests {
         let mut a = LatencyHistogram::with_precision(5);
         let b = LatencyHistogram::with_precision(6);
         a.merge(&b);
+    }
+
+    /// Deterministic LCG so the associativity/error-bound tests need no
+    /// RNG dependency.
+    fn lcg_values(seed: u64, n: usize, max_ns: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) % max_ns + 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<LatencyHistogram> = (0..3)
+            .map(|i| {
+                let mut h = LatencyHistogram::new();
+                for v in lcg_values(7 + i, 500, 1_000_000) {
+                    h.record(ns(v));
+                }
+                h
+            })
+            .collect();
+        // (a ⊔ b) ⊔ c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a ⊔ (b ⊔ c)
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        // c ⊔ b ⊔ a
+        let mut rev = parts[2].clone();
+        rev.merge(&parts[1]);
+        rev.merge(&parts[0]);
+        assert_eq!(left, right, "merge must be associative");
+        assert_eq!(left, rev, "merge must be commutative");
+    }
+
+    #[test]
+    fn windowed_quantiles_match_exact_within_error_bound() {
+        // Record the same stream into one histogram and an exact sample
+        // vector; every quantile must agree within the 2^-precision
+        // relative bound (conservatively: bucket width / bucket value).
+        let values = lcg_values(42, 20_000, 50_000_000);
+        let mut h = LatencyHistogram::new();
+        let mut exact_ns: Vec<f64> = Vec::with_capacity(values.len());
+        for &v in &values {
+            h.record(ns(v));
+            exact_ns.push(v as f64);
+        }
+        crate::percentile::sort_samples(&mut exact_ns);
+        let qs = [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let exact = crate::percentile::quantiles_of_sorted(&exact_ns, &qs);
+        let bound = 2f64.powi(-(DEFAULT_PRECISION_BITS as i32)) + 1e-4;
+        for (&q, &want) in qs.iter().zip(&exact) {
+            let got = h.percentile(q).as_ns_f64();
+            let rel = (got - want).abs() / want;
+            // The histogram reports bucket upper bounds while the exact
+            // quantile interpolates, so allow one bucket of slack on
+            // top of the relative bound.
+            assert!(
+                rel < 2.0 * bound + 0.01,
+                "q={q}: histogram {got} vs exact {want} (rel err {rel:.5})"
+            );
+        }
+    }
+
+    #[test]
+    fn one_sample_all_quantiles_agree() {
+        let mut h = LatencyHistogram::new();
+        h.record(ns(1_234));
+        let exact = crate::percentile::quantiles_of_sorted(&[1_234.0], &[0.0, 0.5, 1.0]);
+        for (&q, &want) in [0.0, 0.5, 1.0].iter().zip(&exact) {
+            let got = h.percentile(q).as_ns_f64();
+            assert!(
+                (got - want).abs() / want < 0.01,
+                "q={q}: {got} vs {want}"
+            );
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean().as_ns(), 1_234);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        // Merging an empty histogram is the identity.
+        let mut a = LatencyHistogram::new();
+        a.record(ns(777));
+        let before = a.clone();
+        a.merge(&h);
+        assert_eq!(a, before);
+        // Merging into an empty histogram copies the other side.
+        let mut e = LatencyHistogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_lossless() {
+        let mut h = LatencyHistogram::new();
+        for v in lcg_values(3, 2_000, 10_000_000) {
+            h.record(ns(v));
+        }
+        h.record(SimDuration::ZERO);
+        let snap = h.snapshot();
+        let back = LatencyHistogram::from_snapshot(&snap).unwrap();
+        assert_eq!(back, h, "snapshot round trip must preserve every bucket");
+        assert_eq!(back.mean(), h.mean());
+        assert_eq!(back.percentile(0.99), h.percentile(0.99));
+    }
+
+    #[test]
+    fn snapshot_of_empty_roundtrips() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert!(snap.buckets.is_empty());
+        let back = LatencyHistogram::from_snapshot(&snap).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back, LatencyHistogram::new());
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_buckets() {
+        let mut snap = LatencyHistogram::new().snapshot();
+        snap.buckets.push((2, 99, 1)); // segment 2 has 4 sub-buckets
+        assert!(LatencyHistogram::from_snapshot(&snap).is_err());
+        snap.buckets.clear();
+        snap.precision_bits = 0;
+        assert!(LatencyHistogram::from_snapshot(&snap).is_err());
     }
 }

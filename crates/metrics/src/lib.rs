@@ -43,7 +43,7 @@ pub use breakdown::LatencyBreakdown;
 pub use cdf::{Cdf, CdfPoint};
 pub use digest::Digest64;
 pub use fairness::jain_index;
-pub use histogram::LatencyHistogram;
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use percentile::{
     percentile, percentile_mut, percentile_ns, percentile_ns_mut, quantiles_of_sorted,
     quantiles_unsorted, sort_samples,

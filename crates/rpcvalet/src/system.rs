@@ -169,6 +169,14 @@ pub struct SystemConfig {
     /// Window length for the completion time series (`None` disables).
     /// Used to check stationarity of an operating point.
     pub timeseries_window: Option<SimDuration>,
+    /// Fixed-interval occupancy sampling cadence for the full
+    /// [`telemetry::SeriesRecorder`] series (`None` disables). The
+    /// sampler is driven off simulated time at the top of the event
+    /// loop — it schedules no engine events — so enabling it changes no
+    /// output bits, keeps [`RunResult::events_processed`] identical,
+    /// and the recorded series is byte-identical for any worker-thread
+    /// count.
+    pub series_interval: Option<SimDuration>,
     /// Latency-class split: requests whose drawn processing time is below
     /// this threshold (ns) form the *latency-critical* class, reported
     /// separately. The paper's Masstree experiment (Fig. 7b) sets its SLO
@@ -220,6 +228,7 @@ impl SystemConfigBuilder {
                 trace_capacity: 0,
                 schedule: None,
                 timeseries_window: None,
+                series_interval: None,
                 critical_threshold_ns: None,
                 rss_per_flow: false,
                 event_queue: EventQueueKind::default_ladder(),
@@ -317,6 +326,14 @@ impl SystemConfigBuilder {
     /// Records a windowed completion time series with the given window.
     pub fn timeseries_window(mut self, window: SimDuration) -> Self {
         self.config.timeseries_window = Some(window);
+        self
+    }
+
+    /// Records a full occupancy/queue-depth series sampled every
+    /// `interval` of simulated time (see
+    /// [`SystemConfig::series_interval`]).
+    pub fn series_interval(mut self, interval: SimDuration) -> Self {
+        self.config.series_interval = Some(interval);
         self
     }
 
@@ -426,6 +443,12 @@ pub struct RunResult {
     /// [`drift_ratio`](metrics::TimeSeries::drift_ratio) ≫ 1 flags an
     /// operating point that never reached steady state (overload).
     pub timeseries: Option<metrics::TimeSeries>,
+    /// Full fixed-interval telemetry series (windowed counters, latency
+    /// histograms, core occupancy, queue depths), when
+    /// [`SystemConfig::series_interval`] is set. Completions are
+    /// recorded from the first request — warm-up transients included —
+    /// which is the point of the trajectory view.
+    pub series: Option<telemetry::JobSeries>,
     /// Total simulator events popped over the whole run — the
     /// denominator of the events/sec throughput `simbench` and the
     /// harness timing sidecar report.
@@ -578,6 +601,18 @@ impl LatencyCache {
     }
 }
 
+/// Dispatch-group count the telemetry series is shaped for: one per
+/// dispatcher for the dispatched policies, one per core for RSS (each
+/// private CQ is its own "group"), one shared queue for the software
+/// baseline.
+fn series_groups(cfg: &SystemConfig) -> usize {
+    match &cfg.policy {
+        Policy::HwSingleQueue { .. } | Policy::SwSingleQueue { .. } => 1,
+        Policy::HwPartitioned { .. } => cfg.chip.backends,
+        Policy::HwStatic => cfg.chip.cores,
+    }
+}
+
 /// Internal mutable simulation state.
 struct Runner<'a> {
     cfg: &'a SystemConfig,
@@ -621,6 +656,24 @@ struct Runner<'a> {
     core_completions: Vec<u64>,
     traces: TraceLog,
     timeseries: Option<metrics::TimeSeries>,
+    /// Fixed-interval telemetry sampler state. The recorder is fed at
+    /// the top of the event loop (never via engine events), so it is
+    /// pure observation: every counter below tracks state the runner
+    /// already mutates, and sampling changes no simulation outcome.
+    series: Option<telemetry::SeriesRecorder>,
+    series_interval_ps: u64,
+    series_next_ps: u64,
+    /// Reused sample buffers (no allocation per tick).
+    series_core_busy: Vec<bool>,
+    series_group_queues: Vec<u64>,
+    /// Injected (first packet on the wire) but not yet completed.
+    inflight: u64,
+    /// Arrivals parked by flow control across all sources.
+    pending_total: u64,
+    /// Depth of the software baseline's shared queue.
+    sw_len: u64,
+    /// Depth of each core's private CQ ([`MsgList`] carries no length).
+    core_cq_len: Vec<u32>,
 }
 
 impl<'a> Runner<'a> {
@@ -714,6 +767,17 @@ impl<'a> Runner<'a> {
             core_completions: vec![0; chip.cores],
             traces: TraceLog::with_capacity(cfg.trace_capacity),
             timeseries: cfg.timeseries_window.map(metrics::TimeSeries::new),
+            series: cfg.series_interval.map(|interval| {
+                telemetry::SeriesRecorder::new(interval.as_ps(), chip.cores, series_groups(cfg))
+            }),
+            series_interval_ps: cfg.series_interval.map_or(0, |d| d.as_ps()),
+            series_next_ps: cfg.series_interval.map_or(0, |d| d.as_ps()),
+            series_core_busy: vec![false; chip.cores],
+            series_group_queues: Vec::new(),
+            inflight: 0,
+            pending_total: 0,
+            sw_len: 0,
+            core_cq_len: vec![0; chip.cores],
         }
     }
 
@@ -721,6 +785,15 @@ impl<'a> Runner<'a> {
         self.schedule_next_arrival();
         while let Some(scheduled) = self.engine.pop() {
             let now = scheduled.time;
+            // System state is piecewise-constant between events, so a
+            // tick that falls between the previous event and this one
+            // observes exactly the state at its nominal instant —
+            // without ever entering the event queue (events_processed
+            // and every measurement are bit-identical with the sampler
+            // on or off).
+            if self.series.is_some() && self.series_next_ps <= now.as_ps() {
+                self.sample_series_until(now);
+            }
             match scheduled.event {
                 Ev::Arrival => self.on_arrival(now),
                 Ev::MsgComplete { msg } => self.on_msg_complete(now, msg as usize),
@@ -797,10 +870,16 @@ impl<'a> Runner<'a> {
         // corresponds to the most recently allocated message record.
         let msg = self.next_msg;
         let src = self.scratch.msgs[msg].src as usize;
+        if let Some(series) = &mut self.series {
+            // Offered arrival, counted before flow control so overload
+            // windows show the offered-vs-completed gap.
+            series.note_arrival(now.as_ps());
+        }
         if let Some(slot) = self.domain.try_acquire(src) {
             self.inject_message(now, msg, slot);
         } else {
             self.deferrals += 1;
+            self.pending_total += 1;
             self.pending_by_src[src].push_back(&mut self.scratch.msgs, msg);
         }
         self.schedule_next_arrival();
@@ -816,6 +895,7 @@ impl<'a> Runner<'a> {
         let gap = self.lat.packet_gap;
         self.scratch.msgs[msg].slot = slot as u32;
         self.scratch.msgs[msg].first_pkt = now;
+        self.inflight += 1;
         if self.traces.is_enabled() {
             self.scratch.pending_traces[msg].first_pkt = Some(now);
         }
@@ -876,6 +956,7 @@ impl<'a> Runner<'a> {
                     self.scratch.pending_traces[msg].dispatched = Some(now);
                 }
                 self.sw_queue.push_back(&mut self.scratch.msgs, msg);
+                self.sw_len += 1;
                 if let Some(core) = self.first_core_in(CoreState::Idle) {
                     self.core_state[core] = CoreState::Acquiring;
                     self.engine.schedule_at(
@@ -911,6 +992,7 @@ impl<'a> Runner<'a> {
             self.scratch.pending_traces[msg].dispatched = Some(now);
         }
         self.core_cq[core].push_back(&mut self.scratch.msgs, msg);
+        self.core_cq_len[core] += 1;
         if self.core_state[core] == CoreState::Idle {
             self.start_processing(now, core);
         }
@@ -923,6 +1005,7 @@ impl<'a> Runner<'a> {
             self.core_state[core] = CoreState::Idle;
             return;
         };
+        self.core_cq_len[core] -= 1;
         self.run_slice(now, core, msg);
     }
 
@@ -993,9 +1076,11 @@ impl<'a> Runner<'a> {
             Policy::HwStatic => {
                 // No rebalancing available: round-robin on the same core.
                 self.core_cq[core].push_back(&mut self.scratch.msgs, msg);
+                self.core_cq_len[core] += 1;
             }
             Policy::SwSingleQueue { .. } => {
                 self.sw_queue.push_back(&mut self.scratch.msgs, msg);
+                self.sw_len += 1;
             }
         }
         match &self.cfg.policy {
@@ -1022,6 +1107,18 @@ impl<'a> Runner<'a> {
         // Latency: reception of the send → replenish posted (now).
         self.completions += 1;
         self.core_completions[core] += 1;
+        self.inflight -= 1;
+        if let Some(series) = &mut self.series {
+            // Warm-up completions included: the trajectory view exists
+            // to show the transient the aggregate report discards.
+            let group = match &self.cfg.policy {
+                Policy::HwStatic => core,
+                Policy::SwSingleQueue { .. } => 0,
+                _ => self.dispatcher_by_core[core].unwrap_or(0),
+            };
+            let lat_ps = now.duration_since(state.first_pkt).as_ps();
+            series.note_completion(now.as_ps(), lat_ps, group);
+        }
         if self.completions == self.cfg.warmup {
             self.window_start = now;
         }
@@ -1100,6 +1197,7 @@ impl<'a> Runner<'a> {
     fn on_slot_freed(&mut self, now: SimTime, src: usize, slot: usize) {
         self.domain.release(src, slot);
         if let Some(msg) = self.pending_by_src[src].pop_front(&mut self.scratch.msgs) {
+            self.pending_total -= 1;
             let slot = self
                 .domain
                 .try_acquire(src)
@@ -1122,6 +1220,7 @@ impl<'a> Runner<'a> {
         // or empty-handed if another core drained the queue first.
         match self.sw_queue.pop_front(&mut self.scratch.msgs) {
             Some(msg) => {
+                self.sw_len -= 1;
                 self.run_slice(now, core, msg);
                 // Keep the pipeline full: if messages remain and another
                 // core is idle, it will have observed the non-empty queue.
@@ -1138,6 +1237,48 @@ impl<'a> Runner<'a> {
             None => {
                 self.core_state[core] = CoreState::Idle;
             }
+        }
+    }
+
+    /// Fires every pending sampler tick up to and including `now`
+    /// (multiple ticks when the event gap spans several intervals).
+    fn sample_series_until(&mut self, now: SimTime) {
+        let now_ps = now.as_ps();
+        while self.series_next_ps <= now_ps {
+            let t = self.series_next_ps;
+            self.series_next_ps += self.series_interval_ps;
+            for (busy, &state) in self.series_core_busy.iter_mut().zip(&self.core_state) {
+                *busy = state == CoreState::Busy;
+            }
+            self.series_group_queues.clear();
+            match &self.cfg.policy {
+                Policy::HwSingleQueue { .. } | Policy::HwPartitioned { .. } => self
+                    .series_group_queues
+                    .extend(self.dispatchers.iter().map(|d| d.pending() as u64)),
+                Policy::HwStatic => self
+                    .series_group_queues
+                    .extend(self.core_cq_len.iter().map(|&l| l as u64)),
+                Policy::SwSingleQueue { .. } => self.series_group_queues.push(self.sw_len),
+            }
+            let group_sum: u64 = self.series_group_queues.iter().sum();
+            // Core private CQs queue *behind* the dispatcher CQ for the
+            // dispatched policies; for RSS they are the group queues
+            // themselves and must not be counted twice.
+            let extra_cq: u64 = match &self.cfg.policy {
+                Policy::HwSingleQueue { .. } | Policy::HwPartitioned { .. } => {
+                    self.core_cq_len.iter().map(|&l| l as u64).sum()
+                }
+                _ => 0,
+            };
+            let queued_total = self.pending_total + group_sum + extra_cq;
+            let series = self.series.as_mut().expect("sampling only runs when enabled");
+            series.sample(
+                t,
+                &self.series_core_busy,
+                &self.series_group_queues,
+                queued_total,
+                self.inflight,
+            );
         }
     }
 
@@ -1211,6 +1352,14 @@ impl<'a> Runner<'a> {
             preemptions: self.preemptions,
             traces: self.traces,
             timeseries: self.timeseries,
+            series: self.series.map(|recorder| {
+                recorder.into_job(
+                    &self
+                        .cfg
+                        .policy
+                        .label(self.cfg.chip.cores, self.cfg.chip.backends),
+                )
+            }),
             load_balance_jain: metrics::fairness::jain_index(
                 &self
                     .core_completions
@@ -1461,6 +1610,79 @@ mod tests {
         assert!(drift > 1.5, "overload should drift upward, drift {drift}");
         // And throughput confirms saturation below the offered rate.
         assert!(overloaded.throughput_rps < 25.0e6);
+    }
+
+    #[test]
+    fn series_sampling_changes_no_output_bits() {
+        let plain = ServerSim::new(base(Policy::hw_single_queue(), 8.0e6, 17)).run();
+        let sampled = {
+            let mut cfg = base(Policy::hw_single_queue(), 8.0e6, 17);
+            cfg.series_interval = Some(simkit::SimDuration::from_us(50));
+            ServerSim::new(cfg).run()
+        };
+        // Bit-exact: the sampler schedules no events and touches no RNG.
+        assert_eq!(plain.events_processed, sampled.events_processed);
+        assert_eq!(plain.measured, sampled.measured);
+        assert_eq!(plain.mean_latency_ns.to_bits(), sampled.mean_latency_ns.to_bits());
+        assert_eq!(plain.p99_latency_ns.to_bits(), sampled.p99_latency_ns.to_bits());
+        assert_eq!(plain.throughput_rps.to_bits(), sampled.throughput_rps.to_bits());
+        assert_eq!(plain.core_completions, sampled.core_completions);
+        assert!(plain.series.is_none());
+
+        let series = sampled.series.expect("sampling was enabled");
+        assert_eq!(series.cores, 16);
+        assert_eq!(series.groups, 1, "1x16 has one dispatch group");
+        assert!(!series.windows.is_empty());
+        // Every generated request's completion lands in some window.
+        let total: u64 = series.windows.iter().map(|w| w.completions).sum();
+        assert_eq!(total, 60_000);
+        let arrivals: u64 = series.windows.iter().map(|w| w.arrivals).sum();
+        assert_eq!(arrivals, 60_000);
+
+        // And two identical runs record identical series.
+        let again = {
+            let mut cfg = base(Policy::hw_single_queue(), 8.0e6, 17);
+            cfg.series_interval = Some(simkit::SimDuration::from_us(50));
+            ServerSim::new(cfg).run()
+        };
+        assert_eq!(
+            telemetry::digest_series(&[series]).hex(),
+            telemetry::digest_series(&[again.series.unwrap()]).hex()
+        );
+    }
+
+    #[test]
+    fn series_littles_law_holds_in_steady_state() {
+        let mut cfg = base(Policy::hw_single_queue(), 10.0e6, 23);
+        let interval = simkit::SimDuration::from_us(100);
+        cfg.series_interval = Some(interval);
+        let r = ServerSim::new(cfg).run();
+        let series = r.series.unwrap();
+        let derived = telemetry::derive_series(&series.windows, interval.as_ps(), series.cores);
+        // Skip warm-up and the partial tail; average the residual over
+        // the steady middle. Per-window residuals are noisy (sampled L
+        // vs exact λW), but their steady-state mean must be ≈ 0.
+        let steady: Vec<&telemetry::DerivedPoint> = derived
+            .iter()
+            .skip(8)
+            .take(derived.len().saturating_sub(12))
+            .filter(|p| !p.littles_residual.is_nan())
+            .collect();
+        assert!(steady.len() >= 10, "need steady windows, got {}", steady.len());
+        let mean_l: f64 =
+            steady.iter().map(|p| p.mean_inflight).sum::<f64>() / steady.len() as f64;
+        let mean_residual: f64 =
+            steady.iter().map(|p| p.littles_residual).sum::<f64>() / steady.len() as f64;
+        assert!(
+            mean_residual.abs() <= 0.15 * mean_l + 0.2,
+            "Little's law: mean residual {mean_residual} vs mean L {mean_l}"
+        );
+        // Occupancy at 10 Mrps × ~820 ns ≈ 51 % of 16 cores.
+        let mean_occ: f64 = steady.iter().map(|p| p.occupancy).sum::<f64>() / steady.len() as f64;
+        assert!(
+            (0.35..0.70).contains(&mean_occ),
+            "occupancy {mean_occ} at ~51 % utilization"
+        );
     }
 
     #[test]

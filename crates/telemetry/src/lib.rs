@@ -54,6 +54,7 @@ pub mod event;
 pub mod ring;
 pub mod store;
 pub mod summary;
+pub mod timeseries;
 
 pub use diff::{diff_summaries, DivergenceReport, HopDivergence};
 pub use event::{digest_events, Hop, TraceEvent, EVENT_BYTES};
@@ -64,4 +65,8 @@ pub use store::{
 pub use summary::{
     assemble_timelines, summarize, AssembledTrace, HopStats, RequestTimeline, TraceSummary,
     COMPONENTS,
+};
+pub use timeseries::{
+    derive_series, digest_series, merge_series, resample, write_series_store, DerivedPoint,
+    JobSeries, SeriesMeta, SeriesRecorder, SeriesStore, SeriesWindow, SERIES_VERSION,
 };
