@@ -1,12 +1,20 @@
 //! `simbench` — events/sec microbenchmarks for the simulator core.
 //!
-//! Two layers, both run on the reference heap event queue **and** the
-//! allocation-free ladder queue (the backends pop in bit-identical
-//! order, so every comparison is apples-to-apples on identical work):
+//! Four layers; the queue layers run on the reference heap event queue
+//! **and** the allocation-free ladder queue (the backends pop in
+//! bit-identical order, so every comparison is apples-to-apples on
+//! identical work):
 //!
 //! 1. **queue churn** — a hold-N push/pop loop straight on `EventQueue`,
 //!    isolating the data structure;
-//! 2. **fig8 high-load operating point** — the full `ServerSim` at the
+//! 2. **wrap churn** — the same loop pinned to the ladder, sized so the
+//!    rolling near window re-anchors thousands of times; its overflow
+//!    counters must stay zero (the O(1)-re-anchor property, gated
+//!    exactly in the trajectory store);
+//! 3. **sampler throughput** — scalar `sample_ns`/`next_arrival` vs the
+//!    blocked `sample_block`/`next_arrival_block` used by the variate
+//!    prefetcher (bit-identical draws by contract, speed only);
+//! 4. **fig8 high-load operating point** — the full `ServerSim` at the
 //!    fig8 matrix's top rate (19.6 Mrps, synthetic exponential, same
 //!    derived seed), the sweep point that dominates every figure's wall
 //!    clock. The ladder-vs-heap ratio here is the PR's headline number
@@ -16,6 +24,9 @@
 //! simbench [--quick] [--write report.json]
 //!          [--baseline report.json] [--tolerance 30]
 //!          [--store BENCH/simcore.json (--record | --check)] [--commit id]
+//! simbench --horizons   # ladder-horizon sweep on the fig8 point
+//! simbench --samplers   # blocked-sampling sweep across block sizes
+//! simbench --wrap       # rolling-window churn across depths/horizons
 //! ```
 //!
 //! With `--baseline`, the measured ladder-vs-heap speedups are compared
@@ -38,7 +49,7 @@ use dist::ServiceDist;
 use harness::ScenarioMatrix;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rpcvalet::{Policy, ServerSim, SystemConfig};
+use rpcvalet::{Policy, ServerSim, SystemConfig, PREFETCH_BLOCK};
 use serde::{Deserialize, Serialize};
 use simkit::rng::split_seed;
 use simkit::{EventQueue, EventQueueKind, SimDuration, SimTime};
@@ -69,6 +80,31 @@ struct SimRow {
     p99_latency_ns: f64,
 }
 
+/// One scalar-vs-blocked sampler measurement (million samples/sec).
+#[derive(Debug, Serialize, Deserialize)]
+struct SamplerRow {
+    label: String,
+    samples: u64,
+    scalar_msps: f64,
+    blocked_msps: f64,
+    speedup: f64,
+}
+
+/// One rolling-window churn measurement: a ladder-only hold-N loop that
+/// crosses the near window thousands of times. `windows_crossed` is a
+/// deterministic function of the seeded schedule; the overflow counters
+/// are the property under test — zero means every wrap re-anchored in
+/// O(1) without spilling to the heap.
+#[derive(Debug, Serialize, Deserialize)]
+struct WrapRow {
+    pending: u64,
+    horizon_ns: u64,
+    windows_crossed: u64,
+    ladder_meps: f64,
+    overflow_pushes: u64,
+    overflow_migrations: u64,
+}
+
 /// Whole-sweep throughput from the harness timing sidecar: the fig8
 /// matrix at smoke resolution, single worker. `total_events` is
 /// deterministic (a pure function of the matrix); `events_per_sec` is
@@ -91,6 +127,8 @@ struct BenchReport {
     version: u32,
     mode: String,
     queue: Vec<QueueRow>,
+    wrap: Vec<WrapRow>,
+    samplers: Vec<SamplerRow>,
     sim: Vec<SimRow>,
     sweep: Vec<SweepRow>,
 }
@@ -113,6 +151,107 @@ fn queue_churn(kind: EventQueueKind, pending: u64, steps: u64) -> f64 {
     let secs = start.elapsed().as_secs_f64();
     // One pop + one push per step.
     (2 * steps) as f64 / secs
+}
+
+/// Ladder-only hold-N churn sized so simulated time sweeps across the
+/// rolling near window thousands of times. Deltas stay strictly inside
+/// the window (one bucket of slack), so a correct rolling ladder
+/// re-anchors in place and never touches the overflow heap — the
+/// returned counters are the proof.
+fn wrap_churn(pending: u64, horizon_ns: u64, steps: u64) -> WrapRow {
+    let mut q: EventQueue<u64> = EventQueue::with_horizon(SimDuration::from_ns(horizon_ns));
+    let mut rng = SmallRng::seed_from_u64(99);
+    for i in 0..pending {
+        q.push(SimTime::from_ns(rng.gen_range(0..horizon_ns)), i);
+    }
+    let bucket_ns = (horizon_ns / 512).max(1);
+    let mut last = SimTime::ZERO;
+    let start = Instant::now();
+    for i in 0..steps {
+        let popped = q.pop().expect("queue stays at depth");
+        last = popped.time;
+        let delta = SimDuration::from_ns(rng.gen_range(1..horizon_ns - bucket_ns));
+        q.push(popped.time + delta, i);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = q.stats();
+    WrapRow {
+        pending,
+        horizon_ns,
+        windows_crossed: last.as_ns() / horizon_ns,
+        ladder_meps: (2 * steps) as f64 / secs / 1e6,
+        overflow_pushes: stats.overflow_pushes,
+        overflow_migrations: stats.overflow_migrations,
+    }
+}
+
+/// Scalar-vs-blocked throughput of one service distribution, in million
+/// samples/sec. Both paths draw from identically seeded RNGs (the draws
+/// are bit-identical by the `sample_block` contract — `dist`'s
+/// exactness tests pin that; here only speed is measured).
+fn sampler_rates(dist: &ServiceDist, samples: u64, block: usize) -> (f64, f64) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut acc = 0.0f64;
+    let start = Instant::now();
+    for _ in 0..samples {
+        acc += dist.sample_ns(&mut rng);
+    }
+    let scalar = samples as f64 / start.elapsed().as_secs_f64() / 1e6;
+    std::hint::black_box(acc);
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut buf = vec![0.0f64; block];
+    let mut left = samples;
+    let start = Instant::now();
+    while left > 0 {
+        let n = left.min(block as u64) as usize;
+        dist.sample_block(&mut rng, &mut buf[..n]);
+        left -= n as u64;
+    }
+    let blocked = samples as f64 / start.elapsed().as_secs_f64() / 1e6;
+    std::hint::black_box(&buf);
+    (scalar, blocked)
+}
+
+/// Scalar-vs-blocked throughput of the Poisson traffic generator, in
+/// million arrivals/sec (same contract as [`sampler_rates`]).
+fn traffic_rates(samples: u64, block: usize) -> (f64, f64) {
+    use sonuma::{Arrival, NodeId, TrafficGenerator};
+    let mut gen = TrafficGenerator::new(200, 19.6e6, 7);
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for _ in 0..samples {
+        acc = acc.wrapping_add(gen.next_arrival().time.as_ps());
+    }
+    let scalar = samples as f64 / start.elapsed().as_secs_f64() / 1e6;
+    std::hint::black_box(acc);
+
+    let mut gen = TrafficGenerator::new(200, 19.6e6, 7);
+    let filler = Arrival {
+        time: SimTime::ZERO,
+        source: NodeId(0),
+    };
+    let mut buf = vec![filler; block];
+    let mut left = samples;
+    let start = Instant::now();
+    while left > 0 {
+        let n = left.min(block as u64) as usize;
+        gen.next_arrival_block(&mut buf[..n]);
+        left -= n as u64;
+    }
+    let blocked = samples as f64 / start.elapsed().as_secs_f64() / 1e6;
+    std::hint::black_box(&buf);
+    (scalar, blocked)
+}
+
+/// The mixture used by the prefetch bit-identity tests: a bimodal
+/// RPC-ish split with a heavy tail, exercising the weighted-pick fast
+/// path of `Mixture::sample_block`.
+fn bench_mixture() -> ServiceDist {
+    ServiceDist::mixture(vec![
+        (0.9, ServiceDist::exponential_mean_ns(500.0)),
+        (0.1, ServiceDist::uniform_ns(1_000.0, 3_000.0)),
+    ])
 }
 
 /// The fig8 matrix's high-load operating point (top of its rate grid),
@@ -180,6 +319,52 @@ fn run_benchmarks(quick: bool) -> BenchReport {
         });
     }
 
+    println!("\n== rolling-window wrap churn (ladder only) ==");
+    let mut wrap = Vec::new();
+    for (pending, horizon_ns) in [(64u64, 4_000u64), (1024, 16_000)] {
+        let row = wrap_churn(pending, horizon_ns, churn_steps);
+        println!(
+            "  depth {:>5}, horizon {:>5} ns: {:>7.1} Mev/s over {} window wraps, overflow {}/{}",
+            row.pending,
+            row.horizon_ns,
+            row.ladder_meps,
+            row.windows_crossed,
+            row.overflow_pushes,
+            row.overflow_migrations
+        );
+        wrap.push(row);
+    }
+
+    println!("\n== sampler throughput (scalar vs blocked, block = {PREFETCH_BLOCK}) ==");
+    let sampler_samples: u64 = if quick { 2_000_000 } else { 8_000_000 };
+    let mut samplers = Vec::new();
+    let service_dists = [
+        ("exp600".to_owned(), ServiceDist::exponential_mean_ns(600.0)),
+        ("mixture".to_owned(), bench_mixture()),
+    ];
+    let mut rows: Vec<(String, f64, f64)> = service_dists
+        .iter()
+        .map(|(label, dist)| {
+            let (scalar, blocked) = sampler_rates(dist, sampler_samples, PREFETCH_BLOCK);
+            (label.clone(), scalar, blocked)
+        })
+        .collect();
+    let (scalar, blocked) = traffic_rates(sampler_samples, PREFETCH_BLOCK);
+    rows.push(("traffic".to_owned(), scalar, blocked));
+    for (label, scalar, blocked) in rows {
+        println!(
+            "  {label:<8} scalar {scalar:>7.1} Ms/s   blocked {blocked:>7.1} Ms/s   ({:.2}x)",
+            blocked / scalar
+        );
+        samplers.push(SamplerRow {
+            label,
+            samples: sampler_samples,
+            scalar_msps: scalar,
+            blocked_msps: blocked,
+            speedup: blocked / scalar,
+        });
+    }
+
     println!("\n== fig8 high-load operating point (19.6 Mrps, exp service) ==");
     let requests = if quick { 60_000 } else { 250_000 };
     let mut sim = Vec::new();
@@ -239,9 +424,11 @@ fn run_benchmarks(quick: bool) -> BenchReport {
     }];
 
     BenchReport {
-        version: 1,
+        version: 2,
         mode: if quick { "quick" } else { "full" }.to_owned(),
         queue,
+        wrap,
+        samplers,
         sim,
         sweep,
     }
@@ -292,6 +479,55 @@ fn horizon_sweep(quick: bool) {
             eps / 1e6,
             eps / heap_eps
         );
+    }
+}
+
+/// `--samplers`: sweep the block size to re-derive `PREFETCH_BLOCK`.
+fn sampler_sweep(quick: bool) {
+    let samples: u64 = if quick { 2_000_000 } else { 8_000_000 };
+    println!("== blocked-sampling block-size sweep ({samples} samples/point) ==");
+    let dists = [
+        ("exp600".to_owned(), ServiceDist::exponential_mean_ns(600.0)),
+        ("mixture".to_owned(), bench_mixture()),
+    ];
+    for (label, dist) in &dists {
+        let (scalar, _) = sampler_rates(dist, samples, 1);
+        print!("  {label:<8} scalar {scalar:>7.1} Ms/s  blocked:");
+        for block in [32usize, 64, 128, 256, 512, 1024] {
+            let (_, blocked) = sampler_rates(dist, samples, block);
+            print!("  {block}={blocked:.1}");
+        }
+        println!(" Ms/s");
+    }
+    let (scalar, _) = traffic_rates(samples, 1);
+    print!("  traffic  scalar {scalar:>7.1} Ms/s  blocked:");
+    for block in [32usize, 64, 128, 256, 512, 1024] {
+        let (_, blocked) = traffic_rates(samples, block);
+        print!("  {block}={blocked:.1}");
+    }
+    println!(" Ms/s");
+}
+
+/// `--wrap`: rolling-window churn across depths and horizons; every row
+/// must report zero overflow (a non-zero counter here is a rolling-
+/// window bug, not a tuning problem — the deltas fit the window by
+/// construction).
+fn wrap_sweep(quick: bool) {
+    let steps = if quick { 400_000 } else { 2_000_000 };
+    println!("== rolling-window wrap churn sweep ({steps} steps/point) ==");
+    for pending in [64u64, 1024, 8192] {
+        for horizon_ns in [4_000u64, 16_000, 64_000] {
+            let row = wrap_churn(pending, horizon_ns, steps);
+            println!(
+                "  depth {:>5}, horizon {:>6} ns: {:>7.1} Mev/s over {:>6} wraps, overflow {}/{}",
+                row.pending,
+                row.horizon_ns,
+                row.ladder_meps,
+                row.windows_crossed,
+                row.overflow_pushes,
+                row.overflow_migrations
+            );
+        }
     }
 }
 
@@ -357,6 +593,14 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--horizons") {
         horizon_sweep(quick);
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--samplers") {
+        sampler_sweep(quick);
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--wrap") {
+        wrap_sweep(quick);
         return ExitCode::SUCCESS;
     }
     let value_of = |flag: &str| {

@@ -57,14 +57,18 @@ impl Gev {
     /// Panics if `u` is outside `[0, 1)`.
     pub fn quantile(&self, u: f64) -> f64 {
         assert!((0.0..1.0).contains(&u), "quantile prob out of range: {u}");
-        // t = -ln(u) ∈ (0, ∞]; x = µ + σ·(t^{-ξ} − 1)/ξ.
+        // t = -ln(u) ∈ (0, ∞]; x = µ + σ·(t^{-ξ} − 1)/ξ. Both branches
+        // need ln t, so it is computed once up front; the division by ξ
+        // stays a division (a reciprocal-multiply rewrite would change
+        // the rounding and break bit-exact digests).
         let t = -u.ln();
+        let ln_t = t.ln();
         if self.shape.abs() < GUMBEL_EPS {
-            self.loc - self.scale * t.ln()
+            self.loc - self.scale * ln_t
         } else {
             // t^{-ξ} computed as exp(−ξ·ln t); expm1 keeps precision for
             // small |ξ|·ln t.
-            self.loc + self.scale * f64::exp_m1(-self.shape * t.ln()) / self.shape
+            self.loc + self.scale * f64::exp_m1(-self.shape * ln_t) / self.shape
         }
     }
 

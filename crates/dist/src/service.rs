@@ -55,6 +55,11 @@ pub enum ServiceDist {
     Mixture {
         /// `(weight, component)` pairs; weights need not be normalized.
         components: Vec<(f64, ServiceDist)>,
+        /// Sum of the component weights, cached at construction in the
+        /// exact left-to-right fp order the per-draw loop used to
+        /// recompute — the hot sampler reads it instead of re-summing on
+        /// every draw.
+        total_weight: f64,
     },
     /// A constant offset added to an inner distribution.
     Shifted {
@@ -63,6 +68,18 @@ pub enum ServiceDist {
         /// The distributed part.
         inner: Box<ServiceDist>,
     },
+}
+
+/// The sampler's common output guard: every drawn value is forced finite
+/// and non-negative. One definition shared by the scalar and blocked
+/// paths so they cannot drift apart.
+#[inline(always)]
+fn finalize(v: f64) -> f64 {
+    if v.is_finite() {
+        v.max(0.0)
+    } else {
+        0.0
+    }
 }
 
 impl ServiceDist {
@@ -150,7 +167,11 @@ impl ServiceDist {
             components.iter().all(|(w, _)| w.is_finite() && *w > 0.0),
             "mixture weights must be positive"
         );
-        ServiceDist::Mixture { components }
+        let total_weight = components.iter().map(|(w, _)| w).sum();
+        ServiceDist::Mixture {
+            components,
+            total_weight,
+        }
     }
 
     /// Adds a fixed `offset_ns` to every sample of `inner` (the §6.3
@@ -178,13 +199,15 @@ impl ServiceDist {
             ServiceDist::Exponential { mean_ns } => *mean_ns,
             ServiceDist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
             ServiceDist::Gev(g) => g.mean(),
-            ServiceDist::Mixture { components } => {
-                let total: f64 = components.iter().map(|(w, _)| w).sum();
+            ServiceDist::Mixture {
+                components,
+                total_weight,
+            } => {
                 components
                     .iter()
                     .map(|(w, d)| w * d.mean_ns())
                     .sum::<f64>()
-                    / total
+                    / total_weight
             }
             ServiceDist::Shifted { offset_ns, inner } => offset_ns + inner.mean_ns(),
         }
@@ -204,9 +227,12 @@ impl ServiceDist {
                 Some((s2.exp() - 1.0) * (2.0 * mu + s2).exp())
             }
             ServiceDist::Gev(g) => g.variance(),
-            ServiceDist::Mixture { components } => {
+            ServiceDist::Mixture {
+                components,
+                total_weight,
+            } => {
                 // Law of total variance: E[var] + var[mean].
-                let total: f64 = components.iter().map(|(w, _)| w).sum();
+                let total = *total_weight;
                 let mean = self.mean_ns();
                 let mut second_moment = 0.0;
                 for (w, d) in components {
@@ -251,9 +277,16 @@ impl ServiceDist {
                 (mu + sigma * z).exp()
             }
             ServiceDist::Gev(g) => g.quantile(rng.gen()),
-            ServiceDist::Mixture { components } => {
-                let total: f64 = components.iter().map(|(w, _)| w).sum();
-                let mut target: f64 = rng.gen::<f64>() * total;
+            ServiceDist::Mixture {
+                components,
+                total_weight,
+            } => {
+                // Selection stays the subtract-walk over raw weights: a
+                // prefix-sum/alias rewrite would change the comparison
+                // arithmetic and thus which component a given draw picks
+                // (fp addition is not associative); only the total is
+                // hoisted, which is bit-identical by construction.
+                let mut target: f64 = rng.gen::<f64>() * total_weight;
                 let mut chosen = &components[components.len() - 1].1;
                 for (w, d) in components {
                     if target < *w {
@@ -266,10 +299,78 @@ impl ServiceDist {
             }
             ServiceDist::Shifted { offset_ns, inner } => offset_ns + inner.sample_ns(rng),
         };
-        if v.is_finite() {
-            v.max(0.0)
-        } else {
-            0.0
+        finalize(v)
+    }
+
+    /// Fills `out` with consecutive samples, drawing the block's uniforms
+    /// first and then running the `ln`/`cos`/`exp` transform math in
+    /// tight, auto-vectorizable loops.
+    ///
+    /// The uniform draw order and the per-sample arithmetic are exactly
+    /// those of [`sample_ns`](Self::sample_ns) called `out.len()` times
+    /// on the same RNG, so the outputs are **bit-identical** to the
+    /// scalar path for every variant and block size (property-tested in
+    /// `tests/block_exactness.rs`). `Mixture` is the one variant that
+    /// falls back to the scalar loop: its selector draw interleaves with
+    /// the chosen component's draws, so splitting the two streams apart
+    /// would reorder them.
+    pub fn sample_block<R: Rng>(&self, rng: &mut R, out: &mut [f64]) {
+        match self {
+            ServiceDist::Fixed { ns } => out.fill(finalize(*ns)),
+            ServiceDist::Uniform { lo_ns, hi_ns } => {
+                for slot in out.iter_mut() {
+                    *slot = rng.gen();
+                }
+                let span = hi_ns - lo_ns;
+                for slot in out.iter_mut() {
+                    *slot = finalize(lo_ns + *slot * span);
+                }
+            }
+            ServiceDist::Exponential { mean_ns } => {
+                for slot in out.iter_mut() {
+                    *slot = rng.gen();
+                }
+                for slot in out.iter_mut() {
+                    *slot = finalize(-mean_ns * (1.0 - *slot).ln());
+                }
+            }
+            ServiceDist::LogNormal { mu, sigma } => {
+                // Two draws per sample, chunked through a stack scratch
+                // so the per-sample (u1, u2) interleaving matches the
+                // scalar sampler's draw order exactly.
+                const CHUNK: usize = 64;
+                let mut scratch = [0.0f64; 2 * CHUNK];
+                for block in out.chunks_mut(CHUNK) {
+                    let draws = &mut scratch[..2 * block.len()];
+                    for d in draws.iter_mut() {
+                        *d = rng.gen();
+                    }
+                    for (slot, pair) in block.iter_mut().zip(draws.chunks_exact(2)) {
+                        let z = (-2.0 * (1.0 - pair[0]).ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * pair[1]).cos();
+                        *slot = finalize((mu + sigma * z).exp());
+                    }
+                }
+            }
+            ServiceDist::Gev(g) => {
+                for slot in out.iter_mut() {
+                    *slot = rng.gen();
+                }
+                for slot in out.iter_mut() {
+                    *slot = finalize(g.quantile(*slot));
+                }
+            }
+            ServiceDist::Mixture { .. } => {
+                for slot in out.iter_mut() {
+                    *slot = self.sample_ns(rng);
+                }
+            }
+            ServiceDist::Shifted { offset_ns, inner } => {
+                inner.sample_block(rng, out);
+                for slot in out.iter_mut() {
+                    *slot = finalize(offset_ns + *slot);
+                }
+            }
         }
     }
 
@@ -313,11 +414,15 @@ impl ServiceDist {
                 sigma: *sigma,
             },
             ServiceDist::Gev(g) => ServiceDist::Gev(g.scaled(factor)),
-            ServiceDist::Mixture { components } => ServiceDist::Mixture {
+            ServiceDist::Mixture {
+                components,
+                total_weight,
+            } => ServiceDist::Mixture {
                 components: components
                     .iter()
                     .map(|(w, d)| (*w, d.scaled(factor)))
                     .collect(),
+                total_weight: *total_weight,
             },
             ServiceDist::Shifted { offset_ns, inner } => ServiceDist::Shifted {
                 offset_ns: offset_ns * factor,

@@ -1,0 +1,91 @@
+//! Property tests: [`ServiceDist::sample_block`] is bit-identical to the
+//! scalar [`ServiceDist::sample_ns`] loop — for every variant, every
+//! block size (ragged tails included), and arbitrary call chunking.
+//!
+//! This is the contract that lets the simulator's hot path batch its
+//! variate generation without moving a single recorded digest: the
+//! blocked sampler must consume the RNG stream in the same order and run
+//! the same per-sample arithmetic as the scalar one.
+
+use dist::ServiceDist;
+use proptest::prelude::*;
+use simkit::rng::stream_rng;
+
+/// Every `ServiceDist` variant, including the recursive ones.
+fn all_variants() -> Vec<ServiceDist> {
+    vec![
+        ServiceDist::fixed_ns(600.0),
+        ServiceDist::uniform_ns(100.0, 900.0),
+        ServiceDist::exponential_mean_ns(600.0),
+        ServiceDist::lognormal_mean_ns(1_250.0, 0.3),
+        ServiceDist::gev_cycles(363.0, 100.0, 0.65),
+        ServiceDist::gev_ns(50.0, 20.0, 0.0), // Gumbel limit branch
+        ServiceDist::mixture(vec![
+            (0.99, ServiceDist::fixed_ns(1_000.0)),
+            (0.01, ServiceDist::exponential_mean_ns(100_000.0)),
+        ]),
+        ServiceDist::shifted(300.0, ServiceDist::exponential_mean_ns(300.0)),
+        ServiceDist::shifted(
+            10.0,
+            ServiceDist::mixture(vec![
+                (1.0, ServiceDist::lognormal_mean_ns(330.0, 0.3)),
+                (2.5, ServiceDist::gev_cycles(363.0, 100.0, 0.65)),
+            ]),
+        ),
+    ]
+}
+
+/// Scalar reference: `n` consecutive draws on a fresh stream.
+fn scalar_stream(d: &ServiceDist, seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = stream_rng(seed, 1);
+    (0..n).map(|_| d.sample_ns(&mut rng)).collect()
+}
+
+proptest! {
+    #[test]
+    fn blocked_equals_scalar_bitwise(
+        seed in proptest::prelude::any::<u64>(),
+        // Sizes straddle the LogNormal scratch chunk (64): exact
+        // multiples, ragged tails, and single-sample blocks.
+        n in 1usize..300,
+    ) {
+        for d in all_variants() {
+            let scalar = scalar_stream(&d, seed, n);
+            let mut blocked = vec![0.0f64; n];
+            let mut rng = stream_rng(seed, 1);
+            d.sample_block(&mut rng, &mut blocked);
+            for (i, (s, b)) in scalar.iter().zip(&blocked).enumerate() {
+                prop_assert_eq!(
+                    s.to_bits(), b.to_bits(),
+                    "{:?}: sample {} diverged ({} vs {})", d, i, s, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_block_calls_concatenate(
+        seed in proptest::prelude::any::<u64>(),
+        split in 1usize..199,
+    ) {
+        // Consecutive sample_block calls must continue the stream exactly
+        // where the previous call left it — the producer refills its
+        // buffer in chunks and the seam must be invisible.
+        let n = 200usize;
+        let split = split.min(n - 1);
+        for d in all_variants() {
+            let scalar = scalar_stream(&d, seed, n);
+            let mut blocked = vec![0.0f64; n];
+            let mut rng = stream_rng(seed, 1);
+            let (head, tail) = blocked.split_at_mut(split);
+            d.sample_block(&mut rng, head);
+            d.sample_block(&mut rng, tail);
+            for (i, (s, b)) in scalar.iter().zip(&blocked).enumerate() {
+                prop_assert_eq!(
+                    s.to_bits(), b.to_bits(),
+                    "{:?}: sample {} diverged across the chunk seam", d, i
+                );
+            }
+        }
+    }
+}

@@ -37,7 +37,9 @@
 //! fewer requests), `--seed <n>`, `--requests <n>`, `--replications
 //! <n>`, `--baseline <path>` + `--tolerance <pct>` (default 5; scenario
 //! runs accept it only for single-matrix scenarios), `--fresh` (ignore
-//! existing reports instead of resuming). Scenario-only: `--part a|b|c`,
+//! existing reports instead of resuming), `--prefetch off|inline|thread`
+//! (variate-prefetch mode override — bit-identical output by contract,
+//! speed only). Scenario-only: `--part a|b|c`,
 //! `--out-dir <dir>`, `--figures-dir <dir>`. Matrix-only: `--out
 //! <path>`, `--trace <n>`, and `--timeseries <path>` (+
 //! `--series-window-us <n>`, default 100) — a windowed-telemetry
@@ -70,6 +72,7 @@ struct RunArgs {
     trace: Option<usize>,
     timeseries: Option<String>,
     series_window_us: u64,
+    prefetch: Option<rpcvalet::SamplePrefetch>,
 }
 
 fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
@@ -91,6 +94,7 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
         trace: None,
         timeseries: None,
         series_window_us: 100,
+        prefetch: None,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -150,6 +154,14 @@ fn parse_run_args(mut it: std::env::Args) -> Result<RunArgs, String> {
                 }
             }
             "--timeseries" => args.timeseries = Some(value("--timeseries")?),
+            "--prefetch" => {
+                args.prefetch = Some(match value("--prefetch")?.as_str() {
+                    "off" => rpcvalet::SamplePrefetch::Off,
+                    "inline" => rpcvalet::SamplePrefetch::Inline,
+                    "thread" => rpcvalet::SamplePrefetch::Thread,
+                    other => return Err(format!("bad --prefetch `{other}` (off|inline|thread)")),
+                });
+            }
             "--series-window-us" => {
                 args.series_window_us = value("--series-window-us")?
                     .parse()
@@ -592,6 +604,9 @@ fn cmd_run_matrix(name: &str, args: &RunArgs) -> Result<bool, String> {
 
 fn cmd_run(it: std::env::Args) -> Result<bool, String> {
     let args = parse_run_args(it)?;
+    // Bit-identical across modes by contract, so this is set globally
+    // rather than threaded through the spec (see `set_prefetch_mode`).
+    harness::set_prefetch_mode(args.prefetch);
     if let Some(name) = &args.scenario {
         let scenario = harness::find_scenario(name).ok_or_else(|| {
             format!(

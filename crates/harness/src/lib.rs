@@ -84,8 +84,8 @@ pub use report::{
     REPORT_VERSION,
 };
 pub use spec::{
-    policy_spec_key, ExperimentSpec, JobKind, LiveParams, Measurement, ObservedRun, PolicySpec,
-    RateGrid, ScenarioMatrix, SeedMode, SimTune, WorkloadSpec,
+    policy_spec_key, set_prefetch_mode, ExperimentSpec, JobKind, LiveParams, Measurement,
+    ObservedRun, PolicySpec, RateGrid, ScenarioMatrix, SeedMode, SimTune, WorkloadSpec,
 };
 
 /// Clamps a worker-thread count to 1 when any job is live: concurrent

@@ -121,6 +121,14 @@ pub struct SweepTiming {
     /// worker-busy seconds — the sweep-level number `BENCH/simcore.json`
     /// tracks across commits.
     pub events_per_sec: f64,
+    /// Total ladder event-queue overflow pushes across all jobs. Zero on
+    /// any well-sized steady-state sweep: the rolling window absorbs
+    /// every in-horizon schedule; a non-zero count flags a workload
+    /// whose lookahead exceeds the ladder horizon.
+    pub overflow_pushes: u64,
+    /// Total ladder overflow migrations (drain side of
+    /// `overflow_pushes`).
+    pub overflow_migrations: u64,
 }
 
 impl SweepTiming {
@@ -133,6 +141,8 @@ impl SweepTiming {
         total_wall_ms: f64,
         job_wall_ms: Vec<f64>,
         job_events: Vec<u64>,
+        overflow_pushes: u64,
+        overflow_migrations: u64,
     ) -> SweepTiming {
         let cpu_ms: f64 = job_wall_ms.iter().sum();
         let total_events: u64 = job_events.iter().sum();
@@ -148,6 +158,8 @@ impl SweepTiming {
             } else {
                 0.0
             },
+            overflow_pushes,
+            overflow_migrations,
         }
     }
 
@@ -172,8 +184,15 @@ impl SweepTiming {
         } else {
             String::new()
         };
+        // Silence is the healthy state; a non-zero overflow count is
+        // worth a loud word in the run line.
+        let overflow = if self.overflow_pushes > 0 {
+            format!(", ladder overflow {}", self.overflow_pushes)
+        } else {
+            String::new()
+        };
         format!(
-            "[{} jobs in {:.1} s on {} threads, {:.2}x speedup{events}]",
+            "[{} jobs in {:.1} s on {} threads, {:.2}x speedup{events}{overflow}]",
             self.job_wall_ms.len(),
             self.total_wall_ms / 1e3,
             self.threads,
@@ -458,6 +477,14 @@ pub fn timing_from_outcomes(
         total_wall_ms,
         outcomes.iter().map(|o| o.wall_ms).collect(),
         outcomes.iter().map(|o| o.result.sim_events).collect(),
+        outcomes
+            .iter()
+            .map(|o| o.result.queue_overflow_pushes)
+            .sum(),
+        outcomes
+            .iter()
+            .map(|o| o.result.queue_overflow_migrations)
+            .sum(),
     )
 }
 

@@ -174,10 +174,14 @@ pub fn run_matrix_resumed(
 
     let mut job_wall_ms = vec![0.0f64; total];
     let mut job_events = vec![0u64; total];
+    let mut overflow_pushes = 0u64;
+    let mut overflow_migrations = 0u64;
     for outcome in &outcomes {
         let matrix_idx = indices[outcome.index];
         job_wall_ms[matrix_idx] = outcome.wall_ms;
         job_events[matrix_idx] = outcome.result.sim_events;
+        overflow_pushes += outcome.result.queue_overflow_pushes;
+        overflow_migrations += outcome.result.queue_overflow_migrations;
         reused[matrix_idx] = Some(JobRecord::from_outcome(matrix_idx as u64, outcome));
     }
 
@@ -201,6 +205,8 @@ pub fn run_matrix_resumed(
             total_wall_ms,
             job_wall_ms,
             job_events,
+            overflow_pushes,
+            overflow_migrations,
         ),
         reused_count,
     ))

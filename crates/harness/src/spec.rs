@@ -20,7 +20,9 @@ use dist::{ServiceDist, SyntheticKind};
 use live::{BurnMode, LivePolicy, LoopbackSpec};
 use metrics::LatencyBreakdown;
 use queueing::{QueueingModel, QxU, RunParams};
-use rpcvalet::{McsParams, Policy, PreemptionParams, RequestSchedule, ServerSim, SystemConfig};
+use rpcvalet::{
+    McsParams, Policy, PreemptionParams, RequestSchedule, SamplePrefetch, ServerSim, SystemConfig,
+};
 use simkit::rng::split_seed;
 use simkit::SimDuration;
 use sonuma::ChipParams;
@@ -30,6 +32,36 @@ use workloads::{scenario_config, Workload};
 /// Tag mixed into the master seed for replications beyond the first, so
 /// replication 0 reproduces the legacy single-run seeds bit-for-bit.
 const REPLICATION_SEED_TAG: u64 = 0x5EED_0000_0000;
+
+/// Process-wide [`SamplePrefetch`] override for sim jobs (`0` = none,
+/// else `1 + mode as u8`), settable from the CLI's `--prefetch` flag.
+/// Deliberately *not* part of [`ExperimentSpec`], the resume keys, or
+/// any digest: every prefetch mode is bit-identical by contract — the
+/// CI equivalence smoke diffs whole reports across modes to prove it —
+/// so this is a performance knob, not an experiment parameter.
+static PREFETCH_OVERRIDE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Forces every subsequent sim job in this process to the given variate
+/// prefetch mode (`None` restores the [`SystemConfig`] default).
+pub fn set_prefetch_mode(mode: Option<SamplePrefetch>) {
+    let encoded = match mode {
+        None => 0,
+        Some(SamplePrefetch::Off) => 1,
+        Some(SamplePrefetch::Inline) => 2,
+        Some(SamplePrefetch::Thread) => 3,
+    };
+    PREFETCH_OVERRIDE.store(encoded, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The active override, if any.
+fn prefetch_override() -> Option<SamplePrefetch> {
+    match PREFETCH_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => Some(SamplePrefetch::Off),
+        2 => Some(SamplePrefetch::Inline),
+        3 => Some(SamplePrefetch::Thread),
+        _ => None,
+    }
+}
 
 /// The execution path of a job (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -293,6 +325,14 @@ pub struct Measurement {
     /// Simulator events popped (0 for live jobs, which have no event
     /// loop). Recorded in the timing sidecar, never in the report.
     pub sim_events: u64,
+    /// Ladder event-queue overflow pushes (0 for model/live jobs and
+    /// for any well-sized sim run — see [`rpcvalet::RunResult`]). Like
+    /// `sim_events`, a timing-sidecar health indicator, never part of
+    /// the comparable report.
+    pub queue_overflow_pushes: u64,
+    /// Ladder event-queue overflow migrations (the drain side of
+    /// `queue_overflow_pushes`).
+    pub queue_overflow_migrations: u64,
     /// Peak shared-CQ depth across dispatchers (sim jobs; 0 otherwise).
     pub dispatcher_high_water: usize,
     /// Preemption events (sim jobs with preemption; 0 otherwise).
@@ -475,6 +515,9 @@ impl ExperimentSpec {
                 let baked = self.trace_capacity;
                 let mut cfg = self.sim_config();
                 cfg.trace_capacity = baked.max(capture);
+                if let Some(mode) = prefetch_override() {
+                    cfg.prefetch = mode;
+                }
                 if series_interval_ps > 0 {
                     cfg.series_interval = Some(SimDuration::from_ps(series_interval_ps));
                 }
@@ -496,6 +539,8 @@ impl ExperimentSpec {
                     load_balance_jain: r.load_balance_jain,
                     flow_control_deferrals: r.flow_control_deferrals,
                     sim_events: r.events_processed,
+                    queue_overflow_pushes: r.queue_overflow_pushes,
+                    queue_overflow_migrations: r.queue_overflow_migrations,
                     dispatcher_high_water: r.dispatcher_high_water,
                     preemptions: r.preemptions,
                     trace_dropped: 0,
@@ -532,6 +577,8 @@ impl ExperimentSpec {
                     load_balance_jain: 1.0,
                     flow_control_deferrals: 0,
                     sim_events: r.events,
+                    queue_overflow_pushes: 0,
+                    queue_overflow_migrations: 0,
                     dispatcher_high_water: 0,
                     preemptions: 0,
                     trace_dropped: 0,
@@ -581,6 +628,8 @@ impl ExperimentSpec {
                     load_balance_jain: r.load_balance_jain,
                     flow_control_deferrals: 0,
                     sim_events: 0,
+                    queue_overflow_pushes: 0,
+                    queue_overflow_migrations: 0,
                     // The live analogue of the sim's peak shared-CQ depth:
                     // the server's own high-water gauge (queue depth for
                     // queue policies, posted-slot ring depth for

@@ -402,16 +402,31 @@ fn rows<'v>(value: &'v Value, what: &str) -> Result<&'v [Value], String> {
     }
 }
 
+/// Like [`rows`], but absent sections read as empty: report sections
+/// added after v1 (`wrap`, `samplers`) are missing from legacy files.
+fn opt_rows<'v>(value: &'v Value, what: &str) -> Result<&'v [Value], String> {
+    match value.get(what) {
+        None => Ok(&[]),
+        Some(Value::Array(items)) => Ok(items),
+        Some(_) => Err(format!("legacy simcore report: `{what}` is not an array")),
+    }
+}
+
 /// Reads the `simbench` suite report (the legacy root format, preserved
 /// as `crates/harness/tests/fixtures/legacy_simcore.json`,
 /// and the live suite output — `simbench --store` serializes through
 /// this same function, so the store and the migration agree by
 /// construction). Queue-churn rows are `info` (sub-second microbenches,
-/// warmup-noisy); full-system sim speedups gate `higher`; the
-/// deterministic event counts and p99s gate `exact`.
+/// warmup-noisy); wrap-churn overflow counters and window counts gate
+/// `exact` (deterministic, and zero-overflow is the rolling-window
+/// property under test); blocked-sampler and full-system sim speedups
+/// gate `higher`, as does the fig8 ladder events/sec (the raw-speed
+/// trajectory number); deterministic event counts and p99s gate `exact`.
 pub fn entry_from_simcore_value(report: &Value, commit: &str) -> Result<TrajectoryEntry, String> {
     let version = uint(report.get_or_err("version").map_err(|e| e.to_string())?, "version")?;
     let queue = rows(report, "queue")?;
+    let wrap = opt_rows(report, "wrap")?;
+    let samplers = opt_rows(report, "samplers")?;
     let sim = rows(report, "sim")?;
     let sweep = rows(report, "sweep")?;
 
@@ -432,13 +447,49 @@ pub fn entry_from_simcore_value(report: &Value, commit: &str) -> Result<Trajecto
     }
     let mut requests = 0;
     let mut jobs = queue.len() as u64;
+    for row in wrap {
+        let pending = uint(&row["pending"], "wrap.pending")?;
+        jobs += 1;
+        for (field, gate) in [
+            ("ladder_meps", GATE_INFO),
+            ("windows_crossed", GATE_EXACT),
+            ("overflow_pushes", GATE_EXACT),
+            ("overflow_migrations", GATE_EXACT),
+        ] {
+            metrics.push(TrajectoryMetric {
+                name: format!("wrap/depth{pending}/{field}"),
+                value: num(&row[field], field)?,
+                gate: gate.to_owned(),
+            });
+        }
+    }
+    for row in samplers {
+        let label = text(&row["label"], "samplers.label")?;
+        jobs += 1;
+        for (field, gate) in [
+            ("scalar_msps", GATE_INFO),
+            ("blocked_msps", GATE_INFO),
+            ("speedup", GATE_HIGHER),
+        ] {
+            metrics.push(TrajectoryMetric {
+                name: format!("samplers/{label}/{field}"),
+                value: num(&row[field], field)?,
+                gate: gate.to_owned(),
+            });
+        }
+    }
+    // v2 reports promote the fig8 ladder events/sec from a recorded-only
+    // trajectory number to a `higher` gate (the raw-speed headline); v1
+    // entries keep `info` so the committed legacy migration stays
+    // bit-identical.
+    let eps_gate = if version >= 2 { GATE_HIGHER } else { GATE_INFO };
     for row in sim {
         let label = text(&row["label"], "sim.label")?;
         requests = uint(&row["requests"], "sim.requests")?;
         jobs += 1;
         for (field, gate) in [
             ("heap_eps", GATE_INFO),
-            ("ladder_eps", GATE_INFO),
+            ("ladder_eps", eps_gate),
             ("speedup", GATE_HIGHER),
             ("events", GATE_EXACT),
             ("p99_latency_ns", GATE_EXACT),
@@ -732,6 +783,8 @@ mod tests {
                         load_balance_jain: 1.0,
                         flow_control_deferrals: 0,
                         sim_events: 0,
+                        queue_overflow_pushes: 0,
+                        queue_overflow_migrations: 0,
                         dispatcher_high_water: 3,
                         preemptions: 0,
                         trace_dropped: 0,

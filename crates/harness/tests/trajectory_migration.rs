@@ -69,10 +69,12 @@ fn simcore_store_carries_legacy_suite_bit_identical() {
     assert_eq!(name, "simcore");
     let store = TrajectoryStore::from_json(&read("BENCH/simcore.json")).unwrap();
     assert_eq!(store.scenario, "simcore");
+    // The store is append-only: later PRs record fresh entries behind
+    // the migrated one, but entry 0 must stay the legacy report bit for
+    // bit.
     assert_eq!(
-        store.entries,
-        vec![entry],
-        "BENCH/simcore.json must be exactly the migrated legacy report"
+        store.entries[0], entry,
+        "BENCH/simcore.json entry 0 must be exactly the migrated legacy report"
     );
 
     let e = &store.entries[0];
@@ -107,6 +109,31 @@ fn simcore_store_carries_legacy_suite_bit_identical() {
         e.measurement_digest.is_empty(),
         "wall-clock suite has no deterministic digest"
     );
+}
+
+#[test]
+fn recorded_simcore_entries_carry_the_v2_sections() {
+    // The latest recorded entry (raw-speed round 2 onward) must carry
+    // the wrap-churn and sampler rows with their gates: overflow
+    // counters exact at zero (the rolling-window property), blocked
+    // speedups and the fig8 ladder events/sec gated `higher`.
+    let store = TrajectoryStore::from_json(&read("BENCH/simcore.json")).unwrap();
+    let latest = store.entries.last().unwrap();
+    assert!(latest.schema_version >= 2, "latest entry predates report v2");
+    let metric = |name: &str| {
+        latest
+            .metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name} missing from latest entry"))
+    };
+    let pushes = metric("wrap/depth64/overflow_pushes");
+    assert_eq!(pushes.gate, "exact");
+    assert_eq!(pushes.value, 0.0, "rolling window must not spill");
+    assert_eq!(metric("wrap/depth1024/overflow_migrations").value, 0.0);
+    assert_eq!(metric("samplers/exp600/speedup").gate, "higher");
+    assert_eq!(metric("samplers/traffic/speedup").gate, "higher");
+    assert_eq!(metric("sim/1x16/ladder_eps").gate, "higher");
 }
 
 #[test]

@@ -123,6 +123,31 @@ impl Summary {
         }
     }
 
+    /// Records a block of values in nanoseconds.
+    ///
+    /// This is the batch entry point the blocked sampling paths use. It
+    /// replays the exact per-sample Welford update of
+    /// [`record_ns`](Self::record_ns) in one tight loop — a Chan-style
+    /// block merge (build a block summary, then [`merge`](Self::merge))
+    /// would be O(1) rounding steps cheaper but produces *different*
+    /// float bits, and the workspace's determinism gates pin the scalar
+    /// sequence. The win here is the inlined loop without per-call
+    /// dispatch; exactness wins over the fancier merge.
+    pub fn record_block(&mut self, block: &[f64]) {
+        for &ns in block {
+            self.count += 1;
+            let delta = ns - self.mean_ns;
+            self.mean_ns += delta / self.count as f64;
+            self.m2 += delta * (ns - self.mean_ns);
+            if ns < self.min_ns {
+                self.min_ns = ns;
+            }
+            if ns > self.max_ns {
+                self.max_ns = ns;
+            }
+        }
+    }
+
     /// Merges another summary into this one (parallel Welford).
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -231,6 +256,49 @@ mod tests {
         c.merge(&a);
         assert_eq!(c.count(), 1);
         assert_eq!(c.mean_ns(), 5.0);
+    }
+
+    #[test]
+    fn record_block_is_bit_identical_to_scalar_loop() {
+        // A stream nasty enough to expose any reordering: mixed
+        // magnitudes, negatives, repeats.
+        let vals: Vec<f64> = (0..500)
+            .map(|i| ((i * 2_654_435_761u64 % 10_000) as f64 - 3_000.0) * 0.37)
+            .collect();
+        let mut scalar = Summary::new();
+        for &v in &vals {
+            scalar.record_ns(v);
+        }
+        // Blocked, in ragged chunks (1, 2, 4, ... wrap) to cross block
+        // boundaries at odd offsets.
+        let mut blocked = Summary::new();
+        let mut rest = &vals[..];
+        let mut chunk = 1usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            blocked.record_block(&rest[..take]);
+            rest = &rest[take..];
+            chunk = if chunk >= 128 { 1 } else { chunk * 2 };
+        }
+        assert_eq!(scalar.count(), blocked.count());
+        assert_eq!(scalar.mean_ns().to_bits(), blocked.mean_ns().to_bits());
+        assert_eq!(
+            scalar.variance_ns2().to_bits(),
+            blocked.variance_ns2().to_bits()
+        );
+        assert_eq!(scalar.min_ns().to_bits(), blocked.min_ns().to_bits());
+        assert_eq!(scalar.max_ns().to_bits(), blocked.max_ns().to_bits());
+    }
+
+    #[test]
+    fn record_block_empty_is_noop() {
+        let mut s = Summary::new();
+        s.record_block(&[]);
+        assert_eq!(s.count(), 0);
+        s.record_ns(7.0);
+        let before = s.clone();
+        s.record_block(&[]);
+        assert_eq!(s, before);
     }
 
     #[test]

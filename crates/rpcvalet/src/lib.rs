@@ -68,5 +68,6 @@ pub use mcs::McsParams;
 pub use sweep::{sweep_rates, RateSweepSpec};
 pub use trace::{RequestTrace, TraceLog};
 pub use system::{
-    PreemptionParams, RequestSchedule, RunResult, ServerSim, SystemConfig, SystemConfigBuilder,
+    PreemptionParams, RequestSchedule, RunResult, SamplePrefetch, ServerSim, SystemConfig,
+    SystemConfigBuilder, PREFETCH_BLOCK,
 };

@@ -20,7 +20,7 @@ use metrics::{quantiles_unsorted, Summary};
 use rand::Rng;
 use simkit::rng::stream_rng;
 use simkit::{Engine, EventQueueKind, SimDuration, SimTime};
-use sonuma::{packets_for, ChipParams, NiBackend, TrafficGenerator};
+use sonuma::{packets_for, Arrival, ChipParams, NiBackend, TrafficGenerator};
 
 use crate::dispatch::{rss_core_for_source, Dispatcher, Policy};
 use crate::domain::MessagingDomain;
@@ -56,6 +56,41 @@ impl PreemptionParams {
         }
     }
 }
+
+/// How the generated-traffic variate stream (arrival gaps, sources,
+/// service times) is produced for the event loop.
+///
+/// All three modes are bit-identical by construction: each RNG stream
+/// (arrivals on one, service draws on another) is consumed in the scalar
+/// order with the scalar per-sample arithmetic — the blocked modes only
+/// move *when* the draws happen, never *what* they compute. The
+/// `prefetch_modes_are_bit_identical` test pins this, and the CI
+/// equivalence smoke diffs whole reports across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplePrefetch {
+    /// One scalar draw per arrival, inside the event loop — the
+    /// reference path the blocked modes are checked against.
+    Off,
+    /// Blocked inline generation (the default): the next
+    /// [`PREFETCH_BLOCK`] variates are drawn into a reused buffer in
+    /// tight per-distribution loops, then handed out one arrival at a
+    /// time; the ln/exp transforms vectorize and the event loop touches
+    /// no RNG state between refills.
+    #[default]
+    Inline,
+    /// A decoupled producer thread generates blocks ahead of the event
+    /// loop over a small bounded channel. Deterministic by construction
+    /// (the stream's *content* never depends on timing); on a single
+    /// hardware thread this mostly demonstrates the decoupling — the
+    /// win appears when a spare core can hide the variate generation.
+    Thread,
+}
+
+/// Variates generated per refill by the blocked prefetch modes.
+pub const PREFETCH_BLOCK: usize = 256;
+
+/// Blocks buffered in flight by [`SamplePrefetch::Thread`]'s channel.
+const PREFETCH_DEPTH: usize = 4;
 
 /// A recorded arrival schedule: the replay input for
 /// `harness trace --replay`, where a captured trace (typically a live
@@ -191,6 +226,11 @@ pub struct SystemConfig {
     /// bit-identical order, so this knob trades speed only — `simbench`
     /// uses it to compare the backends on identical runs.
     pub event_queue: EventQueueKind,
+    /// How the generated-traffic variate stream is produced (see
+    /// [`SamplePrefetch`]). Ignored under replay, which reads the
+    /// recorded schedule and draws nothing. Every mode yields
+    /// bit-identical measurements; the knob trades speed only.
+    pub prefetch: SamplePrefetch,
 }
 
 impl SystemConfig {
@@ -232,6 +272,7 @@ impl SystemConfigBuilder {
                 critical_threshold_ns: None,
                 rss_per_flow: false,
                 event_queue: EventQueueKind::default_ladder(),
+                prefetch: SamplePrefetch::default(),
             },
         }
     }
@@ -357,6 +398,12 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Selects the variate prefetch mode (see [`SamplePrefetch`]).
+    pub fn prefetch(mut self, prefetch: SamplePrefetch) -> Self {
+        self.config.prefetch = prefetch;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -457,6 +504,17 @@ pub struct RunResult {
     /// in-flight request count (not the total request count) whenever
     /// tracing is off and slots recycle.
     pub slab_high_water: usize,
+    /// Events the ladder event queue routed to its far-future overflow
+    /// heap on push (always 0 for the heap backend). Zero on a
+    /// well-sized steady-state run — the rolling window absorbs every
+    /// in-horizon schedule without touching the heap; a persistent
+    /// non-zero count means the workload's lookahead exceeds the
+    /// configured ladder horizon (see [`simkit::QueueStats`]).
+    pub queue_overflow_pushes: u64,
+    /// Events migrated back from the ladder's overflow heap into the
+    /// near window (the matching drain side of
+    /// [`RunResult::queue_overflow_pushes`]).
+    pub queue_overflow_migrations: u64,
 }
 
 impl RunResult {
@@ -613,6 +671,205 @@ fn series_groups(cfg: &SystemConfig) -> usize {
     }
 }
 
+/// One pre-generated chunk of the arrival/service variate stream.
+struct VariateBlock {
+    arrivals: Vec<Arrival>,
+    service_ns: Vec<f64>,
+}
+
+impl VariateBlock {
+    fn empty() -> Self {
+        VariateBlock {
+            arrivals: Vec::new(),
+            service_ns: Vec::new(),
+        }
+    }
+
+    /// Draws the next `n` variates of both streams into this block. The
+    /// two streams live on separate RNGs, so generating all arrivals and
+    /// then all service times consumes each stream in exactly the scalar
+    /// interleaved order.
+    fn refill(
+        &mut self,
+        n: usize,
+        traffic: &mut TrafficGenerator,
+        service: &ServiceDist,
+        service_rng: &mut rand::rngs::SmallRng,
+    ) {
+        const FILLER: Arrival = Arrival {
+            time: SimTime::ZERO,
+            source: sonuma::NodeId(0),
+        };
+        self.arrivals.clear();
+        self.arrivals.resize(n, FILLER);
+        traffic.next_arrival_block(&mut self.arrivals);
+        self.service_ns.clear();
+        self.service_ns.resize(n, 0.0);
+        service.sample_block(service_rng, &mut self.service_ns);
+    }
+
+    fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// The `i`-th (arrival time, source, service) triple. The ns → tick
+    /// conversion here is the same `from_ns_f64` the scalar
+    /// [`ServiceDist::sample`] applies, so deferring it to consumption
+    /// changes no bits.
+    #[inline]
+    fn get(&self, i: usize) -> (SimTime, usize, SimDuration) {
+        let a = self.arrivals[i];
+        (
+            a.time,
+            a.source.index(),
+            SimDuration::from_ns_f64(self.service_ns[i]),
+        )
+    }
+}
+
+/// The generated-traffic variate producer behind
+/// [`Runner::schedule_next_arrival`] — scalar, blocked-inline, or a
+/// decoupled producer thread, per [`SamplePrefetch`]. Replay runs hold
+/// the inert `Scalar` variant and never call [`VariateSource::next`].
+enum VariateSource {
+    /// Scalar draws in the event loop ([`SamplePrefetch::Off`]).
+    Scalar {
+        traffic: TrafficGenerator,
+        service_rng: rand::rngs::SmallRng,
+    },
+    /// Blocked inline generation ([`SamplePrefetch::Inline`]).
+    Inline {
+        traffic: TrafficGenerator,
+        service_rng: rand::rngs::SmallRng,
+        block: VariateBlock,
+        cursor: usize,
+        /// Requests not yet drawn into any block; refills clamp to this
+        /// so the RNG streams are consumed exactly as far as scalar mode
+        /// would.
+        left: u64,
+    },
+    /// Decoupled producer thread ([`SamplePrefetch::Thread`]).
+    Thread {
+        /// `Some` until drop; taken first so a producer blocked on the
+        /// full channel wakes (send error) before the join.
+        rx: Option<std::sync::mpsc::Receiver<VariateBlock>>,
+        producer: Option<std::thread::JoinHandle<()>>,
+        block: VariateBlock,
+        cursor: usize,
+    },
+}
+
+impl VariateSource {
+    fn new(cfg: &SystemConfig) -> Self {
+        let traffic = TrafficGenerator::new(cfg.cluster_nodes, cfg.rate_rps, cfg.seed);
+        let service_rng = stream_rng(cfg.seed, 1);
+        let mode = if cfg.schedule.is_some() {
+            SamplePrefetch::Off
+        } else {
+            cfg.prefetch
+        };
+        match mode {
+            SamplePrefetch::Off => VariateSource::Scalar {
+                traffic,
+                service_rng,
+            },
+            SamplePrefetch::Inline => VariateSource::Inline {
+                traffic,
+                service_rng,
+                block: VariateBlock::empty(),
+                cursor: 0,
+                left: cfg.requests,
+            },
+            SamplePrefetch::Thread => {
+                let (tx, rx) = std::sync::mpsc::sync_channel(PREFETCH_DEPTH);
+                let service = cfg.service.clone();
+                let mut traffic = traffic;
+                let mut service_rng = service_rng;
+                let mut left = cfg.requests;
+                let producer = std::thread::spawn(move || {
+                    while left > 0 {
+                        let n = (left as usize).min(PREFETCH_BLOCK);
+                        let mut block = VariateBlock::empty();
+                        block.refill(n, &mut traffic, &service, &mut service_rng);
+                        left -= n as u64;
+                        if tx.send(block).is_err() {
+                            return; // consumer dropped mid-run
+                        }
+                    }
+                });
+                VariateSource::Thread {
+                    rx: Some(rx),
+                    producer: Some(producer),
+                    block: VariateBlock::empty(),
+                    cursor: 0,
+                }
+            }
+        }
+    }
+
+    /// The next (arrival time, source, service time) triple —
+    /// bit-identical across all modes for a given seed.
+    fn next(&mut self, service: &ServiceDist) -> (SimTime, usize, SimDuration) {
+        match self {
+            VariateSource::Scalar {
+                traffic,
+                service_rng,
+            } => {
+                let arrival = traffic.next_arrival();
+                let drawn = service.sample(service_rng);
+                (arrival.time, arrival.source.index(), drawn)
+            }
+            VariateSource::Inline {
+                traffic,
+                service_rng,
+                block,
+                cursor,
+                left,
+            } => {
+                if *cursor == block.len() {
+                    let n = (*left as usize).min(PREFETCH_BLOCK);
+                    debug_assert!(n > 0, "the caller never draws past cfg.requests");
+                    block.refill(n, traffic, service, service_rng);
+                    *left -= n as u64;
+                    *cursor = 0;
+                }
+                let i = *cursor;
+                *cursor = i + 1;
+                block.get(i)
+            }
+            VariateSource::Thread {
+                rx, block, cursor, ..
+            } => {
+                if *cursor == block.len() {
+                    *block = rx
+                        .as_ref()
+                        .expect("receiver lives until drop")
+                        .recv()
+                        .expect("producer covers exactly cfg.requests variates");
+                    *cursor = 0;
+                }
+                let i = *cursor;
+                *cursor = i + 1;
+                block.get(i)
+            }
+        }
+    }
+}
+
+impl Drop for VariateSource {
+    fn drop(&mut self) {
+        if let VariateSource::Thread { rx, producer, .. } = self {
+            // Dropping the receiver first unblocks a producer parked on
+            // the full channel; the join then reaps it promptly instead
+            // of leaking a thread per abandoned run.
+            drop(rx.take());
+            if let Some(handle) = producer.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
 /// Internal mutable simulation state.
 struct Runner<'a> {
     cfg: &'a SystemConfig,
@@ -620,8 +877,9 @@ struct Runner<'a> {
     /// The message slab and sample buffers, reused across runs.
     scratch: &'a mut RunScratch,
     engine: Engine<Ev>,
-    traffic: TrafficGenerator,
-    service_rng: rand::rngs::SmallRng,
+    /// Arrival/service variate stream (scalar, blocked, or threaded —
+    /// see [`SamplePrefetch`]); replay runs never consult it.
+    variates: VariateSource,
     static_rng: rand::rngs::SmallRng,
     domain: MessagingDomain,
     reassembly: ReassemblyTable,
@@ -735,8 +993,7 @@ impl<'a> Runner<'a> {
             cfg,
             scratch,
             engine,
-            traffic: TrafficGenerator::new(cfg.cluster_nodes, cfg.rate_rps, cfg.seed),
-            service_rng: stream_rng(cfg.seed, 1),
+            variates: VariateSource::new(cfg),
             static_rng: stream_rng(cfg.seed, 2),
             domain: MessagingDomain::new(
                 cfg.cluster_nodes,
@@ -843,11 +1100,7 @@ impl<'a> Runner<'a> {
                     SimDuration::from_ns_f64(schedule.service_ns[i]),
                 )
             }
-            None => {
-                let arrival = self.traffic.next_arrival();
-                let service = self.cfg.service.sample(&mut self.service_rng);
-                (arrival.time, arrival.source.index(), service)
-            }
+            None => self.variates.next(&self.cfg.service),
         };
         self.generated += 1;
         self.next_msg = self.scratch.msgs.alloc(MsgState {
@@ -1293,7 +1546,10 @@ impl<'a> Runner<'a> {
 
     fn finish(mut self) -> RunResult {
         // Hand the (now idle) engine back for the next run on this
-        // thread; the placeholder heap engine allocates nothing.
+        // thread; the placeholder heap engine allocates nothing. The
+        // queue telemetry is read first — `Engine::reset` on reuse
+        // clears the counters for the next run.
+        let queue_stats = self.engine.queue_stats();
         let engine = std::mem::replace(&mut self.engine, Engine::new());
         let events_processed = engine.events_processed();
         self.scratch.engine = Some((self.cfg.event_queue, engine));
@@ -1326,6 +1582,8 @@ impl<'a> Runner<'a> {
         };
         RunResult {
             events_processed,
+            queue_overflow_pushes: queue_stats.overflow_pushes,
+            queue_overflow_migrations: queue_stats.overflow_migrations,
             slab_high_water: self.scratch.msgs.high_water(),
             label: self
                 .cfg
@@ -1527,6 +1785,92 @@ mod tests {
             assert_eq!(h.flow_control_deferrals, l.flow_control_deferrals);
             assert_eq!(h.events_processed, l.events_processed);
         }
+    }
+
+    #[test]
+    fn prefetch_modes_are_bit_identical() {
+        // The decoupling contract: Off (scalar reference), Inline
+        // (blocked ping-pong buffer), and Thread (producer thread over a
+        // channel) must agree on every output bit. Exercised with both a
+        // blockable service dist (exponential) and one that falls back
+        // to scalar selection (mixture).
+        let services = [
+            ServiceDist::exponential_mean_ns(600.0),
+            ServiceDist::mixture(vec![
+                (0.95, ServiceDist::lognormal_mean_ns(500.0, 0.4)),
+                (0.05, ServiceDist::gev_cycles(363.0, 100.0, 0.65)),
+            ]),
+        ];
+        for service in services {
+            let mk = |prefetch: SamplePrefetch| {
+                let mut cfg = base(Policy::hw_single_queue(), 12.0e6, 55);
+                cfg.service = service.clone();
+                cfg.prefetch = prefetch;
+                ServerSim::new(cfg).run()
+            };
+            let off = mk(SamplePrefetch::Off);
+            let inline = mk(SamplePrefetch::Inline);
+            let threaded = mk(SamplePrefetch::Thread);
+            for r in [&inline, &threaded] {
+                assert_eq!(off.p99_latency_ns.to_bits(), r.p99_latency_ns.to_bits());
+                assert_eq!(off.p50_latency_ns.to_bits(), r.p50_latency_ns.to_bits());
+                assert_eq!(off.mean_latency_ns.to_bits(), r.mean_latency_ns.to_bits());
+                assert_eq!(off.throughput_rps.to_bits(), r.throughput_rps.to_bits());
+                assert_eq!(off.measured, r.measured);
+                assert_eq!(off.events_processed, r.events_processed);
+                assert_eq!(off.core_completions, r.core_completions);
+                assert_eq!(off.flow_control_deferrals, r.flow_control_deferrals);
+            }
+        }
+        // Blocked inline generation is the default.
+        assert_eq!(
+            SystemConfig::builder().build().prefetch,
+            SamplePrefetch::Inline
+        );
+    }
+
+    #[test]
+    fn replay_ignores_prefetch_mode() {
+        let schedule = std::sync::Arc::new(synthetic_schedule(1_000, 300, 700.0));
+        let mk = |prefetch: SamplePrefetch| {
+            let mut cfg = replay_cfg(schedule.clone(), 1_000);
+            cfg.prefetch = prefetch;
+            ServerSim::new(cfg).run()
+        };
+        let off = mk(SamplePrefetch::Off);
+        let threaded = mk(SamplePrefetch::Thread);
+        assert_eq!(off.p99_latency_ns.to_bits(), threaded.p99_latency_ns.to_bits());
+        assert_eq!(off.measured, threaded.measured);
+    }
+
+    #[test]
+    fn queue_stats_surface_in_run_result() {
+        // Heap backend: trivially zero.
+        let mut heap_cfg = base(Policy::hw_single_queue(), 14.0e6, 4);
+        heap_cfg.event_queue = EventQueueKind::Heap;
+        let h = ServerSim::new(heap_cfg).run();
+        assert_eq!((h.queue_overflow_pushes, h.queue_overflow_migrations), (0, 0));
+
+        // Ladder, deliberately starved horizon: every service completion
+        // (≈ 820 ns lookahead) overshoots a 100 ns window and must round-
+        // trip through the overflow heap — the counters light up and
+        // stay balanced.
+        let mut tight_cfg = base(Policy::hw_single_queue(), 2.0e6, 4);
+        tight_cfg.requests = 5_000;
+        tight_cfg.warmup = 500;
+        tight_cfg.event_queue = EventQueueKind::Ladder {
+            horizon: simkit::SimDuration::from_ns(100),
+        };
+        let t = ServerSim::new(tight_cfg).run();
+        assert!(
+            t.queue_overflow_pushes > 1_000,
+            "starved horizon must overflow, pushes {}",
+            t.queue_overflow_pushes
+        );
+        assert_eq!(
+            t.queue_overflow_pushes, t.queue_overflow_migrations,
+            "a drained run migrates every overflowed event back"
+        );
     }
 
     #[test]

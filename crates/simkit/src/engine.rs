@@ -23,7 +23,7 @@
 //! assert_eq!(engine.now().as_ns(), 10);
 //! ```
 
-use crate::event::{EventQueue, EventQueueKind, Scheduled};
+use crate::event::{EventQueue, EventQueueKind, QueueStats, Scheduled};
 use crate::time::{SimDuration, SimTime};
 
 /// A simulation clock and event queue.
@@ -85,6 +85,13 @@ impl<E> Engine<E> {
     #[inline]
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Queue-backend telemetry counters (see [`QueueStats`]); all-zero on
+    /// the heap backend.
+    #[inline]
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Schedules `event` to fire `delay` after the current instant.

@@ -49,12 +49,18 @@ pub enum EventQueueKind {
 
 impl EventQueueKind {
     /// The ladder backend with the default horizon used by the
-    /// full-system simulator (4 µs — a few times the NI + service
-    /// lookahead of a sub-µs RPC workload; `simbench --horizons`
+    /// full-system simulator. 16 µs keeps the overflow heap cold even
+    /// against the *tail* of a sub-µs RPC workload's lookahead: an
+    /// exponential 600 ns service exceeds a 4 µs window ~e⁻⁶ of the
+    /// time (hundreds of spills per million requests) but exceeds 16 µs
+    /// with probability ~e⁻²⁷ — never, at any realistic request count.
+    /// Since every backend pops in bit-identical order, the horizon
+    /// trades speed only, and the wider window also wins on raw
+    /// throughput (fewer ring-skip scans per pop; `simbench --horizons`
     /// re-derives this choice empirically).
     pub fn default_ladder() -> Self {
         EventQueueKind::Ladder {
-            horizon: SimDuration::from_us(4),
+            horizon: SimDuration::from_us(16),
         }
     }
 }
@@ -92,6 +98,23 @@ impl<E> Ord for Entry<E> {
             .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// Backend telemetry counters, exported into the harness timing sidecar.
+///
+/// Only the ladder backend produces non-zero values: `overflow_pushes`
+/// counts events that missed the rolling near window and landed in the
+/// overflow heap, `overflow_migrations` counts events later pulled back
+/// into rings. Both are **zero in steady state** when the scheduling
+/// lookahead fits the configured horizon — the property that makes the
+/// ladder allocation-free and O(1); a non-zero count on a steady
+/// workload means the horizon is mis-sized.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events routed to the far-future overflow heap on push.
+    pub overflow_pushes: u64,
+    /// Events migrated from the overflow heap back into near rings.
+    pub overflow_migrations: u64,
 }
 
 #[derive(Debug)]
@@ -189,6 +212,21 @@ impl<E> EventQueue<E> {
         match &self.backend {
             Backend::Heap(heap) => heap.peek().map(|e| e.time),
             Backend::Ladder(ladder) => ladder.peek_time(),
+        }
+    }
+
+    /// Backend telemetry counters (all-zero for the heap backend; see
+    /// [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        match &self.backend {
+            Backend::Heap(_) => QueueStats::default(),
+            Backend::Ladder(ladder) => {
+                let (overflow_pushes, overflow_migrations) = ladder.stats();
+                QueueStats {
+                    overflow_pushes,
+                    overflow_migrations,
+                }
+            }
         }
     }
 

@@ -45,5 +45,5 @@ pub mod time;
 pub mod wheel;
 
 pub use engine::Engine;
-pub use event::{EventQueue, EventQueueKind, Scheduled};
+pub use event::{EventQueue, EventQueueKind, QueueStats, Scheduled};
 pub use time::{SimDuration, SimTime, DEFAULT_CLOCK_GHZ};

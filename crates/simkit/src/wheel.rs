@@ -1,4 +1,5 @@
-//! A deterministic two-level ladder/calendar event queue.
+//! A deterministic two-level ladder/calendar event queue with a
+//! *rolling* near-future window.
 //!
 //! The hot path of every simulation in this workspace is `EventQueue`
 //! push/pop churn. A binary heap costs `O(log n)` comparisons and entry
@@ -7,35 +8,53 @@
 //! bounded lookahead past the current clock — to make both operations
 //! `O(1)` amortized with **zero allocation in steady state**:
 //!
-//! * **Near level**: a window of [`NUM_BUCKETS`] FIFO rings covering
-//!   `[base, base + horizon)`. A push appends to the ring indexed by the
-//!   event's time (one integer divide); rings are plain `Vec`s whose
-//!   capacity is retained forever, so steady-state pushes never allocate.
-//! * **Far level**: events beyond the window land in an overflow binary
-//!   heap. When the window drains, it re-anchors at the earliest overflow
-//!   event and pulls everything inside the new window back into rings —
-//!   amortized `O(1)` per event because each event overflows at most once
-//!   per window advance.
+//! * **Near level**: a window of [`NUM_BUCKETS`] FIFO rings covering the
+//!   `NUM_BUCKETS` time slots starting at the cursor's slot. Slots map to
+//!   rings *modulo* `NUM_BUCKETS`, so the window **rolls forward with the
+//!   cursor**: as the live ring drains, the slot one window ahead becomes
+//!   schedulable in the ring just vacated. A push appends to the ring
+//!   indexed by the event's absolute slot (shift + mask); rings are plain
+//!   `Vec`s whose capacity is retained forever, so steady-state pushes
+//!   never allocate — and, unlike an anchored window, steady-state pushes
+//!   with lookahead under the horizon *never* spill to overflow no matter
+//!   how far the clock has advanced.
+//! * **Far level**: events beyond the rolling window land in an overflow
+//!   binary heap. At the top of each pop, any overflow entries that the
+//!   rolled window has since caught up with are migrated into rings (each
+//!   entry overflows and migrates at most once); when the rings are empty
+//!   the window re-anchors at the earliest overflow event in O(1) — no
+//!   ring is drained or refilled by the re-anchor itself.
+//!
+//! The [`stats`](LadderQueue::stats) counters record how many entries
+//! took the overflow path and how many were migrated back; on a
+//! steady-state workload whose scheduling lookahead fits the horizon both
+//! stay zero, which the timing sidecar surfaces as proof.
 //!
 //! **Exact determinism.** Pop returns the minimum `(time, seq)` entry,
 //! bit-identical to the heap backend, under *any* interleaving of pushes
-//! and pops. The argument hinges on three invariants:
+//! and pops. The argument hinges on four invariants:
 //!
-//! 1. Rings past the cursor hold only events inside their exact time
-//!    slot; the cursor's own ring additionally absorbs "late" pushes
-//!    (time at or below the cursor slot — legal through the raw
-//!    `EventQueue` API), so no pending entry ever sits behind the cursor.
-//! 2. The cursor only advances over empty rings, so the first non-empty
-//!    ring contains the global near-minimum. On first touch that ring is
-//!    sorted once (descending `(time, seq)`) and drained from the back —
-//!    one `O(k log k)` sort serves `k` `O(1)` pops, and the rare push
-//!    landing inside the live ring binary-inserts to keep it exact.
-//! 3. Overflow entries fire strictly after every near entry (they lie at
-//!    or beyond the window end), so the two levels never race.
+//! 1. Every occupied ring holds events of exactly one absolute slot in
+//!    `[cursor_slot, cursor_slot + NUM_BUCKETS)`; the cursor's own ring
+//!    additionally absorbs "late" pushes (time at or below the cursor
+//!    slot — legal through the raw `EventQueue` API), so no pending entry
+//!    ever maps behind the cursor.
+//! 2. Because each in-window slot owns a distinct ring, the circular
+//!    occupancy-bitmap scan starting at the cursor's ring visits rings in
+//!    ascending slot order — the first occupied ring contains the global
+//!    near-minimum. On first touch that ring is sorted once (descending
+//!    `(time, seq)`) and drained from the back; a push landing inside the
+//!    live ring binary-inserts to keep it exact.
+//! 3. Overflow entries migrate into rings *before* the cursor scan of the
+//!    pop that could need them, so a far event the window has rolled over
+//!    can never be bypassed by a younger near event.
+//! 4. After migration, every overflow entry lies at least one full window
+//!    past the cursor slot, strictly after every near entry, so the two
+//!    levels never race.
 //!
 //! Property tests in `tests/ladder_properties.rs` check pop-order
 //! equivalence against the heap backend over arbitrary interleavings,
-//! including same-instant FIFO ties.
+//! including same-instant FIFO ties and window-boundary straddles.
 
 use std::collections::BinaryHeap;
 
@@ -47,35 +66,43 @@ use crate::time::{SimDuration, SimTime};
 /// well-chosen horizon.
 pub(crate) const NUM_BUCKETS: usize = 512;
 
+/// Occupancy-bitmap words (power of two, so the circular word scan is a
+/// mask, not a modulo).
+const WORDS: usize = NUM_BUCKETS / 64;
+
 #[derive(Debug)]
 pub(crate) struct LadderQueue<E> {
-    /// The near-future rings; ring `i` covers
-    /// `[base + i·width, base + (i+1)·width)`.
+    /// The near-future rings; the ring for absolute slot `s` is
+    /// `s & (NUM_BUCKETS - 1)` — indexing is modular, so the window rolls
+    /// instead of draining.
     buckets: Vec<Vec<Entry<E>>>,
     /// Ring-occupancy bitmap (bit `i` ⇔ ring `i` non-empty). The cursor
     /// advance is a masked `trailing_zeros` over these dense words
     /// instead of a pointer-chasing walk over 512 scattered ring
     /// headers — the single hottest load in the whole simulator.
-    occupied: [u64; NUM_BUCKETS / 64],
+    occupied: [u64; WORDS],
     /// Ring width as a power-of-two shift (width = `1 << width_shift`
-    /// ps), so the per-push ring index is a shift, not a divide. The
-    /// requested horizon is rounded up to the next power-of-two multiple
-    /// of [`NUM_BUCKETS`]; any width is order-correct, this one is fast.
+    /// ps), so the per-push slot is a shift, not a divide. The requested
+    /// horizon is rounded up to the next power-of-two multiple of
+    /// [`NUM_BUCKETS`]; any width is order-correct, this one is fast.
     width_shift: u32,
-    /// Start of the current window (ps).
-    base_ps: u64,
-    /// Cached `base + NUM_BUCKETS << width_shift` (saturating).
-    end_ps: u64,
-    /// First ring that may still hold entries; never decreases within a
-    /// window.
-    cursor: usize,
+    /// Absolute slot of the live edge (`time >> width_shift`); the window
+    /// covers slots `[cursor_slot, cursor_slot + NUM_BUCKETS)` and never
+    /// moves backwards while entries are pending.
+    cursor_slot: u64,
     /// Whether the cursor ring has been sorted for draining (descending
     /// `(time, seq)`, so the exact minimum pops from the back in O(1)).
     cursor_sorted: bool,
     /// Entries currently in rings.
     near_len: usize,
-    /// Far-future entries, beyond `base + NUM_BUCKETS · width`.
+    /// Far-future entries, beyond `cursor_slot + NUM_BUCKETS` slots.
     overflow: BinaryHeap<Entry<E>>,
+    /// Entries that ever took the overflow path (telemetry; zero in
+    /// steady state when lookahead fits the horizon).
+    overflow_pushes: u64,
+    /// Entries migrated overflow → rings (telemetry; each overflowed
+    /// entry migrates at most once).
+    overflow_migrations: u64,
 }
 
 impl<E> LadderQueue<E> {
@@ -88,74 +115,85 @@ impl<E> LadderQueue<E> {
         let width = (horizon.as_ps() / NUM_BUCKETS as u64)
             .max(1)
             .next_power_of_two();
-        let mut q = LadderQueue {
+        LadderQueue {
             buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
-            occupied: [0; NUM_BUCKETS / 64],
+            occupied: [0; WORDS],
             width_shift: width.trailing_zeros(),
-            base_ps: 0,
-            end_ps: 0,
-            cursor: 0,
+            cursor_slot: 0,
             cursor_sorted: false,
             near_len: 0,
             overflow: BinaryHeap::new(),
-        };
-        q.rebase(0);
-        q
+            overflow_pushes: 0,
+            overflow_migrations: 0,
+        }
     }
 
-    /// Moves the window start to `base`, refreshing the cached end.
+    /// Re-anchors the window start at `slot` in O(1): with modular ring
+    /// indexing there is nothing to drain or refill — only the cursor
+    /// moves. Callers guarantee the rings are empty.
     #[inline]
-    fn rebase(&mut self, base: u64) {
-        self.base_ps = base;
-        self.end_ps = base.saturating_add((NUM_BUCKETS as u64) << self.width_shift);
-        self.cursor = 0;
+    fn re_anchor(&mut self, slot: u64) {
+        debug_assert_eq!(self.near_len, 0);
+        self.cursor_slot = slot;
         self.cursor_sorted = false;
+    }
+
+    /// `(overflow pushes, overflow migrations)` since construction or the
+    /// last [`clear`](Self::clear).
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.overflow_pushes, self.overflow_migrations)
+    }
+
+    /// Files `entry` (whose absolute slot is `slot`, already clamped into
+    /// the window) into its ring, preserving the live ring's sorted drain
+    /// order.
+    #[inline]
+    fn insert_near(&mut self, entry: Entry<E>, slot: u64) {
+        let idx = slot as usize & (NUM_BUCKETS - 1);
+        if slot == self.cursor_slot && self.cursor_sorted {
+            // The cursor ring is mid-drain in descending order; a binary
+            // insert keeps it exact. Rare: only events landing within one
+            // ring width of the live edge take this path.
+            let ring = &mut self.buckets[idx];
+            let key = (entry.time, entry.seq);
+            let pos = ring.partition_point(|e| (e.time, e.seq) > key);
+            ring.insert(pos, entry);
+        } else {
+            self.buckets[idx].push(entry);
+        }
+        self.occupied[idx >> 6] |= 1 << (idx & 63);
+        self.near_len += 1;
     }
 
     #[inline]
     pub(crate) fn push(&mut self, entry: Entry<E>) {
-        let t = entry.time.as_ps();
+        let slot = entry.time.as_ps() >> self.width_shift;
         if self.near_len == 0 && self.overflow.is_empty() {
             // Whole queue empty: re-anchor the window on this event so an
             // idle-then-busy simulation never routes through overflow.
-            self.rebase(t);
+            self.re_anchor(slot);
         }
-        if t >= self.end_ps {
+        if slot > self.cursor_slot && slot - self.cursor_slot >= NUM_BUCKETS as u64 {
+            self.overflow_pushes += 1;
             self.overflow.push(entry);
         } else {
-            // The shift rounds down; clamping to the cursor keeps late
-            // pushes (time at/below the cursor slot) poppable — the
-            // sorted drain of the cursor ring restores their exact order.
-            // The upper clamp only matters when `end_ps` saturated at
-            // u64::MAX (times within one window of the representable
-            // end): everything past the last ring piles into it, where
-            // the sorted drain again keeps the order exact.
-            let idx = (((t.saturating_sub(self.base_ps)) >> self.width_shift) as usize)
-                .clamp(self.cursor, NUM_BUCKETS - 1);
-            if idx == self.cursor && self.cursor_sorted {
-                // The cursor ring is mid-drain in descending order; a
-                // binary insert keeps it exact. Rare: only events landing
-                // within one ring width of the live edge take this path.
-                let ring = &mut self.buckets[idx];
-                let key = (entry.time, entry.seq);
-                let pos = ring.partition_point(|e| (e.time, e.seq) > key);
-                ring.insert(pos, entry);
-            } else {
-                self.buckets[idx].push(entry);
-            }
-            self.occupied[idx >> 6] |= 1 << (idx & 63);
-            self.near_len += 1;
+            // The max clamp keeps late pushes (time at/below the cursor
+            // slot) poppable — the sorted drain of the cursor ring
+            // restores their exact order.
+            self.insert_near(entry, slot.max(self.cursor_slot));
         }
     }
 
-    /// First occupied ring at or after `from`; caller guarantees one
-    /// exists (`near_len > 0` and no pending entry sits behind `from`).
+    /// First occupied ring at or after ring index `from`, searching
+    /// circularly (rings before `from` hold the window's wrapped tail, so
+    /// circular index order *is* ascending slot order). Caller guarantees
+    /// one exists (`near_len > 0`).
     #[inline]
     fn first_occupied(&self, from: usize) -> usize {
         let mut w = from >> 6;
         let mut word = self.occupied[w] & (!0u64 << (from & 63));
         while word == 0 {
-            w += 1;
+            w = (w + 1) & (WORDS - 1);
             word = self.occupied[w];
         }
         (w << 6) + word.trailing_zeros() as usize
@@ -163,16 +201,32 @@ impl<E> LadderQueue<E> {
 
     #[inline]
     pub(crate) fn pop(&mut self) -> Option<Entry<E>> {
-        if self.near_len == 0 {
-            if self.overflow.is_empty() {
-                return None;
+        if !self.overflow.is_empty() {
+            if self.near_len == 0 {
+                // O(1) re-anchor at the earliest far event; migration
+                // below pulls the window's worth in.
+                let slot = self
+                    .overflow
+                    .peek()
+                    .expect("overflow checked non-empty")
+                    .time
+                    .as_ps()
+                    >> self.width_shift;
+                self.re_anchor(slot);
             }
-            self.refill();
+            // Invariant 3: any far event the rolled window caught up with
+            // must be ringed *before* the cursor scan, or a younger near
+            // event could pop past it.
+            self.migrate_overflow();
+        } else if self.near_len == 0 {
+            return None;
         }
-        // Amortized O(1): the cursor never moves backwards in a window.
-        let next = self.first_occupied(self.cursor);
-        if next != self.cursor {
-            self.cursor = next;
+        let cursor_idx = self.cursor_slot as usize & (NUM_BUCKETS - 1);
+        // Amortized O(1): the cursor never moves backwards.
+        let next = self.first_occupied(cursor_idx);
+        if next != cursor_idx {
+            let advance = next.wrapping_sub(cursor_idx) & (NUM_BUCKETS - 1);
+            self.cursor_slot += advance as u64;
             self.cursor_sorted = false;
         }
         let ring = &mut self.buckets[next];
@@ -191,55 +245,60 @@ impl<E> LadderQueue<E> {
         entry
     }
 
-    /// Advances the window to the earliest overflow event and pulls every
-    /// overflow entry inside the new window into rings. Only called when
-    /// the rings are empty, so no near entry can be stranded behind the
-    /// new base.
-    fn refill(&mut self) {
-        debug_assert_eq!(self.near_len, 0);
-        let base = self
-            .overflow
-            .peek()
-            .expect("refill requires overflow entries")
-            .time
-            .as_ps();
-        self.rebase(base);
+    /// Moves every overflow entry the rolling window now covers into its
+    /// ring. Entries behind the cursor cannot exist here: overflow
+    /// entries lie a full window past the cursor slot at push time, and
+    /// the cursor advances by less than a window between migrations.
+    fn migrate_overflow(&mut self) {
         while let Some(e) = self.overflow.peek() {
-            if e.time.as_ps() >= self.end_ps {
+            let slot = e.time.as_ps() >> self.width_shift;
+            debug_assert!(slot >= self.cursor_slot, "overflow entry behind cursor");
+            if slot - self.cursor_slot >= NUM_BUCKETS as u64 {
                 break;
             }
             let e = self.overflow.pop().expect("peeked entry exists");
-            let idx = ((e.time.as_ps() - self.base_ps) >> self.width_shift) as usize;
-            self.buckets[idx].push(e);
-            self.occupied[idx >> 6] |= 1 << (idx & 63);
-            self.near_len += 1;
+            self.overflow_migrations += 1;
+            self.insert_near(e, slot);
         }
     }
 
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        let far = self.overflow.peek().map(|e| e.time);
         if self.near_len == 0 {
-            return self.overflow.peek().map(|e| e.time);
+            return far;
         }
-        let c = self.first_occupied(self.cursor);
-        if c == self.cursor && self.cursor_sorted {
-            return self.buckets[c].last().map(|e| e.time);
+        let cursor_idx = self.cursor_slot as usize & (NUM_BUCKETS - 1);
+        let c = self.first_occupied(cursor_idx);
+        let near = if c == cursor_idx && self.cursor_sorted {
+            self.buckets[c].last().map(|e| e.time)
+        } else {
+            self.buckets[c].iter().map(|e| e.time).min()
+        };
+        // Migration is lazy (top of pop), so an un-migrated overflow
+        // entry may precede every near entry; peek must consider both.
+        match (near, far) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
-        self.buckets[c].iter().map(|e| e.time).min()
     }
 
     pub(crate) fn len(&self) -> usize {
         self.near_len + self.overflow.len()
     }
 
-    /// Empties the ladder, retaining every ring's capacity.
+    /// Empties the ladder, retaining every ring's capacity; telemetry
+    /// counters reset so a reused queue reports per-run numbers.
     pub(crate) fn clear(&mut self) {
         for ring in &mut self.buckets {
             ring.clear();
         }
         self.overflow.clear();
-        self.occupied = [0; NUM_BUCKETS / 64];
+        self.occupied = [0; WORDS];
         self.near_len = 0;
-        self.rebase(0);
+        self.cursor_slot = 0;
+        self.cursor_sorted = false;
+        self.overflow_pushes = 0;
+        self.overflow_migrations = 0;
     }
 }
 
@@ -256,20 +315,21 @@ mod tests {
     }
 
     #[test]
-    fn far_events_overflow_and_refill() {
+    fn far_events_overflow_and_migrate() {
         let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
-        // width = 1 ps, window anchors at the first push: [5, 517).
+        // width = 1 ps, window anchors at the first push: slots [5, 517).
         q.push(entry(5, 0));
         q.push(entry(10_000, 1)); // beyond the window: overflow
         q.push(entry(20_000, 2)); // overflow
         q.push(entry(10_000, 3)); // same instant as seq 1, later push
         assert_eq!(q.len(), 4);
         assert_eq!(q.overflow.len(), 3);
-        // Draining the window refills from overflow (re-anchoring at
-        // 10_000) and preserves the same-instant FIFO order.
+        // Draining the window re-anchors at 10_000 and migrates the two
+        // now-covered events, preserving the same-instant FIFO order.
         let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.seq)).collect();
         assert_eq!(order, vec![0, 1, 3, 2]);
         assert!(q.pop().is_none());
+        assert_eq!(q.stats(), (3, 3));
     }
 
     #[test]
@@ -277,7 +337,7 @@ mod tests {
         let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
         q.push(entry(100, 0));
         q.push(entry(300, 1));
-        assert_eq!(q.pop().unwrap().seq, 0); // cursor advanced to ring 100
+        assert_eq!(q.pop().unwrap().seq, 0); // cursor at slot 100
         q.push(entry(50, 2)); // before the cursor slot: clamped, still next
         assert_eq!(q.pop().unwrap().seq, 2);
         assert_eq!(q.pop().unwrap().seq, 1);
@@ -288,7 +348,7 @@ mod tests {
         let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
         q.push(entry(200, 0));
         q.push(entry(64, 1));
-        assert_eq!(q.pop().unwrap().seq, 1); // cursor at ring 64
+        assert_eq!(q.pop().unwrap().seq, 1); // cursor at slot 64
         q.push(entry(200, 2)); // same instant as seq 0, later push
         q.push(entry(200, 3));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.seq)).collect();
@@ -305,17 +365,71 @@ mod tests {
         q.push(entry(50_000_000, 1));
         assert_eq!(q.overflow.len(), 0);
         assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.stats(), (0, 0));
     }
 
     #[test]
-    fn clear_retains_ring_capacity() {
+    fn rolling_window_absorbs_bounded_lookahead_without_overflow() {
+        // The headline property of the rolling window: a self-scheduling
+        // chain whose lookahead stays under the horizon crosses thousands
+        // of window boundaries without a single overflow push — the
+        // anchored design re-routed roughly every event near the window
+        // end through the overflow heap.
+        let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
+        q.push(entry(0, 0));
+        let mut last = 0u64;
+        for i in 1..20_000u64 {
+            let e = q.pop().expect("chain is never empty");
+            assert!(e.time.as_ps() >= last, "pop went backwards");
+            last = e.time.as_ps();
+            // Lookahead sweeps the whole window width, boundary included.
+            q.push(entry(last + 1 + (i % (NUM_BUCKETS as u64 - 1)), i));
+        }
+        assert_eq!(q.stats(), (0, 0));
+    }
+
+    #[test]
+    fn wrapped_rings_pop_in_slot_order() {
+        // Cursor deep in the index space, pending slots straddling the
+        // ring-index wrap: circular scan order must equal slot order.
+        let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
+        q.push(entry(500, 0)); // anchors at slot 500, ring 500
+        q.push(entry(700, 1)); // ring (700 & 511) = 188: wrapped
+        q.push(entry(510, 2)); // ring 510: before the wrap
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.seq)).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_eq!(q.stats(), (0, 0));
+    }
+
+    #[test]
+    fn migration_beats_younger_near_events() {
+        // An overflow event the window rolls over must pop before a
+        // younger event pushed directly into a ring.
+        let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_ps(NUM_BUCKETS as u64));
+        q.push(entry(0, 0)); // anchors at slot 0
+        q.push(entry(900, 1)); // a full window ahead: overflow
+        q.push(entry(400, 2)); // ring 400
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq, 2); // cursor rolls to slot 400
+        // The window now covers 900; a direct push of a younger time must
+        // not pop before the pending overflow entry.
+        q.push(entry(910, 3));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 3);
+        assert_eq!(q.stats(), (1, 1));
+    }
+
+    #[test]
+    fn clear_retains_ring_capacity_and_resets_stats() {
         let mut q: LadderQueue<u64> = LadderQueue::new(SimDuration::from_us(1));
         for i in 0..64 {
             q.push(entry(i * 10, i));
         }
+        q.push(entry(u64::MAX / 2, 99)); // force an overflow push
         let cap_before: usize = q.buckets.iter().map(Vec::capacity).sum();
         q.clear();
         assert_eq!(q.len(), 0);
+        assert_eq!(q.stats(), (0, 0));
         let cap_after: usize = q.buckets.iter().map(Vec::capacity).sum();
         assert_eq!(cap_before, cap_after);
     }

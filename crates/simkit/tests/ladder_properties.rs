@@ -24,6 +24,22 @@ fn op_strategy(max_time_ps: u64) -> impl Strategy<Value = Op> {
     ]
 }
 
+/// Rewrites raw push offsets so they cluster at the horizon boundary:
+/// half land within `±8` of the horizon, the rest spread over
+/// `[0, 2·horizon)` — monotone schedules then constantly straddle the
+/// rolling window's far edge.
+fn cluster_at_boundary(ops: &[Op], horizon_ps: u64) -> Vec<Op> {
+    ops.iter()
+        .map(|&op| match op {
+            Op::Push(raw) if raw % 2 == 0 => {
+                Op::Push(horizon_ps.saturating_sub(8) + raw % 16)
+            }
+            Op::Push(raw) => Op::Push(raw % (2 * horizon_ps)),
+            Op::Pop => Op::Pop,
+        })
+        .collect()
+}
+
 /// Runs `ops` against both backends in lockstep, asserting every pop
 /// matches. Pushed payloads are the push indices, so a mismatch pinpoints
 /// the offending interleaving. Times are offsets from the latest popped
@@ -101,5 +117,43 @@ proptest! {
         // Horizon of 1 ps: every ring is one picosecond wide, so almost
         // every push overflows and pops run through constant refills.
         check_equivalence(&ops, 1, false)?;
+    }
+
+    #[test]
+    fn window_boundary_interleavings_match_heap(
+        raw_ops in prop::collection::vec(op_strategy(1_000_000), 1..400),
+        horizon_ps in 64u64..4_096,
+    ) {
+        // Monotone schedules whose offsets cluster around the window
+        // boundary: pushes land alternately just inside the rolling
+        // window and just past it, so every pop interleaves direct ring
+        // hits with overflow migrations across a wrapping cursor.
+        let ops = cluster_at_boundary(&raw_ops, horizon_ps);
+        check_equivalence(&ops, horizon_ps, true)?;
+    }
+
+    #[test]
+    fn bounded_lookahead_never_overflows(
+        ops in prop::collection::vec(op_strategy(500), 1..400),
+    ) {
+        // The rolling-window guarantee behind the sidecar's zero-overflow
+        // criterion: any monotone schedule whose lookahead stays below
+        // the horizon keeps the overflow counters at exactly zero, no
+        // matter how many window widths the clock crosses.
+        let mut ladder = EventQueue::with_horizon(SimDuration::from_ps(600 * 512));
+        let mut now_ps = 0u64;
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Push(t) => ladder.push(SimTime::from_ps(now_ps + t), i),
+                Op::Pop => {
+                    if let Some(s) = ladder.pop() {
+                        now_ps = s.time.as_ps();
+                    }
+                }
+            }
+        }
+        let stats = ladder.stats();
+        prop_assert_eq!(stats.overflow_pushes, 0);
+        prop_assert_eq!(stats.overflow_migrations, 0);
     }
 }

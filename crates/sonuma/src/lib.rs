@@ -33,4 +33,4 @@ pub use backend::{NiBackend, SerialResource};
 pub use message::{packets_for, MsgId, NodeId};
 pub use params::ChipParams;
 pub use qp::{Fifo, QueuePair};
-pub use traffic::TrafficGenerator;
+pub use traffic::{Arrival, TrafficGenerator};
