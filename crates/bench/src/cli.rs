@@ -114,6 +114,9 @@ fn reset_sigpipe() {
     }
     const SIGPIPE: i32 = 13;
     const SIG_DFL: usize = 0;
+    // SAFETY: `signal(2)` with SIG_DFL merely restores the kernel's
+    // default disposition; no Rust-side state is touched and no handler
+    // code runs.
     unsafe {
         signal(SIGPIPE, SIG_DFL);
     }

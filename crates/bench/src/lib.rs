@@ -28,6 +28,10 @@
 //! Pass `--quick` to any figure binary for a fast low-resolution run;
 //! multi-part figures accept `--part a|b|c`.
 
+// This crate retains a handful of audited unsafe sites (see the
+// adjacent // SAFETY: comments); new ones must be explicit.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod ascii;
 pub mod cli;
 

@@ -1,0 +1,465 @@
+//! A hand-rolled Rust-source lexer, sufficient for lint-rule matching.
+//!
+//! `detlint` is deliberately dependency-free (the workspace's `compat/`
+//! constraint rules out `syn`), so this module tokenizes Rust the hard
+//! way. It does **not** parse — rules match on token sequences — but it
+//! must get the *lexical* structure exactly right, because the whole
+//! point of lexing (rather than `grep`) is that `"Instant::now"` inside
+//! a string literal, a doc comment, or a nested block comment is not a
+//! finding:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments — kept as
+//!   tokens, because waivers and `SAFETY:` docs live in comments;
+//! * string literals with escapes, raw strings `r#"..."#` with any
+//!   number of `#`s, byte (`b"..."`, `br#"..."#`) and C (`c"..."`)
+//!   variants;
+//! * char literals (`'a'`, `'\n'`, `'\u{1F600}'`) vs lifetimes (`'a`);
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! The lexer never panics and always terminates: every loop either
+//! consumes at least one character or breaks at end of input, and
+//! unterminated literals/comments simply extend to the end of the file
+//! (exactly what a half-edited file needs from a linter). A property
+//! test feeds it arbitrary token soup to hold it to that.
+
+/// What a token is; only the kinds rules care about carry their text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (rules treat keywords as identifiers).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// A `//` comment; the text excludes the leading slashes.
+    LineComment(String),
+    /// A `/* ... */` comment (possibly nested); text excludes delimiters.
+    BlockComment(String),
+    /// Any string-ish literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`) or the bare label form (`'label:`).
+    Lifetime,
+    /// A numeric literal (integer part; `1.5` lexes as `Num . Num`).
+    Num,
+}
+
+/// One token plus where it lives in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and text where rules need it).
+    pub tok: Tok,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based line of the token's last character (differs from `line`
+    /// only for multi-line comments and literals).
+    pub end_line: u32,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Invalid UTF-8 is impossible (input is `&str`);
+/// invalid *Rust* degrades to punctuation tokens, never a panic.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek() {
+        let start_line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let text_start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[text_start..cur.pos]).into_owned();
+                out.push(Token {
+                    tok: Tok::LineComment(text),
+                    line: start_line,
+                    end_line: start_line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let text_start = cur.pos;
+                let mut depth = 1usize;
+                let mut text_end = cur.src.len();
+                while let Some(c) = cur.peek() {
+                    if c == b'/' && cur.peek_at(1) == Some(b'*') {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    } else if c == b'*' && cur.peek_at(1) == Some(b'/') {
+                        depth -= 1;
+                        if depth == 0 {
+                            text_end = cur.pos;
+                            cur.bump();
+                            cur.bump();
+                            break;
+                        }
+                        cur.bump();
+                        cur.bump();
+                    } else {
+                        cur.bump();
+                    }
+                }
+                let text_end = text_end.min(cur.pos.max(text_start));
+                let text = String::from_utf8_lossy(&cur.src[text_start..text_end]).into_owned();
+                out.push(Token {
+                    tok: Tok::BlockComment(text),
+                    line: start_line,
+                    end_line: cur.line,
+                });
+            }
+            b'"' => {
+                lex_string_body(&mut cur);
+                out.push(Token {
+                    tok: Tok::Str,
+                    line: start_line,
+                    end_line: cur.line,
+                });
+            }
+            b'\'' => {
+                let tok = lex_char_or_lifetime(&mut cur);
+                out.push(Token {
+                    tok,
+                    line: start_line,
+                    end_line: cur.line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Num,
+                    line: start_line,
+                    end_line: start_line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let ident_start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let ident = String::from_utf8_lossy(&cur.src[ident_start..cur.pos]).into_owned();
+                // A raw/byte/C string prefix? `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#`, `c"…"`, and raw identifiers' `r#ident`.
+                if matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb") {
+                    if cur.peek() == Some(b'"') {
+                        lex_string_body(&mut cur);
+                        out.push(Token {
+                            tok: Tok::Str,
+                            line: start_line,
+                            end_line: cur.line,
+                        });
+                        continue;
+                    }
+                    if ident != "b" && raw_string_follows(&cur) {
+                        lex_raw_string_body(&mut cur);
+                        out.push(Token {
+                            tok: Tok::Str,
+                            line: start_line,
+                            end_line: cur.line,
+                        });
+                        continue;
+                    }
+                    if ident == "b" && cur.peek() == Some(b'\'') {
+                        let tok = lex_char_or_lifetime(&mut cur);
+                        out.push(Token {
+                            tok,
+                            line: start_line,
+                            end_line: cur.line,
+                        });
+                        continue;
+                    }
+                    if (ident == "br" || ident == "rb") && raw_string_follows(&cur) {
+                        lex_raw_string_body(&mut cur);
+                        out.push(Token {
+                            tok: Tok::Str,
+                            line: start_line,
+                            end_line: cur.line,
+                        });
+                        continue;
+                    }
+                }
+                if ident == "r" && cur.peek() == Some(b'#') && cur.peek_at(1).is_some_and(is_ident_start)
+                {
+                    // Raw identifier `r#match`: emit the identifier text.
+                    cur.bump(); // '#'
+                    let raw_start = cur.pos;
+                    while let Some(c) = cur.peek() {
+                        if is_ident_continue(c) {
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let raw = String::from_utf8_lossy(&cur.src[raw_start..cur.pos]).into_owned();
+                    out.push(Token {
+                        tok: Tok::Ident(raw),
+                        line: start_line,
+                        end_line: start_line,
+                    });
+                    continue;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(ident),
+                    line: start_line,
+                    end_line: start_line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.push(Token {
+                    tok: Tok::Punct(b as char),
+                    line: start_line,
+                    end_line: start_line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the cursor sits on `#…#"` — the opening guard of a raw
+/// string (the leading `r`/`br` has already been consumed).
+fn raw_string_follows(cur: &Cursor) -> bool {
+    let mut ahead = 0usize;
+    while cur.peek_at(ahead) == Some(b'#') {
+        ahead += 1;
+    }
+    ahead > 0 && cur.peek_at(ahead) == Some(b'"')
+}
+
+/// Consumes `#…#"…"#…#` with matching guard counts; cursor sits on the
+/// first `#`. Unterminated raw strings run to end of input.
+fn lex_raw_string_body(cur: &mut Cursor) {
+    let mut guards = 0usize;
+    while cur.peek() == Some(b'#') {
+        cur.bump();
+        guards += 1;
+    }
+    if cur.peek() == Some(b'"') {
+        cur.bump();
+    }
+    while let Some(c) = cur.bump() {
+        if c == b'"' {
+            let mut matched = 0usize;
+            while matched < guards && cur.peek() == Some(b'#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == guards {
+                return;
+            }
+        }
+    }
+}
+
+/// Consumes a `"…"` body with `\`-escapes; cursor sits on the opening
+/// quote. Unterminated strings run to end of input.
+fn lex_string_body(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literal) from `'a` (lifetime);
+/// cursor sits on the opening quote.
+fn lex_char_or_lifetime(cur: &mut Cursor) -> Tok {
+    cur.bump(); // opening quote
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: consume the escape, then to the
+            // closing quote (or end of input).
+            cur.bump();
+            cur.bump(); // the escaped character (or `u` of `\u{…}`)
+            while let Some(c) = cur.peek() {
+                cur.bump();
+                if c == b'\'' {
+                    break;
+                }
+            }
+            Tok::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'x'` is a char; `'x` (no closing quote after the ident
+            // run) is a lifetime. Consume the ident run, then look.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+                return Tok::Char;
+            }
+            while let Some(n) = cur.peek() {
+                if is_ident_continue(n) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some(b'\'') {
+                // `'abc'` — not valid Rust, but swallow the quote so we
+                // never mis-open a string on the rest of the line.
+                cur.bump();
+                Tok::Char
+            } else {
+                Tok::Lifetime
+            }
+        }
+        Some(b'\'') => {
+            // `''` — empty char literal (invalid Rust); consume both.
+            cur.bump();
+            Tok::Char
+        }
+        Some(_) => {
+            // `'('` etc: a single non-ident char — char literal if a
+            // closing quote follows.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            Tok::Char
+        }
+        None => Tok::Char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("let x = Instant::now();");
+        assert_eq!(idents("let x = Instant::now();"), ["let", "x", "Instant", "now"]);
+        assert!(toks.iter().any(|t| t.tok == Tok::Punct(':')));
+        assert_eq!(toks[0].line, 1);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "Instant::now() HashMap";"#), ["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"unsafe { HashMap }"#;"##), ["let", "s"]);
+        assert_eq!(idents(r#"let s = b"SystemTime";"#), ["let", "s"]);
+        assert_eq!(
+            idents("let s = \"esc \\\" HashMap\";"),
+            ["let", "s"],
+            "escaped quote must not close the string"
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens_not_idents() {
+        let toks = lex("// HashMap here\nlet x = 1; /* Instant::now /* nested */ still */ let");
+        assert_eq!(idents("// HashMap\nlet x;"), ["let", "x"]);
+        assert!(matches!(&toks[0].tok, Tok::LineComment(t) if t.contains("HashMap")));
+        let block = toks
+            .iter()
+            .find(|t| matches!(t.tok, Tok::BlockComment(_)))
+            .unwrap();
+        assert!(matches!(&block.tok, Tok::BlockComment(t) if t.contains("nested")));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        // Lifetimes lex as `Tok::Lifetime`, never as identifiers.
+        assert_eq!(idents("let c = 'x'; fn f<'a>(v: &'a str) {}"), [
+            "let", "c", "fn", "f", "v", "str"
+        ]);
+        let toks = lex("'x' 'lifetime '\\n' '\\u{1F600}'");
+        let kinds: Vec<_> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Char));
+        assert!(matches!(kinds[1], Tok::Lifetime));
+        assert!(matches!(kinds[2], Tok::Char));
+        assert!(matches!(kinds[3], Tok::Char));
+    }
+
+    #[test]
+    fn multi_line_tokens_track_both_lines() {
+        let toks = lex("/* a\nb\nc */ x");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line, 3);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn unterminated_inputs_lex_to_eof() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed\"", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?} must still produce a token");
+        }
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#match = 1;"), ["let", "match"]);
+    }
+}

@@ -1,0 +1,475 @@
+//! The rule engine: token-sequence patterns, stratum gating, waivers,
+//! and SAFETY-comment adjacency.
+//!
+//! | rule | fires in | hazard |
+//! |---|---|---|
+//! | D001 | deterministic | `Instant::now` / `SystemTime` — wall-clock reads make outputs machine-dependent |
+//! | D002 | deterministic | `HashMap` / `HashSet` — iteration order is randomized per process, so any fold/serialize over one is a byte-identity hazard |
+//! | D003 | deterministic, wall-clock | `thread::current` / `env::var*` — thread identity and environment must not leak into results |
+//! | D004 | deterministic | RNG construction (`seed_from_u64` without a `split_seed`-derived seed, or `from_entropy`) — ad-hoc seeding breaks the one-master-seed discipline |
+//! | U001 | all | `unsafe {` block without an adjacent `// SAFETY:` comment |
+//! | U002 | all | `unsafe impl` without an adjacent `// SAFETY:` comment |
+//! | W001 | all | malformed waiver (bad syntax or missing reason) — never suppresses |
+//!
+//! A finding is suppressed only by an adjacent waiver comment with a
+//! mandatory reason:
+//!
+//! ```text
+//! let t = Instant::now(); // detlint: allow(D001, reason = "timing sidecar only")
+//! ```
+//!
+//! A waiver on its own line covers the next line that holds code
+//! (intervening comment lines are fine); a trailing waiver covers its
+//! own line. D002 is deliberately a *presence* check, not a dataflow
+//! check: a hash map that is genuinely never iterated can say so in a
+//! waiver reason, which is exactly the reviewable artifact we want.
+
+use crate::config::Stratum;
+use crate::lexer::{lex, Tok, Token};
+
+/// Rule ids with their one-line summaries, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    ("D001", "wall-clock time read in deterministic code"),
+    ("D002", "hash-ordered container in deterministic code"),
+    ("D003", "thread-identity or environment read outside the cli stratum"),
+    ("D004", "RNG construction not derived from split_seed"),
+    ("U001", "unsafe block without an adjacent SAFETY comment"),
+    ("U002", "unsafe impl without an adjacent SAFETY comment"),
+    ("W001", "malformed detlint waiver"),
+];
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D001`…`W001`).
+    pub rule: &'static str,
+    /// Human explanation with the offending construct.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: RULE message` — the grep-able single-line form.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {} {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A finding suppressed by a waiver, with the waiver's reason (kept so
+/// reports can show what has been consciously accepted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waived {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The waiver's mandatory reason text.
+    pub reason: String,
+}
+
+/// Outcome of checking one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    /// Unwaived findings — these fail the build.
+    pub findings: Vec<Finding>,
+    /// Waived findings — recorded, not fatal.
+    pub waived: Vec<Waived>,
+}
+
+/// A parsed `// detlint: allow(RULE, reason = "…")` comment.
+struct Waiver {
+    rule: String,
+    reason: String,
+    /// Line the waiver suppresses findings on.
+    covers: u32,
+}
+
+fn is_comment(tok: &Tok) -> bool {
+    matches!(tok, Tok::LineComment(_) | Tok::BlockComment(_))
+}
+
+fn comment_text(tok: &Tok) -> Option<&str> {
+    match tok {
+        Tok::LineComment(t) | Tok::BlockComment(t) => Some(t),
+        _ => None,
+    }
+}
+
+/// Parses the `allow(RULE, reason = "…")` tail of a waiver comment.
+/// Returns `Err(description)` on malformed syntax or an empty reason.
+fn parse_waiver_tail(tail: &str) -> Result<(String, String), String> {
+    let tail = tail.trim();
+    let body = tail
+        .strip_prefix("allow(")
+        .and_then(|t| t.trim_end().strip_suffix(')'))
+        .ok_or_else(|| "expected `allow(RULE, reason = \"…\")`".to_owned())?;
+    let (rule, rest) = body
+        .split_once(',')
+        .ok_or_else(|| "missing `, reason = \"…\"` — a waiver must say why".to_owned())?;
+    let rule = rule.trim().to_owned();
+    if !RULES.iter().any(|(id, _)| *id == rule) {
+        return Err(format!("unknown rule `{rule}`"));
+    }
+    let rest = rest.trim();
+    let value = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "missing `reason = \"…\"` — a waiver must say why".to_owned())?;
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a quoted string".to_owned())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_owned());
+    }
+    Ok((rule, reason.to_owned()))
+}
+
+/// Extracts waivers (and W001 findings for malformed ones) from the
+/// token stream.
+fn collect_waivers(file: &str, tokens: &[Token]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        let Some(text) = comment_text(&token.tok) else {
+            continue;
+        };
+        // A waiver is a *standalone* comment: its text must begin with
+        // `detlint:` (after whitespace). Prose that merely mentions the
+        // marker mid-sentence — docs describing the syntax — is not a
+        // waiver attempt and must not trip W001.
+        let Some(tail) = text.trim_start().strip_prefix("detlint:") else {
+            continue;
+        };
+        match parse_waiver_tail(tail) {
+            Ok((rule, reason)) => {
+                // Trailing waiver (code earlier on the same line) covers
+                // its own line; an own-line waiver covers the next line
+                // holding code, skipping further comment lines.
+                let trailing = tokens[..i]
+                    .iter()
+                    .rev()
+                    .take_while(|t| t.end_line == token.line)
+                    .any(|t| !is_comment(&t.tok));
+                let covers = if trailing {
+                    token.line
+                } else {
+                    tokens[i + 1..]
+                        .iter()
+                        .find(|t| !is_comment(&t.tok))
+                        .map(|t| t.line)
+                        .unwrap_or(token.end_line + 1)
+                };
+                let rule_static = RULES
+                    .iter()
+                    .find(|(id, _)| *id == rule)
+                    .map(|(id, _)| *id)
+                    .unwrap_or("W001");
+                waivers.push(Waiver {
+                    rule: rule_static.to_owned(),
+                    reason,
+                    covers,
+                });
+            }
+            Err(why) => malformed.push(Finding {
+                file: file.to_owned(),
+                line: token.line,
+                rule: "W001",
+                message: why,
+            }),
+        }
+    }
+    (waivers, malformed)
+}
+
+/// `(start, end)` line spans of SAFETY comments, for adjacency checks.
+///
+/// A `// SAFETY: …` explanation usually spans several `//` lines but
+/// names SAFETY only on the first; consecutive line comments on
+/// consecutive lines are coalesced into one span so the whole block
+/// counts as adjacent.
+fn safety_lines(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans: Vec<(u32, u32, bool)> = Vec::new();
+    for t in tokens {
+        let Some(text) = comment_text(&t.tok) else {
+            continue;
+        };
+        let has_safety = text.contains("SAFETY");
+        match spans.last_mut() {
+            Some((_, end, safety)) if matches!(t.tok, Tok::LineComment(_)) && t.line == *end + 1 => {
+                *end = t.end_line;
+                *safety |= has_safety;
+            }
+            _ => spans.push((t.line, t.end_line, has_safety)),
+        }
+    }
+    spans
+        .into_iter()
+        .filter(|&(_, _, safety)| safety)
+        .map(|(start, end, _)| (start, end))
+        .collect()
+}
+
+/// True when an unsafe construct at `line` has a SAFETY comment ending
+/// on the line above it, or sharing its line (trailing form).
+fn safety_adjacent(safety: &[(u32, u32)], line: u32) -> bool {
+    safety
+        .iter()
+        .any(|&(start, end)| end + 1 == line || start == line || end == line)
+}
+
+fn ident<'t>(tokens: &'t [&Token], i: usize) -> Option<&'t str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(tokens: &[&Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// `tokens[i..]` starts with `lhs :: rhs`.
+fn path_pair(tokens: &[&Token], i: usize, lhs: &str, rhs: &str) -> bool {
+    ident(tokens, i) == Some(lhs)
+        && punct(tokens, i + 1, ':')
+        && punct(tokens, i + 2, ':')
+        && ident(tokens, i + 3) == Some(rhs)
+}
+
+/// Scans a call's argument tokens (from the opening paren at `open`)
+/// for an identifier, up to the matching close paren.
+fn call_args_contain(tokens: &[&Token], open: usize, needle: &str) -> bool {
+    if !punct(tokens, open, '(') {
+        return false;
+    }
+    let mut depth = 0isize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            Tok::Ident(s) if j > open && s == needle => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Runs every rule over one file's source.
+pub fn check_source(file: &str, src: &str, stratum: Stratum) -> FileReport {
+    let tokens = lex(src);
+    let (waivers, malformed) = collect_waivers(file, &tokens);
+    let safety = safety_lines(&tokens);
+    let code: Vec<&Token> = tokens.iter().filter(|t| !is_comment(&t.tok)).collect();
+
+    let mut raw: Vec<Finding> = malformed;
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        raw.push(Finding {
+            file: file.to_owned(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    let deterministic = stratum == Stratum::Deterministic;
+    let ordered = stratum != Stratum::Cli; // deterministic + wall-clock
+
+    for i in 0..code.len() {
+        let line = code[i].line;
+        if deterministic {
+            // D001 — wall-clock reads.
+            if path_pair(&code, i, "Instant", "now") {
+                push("D001", line, "`Instant::now()` in a deterministic stratum".into());
+            }
+            if ident(&code, i) == Some("SystemTime") {
+                push("D001", line, "`SystemTime` in a deterministic stratum".into());
+            }
+            // D002 — hash-ordered containers.
+            if let Some(name @ ("HashMap" | "HashSet")) = ident(&code, i) {
+                push(
+                    "D002",
+                    line,
+                    format!("`{name}` in a deterministic stratum (iteration order is per-process random; use BTreeMap/BTreeSet or sort, or waive with the reason it is never iterated)"),
+                );
+            }
+            // D004 — RNG construction outside the split_seed discipline.
+            if ident(&code, i) == Some("from_entropy") {
+                push("D004", line, "`from_entropy()` seeds from the OS — underivable from the master seed".into());
+            }
+            if ident(&code, i) == Some("seed_from_u64")
+                && ident(&code, i.wrapping_sub(1)) != Some("fn")
+                && punct(&code, i + 1, '(')
+                && !call_args_contain(&code, i + 1, "split_seed")
+            {
+                push(
+                    "D004",
+                    line,
+                    "`seed_from_u64` whose seed is not derived via `split_seed`".into(),
+                );
+            }
+        }
+        if ordered {
+            // D003 — thread identity / environment reads.
+            if path_pair(&code, i, "thread", "current") {
+                push("D003", line, "`thread::current()` outside the cli stratum".into());
+            }
+            for getter in ["var", "var_os", "vars"] {
+                if path_pair(&code, i, "env", getter) {
+                    push(
+                        "D003",
+                        line,
+                        format!("`env::{getter}` outside the cli stratum"),
+                    );
+                }
+            }
+        }
+        // U001 / U002 — unsafe hygiene, every stratum.
+        if ident(&code, i) == Some("unsafe") {
+            if punct(&code, i + 1, '{') && !safety_adjacent(&safety, line) {
+                push("U001", line, "`unsafe` block without an adjacent `// SAFETY:` comment".into());
+            }
+            if ident(&code, i + 1) == Some("impl") && !safety_adjacent(&safety, line) {
+                push("U002", line, "`unsafe impl` without an adjacent `// SAFETY:` comment".into());
+            }
+        }
+    }
+
+    // Apply waivers (W001 findings are never suppressible).
+    let mut report = FileReport::default();
+    for finding in raw {
+        let waiver = (finding.rule != "W001")
+            .then(|| {
+                waivers
+                    .iter()
+                    .find(|w| w.covers == finding.line && w.rule == finding.rule)
+            })
+            .flatten();
+        match waiver {
+            Some(w) => report.waived.push(Waived {
+                finding,
+                reason: w.reason.clone(),
+            }),
+            None => report.findings.push(finding),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(src: &str, stratum: Stratum) -> Vec<&'static str> {
+        check_source("t.rs", src, stratum)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d001_instant_and_systemtime() {
+        let src = "let t = Instant::now();\nlet s = SystemTime::now();";
+        assert_eq!(rules_fired(src, Stratum::Deterministic), ["D001", "D001"]);
+        assert!(rules_fired(src, Stratum::WallClock).is_empty());
+        assert!(rules_fired(src, Stratum::Cli).is_empty());
+    }
+
+    #[test]
+    fn d002_presence_check() {
+        let src = "use std::collections::HashMap;\nlet m: BTreeMap<u32, u32>;";
+        assert_eq!(rules_fired(src, Stratum::Deterministic), ["D002"]);
+        assert!(rules_fired(src, Stratum::WallClock).is_empty());
+    }
+
+    #[test]
+    fn d003_fires_in_wall_clock_too() {
+        let src = "let id = thread::current().id();\nlet v = env::var(\"X\");";
+        assert_eq!(rules_fired(src, Stratum::Deterministic), ["D003", "D003"]);
+        assert_eq!(rules_fired(src, Stratum::WallClock), ["D003", "D003"]);
+        assert!(rules_fired(src, Stratum::Cli).is_empty());
+    }
+
+    #[test]
+    fn d004_seeding() {
+        assert_eq!(
+            rules_fired("let r = SmallRng::seed_from_u64(42);", Stratum::Deterministic),
+            ["D004"]
+        );
+        assert!(rules_fired(
+            "let r = SmallRng::seed_from_u64(split_seed(seed, 3));",
+            Stratum::Deterministic
+        )
+        .is_empty());
+        assert!(rules_fired(
+            "pub fn seed_from_u64(state: u64) -> Self { todo!() }",
+            Stratum::Deterministic
+        )
+        .is_empty());
+        assert_eq!(
+            rules_fired("let r = SmallRng::from_entropy();", Stratum::Deterministic),
+            ["D004"]
+        );
+    }
+
+    #[test]
+    fn u001_u002_adjacency() {
+        let undocumented = "unsafe { ptr.write(1) }\nunsafe impl Send for X {}";
+        assert_eq!(rules_fired(undocumented, Stratum::Cli), ["U001", "U002"]);
+        let documented = "// SAFETY: we own it\nunsafe { ptr.write(1) }\n// SAFETY: no refs\nunsafe impl Send for X {}";
+        assert!(rules_fired(documented, Stratum::Cli).is_empty());
+        let trailing = "unsafe { ptr.write(1) } // SAFETY: we own it";
+        assert!(rules_fired(trailing, Stratum::Cli).is_empty());
+        let gap = "// SAFETY: too far away\n\nlet x = 1;\nunsafe { ptr.write(1) }";
+        assert_eq!(rules_fired(gap, Stratum::Cli), ["U001"]);
+    }
+
+    #[test]
+    fn waivers_suppress_with_reason() {
+        let src = "let t = Instant::now(); // detlint: allow(D001, reason = \"sidecar\")";
+        let report = check_source("t.rs", src, Stratum::Deterministic);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.waived.len(), 1);
+        assert_eq!(report.waived[0].reason, "sidecar");
+    }
+
+    #[test]
+    fn own_line_waiver_covers_next_code_line() {
+        let src = "// detlint: allow(D002, reason = \"never iterated\")\n// more prose\nuse std::collections::HashMap;";
+        let report = check_source("t.rs", src, Stratum::Deterministic);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.waived.len(), 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_w001_and_does_not_suppress() {
+        let src = "// detlint: allow(D001)\nlet t = Instant::now();";
+        let fired = rules_fired(src, Stratum::Deterministic);
+        assert_eq!(fired, ["W001", "D001"]);
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src = "// detlint: allow(D002, reason = \"wrong rule\")\nlet t = Instant::now();";
+        assert_eq!(rules_fired(src, Stratum::Deterministic), ["D001"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r#"
+// HashMap Instant::now unsafe { } SystemTime
+let s = "HashMap and Instant::now and unsafe {";
+let r = r"raw HashSet thread::current env::var";
+"#;
+        assert!(rules_fired(src, Stratum::Deterministic).is_empty());
+    }
+}

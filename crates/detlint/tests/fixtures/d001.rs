@@ -1,0 +1,21 @@
+// D001 fixture: wall-clock reads in a deterministic stratum.
+// Checked with Stratum::Deterministic; expected findings are asserted in
+// tests/rules.rs. This file is excluded from the workspace sweep and is
+// never compiled.
+
+fn fires() {
+    let a = std::time::Instant::now(); // line 7: D001
+    let b = std::time::SystemTime::now(); // line 8: D001
+    let c = Instant::now(); // line 9: D001 (imported path)
+}
+
+fn waived() {
+    let t = std::time::Instant::now(); // detlint: allow(D001, reason = "fixture: sidecar timing")
+}
+
+fn traps() {
+    let s = "Instant::now() in a string is not a finding";
+    let r = r#"SystemTime::now() in a raw string is not a finding"#;
+    // Instant::now() in a comment is not a finding.
+    /* SystemTime::now() in a block comment is not a finding */
+}

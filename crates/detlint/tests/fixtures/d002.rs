@@ -1,0 +1,16 @@
+// D002 fixture: hash-ordered containers in a deterministic stratum.
+
+use std::collections::HashMap; // line 3: D002
+use std::collections::HashSet; // line 4: D002
+
+// detlint: allow(D002, reason = "fixture: never iterated, key-lookup only")
+fn waived(m: HashMap<u64, u64>) -> u64 {
+    m.len() as u64
+}
+
+fn traps() {
+    let s = "HashMap in a string";
+    let r = r"HashSet in a raw string";
+    // HashMap in a comment.
+    let not_a_hashmap = MyHashMapLike::new(); // substring of a longer ident: no finding
+}

@@ -1,0 +1,16 @@
+// D003 fixture: thread-identity and environment reads outside `cli`.
+
+fn fires() {
+    let id = std::thread::current().id(); // line 4: D003
+    let v = std::env::var("HOME"); // line 5: D003
+}
+
+fn waived() {
+    let id = std::thread::current().id(); // detlint: allow(D003, reason = "fixture: log tag only")
+}
+
+fn traps() {
+    let s = "thread::current() and env::var in a string";
+    // env::var in a comment.
+    let current = thread.current; // field access, not std::thread::current()
+}

@@ -1,0 +1,22 @@
+// D004 fixture: RNG construction not derived from `split_seed`.
+
+fn fires(seed: u64) {
+    let a = SmallRng::from_entropy(); // line 4: D004
+    let b = SmallRng::seed_from_u64(42); // line 5: D004
+    let c = SmallRng::seed_from_u64(seed ^ 1); // line 6: D004 (not split_seed-derived)
+}
+
+fn fine(master: u64) {
+    let a = SmallRng::seed_from_u64(split_seed(master, 3));
+    let b = rand::rngs::SmallRng::seed_from_u64(simkit::rng::split_seed(master, 4));
+}
+
+fn waived() {
+    let r = SmallRng::seed_from_u64(1); // detlint: allow(D004, reason = "fixture: fixed test seed")
+}
+
+fn traps() {
+    let s = "SmallRng::from_entropy() in a string";
+    // seed_from_u64(9) in a comment.
+    fn seed_from_u64(x: u64) {} // a *definition* is not a construction
+}

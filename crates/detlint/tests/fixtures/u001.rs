@@ -1,0 +1,23 @@
+// U001 fixture: unsafe blocks and their SAFETY comments.
+
+fn fires(ptr: *mut u64) {
+    unsafe { ptr.write(1) }; // line 4: U001 — no safety doc anywhere near
+}
+
+fn fine(ptr: *mut u64) {
+    // SAFETY: fixture — caller guarantees ptr is valid and exclusive.
+    unsafe { ptr.write(2) };
+    unsafe { ptr.write(3) } // SAFETY: trailing form also counts
+    // SAFETY: a multi-line explanation names SAFETY only on its first
+    // line; the whole block must still count as adjacent.
+    unsafe { ptr.write(4) };
+}
+
+fn waived(ptr: *mut u64) {
+    unsafe { ptr.write(5) }; // detlint: allow(U001, reason = "fixture: audited elsewhere")
+}
+
+fn traps() {
+    let s = "unsafe { in a string }";
+    // unsafe { in a comment }
+}

@@ -1,0 +1,18 @@
+// U002 fixture: `unsafe impl` Send/Sync without a safety doc.
+
+struct Raw(*mut u8);
+
+unsafe impl Send for Raw {} // line 5: U002
+unsafe impl Sync for Raw {} // line 6: U002
+
+struct Documented(*mut u8);
+
+// SAFETY: fixture — the pointer is never dereferenced.
+unsafe impl Send for Documented {}
+
+// SAFETY: fixture — all access goes through a lock.
+unsafe impl Sync for Documented {}
+
+struct WaivedAway(*mut u8);
+
+unsafe impl Send for WaivedAway {} // detlint: allow(U002, reason = "fixture: justified in module doc")

@@ -1,0 +1,17 @@
+// W001 fixture: malformed waivers never suppress, and fire themselves.
+
+fn missing_reason() {
+    let t = std::time::Instant::now(); // detlint: allow(D001)
+} // expect W001 (line 4) AND D001 (line 4): a bad waiver suppresses nothing
+
+fn empty_reason() {
+    let t = std::time::Instant::now(); // detlint: allow(D001, reason = "  ")
+} // expect W001 + D001 on line 8
+
+fn unknown_rule() {
+    let t = std::time::Instant::now(); // detlint: allow(D999, reason = "no such rule")
+} // expect W001 + D001 on line 12
+
+fn bad_syntax() {
+    let t = std::time::Instant::now(); // detlint: silence this please
+} // expect W001 + D001 on line 16

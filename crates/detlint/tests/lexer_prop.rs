@@ -1,0 +1,71 @@
+//! Property tests: the hand-rolled lexer (and the whole rule engine on
+//! top of it) never panics and always terminates, for arbitrary token
+//! soup — including unterminated strings, lone quotes, half-open
+//! comments, and raw-string guards with mismatched `#` counts.
+
+use detlint::lexer::lex;
+use detlint::{check_source, Stratum};
+use proptest::prelude::*;
+
+/// Fragments chosen to stress every lexer mode transition; arbitrary
+/// concatenations of these produce pathological half-formed Rust.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("\"".to_owned()),
+        Just("'".to_owned()),
+        Just("\\".to_owned()),
+        Just("r#\"".to_owned()),
+        Just("\"#".to_owned()),
+        Just("r##\"".to_owned()),
+        Just("b'".to_owned()),
+        Just("br#".to_owned()),
+        Just("/*".to_owned()),
+        Just("*/".to_owned()),
+        Just("//".to_owned()),
+        Just("\n".to_owned()),
+        Just("unsafe {".to_owned()),
+        Just("Instant::now()".to_owned()),
+        Just("HashMap".to_owned()),
+        Just("detlint: allow(".to_owned()),
+        Just("// SAFETY:".to_owned()),
+        Just("'lifetime".to_owned()),
+        Just("r#match".to_owned()),
+        Just("1_000.5e9".to_owned()),
+        // Short printable-ASCII runs.
+        prop::collection::vec(32u8..127u8, 0..7)
+            .prop_map(|bytes| bytes.into_iter().map(char::from).collect::<String>()),
+        // Arbitrary bytes decoded lossily — exercises the non-ASCII and
+        // replacement-character paths.
+        prop::collection::vec(0u8..255u8, 0..5)
+            .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_and_terminates(parts in prop::collection::vec(fragment(), 0..40)) {
+        let soup = parts.concat();
+        let tokens = lex(&soup);
+        // Termination plus sane positions: lines are 1-based and
+        // monotonically non-decreasing.
+        let mut prev = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= 1);
+            prop_assert!(t.end_line >= t.line);
+            prop_assert!(t.line >= prev);
+            prev = t.line;
+        }
+    }
+
+    #[test]
+    fn rule_engine_never_panics_on_soup(parts in prop::collection::vec(fragment(), 0..40)) {
+        let soup = parts.concat();
+        for stratum in [Stratum::Deterministic, Stratum::WallClock, Stratum::Cli] {
+            let report = check_source("soup.rs", &soup, stratum);
+            // Findings must point at real lines.
+            for f in report.findings.iter().chain(report.waived.iter().map(|w| &w.finding)) {
+                prop_assert!(f.line >= 1);
+            }
+        }
+    }
+}

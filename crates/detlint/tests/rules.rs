@@ -1,0 +1,134 @@
+//! Fixture-driven rule tests: each rule has a fixture file holding
+//! positive cases, a waived case, and string/comment false-positive
+//! traps. The fixtures live under `tests/fixtures/`, are excluded from
+//! the workspace sweep by `detlint.toml`, and are never compiled — they
+//! are *inputs* to the analyzer, read here as plain text.
+
+use detlint::{check_source, Stratum};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// `(rule, line)` pairs of unwaived findings, sorted.
+fn findings(name: &str, stratum: Stratum) -> Vec<(&'static str, u32)> {
+    let report = check_source(name, &fixture(name), stratum);
+    let mut out: Vec<_> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    out.sort();
+    out
+}
+
+/// `(rule, line)` pairs of waived findings, sorted.
+fn waived(name: &str, stratum: Stratum) -> Vec<(&'static str, u32)> {
+    let report = check_source(name, &fixture(name), stratum);
+    let mut out: Vec<_> = report
+        .waived
+        .iter()
+        .map(|w| (w.finding.rule, w.finding.line))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn d001_wall_clock_reads() {
+    assert_eq!(
+        findings("d001.rs", Stratum::Deterministic),
+        [("D001", 7), ("D001", 8), ("D001", 9)]
+    );
+    assert_eq!(waived("d001.rs", Stratum::Deterministic), [("D001", 13)]);
+}
+
+#[test]
+fn d001_silent_outside_deterministic() {
+    assert!(findings("d001.rs", Stratum::WallClock).is_empty());
+    assert!(findings("d001.rs", Stratum::Cli).is_empty());
+}
+
+#[test]
+fn d002_hash_order_dependence() {
+    assert_eq!(
+        findings("d002.rs", Stratum::Deterministic),
+        [("D002", 3), ("D002", 4)]
+    );
+    assert_eq!(waived("d002.rs", Stratum::Deterministic), [("D002", 7)]);
+}
+
+#[test]
+fn d003_thread_and_env_identity() {
+    assert_eq!(
+        findings("d003.rs", Stratum::Deterministic),
+        [("D003", 4), ("D003", 5)]
+    );
+    // D003 applies in the wall-clock stratum too, but not in cli.
+    assert_eq!(
+        findings("d003.rs", Stratum::WallClock),
+        [("D003", 4), ("D003", 5)]
+    );
+    assert!(findings("d003.rs", Stratum::Cli).is_empty());
+    assert_eq!(waived("d003.rs", Stratum::Deterministic), [("D003", 9)]);
+}
+
+#[test]
+fn d004_rng_outside_split_seed_discipline() {
+    assert_eq!(
+        findings("d004.rs", Stratum::Deterministic),
+        [("D004", 4), ("D004", 5), ("D004", 6)]
+    );
+    assert_eq!(waived("d004.rs", Stratum::Deterministic), [("D004", 15)]);
+}
+
+#[test]
+fn u001_unsafe_blocks_need_safety_docs() {
+    // Unsafe hygiene applies in every stratum, including cli.
+    for stratum in [Stratum::Deterministic, Stratum::WallClock, Stratum::Cli] {
+        assert_eq!(findings("u001.rs", stratum), [("U001", 4)], "{stratum}");
+        assert_eq!(waived("u001.rs", stratum), [("U001", 17)], "{stratum}");
+    }
+}
+
+#[test]
+fn u002_unsafe_impls_need_safety_docs() {
+    for stratum in [Stratum::Deterministic, Stratum::WallClock, Stratum::Cli] {
+        assert_eq!(
+            findings("u002.rs", stratum),
+            [("U002", 5), ("U002", 6)],
+            "{stratum}"
+        );
+        assert_eq!(waived("u002.rs", stratum), [("U002", 18)], "{stratum}");
+    }
+}
+
+#[test]
+fn w001_malformed_waivers_fire_and_never_suppress() {
+    assert_eq!(
+        findings("w001.rs", Stratum::Deterministic),
+        [
+            ("D001", 4),
+            ("D001", 8),
+            ("D001", 12),
+            ("D001", 16),
+            ("W001", 4),
+            ("W001", 8),
+            ("W001", 12),
+            ("W001", 16),
+        ]
+    );
+    assert!(waived("w001.rs", Stratum::Deterministic).is_empty());
+}
+
+#[test]
+fn fixtures_are_excluded_from_the_workspace_sweep() {
+    // The fixtures deliberately contain findings; the root detlint.toml
+    // must exclude them or the tier-1 clean gate would contradict the
+    // tests above.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let config = detlint::load_config(&root).unwrap();
+    assert!(config.excluded("crates/detlint/tests/fixtures/d001.rs"));
+    assert!(!config.excluded("crates/detlint/tests/rules.rs"));
+}

@@ -200,6 +200,7 @@ mod tests {
     fn mean_matches_monte_carlo() {
         use rand::{Rng, SeedableRng};
         let g = Gev::new(181.5, 50.0, 0.3);
+        // detlint: allow(D004, reason = "fixed literal seed in a statistical unit test")
         let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
         let n = 400_000;
         let sum: f64 = (0..n).map(|_| g.quantile(rng.gen::<f64>())).sum();

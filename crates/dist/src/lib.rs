@@ -30,6 +30,10 @@
 //! assert!(sample >= 0.0 && sample.is_finite());
 //! ```
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod gev;
 pub mod pdf;
 pub mod service;

@@ -40,6 +40,10 @@
 //! assert!(summary.throughput_under_slo_rps > 0.0);
 //! ```
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod diff;
 pub mod plot;
@@ -104,7 +108,7 @@ pub fn threads_for_jobs(jobs: &[ExperimentSpec], threads: usize) -> usize {
 /// worker count — `threads` clamped to the job count, and to 1 for
 /// matrices with live jobs, which must own the machine).
 pub fn run_matrix(matrix: &ScenarioMatrix, threads: usize) -> (SweepReport, SweepTiming) {
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // detlint: allow(D001, reason = "wall-clock sidecar; never enters the deterministic report")
     let jobs = matrix.jobs();
     let threads = threads_for_jobs(&jobs, threads);
     let effective = simkit::pool::effective_threads(threads, jobs.len());
@@ -125,7 +129,7 @@ pub fn run_matrix_traced(
     threads: usize,
     capture: usize,
 ) -> (SweepReport, SweepTiming, Vec<telemetry::TraceEvent>, u64) {
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // detlint: allow(D001, reason = "wall-clock sidecar; never enters the deterministic report")
     let jobs = matrix.jobs();
     let threads = threads_for_jobs(&jobs, threads);
     let effective = simkit::pool::effective_threads(threads, jobs.len());
@@ -147,7 +151,7 @@ pub fn run_matrix_series(
     threads: usize,
     series_interval_ps: u64,
 ) -> (SweepReport, SweepTiming, Vec<telemetry::JobSeries>) {
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // detlint: allow(D001, reason = "wall-clock sidecar; never enters the deterministic report")
     let jobs = matrix.jobs();
     let threads = threads_for_jobs(&jobs, threads);
     let effective = simkit::pool::effective_threads(threads, jobs.len());

@@ -10,7 +10,7 @@
 //! Reuse-by-identity is sound only for deterministic job kinds; live
 //! jobs (wall-clock measurements) always re-run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::pool::{run_jobs, JobOutcome};
@@ -138,10 +138,10 @@ pub fn run_matrix_resumed(
         });
     }
 
-    let start = Instant::now();
+    let start = Instant::now(); // detlint: allow(D001, reason = "wall-clock sidecar; never enters the deterministic report")
     let jobs = matrix.jobs();
     let total = jobs.len();
-    let by_key: HashMap<_, &JobRecord> = existing
+    let by_key: BTreeMap<_, &JobRecord> = existing
         .jobs
         .iter()
         .map(|record| (record_key(record), record))

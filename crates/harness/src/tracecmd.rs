@@ -204,7 +204,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "harness-tracecmd-{}-{:?}",
             std::process::id(),
-            std::thread::current().id()
+            std::thread::current().id() // detlint: allow(D003, reason = "test scratch-dir uniqueness only")
         ));
         std::fs::create_dir_all(&dir).unwrap();
         dir

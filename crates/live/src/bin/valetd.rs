@@ -133,6 +133,9 @@ fn install_shutdown_handler() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let handler = request_shutdown as *const () as usize;
+    // SAFETY: the handler installed is `request_shutdown`, an
+    // `extern "C" fn(i32)` whose body is a single atomic store —
+    // async-signal-safe, touching no locks or allocations.
     unsafe {
         signal(SIGINT, handler);
         signal(SIGTERM, handler);

@@ -45,6 +45,10 @@
 //! println!("{}", stats.summary());
 //! ```
 
+// This crate retains a handful of audited unsafe sites (see the
+// adjacent // SAFETY: comments); new ones must be explicit.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dispatch;
 pub mod exporter;
 pub mod loadgen;
@@ -90,6 +94,9 @@ pub fn reduce_timer_slack() {
         extern "C" {
             fn prctl(option: i32, arg2: u64, arg3: u64, arg4: u64, arg5: u64) -> i32;
         }
+        // SAFETY: PR_SET_TIMERSLACK takes plain integer arguments and
+        // only adjusts this thread's scheduling hint; the result is
+        // checked nowhere because failure degrades to the default slack.
         unsafe {
             let _ = prctl(PR_SET_TIMERSLACK, 1, 0, 0, 0);
         }

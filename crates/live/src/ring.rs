@@ -3,24 +3,12 @@
 //! This is the software analogue of RPCValet's core→NI *replenish*
 //! message (§4.2): when a worker finishes a request it posts its id here,
 //! and the dispatch thread pops the first free worker to hand the next
-//! request to. The implementation is a Vyukov-style bounded MPMC ring —
-//! each slot carries a sequence number that encodes whether it is ready
-//! to be written (producers) or read (consumers), so neither path takes
-//! a lock and the common case is one CAS plus one release store.
+//! request to. The implementation — a Vyukov-style bounded MPMC ring —
+//! lives in the shared [`ring`](::ring) crate (one copy of the unsafe
+//! reasoning for the whole workspace); this module instantiates it with
+//! `usize` worker-id payloads.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-struct Slot {
-    /// Vyukov sequence: `== index` ⇒ free for the producer claiming
-    /// `index`; `== index + 1` ⇒ holds a value for the consumer claiming
-    /// `index`.
-    seq: AtomicUsize,
-    value: UnsafeCell<usize>,
-}
-
-/// A lock-free bounded multi-producer multi-consumer ring of `usize`
-/// payloads (worker ids).
+/// A lock-free bounded multi-producer multi-consumer ring of worker ids.
 ///
 /// # Example
 /// ```
@@ -30,202 +18,27 @@ struct Slot {
 /// assert_eq!(ring.pop(), Some(7));
 /// assert_eq!(ring.pop(), None);
 /// ```
-pub struct SlotRing {
-    buf: Box<[Slot]>,
-    mask: usize,
-    enqueue_pos: AtomicUsize,
-    dequeue_pos: AtomicUsize,
-}
-
-// SAFETY: slot values are only accessed by the single producer/consumer
-// that won the sequence-number claim for that position; the seq load/store
-// pairs (Acquire/Release) order the data accesses.
-unsafe impl Sync for SlotRing {}
-unsafe impl Send for SlotRing {}
-
-impl SlotRing {
-    /// Creates a ring holding at least `capacity` entries (rounded up to
-    /// the next power of two, minimum 2).
-    pub fn with_capacity(capacity: usize) -> Self {
-        let cap = capacity.max(2).next_power_of_two();
-        let buf: Vec<Slot> = (0..cap)
-            .map(|i| Slot {
-                seq: AtomicUsize::new(i),
-                value: UnsafeCell::new(0),
-            })
-            .collect();
-        SlotRing {
-            buf: buf.into_boxed_slice(),
-            mask: cap - 1,
-            enqueue_pos: AtomicUsize::new(0),
-            dequeue_pos: AtomicUsize::new(0),
-        }
-    }
-
-    /// Number of slots the ring can hold.
-    pub fn capacity(&self) -> usize {
-        self.buf.len()
-    }
-
-    /// Enqueues `value`; returns `false` if the ring is full.
-    pub fn push(&self, value: usize) -> bool {
-        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.buf[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
-            let diff = seq as isize - pos as isize;
-            if diff == 0 {
-                // Slot free for this position: claim it.
-                match self.enqueue_pos.compare_exchange_weak(
-                    pos,
-                    pos.wrapping_add(1),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        // SAFETY: we own this slot until the seq store.
-                        unsafe { *slot.value.get() = value };
-                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
-                        return true;
-                    }
-                    Err(actual) => pos = actual,
-                }
-            } else if diff < 0 {
-                // A full lap behind: ring is full.
-                return false;
-            } else {
-                pos = self.enqueue_pos.load(Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Dequeues the oldest value, or `None` if the ring is empty.
-    pub fn pop(&self) -> Option<usize> {
-        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.buf[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
-            let diff = seq as isize - pos.wrapping_add(1) as isize;
-            if diff == 0 {
-                match self.dequeue_pos.compare_exchange_weak(
-                    pos,
-                    pos.wrapping_add(1),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        // SAFETY: we own this slot until the seq store.
-                        let value = unsafe { *slot.value.get() };
-                        slot.seq
-                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
-                        return Some(value);
-                    }
-                    Err(actual) => pos = actual,
-                }
-            } else if diff < 0 {
-                return None;
-            } else {
-                pos = self.dequeue_pos.load(Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Approximate number of queued entries (racy under concurrency;
-    /// exact when quiescent).
-    pub fn len(&self) -> usize {
-        let tail = self.enqueue_pos.load(Ordering::Relaxed);
-        let head = self.dequeue_pos.load(Ordering::Relaxed);
-        tail.wrapping_sub(head)
-    }
-
-    /// True when no entries are queued (subject to the same racing caveat
-    /// as [`SlotRing::len`]).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
+pub type SlotRing = ::ring::SlotRing<usize>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
+    /// The replenish path's contract: worker ids come back out in the
+    /// order workers posted availability (FIFO hand-off fairness).
     #[test]
-    fn fifo_order_single_threaded() {
+    fn replenish_fifo_contract() {
         let ring = SlotRing::with_capacity(8);
-        for v in 0..5 {
-            assert!(ring.push(v));
+        for worker in [3usize, 1, 4, 1, 5] {
+            assert!(ring.push(worker));
         }
-        for v in 0..5 {
-            assert_eq!(ring.pop(), Some(v));
-        }
+        assert_eq!(ring.pop(), Some(3));
+        assert_eq!(ring.pop(), Some(1));
+        assert_eq!(ring.pop(), Some(4));
+        assert_eq!(ring.pop(), Some(1));
+        assert_eq!(ring.pop(), Some(5));
         assert_eq!(ring.pop(), None);
-    }
-
-    #[test]
-    fn capacity_rounds_up_and_full_ring_rejects() {
-        let ring = SlotRing::with_capacity(3);
-        assert_eq!(ring.capacity(), 4);
-        for v in 0..4 {
-            assert!(ring.push(v));
-        }
-        assert!(!ring.push(99), "full ring must reject");
-        assert_eq!(ring.pop(), Some(0));
-        assert!(ring.push(99), "one free slot after a pop");
-    }
-
-    #[test]
-    fn wraparound_many_laps() {
-        let ring = SlotRing::with_capacity(4);
-        for lap in 0..1_000usize {
-            assert!(ring.push(lap));
-            assert!(ring.push(lap + 1));
-            assert_eq!(ring.pop(), Some(lap));
-            assert_eq!(ring.pop(), Some(lap + 1));
-        }
         assert!(ring.is_empty());
-    }
-
-    #[test]
-    fn concurrent_producers_preserve_every_value() {
-        let ring = Arc::new(SlotRing::with_capacity(1024));
-        let producers = 4;
-        let per_producer = 200usize;
-        let mut handles = Vec::new();
-        for p in 0..producers {
-            let ring = Arc::clone(&ring);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..per_producer {
-                    let v = p * per_producer + i;
-                    while !ring.push(v) {
-                        std::thread::yield_now();
-                    }
-                }
-            }));
-        }
-        let consumer = {
-            let ring = Arc::clone(&ring);
-            std::thread::spawn(move || {
-                let want = producers * per_producer;
-                let mut seen = vec![false; want];
-                let mut got = 0;
-                while got < want {
-                    match ring.pop() {
-                        Some(v) => {
-                            assert!(!seen[v], "value {v} popped twice");
-                            seen[v] = true;
-                            got += 1;
-                        }
-                        None => std::thread::yield_now(),
-                    }
-                }
-                seen
-            })
-        };
-        for h in handles {
-            h.join().unwrap();
-        }
-        let seen = consumer.join().unwrap();
-        assert!(seen.iter().all(|&s| s), "every pushed value popped once");
+        assert_eq!(ring.capacity(), 8);
     }
 }

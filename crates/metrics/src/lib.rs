@@ -28,6 +28,10 @@
 //! assert!(p99.as_ns() >= 400);
 //! ```
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod breakdown;
 pub mod cdf;
 pub mod digest;

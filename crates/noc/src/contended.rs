@@ -7,14 +7,14 @@
 //! reusable resources, so concurrent transfers sharing a link queue
 //! behind each other.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simkit::{SimDuration, SimTime};
 
 use crate::mesh::{Mesh, TileId};
 
 /// A directed link between two adjacent tiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Link {
     /// Source tile.
     pub from: TileId,
@@ -28,7 +28,7 @@ pub struct Link {
 pub struct ContendedMesh {
     mesh: Mesh,
     /// Next-free time per directed link.
-    link_free: HashMap<Link, SimTime>,
+    link_free: BTreeMap<Link, SimTime>,
     transfers: u64,
     queued_transfers: u64,
 }
@@ -38,7 +38,7 @@ impl ContendedMesh {
     pub fn new(mesh: Mesh) -> Self {
         ContendedMesh {
             mesh,
-            link_free: HashMap::new(),
+            link_free: BTreeMap::new(),
             transfers: 0,
             queued_transfers: 0,
         }

@@ -27,6 +27,10 @@
 //! assert_eq!(lat.as_ns_f64(), 6.0 * 1.5 + 3.0 * 0.5); // hops + extra flits
 //! ```
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod contended;
 pub mod mesh;
 

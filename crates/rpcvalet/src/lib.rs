@@ -52,6 +52,10 @@
 //! assert!(result.p99_latency_ns < 10.0 * result.mean_service_ns);
 //! ```
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod domain;
 pub mod dispatch;
 pub mod mcs;

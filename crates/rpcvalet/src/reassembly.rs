@@ -17,11 +17,11 @@
 //!   (§4.2 provisions exactly that), giving the simulator's per-packet
 //!   hot path an index instead of a hash.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 enum Counters {
-    Sparse(HashMap<(usize, usize), u64>),
+    Sparse(BTreeMap<(usize, usize), u64>),
     Dense {
         /// One counter per receive slot, laid out `src * stride + slot`.
         table: Vec<u64>,
@@ -58,7 +58,7 @@ impl ReassemblyTable {
     /// Creates an empty sparse table.
     pub fn new() -> Self {
         ReassemblyTable {
-            counters: Counters::Sparse(HashMap::new()),
+            counters: Counters::Sparse(BTreeMap::new()),
             completed: 0,
         }
     }

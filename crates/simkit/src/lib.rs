@@ -37,6 +37,10 @@
 //! assert_eq!(engine.now().as_ns(), 1);
 //! ```
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod event;
 pub mod pool;

@@ -21,6 +21,10 @@
 //! The higher-level messaging protocol (send/replenish, messaging
 //! domains) and the load-balancing dispatch live in the `rpcvalet` crate.
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod message;
 pub mod onesided;

@@ -49,6 +49,10 @@
 //! assert_eq!(summary.breakdown.total_ns(), 620.0);
 //! ```
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod diff;
 pub mod event;
 pub mod ring;

@@ -4,133 +4,61 @@
 //! The live server's hot path (TCP readers, worker threads) must never
 //! block on trace I/O — a slow disk must cost *drops*, not latency. So
 //! producers [`try_push`](EventRing::try_push) into a Vyukov-style
-//! bounded MPMC ring (the same discipline as `live::ring::SlotRing`,
-//! widened from `usize` slots to [`TraceEvent`]s), and a single
-//! [`RingFlusher`] thread drains the ring into an [`EventSink`] — an
-//! in-memory `Vec` for harness-driven runs, a streaming
-//! [`TraceWriter`](crate::store::TraceWriter) for `valetd --trace`.
-//! When the ring is full the event is counted as dropped and the
-//! producer returns immediately.
+//! bounded MPMC ring (the shared [`ring`](::ring) crate's
+//! [`SlotRing`](::ring::SlotRing), instantiated with [`TraceEvent`]
+//! slots), and a single [`RingFlusher`] thread drains the ring into an
+//! [`EventSink`] — an in-memory `Vec` for harness-driven runs, a
+//! streaming [`TraceWriter`](crate::store::TraceWriter) for
+//! `valetd --trace`. When the ring is full the event is counted as
+//! dropped and the producer returns immediately.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ::ring::SlotRing;
+
 use crate::event::TraceEvent;
 use crate::store::TraceWriter;
 
-struct Slot {
-    /// Vyukov sequence: `== index` ⇒ free for the producer claiming
-    /// `index`; `== index + 1` ⇒ holds a value for the consumer.
-    seq: AtomicUsize,
-    value: UnsafeCell<TraceEvent>,
-}
-
-/// A lock-free bounded MPMC ring of [`TraceEvent`]s.
+/// A lock-free bounded MPMC ring of [`TraceEvent`]s that counts, rather
+/// than blocks on, overflow.
 pub struct EventRing {
-    buf: Box<[Slot]>,
-    mask: usize,
-    enqueue_pos: AtomicUsize,
-    dequeue_pos: AtomicUsize,
+    ring: SlotRing<TraceEvent>,
     dropped: AtomicU64,
 }
-
-// SAFETY: slot values are only accessed by the single producer/consumer
-// that won the sequence-number claim for that position; the seq
-// load/store pairs (Acquire/Release) order the data accesses.
-unsafe impl Sync for EventRing {}
-unsafe impl Send for EventRing {}
 
 impl EventRing {
     /// Creates a ring holding at least `capacity` events (rounded up to
     /// the next power of two, minimum 2).
     pub fn with_capacity(capacity: usize) -> Self {
-        let cap = capacity.max(2).next_power_of_two();
-        let buf: Vec<Slot> = (0..cap)
-            .map(|i| Slot {
-                seq: AtomicUsize::new(i),
-                value: UnsafeCell::new(TraceEvent::default()),
-            })
-            .collect();
         EventRing {
-            buf: buf.into_boxed_slice(),
-            mask: cap - 1,
-            enqueue_pos: AtomicUsize::new(0),
-            dequeue_pos: AtomicUsize::new(0),
+            ring: SlotRing::with_capacity(capacity),
             dropped: AtomicU64::new(0),
         }
     }
 
     /// Number of slots the ring can hold.
     pub fn capacity(&self) -> usize {
-        self.buf.len()
+        self.ring.capacity()
     }
 
     /// Enqueues an event without ever blocking; a full ring drops the
     /// event (counted) and returns `false`.
     pub fn try_push(&self, event: TraceEvent) -> bool {
-        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.buf[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
-            let diff = seq as isize - pos as isize;
-            if diff == 0 {
-                match self.enqueue_pos.compare_exchange_weak(
-                    pos,
-                    pos.wrapping_add(1),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        // SAFETY: we own this slot until the seq store.
-                        unsafe { *slot.value.get() = event };
-                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
-                        return true;
-                    }
-                    Err(actual) => pos = actual,
-                }
-            } else if diff < 0 {
-                // A full lap behind: ring is full. Never block the hot
-                // path — record the loss and move on.
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                return false;
-            } else {
-                pos = self.enqueue_pos.load(Ordering::Relaxed);
-            }
+        if self.ring.push(event) {
+            true
+        } else {
+            // Never block the hot path — record the loss and move on.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
         }
     }
 
     /// Dequeues the oldest event, or `None` if the ring is empty.
     pub fn try_pop(&self) -> Option<TraceEvent> {
-        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.buf[pos & self.mask];
-            let seq = slot.seq.load(Ordering::Acquire);
-            let diff = seq as isize - pos.wrapping_add(1) as isize;
-            if diff == 0 {
-                match self.dequeue_pos.compare_exchange_weak(
-                    pos,
-                    pos.wrapping_add(1),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        // SAFETY: we own this slot until the seq store.
-                        let value = unsafe { *slot.value.get() };
-                        slot.seq
-                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
-                        return Some(value);
-                    }
-                    Err(actual) => pos = actual,
-                }
-            } else if diff < 0 {
-                return None;
-            } else {
-                pos = self.dequeue_pos.load(Ordering::Relaxed);
-            }
-        }
+        self.ring.pop()
     }
 
     /// Events lost to a full ring so far.

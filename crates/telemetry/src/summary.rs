@@ -7,7 +7,7 @@
 //! end-to-end mean — the scale-independent quantity the sim↔live
 //! divergence report compares.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use metrics::{quantiles_unsorted, LatencyBreakdown};
 
@@ -92,7 +92,7 @@ struct Partial {
 
 /// Folds events (any order) into per-request timelines.
 pub fn assemble_timelines(events: &[TraceEvent]) -> AssembledTrace {
-    let mut partials: HashMap<u64, Partial> = HashMap::new();
+    let mut partials: BTreeMap<u64, Partial> = BTreeMap::new();
     for event in events {
         let p = partials.entry(event.req).or_default();
         match event.hop {

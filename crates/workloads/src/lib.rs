@@ -22,6 +22,10 @@
 //! assert_eq!(w.label(), "herd");
 //! ```
 
+// Structural pin for detlint's unsafe-hygiene sweep: this crate
+// needs no unsafe code, and the compiler now keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod comparison;
 pub mod scenario;
 pub mod workload;

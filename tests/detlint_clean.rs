@@ -1,0 +1,42 @@
+//! Tier-1 gate: the workspace must lint clean under `detlint`.
+//!
+//! The determinism invariant (byte-identical reports/traces/series for
+//! any `--threads` value) and the unsafe-hygiene rule (every unsafe
+//! site carries a `// SAFETY:` comment) are enforced statically — a
+//! violation fails `cargo test`, not just the dedicated CI job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unwaived_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = detlint::run_workspace(root).expect("sweep must run");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — walker or exclude list broken",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "detlint found unwaived findings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn every_waiver_carries_a_reason() {
+    // Structural property of the waiver mechanism: nothing reaches the
+    // waived list without a non-empty reason (W001 guards the parse;
+    // this guards the plumbing).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = detlint::run_workspace(root).expect("sweep must run");
+    for w in &report.waived {
+        assert!(
+            !w.reason.trim().is_empty(),
+            "{}:{} waived {} with an empty reason",
+            w.finding.file,
+            w.finding.line,
+            w.finding.rule
+        );
+    }
+}
