@@ -126,6 +126,7 @@ fn main() -> ExitCode {
                 connections: WORKERS * 2,
                 scale: SCALE,
                 replenish_batch: 1,
+                cluster: None,
             },
         )
         .rates(RateGrid::Shared(LOADS.to_vec()))

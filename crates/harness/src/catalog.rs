@@ -90,7 +90,7 @@ pub fn registry_problems() -> Vec<String> {
     problems
 }
 
-static CATALOG: [Scenario; 13] = [
+static CATALOG: [Scenario; 16] = [
     Scenario {
         name: "fig2",
         paper: "Fig. 2a-c",
@@ -220,6 +220,36 @@ static CATALOG: [Scenario; 13] = [
         parts: &[],
         build: build_live_smoke,
         derive: derive_live_smoke,
+    },
+    Scenario {
+        name: "live_cluster",
+        paper: "§6 (live)",
+        kind: "live",
+        summary: "Cluster serving tier: 3 multi-worker nodes behind the client-side balancer, flows migrated mid-run via an epoch bump",
+        quick_runtime: "~2 s",
+        parts: &[],
+        build: build_live_cluster,
+        derive: derive_live_cluster,
+    },
+    Scenario {
+        name: "live_churn",
+        paper: "§6 (live)",
+        kind: "live",
+        summary: "Cluster under a reconnect storm: half the flows severed twice mid-run, every request accounted for",
+        quick_runtime: "~2 s",
+        parts: &[],
+        build: build_live_churn,
+        derive: derive_live_churn,
+    },
+    Scenario {
+        name: "live_drain",
+        paper: "§6 (live)",
+        kind: "live",
+        summary: "Graceful drain: one node drains, restarts on a fresh port, and rejoins mid-run with zero lost requests",
+        quick_runtime: "~2 s",
+        parts: &[],
+        build: build_live_drain,
+        derive: derive_live_drain,
     },
 ];
 
@@ -1296,6 +1326,125 @@ fn derive_live_smoke(run: &ScenarioRun) -> Artifacts {
     let mut display = "=== Live loopback smoke: measured dispatch disciplines ===\n".to_owned();
     display.push_str(&render_summaries(&summaries, "us", 1e3));
     Artifacts::new(vec![Artifact::json("live_smoke", &summaries, display)])
+}
+
+// ---------------------------------------------------------------------
+// Live cluster serving tier — migration / churn / drain
+// ---------------------------------------------------------------------
+
+/// One policy's outcome in a cluster scenario, including the redirect
+/// frames the balancer absorbed (the `flow_control_deferrals` column —
+/// arrivals the tier made the client re-route).
+#[derive(Serialize)]
+struct ClusterRow {
+    policy: String,
+    policy_key: String,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    load_balance_jain: f64,
+    redirect_frames: u64,
+}
+
+fn build_live_cluster(params: &ScenarioParams) -> Vec<ScenarioMatrix> {
+    vec![sized_live(named("live_cluster"), params)]
+}
+
+fn build_live_churn(params: &ScenarioParams) -> Vec<ScenarioMatrix> {
+    vec![sized_live(named("live_churn"), params)]
+}
+
+fn build_live_drain(params: &ScenarioParams) -> Vec<ScenarioMatrix> {
+    vec![sized_live(named("live_drain"), params)]
+}
+
+fn derive_live_cluster(run: &ScenarioRun) -> Artifacts {
+    cluster_artifact(
+        run,
+        "live_cluster",
+        "3 nodes, every flow reassigned by a mid-run directory migration",
+    )
+}
+
+fn derive_live_churn(run: &ScenarioRun) -> Artifacts {
+    cluster_artifact(
+        run,
+        "live_churn",
+        "2 nodes, half the flows severed twice mid-run (reconnect storm)",
+    )
+}
+
+fn derive_live_drain(run: &ScenarioRun) -> Artifacts {
+    cluster_artifact(
+        run,
+        "live_drain",
+        "3 nodes, one drained + restarted + rejoined mid-run",
+    )
+}
+
+/// The shared cluster-scenario artifact: per-policy rows plus the
+/// paper's p99 ordering (single <= partitioned <= RSS), *reported* per
+/// failure mode rather than asserted — these are wall-clock runs, so
+/// the ordering is evidence, not a determinism contract. Zero-lost, by
+/// contrast, was already asserted inside each job; reaching this derive
+/// step means every request was accounted for.
+fn cluster_artifact(run: &ScenarioRun, name: &str, what: &str) -> Artifacts {
+    let report = run.expect_report(name);
+    let jobs = rep0_jobs(report);
+    let mut display = format!("=== Live cluster ({what}) ===\n\n");
+    let mut rows = Vec::new();
+    for job in &jobs {
+        let _ = writeln!(
+            display,
+            "  {:<16} ({:<24}) p50 {:>7.0} us, p99 {:>7.0} us, {:>6.0} rps, jain {:.3}, {} redirect(s)",
+            job.policy,
+            job.policy_key,
+            job.p50_latency_ns / 1e3,
+            job.p99_latency_ns / 1e3,
+            job.throughput_rps,
+            job.load_balance_jain,
+            job.flow_control_deferrals,
+        );
+        rows.push(ClusterRow {
+            policy: job.policy.clone(),
+            policy_key: job.policy_key.clone(),
+            throughput_rps: job.throughput_rps,
+            p50_us: job.p50_latency_ns / 1e3,
+            p99_us: job.p99_latency_ns / 1e3,
+            load_balance_jain: job.load_balance_jain,
+            redirect_frames: job.flow_control_deferrals,
+        });
+    }
+    let p99_of = |prefix: &str| {
+        jobs.iter()
+            .find(|j| j.policy_key.starts_with(prefix))
+            .map(|j| j.p99_latency_ns)
+    };
+    if let (Some(single), Some(part), Some(rss)) = (
+        p99_of("live-single"),
+        p99_of("live-part"),
+        p99_of("live-rss"),
+    ) {
+        // 10 % slack, as in the loopback tests: one scheduling hiccup
+        // can swing a wall-clock tail without changing the regime.
+        let holds = single <= part * 1.1 && part <= rss * 1.1;
+        let _ = writeln!(
+            display,
+            "\n  p99 ordering: single {:.0} us <= partitioned {:.0} us <= rss {:.0} us -> {}",
+            single / 1e3,
+            part / 1e3,
+            rss / 1e3,
+            if holds {
+                "holds (the paper's single <= partitioned <= RSS survives this failure mode)"
+            } else {
+                "inverted this run (wall-clock noise; the ordering is reported, not asserted)"
+            }
+        );
+    }
+    display.push_str(
+        "  (each job asserted completed + redirected + rejected == issued with zero lost)\n",
+    );
+    Artifacts::new(vec![Artifact::json(name, &rows, display)])
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use dist::{ServiceDist, SyntheticKind};
-use live::{BurnMode, LivePolicy, LoopbackSpec};
+use live::{BurnMode, ClusterPlan, LivePolicy, LiveRunConfig};
 use metrics::LatencyBreakdown;
 use queueing::{QueueingModel, QxU, RunParams};
 use rpcvalet::{
@@ -169,6 +169,13 @@ pub struct LiveParams {
     /// Requests handed per replenish availability slot (≥ 1; only
     /// [`LivePolicy::Replenish`] batches — a sensitivity knob).
     pub replenish_batch: usize,
+    /// `Some` runs the job as a multi-node cluster behind the
+    /// client-side balancer ([`live::cluster::run_cluster`]), with the
+    /// plan's failure mode injected mid-run; `None` is the classic
+    /// single loopback server. Cluster jobs assert the zero-lost
+    /// accounting invariant and report redirect frames in
+    /// [`Measurement::flow_control_deferrals`].
+    pub cluster: Option<ClusterPlan>,
 }
 
 impl Default for LiveParams {
@@ -180,6 +187,7 @@ impl Default for LiveParams {
             // 600 ns synthetic profiles -> 300 µs sleeps.
             scale: 500.0,
             replenish_batch: 1,
+            cluster: None,
         }
     }
 }
@@ -592,30 +600,31 @@ impl ExperimentSpec {
                 }
             }
             PolicySpec::Live(policy, params) => {
-                let spec = LoopbackSpec {
-                    policy: *policy,
-                    workers: params.workers,
-                    burn: params.burn,
-                    connections: params.connections,
-                    requests: self.requests,
-                    warmup: self.warmup,
-                    load: self.rate_rps,
-                    service: self.workload.service_dist(),
-                    scale: params.scale,
-                    seed: self.seed,
-                    replenish_batch: params.replenish_batch,
-                    series_interval: (series_interval_ps > 0).then(|| {
+                let config = LiveRunConfig::new(*policy)
+                    .workers(params.workers)
+                    .burn(params.burn)
+                    .connections(params.connections)
+                    .requests(self.requests, self.warmup)
+                    .load(self.rate_rps)
+                    .service(self.workload.service_dist())
+                    .scale(params.scale)
+                    .seed(self.seed)
+                    .replenish_batch(params.replenish_batch)
+                    .trace_requests(capture as u64)
+                    .series_interval((series_interval_ps > 0).then(|| {
                         std::time::Duration::from_nanos((series_interval_ps / 1_000).max(1))
-                    }),
-                };
-                let outcome = live::run_loopback_observed(&spec, capture as u64)
-                    .unwrap_or_else(|e| panic!("live loopback job failed: {e}"));
-                let r = &outcome.stats;
-                let server = &outcome.server;
+                    }));
                 let mut label = policy.label(params.workers);
                 if matches!(policy, LivePolicy::Replenish) && params.replenish_batch > 1 {
                     label = format!("{label}-b{}", params.replenish_batch);
                 }
+                if let Some(plan) = params.cluster {
+                    return self.run_live_cluster(config, plan, label);
+                }
+                let outcome = live::run_loopback_observed(&config)
+                    .unwrap_or_else(|e| panic!("live loopback job failed: {e}"));
+                let r = &outcome.stats;
+                let server = &outcome.server;
                 let measurement = Measurement {
                     label,
                     throughput_rps: r.throughput_rps,
@@ -653,6 +662,59 @@ impl ExperimentSpec {
                     series: outcome.stats.series,
                 }
             }
+        }
+    }
+
+    /// Runs one live *cluster* job: `plan.nodes` in-process servers
+    /// behind the client-side balancer, with the plan's failure mode
+    /// injected mid-run ([`live::cluster::run_cluster`]).
+    ///
+    /// The request-accounting invariant (`completed + redirected +
+    /// rejected == issued`, zero lost) is asserted here — a violation
+    /// panics the job and fails the scenario, because losing requests
+    /// across a drain/churn/migration is exactly the regression this
+    /// job exists to catch. Redirect frames land in
+    /// [`Measurement::flow_control_deferrals`] (the cluster analogue of
+    /// send-slot deferrals: arrivals the tier made the client re-route),
+    /// and `dispatcher_high_water` is the worst per-node high water.
+    fn run_live_cluster(&self, config: LiveRunConfig, plan: ClusterPlan, label: String) -> ObservedRun {
+        let config = config.cluster(plan);
+        let outcome = live::cluster::run_cluster(&config)
+            .unwrap_or_else(|e| panic!("live cluster job failed: {e}"));
+        outcome
+            .accounting
+            .assert_balanced(&format!("live cluster job {label}"));
+        let r = &outcome.stats;
+        let high_water = outcome
+            .node_stats
+            .iter()
+            .map(|s| s.queue_high_water.max(s.ring_high_water))
+            .max()
+            .unwrap_or(0);
+        let measurement = Measurement {
+            label: format!("{label}-c{}{}", plan.nodes, plan.failure.key_suffix()),
+            throughput_rps: r.throughput_rps,
+            mean_latency_ns: r.mean_latency_ns,
+            p50_latency_ns: r.p50_latency_ns,
+            p99_latency_ns: r.p99_latency_ns,
+            p99_critical_ns: r.p99_latency_ns,
+            measured: r.measured,
+            mean_service_ns: r.mean_service_ns,
+            load_balance_jain: r.load_balance_jain,
+            flow_control_deferrals: outcome.redirects,
+            sim_events: 0,
+            queue_overflow_pushes: 0,
+            queue_overflow_migrations: 0,
+            dispatcher_high_water: high_water as usize,
+            preemptions: 0,
+            trace_dropped: 0,
+            breakdown: None,
+        };
+        ObservedRun {
+            measurement,
+            events: Vec::new(),
+            dropped: 0,
+            series: r.series.clone(),
         }
     }
 
@@ -722,6 +784,12 @@ pub fn policy_spec_key(policy: &PolicySpec) -> String {
             let mut key = p.key();
             if matches!(p, LivePolicy::Replenish) && params.replenish_batch > 1 {
                 key.push_str(&format!("-b{}", params.replenish_batch));
+            }
+            if let Some(plan) = params.cluster {
+                // Node count + failure mode; single-node keys (the
+                // pinned v2 set) are untouched because `cluster` is
+                // `None` for them.
+                key.push_str(&format!("-c{}{}", plan.nodes, plan.failure.key_suffix()));
             }
             key
         }
@@ -1035,6 +1103,9 @@ impl ScenarioMatrix {
     /// | `sens_threshold` | sim | outstanding-per-core ∈ {1,2,4,8} at 17 Mrps |
     /// | `sens_live` | live | partitioned group counts {1,2} + replenish batch {1,4} over loopback TCP (the live sensitivity knobs) |
     /// | `live_smoke` | live | exponential service × single-queue/RSS/replenish over loopback TCP, 2 sleep-burn workers |
+    /// | `live_cluster` | live | 3-node cluster behind the client-side balancer with a mid-run flow migration, × single-queue/partitioned/RSS |
+    /// | `live_churn` | live | 2-node cluster under a reconnect storm (half the flows severed twice mid-run), × single-queue/partitioned/RSS |
+    /// | `live_drain` | live | 3-node cluster where one node drains, restarts, and rejoins mid-run with zero lost requests, × single-queue/partitioned/RSS |
     pub fn named(name: &str) -> Option<ScenarioMatrix> {
         let hw_policies = || {
             vec![
@@ -1293,6 +1364,28 @@ impl ScenarioMatrix {
                 )
                 .rates(RateGrid::Shared(vec![0.5, 0.85]))
                 .requests(1_200, 120),
+            // The cluster serving tier (§6's live analogue, grown to N
+            // nodes): the same policy axis as `live_smoke` — the
+            // paper's p99 ordering single ≤ partitioned ≤ RSS should
+            // survive each failure mode — behind the client-side
+            // balancer with a failure injected mid-run. Every job
+            // asserts zero lost requests; redirect frames show up in
+            // the `flow_control_deferrals` column.
+            "live_cluster" => live_cluster_matrix(
+                "live_cluster",
+                205,
+                ClusterPlan::new(3).failure(live::FailureMode::Migrate),
+            ),
+            "live_churn" => live_cluster_matrix(
+                "live_churn",
+                206,
+                ClusterPlan::new(2).failure(live::FailureMode::Churn),
+            ),
+            "live_drain" => live_cluster_matrix(
+                "live_drain",
+                207,
+                ClusterPlan::new(3).failure(live::FailureMode::Drain),
+            ),
             _ => return None,
         };
         Some(matrix)
@@ -1320,8 +1413,42 @@ impl ScenarioMatrix {
             "sens_threshold",
             "sens_live",
             "live_smoke",
+            "live_cluster",
+            "live_churn",
+            "live_drain",
         ]
     }
+}
+
+/// The shared shape of the three cluster scenarios (`live_cluster`,
+/// `live_churn`, `live_drain`): one exponential workload, the
+/// single-queue/partitioned/RSS policy axis under `plan`, 70 % of total
+/// tier capacity. Only the node count, failure mode, and seed differ.
+fn live_cluster_matrix(name: &str, seed: u64, plan: ClusterPlan) -> ScenarioMatrix {
+    // 4 sleep-burn workers per node so the policy axis gets distinct
+    // shapes (1x4 / 2x2 / 4x1) — with the default 2, partitioned:2
+    // degenerates into RSS. Sleeping workers cost no CPU, but the
+    // *balancer's* send loop and the per-request reader/dispatcher work
+    // are real: a 1-CPU CI box sustains ~15 krps across the whole
+    // tier, so the load fraction is chosen to land under that
+    // (0.35 x 12 workers / 300 µs = 14 krps), not at the paper's 0.7 —
+    // an overdriven open-loop client measures its own backlog, not the
+    // policies. 24 flows give every node a few flows to hash.
+    let params = |cluster| LiveParams {
+        workers: 4,
+        connections: 24,
+        cluster: Some(cluster),
+        ..LiveParams::default()
+    };
+    ScenarioMatrix::new(name, seed)
+        .workloads(vec![Workload::Synthetic(SyntheticKind::Exponential)])
+        .policy_specs(vec![
+            PolicySpec::Live(LivePolicy::SingleQueue, params(plan)),
+            PolicySpec::Live(LivePolicy::Partitioned { groups: 2 }, params(plan)),
+            PolicySpec::Live(LivePolicy::RssStatic, params(plan)),
+        ])
+        .rates(RateGrid::Shared(vec![0.35]))
+        .requests(6_000, 600)
 }
 
 #[cfg(test)]

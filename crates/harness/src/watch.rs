@@ -21,7 +21,7 @@ use std::io::{self, Write};
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use live::{query_metrics, LoopbackSpec, MetricsWindow, Server, ServerConfig};
+use live::{query_metrics, LiveRunConfig, MetricsWindow, Server};
 
 use crate::plot::sparkline;
 use crate::spec::PolicySpec;
@@ -221,37 +221,19 @@ pub fn watch_addr(
 /// the wire exactly like an external client until the run drains (or
 /// the frame budget is spent, whichever is first).
 pub fn watch_loopback(
-    spec: &LoopbackSpec,
+    spec: &LiveRunConfig,
     window: Duration,
     cfg: &WatchConfig,
     label: &str,
     out: &mut dyn Write,
 ) -> io::Result<WatchSummary> {
-    let server = Server::start(
-        ServerConfig {
-            policy: spec.policy,
-            workers: spec.workers,
-            burn: spec.burn,
-            replenish_batch: spec.replenish_batch.max(1),
-            trace: None,
-            metrics_interval: Some(window),
-        },
-        "127.0.0.1:0",
-    )?;
-    let expected = Duration::from_secs_f64(spec.requests as f64 / spec.rate_rps());
-    let loadgen_cfg = live::loadgen::LoadgenConfig {
-        addr: server.local_addr(),
-        connections: spec.connections,
-        requests: spec.requests,
-        warmup: spec.warmup,
-        rate_rps: spec.rate_rps(),
-        service: spec.service.clone(),
-        scale: spec.scale,
-        seed: spec.seed,
-        workers_hint: spec.workers,
-        drain_timeout: expected * 3 + Duration::from_secs(10),
-        series_interval: None,
-    };
+    // The watched server's sampler must be on at the dashboard's window
+    // length, whatever the config said; the client-side series stays
+    // off — the dashboard reads the *server's* windows over the wire.
+    let spec = spec.clone().series_interval(Some(window));
+    let server = Server::start(spec.server_config(None), "127.0.0.1:0")?;
+    let mut loadgen_cfg = spec.loadgen_config(server.local_addr());
+    loadgen_cfg.series_interval = None;
     let driver = std::thread::Builder::new()
         .name("watch-loadgen".into())
         .spawn(move || live::loadgen::run_loadgen(&loadgen_cfg))
@@ -309,29 +291,30 @@ pub fn watch_loopback(
     Ok(summary)
 }
 
-/// The first live job of `scenario`, as a runnable [`LoopbackSpec`] —
+/// The first live job of `scenario`, as a runnable [`LiveRunConfig`] —
 /// what `harness watch --scenario <name>` drives.
+///
+/// Cluster plans are dropped: `watch` polls one loopback server's
+/// `METRICS` verb, so a cluster scenario watches a single node of the
+/// same shape at single-node load (the cluster run itself stays
+/// `harness bench`'s job).
 pub fn live_spec_for_scenario(
     scenario: &Scenario,
     params: &ScenarioParams,
-) -> Result<LoopbackSpec, String> {
+) -> Result<LiveRunConfig, String> {
     for matrix in crate::build_matrices(scenario, params) {
         for job in matrix.jobs() {
             if let PolicySpec::Live(policy, live_params) = &job.policy {
-                return Ok(LoopbackSpec {
-                    policy: *policy,
-                    workers: live_params.workers,
-                    burn: live_params.burn,
-                    connections: live_params.connections,
-                    requests: job.requests,
-                    warmup: job.warmup,
-                    load: job.rate_rps,
-                    service: job.workload.service_dist(),
-                    scale: live_params.scale,
-                    seed: job.seed,
-                    replenish_batch: live_params.replenish_batch,
-                    series_interval: None,
-                });
+                return Ok(LiveRunConfig::new(*policy)
+                    .workers(live_params.workers)
+                    .burn(live_params.burn)
+                    .connections(live_params.connections)
+                    .requests(job.requests, job.warmup)
+                    .load(job.rate_rps)
+                    .service(job.workload.service_dist())
+                    .scale(live_params.scale)
+                    .seed(job.seed)
+                    .replenish_batch(live_params.replenish_batch));
             }
         }
     }

@@ -82,6 +82,7 @@ fn live_hop_durations_sum_to_end_to_end() {
                 connections: 4,
                 scale: 50.0,
                 replenish_batch: 1,
+                cluster: None,
             },
         ),
         rate_rps: 0.6,

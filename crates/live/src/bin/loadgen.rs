@@ -3,24 +3,39 @@
 //! ```text
 //! loadgen --load 0.7 --requests 50000
 //! loadgen --addr 127.0.0.1:7117 --workload herd --scale 1000 --load 0.9
-//! loadgen --rate 5000 --requests 20000 --conns 16
+//! loadgen --addrs 127.0.0.1:7117,127.0.0.1:7118,127.0.0.1:7119 --load 0.7
+//! loadgen --drain-node 127.0.0.1:7118
 //! ```
 //!
 //! Offered load is either `--rate <rps>` (absolute) or `--load <frac>`
 //! (fraction of `workers / scaled-mean-service`; pass the server's
-//! `--workers` so capacity matches). Prints a p50/p99/throughput summary
-//! from the latency histogram when the run drains.
+//! `--workers` so capacity matches — with `--addrs`, per node). Prints a
+//! p50/p99/throughput summary from the latency histogram when the run
+//! drains.
+//!
+//! `--addrs` drives a *cluster* through the client-side balancer: flows
+//! map to nodes by rendezvous hashing, redirects from draining nodes are
+//! followed, and the run ends with a request-accounting line proving
+//! nothing was lost. `--drain-node ADDR` sends the wire `DRAIN` verb to
+//! one node and exits — pair it with a running `--addrs` loadgen to
+//! watch a drain live.
 
-use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use dist::ServiceDist;
+use live::cli::{parse_addr_list, resolve_addr, Flags};
+use live::cluster::{run_balancer, BalancerConfig, NodeDirectory};
 use live::loadgen::{run_loadgen, LoadgenConfig};
+use live::protocol::DrainAction;
+use live::query_drain;
 use workloads::Workload;
 
 struct Args {
     addr: String,
+    addrs: Option<String>,
+    drain_node: Option<String>,
     load: Option<f64>,
     rate: Option<f64>,
     requests: u64,
@@ -36,6 +51,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7117".to_owned(),
+        addrs: None,
+        drain_node: None,
         load: None,
         rate: None,
         requests: 10_000,
@@ -47,81 +64,38 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         window_ms: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
-        let parse_f64 = |name: &str, v: String| {
-            v.parse::<f64>().map_err(|e| format!("bad {name}: {e}"))
-        };
+    let mut flags = Flags::from_env();
+    while let Some(flag) = flags.next_flag() {
         match flag.as_str() {
-            "--addr" => args.addr = value("--addr")?,
-            "--load" => args.load = Some(parse_f64("--load", value("--load")?)?),
-            "--rate" => args.rate = Some(parse_f64("--rate", value("--rate")?)?),
-            "--requests" => {
-                args.requests = value("--requests")?
-                    .parse()
-                    .map_err(|e| format!("bad requests: {e}"))?;
-            }
-            "--warmup" => {
-                args.warmup = Some(
-                    value("--warmup")?
-                        .parse()
-                        .map_err(|e| format!("bad warmup: {e}"))?,
-                );
-            }
+            "--addr" => args.addr = flags.value("--addr")?,
+            "--addrs" => args.addrs = Some(flags.value("--addrs")?),
+            "--drain-node" => args.drain_node = Some(flags.value("--drain-node")?),
+            "--load" => args.load = Some(flags.parse("--load")?),
+            "--rate" => args.rate = Some(flags.parse("--rate")?),
+            "--requests" => args.requests = flags.parse_positive("--requests")?,
+            "--warmup" => args.warmup = Some(flags.parse("--warmup")?),
             "--workload" => {
-                args.workload = value("--workload")?
-                    .parse()
-                    .map_err(|e| format!("{e}"))?;
+                args.workload = flags.value("--workload")?.parse().map_err(|e| format!("{e}"))?;
             }
-            "--scale" => args.scale = parse_f64("--scale", value("--scale")?)?,
-            "--conns" => {
-                args.conns = value("--conns")?
-                    .parse()
-                    .map_err(|e| format!("bad connection count: {e}"))?;
-            }
-            "--workers" => {
-                args.workers = value("--workers")?
-                    .parse()
-                    .map_err(|e| format!("bad worker count: {e}"))?;
-            }
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("bad seed: {e}"))?;
-            }
-            "--window-ms" => {
-                let ms: u64 = value("--window-ms")?
-                    .parse()
-                    .map_err(|e| format!("bad window length: {e}"))?;
-                if ms == 0 {
-                    return Err("--window-ms must be at least 1".to_owned());
-                }
-                args.window_ms = Some(ms);
-            }
+            "--scale" => args.scale = flags.parse("--scale")?,
+            "--conns" => args.conns = flags.parse_positive("--conns")? as usize,
+            "--workers" => args.workers = flags.parse_positive("--workers")? as usize,
+            "--seed" => args.seed = flags.parse("--seed")?,
+            "--window-ms" => args.window_ms = Some(flags.parse_positive("--window-ms")?),
             "--help" | "-h" => {
-                return Err("usage: loadgen [--addr host:port] (--load frac | --rate rps) \
-                            [--requests n] [--warmup n] [--workload name] [--scale x] \
-                            [--conns n] [--workers n] [--seed n] [--window-ms n]"
+                return Err("usage: loadgen [--addr host:port | --addrs a,b,c] \
+                            (--load frac | --rate rps) [--requests n] [--warmup n] \
+                            [--workload name] [--scale x] [--conns n] [--workers n] \
+                            [--seed n] [--window-ms n] | loadgen --drain-node host:port"
                     .to_owned())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
-    if args.requests == 0 {
-        return Err("--requests must be at least 1".to_owned());
-    }
     if args.load.is_none() && args.rate.is_none() {
         args.load = Some(0.7);
     }
     Ok(args)
-}
-
-fn resolve(addr: &str) -> Result<SocketAddr, String> {
-    addr.to_socket_addrs()
-        .map_err(|e| format!("resolve {addr}: {e}"))?
-        .next()
-        .ok_or_else(|| format!("no address for {addr}"))
 }
 
 fn main() -> ExitCode {
@@ -132,22 +106,78 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let addr = match resolve(&args.addr) {
+    if let Some(node) = &args.drain_node {
+        return drain_node(node);
+    }
+    let service: ServiceDist = args.workload.service_dist();
+    let mean_ns = service.mean_ns() * args.scale;
+    let nodes = match &args.addrs {
+        Some(list) => match parse_addr_list(list) {
+            Ok(addrs) => Some(addrs),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let total_workers = args.workers * nodes.as_ref().map_or(1, Vec::len);
+    let rate_rps = match (args.rate, args.load) {
+        (Some(rate), _) => rate,
+        (None, Some(load)) => load * total_workers as f64 * 1e9 / mean_ns,
+        (None, None) => unreachable!("defaulted above"),
+    };
+    let warmup = args.warmup.unwrap_or(args.requests / 10).min(args.requests - 1);
+    let expected = Duration::from_secs_f64(args.requests as f64 / rate_rps);
+    let drain_timeout = expected * 3 + Duration::from_secs(10);
+
+    if let Some(addrs) = nodes {
+        println!(
+            "loadgen -> {} node(s) : {} requests at {:.0} rps ({} workload, mean service {:.3} ms, ~{:.1} s)",
+            addrs.len(),
+            args.requests,
+            rate_rps,
+            args.workload,
+            mean_ns / 1e6,
+            expected.as_secs_f64()
+        );
+        let directory = Arc::new(NodeDirectory::new(addrs));
+        let cfg = BalancerConfig {
+            flows: args.conns,
+            requests: args.requests,
+            warmup,
+            rate_rps,
+            service,
+            scale: args.scale,
+            seed: args.seed,
+            workers_hint: total_workers,
+            drain_timeout,
+            churn: false,
+        };
+        return match run_balancer(&cfg, &directory) {
+            Ok((stats, accounting, redirects)) => {
+                println!("{}", stats.summary());
+                println!("accounting: {accounting} ({redirects} redirect frame(s))");
+                if accounting.lost() > 0 {
+                    eprintln!("warning: {} request(s) lost", accounting.lost());
+                    return ExitCode::FAILURE;
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("loadgen failed: {e} (are the valetd nodes running?)");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let addr = match resolve_addr(&args.addr) {
         Ok(addr) => addr,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let service: ServiceDist = args.workload.service_dist();
-    let mean_ns = service.mean_ns() * args.scale;
-    let rate_rps = match (args.rate, args.load) {
-        (Some(rate), _) => rate,
-        (None, Some(load)) => load * args.workers as f64 * 1e9 / mean_ns,
-        (None, None) => unreachable!("defaulted above"),
-    };
-    let warmup = args.warmup.unwrap_or(args.requests / 10).min(args.requests - 1);
-    let expected = Duration::from_secs_f64(args.requests as f64 / rate_rps);
     println!(
         "loadgen -> {} : {} requests at {:.0} rps ({} workload, mean service {:.3} ms, ~{:.1} s)",
         addr,
@@ -157,7 +187,6 @@ fn main() -> ExitCode {
         mean_ns / 1e6,
         expected.as_secs_f64()
     );
-
     let cfg = LoadgenConfig {
         addr,
         connections: args.conns,
@@ -168,7 +197,7 @@ fn main() -> ExitCode {
         scale: args.scale,
         seed: args.seed,
         workers_hint: args.workers,
-        drain_timeout: expected * 3 + Duration::from_secs(10),
+        drain_timeout,
         series_interval: args.window_ms.map(Duration::from_millis),
     };
     match run_loadgen(&cfg) {
@@ -202,6 +231,31 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("loadgen failed: {e} (is valetd running at {addr}?)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--drain-node`: flip one node into drain mode over the wire and
+/// report its state.
+fn drain_node(node: &str) -> ExitCode {
+    let addr = match resolve_addr(node) {
+        Ok(addr) => addr,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match query_drain(addr, DrainAction::Begin) {
+        Ok(reply) => {
+            println!(
+                "{addr} draining: {} request(s) still in flight",
+                reply.inflight
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("drain {addr}: {e}");
             ExitCode::FAILURE
         }
     }

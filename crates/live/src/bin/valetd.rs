@@ -3,12 +3,15 @@
 //! ```text
 //! valetd --policy replenish --workers 4
 //! valetd --policy rss --workers 16 --burn spin --port 7117
+//! valetd --port 0 --node-id 2           # cluster member on an ephemeral port
 //! ```
 //!
-//! Serves the length-prefixed RPC protocol on loopback TCP until killed.
-//! `--burn sleep` (the default) makes workers overlap like real cores
-//! even on a 1-CPU machine; use `--burn spin` on hardware with as many
-//! cores as workers to burn real CPU, as the paper's handlers do.
+//! Serves the length-prefixed RPC protocol on loopback TCP until killed,
+//! asked to exit over the wire (`SHUTDOWN` verb — how a cluster
+//! supervisor stops a node), or signalled. `--burn sleep` (the default)
+//! makes workers overlap like real cores even on a 1-CPU machine; use
+//! `--burn spin` on hardware with as many cores as workers to burn real
+//! CPU, as the paper's handlers do.
 //!
 //! `--trace FILE` stamps request-lifecycle hops for the first
 //! `--trace-requests N` requests into a versioned trace store at FILE,
@@ -16,7 +19,8 @@
 //! and seals before returning. Only a hard kill (SIGKILL, power loss)
 //! leaves an unsealed store, which the loader reports as an interrupted
 //! capture. Telemetry counters are always on; query them with the wire
-//! protocol's `STATS` verb.
+//! protocol's `STATS` verb, and control draining with its `DRAIN` verb
+//! (a draining valetd answers new requests with redirects).
 //!
 //! `--metrics-addr ADDR` serves a Prometheus-style text exposition at
 //! `http://ADDR/metrics` and turns on the windowed sampler (window
@@ -28,13 +32,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use live::{BurnMode, LivePolicy, MetricsExporter, Server, ServerConfig, TraceSink};
+use live::cli::Flags;
+use live::{LivePolicy, LiveRunConfig, MetricsExporter, Server, TraceSink};
 use telemetry::{EventRing, RingFlusher, TraceMeta, TraceWriter};
 
 struct Args {
-    policy: LivePolicy,
-    workers: usize,
-    burn: BurnMode,
+    config: LiveRunConfig,
     port: u16,
     bind: String,
     trace: Option<String>,
@@ -44,10 +47,9 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
+    let mut config = LiveRunConfig::new(LivePolicy::Replenish).workers(4);
     let mut args = Args {
-        policy: LivePolicy::Replenish,
-        workers: 4,
-        burn: BurnMode::Sleep,
+        config: config.clone(),
         port: 7117,
         bind: "127.0.0.1".to_owned(),
         trace: None,
@@ -55,45 +57,30 @@ fn parse_args() -> Result<Args, String> {
         metrics_addr: None,
         metrics_window_ms: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+    let mut flags = Flags::from_env();
+    while let Some(flag) = flags.next_flag() {
         match flag.as_str() {
-            "--policy" => args.policy = value("--policy")?.parse().map_err(|e| format!("{e}"))?,
-            "--workers" => {
-                args.workers = value("--workers")?
-                    .parse()
-                    .map_err(|e| format!("bad worker count: {e}"))?;
-                if args.workers == 0 {
-                    return Err("--workers must be at least 1".to_owned());
-                }
+            "--policy" => {
+                config.policy = flags.value("--policy")?.parse().map_err(|e| format!("{e}"))?;
             }
-            "--burn" => args.burn = value("--burn")?.parse()?,
-            "--port" => {
-                args.port = value("--port")?
-                    .parse()
-                    .map_err(|e| format!("bad port: {e}"))?;
+            "--workers" => config = config.workers(flags.parse_positive("--workers")? as usize),
+            "--burn" => config = config.burn(flags.value("--burn")?.parse()?),
+            "--replenish-batch" => {
+                config = config.replenish_batch(flags.parse_positive("--replenish-batch")? as usize);
             }
-            "--bind" => args.bind = value("--bind")?,
-            "--trace" => args.trace = Some(value("--trace")?),
-            "--trace-requests" => {
-                args.trace_requests = value("--trace-requests")?
-                    .parse()
-                    .map_err(|e| format!("bad trace request count: {e}"))?;
-            }
-            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--node-id" => config = config.node_id(flags.parse("--node-id")?),
+            "--port" => args.port = flags.parse("--port")?,
+            "--bind" => args.bind = flags.value("--bind")?,
+            "--trace" => args.trace = Some(flags.value("--trace")?),
+            "--trace-requests" => args.trace_requests = flags.parse("--trace-requests")?,
+            "--metrics-addr" => args.metrics_addr = Some(flags.value("--metrics-addr")?),
             "--metrics-window-ms" => {
-                let ms: u64 = value("--metrics-window-ms")?
-                    .parse()
-                    .map_err(|e| format!("bad metrics window length: {e}"))?;
-                if ms == 0 {
-                    return Err("--metrics-window-ms must be at least 1".to_owned());
-                }
-                args.metrics_window_ms = Some(ms);
+                args.metrics_window_ms = Some(flags.parse_positive("--metrics-window-ms")?);
             }
             "--help" | "-h" => {
-                return Err("usage: valetd [--policy single|partitioned[:G]|rss|replenish] \
-                            [--workers n] [--burn sleep|spin] [--port p] [--bind addr] \
+                return Err("usage: valetd [--policy single|partitioned:G|rss|replenish] \
+                            [--workers n] [--burn sleep|spin] [--replenish-batch n] \
+                            [--node-id n] [--port p] [--bind addr] \
                             [--trace FILE] [--trace-requests n] \
                             [--metrics-addr addr:port] [--metrics-window-ms n]"
                     .to_owned())
@@ -101,16 +88,14 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
-    // Validate here so a bad combination is a usage error, not a panic
-    // from the dispatcher constructor.
-    if let LivePolicy::Partitioned { groups } = args.policy {
-        if groups == 0 || groups > args.workers || !args.workers.is_multiple_of(groups) {
-            return Err(format!(
-                "--policy partitioned:{groups} needs a group count that divides --workers {}",
-                args.workers
-            ));
-        }
-    }
+    config = config.series_interval(
+        (args.metrics_addr.is_some() || args.metrics_window_ms.is_some())
+            .then(|| Duration::from_millis(args.metrics_window_ms.unwrap_or(250))),
+    );
+    // Surface cross-field mistakes as usage errors, not dispatcher
+    // panics.
+    config.validate()?;
+    args.config = config;
     Ok(args)
 }
 
@@ -153,12 +138,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let config = &args.config;
     // Optional tracing: hops go through a bounded ring to a background
     // flusher appending to the store, so serving never blocks on I/O.
     let mut capture = None;
     let trace = match &args.trace {
         Some(path) => {
-            let label = args.policy.label(args.workers);
+            let label = config.policy.label(config.workers);
             let writer = match TraceWriter::create(path.as_ref(), &TraceMeta::live(&label, 1)) {
                 Ok(writer) => writer,
                 Err(e) => {
@@ -172,21 +158,11 @@ fn main() -> ExitCode {
         }
         None => None,
     };
-    // The windowed sampler runs whenever either metrics flag is given:
-    // the exposition needs it, and a window length alone still feeds the
-    // wire protocol's METRICS verb.
-    let metrics_interval = (args.metrics_addr.is_some() || args.metrics_window_ms.is_some())
-        .then(|| Duration::from_millis(args.metrics_window_ms.unwrap_or(250)));
-    let config = ServerConfig {
-        policy: args.policy,
-        workers: args.workers,
-        burn: args.burn,
-        replenish_batch: 1,
-        trace,
-        metrics_interval,
-    };
     install_shutdown_handler();
-    let server = match Server::start(config, format!("{}:{}", args.bind, args.port)) {
+    let server = match Server::start(
+        config.server_config(trace),
+        format!("{}:{}", args.bind, args.port),
+    ) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("bind {}:{}: {e}", args.bind, args.port);
@@ -208,19 +184,27 @@ fn main() -> ExitCode {
         None => None,
     };
     println!(
-        "valetd listening on {} (policy {}, {} workers, {:?} burn)",
+        "valetd listening on {} (policy {}, {} workers, {:?} burn, node {})",
         server.local_addr(),
-        args.policy,
-        args.workers,
-        args.burn
+        config.policy,
+        config.workers,
+        config.burn,
+        config.node_id,
     );
-    while !SHUTDOWN.load(Ordering::SeqCst) {
+    // Exit on either signal path (Ctrl-C/SIGTERM) or the wire SHUTDOWN
+    // verb — the latter is how a cluster supervisor retires a node.
+    while !SHUTDOWN.load(Ordering::SeqCst) && !server.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(50));
     }
     if let Some(exporter) = exporter {
         exporter.stop();
     }
-    let completions = server.stop();
+    // A drained node must not cut off replies it has already counted.
+    let completions = if server.is_draining() {
+        server.stop_after_drain()
+    } else {
+        server.stop()
+    };
     println!(
         "shutting down: {} request(s) completed across {} worker(s)",
         completions.iter().sum::<u64>(),

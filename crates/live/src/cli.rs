@@ -1,0 +1,129 @@
+//! Shared command-line plumbing for the `valetd` and `loadgen`
+//! binaries: one flag walker and the addr/port/duration parsers both
+//! used to hand-roll separately.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::str::FromStr;
+
+/// A `--flag value` walker over the process arguments.
+///
+/// ```no_run
+/// let mut flags = live::cli::Flags::from_env();
+/// while let Some(flag) = flags.next_flag() {
+///     match flag.as_str() {
+///         "--workers" => { let _n: usize = flags.parse("--workers")?; }
+///         other => return Err(format!("unknown flag `{other}`")),
+///     }
+/// }
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug)]
+pub struct Flags {
+    args: std::vec::IntoIter<String>,
+}
+
+impl Flags {
+    /// Walks `std::env::args()`, program name skipped.
+    pub fn from_env() -> Self {
+        Flags {
+            args: std::env::args().skip(1).collect::<Vec<_>>().into_iter(),
+        }
+    }
+
+    /// Walks an explicit argument list (tests).
+    pub fn from_args(args: Vec<String>) -> Self {
+        Flags {
+            args: args.into_iter(),
+        }
+    }
+
+    /// The next flag, or `None` when the arguments are exhausted.
+    pub fn next_flag(&mut self) -> Option<String> {
+        self.args.next()
+    }
+
+    /// The value following the current flag.
+    pub fn value(&mut self, name: &str) -> Result<String, String> {
+        self.args
+            .next()
+            .ok_or_else(|| format!("{name} needs a value"))
+    }
+
+    /// The value following the current flag, parsed as `T`.
+    pub fn parse<T>(&mut self, name: &str) -> Result<T, String>
+    where
+        T: FromStr,
+        T::Err: std::fmt::Display,
+    {
+        self.value(name)?
+            .parse()
+            .map_err(|e| format!("bad {name}: {e}"))
+    }
+
+    /// Like [`Flags::parse`] for counts that must be at least 1.
+    pub fn parse_positive(&mut self, name: &str) -> Result<u64, String> {
+        let n: u64 = self.parse(name)?;
+        if n == 0 {
+            return Err(format!("{name} must be at least 1"));
+        }
+        Ok(n)
+    }
+}
+
+/// Resolves `host:port` to the first matching socket address.
+pub fn resolve_addr(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr}"))
+}
+
+/// Resolves a comma-separated `host:port,host:port,…` list (the
+/// balancer's cluster membership).
+pub fn parse_addr_list(list: &str) -> Result<Vec<SocketAddr>, String> {
+    let addrs: Vec<SocketAddr> = list
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| resolve_addr(part.trim()))
+        .collect::<Result<_, _>>()?;
+    if addrs.is_empty() {
+        return Err(format!("no addresses in `{list}`"));
+    }
+    Ok(addrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::from_args(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn flag_walker_parses_and_reports_misuse() {
+        let mut f = flags(&["--workers", "4", "--load", "0.7", "--tail"]);
+        assert_eq!(f.next_flag().as_deref(), Some("--workers"));
+        assert_eq!(f.parse::<usize>("--workers").unwrap(), 4);
+        assert_eq!(f.next_flag().as_deref(), Some("--load"));
+        assert!((f.parse::<f64>("--load").unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(f.next_flag().as_deref(), Some("--tail"));
+        assert!(f.value("--tail").unwrap_err().contains("needs a value"));
+        let mut f = flags(&["--workers", "zero"]);
+        f.next_flag();
+        assert!(f.parse::<usize>("--workers").unwrap_err().contains("bad --workers"));
+        let mut f = flags(&["--window-ms", "0"]);
+        f.next_flag();
+        assert!(f.parse_positive("--window-ms").unwrap_err().contains("at least 1"));
+    }
+
+    #[test]
+    fn addr_lists_resolve_and_reject_garbage() {
+        let addrs = parse_addr_list("127.0.0.1:7117, 127.0.0.1:7118").unwrap();
+        assert_eq!(addrs.len(), 2);
+        assert_eq!(addrs[1].port(), 7118);
+        assert!(parse_addr_list("").is_err());
+        assert!(parse_addr_list("not-an-addr").is_err());
+        assert!(resolve_addr("127.0.0.1:9").is_ok());
+    }
+}

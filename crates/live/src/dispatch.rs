@@ -89,20 +89,35 @@ impl fmt::Display for LivePolicy {
 
 /// Error from parsing a [`LivePolicy`] name.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParsePolicyError(String);
+pub struct ParsePolicyError {
+    input: String,
+    hint: &'static str,
+}
+
+impl ParsePolicyError {
+    fn new(input: &str) -> Self {
+        ParsePolicyError {
+            input: input.to_owned(),
+            hint: "expected single|partitioned:G|rss|replenish",
+        }
+    }
+}
 
 impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown policy `{}` (expected single|partitioned[:G]|rss|replenish)",
-            self.0
-        )
+        write!(f, "unknown policy `{}` ({})", self.input, self.hint)
     }
 }
 
 impl std::error::Error for ParsePolicyError {}
 
+/// Parsing accepts the canonical names [`LivePolicy`]'s `Display` emits
+/// (`single`, `partitioned:G`, `rss`, `replenish`) plus a few spelled-out
+/// aliases (`single-queue`, `rss-static`, `static`, `rpcvalet`) for CLI
+/// ergonomics. The round-trip `parse(policy.to_string()) == policy` is
+/// proptest-pinned below. A bare `partitioned` is an error — it used to
+/// silently mean 4 groups, which made `valetd --policy partitioned
+/// --workers 2` fail validation far from the typo.
 impl FromStr for LivePolicy {
     type Err = ParsePolicyError;
 
@@ -112,21 +127,22 @@ impl FromStr for LivePolicy {
             "single" | "single-queue" | "singlequeue" => Ok(LivePolicy::SingleQueue),
             "rss" | "rss-static" | "static" => Ok(LivePolicy::RssStatic),
             "replenish" | "rpcvalet" => Ok(LivePolicy::Replenish),
+            "partitioned" | "partitioned:" => Err(ParsePolicyError {
+                input: s.to_owned(),
+                hint: "partitioned needs an explicit group count, e.g. partitioned:4",
+            }),
             other => {
                 if let Some(g) = other
                     .strip_prefix("partitioned")
                     .map(|rest| rest.trim_start_matches(':'))
                 {
-                    if g.is_empty() {
-                        return Ok(LivePolicy::Partitioned { groups: 4 });
-                    }
                     if let Ok(groups) = g.parse::<usize>() {
                         if groups > 0 {
                             return Ok(LivePolicy::Partitioned { groups });
                         }
                     }
                 }
-                Err(ParsePolicyError(s.to_owned()))
+                Err(ParsePolicyError::new(s))
             }
         }
     }
@@ -766,10 +782,6 @@ mod tests {
             "partitioned:8".parse::<LivePolicy>().unwrap(),
             LivePolicy::Partitioned { groups: 8 }
         );
-        assert_eq!(
-            "partitioned".parse::<LivePolicy>().unwrap(),
-            LivePolicy::Partitioned { groups: 4 }
-        );
         assert_eq!("rss".parse::<LivePolicy>().unwrap(), LivePolicy::RssStatic);
         assert_eq!(
             "RPCValet".parse::<LivePolicy>().unwrap(),
@@ -777,6 +789,42 @@ mod tests {
         );
         assert!("bogus".parse::<LivePolicy>().is_err());
         assert!("partitioned:0".parse::<LivePolicy>().is_err());
+        // A bare `partitioned` used to silently mean 4 groups; it is now
+        // a usage error with a hint toward the explicit form.
+        let err = "partitioned".parse::<LivePolicy>().unwrap_err();
+        assert!(err.to_string().contains("explicit group count"), "{err}");
+        assert!("partitioned:".parse::<LivePolicy>().is_err());
+    }
+
+    #[test]
+    fn policy_keys_are_pinned() {
+        // Stored trajectory/report keys — must never change (BENCH
+        // stores and --baseline diffs group by them).
+        assert_eq!(LivePolicy::SingleQueue.key(), "live-single");
+        assert_eq!(LivePolicy::Partitioned { groups: 4 }.key(), "live-part4");
+        assert_eq!(LivePolicy::RssStatic.key(), "live-rss");
+        assert_eq!(LivePolicy::Replenish.key(), "live-replenish");
+    }
+
+    proptest::proptest! {
+        /// `Display` and `FromStr` are a pinned round-trip: every
+        /// policy parses back from its canonical rendering, so CLI
+        /// flags, scenario specs, and report labels can move through
+        /// strings without drifting.
+        #[test]
+        fn display_from_str_roundtrip(which in 0usize..4, groups in 1usize..64) {
+            let policy = match which {
+                0 => LivePolicy::SingleQueue,
+                1 => LivePolicy::Partitioned { groups },
+                2 => LivePolicy::RssStatic,
+                _ => LivePolicy::Replenish,
+            };
+            let rendered = policy.to_string();
+            let back: LivePolicy = rendered.parse().map_err(
+                |e: ParsePolicyError| proptest::TestCaseError::fail(e.to_string()),
+            )?;
+            proptest::prop_assert_eq!(back, policy, "via `{}`", rendered);
+        }
     }
 
     #[test]

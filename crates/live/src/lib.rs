@@ -21,34 +21,42 @@
 //! measures whether real threads on real queues reproduce it (see the
 //! `live_vs_sim` bench binary).
 //!
+//! Every way of running the tier goes through one configuration type,
+//! [`LiveRunConfig`]: single-node loopback ([`run_loopback`],
+//! [`run_loopback_observed`]) and the multi-node cluster with failure
+//! injection ([`cluster::run_cluster`]).
+//!
 //! ## In-process quickstart
 //!
 //! ```no_run
-//! use dist::ServiceDist;
-//! use live::{run_loopback, BurnMode, LivePolicy, LoopbackSpec};
+//! use live::{run_loopback, LivePolicy, LiveRunConfig};
 //!
-//! let stats = run_loopback(&LoopbackSpec {
-//!     policy: LivePolicy::Replenish,
-//!     workers: 2,
-//!     burn: BurnMode::Sleep,
-//!     connections: 4,
-//!     requests: 2_000,
-//!     warmup: 200,
-//!     load: 0.7,
-//!     service: ServiceDist::exponential_mean_ns(600.0),
-//!     scale: 500.0, // 600 ns profile -> 300 µs sleeps
-//!     seed: 7,
-//!     replenish_batch: 1,
-//!     series_interval: None,
-//! })
-//! .unwrap();
+//! let config = LiveRunConfig::new(LivePolicy::Replenish)
+//!     .connections(4)
+//!     .seed(7);
+//! let stats = run_loopback(&config).unwrap();
 //! println!("{}", stats.summary());
+//! ```
+//!
+//! ## Cluster quickstart
+//!
+//! ```no_run
+//! use live::cluster::run_cluster;
+//! use live::{ClusterPlan, FailureMode, LivePolicy, LiveRunConfig};
+//!
+//! let config = LiveRunConfig::new(LivePolicy::Replenish)
+//!     .cluster(ClusterPlan::new(3).failure(FailureMode::Drain));
+//! let outcome = run_cluster(&config).unwrap();
+//! outcome.accounting.assert_balanced("cluster quickstart");
 //! ```
 
 // This crate retains a handful of audited unsafe sites (see the
 // adjacent // SAFETY: comments); new ones must be explicit.
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod cli;
+pub mod cluster;
+pub mod config;
 pub mod dispatch;
 pub mod exporter;
 pub mod loadgen;
@@ -57,14 +65,16 @@ pub mod ring;
 pub mod server;
 pub mod stats;
 
+pub use cluster::{Cluster, ClusterOutcome, NodeDirectory, NodeLaunch};
+pub use config::{ClusterPlan, FailureMode, LiveRunConfig};
 pub use dispatch::{
     make_dispatcher, make_dispatcher_batched, DispatchGauges, Dispatcher, LivePolicy, RouteKey,
 };
 pub use exporter::MetricsExporter;
 pub use loadgen::{run_loadgen, LiveRunStats, LoadgenConfig};
 pub use protocol::{
-    encode_metrics_request, encode_stats_request, read_frame, write_frame, MetricsReply,
-    MetricsWindow, Request, Response, StatsSnapshot, WorkerStats,
+    encode_metrics_request, encode_stats_request, read_frame, write_frame, DrainAction, DrainReply,
+    MetricsReply, MetricsWindow, Request, Response, StatsSnapshot, WorkerStats,
 };
 pub use ring::SlotRing;
 pub use server::{BurnMode, Server, ServerConfig};
@@ -73,9 +83,8 @@ pub use stats::{render_prometheus, MetricsHub, ServerStats, TraceSink, SAMPLES_P
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
 
-use dist::ServiceDist;
+use protocol::{encode_drain_request, encode_shutdown_request};
 use telemetry::{EventRing, RingFlusher, TraceEvent};
 
 /// Shrinks this thread's kernel timer slack to 1 ns (Linux
@@ -103,64 +112,15 @@ pub fn reduce_timer_slack() {
     }
 }
 
-/// One self-contained loopback experiment: start a server, drive it,
-/// stop it.
-#[derive(Debug, Clone)]
-pub struct LoopbackSpec {
-    /// Dispatch discipline under test.
-    pub policy: LivePolicy,
-    /// Server worker threads.
-    pub workers: usize,
-    /// How workers spend service time ([`BurnMode::Sleep`] for 1-CPU
-    /// machines and CI, [`BurnMode::Spin`] for real cores).
-    pub burn: BurnMode,
-    /// Client connections.
-    pub connections: usize,
-    /// Requests to send.
-    pub requests: u64,
-    /// Completions excluded from statistics (by request id).
-    pub warmup: u64,
-    /// Offered load as a fraction of capacity
-    /// (`workers / mean-scaled-service`).
-    pub load: f64,
-    /// Service-demand profile (ns, before scaling).
-    pub service: ServiceDist,
-    /// Service-time multiplier (see [`LoadgenConfig::scale`]).
-    pub scale: f64,
-    /// RNG master seed.
-    pub seed: u64,
-    /// Requests handed per replenish slot (≥ 1; only
-    /// [`LivePolicy::Replenish`] batches — the `ablation_sensitivity`
-    /// knob).
-    pub replenish_batch: usize,
-    /// `Some(interval)` turns on windowed telemetry on both sides: the
-    /// server runs a metrics sampler at this window length (served by
-    /// the `METRICS` verb) and the load generator records a client-side
-    /// windowed latency series. `None` runs unwindowed, exactly as
-    /// before.
-    pub series_interval: Option<Duration>,
-}
-
-impl LoopbackSpec {
-    /// The absolute offered rate this spec's load fraction works out to.
-    pub fn rate_rps(&self) -> f64 {
-        self.load * self.workers as f64 * 1e9 / (self.service.mean_ns() * self.scale)
-    }
-
-    /// Expected send duration, used to bound the drain timeout.
-    fn expected_duration(&self) -> Duration {
-        Duration::from_secs_f64(self.requests as f64 / self.rate_rps())
-    }
-}
-
 /// Runs one server + load-generator pair over loopback TCP and returns
 /// the client-side statistics.
 ///
 /// The server binds an ephemeral port on 127.0.0.1, the load generator
 /// drives it to completion, and the server is stopped before returning —
-/// nothing leaks between runs.
-pub fn run_loopback(spec: &LoopbackSpec) -> io::Result<LiveRunStats> {
-    run_loopback_observed(spec, 0).map(|outcome| outcome.stats)
+/// nothing leaks between runs. Any [`LiveRunConfig::cluster`] plan is
+/// ignored here; use [`cluster::run_cluster`] for those.
+pub fn run_loopback(config: &LiveRunConfig) -> io::Result<LiveRunStats> {
+    run_loopback_observed(config).map(|outcome| outcome.stats)
 }
 
 /// Everything one observed loopback run produces.
@@ -177,51 +137,30 @@ pub struct LoopbackOutcome {
     pub dropped: u64,
     /// The server's sealed metrics windows, fetched via the `METRICS`
     /// verb just before shutdown (empty reply when
-    /// [`LoopbackSpec::series_interval`] was `None`).
+    /// [`LiveRunConfig::series_interval`] was `None`).
     pub server_series: MetricsReply,
 }
 
 /// [`run_loopback`], with telemetry: always queries the server's
-/// `STATS` snapshot, and — when `trace_requests > 0` — stamps
-/// request-lifecycle hops for the first `trace_requests` requests
+/// `STATS` snapshot, and — when [`LiveRunConfig::trace_requests`] is
+/// nonzero — stamps request-lifecycle hops for the first N requests
 /// through a bounded ring drained by a background flusher (the `valetd`
 /// hot path never blocks on trace I/O; a full ring shows up in
 /// `dropped`, never in latency).
-pub fn run_loopback_observed(
-    spec: &LoopbackSpec,
-    trace_requests: u64,
-) -> io::Result<LoopbackOutcome> {
-    let ring = (trace_requests > 0).then(|| Arc::new(EventRing::with_capacity(8 * 1024)));
+pub fn run_loopback_observed(config: &LiveRunConfig) -> io::Result<LoopbackOutcome> {
+    config
+        .validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let ring =
+        (config.trace_requests > 0).then(|| Arc::new(EventRing::with_capacity(8 * 1024)));
     let flusher = ring
         .as_ref()
         .map(|r| RingFlusher::spawn(Arc::clone(r), Vec::new()));
-    let server = Server::start(
-        ServerConfig {
-            policy: spec.policy,
-            workers: spec.workers,
-            burn: spec.burn,
-            replenish_batch: spec.replenish_batch.max(1),
-            trace: ring
-                .as_ref()
-                .map(|r| TraceSink::new(Arc::clone(r), trace_requests)),
-            metrics_interval: spec.series_interval,
-        },
-        "127.0.0.1:0",
-    )?;
-    let cfg = LoadgenConfig {
-        addr: server.local_addr(),
-        connections: spec.connections,
-        requests: spec.requests,
-        warmup: spec.warmup,
-        rate_rps: spec.rate_rps(),
-        service: spec.service.clone(),
-        scale: spec.scale,
-        seed: spec.seed,
-        workers_hint: spec.workers,
-        drain_timeout: spec.expected_duration() * 3 + Duration::from_secs(10),
-        series_interval: spec.series_interval,
-    };
-    let stats = run_loadgen(&cfg);
+    let trace = ring
+        .as_ref()
+        .map(|r| TraceSink::new(Arc::clone(r), config.trace_requests));
+    let server = Server::start(config.server_config(trace), "127.0.0.1:0")?;
+    let stats = run_loadgen(&config.loadgen_config(server.local_addr()));
     // Snapshot over the wire while the server still serves — the same
     // path an external `STATS`/`METRICS` client uses — then stop it.
     let server_snapshot = query_stats(server.local_addr());
@@ -273,4 +212,35 @@ pub fn query_metrics(addr: SocketAddr, since: u64) -> io::Result<MetricsReply> {
         )
     })?;
     MetricsReply::decode(&payload)
+}
+
+/// Sends a `DRAIN` command/query over a fresh connection and returns
+/// the server's drain state ([`DrainAction::Query`] just observes).
+pub fn query_drain(addr: SocketAddr, action: DrainAction) -> io::Result<DrainReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &encode_drain_request(action))?;
+    let payload = read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed before the drain reply",
+        )
+    })?;
+    DrainReply::decode(&payload)
+}
+
+/// Asks a remote server's host process to exit via the wire `SHUTDOWN`
+/// verb, waiting for the acknowledgement (the process itself decides
+/// when to stop serving — see `valetd`'s main loop).
+pub fn request_remote_shutdown(addr: SocketAddr) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &encode_shutdown_request())?;
+    read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed before the shutdown acknowledgement",
+        )
+    })?;
+    Ok(())
 }

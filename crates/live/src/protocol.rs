@@ -21,6 +21,20 @@ pub const KIND_STATS_RESPONSE: u8 = 3;
 pub const KIND_METRICS_REQUEST: u8 = 4;
 /// Frame discriminant for a windowed-metrics reply.
 pub const KIND_METRICS_RESPONSE: u8 = 5;
+/// Frame discriminant for a redirect: a draining node's answer to a
+/// request it refuses to dispatch. The client must resend the request
+/// to another node (its balancer picks which).
+pub const KIND_REDIRECT: u8 = 6;
+/// Frame discriminant for a drain command/query (the `DRAIN` verb).
+pub const KIND_DRAIN_REQUEST: u8 = 7;
+/// Frame discriminant for a drain reply.
+pub const KIND_DRAIN_RESPONSE: u8 = 8;
+/// Frame discriminant for a remote-shutdown request (the `SHUTDOWN`
+/// verb): asks the server process to exit cleanly, the portable
+/// supervisor alternative to delivering a signal.
+pub const KIND_SHUTDOWN_REQUEST: u8 = 9;
+/// Frame discriminant for a remote-shutdown acknowledgement.
+pub const KIND_SHUTDOWN_RESPONSE: u8 = 10;
 
 /// Upper bound on accepted payload sizes; anything larger indicates a
 /// corrupt length prefix (e.g. a peer speaking a different protocol).
@@ -106,6 +120,144 @@ impl Response {
     }
 }
 
+/// A redirect frame: what a draining server sends instead of serving.
+///
+/// Carries only the request id — the client already holds everything
+/// else about the request and just needs to know which one to re-place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Redirect {
+    /// The refused request's id, echoed.
+    pub req_id: u64,
+}
+
+const REDIRECT_LEN: usize = 1 + 8;
+
+impl Redirect {
+    /// Encodes the redirect as a complete frame (length prefix
+    /// included).
+    pub fn encode(&self) -> [u8; 4 + REDIRECT_LEN] {
+        let mut buf = [0u8; 4 + REDIRECT_LEN];
+        buf[..4].copy_from_slice(&(REDIRECT_LEN as u32).to_le_bytes());
+        buf[4] = KIND_REDIRECT;
+        buf[5..13].copy_from_slice(&self.req_id.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a redirect from a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<Redirect> {
+        if payload.len() != REDIRECT_LEN || payload[0] != KIND_REDIRECT {
+            return Err(malformed("redirect", payload));
+        }
+        Ok(Redirect {
+            req_id: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+        })
+    }
+}
+
+/// What a `DRAIN` frame asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainAction {
+    /// Report drain state without changing it.
+    Query,
+    /// Stop dispatching new requests; answer them with
+    /// [`Redirect`] frames instead. In-flight requests complete
+    /// normally. Idempotent.
+    Begin,
+    /// Resume dispatching (undo [`DrainAction::Begin`]). Idempotent.
+    Resume,
+}
+
+impl DrainAction {
+    fn code(self) -> u8 {
+        match self {
+            DrainAction::Query => 0,
+            DrainAction::Begin => 1,
+            DrainAction::Resume => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<DrainAction> {
+        match code {
+            0 => Some(DrainAction::Query),
+            1 => Some(DrainAction::Begin),
+            2 => Some(DrainAction::Resume),
+            _ => None,
+        }
+    }
+}
+
+const DRAIN_REQUEST_LEN: usize = 1 + 1;
+const DRAIN_RESPONSE_LEN: usize = 1 + 1 + 8;
+
+/// Encodes a `DRAIN` command/query as a complete frame.
+pub fn encode_drain_request(action: DrainAction) -> [u8; 4 + DRAIN_REQUEST_LEN] {
+    let mut buf = [0u8; 4 + DRAIN_REQUEST_LEN];
+    buf[..4].copy_from_slice(&(DRAIN_REQUEST_LEN as u32).to_le_bytes());
+    buf[4] = KIND_DRAIN_REQUEST;
+    buf[5] = action.code();
+    buf
+}
+
+/// Decodes the action from a `DRAIN` request payload.
+pub fn decode_drain_request(payload: &[u8]) -> io::Result<DrainAction> {
+    if payload.len() != DRAIN_REQUEST_LEN || payload[0] != KIND_DRAIN_REQUEST {
+        return Err(malformed("drain request", payload));
+    }
+    DrainAction::from_code(payload[1]).ok_or_else(|| malformed("drain request", payload))
+}
+
+/// The server's drain state, answered to every `DRAIN` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReply {
+    /// Whether the server is currently refusing new requests.
+    pub draining: bool,
+    /// Requests accepted but not yet completed — a draining node is
+    /// safe to stop exactly when this reaches zero.
+    pub inflight: u64,
+}
+
+impl DrainReply {
+    /// Encodes the reply as a complete frame (length prefix included).
+    pub fn encode(&self) -> [u8; 4 + DRAIN_RESPONSE_LEN] {
+        let mut buf = [0u8; 4 + DRAIN_RESPONSE_LEN];
+        buf[..4].copy_from_slice(&(DRAIN_RESPONSE_LEN as u32).to_le_bytes());
+        buf[4] = KIND_DRAIN_RESPONSE;
+        buf[5] = u8::from(self.draining);
+        buf[6..14].copy_from_slice(&self.inflight.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a reply from a frame payload.
+    pub fn decode(payload: &[u8]) -> io::Result<DrainReply> {
+        if payload.len() != DRAIN_RESPONSE_LEN || payload[0] != KIND_DRAIN_RESPONSE {
+            return Err(malformed("drain response", payload));
+        }
+        Ok(DrainReply {
+            draining: payload[1] != 0,
+            inflight: u64::from_le_bytes(payload[2..10].try_into().unwrap()),
+        })
+    }
+}
+
+const SHUTDOWN_REQUEST_LEN: usize = 1;
+const SHUTDOWN_RESPONSE_LEN: usize = 1;
+
+/// Encodes the `SHUTDOWN` request as a complete frame.
+pub fn encode_shutdown_request() -> [u8; 4 + SHUTDOWN_REQUEST_LEN] {
+    let mut buf = [0u8; 4 + SHUTDOWN_REQUEST_LEN];
+    buf[..4].copy_from_slice(&(SHUTDOWN_REQUEST_LEN as u32).to_le_bytes());
+    buf[4] = KIND_SHUTDOWN_REQUEST;
+    buf
+}
+
+/// Encodes the `SHUTDOWN` acknowledgement as a complete frame.
+pub fn encode_shutdown_response() -> [u8; 4 + SHUTDOWN_RESPONSE_LEN] {
+    let mut buf = [0u8; 4 + SHUTDOWN_RESPONSE_LEN];
+    buf[..4].copy_from_slice(&(SHUTDOWN_RESPONSE_LEN as u32).to_le_bytes());
+    buf[4] = KIND_SHUTDOWN_RESPONSE;
+    buf
+}
+
 /// Per-worker row of a [`StatsSnapshot`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerStats {
@@ -139,12 +291,16 @@ pub struct StatsSnapshot {
     /// the lifecycle capture is incomplete and per-hop statistics are
     /// biased toward the surviving events.
     pub trace_dropped: u64,
+    /// Requests answered with a [`Redirect`] instead of being
+    /// dispatched (only ever non-zero while draining). Not counted in
+    /// [`StatsSnapshot::requests_rx`].
+    pub redirects: u64,
     /// Per-worker completions and bytes, indexed by worker id.
     pub per_worker: Vec<WorkerStats>,
 }
 
 const STATS_REQUEST_LEN: usize = 1;
-const STATS_HEADER_LEN: usize = 1 + 6 * 8 + 4;
+const STATS_HEADER_LEN: usize = 1 + 7 * 8 + 4;
 const STATS_ROW_LEN: usize = 2 * 8;
 
 /// Encodes the `STATS` query as a complete frame.
@@ -180,6 +336,7 @@ impl StatsSnapshot {
             self.ring_high_water,
             self.replenish_batches,
             self.trace_dropped,
+            self.redirects,
         ] {
             buf.extend_from_slice(&word.to_le_bytes());
         }
@@ -218,6 +375,7 @@ impl StatsSnapshot {
             ring_high_water: word(3),
             replenish_batches: word(4),
             trace_dropped: word(5),
+            redirects: word(6),
             per_worker,
         })
     }
@@ -489,6 +647,7 @@ mod tests {
             ring_high_water: 4,
             replenish_batches: 950,
             trace_dropped: 12,
+            redirects: 31,
             per_worker: vec![
                 WorkerStats {
                     completions: 600,
@@ -508,6 +667,49 @@ mod tests {
         assert_eq!(back.completions(), 1_000);
         assert_eq!(back.bytes_tx(), 33_000);
         assert_eq!(back.trace_dropped, 12);
+        assert_eq!(back.redirects, 31);
+    }
+
+    #[test]
+    fn redirect_roundtrips_and_is_not_a_response() {
+        let redirect = Redirect { req_id: 0xBEEF };
+        let frame = redirect.encode();
+        let mut cursor = io::Cursor::new(frame.to_vec());
+        let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(Redirect::decode(&payload).unwrap(), redirect);
+        assert!(Response::decode(&payload).is_err());
+        assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn drain_verbs_roundtrip() {
+        for action in [DrainAction::Query, DrainAction::Begin, DrainAction::Resume] {
+            let frame = encode_drain_request(action);
+            let mut cursor = io::Cursor::new(frame.to_vec());
+            let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+            assert_eq!(decode_drain_request(&payload).unwrap(), action);
+        }
+        let reply = DrainReply {
+            draining: true,
+            inflight: 17,
+        };
+        let frame = reply.encode();
+        assert_eq!(DrainReply::decode(&frame[4..]).unwrap(), reply);
+        // Unknown action codes must be rejected, not misread.
+        let mut bad = encode_drain_request(DrainAction::Query);
+        bad[5] = 9;
+        assert!(decode_drain_request(&bad[4..]).is_err());
+    }
+
+    #[test]
+    fn shutdown_verbs_are_one_byte_frames() {
+        let req = encode_shutdown_request();
+        let mut cursor = io::Cursor::new(req.to_vec());
+        let payload = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(payload, vec![KIND_SHUTDOWN_REQUEST]);
+        let ack = encode_shutdown_response();
+        assert_eq!(ack[4], KIND_SHUTDOWN_RESPONSE);
+        assert!(Request::decode(&payload).is_err());
     }
 
     #[test]

@@ -21,8 +21,9 @@ use telemetry::Hop;
 
 use crate::dispatch::{make_dispatcher_batched, Dispatcher, LivePolicy, RouteKey};
 use crate::protocol::{
-    decode_metrics_request, read_frame, MetricsReply, Request, Response, StatsSnapshot,
-    KIND_METRICS_REQUEST, KIND_STATS_REQUEST,
+    decode_drain_request, decode_metrics_request, encode_shutdown_response, read_frame,
+    DrainAction, DrainReply, MetricsReply, Redirect, Request, Response, StatsSnapshot,
+    KIND_DRAIN_REQUEST, KIND_METRICS_REQUEST, KIND_SHUTDOWN_REQUEST, KIND_STATS_REQUEST,
 };
 use crate::stats::{render_prometheus, MetricsHub, ServerStats, TraceSink, SAMPLES_PER_WINDOW};
 
@@ -139,6 +140,14 @@ pub struct Server {
     trace: Option<TraceSink>,
     metrics: Option<Arc<MetricsHub>>,
     sampler_thread: Option<JoinHandle<()>>,
+    /// Drain mode: while set, readers answer request frames with
+    /// [`Redirect`]s instead of dispatching (control verbs still work
+    /// and in-flight requests complete normally).
+    draining: Arc<AtomicBool>,
+    /// Set by the wire `SHUTDOWN` verb; the hosting process polls
+    /// [`Server::shutdown_requested`] and stops the server — the
+    /// portable, signal-free supervision path.
+    shutdown_flag: Arc<AtomicBool>,
 }
 
 impl Server {
@@ -155,6 +164,8 @@ impl Server {
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let dispatched = Arc::new(AtomicU64::new(0));
         let stats = Arc::new(ServerStats::new(config.workers));
+        let draining = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::new(AtomicBool::new(false));
         let metrics = config.metrics_interval.map(|interval| {
             let interval_ps = (interval.as_nanos() as u64).max(1).saturating_mul(1_000);
             Arc::new(MetricsHub::new(interval_ps, config.workers))
@@ -209,6 +220,8 @@ impl Server {
             let stats = Arc::clone(&stats);
             let trace = config.trace.clone();
             let metrics = metrics.clone();
+            let draining = Arc::clone(&draining);
+            let shutdown_flag = Arc::clone(&shutdown_flag);
             std::thread::Builder::new()
                 .name("valetd-accept".to_owned())
                 .spawn(move || {
@@ -237,6 +250,8 @@ impl Server {
                         let stats = Arc::clone(&stats);
                         let trace = trace.clone();
                         let metrics = metrics.clone();
+                        let draining = Arc::clone(&draining);
+                        let shutdown_flag = Arc::clone(&shutdown_flag);
                         let handle = std::thread::Builder::new()
                             .name(format!("valetd-reader-{conn}"))
                             .spawn(move || {
@@ -249,6 +264,8 @@ impl Server {
                                     &stats,
                                     trace.as_ref(),
                                     metrics.as_deref(),
+                                    &draining,
+                                    &shutdown_flag,
                                 );
                                 // The connection is gone: deregister it so
                                 // a long-running server doesn't hold an
@@ -282,6 +299,8 @@ impl Server {
             trace: config.trace,
             metrics,
             sampler_thread,
+            draining,
+            shutdown_flag,
         })
     }
 
@@ -293,6 +312,40 @@ impl Server {
     /// Requests accepted and handed to the dispatcher so far.
     pub fn dispatched(&self) -> u64 {
         self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Enters drain mode: new request frames are answered with
+    /// [`Redirect`]s instead of being dispatched; in-flight requests
+    /// complete normally; control verbs keep working. Idempotent. The
+    /// wire `DRAIN` verb drives the same switch remotely.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Leaves drain mode (undo [`Server::begin_drain`]). Idempotent.
+    pub fn resume(&self) {
+        self.draining.store(false, Ordering::Release);
+    }
+
+    /// Whether the server is currently refusing new requests.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Requests accepted but not yet completed. A draining server is
+    /// safe to stop exactly when this reaches zero (and stays there —
+    /// drain mode guarantees no new acceptances).
+    pub fn inflight(&self) -> u64 {
+        self.stats
+            .requests_total()
+            .saturating_sub(self.stats.completions_total())
+    }
+
+    /// Whether a client asked this server to exit via the wire
+    /// `SHUTDOWN` verb. The hosting process (e.g. `valetd`'s main
+    /// loop) polls this and calls [`Server::stop`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_flag.load(Ordering::Acquire)
     }
 
     /// The telemetry snapshot the `STATS` verb answers, read in-process
@@ -353,6 +406,47 @@ impl Server {
         completions
     }
 
+    /// [`Server::stop`] for a drained node: joins the workers *before*
+    /// any socket is closed, so every completion already counted in
+    /// [`Server::inflight`] has its response on the wire.
+    ///
+    /// A supervisor that watches `inflight() == 0` and then calls plain
+    /// [`Server::stop`] can race a worker between counting a completion
+    /// and writing the reply — `stop` force-closes connections first and
+    /// the reply is lost. This variant closes that window; the price is
+    /// that a worker blocked writing to a stalled client delays shutdown
+    /// until TCP gives up, so only use it after a drain (when clients
+    /// are live and cooperating).
+    pub fn stop_after_drain(mut self) -> Vec<u64> {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.dispatcher.shutdown();
+        let mut completions = Vec::new();
+        for handle in self.worker_threads.drain(..) {
+            completions.push(handle.join().unwrap_or(0));
+        }
+        for (_, handle) in self.conns.lock().expect("conn registry").drain(..) {
+            let _ = handle.shutdown(Shutdown::Both);
+        }
+        let readers: Vec<JoinHandle<()>> = self
+            .reader_threads
+            .lock()
+            .expect("reader registry")
+            .drain(..)
+            .collect();
+        for handle in readers {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.sampler_thread.take() {
+            let _ = handle.join();
+        }
+        completions
+    }
+
     fn shutdown_internals(&mut self) {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
@@ -401,6 +495,8 @@ fn reader_loop(
     stats: &ServerStats,
     trace: Option<&TraceSink>,
     metrics: Option<&MetricsHub>,
+    draining: &AtomicBool,
+    shutdown_flag: &AtomicBool,
 ) {
     // Runs until EOF or a socket/protocol error drops the connection.
     while let Ok(Some(payload)) = read_frame(&mut read_half) {
@@ -434,6 +530,55 @@ fn reader_loop(
                 let _ = stream.write_all(&reply_frame);
             }
             continue;
+        }
+        // The DRAIN verb flips/reports drain mode and always answers
+        // with the current state plus the in-flight count, so a
+        // supervisor can poll the same verb until the node is empty.
+        if payload.first() == Some(&KIND_DRAIN_REQUEST) {
+            let Ok(action) = decode_drain_request(&payload) else {
+                break; // protocol error: drop the connection
+            };
+            match action {
+                DrainAction::Begin => draining.store(true, Ordering::Release),
+                DrainAction::Resume => draining.store(false, Ordering::Release),
+                DrainAction::Query => {}
+            }
+            let frame = DrainReply {
+                draining: draining.load(Ordering::Acquire),
+                inflight: stats
+                    .requests_total()
+                    .saturating_sub(stats.completions_total()),
+            }
+            .encode();
+            if let Ok(mut stream) = reply.lock() {
+                let _ = stream.write_all(&frame);
+            }
+            continue;
+        }
+        // The SHUTDOWN verb raises a flag the hosting process polls
+        // (`Server::shutdown_requested`), then acknowledges. The reader
+        // keeps serving — actual teardown is the host's call.
+        if payload.first() == Some(&KIND_SHUTDOWN_REQUEST) {
+            shutdown_flag.store(true, Ordering::Release);
+            if let Ok(mut stream) = reply.lock() {
+                let _ = stream.write_all(&encode_shutdown_response());
+            }
+            continue;
+        }
+        // While draining, request frames are refused with a redirect:
+        // not dispatched, not counted as accepted (so `requests −
+        // completions` stays the honest in-flight gauge), but tallied
+        // in the redirects counter for the cluster accounting.
+        if draining.load(Ordering::Acquire) {
+            if let Ok(req) = Request::decode(&payload) {
+                stats.note_redirect();
+                let frame = Redirect { req_id: req.req_id }.encode();
+                if let Ok(mut stream) = reply.lock() {
+                    let _ = stream.write_all(&frame);
+                }
+                continue;
+            }
+            break; // protocol error: drop the connection
         }
         let seq = dispatched.fetch_add(1, Ordering::Relaxed);
         if let Some(sink) = trace {
@@ -714,6 +859,68 @@ mod tests {
             );
             assert!(t.core < 2, "completing worker recorded");
         }
+    }
+
+    #[test]
+    fn drain_mode_redirects_then_resume_serves_again() {
+        use crate::protocol::{
+            encode_drain_request, encode_stats_request, DrainAction, DrainReply, Redirect,
+        };
+
+        let server = Server::start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        client.set_nodelay(true).unwrap();
+
+        // Begin drain over the wire; the reply reports the new state.
+        write_frame(&mut client, &encode_drain_request(DrainAction::Begin)).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("drain reply");
+        let state = DrainReply::decode(&payload).unwrap();
+        assert!(state.draining);
+        assert_eq!(state.inflight, 0);
+        assert!(server.is_draining());
+
+        // A request while draining comes back as a redirect, uncounted
+        // as an acceptance but tallied as a redirect.
+        let req = Request {
+            req_id: 77,
+            sent_at_ns: 0,
+            service_ns: 1_000,
+        };
+        write_frame(&mut client, &req.encode()).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("redirect");
+        assert_eq!(Redirect::decode(&payload).unwrap().req_id, 77);
+        write_frame(&mut client, &encode_stats_request()).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("stats");
+        let snap = StatsSnapshot::decode(&payload).unwrap();
+        assert_eq!(snap.requests_rx, 0);
+        assert_eq!(snap.redirects, 1);
+
+        // Resume over the wire; the same request now gets served.
+        write_frame(&mut client, &encode_drain_request(DrainAction::Resume)).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("drain reply");
+        assert!(!DrainReply::decode(&payload).unwrap().draining);
+        write_frame(&mut client, &req.encode()).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("response");
+        assert_eq!(Response::decode(&payload).unwrap().req_id, 77);
+
+        drop(client);
+        let completions = server.stop();
+        assert_eq!(completions.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn shutdown_verb_raises_the_host_flag() {
+        use crate::protocol::{encode_shutdown_request, KIND_SHUTDOWN_RESPONSE};
+
+        let server = Server::start(ServerConfig::default(), "127.0.0.1:0").unwrap();
+        assert!(!server.shutdown_requested());
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut client, &encode_shutdown_request()).unwrap();
+        let payload = read_frame(&mut client).unwrap().expect("ack");
+        assert_eq!(payload, vec![KIND_SHUTDOWN_RESPONSE]);
+        assert!(server.shutdown_requested());
+        drop(client);
+        server.stop();
     }
 
     #[test]

@@ -36,6 +36,7 @@ struct WorkerCounters {
 pub struct ServerStats {
     requests_rx: AtomicU64,
     bytes_rx: AtomicU64,
+    redirects: AtomicU64,
     workers: Vec<WorkerCounters>,
 }
 
@@ -45,6 +46,7 @@ impl ServerStats {
         ServerStats {
             requests_rx: AtomicU64::new(0),
             bytes_rx: AtomicU64::new(0),
+            redirects: AtomicU64::new(0),
             workers: (0..workers).map(|_| WorkerCounters::default()).collect(),
         }
     }
@@ -71,6 +73,19 @@ impl ServerStats {
         if let Some(w) = self.workers.get(worker) {
             w.busy.store(busy as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Records one request answered with a redirect instead of being
+    /// dispatched (drain mode). Deliberately *not* counted as an
+    /// accepted request: `requests_total − completions_total` must
+    /// remain the in-flight gauge the drain protocol polls.
+    pub fn note_redirect(&self) {
+        self.redirects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests redirected away so far.
+    pub fn redirects_total(&self) -> u64 {
+        self.redirects.load(Ordering::Relaxed)
     }
 
     /// Request frames accepted so far.
@@ -109,6 +124,7 @@ impl ServerStats {
             ring_high_water: gauges.ring_high_water,
             replenish_batches: gauges.replenish_batches,
             trace_dropped,
+            redirects: self.redirects.load(Ordering::Relaxed),
             per_worker: self
                 .workers
                 .iter()
@@ -269,6 +285,11 @@ pub fn render_prometheus(
         "Trace events lost to a full ring (capture incomplete if > 0).",
         snapshot.trace_dropped,
     );
+    counter(
+        "valetd_redirects_total",
+        "Requests refused with a redirect while draining.",
+        snapshot.redirects,
+    );
     let _ = writeln!(
         out,
         "# HELP valetd_completions_total Responses served, by worker."
@@ -414,6 +435,7 @@ mod tests {
         stats.note_completion(1, 37);
         stats.note_completion(1, 37);
         stats.note_completion(99, 37); // out-of-range worker id: ignored
+        stats.note_redirect();
         let snap = stats.snapshot(
             DispatchGauges {
                 queue_high_water: 5,
@@ -422,7 +444,8 @@ mod tests {
             },
             7,
         );
-        assert_eq!(snap.requests_rx, 2);
+        assert_eq!(snap.requests_rx, 2, "redirects are not accepted requests");
+        assert_eq!(snap.redirects, 1);
         assert_eq!(snap.trace_dropped, 7);
         assert_eq!(snap.bytes_rx, 66);
         assert_eq!(snap.queue_high_water, 5);

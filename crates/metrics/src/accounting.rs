@@ -1,0 +1,126 @@
+//! Request-lifecycle accounting for cluster serving runs.
+//!
+//! Every request a load generator issues must end in exactly one
+//! terminal state — completed on its first placement, completed after at
+//! least one redirect/resend, or rejected once its retry budget is
+//! exhausted. Anything else is *lost*, and a lost request under a
+//! graceful drain or reconnect storm is a correctness bug in the
+//! balancer or the server's drain protocol, not noise. This module is
+//! the single place that invariant is stated and checked.
+
+use std::fmt;
+
+/// Terminal-state tally for one load-generation run.
+///
+/// The invariant (see [`RequestAccounting::balanced`]):
+///
+/// ```text
+/// completed + redirected + rejected == issued    (lost == 0)
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestAccounting {
+    /// Requests the generator put on a wire at least once.
+    pub issued: u64,
+    /// Requests completed by the node they were first sent to.
+    pub completed: u64,
+    /// Requests completed after one or more redirects/resends (node
+    /// draining, socket churn, or flow migration moved them).
+    pub redirected: u64,
+    /// Requests dropped after exhausting their retry budget (the
+    /// generator told the caller, so they are accounted, not lost).
+    pub rejected: u64,
+}
+
+impl RequestAccounting {
+    /// Requests in no terminal state: issued but never completed,
+    /// redirected-to-completion, or rejected. Must be zero for a
+    /// healthy run.
+    pub fn lost(&self) -> u64 {
+        self.issued
+            .saturating_sub(self.completed)
+            .saturating_sub(self.redirected)
+            .saturating_sub(self.rejected)
+    }
+
+    /// Whether every issued request reached exactly one terminal state.
+    pub fn balanced(&self) -> bool {
+        self.completed + self.redirected + self.rejected == self.issued
+    }
+
+    /// Panics with a readable tally when the run lost requests (or
+    /// double-counted them). `context` names the run being checked.
+    ///
+    /// # Panics
+    /// When [`RequestAccounting::balanced`] is false.
+    pub fn assert_balanced(&self, context: &str) {
+        assert!(
+            self.balanced(),
+            "{context}: request accounting is unbalanced — {self} (lost {})",
+            self.lost()
+        );
+    }
+}
+
+impl fmt::Display for RequestAccounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "issued {} = completed {} + redirected {} + rejected {}",
+            self.issued, self.completed, self.redirected, self.rejected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_run_has_zero_lost() {
+        let acct = RequestAccounting {
+            issued: 100,
+            completed: 90,
+            redirected: 8,
+            rejected: 2,
+        };
+        assert!(acct.balanced());
+        assert_eq!(acct.lost(), 0);
+        acct.assert_balanced("test run");
+    }
+
+    #[test]
+    fn missing_requests_are_lost() {
+        let acct = RequestAccounting {
+            issued: 100,
+            completed: 95,
+            redirected: 2,
+            rejected: 0,
+        };
+        assert!(!acct.balanced());
+        assert_eq!(acct.lost(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "drain run: request accounting is unbalanced")]
+    fn assert_balanced_panics_with_context() {
+        RequestAccounting {
+            issued: 10,
+            completed: 9,
+            ..RequestAccounting::default()
+        }
+        .assert_balanced("drain run");
+    }
+
+    #[test]
+    fn double_counting_is_also_unbalanced() {
+        // completed + redirected overshooting issued must not pass.
+        let acct = RequestAccounting {
+            issued: 10,
+            completed: 10,
+            redirected: 1,
+            rejected: 0,
+        };
+        assert!(!acct.balanced());
+        assert_eq!(acct.lost(), 0, "saturating: overshoot is not 'lost'");
+    }
+}

@@ -32,6 +32,7 @@
 // needs no unsafe code, and the compiler now keeps it that way.
 #![forbid(unsafe_code)]
 
+pub mod accounting;
 pub mod breakdown;
 pub mod cdf;
 pub mod digest;
@@ -43,6 +44,7 @@ pub mod slo;
 pub mod summary;
 pub mod timeseries;
 
+pub use accounting::RequestAccounting;
 pub use breakdown::LatencyBreakdown;
 pub use cdf::{Cdf, CdfPoint};
 pub use digest::Digest64;
